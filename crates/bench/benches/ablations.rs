@@ -1,0 +1,120 @@
+//! Ablations of the design choices DESIGN.md calls out: wrong-path fetch
+//! modelling, core width, sampling mode, and the TIP pending-sample
+//! (Drained-state) semantics. Each bench measures the simulation under the
+//! ablated configuration; the printed `*_effect` values (emitted once, via
+//! eprintln) document the accuracy impact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_ooo::{Core, CoreConfig};
+use tip_workloads::{benchmark, SuiteScale};
+
+fn tip_error(config: &CoreConfig, sampler: SamplerConfig, name: &'static str) -> (f64, u64) {
+    let bench = benchmark(name, SuiteScale::Test);
+    let mut bank = ProfilerBank::new(&bench.program, sampler, &[ProfilerId::Tip]);
+    let mut core = Core::new(&bench.program, config.clone(), 42);
+    let summary = core.run(&mut bank, 100_000_000);
+    (
+        bank.finish()
+            .error_of(&bench.program, ProfilerId::Tip, Granularity::Instruction),
+        summary.cycles,
+    )
+}
+
+fn bench_wrong_path(c: &mut Criterion) {
+    let with = CoreConfig::default();
+    let without = CoreConfig {
+        model_wrong_path: false,
+        ..CoreConfig::default()
+    };
+    let (_, cycles_with) = tip_error(&with, SamplerConfig::periodic(101), "povray");
+    let (_, cycles_without) = tip_error(&without, SamplerConfig::periodic(101), "povray");
+    eprintln!(
+        "[ablation] wrong-path fetch on/off: {cycles_with} vs {cycles_without} cycles on povray"
+    );
+
+    let mut g = c.benchmark_group("ablation-wrong-path");
+    g.sample_size(10);
+    for (label, cfg) in [("modelled", &with), ("stall-until-redirect", &without)] {
+        g.bench_function(label, |b| {
+            b.iter(|| tip_error(cfg, SamplerConfig::periodic(101), "povray").1)
+        });
+    }
+    g.finish();
+}
+
+fn bench_core_width(c: &mut Criterion) {
+    let wide = CoreConfig::default();
+    let narrow = CoreConfig::small_2wide();
+    let (_, cw) = tip_error(&wide, SamplerConfig::periodic(101), "x264");
+    let (_, cn) = tip_error(&narrow, SamplerConfig::periodic(101), "x264");
+    eprintln!("[ablation] 4-wide vs 2-wide on x264: {cw} vs {cn} cycles");
+
+    let mut g = c.benchmark_group("ablation-width");
+    g.sample_size(10);
+    for (label, cfg) in [("boom-4w", &wide), ("small-2w", &narrow)] {
+        g.bench_function(label, |b| {
+            b.iter(|| tip_error(cfg, SamplerConfig::periodic(101), "x264").1)
+        });
+    }
+    g.finish();
+}
+
+fn bench_drained_policy(c: &mut Criterion) {
+    // The Drained-state write-enable trick: on a front-end-heavy benchmark,
+    // disabling it (blaming the last-committed instruction) must hurt.
+    let cfg = CoreConfig::default();
+    let bench = benchmark("cam4", SuiteScale::Test);
+    let err_of = |id: ProfilerId| {
+        let mut bank = ProfilerBank::new(&bench.program, SamplerConfig::periodic(101), &[id]);
+        let mut core = Core::new(&bench.program, cfg.clone(), 42);
+        core.run(&mut bank, 100_000_000);
+        bank.finish()
+            .error_of(&bench.program, id, Granularity::Instruction)
+    };
+    let with_trick = err_of(ProfilerId::Tip);
+    let without = err_of(ProfilerId::TipLastCommitDrain);
+    eprintln!(
+        "[ablation] drained write-enable trick on cam4: TIP {with_trick:.4} vs TIP-noWE {without:.4}"
+    );
+
+    let mut g = c.benchmark_group("ablation-drained-policy");
+    g.sample_size(10);
+    g.bench_function("first-dispatched", |b| b.iter(|| err_of(ProfilerId::Tip)));
+    g.bench_function("last-committed", |b| {
+        b.iter(|| err_of(ProfilerId::TipLastCommitDrain))
+    });
+    g.finish();
+}
+
+fn bench_sampling_mode(c: &mut Criterion) {
+    let cfg = CoreConfig::default();
+    let (ep, _) = tip_error(&cfg, SamplerConfig::periodic(101), "streamcluster");
+    let (er, _) = tip_error(&cfg, SamplerConfig::random(101, 5), "streamcluster");
+    eprintln!("[ablation] periodic vs random TIP error on streamcluster: {ep:.4} vs {er:.4}");
+
+    let mut g = c.benchmark_group("ablation-sampling");
+    g.sample_size(10);
+    g.bench_function("periodic", |b| {
+        b.iter(|| tip_error(&cfg, SamplerConfig::periodic(101), "streamcluster").0)
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| tip_error(&cfg, SamplerConfig::random(101, 5), "streamcluster").0)
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_wrong_path, bench_core_width, bench_drained_policy, bench_sampling_mode
+}
+criterion_main!(benches);

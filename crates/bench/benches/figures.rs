@@ -1,0 +1,195 @@
+//! One Criterion benchmark per paper figure/table: each measures the time
+//! to regenerate that experiment's data at `Test` scale. The printable
+//! full-scale rows come from the `src/bin/figNN` binaries; these benches
+//! keep every experiment exercised (and timed) by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tip_bench::experiments::{self, error_rows, fig07, fig11c, mean_errors, validation};
+use tip_bench::run::run_profiled;
+use tip_core::{ProfilerId, SamplerConfig, SamplingMode};
+use tip_isa::Granularity;
+use tip_ooo::CoreConfig;
+use tip_workloads::{benchmark, SuiteScale};
+
+const SCALE: SuiteScale = SuiteScale::Test;
+const INTERVAL: u64 = 101;
+
+/// One benchmark per workload class — enough to exercise every experiment's
+/// code path while keeping `cargo bench` wall-clock reasonable. The printed
+/// full-suite rows come from the `src/bin/figNN` binaries.
+const MINI: [&str; 3] = ["x264", "imagick", "streamcluster"];
+
+fn suite_once(profilers: &[ProfilerId]) -> Vec<experiments::SuiteRun> {
+    mini_suite(SamplerConfig::periodic(INTERVAL), profilers)
+}
+
+fn mini_suite(sampler: SamplerConfig, profilers: &[ProfilerId]) -> Vec<experiments::SuiteRun> {
+    MINI.iter()
+        .map(|&name| {
+            let bench = benchmark(name, SCALE);
+            let run = run_profiled(
+                &bench.program,
+                CoreConfig::default(),
+                sampler,
+                profilers,
+                42,
+            );
+            experiments::SuiteRun { bench, run }
+        })
+        .collect()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1_config", |b| {
+        b.iter(|| {
+            let cfg = tip_ooo::CoreConfig::default();
+            cfg.validate();
+            cfg
+        })
+    });
+
+    g.bench_function("fig07_cycle_stacks", |b| {
+        b.iter(|| {
+            let runs = suite_once(&[ProfilerId::Tip]);
+            fig07(&runs).len()
+        })
+    });
+
+    for (name, granularity, profilers) in [
+        (
+            "fig08_function_errors",
+            Granularity::Function,
+            vec![
+                ProfilerId::Software,
+                ProfilerId::Dispatch,
+                ProfilerId::Lci,
+                ProfilerId::Nci,
+                ProfilerId::TipIlp,
+                ProfilerId::Tip,
+            ],
+        ),
+        (
+            "fig09_block_errors",
+            Granularity::BasicBlock,
+            vec![
+                ProfilerId::Lci,
+                ProfilerId::Nci,
+                ProfilerId::TipIlp,
+                ProfilerId::Tip,
+            ],
+        ),
+        (
+            "fig10_instruction_errors",
+            Granularity::Instruction,
+            vec![ProfilerId::Nci, ProfilerId::TipIlp, ProfilerId::Tip],
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let runs = suite_once(&profilers);
+                let rows = error_rows(&runs, granularity, &profilers);
+                mean_errors(&rows, &profilers)
+            })
+        });
+    }
+
+    g.bench_function("fig01_headline_errors", |b| {
+        b.iter(|| {
+            let profilers = [
+                ProfilerId::Software,
+                ProfilerId::Dispatch,
+                ProfilerId::Lci,
+                ProfilerId::Nci,
+                ProfilerId::Tip,
+            ];
+            let runs = suite_once(&profilers);
+            let rows = error_rows(&runs, Granularity::Instruction, &profilers);
+            mean_errors(&rows, &profilers)
+        })
+    });
+
+    g.bench_function("fig11a_frequency_sweep", |b| {
+        let profilers = [ProfilerId::Nci, ProfilerId::TipIlp, ProfilerId::Tip];
+        b.iter(|| {
+            let mut out = Vec::new();
+            for &(_, freq) in &experiments::FREQUENCIES {
+                let interval = experiments::interval_for_frequency(freq);
+                let runs = mini_suite(SamplerConfig::periodic(interval), &profilers);
+                let rows = error_rows(&runs, Granularity::Instruction, &profilers);
+                out.push(mean_errors(&rows, &profilers));
+            }
+            out
+        })
+    });
+
+    g.bench_function("fig11b_periodic_vs_random", |b| {
+        b.iter(|| {
+            let periodic = mini_suite(SamplerConfig::periodic(INTERVAL), &[ProfilerId::Tip]);
+            let random = mini_suite(
+                SamplerConfig {
+                    interval: INTERVAL,
+                    mode: SamplingMode::Random,
+                    seed: 5,
+                },
+                &[ProfilerId::Tip],
+            );
+            (periodic.len(), random.len())
+        })
+    });
+
+    g.bench_function("fig11c_nci_ilp_boxes", |b| {
+        b.iter(|| {
+            let profilers = [
+                ProfilerId::NciIlp,
+                ProfilerId::Nci,
+                ProfilerId::TipIlp,
+                ProfilerId::Tip,
+            ];
+            let runs = suite_once(&profilers);
+            fig11c(&runs).len()
+        })
+    });
+
+    g.bench_function("fig12_imagick_profiles", |b| {
+        b.iter(|| experiments::fig12(SCALE).functions.len())
+    });
+
+    g.bench_function("fig13_imagick_speedup", |b| {
+        b.iter(|| experiments::fig13(SCALE).speedup)
+    });
+
+    g.bench_function("validation_platform_gap", |b| {
+        b.iter(|| validation(SCALE).len())
+    });
+
+    g.bench_function("overhead_models", |b| {
+        b.iter(|| {
+            use tip_core::overhead::*;
+            (
+                tip_storage_bytes(4),
+                tip_sample_bytes(4),
+                oracle_data_rate(4, 3.2),
+                runtime_overhead_fraction(tip_sample_bytes(4), 4_000.0, 3.2),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_figures
+}
+criterion_main!(benches);

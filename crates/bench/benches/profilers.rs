@@ -1,0 +1,86 @@
+//! Cost of online profiling: simulation throughput with each profiler (and
+//! the full bank) attached, versus no trace consumer at all.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_ooo::{Core, CoreConfig};
+use tip_workloads::{benchmark, SuiteScale};
+
+fn bench_profiler_overhead(c: &mut Criterion) {
+    let bench = benchmark("imagick", SuiteScale::Test);
+    let mut probe = Core::new(&bench.program, CoreConfig::default(), 42);
+    let cycles = probe.run(&mut (), 100_000_000).cycles;
+
+    let mut g = c.benchmark_group("profiler-overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cycles));
+
+    g.bench_function("no_profiler", |b| {
+        b.iter(|| {
+            let mut core = Core::new(&bench.program, CoreConfig::default(), 42);
+            core.run(&mut (), 100_000_000).cycles
+        })
+    });
+    for id in ProfilerId::ALL {
+        g.bench_function(format!("with_{}", id.label()), |b| {
+            b.iter(|| {
+                let mut bank =
+                    ProfilerBank::new(&bench.program, SamplerConfig::periodic(149), &[id]);
+                let mut core = Core::new(&bench.program, CoreConfig::default(), 42);
+                core.run(&mut bank, 100_000_000);
+                bank.finish().total_cycles
+            })
+        });
+    }
+    g.bench_function("with_full_bank", |b| {
+        b.iter(|| {
+            let mut bank = ProfilerBank::new(
+                &bench.program,
+                SamplerConfig::periodic(149),
+                &ProfilerId::ALL,
+            );
+            let mut core = Core::new(&bench.program, CoreConfig::default(), 42);
+            core.run(&mut bank, 100_000_000);
+            bank.finish().total_cycles
+        })
+    });
+    g.finish();
+}
+
+fn bench_profile_construction(c: &mut Criterion) {
+    let bench = benchmark("gcc", SuiteScale::Test);
+    let mut bank = ProfilerBank::new(
+        &bench.program,
+        SamplerConfig::periodic(53),
+        &ProfilerId::ALL,
+    );
+    let mut core = Core::new(&bench.program, CoreConfig::default(), 42);
+    core.run(&mut bank, 100_000_000);
+    let result = bank.finish();
+
+    let mut g = c.benchmark_group("post-processing");
+    for granularity in [
+        tip_isa::Granularity::Instruction,
+        tip_isa::Granularity::BasicBlock,
+        tip_isa::Granularity::Function,
+    ] {
+        g.bench_function(format!("error_at_{granularity}"), |b| {
+            b.iter(|| result.error_of(&bench.program, ProfilerId::Tip, granularity))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_profiler_overhead, bench_profile_construction
+}
+criterion_main!(benches);

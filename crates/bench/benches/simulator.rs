@@ -1,0 +1,84 @@
+//! Throughput of the simulation substrates: the functional executor, the
+//! memory hierarchy, and the full out-of-order core on one benchmark per
+//! workload class.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Duration;
+use tip_isa::Executor;
+use tip_mem::{MemConfig, MemSystem};
+use tip_ooo::{Core, CoreConfig};
+use tip_workloads::{benchmark, SuiteScale};
+
+fn bench_executor(c: &mut Criterion) {
+    let bench = benchmark("x264", SuiteScale::Test);
+    let dyn_len = Executor::new(&bench.program, 42).count() as u64;
+    let mut g = c.benchmark_group("executor");
+    g.throughput(Throughput::Elements(dyn_len));
+    g.bench_function("x264_stream", |b| {
+        b.iter(|| Executor::new(&bench.program, 42).count())
+    });
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("l1_hits", |b| {
+        b.iter_batched(
+            || MemSystem::new(&MemConfig::default()),
+            |mut mem| {
+                let mut t = 0;
+                for i in 0..10_000u64 {
+                    t = mem.access_data(0x1000 + (i % 64) * 8, t, false).ready;
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("streaming_misses", |b| {
+        b.iter_batched(
+            || MemSystem::new(&MemConfig::default()),
+            |mut mem| {
+                let mut t = 0;
+                for i in 0..10_000u64 {
+                    t = mem.access_data(0x10_0000 + i * 64, t, false).ready;
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core");
+    g.sample_size(10);
+    for name in ["x264", "povray", "streamcluster"] {
+        let bench = benchmark(name, SuiteScale::Test);
+        let mut probe = Core::new(&bench.program, CoreConfig::default(), 42);
+        let cycles = probe.run(&mut (), 100_000_000).cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function(format!("simulate_{name}"), |b| {
+            b.iter(|| {
+                let mut core = Core::new(&bench.program, CoreConfig::default(), 42);
+                core.run(&mut (), 100_000_000).cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_executor, bench_memory, bench_core
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 1: average instruction-level profile error of the five profiling
+//! strategies, and the same for the flush-intensive Imagick benchmark.
+//!
+//! Usage: `fig01 [test|small|full]` (default: small).
+
+use tip_bench::experiments::{error_rows, mean_errors, run_suite_with};
+use tip_bench::table::{pct, Table};
+use tip_bench::DEFAULT_INTERVAL;
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_workloads::SuiteScale;
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    }
+}
+
+fn main() {
+    let profilers = [
+        ProfilerId::Software,
+        ProfilerId::Dispatch,
+        ProfilerId::Lci,
+        ProfilerId::Nci,
+        ProfilerId::Tip,
+    ];
+    eprintln!("running the suite...");
+    let runs = run_suite_with(
+        scale_from_args(),
+        SamplerConfig::periodic(DEFAULT_INTERVAL),
+        &profilers,
+    );
+    let rows = error_rows(&runs, Granularity::Instruction, &profilers);
+    let avg = mean_errors(&rows, &profilers);
+    let imagick = rows
+        .iter()
+        .find(|r| r.name == "imagick")
+        .expect("imagick in suite");
+
+    let mut t = Table::new([
+        "profiler",
+        "average error",
+        "imagick error",
+        "paper avg",
+        "paper imagick",
+    ]);
+    let paper = [
+        ("61.8%", "~45%"),
+        ("53.1%", "~28%"),
+        ("55.4%", "~52%"),
+        ("9.3%", "21.0%"),
+        ("1.6%", "<5%"),
+    ];
+    for (i, &(p, e)) in avg.iter().enumerate() {
+        t.row([
+            p.label().to_owned(),
+            pct(e),
+            pct(imagick.errors[i].1),
+            paper[i].0.to_owned(),
+            paper[i].1.to_owned(),
+        ]);
+    }
+    println!("Figure 1: instruction-level profile error, suite average and Imagick\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,44 @@
+//! Figure 7: normalized commit-stage cycle stacks for the 27-benchmark
+//! suite, as collected by the Oracle.
+//!
+//! Usage: `fig07 [test|small|full]` (default: small).
+
+use tip_bench::experiments::{fig07, run_suite_with};
+use tip_bench::table::{pct, Table};
+use tip_bench::DEFAULT_INTERVAL;
+use tip_core::{CycleCategory, ProfilerId, SamplerConfig};
+use tip_workloads::SuiteScale;
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running the suite at {scale:?} scale (Oracle only)...");
+    let runs = run_suite_with(
+        scale,
+        SamplerConfig::periodic(DEFAULT_INTERVAL),
+        &[ProfilerId::Tip],
+    );
+    let rows = fig07(&runs);
+
+    let mut header = vec!["benchmark".to_owned(), "class".to_owned(), "IPC".to_owned()];
+    header.extend(CycleCategory::ALL.iter().map(|c| c.label().to_owned()));
+    let mut t = Table::new(header);
+    for r in rows {
+        let mut cells = vec![
+            r.name.to_owned(),
+            r.class.to_string(),
+            format!("{:.2}", r.ipc),
+        ];
+        cells.extend(r.fractions.iter().map(|&f| pct(f)));
+        t.row(cells);
+    }
+    println!("Figure 7: normalized cycle stacks collected at commit\n");
+    print!("{}", t.render());
+}

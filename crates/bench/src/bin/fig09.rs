@@ -1,0 +1,59 @@
+//! Figure 9: basic-block-level profile errors for LCI, NCI, TIP-ILP, TIP.
+//!
+//! Usage: `fig09 [test|small|full]` (default: small).
+
+use tip_bench::experiments::{class_mean_errors, error_rows, mean_errors, run_suite_with};
+use tip_bench::table::{pct, Table};
+use tip_bench::DEFAULT_INTERVAL;
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_workloads::{SuiteScale, WorkloadClass};
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    }
+}
+
+fn main() {
+    let profilers = [
+        ProfilerId::Lci,
+        ProfilerId::Nci,
+        ProfilerId::TipIlp,
+        ProfilerId::Tip,
+    ];
+    eprintln!("running the suite...");
+    let runs = run_suite_with(
+        scale_from_args(),
+        SamplerConfig::periodic(DEFAULT_INTERVAL),
+        &profilers,
+    );
+    let rows = error_rows(&runs, Granularity::BasicBlock, &profilers);
+
+    let mut t = Table::new(["benchmark", "class", "LCI", "NCI", "TIP-ILP", "TIP"]);
+    for r in &rows {
+        let mut cells = vec![r.name.to_owned(), r.class.to_string()];
+        cells.extend(r.errors.iter().map(|&(_, e)| pct(e)));
+        t.row(cells);
+    }
+    for class in [
+        WorkloadClass::Compute,
+        WorkloadClass::Flush,
+        WorkloadClass::Stall,
+    ] {
+        let m = class_mean_errors(&rows, class, &profilers);
+        let mut cells = vec![format!("[{class} mean]"), String::new()];
+        cells.extend(m.iter().map(|&(_, e)| pct(e)));
+        t.row(cells);
+    }
+    let m = mean_errors(&rows, &profilers);
+    let mut cells = vec!["[average]".to_owned(), String::new()];
+    cells.extend(m.iter().map(|&(_, e)| pct(e)));
+    t.row(cells);
+    println!(
+        "Figure 9: basic-block-level profile error\n(paper avgs: LCI 11.9%, NCI 2.3%, TIP-ILP 1.2%, TIP 0.7%)\n"
+    );
+    print!("{}", t.render());
+}

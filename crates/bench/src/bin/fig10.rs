@@ -1,0 +1,65 @@
+//! Figure 10: instruction-level profile errors for NCI, TIP-ILP, and TIP
+//! across the suite.
+//!
+//! Usage: `fig10 [test|small|full]` (default: small).
+
+use tip_bench::experiments::{class_mean_errors, error_rows, mean_errors, run_suite_with};
+use tip_bench::table::{pct, Table};
+use tip_bench::DEFAULT_INTERVAL;
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_workloads::{SuiteScale, WorkloadClass};
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    }
+}
+
+fn main() {
+    let profilers = [ProfilerId::Nci, ProfilerId::TipIlp, ProfilerId::Tip];
+    eprintln!("running the suite...");
+    let runs = run_suite_with(
+        scale_from_args(),
+        SamplerConfig::periodic(DEFAULT_INTERVAL),
+        &profilers,
+    );
+    let rows = error_rows(&runs, Granularity::Instruction, &profilers);
+
+    let mut t = Table::new(["benchmark", "class", "NCI", "TIP-ILP", "TIP"]);
+    for r in &rows {
+        t.row([
+            r.name.to_owned(),
+            r.class.to_string(),
+            pct(r.errors[0].1),
+            pct(r.errors[1].1),
+            pct(r.errors[2].1),
+        ]);
+    }
+    for class in [
+        WorkloadClass::Compute,
+        WorkloadClass::Flush,
+        WorkloadClass::Stall,
+    ] {
+        let m = class_mean_errors(&rows, class, &profilers);
+        t.row([
+            format!("[{class} mean]"),
+            String::new(),
+            pct(m[0].1),
+            pct(m[1].1),
+            pct(m[2].1),
+        ]);
+    }
+    let m = mean_errors(&rows, &profilers);
+    t.row([
+        "[average]".to_owned(),
+        String::new(),
+        pct(m[0].1),
+        pct(m[1].1),
+        pct(m[2].1),
+    ]);
+    println!("Figure 10: instruction-level profile error (paper avgs: NCI 9.3%, TIP-ILP 7.2%, TIP 1.6%)\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,33 @@
+//! Figure 11a: instruction-level error vs sampling frequency for NCI,
+//! TIP-ILP, and TIP. TIP keeps improving beyond the 4 kHz-equivalent rate
+//! while the others saturate at their systematic floor.
+//!
+//! Usage: `fig11a [test|small|full]` (default: test — this experiment runs
+//! the suite five times).
+
+use tip_bench::experiments::{fig11a, FREQUENCIES};
+use tip_bench::table::{pct, Table};
+use tip_workloads::SuiteScale;
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("small") => SuiteScale::Small,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Test,
+    }
+}
+
+fn main() {
+    eprintln!("running the suite once per frequency...");
+    let rows = fig11a(scale_from_args());
+    let mut header = vec!["profiler".to_owned()];
+    header.extend(FREQUENCIES.iter().map(|&(l, _)| l.to_owned()));
+    let mut t = Table::new(header);
+    for r in rows {
+        let mut cells = vec![r.profiler.label().to_owned()];
+        cells.extend(r.errors.iter().map(|&(_, e)| pct(e)));
+        t.row(cells);
+    }
+    println!("Figure 11a: mean instruction-level error vs sampling frequency\n(frequencies are 4 kHz-equivalents of our scaled interval)\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,49 @@
+//! Figure 11c: box plots of instruction-level error for
+//! commit-parallelism-aware NCI (NCI+ILP) vs NCI, TIP-ILP, and TIP.
+//! The paper's counter-intuitive result: NCI+ILP is *worse* than NCI.
+//!
+//! Usage: `fig11c [test|small|full]` (default: small).
+
+use tip_bench::experiments::{fig11c, run_suite_with};
+use tip_bench::table::{pct, Table};
+use tip_bench::DEFAULT_INTERVAL;
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_workloads::SuiteScale;
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    }
+}
+
+fn main() {
+    let profilers = [
+        ProfilerId::NciIlp,
+        ProfilerId::Nci,
+        ProfilerId::TipIlp,
+        ProfilerId::Tip,
+    ];
+    eprintln!("running the suite...");
+    let runs = run_suite_with(
+        scale_from_args(),
+        SamplerConfig::periodic(DEFAULT_INTERVAL),
+        &profilers,
+    );
+    let rows = fig11c(&runs);
+    let mut t = Table::new(["profiler", "min", "q1", "median", "q3", "max", "mean"]);
+    for r in rows {
+        t.row([
+            r.profiler.label().to_owned(),
+            pct(r.min),
+            pct(r.q1),
+            pct(r.median),
+            pct(r.q3),
+            pct(r.max),
+            pct(r.mean),
+        ]);
+    }
+    println!("Figure 11c: instruction-level error box plots\n(paper means: NCI+ILP 19.3%, NCI 9.3%, TIP-ILP 7.2%, TIP 1.6%)\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,34 @@
+//! Figure 12: function- and instruction-level profiles of Imagick for TIP
+//! and NCI compared to Oracle. TIP pinpoints the frflags/fsflags CSR
+//! instructions; NCI blames other instructions.
+//!
+//! Usage: `fig12 [test|small|full]` (default: small).
+
+use tip_bench::experiments::fig12;
+use tip_bench::table::{pct, Table};
+use tip_workloads::SuiteScale;
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    }
+}
+
+fn main() {
+    let f = fig12(scale_from_args());
+    let mut t = Table::new(["function", "Oracle", "TIP", "NCI"]);
+    for (name, o, tip, nci) in &f.functions {
+        t.row([name.clone(), pct(*o), pct(*tip), pct(*nci)]);
+    }
+    println!("Figure 12 (top): function-level profile (share of total runtime)\n");
+    print!("{}", t.render());
+
+    let mut t = Table::new(["instruction in ceil()", "Oracle", "TIP", "NCI"]);
+    for (label, o, tip, nci) in &f.ceil_instrs {
+        t.row([label.clone(), pct(*o), pct(*tip), pct(*nci)]);
+    }
+    println!("\nFigure 12 (bottom): instruction-level profile within ceil()\n(shares of time within the function; `csr` rows are frflags/fsflags)\n");
+    print!("{}", t.render());
+}

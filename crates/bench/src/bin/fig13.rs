@@ -1,0 +1,44 @@
+//! Figure 13: per-function time breakdown of the original vs optimized
+//! Imagick, plus the overall speed-up (paper: 1.93x, IPC 1.2 -> 2.3).
+//!
+//! Usage: `fig13 [test|small|full]` (default: small).
+
+use tip_bench::experiments::fig13;
+use tip_bench::table::Table;
+use tip_core::CycleCategory;
+use tip_workloads::SuiteScale;
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    }
+}
+
+fn main() {
+    let f = fig13(scale_from_args());
+    let mut header = vec![
+        "function".to_owned(),
+        "version".to_owned(),
+        "total".to_owned(),
+    ];
+    header.extend(CycleCategory::ALL.iter().map(|c| c.label().to_owned()));
+    let mut t = Table::new(header);
+    for (orig, opt) in f.original.iter().zip(&f.optimized) {
+        for (label, row) in [("orig", orig), ("opt", opt)] {
+            let total: f64 = row.1.iter().sum();
+            let mut cells = vec![row.0.clone(), label.to_owned(), format!("{:.0}", total)];
+            cells.extend(row.1.iter().map(|c| format!("{:.0}", c)));
+            t.row(cells);
+        }
+    }
+    println!("Figure 13: Imagick time breakdown (cycles per function)\n");
+    print!("{}", t.render());
+    println!();
+    println!("speed-up:  {:.2}x   (paper: 1.93x)", f.speedup);
+    println!(
+        "IPC:       {:.2} -> {:.2}   (paper: 1.2 -> 2.3)",
+        f.ipc.0, f.ipc.1
+    );
+}

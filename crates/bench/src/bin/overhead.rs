@@ -1,0 +1,56 @@
+//! Section 3.2: TIP overhead analysis — storage, per-sample sizes, data
+//! rates, and the runtime-overhead model.
+
+use tip_core::overhead::{
+    non_ilp_sample_bytes, oracle_data_rate, runtime_overhead_fraction, sample_data_rate,
+    tip_payload_bytes, tip_sample_bytes, tip_storage_bytes,
+};
+
+fn main() {
+    let w = 4;
+    let clock = 3.2;
+    let freq = 4_000.0;
+    println!("Section 3.2: TIP overhead analysis (4-wide core at 3.2 GHz, 4 kHz sampling)\n");
+    println!(
+        "TIP storage:            {} B   (paper: 57 B — 9 B OIR + six 8 B CSRs)",
+        tip_storage_bytes(w)
+    );
+    println!(
+        "TIP sample size:        {} B   (paper: 88 B)",
+        tip_sample_bytes(w)
+    );
+    println!(
+        "non-ILP sample size:    {} B   (paper: 56 B)",
+        non_ilp_sample_bytes()
+    );
+    println!(
+        "TIP payload only:       {} B   (paper: 48 B)",
+        tip_payload_bytes(w)
+    );
+    println!();
+    println!(
+        "TIP data rate:          {:.0} KB/s   (paper: 352 KB/s)",
+        sample_data_rate(tip_sample_bytes(w), freq) / 1e3
+    );
+    println!(
+        "non-ILP data rate:      {:.0} KB/s   (paper: 224 KB/s)",
+        sample_data_rate(non_ilp_sample_bytes(), freq) / 1e3
+    );
+    println!(
+        "TIP payload rate:       {:.0} KB/s   (paper: 192 KB/s)",
+        sample_data_rate(tip_payload_bytes(w), freq) / 1e3
+    );
+    println!(
+        "Oracle trace rate:      {:.1} GB/s   (paper: 179 GB/s)",
+        oracle_data_rate(w, clock) / 1e9
+    );
+    println!();
+    println!(
+        "runtime overhead (TIP-sized samples):  {:.1}%   (paper: 1.1%)",
+        100.0 * runtime_overhead_fraction(tip_sample_bytes(w), freq, clock)
+    );
+    println!(
+        "runtime overhead (PEBS-sized samples): {:.1}%   (paper: 1.0%)",
+        100.0 * runtime_overhead_fraction(non_ilp_sample_bytes(), freq, clock)
+    );
+}

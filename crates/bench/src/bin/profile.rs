@@ -1,0 +1,222 @@
+//! `profile` — a perf-report-style command-line profiler for the simulated
+//! system.
+//!
+//! ```text
+//! usage: profile <benchmark> [options]
+//!   --profiler  <tip|nci|lci|dispatch|software>   (default tip)
+//!   --scale     <test|small|full>                 (default small)
+//!   --level     <instr|block|func>                (default func)
+//!   --interval  <cycles>                          (default 149)
+//!   --annotate  <function-name>   per-instruction listing of one function
+//!   --stacks                      per-function cycle stacks (TIP only)
+//!   --oracle                      show the golden reference side by side
+//! ```
+//!
+//! Example: `profile imagick --stacks --annotate ceil`
+
+use tip_core::{sampled_symbol_stacks, CycleCategory, ProfilerBank, ProfilerId, SamplerConfig};
+use tip_isa::{Granularity, SymbolId};
+use tip_ooo::{Core, CoreConfig};
+use tip_workloads::{benchmark, SuiteScale, BENCHMARK_NAMES};
+
+struct Options {
+    bench: &'static str,
+    profiler: ProfilerId,
+    scale: SuiteScale,
+    level: Granularity,
+    interval: u64,
+    annotate: Option<String>,
+    stacks: bool,
+    oracle: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile <benchmark> [--profiler tip|nci|lci|dispatch|software] \
+         [--scale test|small|full] [--level instr|block|func] [--interval N] \
+         [--annotate FUNC] [--stacks] [--oracle]\nbenchmarks: {BENCHMARK_NAMES:?}"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let Some(bench_arg) = args.next() else {
+        usage()
+    };
+    let Some(bench) = BENCHMARK_NAMES.iter().copied().find(|&n| n == bench_arg) else {
+        eprintln!("unknown benchmark `{bench_arg}`");
+        usage()
+    };
+    let mut opts = Options {
+        bench,
+        profiler: ProfilerId::Tip,
+        scale: SuiteScale::Small,
+        level: Granularity::Function,
+        interval: 149,
+        annotate: None,
+        stacks: false,
+        oracle: false,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--profiler" => {
+                opts.profiler = match args.next().as_deref() {
+                    Some("tip") => ProfilerId::Tip,
+                    Some("nci") => ProfilerId::Nci,
+                    Some("lci") => ProfilerId::Lci,
+                    Some("dispatch") => ProfilerId::Dispatch,
+                    Some("software") => ProfilerId::Software,
+                    _ => usage(),
+                }
+            }
+            "--scale" => {
+                opts.scale = match args.next().as_deref() {
+                    Some("test") => SuiteScale::Test,
+                    Some("small") => SuiteScale::Small,
+                    Some("full") => SuiteScale::Full,
+                    _ => usage(),
+                }
+            }
+            "--level" => {
+                opts.level = match args.next().as_deref() {
+                    Some("instr") => Granularity::Instruction,
+                    Some("block") => Granularity::BasicBlock,
+                    Some("func") => Granularity::Function,
+                    _ => usage(),
+                }
+            }
+            "--interval" => {
+                opts.interval = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--annotate" => opts.annotate = Some(args.next().unwrap_or_else(|| usage())),
+            "--stacks" => opts.stacks = true,
+            "--oracle" => opts.oracle = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    "#".repeat((frac * width as f64).round() as usize)
+}
+
+fn main() {
+    let opts = parse_args();
+    let bench = benchmark(opts.bench, opts.scale);
+    let program = &bench.program;
+
+    eprintln!("simulating {} ({:?} scale)...", opts.bench, opts.scale);
+    let mut bank = ProfilerBank::new(
+        program,
+        SamplerConfig::periodic(opts.interval),
+        &[opts.profiler],
+    );
+    let mut core = Core::new(program, CoreConfig::default(), 42);
+    let summary = core.run(&mut bank, 2_000_000_000);
+    let result = bank.finish();
+
+    println!(
+        "# {}: {} instructions, {} cycles, IPC {:.2}, {} samples ({})",
+        opts.bench,
+        summary.instructions,
+        summary.cycles,
+        core.stats().ipc(),
+        result.samples_of(opts.profiler).len(),
+        opts.profiler
+    );
+
+    // Ranked symbol report.
+    let profile = result.profile_of(program, opts.profiler, opts.level);
+    let oracle = result.oracle.profile(program, opts.level);
+    println!("\n## {} profile ({} level)", opts.profiler, opts.level);
+    for (sym, share) in profile.ranked().into_iter().take(16) {
+        let name = program.symbol_name(opts.level, sym);
+        if opts.oracle {
+            println!(
+                "{:>7.2}%  (oracle {:>6.2}%)  {:<40} {}",
+                100.0 * share,
+                100.0 * oracle.share(sym),
+                name,
+                bar(share, 40)
+            );
+        } else {
+            println!("{:>7.2}%  {:<40} {}", 100.0 * share, name, bar(share, 40));
+        }
+    }
+    if opts.oracle {
+        println!(
+            "\nprofile error vs oracle: {:.2}%",
+            100.0 * result.error_of(program, opts.profiler, opts.level)
+        );
+    }
+
+    // Per-function cycle stacks from the profiler's own samples.
+    if opts.stacks {
+        if opts.profiler != ProfilerId::Tip {
+            eprintln!("(--stacks needs TIP's category-labelled samples; skipping)");
+        } else {
+            let map = program.symbol_map(Granularity::Function);
+            let stacks = sampled_symbol_stacks(result.samples_of(ProfilerId::Tip), &map);
+            let total: f64 = stacks.iter().map(|s| s.total()).sum();
+            println!("\n## why is each function slow? (TIP sampled cycle stacks)");
+            for f in program.functions() {
+                let st = &stacks[f.id().index()];
+                if st.total() < 0.005 * total {
+                    continue;
+                }
+                let parts: Vec<String> = CycleCategory::ALL
+                    .iter()
+                    .filter(|&&c| st.get(c) > 0.02 * st.total())
+                    .map(|&c| format!("{c} {:.0}%", 100.0 * st.get(c) / st.total()))
+                    .collect();
+                println!(
+                    "{:<20} {:>6.1}%  [{}]",
+                    f.name(),
+                    100.0 * st.total() / total,
+                    parts.join(", ")
+                );
+            }
+        }
+    }
+
+    // Instruction annotation of one function.
+    if let Some(func_name) = &opts.annotate {
+        let Some(func) = program.functions().iter().find(|f| f.name() == *func_name) else {
+            eprintln!("no function named `{func_name}`");
+            std::process::exit(2);
+        };
+        let instr_profile = result.profile_of(program, opts.profiler, Granularity::Instruction);
+        let func_total: f64 = func
+            .block_range()
+            .flat_map(|bi| program.blocks()[bi].instr_range())
+            .map(|gi| instr_profile.share(SymbolId(gi as u32)))
+            .sum();
+        println!(
+            "\n## annotate {func_name} ({:.1}% of runtime)",
+            100.0 * func_total
+        );
+        for bi in func.block_range() {
+            for gi in program.blocks()[bi].instr_range() {
+                let idx = tip_isa::InstrIdx::new(gi as u32);
+                let share = instr_profile.share(SymbolId(gi as u32));
+                let within = if func_total > 0.0 {
+                    share / func_total
+                } else {
+                    0.0
+                };
+                println!(
+                    "{:>8}  {:<6} {:>6.1}%  {}",
+                    program.addr_of(idx).to_string(),
+                    program.instr(idx).kind().to_string(),
+                    100.0 * within,
+                    bar(within, 30)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Seed sensitivity: the headline instruction-level errors (Figure 10)
+//! across several simulation seeds and sampling phases, reported as
+//! mean ± standard deviation. Not a paper figure — added rigor for the
+//! reproduction (one seed could flatter a profiler).
+//!
+//! Usage: `seeds [test|small|full] [n_seeds]` (defaults: small, 5).
+
+use tip_bench::experiments::{error_rows, SuiteRun};
+use tip_bench::run::run_profiled;
+use tip_bench::DEFAULT_INTERVAL;
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_ooo::CoreConfig;
+use tip_workloads::{suite, SuiteScale};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale = match args.next().as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    };
+    let n_seeds: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let profilers = [ProfilerId::Nci, ProfilerId::TipIlp, ProfilerId::Tip];
+
+    let mut per_profiler: Vec<Vec<f64>> = vec![Vec::new(); profilers.len()];
+    for seed in 0..n_seeds {
+        eprintln!("seed {seed}...");
+        let runs: Vec<SuiteRun> = suite(scale)
+            .into_iter()
+            .map(|bench| {
+                let run = run_profiled(
+                    &bench.program,
+                    CoreConfig::default(),
+                    // Vary the sampling phase with the seed too.
+                    SamplerConfig::random(DEFAULT_INTERVAL, 0x5eed + seed),
+                    &profilers,
+                    1000 + seed,
+                );
+                SuiteRun { bench, run }
+            })
+            .collect();
+        let rows = error_rows(&runs, Granularity::Instruction, &profilers);
+        for (i, &p) in profilers.iter().enumerate() {
+            let mean: f64 = rows
+                .iter()
+                .map(|r| r.errors.iter().find(|(id, _)| *id == p).expect("present").1)
+                .sum::<f64>()
+                / rows.len() as f64;
+            per_profiler[i].push(mean);
+        }
+    }
+
+    println!("Instruction-level error across {n_seeds} seeds ({scale:?} scale, random sampling)\n");
+    for (i, p) in profilers.iter().enumerate() {
+        let xs = &per_profiler[i];
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        println!(
+            "{:<8}  {:>5.1}% ± {:>4.2}%   (per-seed: {})",
+            p.label(),
+            100.0 * mean,
+            100.0 * var.sqrt(),
+            xs.iter()
+                .map(|x| format!("{:.1}%", 100.0 * x))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Table 1: the simulated configuration.
+
+use tip_ooo::CoreConfig;
+
+fn main() {
+    let c = CoreConfig::default();
+    println!("Table 1: simulated configuration ({})\n", c.name);
+    println!("Core      4-wide OoO @ {} GHz", c.clock_ghz);
+    println!(
+        "Front-end {}-wide fetch, {}-entry fetch buffer, {}-wide decode, \
+         per-branch local-history predictor + 32-entry RAS (paper: 28KB TAGE), max {} outstanding branches",
+        c.fetch_width, c.fetch_buffer, c.decode_width, c.max_branches
+    );
+    println!(
+        "Execute   {}-entry ROB ({} banks), {} int / {} fp physical registers,",
+        c.rob_entries, c.commit_width, c.int_phys_regs, c.fp_phys_regs
+    );
+    println!(
+        "          {}-entry {}-issue MEM queue, {}-entry {}-issue INT queue, {}-entry {}-issue FP queue",
+        c.mem_iq.entries, c.mem_iq.width, c.int_iq.entries, c.int_iq.width, c.fp_iq.entries, c.fp_iq.width
+    );
+    println!(
+        "LSU       {}-entry load/store queue, {}-entry store buffer",
+        c.lsq_entries, c.store_buffer
+    );
+    let m = &c.mem;
+    println!(
+        "L1        {} KB {}-way I-cache, {} KB {}-way D-cache w/ {} MSHRs, next-line prefetch: {}",
+        m.l1i.size_bytes / 1024,
+        m.l1i.ways,
+        m.l1d.size_bytes / 1024,
+        m.l1d.ways,
+        m.l1d.mshrs,
+        m.l1d.next_line_prefetch
+    );
+    println!(
+        "L2/LLC    {} KB {}-way L2 w/ {} MSHRs, {} MB {}-way LLC w/ {} MSHRs",
+        m.l2.size_bytes / 1024,
+        m.l2.ways,
+        m.l2.mshrs,
+        m.llc.size_bytes / (1024 * 1024),
+        m.llc.ways,
+        m.llc.mshrs
+    );
+    println!(
+        "TLB       PTW ({} cycles), {}-entry L1 D-TLB, {}-entry L1 I-TLB, {}-entry L2 TLB",
+        m.ptw_latency, m.dtlb.entries, m.itlb.entries, m.l2_tlb.entries
+    );
+    println!(
+        "Memory    {} cycles access latency, {} cycles per 64 B line (25.6 GB/s at 3.2 GHz)",
+        m.dram.access_latency, m.dram.transfer_cycles
+    );
+}

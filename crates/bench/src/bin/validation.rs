@@ -1,0 +1,31 @@
+//! Section 5.2 validation: the relative Software-vs-NCI profile gap should
+//! be in the same ballpark across two different platforms. The paper
+//! compares an Intel i7 against FireSim; we compare our 4-wide core against
+//! a 2-wide configuration.
+//!
+//! Usage: `validation [test|small|full]` (default: small).
+
+use tip_bench::experiments::validation;
+use tip_bench::table::{pct, Table};
+use tip_workloads::SuiteScale;
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => SuiteScale::Test,
+        Some("full") => SuiteScale::Full,
+        _ => SuiteScale::Small,
+    }
+}
+
+fn main() {
+    eprintln!("running 6 benchmarks on two core configurations...");
+    let rows = validation(scale_from_args());
+    let mut t = Table::new(["configuration", "instr-level gap", "function-level gap"]);
+    for r in &rows {
+        t.row([r.config.clone(), pct(r.instr_gap), pct(r.func_gap)]);
+    }
+    println!("Validation: Software-vs-NCI relative profile difference across platforms\n(paper: 69% Intel vs 57% FireSim at instruction level; 4% vs 7% at function level)\n");
+    print!("{}", t.render());
+    let ratio = rows[0].instr_gap / rows[1].instr_gap.max(1e-9);
+    println!("\ninstruction-level gap ratio between platforms: {ratio:.2} (paper: 69/57 = 1.21)");
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for the TIP reproduction.
+//!
+//! One module per concern: [`run`] executes a benchmark under the full
+//! profiler bank, [`table`] renders the paper-style text tables, and
+//! [`experiments`] implements the data collection behind every figure and
+//! table of the paper (each `src/bin/figNN.rs` binary is a thin wrapper).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod run;
+pub mod table;
+
+pub use run::{run_profiled, ProfiledRun, DEFAULT_INTERVAL};

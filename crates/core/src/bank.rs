@@ -1,0 +1,213 @@
+//! Running many profilers over one simulation in lock-step.
+//!
+//! The paper evaluates up to 19 profiler configurations in a single FireSim
+//! run so that every profiler samples the exact same cycles; differences
+//! between their profiles are then purely systematic. [`ProfilerBank`] does
+//! the same: it owns the shared sampling schedule, the always-on Oracle, and
+//! any set of sampled profilers, and implements
+//! [`TraceSink`] so it can be attached directly to a
+//! [`tip_ooo::Core`] run.
+
+use crate::oracle::{OracleProfiler, OracleResult};
+use crate::profile::Profile;
+use crate::profilers::{ProfilerId, SampledProfiler};
+use crate::sample::Sample;
+use crate::sampler::{SampleSchedule, SamplerConfig};
+use tip_isa::{Granularity, Program};
+use tip_ooo::{CycleRecord, TraceSink};
+
+/// The Oracle plus a set of sampled profilers sharing one schedule.
+pub struct ProfilerBank {
+    schedule: SampleSchedule,
+    oracle: OracleProfiler,
+    profilers: Vec<(ProfilerId, Box<dyn SampledProfiler>)>,
+    cycles: u64,
+}
+
+impl ProfilerBank {
+    /// Creates a bank for `program` with the given schedule and profilers.
+    #[must_use]
+    pub fn new(program: &Program, sampler: SamplerConfig, ids: &[ProfilerId]) -> Self {
+        ProfilerBank {
+            schedule: sampler.schedule(),
+            oracle: OracleProfiler::new(program.len()),
+            profilers: ids.iter().map(|&id| (id, id.build())).collect(),
+            cycles: 0,
+        }
+    }
+
+    /// Finishes the run: resolves sample weights (each sample represents the
+    /// interval since the previous one) and returns everything.
+    #[must_use]
+    pub fn finish(self) -> BankResult {
+        let mut samples = Vec::with_capacity(self.profilers.len());
+        for (id, mut p) in self.profilers {
+            let mut s = p.drain_samples();
+            // Samples are produced in trigger order; sort defensively, then
+            // weight each by the interval since the previous trigger.
+            s.sort_by_key(|x| x.cycle);
+            let mut prev = 0u64;
+            for sample in &mut s {
+                sample.weight_cycles =
+                    (sample.cycle - prev) as f64 + if prev == 0 { 1.0 } else { 0.0 };
+                prev = sample.cycle;
+            }
+            samples.push((id, s));
+        }
+        BankResult {
+            oracle: self.oracle.finish(),
+            samples,
+            total_cycles: self.cycles,
+        }
+    }
+}
+
+impl TraceSink for ProfilerBank {
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        self.cycles += 1;
+        let sampled = self.schedule.is_sample(record.cycle);
+        self.oracle.on_cycle(record);
+        for (_, p) in &mut self.profilers {
+            p.observe(record, sampled);
+        }
+    }
+}
+
+impl std::fmt::Debug for ProfilerBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfilerBank")
+            .field("cycles", &self.cycles)
+            .field(
+                "profilers",
+                &self.profilers.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything a profiled run produced.
+#[derive(Debug)]
+pub struct BankResult {
+    /// The golden-reference accounting.
+    pub oracle: OracleResult,
+    /// Per-profiler resolved samples.
+    pub samples: Vec<(ProfilerId, Vec<Sample>)>,
+    /// Total cycles simulated.
+    pub total_cycles: u64,
+}
+
+impl BankResult {
+    /// The samples of one profiler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not part of the bank.
+    #[must_use]
+    pub fn samples_of(&self, id: ProfilerId) -> &[Sample] {
+        &self
+            .samples
+            .iter()
+            .find(|(i, _)| *i == id)
+            .unwrap_or_else(|| panic!("profiler {id} was not in the bank"))
+            .1
+    }
+
+    /// Builds `id`'s profile at `granularity`.
+    #[must_use]
+    pub fn profile_of(
+        &self,
+        program: &Program,
+        id: ProfilerId,
+        granularity: Granularity,
+    ) -> Profile {
+        Profile::from_samples(self.samples_of(id), &program.symbol_map(granularity))
+    }
+
+    /// The paper's profile error of `id` against the Oracle at
+    /// `granularity`.
+    #[must_use]
+    pub fn error_of(&self, program: &Program, id: ProfilerId, granularity: Granularity) -> f64 {
+        let oracle = self.oracle.profile(program, granularity);
+        self.profile_of(program, id, granularity).error_vs(&oracle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_isa::{BranchBehavior, Instr, ProgramBuilder, Reg};
+    use tip_ooo::{Core, CoreConfig};
+
+    fn simple_program() -> Program {
+        let mut b = ProgramBuilder::named("bank-test");
+        let main = b.function("main");
+        let blk = b.block(main);
+        for i in 0..4 {
+            b.push(blk, Instr::int_alu(Some(Reg::int(i + 1)), [None, None]));
+        }
+        b.push(
+            blk,
+            Instr::branch(blk, BranchBehavior::Loop { taken_iters: 5_000 }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn bank_runs_all_profilers_in_lockstep() {
+        let p = simple_program();
+        let mut bank = ProfilerBank::new(&p, SamplerConfig::periodic(50), &ProfilerId::ALL);
+        let mut core = Core::new(&p, CoreConfig::default(), 3);
+        core.run(&mut bank, 1_000_000);
+        let result = bank.finish();
+
+        assert!(result.total_cycles > 0);
+        for (id, samples) in &result.samples {
+            assert!(!samples.is_empty(), "{id} produced no samples");
+            // Fractions in each sample sum to 1.
+            for s in samples {
+                let sum: f64 = s.targets.iter().map(|t| t.1).sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "{id} sample fractions sum to {sum}"
+                );
+                assert!(s.weight_cycles > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tip_beats_heuristics_on_simple_loop() {
+        let p = simple_program();
+        let mut bank = ProfilerBank::new(&p, SamplerConfig::periodic(37), &ProfilerId::ALL);
+        let mut core = Core::new(&p, CoreConfig::default(), 3);
+        core.run(&mut bank, 1_000_000);
+        let result = bank.finish();
+
+        let g = Granularity::Instruction;
+        let tip = result.error_of(&p, ProfilerId::Tip, g);
+        let software = result.error_of(&p, ProfilerId::Software, g);
+        assert!(
+            tip < software,
+            "TIP ({tip:.3}) must beat Software ({software:.3}) at instruction level"
+        );
+        assert!(
+            tip < 0.2,
+            "TIP error should be small on a simple loop, got {tip:.3}"
+        );
+    }
+
+    #[test]
+    fn sample_weights_cover_the_sampled_span() {
+        let p = simple_program();
+        let mut bank = ProfilerBank::new(&p, SamplerConfig::periodic(100), &[ProfilerId::Tip]);
+        let mut core = Core::new(&p, CoreConfig::default(), 3);
+        core.run(&mut bank, 1_000_000);
+        let result = bank.finish();
+        let samples = result.samples_of(ProfilerId::Tip);
+        let total_weight: f64 = samples.iter().map(|s| s.weight_cycles).sum();
+        let last_cycle = samples.last().expect("samples exist").cycle;
+        assert!((total_weight - (last_cycle as f64 + 1.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,340 @@
+//! Cycle categories and the commit-stage state machine shared by the Oracle
+//! and TIP.
+//!
+//! Every clock cycle the commit stage is in one of four states (Figure 3 of
+//! the paper): Computing, Stalled, Flushed, or Drained. The categories here
+//! refine those states into the seven cycle-stack components of Figure 7:
+//! Execution, ALU/Load/Store stall, Front-end, Mispredict, and Misc. flush.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tip_isa::{InstrAddr, InstrIdx, InstrKind};
+use tip_ooo::CycleRecord;
+
+/// The refined commit-stage cycle type (Figure 7's stack components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CycleCategory {
+    /// At least one instruction committed (State 1, Computing).
+    Execution = 0,
+    /// Stalled on a non-memory instruction at the ROB head.
+    AluStall = 1,
+    /// Stalled on a load at the ROB head.
+    LoadStall = 2,
+    /// Stalled on a store at the ROB head (store buffer full).
+    StoreStall = 3,
+    /// ROB drained because the front-end could not deliver (State 4).
+    FrontEnd = 4,
+    /// ROB empty after a branch misprediction (State 3).
+    Mispredict = 5,
+    /// ROB empty after a CSR flush or exception (State 3, misc.).
+    MiscFlush = 6,
+}
+
+/// Number of [`CycleCategory`] variants.
+pub const NUM_CATEGORIES: usize = 7;
+
+impl CycleCategory {
+    /// All categories in stack order (Execution at the bottom, as in
+    /// Figure 7).
+    pub const ALL: [CycleCategory; NUM_CATEGORIES] = [
+        CycleCategory::Execution,
+        CycleCategory::AluStall,
+        CycleCategory::LoadStall,
+        CycleCategory::StoreStall,
+        CycleCategory::FrontEnd,
+        CycleCategory::Mispredict,
+        CycleCategory::MiscFlush,
+    ];
+
+    /// The stall category for an instruction of `kind` blocking the ROB head.
+    #[must_use]
+    pub fn stall_for(kind: InstrKind) -> Self {
+        match kind {
+            InstrKind::Load => CycleCategory::LoadStall,
+            InstrKind::Store => CycleCategory::StoreStall,
+            _ => CycleCategory::AluStall,
+        }
+    }
+
+    /// The label used in figures and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleCategory::Execution => "Execution",
+            CycleCategory::AluStall => "ALU stall",
+            CycleCategory::LoadStall => "Load stall",
+            CycleCategory::StoreStall => "Store stall",
+            CycleCategory::FrontEnd => "Front-end",
+            CycleCategory::Mispredict => "Mispredict",
+            CycleCategory::MiscFlush => "Misc. flush",
+        }
+    }
+}
+
+impl fmt::Display for CycleCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The Offending Instruction Register: tracks the last-committed (or
+/// last-excepting) instruction and its flags, exactly as TIP's OIR-update
+/// unit does (Section 3.1). The Oracle uses the same state to attribute
+/// empty-ROB cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Oir {
+    /// The held instruction, if any commit/exception has occurred yet.
+    pub entry: Option<OirEntry>,
+}
+
+/// Contents of the OIR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OirEntry {
+    /// Address of the offending instruction.
+    pub addr: InstrAddr,
+    /// Static instruction index.
+    pub idx: InstrIdx,
+    /// It was a mispredicted branch.
+    pub mispredicted: bool,
+    /// It triggered a pipeline flush at commit.
+    pub flush: bool,
+    /// It raised an exception.
+    pub exception: bool,
+}
+
+impl Oir {
+    /// Updates the register from this cycle's record: latch the youngest
+    /// committing instruction with its flags, or the excepting instruction
+    /// when the core is not committing.
+    pub fn update(&mut self, record: &CycleRecord) {
+        if let Some(c) = record.youngest_committed() {
+            self.entry = Some(OirEntry {
+                addr: c.addr,
+                idx: c.idx,
+                mispredicted: c.mispredicted,
+                flush: c.flush,
+                exception: false,
+            });
+        } else if let Some((addr, idx)) = record.exception {
+            self.entry = Some(OirEntry {
+                addr,
+                idx,
+                mispredicted: false,
+                flush: false,
+                exception: true,
+            });
+        }
+    }
+
+    /// Whether the held instruction explains an empty ROB (any flush-ish
+    /// flag set).
+    #[must_use]
+    pub fn explains_flush(&self) -> bool {
+        self.entry
+            .is_some_and(|e| e.mispredicted || e.flush || e.exception)
+    }
+}
+
+/// The four fundamental commit-stage states plus the information needed to
+/// attribute the cycle (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitState {
+    /// One or more instructions committed: split the cycle 1/n ways.
+    Computing,
+    /// An unfinished instruction blocks the ROB head.
+    Stalled {
+        /// The blocking instruction.
+        idx: InstrIdx,
+        /// Its kind (selects the stall category).
+        kind: InstrKind,
+    },
+    /// The ROB is empty because of a misprediction, CSR flush, or exception;
+    /// the cycle belongs to the offending instruction.
+    Flushed {
+        /// The offending instruction.
+        idx: InstrIdx,
+        /// Refined category (Mispredict or MiscFlush).
+        category: CycleCategory,
+    },
+    /// The ROB is empty because the front-end is not delivering; the cycle
+    /// belongs to the next instruction to enter the ROB (resolved later).
+    Drained,
+    /// Before the first instruction ever dispatched (cold start) there is no
+    /// instruction to blame yet; treated as front-end time pending the first
+    /// dispatch.
+    ColdStart,
+}
+
+/// Classifies one cycle. `oir` must reflect state *before* this record (call
+/// [`Oir::update`] after classification), except that an exception firing in
+/// this very record takes precedence, mirroring TIP's sample-selection unit.
+#[must_use]
+pub fn classify(record: &CycleRecord, oir: &Oir) -> CommitState {
+    if record.is_committing() {
+        return CommitState::Computing;
+    }
+    if let Some(head) = &record.head {
+        return CommitState::Stalled {
+            idx: head.idx,
+            kind: head.kind,
+        };
+    }
+    // Empty ROB: exception this cycle, else consult the OIR.
+    if let Some((_, idx)) = record.exception {
+        return CommitState::Flushed {
+            idx,
+            category: CycleCategory::MiscFlush,
+        };
+    }
+    match oir.entry {
+        Some(e) if e.mispredicted => CommitState::Flushed {
+            idx: e.idx,
+            category: CycleCategory::Mispredict,
+        },
+        Some(e) if e.flush || e.exception => CommitState::Flushed {
+            idx: e.idx,
+            category: CycleCategory::MiscFlush,
+        },
+        Some(_) => CommitState::Drained,
+        None => CommitState::ColdStart,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_ooo::{CommitView, HeadView};
+
+    fn commit_record(cycle: u64, flush: bool, mispredicted: bool) -> CycleRecord {
+        let mut r = CycleRecord::empty(cycle);
+        r.committed[0] = Some(CommitView {
+            addr: InstrAddr::new(0x1000),
+            idx: InstrIdx::new(0),
+            kind: InstrKind::IntAlu,
+            mispredicted,
+            flush,
+        });
+        r.n_committed = 1;
+        r.rob_len = 1;
+        r
+    }
+
+    #[test]
+    fn committing_is_computing() {
+        let r = commit_record(0, false, false);
+        assert_eq!(classify(&r, &Oir::default()), CommitState::Computing);
+    }
+
+    #[test]
+    fn head_blocks_means_stalled() {
+        let mut r = CycleRecord::empty(1);
+        r.rob_len = 3;
+        r.head = Some(HeadView {
+            addr: InstrAddr::new(0x2000),
+            idx: InstrIdx::new(5),
+            kind: InstrKind::Load,
+            executed: false,
+        });
+        let st = classify(&r, &Oir::default());
+        assert_eq!(
+            st,
+            CommitState::Stalled {
+                idx: InstrIdx::new(5),
+                kind: InstrKind::Load
+            }
+        );
+    }
+
+    #[test]
+    fn empty_after_mispredict_is_flushed() {
+        let mut oir = Oir::default();
+        oir.update(&commit_record(0, false, true));
+        let empty = CycleRecord::empty(1);
+        assert_eq!(
+            classify(&empty, &oir),
+            CommitState::Flushed {
+                idx: InstrIdx::new(0),
+                category: CycleCategory::Mispredict
+            }
+        );
+    }
+
+    #[test]
+    fn empty_after_csr_flush_is_misc_flush() {
+        let mut oir = Oir::default();
+        oir.update(&commit_record(0, true, false));
+        let empty = CycleRecord::empty(1);
+        assert_eq!(
+            classify(&empty, &oir),
+            CommitState::Flushed {
+                idx: InstrIdx::new(0),
+                category: CycleCategory::MiscFlush
+            }
+        );
+    }
+
+    #[test]
+    fn empty_after_plain_commit_is_drained() {
+        let mut oir = Oir::default();
+        oir.update(&commit_record(0, false, false));
+        let empty = CycleRecord::empty(1);
+        assert_eq!(classify(&empty, &oir), CommitState::Drained);
+    }
+
+    #[test]
+    fn exception_takes_precedence_and_latches() {
+        let mut oir = Oir::default();
+        oir.update(&commit_record(0, false, false));
+        let mut r = CycleRecord::empty(1);
+        r.exception = Some((InstrAddr::new(0x3000), InstrIdx::new(9)));
+        assert_eq!(
+            classify(&r, &oir),
+            CommitState::Flushed {
+                idx: InstrIdx::new(9),
+                category: CycleCategory::MiscFlush
+            }
+        );
+        oir.update(&r);
+        let empty = CycleRecord::empty(2);
+        assert_eq!(
+            classify(&empty, &oir),
+            CommitState::Flushed {
+                idx: InstrIdx::new(9),
+                category: CycleCategory::MiscFlush
+            }
+        );
+    }
+
+    #[test]
+    fn cold_start_before_any_commit() {
+        let empty = CycleRecord::empty(0);
+        assert_eq!(classify(&empty, &Oir::default()), CommitState::ColdStart);
+    }
+
+    #[test]
+    fn stall_categories_by_kind() {
+        assert_eq!(
+            CycleCategory::stall_for(InstrKind::Load),
+            CycleCategory::LoadStall
+        );
+        assert_eq!(
+            CycleCategory::stall_for(InstrKind::Store),
+            CycleCategory::StoreStall
+        );
+        assert_eq!(
+            CycleCategory::stall_for(InstrKind::FpDiv),
+            CycleCategory::AluStall
+        );
+        assert_eq!(
+            CycleCategory::stall_for(InstrKind::CsrFlush),
+            CycleCategory::AluStall
+        );
+    }
+
+    #[test]
+    fn all_categories_have_unique_labels() {
+        let labels: std::collections::HashSet<_> =
+            CycleCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), NUM_CATEGORIES);
+    }
+}

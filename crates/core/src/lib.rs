@@ -1,0 +1,75 @@
+//! The primary contribution of *TIP: Time-Proportional Instruction
+//! Profiling* (MICRO 2021), reimplemented as a library.
+//!
+//! Performance profilers attribute execution time to instructions. This
+//! crate implements the paper's full profiling stack over the commit-stage
+//! trace produced by the `tip-ooo` simulator:
+//!
+//! - the **Oracle** golden reference ([`OracleProfiler`]): every cycle is
+//!   attributed to the instruction(s) whose latency the processor exposes —
+//!   1/n to each of n co-committing instructions, stalls to the ROB head,
+//!   flushes to the offending instruction, drains to the first instruction
+//!   entering the ROB afterwards;
+//! - **TIP** ([`profilers::Tip`]): the same attribution policies applied at
+//!   sampled cycles through a faithful model of the paper's hardware unit
+//!   (OIR + sample-selection + CSRs, [`profilers::TipRegisters`]);
+//! - the heuristics used by real hardware: Software/perf skid, AMD-IBS-style
+//!   Dispatch tagging, CoreSight-style LCI, and Intel-PEBS-style NCI, plus
+//!   the NCI+ILP and TIP-ILP ablations;
+//! - shared **sampling schedules** ([`SamplerConfig`]) so every profiler
+//!   samples the same cycles (isolating systematic error);
+//! - **profiles and the error metric** ([`Profile`]):
+//!   `e = (c_total − c_correct)/c_total` at instruction, basic-block, or
+//!   function granularity;
+//! - **cycle stacks** ([`CycleStack`]) and per-symbol time breakdowns;
+//! - the **overhead models** of Section 3.2 ([`overhead`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
+//! use tip_isa::{Granularity, Instr, ProgramBuilder, BranchBehavior};
+//! use tip_ooo::{Core, CoreConfig};
+//!
+//! # fn main() -> Result<(), tip_isa::BuildError> {
+//! let mut b = ProgramBuilder::named("demo");
+//! let main = b.function("main");
+//! let body = b.block(main);
+//! b.push(body, Instr::int_alu(None, [None, None]));
+//! b.push(body, Instr::branch(body, BranchBehavior::Loop { taken_iters: 10_000 }));
+//! let exit = b.block(main);
+//! b.push(exit, Instr::halt());
+//! let program = b.build()?;
+//!
+//! // A prime interval avoids aliasing with the loop's commit pattern
+//! // (the paper's Figure 11b phenomenon).
+//! let mut bank = ProfilerBank::new(&program, SamplerConfig::periodic(97), &[ProfilerId::Tip]);
+//! let mut core = Core::new(&program, CoreConfig::default(), 42);
+//! core.run(&mut bank, 1_000_000);
+//! let result = bank.finish();
+//! let error = result.error_of(&program, ProfilerId::Tip, Granularity::Instruction);
+//! assert!(error < 0.10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bank;
+mod category;
+mod oracle;
+mod profile;
+pub mod profilers;
+mod sample;
+mod sampler;
+
+pub mod overhead;
+
+pub use bank::{BankResult, ProfilerBank};
+pub use category::{classify, CommitState, CycleCategory, Oir, OirEntry, NUM_CATEGORIES};
+pub use oracle::{sampled_symbol_stacks, CycleStack, OracleProfiler, OracleResult};
+pub use profile::Profile;
+pub use profilers::{ProfilerId, SampledProfiler};
+pub use sample::Sample;
+pub use sampler::{SampleSchedule, SamplerConfig, SamplingMode};

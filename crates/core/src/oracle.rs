@@ -1,0 +1,417 @@
+//! The Oracle profiler: the golden reference for performance profiling.
+//!
+//! Oracle is time-proportional by construction: it accounts *every* clock
+//! cycle to the instruction(s) whose latency the processor exposes in that
+//! cycle (Section 2.2 of the paper):
+//!
+//! - **Computing**: 1/n of the cycle to each of the n committing
+//!   instructions,
+//! - **Stalled**: the full cycle to the instruction blocking the ROB head,
+//! - **Flushed**: the full cycle to the instruction that emptied the ROB
+//!   (mispredicted branch, CSR flush, or excepting instruction),
+//! - **Drained**: the full cycle to the first instruction to enter the ROB
+//!   after the front-end stall.
+//!
+//! It also produces the commit-stage cycle stacks of Figure 7 and the
+//! per-function time breakdowns of Figure 13, since it knows the exact
+//! category of every cycle.
+
+use crate::category::{classify, CommitState, CycleCategory, Oir, NUM_CATEGORIES};
+use crate::profile::Profile;
+use serde::{Deserialize, Serialize};
+use tip_isa::{Granularity, InstrIdx, Program, SymbolId};
+use tip_ooo::{CycleRecord, TraceSink};
+
+/// Per-category cycle totals (a cycle stack).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleStack {
+    totals: [f64; NUM_CATEGORIES],
+}
+
+impl CycleStack {
+    /// Cycles in `category`.
+    #[must_use]
+    pub fn get(&self, category: CycleCategory) -> f64 {
+        self.totals[category as usize]
+    }
+
+    /// Adds cycles to a category.
+    pub fn add(&mut self, category: CycleCategory, cycles: f64) {
+        self.totals[category as usize] += cycles;
+    }
+
+    /// Total cycles across categories.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.totals.iter().sum()
+    }
+
+    /// The stack normalized to fractions (zeros if empty).
+    #[must_use]
+    pub fn normalized(&self) -> [f64; NUM_CATEGORIES] {
+        let t = self.total();
+        if t <= 0.0 {
+            return [0.0; NUM_CATEGORIES];
+        }
+        let mut out = self.totals;
+        for x in &mut out {
+            *x /= t;
+        }
+        out
+    }
+}
+
+/// The completed output of an Oracle run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleResult {
+    /// Cycles attributed to each static instruction.
+    per_instr: Vec<f64>,
+    /// Per-instruction, per-category cycles (drives Figures 7, 12, 13).
+    per_instr_category: Vec<[f64; NUM_CATEGORIES]>,
+    /// Total cycles observed.
+    total_cycles: u64,
+}
+
+impl OracleResult {
+    /// Cycles attributed to each instruction, indexed by instruction index.
+    #[must_use]
+    pub fn per_instr(&self) -> &[f64] {
+        &self.per_instr
+    }
+
+    /// Total cycles accounted.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// The Oracle profile at `granularity`.
+    #[must_use]
+    pub fn profile(&self, program: &Program, granularity: Granularity) -> Profile {
+        Profile::from_instr_cycles(&self.per_instr, &program.symbol_map(granularity))
+    }
+
+    /// The whole-program cycle stack (Figure 7).
+    #[must_use]
+    pub fn cycle_stack(&self) -> CycleStack {
+        let mut stack = CycleStack::default();
+        for per_cat in &self.per_instr_category {
+            for (i, &cycles) in per_cat.iter().enumerate() {
+                stack.totals[i] += cycles;
+            }
+        }
+        stack
+    }
+
+    /// The cycle stack restricted to one symbol at `granularity`
+    /// (Figure 13's per-function time breakdown).
+    #[must_use]
+    pub fn symbol_stack(
+        &self,
+        program: &Program,
+        granularity: Granularity,
+        symbol: SymbolId,
+    ) -> CycleStack {
+        let mut stack = CycleStack::default();
+        for (i, per_cat) in self.per_instr_category.iter().enumerate() {
+            if program.symbol_of(InstrIdx::new(i as u32), granularity) == symbol {
+                for (c, &cycles) in per_cat.iter().enumerate() {
+                    stack.totals[c] += cycles;
+                }
+            }
+        }
+        stack
+    }
+
+    /// Per-instruction cycles within one category.
+    #[must_use]
+    pub fn per_instr_in_category(&self, category: CycleCategory) -> Vec<f64> {
+        self.per_instr_category
+            .iter()
+            .map(|c| c[category as usize])
+            .collect()
+    }
+}
+
+/// The Oracle profiler: attach as a [`TraceSink`] (usually via
+/// [`crate::ProfilerBank`]), then call [`finish`](OracleProfiler::finish).
+#[derive(Debug, Clone)]
+pub struct OracleProfiler {
+    per_instr: Vec<f64>,
+    per_instr_category: Vec<[f64; NUM_CATEGORIES]>,
+    oir: Oir,
+    /// Cycles waiting for the first instruction to enter the ROB (Drained
+    /// state, plus cold start).
+    pending_drained: f64,
+    total_cycles: u64,
+}
+
+impl OracleProfiler {
+    /// Creates an Oracle for a program with `num_instrs` static instructions.
+    #[must_use]
+    pub fn new(num_instrs: usize) -> Self {
+        OracleProfiler {
+            per_instr: vec![0.0; num_instrs],
+            per_instr_category: vec![[0.0; NUM_CATEGORIES]; num_instrs],
+            oir: Oir::default(),
+            pending_drained: 0.0,
+            total_cycles: 0,
+        }
+    }
+
+    fn attribute(&mut self, idx: InstrIdx, category: CycleCategory, cycles: f64) {
+        self.per_instr[idx.index()] += cycles;
+        self.per_instr_category[idx.index()][category as usize] += cycles;
+    }
+
+    /// Resolves pending drained cycles onto the first instruction that
+    /// entered the ROB.
+    fn resolve_drained(&mut self, idx: InstrIdx) {
+        if self.pending_drained > 0.0 {
+            let cycles = std::mem::take(&mut self.pending_drained);
+            self.attribute(idx, CycleCategory::FrontEnd, cycles);
+        }
+    }
+
+    /// Consumes the profiler, producing the result. Unresolved drained
+    /// cycles at the very end of the run are dropped (there is no
+    /// instruction to blame).
+    #[must_use]
+    pub fn finish(self) -> OracleResult {
+        OracleResult {
+            per_instr: self.per_instr,
+            per_instr_category: self.per_instr_category,
+            total_cycles: self.total_cycles,
+        }
+    }
+}
+
+impl TraceSink for OracleProfiler {
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        self.total_cycles += 1;
+        match classify(record, &self.oir) {
+            CommitState::Computing => {
+                // The first committing instruction also resolves any drain
+                // (it was the first to enter the ROB). This only happens when
+                // dispatch-to-commit happened faster than a record boundary.
+                if let Some(first) = record.committed_iter().next() {
+                    let first_idx = first.idx;
+                    self.resolve_drained(first_idx);
+                }
+                let n = record.n_committed as f64;
+                // Collect indices first to appease the borrow checker.
+                let mut idxs = [InstrIdx::new(0); tip_ooo::MAX_COMMIT];
+                for (i, c) in record.committed_iter().enumerate() {
+                    idxs[i] = c.idx;
+                }
+                for &idx in idxs.iter().take(record.n_committed as usize) {
+                    self.attribute(idx, CycleCategory::Execution, 1.0 / n);
+                }
+            }
+            CommitState::Stalled { idx, kind } => {
+                self.resolve_drained(idx);
+                self.attribute(idx, CycleCategory::stall_for(kind), 1.0);
+            }
+            CommitState::Flushed { idx, category } => {
+                self.attribute(idx, category, 1.0);
+            }
+            CommitState::Drained | CommitState::ColdStart => {
+                self.pending_drained += 1.0;
+            }
+        }
+        self.oir.update(record);
+    }
+}
+
+/// Builds per-symbol cycle stacks from *sampled* data (TIP's category-labelled
+/// samples), the way perf post-processing would — Section 3.1's "combining
+/// the status flags with analysis of the application binary".
+///
+/// Returns one [`CycleStack`] per symbol at the map's granularity. Samples
+/// without a category (profilers other than TIP) are ignored.
+#[must_use]
+pub fn sampled_symbol_stacks(
+    samples: &[crate::sample::Sample],
+    map: &tip_isa::SymbolMap,
+) -> Vec<CycleStack> {
+    let mut stacks = vec![CycleStack::default(); map.num_symbols()];
+    for s in samples {
+        let Some(category) = s.category else { continue };
+        for &(idx, frac) in &s.targets {
+            stacks[map.symbol(idx).0 as usize].add(category, s.weight_cycles * frac);
+        }
+    }
+    stacks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_isa::{InstrAddr, InstrKind};
+    use tip_ooo::{CommitView, HeadView};
+
+    fn commit(cycle: u64, idxs: &[u32]) -> CycleRecord {
+        let mut r = CycleRecord::empty(cycle);
+        for (i, &idx) in idxs.iter().enumerate() {
+            r.committed[i] = Some(CommitView {
+                addr: InstrAddr::new(0x1000 + 4 * u64::from(idx)),
+                idx: InstrIdx::new(idx),
+                kind: InstrKind::IntAlu,
+                mispredicted: false,
+                flush: false,
+            });
+        }
+        r.n_committed = idxs.len() as u8;
+        r.rob_len = 0;
+        r
+    }
+
+    fn stalled(cycle: u64, idx: u32, kind: InstrKind) -> CycleRecord {
+        let mut r = CycleRecord::empty(cycle);
+        r.rob_len = 4;
+        r.head = Some(HeadView {
+            addr: InstrAddr::new(0x1000 + 4 * u64::from(idx)),
+            idx: InstrIdx::new(idx),
+            kind,
+            executed: false,
+        });
+        r
+    }
+
+    #[test]
+    fn computing_splits_cycle_across_committers() {
+        let mut o = OracleProfiler::new(4);
+        o.on_cycle(&commit(0, &[0, 1]));
+        o.on_cycle(&commit(1, &[2]));
+        let r = o.finish();
+        assert!((r.per_instr()[0] - 0.5).abs() < 1e-12);
+        assert!((r.per_instr()[1] - 0.5).abs() < 1e-12);
+        assert!((r.per_instr()[2] - 1.0).abs() < 1e-12);
+        assert_eq!(r.total_cycles(), 2);
+        let stack = r.cycle_stack();
+        assert!((stack.get(CycleCategory::Execution) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_goes_to_head_instruction() {
+        let mut o = OracleProfiler::new(4);
+        o.on_cycle(&commit(0, &[0]));
+        for c in 1..=40 {
+            o.on_cycle(&stalled(c, 1, InstrKind::Load));
+        }
+        o.on_cycle(&commit(41, &[1, 2]));
+        let r = o.finish();
+        assert!(
+            (r.per_instr()[1] - 40.5).abs() < 1e-12,
+            "40 stall + 0.5 commit"
+        );
+        let stack = r.cycle_stack();
+        assert!((stack.get(CycleCategory::LoadStall) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_cycles_go_to_mispredicted_branch() {
+        // Mirrors Figure 4c: branch commits (with mispredict flag), ROB
+        // empty 4 cycles, then the target stalls one cycle and commits.
+        let mut o = OracleProfiler::new(8);
+        let mut r = commit(0, &[0]);
+        r.committed[1] = Some(CommitView {
+            addr: InstrAddr::new(0x1004),
+            idx: InstrIdx::new(1),
+            kind: InstrKind::Branch,
+            mispredicted: true,
+            flush: false,
+        });
+        r.n_committed = 2;
+        o.on_cycle(&r);
+        for c in 1..=4 {
+            o.on_cycle(&CycleRecord::empty(c));
+        }
+        o.on_cycle(&stalled(5, 4, InstrKind::IntAlu));
+        o.on_cycle(&commit(6, &[4]));
+        let r = o.finish();
+        assert!(
+            (r.per_instr()[1] - 4.5).abs() < 1e-12,
+            "0.5 commit + 4 flush cycles"
+        );
+        assert!((r.per_instr()[4] - 2.0).abs() < 1e-12, "1 stall + 1 commit");
+        let stack = r.cycle_stack();
+        assert!((stack.get(CycleCategory::Mispredict) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drained_cycles_go_to_first_entering_instruction() {
+        // Mirrors Figure 4d: I1, I2 commit; ROB empty for 3 cycles due to an
+        // I-cache miss; I3 then stalls at the head and commits.
+        let mut o = OracleProfiler::new(8);
+        o.on_cycle(&commit(0, &[1, 2]));
+        for c in 1..=3 {
+            o.on_cycle(&CycleRecord::empty(c));
+        }
+        o.on_cycle(&stalled(4, 3, InstrKind::IntAlu));
+        o.on_cycle(&commit(5, &[3]));
+        let r = o.finish();
+        assert!(
+            (r.per_instr()[3] - 5.0).abs() < 1e-12,
+            "3 drain + 1 stall + 1 commit"
+        );
+        let stack = r.cycle_stack();
+        assert!((stack.get(CycleCategory::FrontEnd) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exception_cycles_go_to_faulting_load() {
+        let mut o = OracleProfiler::new(8);
+        o.on_cycle(&commit(0, &[0]));
+        // Exception fires (ROB squashed).
+        let mut r = CycleRecord::empty(1);
+        r.exception = Some((InstrAddr::new(0x1008), InstrIdx::new(2)));
+        o.on_cycle(&r);
+        // Handler not yet dispatched.
+        o.on_cycle(&CycleRecord::empty(2));
+        o.on_cycle(&CycleRecord::empty(3));
+        // Handler dispatches and stalls.
+        o.on_cycle(&stalled(4, 5, InstrKind::IntAlu));
+        let r = o.finish();
+        assert!(
+            (r.per_instr()[2] - 3.0).abs() < 1e-12,
+            "exception + empty cycles"
+        );
+        let stack = r.cycle_stack();
+        assert!((stack.get(CycleCategory::MiscFlush) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_cycle_is_accounted() {
+        // Accounting conservation: attributed + pending == total.
+        let mut o = OracleProfiler::new(8);
+        o.on_cycle(&commit(0, &[0, 1, 2, 3]));
+        o.on_cycle(&stalled(1, 4, InstrKind::Store));
+        o.on_cycle(&CycleRecord::empty(2)); // drained
+        o.on_cycle(&stalled(3, 5, InstrKind::IntAlu)); // resolves drain
+        let r = o.finish();
+        let attributed: f64 = r.per_instr().iter().sum();
+        assert!((attributed - 4.0).abs() < 1e-12);
+        assert_eq!(r.total_cycles(), 4);
+    }
+
+    #[test]
+    fn csr_flush_is_misc_flush_category() {
+        let mut o = OracleProfiler::new(4);
+        let mut r = CycleRecord::empty(0);
+        r.committed[0] = Some(CommitView {
+            addr: InstrAddr::new(0x1000),
+            idx: InstrIdx::new(0),
+            kind: InstrKind::CsrFlush,
+            mispredicted: false,
+            flush: true,
+        });
+        r.n_committed = 1;
+        o.on_cycle(&r);
+        o.on_cycle(&CycleRecord::empty(1));
+        o.on_cycle(&CycleRecord::empty(2));
+        let res = o.finish();
+        assert!((res.per_instr()[0] - 3.0).abs() < 1e-12);
+        assert!((res.cycle_stack().get(CycleCategory::MiscFlush) - 2.0).abs() < 1e-12);
+    }
+}

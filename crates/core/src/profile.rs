@@ -1,0 +1,294 @@
+//! Performance profiles and the profile-error metric.
+//!
+//! A [`Profile`] attributes execution time (cycles) to symbols at one
+//! granularity. The error metric follows Section 4 of the paper: relate the
+//! cycles a practical profiler attributes to the *correct* symbols (as
+//! determined by the Oracle) to total cycles:
+//! `e = (c_total - c_correct) / c_total`. With both profiles normalized,
+//! `c_correct/c_total` is the overlap `Σ_s min(p(s), o(s))`, so the error is
+//! one minus the profile overlap — 0% when the practical profile matches the
+//! Oracle exactly, 100% when every cycle lands on the wrong symbol.
+
+use crate::sample::Sample;
+use serde::{Deserialize, Serialize};
+use tip_isa::{Granularity, Program, SymbolId, SymbolMap};
+
+/// A performance profile: cycles attributed per symbol at one granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    granularity: Granularity,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl Profile {
+    /// An all-zero profile with `num_symbols` symbols.
+    #[must_use]
+    pub fn zeroed(granularity: Granularity, num_symbols: usize) -> Self {
+        Profile {
+            granularity,
+            weights: vec![0.0; num_symbols],
+            total: 0.0,
+        }
+    }
+
+    /// Builds a profile from per-instruction cycle counts (the Oracle's
+    /// native output) at the map's granularity.
+    #[must_use]
+    pub fn from_instr_cycles(per_instr: &[f64], map: &SymbolMap) -> Self {
+        let mut p = Profile::zeroed(map.granularity(), map.num_symbols());
+        for (i, &cycles) in per_instr.iter().enumerate() {
+            if cycles > 0.0 {
+                p.add(map.symbol(tip_isa::InstrIdx::new(i as u32)), cycles);
+            }
+        }
+        p
+    }
+
+    /// Builds a profile from resolved samples. Each sample stands for the
+    /// time period since the previous sample (its `weight_cycles`), split
+    /// across its attributed instructions.
+    #[must_use]
+    pub fn from_samples(samples: &[Sample], map: &SymbolMap) -> Self {
+        let mut p = Profile::zeroed(map.granularity(), map.num_symbols());
+        for s in samples {
+            for &(idx, frac) in &s.targets {
+                p.add(map.symbol(idx), s.weight_cycles * frac);
+            }
+        }
+        p
+    }
+
+    /// Adds `cycles` to `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn add(&mut self, symbol: SymbolId, cycles: f64) {
+        self.weights[symbol.0 as usize] += cycles;
+        self.total += cycles;
+    }
+
+    /// The granularity this profile is expressed at.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Total attributed cycles.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The raw attributed cycles per symbol.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fraction of total time attributed to `symbol` (0 if the profile is
+    /// empty).
+    #[must_use]
+    pub fn share(&self, symbol: SymbolId) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            self.weights[symbol.0 as usize] / self.total
+        }
+    }
+
+    /// Symbols ordered by descending attributed time, with their shares.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<(SymbolId, f64)> {
+        let mut v: Vec<(SymbolId, f64)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(i, _)| (SymbolId(i as u32), self.share(SymbolId(i as u32))))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+        v
+    }
+
+    /// The profile error of `self` measured against the golden `oracle`
+    /// profile: `e = 1 - Σ_s min(p(s), o(s))` over normalized profiles.
+    ///
+    /// Returns 1.0 (100% error) if either profile is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles have different granularities or symbol counts.
+    #[must_use]
+    pub fn error_vs(&self, oracle: &Profile) -> f64 {
+        assert_eq!(self.granularity, oracle.granularity, "granularity mismatch");
+        assert_eq!(
+            self.weights.len(),
+            oracle.weights.len(),
+            "symbol-count mismatch"
+        );
+        if self.total <= 0.0 || oracle.total <= 0.0 {
+            return 1.0;
+        }
+        let overlap: f64 = self
+            .weights
+            .iter()
+            .zip(&oracle.weights)
+            .map(|(&p, &o)| (p / self.total).min(o / oracle.total))
+            .sum();
+        (1.0 - overlap).clamp(0.0, 1.0)
+    }
+
+    /// A copy of the profile keeping only symbols for which `keep` returns
+    /// true (everything else is dropped and the total shrinks accordingly).
+    ///
+    /// The paper's methodology only includes samples that hit application
+    /// code, excluding OS/handler time (Section 4); filter with a predicate
+    /// over function symbols to do the same:
+    ///
+    /// ```
+    /// # use tip_core::Profile;
+    /// # use tip_isa::{Granularity, SymbolId};
+    /// let mut p = Profile::zeroed(Granularity::Function, 3);
+    /// p.add(SymbolId(0), 10.0); // application code
+    /// p.add(SymbolId(2), 5.0);  // kernel handler
+    /// let app_only = p.retain(|sym| sym.0 != 2);
+    /// assert_eq!(app_only.total(), 10.0);
+    /// ```
+    #[must_use]
+    pub fn retain(&self, keep: impl Fn(SymbolId) -> bool) -> Profile {
+        let mut out = Profile::zeroed(self.granularity, self.weights.len());
+        for (i, &w) in self.weights.iter().enumerate() {
+            let sym = SymbolId(i as u32);
+            if w > 0.0 && keep(sym) {
+                out.add(sym, w);
+            }
+        }
+        out
+    }
+
+    /// Renders the top `n` symbols with names from `program` (for reports).
+    #[must_use]
+    pub fn top_table(&self, program: &Program, n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (sym, share) in self.ranked().into_iter().take(n) {
+            let _ = writeln!(
+                out,
+                "{:>7.3}%  {}",
+                share * 100.0,
+                program.symbol_name(self.granularity, sym)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_isa::InstrIdx;
+
+    fn p(g: Granularity, w: &[f64]) -> Profile {
+        let mut prof = Profile::zeroed(g, w.len());
+        for (i, &x) in w.iter().enumerate() {
+            if x != 0.0 {
+                prof.add(SymbolId(i as u32), x);
+            }
+        }
+        prof
+    }
+
+    #[test]
+    fn identical_profiles_have_zero_error() {
+        let a = p(Granularity::Function, &[3.0, 1.0, 6.0]);
+        assert!(a.error_vs(&a) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_profiles_have_full_error() {
+        let a = p(Granularity::Function, &[1.0, 0.0]);
+        let b = p(Granularity::Function, &[0.0, 1.0]);
+        assert!((a.error_vs(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_is_half_l1_distance() {
+        // p = (0.75, 0.25), o = (0.25, 0.75): overlap = 0.5, error = 0.5.
+        let a = p(Granularity::BasicBlock, &[3.0, 1.0]);
+        let b = p(Granularity::BasicBlock, &[1.0, 3.0]);
+        assert!((a.error_vs(&b) - 0.5).abs() < 1e-12);
+        // Error is symmetric for normalized profiles.
+        assert!((b.error_vs(&a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_does_not_change_error() {
+        let a = p(Granularity::Instruction, &[2.0, 2.0, 4.0]);
+        let b = p(Granularity::Instruction, &[20.0, 20.0, 40.0]);
+        assert!(a.error_vs(&b) < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_all_error() {
+        let a = p(Granularity::Function, &[0.0, 0.0]);
+        let b = p(Granularity::Function, &[1.0, 0.0]);
+        assert_eq!(a.error_vs(&b), 1.0);
+        assert_eq!(b.error_vs(&a), 1.0);
+    }
+
+    #[test]
+    fn from_samples_weights_by_interval() {
+        use crate::sample::Sample;
+        let mut builder = tip_isa::ProgramBuilder::new();
+        let f = builder.function("main");
+        let blk = builder.block(f);
+        for _ in 0..3 {
+            builder.push(blk, tip_isa::Instr::nop());
+        }
+        builder.push(blk, tip_isa::Instr::halt());
+        let program = builder.build().expect("valid");
+        let map = program.symbol_map(Granularity::Instruction);
+
+        let samples = vec![
+            Sample {
+                cycle: 100,
+                weight_cycles: 100.0,
+                targets: vec![(InstrIdx::new(0), 1.0)],
+                category: None,
+            },
+            Sample {
+                cycle: 200,
+                weight_cycles: 100.0,
+                targets: vec![(InstrIdx::new(1), 0.5), (InstrIdx::new(2), 0.5)],
+                category: None,
+            },
+        ];
+        let prof = Profile::from_samples(&samples, &map);
+        assert!((prof.total() - 200.0).abs() < 1e-9);
+        assert!((prof.share(SymbolId(0)) - 0.5).abs() < 1e-12);
+        assert!((prof.share(SymbolId(1)) - 0.25).abs() < 1e-12);
+        assert!((prof.share(SymbolId(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retain_drops_filtered_symbols_and_rescales_shares() {
+        let prof = p(Granularity::Function, &[6.0, 0.0, 3.0, 1.0]);
+        let kept = prof.retain(|sym| sym.0 != 3);
+        assert!((kept.total() - 9.0).abs() < 1e-12);
+        assert!((kept.share(SymbolId(0)) - 6.0 / 9.0).abs() < 1e-12);
+        assert_eq!(kept.weights()[3], 0.0);
+        // Error against a same-filtered oracle is well-defined.
+        assert!(kept.error_vs(&kept) < 1e-12);
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let a = p(Granularity::Function, &[1.0, 5.0, 3.0]);
+        let r = a.ranked();
+        assert_eq!(r[0].0, SymbolId(1));
+        assert_eq!(r[1].0, SymbolId(2));
+        assert_eq!(r[2].0, SymbolId(0));
+    }
+}

@@ -1,0 +1,133 @@
+//! The sampled profilers evaluated in the paper.
+//!
+//! All profilers observe the same per-cycle commit-stage trace and are
+//! triggered on the same sample cycles (by [`crate::ProfilerBank`]), so any
+//! difference between their profiles is *systematic* attribution error —
+//! the paper's methodology (Section 4).
+
+mod simple;
+mod tip;
+
+pub use simple::{Dispatch, Lci, Nci, Software};
+pub use tip::{DrainedPolicy, Tip, TipFlags, TipRegisters};
+
+use crate::sample::Sample;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tip_ooo::CycleRecord;
+
+/// A statistical profiler driven by the commit-stage trace.
+///
+/// Implementations keep whatever running state their hardware would (e.g.
+/// LCI's last-committed register, TIP's OIR) by observing every cycle, and
+/// produce a [`Sample`] for every sampled cycle — possibly later, when the
+/// needed event occurs (NCI waits for the next commit, TIP's Front-end state
+/// waits for the next dispatch).
+pub trait SampledProfiler {
+    /// Observes one cycle; `sampled` marks sample cycles.
+    fn observe(&mut self, record: &CycleRecord, sampled: bool);
+
+    /// Takes the samples resolved so far (in trigger order).
+    fn drain_samples(&mut self) -> Vec<Sample>;
+}
+
+/// Identifies one of the evaluated profiling strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProfilerId {
+    /// Interrupt-based profiling (Linux perf without hardware support):
+    /// samples the instruction the front-end is fetching — skid.
+    Software,
+    /// Tag-at-dispatch (AMD IBS, Arm SPE, ProfileMe).
+    Dispatch,
+    /// Last-Committed Instruction (Arm CoreSight-style external monitors).
+    Lci,
+    /// Next-Committing Instruction (Intel PEBS).
+    Nci,
+    /// NCI made commit-parallelism-aware (the Figure 11c ablation).
+    NciIlp,
+    /// TIP without ILP accounting (the paper's TIP-ILP ablation).
+    TipIlp,
+    /// Time-Proportional Instruction Profiling (the paper's proposal).
+    Tip,
+    /// TIP with the Drained-state write-enable trick disabled: front-end
+    /// samples blame the last-committed instruction instead of the first
+    /// dispatched one (an ablation of the paper's design; not in
+    /// [`ProfilerId::ALL`]).
+    TipLastCommitDrain,
+}
+
+impl ProfilerId {
+    /// All strategies in the order the paper's figures list them.
+    pub const ALL: [ProfilerId; 7] = [
+        ProfilerId::Software,
+        ProfilerId::Dispatch,
+        ProfilerId::Lci,
+        ProfilerId::Nci,
+        ProfilerId::NciIlp,
+        ProfilerId::TipIlp,
+        ProfilerId::Tip,
+    ];
+
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProfilerId::Software => "Software",
+            ProfilerId::Dispatch => "Dispatch",
+            ProfilerId::Lci => "LCI",
+            ProfilerId::Nci => "NCI",
+            ProfilerId::NciIlp => "NCI+ILP",
+            ProfilerId::TipIlp => "TIP-ILP",
+            ProfilerId::Tip => "TIP",
+            ProfilerId::TipLastCommitDrain => "TIP-noWE",
+        }
+    }
+
+    /// Builds a fresh profiler of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn SampledProfiler> {
+        match self {
+            ProfilerId::Software => Box::new(Software::new()),
+            ProfilerId::Dispatch => Box::new(Dispatch::new()),
+            ProfilerId::Lci => Box::new(Lci::new()),
+            ProfilerId::Nci => Box::new(Nci::new(false)),
+            ProfilerId::NciIlp => Box::new(Nci::new(true)),
+            ProfilerId::TipIlp => Box::new(Tip::new(false)),
+            ProfilerId::Tip => Box::new(Tip::new(true)),
+            ProfilerId::TipLastCommitDrain => {
+                Box::new(Tip::new(true).with_drained_policy(DrainedPolicy::LastCommitted))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProfilerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ProfilerId::Tip.label(), "TIP");
+        assert_eq!(ProfilerId::TipIlp.label(), "TIP-ILP");
+        assert_eq!(ProfilerId::NciIlp.label(), "NCI+ILP");
+        assert_eq!(ProfilerId::ALL.len(), 7);
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        for id in ProfilerId::ALL
+            .into_iter()
+            .chain([ProfilerId::TipLastCommitDrain])
+        {
+            let mut p = id.build();
+            p.observe(&CycleRecord::empty(0), false);
+            assert!(p.drain_samples().is_empty());
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The heuristic profilers of existing hardware: Software (interrupt skid),
+//! Dispatch tagging (AMD IBS / Arm SPE), LCI (external monitors), and NCI
+//! (Intel PEBS) with its commit-parallelism-aware variant.
+
+use super::SampledProfiler;
+use crate::sample::Sample;
+use std::collections::VecDeque;
+use tip_isa::InstrIdx;
+use tip_ooo::CycleRecord;
+
+/// Software (interrupt-based) profiling, e.g. plain Linux perf.
+///
+/// On an interrupt the in-flight instructions drain and the handler records
+/// the program counter execution will resume from — an instruction *being
+/// fetched* around the sample, tens to hundreds of instructions past the one
+/// the core was actually spending time on (skid, Section 2.1).
+#[derive(Debug, Default)]
+pub struct Software {
+    resolved: Vec<Sample>,
+    pending: VecDeque<u64>,
+}
+
+impl Software {
+    /// Creates the profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Software::default()
+    }
+}
+
+impl SampledProfiler for Software {
+    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
+        if let Some((_, idx)) = record.next_to_fetch {
+            while let Some(cycle) = self.pending.pop_front() {
+                self.resolved.push(Sample::single(cycle, idx, None));
+            }
+            if sampled {
+                self.resolved.push(Sample::single(record.cycle, idx, None));
+            }
+        } else if sampled {
+            // Fetch has nothing (program ending / redirect pending): the PC
+            // is captured when fetch resumes.
+            self.pending.push_back(record.cycle);
+        }
+    }
+
+    fn drain_samples(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.resolved)
+    }
+}
+
+/// Dispatch tagging (AMD IBS, Arm SPE, ProfileMe).
+///
+/// A sample tags the instruction sitting at the dispatch boundary and is
+/// *retrieved when the tagged instruction commits* (this is what lets IBS
+/// report how the instruction flowed through the back-end). During a long
+/// stall the ROB backs up and the same instruction sits at dispatch for the
+/// whole stall — so *it* attracts the samples rather than the stalling
+/// instruction (Figure 2b). Wrong-path tags are discarded and re-tagged, as
+/// IBS drops samples for squashed instructions.
+#[derive(Debug, Default)]
+pub struct Dispatch {
+    resolved: Vec<Sample>,
+    /// Samples waiting for something correct-path at the dispatch boundary.
+    untagged: VecDeque<u64>,
+    /// Tagged samples waiting for their instruction to commit:
+    /// (trigger cycle, tag cycle, tagged instruction).
+    tagged: VecDeque<(u64, u64, InstrIdx)>,
+    /// Tag-to-commit latency of each resolved sample.
+    latencies: Vec<u64>,
+}
+
+impl Dispatch {
+    /// Creates the profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Dispatch::default()
+    }
+
+    /// Tag-to-commit latencies of resolved samples (the per-instruction
+    /// back-end flow data IBS exposes); in trigger order.
+    #[must_use]
+    pub fn tag_to_commit_latencies(&self) -> &[u64] {
+        &self.latencies
+    }
+}
+
+impl SampledProfiler for Dispatch {
+    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
+        if sampled {
+            self.untagged.push_back(record.cycle);
+        }
+        // Tag pending samples with the correct-path instruction at the
+        // dispatch boundary.
+        if let Some((_, idx, false)) = record.next_to_dispatch {
+            while let Some(cycle) = self.untagged.pop_front() {
+                self.tagged.push_back((cycle, record.cycle, idx));
+            }
+        }
+        // Retrieve samples whose tagged instruction commits this cycle. A
+        // squash-and-refetch re-executes the same static instruction, so the
+        // tag still resolves (matching IBS re-tagging behaviour closely
+        // enough for attribution purposes).
+        if record.is_committing() {
+            while let Some(&(cycle, tag_cycle, idx)) = self.tagged.front() {
+                if record.committed_iter().any(|c| c.idx == idx) {
+                    self.tagged.pop_front();
+                    self.latencies.push(record.cycle - tag_cycle);
+                    self.resolved.push(Sample::single(cycle, idx, None));
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn drain_samples(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.resolved)
+    }
+}
+
+/// Last-Committed Instruction (Arm CoreSight-style external monitors).
+///
+/// Samples the youngest instruction that has committed so far. During a
+/// stall this is the instruction *before* the stalling one, so long-latency
+/// instructions are systematically blamed on their predecessors
+/// (Figure 4b).
+#[derive(Debug, Default)]
+pub struct Lci {
+    last_committed: Option<InstrIdx>,
+    resolved: Vec<Sample>,
+    pending: VecDeque<u64>,
+}
+
+impl Lci {
+    /// Creates the profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Lci::default()
+    }
+}
+
+impl SampledProfiler for Lci {
+    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
+        // The monitor reads the last-committed instruction as of the sampled
+        // cycle; commits in the sampled cycle itself are visible.
+        if let Some(c) = record.youngest_committed() {
+            self.last_committed = Some(c.idx);
+        }
+        if let Some(idx) = self.last_committed {
+            while let Some(cycle) = self.pending.pop_front() {
+                self.resolved.push(Sample::single(cycle, idx, None));
+            }
+            if sampled {
+                self.resolved.push(Sample::single(record.cycle, idx, None));
+            }
+        } else if sampled {
+            // Nothing has committed yet (cold start): resolve at first commit.
+            self.pending.push_back(record.cycle);
+        }
+    }
+
+    fn drain_samples(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.resolved)
+    }
+}
+
+/// Next-Committing Instruction (Intel PEBS), optionally made
+/// commit-parallelism-aware (the paper's NCI+ILP ablation, Figure 11c).
+///
+/// A sample resolves at the first commit at or after the sampled cycle. NCI
+/// attributes everything to the oldest instruction committing in that cycle;
+/// NCI+ILP splits the sample 1/n across all of them.
+#[derive(Debug)]
+pub struct Nci {
+    ilp_aware: bool,
+    resolved: Vec<Sample>,
+    pending: VecDeque<u64>,
+}
+
+impl Nci {
+    /// Creates the profiler; `ilp_aware` selects the NCI+ILP variant.
+    #[must_use]
+    pub fn new(ilp_aware: bool) -> Self {
+        Nci {
+            ilp_aware,
+            resolved: Vec::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    fn resolve(&mut self, cycle: u64, record: &CycleRecord) {
+        let sample = if self.ilp_aware {
+            let targets: Vec<InstrIdx> = record.committed_iter().map(|c| c.idx).collect();
+            Sample::split(cycle, &targets, None)
+        } else {
+            let oldest = record.committed_iter().next().expect("committing record");
+            Sample::single(cycle, oldest.idx, None)
+        };
+        self.resolved.push(sample);
+    }
+}
+
+impl SampledProfiler for Nci {
+    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
+        if sampled {
+            self.pending.push_back(record.cycle);
+        }
+        if record.is_committing() {
+            while let Some(cycle) = self.pending.pop_front() {
+                self.resolve(cycle, record);
+            }
+        }
+    }
+
+    fn drain_samples(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_isa::{InstrAddr, InstrKind};
+    use tip_ooo::CommitView;
+
+    fn commit(cycle: u64, idxs: &[u32]) -> CycleRecord {
+        let mut r = CycleRecord::empty(cycle);
+        for (i, &idx) in idxs.iter().enumerate() {
+            r.committed[i] = Some(CommitView {
+                addr: InstrAddr::new(0x1000 + 4 * u64::from(idx)),
+                idx: InstrIdx::new(idx),
+                kind: InstrKind::IntAlu,
+                mispredicted: false,
+                flush: false,
+            });
+        }
+        r.n_committed = idxs.len() as u8;
+        r
+    }
+
+    #[test]
+    fn nci_waits_for_next_commit() {
+        let mut nci = Nci::new(false);
+        nci.observe(&CycleRecord::empty(0), true); // sample on an idle cycle
+        assert!(nci.drain_samples().is_empty());
+        nci.observe(&commit(1, &[7, 8]), false);
+        let s = nci.drain_samples();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].cycle, 0);
+        assert_eq!(
+            s[0].targets,
+            vec![(InstrIdx::new(7), 1.0)],
+            "oldest committing wins"
+        );
+    }
+
+    #[test]
+    fn nci_same_cycle_commit_resolves_immediately() {
+        let mut nci = Nci::new(false);
+        nci.observe(&commit(5, &[3]), true);
+        let s = nci.drain_samples();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].targets, vec![(InstrIdx::new(3), 1.0)]);
+    }
+
+    #[test]
+    fn nci_ilp_splits_across_committers() {
+        let mut nci = Nci::new(true);
+        nci.observe(&commit(5, &[3, 4]), true);
+        let s = nci.drain_samples();
+        assert_eq!(
+            s[0].targets,
+            vec![(InstrIdx::new(3), 0.5), (InstrIdx::new(4), 0.5)]
+        );
+    }
+
+    #[test]
+    fn lci_samples_last_committed() {
+        let mut lci = Lci::new();
+        lci.observe(&commit(0, &[1, 2]), false);
+        lci.observe(&CycleRecord::empty(1), true); // stall-ish cycle
+        let s = lci.drain_samples();
+        assert_eq!(
+            s[0].targets,
+            vec![(InstrIdx::new(2), 1.0)],
+            "youngest committed"
+        );
+    }
+
+    #[test]
+    fn lci_cold_start_defers_to_first_commit() {
+        let mut lci = Lci::new();
+        lci.observe(&CycleRecord::empty(0), true);
+        assert!(lci.drain_samples().is_empty());
+        lci.observe(&commit(1, &[4]), false);
+        let s = lci.drain_samples();
+        assert_eq!(s[0].targets, vec![(InstrIdx::new(4), 1.0)]);
+    }
+
+    #[test]
+    fn dispatch_tags_then_resolves_at_commit() {
+        let mut d = Dispatch::new();
+        let mut r = CycleRecord::empty(0);
+        r.next_to_dispatch = Some((InstrAddr::new(0x1028), InstrIdx::new(10), false));
+        d.observe(&r, true);
+        assert!(
+            d.drain_samples().is_empty(),
+            "sample waits for the tagged commit"
+        );
+        d.observe(&commit(7, &[9]), false); // some other instruction
+        assert!(d.drain_samples().is_empty());
+        d.observe(&commit(9, &[10]), false); // the tagged one commits
+        let s = d.drain_samples();
+        assert_eq!(s[0].cycle, 0, "sample keeps its trigger cycle");
+        assert_eq!(s[0].targets, vec![(InstrIdx::new(10), 1.0)]);
+        assert_eq!(d.tag_to_commit_latencies(), &[9]);
+    }
+
+    #[test]
+    fn dispatch_skips_wrong_path_tags() {
+        let mut d = Dispatch::new();
+        let mut r = CycleRecord::empty(0);
+        r.next_to_dispatch = Some((InstrAddr::new(0x1028), InstrIdx::new(10), true));
+        d.observe(&r, true);
+        assert!(d.drain_samples().is_empty(), "wrong-path tag is discarded");
+        let mut r2 = CycleRecord::empty(1);
+        r2.next_to_dispatch = Some((InstrAddr::new(0x102c), InstrIdx::new(11), false));
+        d.observe(&r2, false);
+        d.observe(&commit(4, &[11]), false);
+        let s = d.drain_samples();
+        assert_eq!(s[0].cycle, 0);
+        assert_eq!(s[0].targets, vec![(InstrIdx::new(11), 1.0)]);
+    }
+
+    #[test]
+    fn software_samples_the_fetch_pc() {
+        let mut sw = Software::new();
+        let mut r = CycleRecord::empty(0);
+        r.next_to_fetch = Some((InstrAddr::new(0x1100), InstrIdx::new(64)));
+        sw.observe(&r, true);
+        let s = sw.drain_samples();
+        assert_eq!(s[0].targets, vec![(InstrIdx::new(64), 1.0)]);
+    }
+
+    #[test]
+    fn pending_samples_resolve_in_order() {
+        let mut nci = Nci::new(false);
+        nci.observe(&CycleRecord::empty(0), true);
+        nci.observe(&CycleRecord::empty(1), true);
+        nci.observe(&commit(2, &[9]), false);
+        let s = nci.drain_samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!((s[0].cycle, s[1].cycle), (0, 1));
+    }
+}

@@ -1,0 +1,85 @@
+//! Resolved profiler samples.
+
+use crate::category::CycleCategory;
+use serde::{Deserialize, Serialize};
+use tip_isa::InstrIdx;
+
+/// One resolved sample: the instruction(s) a profiler attributed the sample
+/// cycle to.
+///
+/// `targets` holds `(instruction, fraction)` pairs whose fractions sum to 1
+/// (ILP-aware profilers split a sample across co-committing instructions).
+/// `weight_cycles` is the length of the sampling interval the sample stands
+/// for; it is filled in by the [`crate::ProfilerBank`] when the run
+/// finishes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The cycle the sample was triggered at.
+    pub cycle: u64,
+    /// Cycles this sample represents (the interval since the previous one).
+    pub weight_cycles: f64,
+    /// Attributed instructions with their fractions (sum to 1).
+    pub targets: Vec<(InstrIdx, f64)>,
+    /// The cycle category the profiler labelled this sample with, when the
+    /// profiler exposes one (TIP does via its flags CSR; see Section 3.1).
+    pub category: Option<CycleCategory>,
+}
+
+impl Sample {
+    /// A sample attributing everything to one instruction.
+    #[must_use]
+    pub fn single(cycle: u64, idx: InstrIdx, category: Option<CycleCategory>) -> Self {
+        Sample {
+            cycle,
+            weight_cycles: 0.0,
+            targets: vec![(idx, 1.0)],
+            category,
+        }
+    }
+
+    /// A sample split evenly across `targets` (ILP-aware attribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    #[must_use]
+    pub fn split(cycle: u64, targets: &[InstrIdx], category: Option<CycleCategory>) -> Self {
+        assert!(!targets.is_empty(), "a sample needs at least one target");
+        let frac = 1.0 / targets.len() as f64;
+        Sample {
+            cycle,
+            weight_cycles: 0.0,
+            targets: targets.iter().map(|&t| (t, frac)).collect(),
+            category,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_fractions_sum_to_one() {
+        let s = Sample::split(
+            10,
+            &[InstrIdx::new(0), InstrIdx::new(1), InstrIdx::new(2)],
+            None,
+        );
+        let sum: f64 = s.targets.iter().map(|t| t.1).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_has_one_target() {
+        let s = Sample::single(5, InstrIdx::new(7), Some(CycleCategory::Execution));
+        assert_eq!(s.targets, vec![(InstrIdx::new(7), 1.0)]);
+        assert_eq!(s.category, Some(CycleCategory::Execution));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_split_panics() {
+        let _ = Sample::split(0, &[], None);
+    }
+}

@@ -1,0 +1,204 @@
+//! Statistical sampling schedules.
+//!
+//! The paper's profilers sample at 4 kHz on a 3.2 GHz core — one sample every
+//! 800 000 cycles over complete SPEC runs. Our benchmarks are shorter, so the
+//! schedule is expressed directly in cycles; [`SamplerConfig::from_frequency`]
+//! maps a paper-style frequency onto a cycle interval given the clock.
+//!
+//! All profilers in a [`crate::ProfilerBank`] share one schedule so they
+//! sample the exact same cycles — the paper's methodology for isolating
+//! systematic (attribution) error from unsystematic (sampling) error.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How sample cycles are placed within each interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMode {
+    /// One sample exactly every `interval` cycles (the paper's default;
+    /// simplest in hardware).
+    Periodic,
+    /// One sample uniformly at random within each `interval`-cycle window
+    /// (the Figure 11b alternative that avoids aliasing with repetitive
+    /// program behaviour).
+    Random,
+}
+
+/// A sampling schedule: interval, placement mode, and seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Cycles per sampling interval (one sample per interval).
+    pub interval: u64,
+    /// Placement of the sample within each interval.
+    pub mode: SamplingMode,
+    /// Seed for [`SamplingMode::Random`].
+    pub seed: u64,
+}
+
+impl SamplerConfig {
+    /// A periodic schedule with the given interval.
+    #[must_use]
+    pub fn periodic(interval: u64) -> Self {
+        SamplerConfig {
+            interval,
+            mode: SamplingMode::Periodic,
+            seed: 0,
+        }
+    }
+
+    /// A random-within-interval schedule.
+    #[must_use]
+    pub fn random(interval: u64, seed: u64) -> Self {
+        SamplerConfig {
+            interval,
+            mode: SamplingMode::Random,
+            seed,
+        }
+    }
+
+    /// Maps a sampling frequency in Hz onto a cycle interval for a core
+    /// clocked at `clock_ghz` (e.g. 4 kHz at 3.2 GHz = 800 000 cycles).
+    #[must_use]
+    pub fn from_frequency(freq_hz: f64, clock_ghz: f64, mode: SamplingMode, seed: u64) -> Self {
+        let interval = ((clock_ghz * 1e9) / freq_hz).round().max(1.0) as u64;
+        SamplerConfig {
+            interval,
+            mode,
+            seed,
+        }
+    }
+
+    /// Builds the runtime schedule.
+    #[must_use]
+    pub fn schedule(&self) -> SampleSchedule {
+        SampleSchedule::new(*self)
+    }
+}
+
+/// Stateful sample-cycle generator: ask it once per cycle whether to sample.
+#[derive(Debug, Clone)]
+pub struct SampleSchedule {
+    config: SamplerConfig,
+    next_sample: u64,
+    interval_start: u64,
+    rng: SmallRng,
+    samples_taken: u64,
+}
+
+impl SampleSchedule {
+    /// Creates a schedule; the first sample lands in the first interval.
+    #[must_use]
+    pub fn new(config: SamplerConfig) -> Self {
+        assert!(config.interval > 0, "sampling interval must be positive");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let next_sample = match config.mode {
+            SamplingMode::Periodic => config.interval - 1,
+            SamplingMode::Random => rng.random_range(0..config.interval),
+        };
+        SampleSchedule {
+            config,
+            next_sample,
+            interval_start: 0,
+            rng,
+            samples_taken: 0,
+        }
+    }
+
+    /// Whether `cycle` is a sample cycle. Must be called with consecutive
+    /// cycles (0, 1, 2, ...).
+    pub fn is_sample(&mut self, cycle: u64) -> bool {
+        let hit = cycle == self.next_sample;
+        if hit {
+            self.samples_taken += 1;
+        }
+        // Advance to the next interval when the current one ends.
+        if cycle + 1 >= self.interval_start + self.config.interval {
+            self.interval_start += self.config.interval;
+            self.next_sample = match self.config.mode {
+                SamplingMode::Periodic => self.interval_start + self.config.interval - 1,
+                SamplingMode::Random => {
+                    self.interval_start + self.rng.random_range(0..self.config.interval)
+                }
+            };
+        }
+        hit
+    }
+
+    /// Samples taken so far.
+    #[must_use]
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cycles(cfg: SamplerConfig, horizon: u64) -> Vec<u64> {
+        let mut s = cfg.schedule();
+        (0..horizon).filter(|&c| s.is_sample(c)).collect()
+    }
+
+    #[test]
+    fn periodic_samples_every_interval() {
+        let got = sample_cycles(SamplerConfig::periodic(100), 1_000);
+        assert_eq!(got, vec![99, 199, 299, 399, 499, 599, 699, 799, 899, 999]);
+    }
+
+    #[test]
+    fn random_places_one_sample_per_interval() {
+        let got = sample_cycles(SamplerConfig::random(100, 7), 10_000);
+        assert_eq!(got.len(), 100);
+        for (i, &c) in got.iter().enumerate() {
+            let lo = i as u64 * 100;
+            assert!(
+                (lo..lo + 100).contains(&c),
+                "sample {c} outside interval {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        assert_eq!(
+            sample_cycles(SamplerConfig::random(64, 3), 10_000),
+            sample_cycles(SamplerConfig::random(64, 3), 10_000)
+        );
+        assert_ne!(
+            sample_cycles(SamplerConfig::random(64, 3), 10_000),
+            sample_cycles(SamplerConfig::random(64, 4), 10_000)
+        );
+    }
+
+    #[test]
+    fn frequency_mapping_matches_paper() {
+        let cfg = SamplerConfig::from_frequency(4_000.0, 3.2, SamplingMode::Periodic, 0);
+        assert_eq!(
+            cfg.interval, 800_000,
+            "4 kHz at 3.2 GHz is one sample per 800k cycles"
+        );
+    }
+
+    #[test]
+    fn counts_samples() {
+        let mut s = SamplerConfig::periodic(10).schedule();
+        for c in 0..100 {
+            s.is_sample(c);
+        }
+        assert_eq!(s.samples_taken(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = SamplerConfig::periodic(0).schedule();
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for profiles, the error metric, and the sampler.
+
+use proptest::prelude::*;
+use tip_core::{Profile, SampleSchedule, SamplerConfig};
+use tip_isa::{Granularity, SymbolId};
+
+fn arb_profile(n: usize) -> impl Strategy<Value = Profile> {
+    proptest::collection::vec(0.0f64..100.0, n).prop_map(move |ws| {
+        let mut p = Profile::zeroed(Granularity::Instruction, ws.len());
+        for (i, w) in ws.iter().enumerate() {
+            if *w > 0.0 {
+                p.add(SymbolId(i as u32), *w);
+            }
+        }
+        p
+    })
+}
+
+proptest! {
+    #[test]
+    fn error_is_a_proper_metric_like_quantity(a in arb_profile(24), b in arb_profile(24)) {
+        let e = a.error_vs(&b);
+        prop_assert!((0.0..=1.0).contains(&e));
+        // Symmetric for normalized overlap.
+        prop_assert!((a.error_vs(&b) - b.error_vs(&a)).abs() < 1e-9);
+        // Self-error is zero for non-empty profiles.
+        if a.total() > 0.0 {
+            prop_assert!(a.error_vs(&a) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_is_scale_invariant(a in arb_profile(16), b in arb_profile(16), k in 0.1f64..50.0) {
+        let mut scaled = Profile::zeroed(Granularity::Instruction, 16);
+        for (i, w) in a.weights().iter().enumerate() {
+            if *w > 0.0 {
+                scaled.add(SymbolId(i as u32), w * k);
+            }
+        }
+        prop_assert!((a.error_vs(&b) - scaled.error_vs(&b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_equals_half_l1_distance(a in arb_profile(12), b in arb_profile(12)) {
+        prop_assume!(a.total() > 0.0 && b.total() > 0.0);
+        let l1: f64 = a
+            .weights()
+            .iter()
+            .zip(b.weights())
+            .map(|(x, y)| (x / a.total() - y / b.total()).abs())
+            .sum();
+        prop_assert!((a.error_vs(&b) - l1 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_places_exactly_one_sample_per_interval(
+        interval in 1u64..500,
+        random in proptest::bool::ANY,
+        seed in 0u64..100,
+        horizon_intervals in 1u64..50,
+    ) {
+        let config = if random {
+            SamplerConfig::random(interval, seed)
+        } else {
+            SamplerConfig::periodic(interval)
+        };
+        let mut s = SampleSchedule::new(config);
+        let horizon = interval * horizon_intervals;
+        let picked: Vec<u64> = (0..horizon).filter(|&c| s.is_sample(c)).collect();
+        prop_assert_eq!(picked.len() as u64, horizon_intervals);
+        for (k, &c) in picked.iter().enumerate() {
+            let lo = k as u64 * interval;
+            prop_assert!((lo..lo + interval).contains(&c));
+        }
+        prop_assert_eq!(s.samples_taken(), horizon_intervals);
+    }
+
+    #[test]
+    fn ranked_shares_sum_to_one(a in arb_profile(20)) {
+        prop_assume!(a.total() > 0.0);
+        let sum: f64 = a.ranked().iter().map(|(_, share)| share).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! TIP's sampled, category-labelled stacks must agree with the Oracle's
+//! exact per-function breakdowns — this is what lets a developer see *why*
+//! a function is slow (Figure 13) from practical TIP samples alone.
+
+use tip_core::{sampled_symbol_stacks, CycleCategory, ProfilerBank, ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_ooo::{Core, CoreConfig};
+use tip_workloads::imagick_original;
+
+#[test]
+fn tip_sampled_stacks_track_oracle_stacks() {
+    let program = imagick_original(600_000);
+    let mut bank = ProfilerBank::new(&program, SamplerConfig::periodic(101), &[ProfilerId::Tip]);
+    let mut core = Core::new(&program, CoreConfig::default(), 7);
+    core.run(&mut bank, 200_000_000);
+    let result = bank.finish();
+
+    let map = program.symbol_map(Granularity::Function);
+    let sampled = sampled_symbol_stacks(result.samples_of(ProfilerId::Tip), &map);
+    assert_eq!(sampled.len(), program.functions().len());
+
+    let total_sampled: f64 = sampled.iter().map(|s| s.total()).sum();
+    for f in program.functions() {
+        let sym = tip_isa::SymbolId(f.id().index() as u32);
+        let oracle = result
+            .oracle
+            .symbol_stack(&program, Granularity::Function, sym);
+        let est = &sampled[f.id().index()];
+        let oracle_total = result.oracle.total_cycles() as f64;
+        // Function share within ~3 points.
+        let share_oracle = oracle.total() / oracle_total;
+        let share_est = est.total() / total_sampled;
+        assert!(
+            (share_oracle - share_est).abs() < 0.03,
+            "{}: share {:.3} vs sampled {:.3}",
+            f.name(),
+            share_oracle,
+            share_est
+        );
+        // Category mix within each function within ~6 points.
+        if oracle.total() > 0.05 * oracle_total {
+            let o = oracle.normalized();
+            let e = est.normalized();
+            for (i, cat) in CycleCategory::ALL.iter().enumerate() {
+                assert!(
+                    (o[i] - e[i]).abs() < 0.06,
+                    "{} {cat}: oracle {:.3} vs sampled {:.3}",
+                    f.name(),
+                    o[i],
+                    e[i]
+                );
+            }
+        }
+    }
+
+    // The CSR flush time specifically lands in floor/ceil's MiscFlush bin.
+    let floor = program
+        .functions()
+        .iter()
+        .find(|f| f.name() == "floor")
+        .expect("floor exists");
+    let est = &sampled[floor.id().index()];
+    assert!(
+        est.get(CycleCategory::MiscFlush) > 0.2 * est.total(),
+        "sampled floor stack must show the flush component"
+    );
+}
+
+#[test]
+fn serialized_instructions_follow_the_papers_timeline() {
+    // Section 2.2 "Putting-it-all-together": while the ROB drains ahead of a
+    // fence, time goes to the preceding instructions at the head; the fence
+    // itself is accounted Stalled while it is the only in-flight instruction
+    // and Computing when it commits.
+    use tip_isa::{BranchBehavior, Instr, MemBehavior, ProgramBuilder, Reg};
+    let mut b = ProgramBuilder::named("fences");
+    let main = b.function("main");
+    let blk = b.block(main);
+    b.push(
+        blk,
+        Instr::load(
+            Some(Reg::int(1)),
+            None,
+            MemBehavior::RandomIn {
+                base: 0x100_0000,
+                footprint: 32 << 20,
+            },
+        ),
+    );
+    b.push(blk, Instr::fence());
+    b.push(blk, Instr::int_alu(Some(Reg::int(2)), [None, None]));
+    b.push(
+        blk,
+        Instr::branch(blk, BranchBehavior::Loop { taken_iters: 300 }),
+    );
+    let exit = b.block(main);
+    b.push(exit, Instr::halt());
+    let program = b.build().expect("valid");
+
+    let mut bank = ProfilerBank::new(&program, SamplerConfig::periodic(101), &[ProfilerId::Tip]);
+    let mut core = Core::new(&program, CoreConfig::default(), 7);
+    core.run(&mut bank, 100_000_000);
+    let result = bank.finish();
+
+    // The missing load (idx 0) absorbs the drain-before-fence time as a
+    // load stall; the fence (idx 1) accumulates only its own small stall.
+    let per_instr = result.oracle.per_instr();
+    assert!(
+        per_instr[0] > 5.0 * per_instr[1],
+        "load ({}) must dominate the fence ({})",
+        per_instr[0],
+        per_instr[1]
+    );
+    // Every instruction in the loop got *some* time (Oracle covers all
+    // dynamic instructions).
+    for (i, &w) in per_instr.iter().take(4).enumerate() {
+        assert!(w > 0.0, "instruction {i} unaccounted");
+    }
+}

@@ -1,0 +1,243 @@
+//! Behaviour annotations that make synthetic programs executable.
+//!
+//! A [`BranchBehavior`] deterministically decides the direction of a
+//! conditional branch each time it executes; a [`MemBehavior`] produces the
+//! effective address of each dynamic load/store. Both are seeded so a program
+//! plus a seed yields exactly one dynamic instruction stream, which is what
+//! lets every profiler in the evaluation observe the very same execution.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Decides conditional-branch directions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BranchBehavior {
+    /// A loop back-edge: taken `taken_iters` times, then not taken once, then
+    /// the cycle repeats. `taken_iters == 0` is a never-taken branch.
+    Loop {
+        /// Number of consecutive taken executions per loop instance.
+        taken_iters: u32,
+    },
+    /// Independent Bernoulli trials: taken with probability `taken_prob`.
+    /// This is the knob for hard-to-predict, flush-inducing branches.
+    Bernoulli {
+        /// Probability in `[0, 1]` that the branch is taken.
+        taken_prob: f64,
+    },
+    /// A fixed cyclic direction pattern (e.g. `[true, true, false]`).
+    Pattern {
+        /// Directions replayed cyclically; must be non-empty.
+        pattern: Vec<bool>,
+    },
+    /// Always taken.
+    AlwaysTaken,
+    /// Never taken.
+    NeverTaken,
+}
+
+/// Per-dynamic-execution state for one branch instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct BranchState {
+    counter: u64,
+    rng: SmallRng,
+}
+
+impl BranchState {
+    pub(crate) fn new(seed: u64) -> Self {
+        BranchState {
+            counter: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Produces the next direction for `behavior`.
+    pub(crate) fn next_outcome(&mut self, behavior: &BranchBehavior) -> bool {
+        let n = self.counter;
+        self.counter += 1;
+        match behavior {
+            BranchBehavior::Loop { taken_iters } => {
+                let period = u64::from(*taken_iters) + 1;
+                n % period != u64::from(*taken_iters)
+            }
+            BranchBehavior::Bernoulli { taken_prob } => {
+                self.rng.random_bool(taken_prob.clamp(0.0, 1.0))
+            }
+            BranchBehavior::Pattern { pattern } => {
+                if pattern.is_empty() {
+                    false
+                } else {
+                    pattern[(n % pattern.len() as u64) as usize]
+                }
+            }
+            BranchBehavior::AlwaysTaken => true,
+            BranchBehavior::NeverTaken => false,
+        }
+    }
+}
+
+/// Produces effective addresses for a load or store instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MemBehavior {
+    /// Sequential streaming: `base + (k * stride) % footprint` on the k-th
+    /// execution. Small footprints stay L1-resident; large footprints with
+    /// cache-line strides stream through the hierarchy.
+    Stride {
+        /// First address of the region.
+        base: u64,
+        /// Byte step between consecutive accesses.
+        stride: u64,
+        /// Region size in bytes; the address wraps inside it. Must be > 0.
+        footprint: u64,
+    },
+    /// Uniformly random 8-byte-aligned addresses within a region — the
+    /// pointer-chasing stand-in (combine with a loop-carried register
+    /// dependency for serialized misses, as in `mcf`).
+    RandomIn {
+        /// First address of the region.
+        base: u64,
+        /// Region size in bytes. Must be > 0.
+        footprint: u64,
+    },
+    /// A fixed single address (always the same line; hits after warm-up).
+    Fixed {
+        /// The constant effective address.
+        addr: u64,
+    },
+}
+
+/// Per-dynamic-execution state for one memory instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct MemState {
+    counter: u64,
+    rng: SmallRng,
+}
+
+impl MemState {
+    pub(crate) fn new(seed: u64) -> Self {
+        MemState {
+            counter: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Produces the next effective address for `behavior`.
+    pub(crate) fn next_addr(&mut self, behavior: &MemBehavior) -> u64 {
+        let k = self.counter;
+        self.counter += 1;
+        match behavior {
+            MemBehavior::Stride {
+                base,
+                stride,
+                footprint,
+            } => {
+                let fp = (*footprint).max(1);
+                base + (k.wrapping_mul(*stride)) % fp
+            }
+            MemBehavior::RandomIn { base, footprint } => {
+                let fp = (*footprint).max(8);
+                base + (self.rng.random_range(0..fp / 8)) * 8
+            }
+            MemBehavior::Fixed { addr } => *addr,
+        }
+    }
+}
+
+/// Marks a load as periodically page-faulting.
+///
+/// The executor interposes the program's designated fault-handler function
+/// and a re-execution of the load into the correct-path stream, which is how
+/// the paper's State-3 (Flushed, exception flavour) and the page-miss
+/// walkthrough of Section 2.2 are exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The load faults on every `every`-th dynamic execution (1-based: the
+    /// `every`-th, `2*every`-th, ... executions fault). Must be > 0.
+    pub every: u64,
+}
+
+impl FaultSpec {
+    /// Whether the `n`-th (0-based) dynamic execution of the load faults.
+    #[must_use]
+    pub fn faults_on(&self, n: u64) -> bool {
+        self.every > 0 && (n + 1).is_multiple_of(self.every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_behavior_period() {
+        let b = BranchBehavior::Loop { taken_iters: 3 };
+        let mut st = BranchState::new(1);
+        let outcomes: Vec<bool> = (0..8).map(|_| st.next_outcome(&b)).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn never_and_always() {
+        let mut st = BranchState::new(0);
+        assert!(!st.next_outcome(&BranchBehavior::NeverTaken));
+        assert!(st.next_outcome(&BranchBehavior::AlwaysTaken));
+        assert!(!st.next_outcome(&BranchBehavior::Loop { taken_iters: 0 }));
+    }
+
+    #[test]
+    fn pattern_cycles() {
+        let b = BranchBehavior::Pattern {
+            pattern: vec![true, false],
+        };
+        let mut st = BranchState::new(0);
+        let outcomes: Vec<bool> = (0..4).map(|_| st.next_outcome(&b)).collect();
+        assert_eq!(outcomes, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_per_seed() {
+        let b = BranchBehavior::Bernoulli { taken_prob: 0.5 };
+        let run = |seed| {
+            let mut st = BranchState::new(seed);
+            (0..64).map(|_| st.next_outcome(&b)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn stride_wraps_in_footprint() {
+        let b = MemBehavior::Stride {
+            base: 0x1000,
+            stride: 64,
+            footprint: 256,
+        };
+        let mut st = MemState::new(0);
+        let addrs: Vec<u64> = (0..6).map(|_| st.next_addr(&b)).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10c0, 0x1000, 0x1040]);
+    }
+
+    #[test]
+    fn random_in_stays_in_region() {
+        let b = MemBehavior::RandomIn {
+            base: 0x2000,
+            footprint: 4096,
+        };
+        let mut st = MemState::new(3);
+        for _ in 0..256 {
+            let a = st.next_addr(&b);
+            assert!((0x2000..0x3000).contains(&a));
+            assert_eq!(a % 8, 0);
+        }
+    }
+
+    #[test]
+    fn fault_spec_every() {
+        let f = FaultSpec { every: 3 };
+        let faults: Vec<bool> = (0..7).map(|n| f.faults_on(n)).collect();
+        assert_eq!(faults, vec![false, false, true, false, false, true, false]);
+    }
+}

@@ -1,0 +1,519 @@
+//! Program construction and validation.
+
+use crate::kind::InstrKind;
+use crate::program::{BasicBlock, BlockId, Function, FunctionId, Instr, Program};
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected when validating a program in [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The program declares no functions.
+    NoFunctions,
+    /// A function has no blocks.
+    EmptyFunction(String),
+    /// A block has no instructions.
+    EmptyBlock(u32),
+    /// A control-flow instruction appears before the end of its block.
+    TerminatorNotLast(u32),
+    /// A branch's taken target is in a different function.
+    CrossFunctionBranch(u32),
+    /// A jump's target is in a different function.
+    CrossFunctionJump(u32),
+    /// A block falls through (or a call returns) past the end of its
+    /// function.
+    MissingFallThrough(u32),
+    /// A branch is missing its direction behaviour or target.
+    IncompleteBranch(u32),
+    /// A memory instruction is missing its address behaviour.
+    MissingMemBehavior(u32),
+    /// A fault spec is attached to a non-load instruction.
+    FaultOnNonLoad(u32),
+    /// A load carries a fault spec but no fault handler was designated.
+    MissingFaultHandler,
+    /// The designated fault handler does not end with `ret`.
+    HandlerMustReturn,
+    /// A call targets an unknown function, or a branch/jump targets an
+    /// unknown block.
+    DanglingTarget(u32),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoFunctions => write!(f, "program declares no functions"),
+            BuildError::EmptyFunction(name) => write!(f, "function `{name}` has no blocks"),
+            BuildError::EmptyBlock(b) => write!(f, "block {b} has no instructions"),
+            BuildError::TerminatorNotLast(i) => {
+                write!(
+                    f,
+                    "control-flow instruction {i} is not the last in its block"
+                )
+            }
+            BuildError::CrossFunctionBranch(i) => {
+                write!(f, "branch {i} targets a block in another function")
+            }
+            BuildError::CrossFunctionJump(i) => {
+                write!(f, "jump {i} targets a block in another function")
+            }
+            BuildError::MissingFallThrough(i) => {
+                write!(
+                    f,
+                    "instruction {i} falls through past the end of its function"
+                )
+            }
+            BuildError::IncompleteBranch(i) => {
+                write!(f, "branch {i} lacks a target or direction behaviour")
+            }
+            BuildError::MissingMemBehavior(i) => {
+                write!(f, "memory instruction {i} lacks an address behaviour")
+            }
+            BuildError::FaultOnNonLoad(i) => {
+                write!(f, "fault spec attached to non-load instruction {i}")
+            }
+            BuildError::MissingFaultHandler => {
+                write!(
+                    f,
+                    "a load carries a fault spec but no fault handler is designated"
+                )
+            }
+            BuildError::HandlerMustReturn => {
+                write!(f, "the fault handler's last block must end with `ret`")
+            }
+            BuildError::DanglingTarget(i) => {
+                write!(f, "instruction {i} targets an unknown block or function")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Incrementally builds a [`Program`]; [`build`](ProgramBuilder::build)
+/// validates the control-flow structure.
+///
+/// Functions and blocks are laid out in creation order; block handles may be
+/// created ahead of filling them, so forward branch targets are easy to
+/// express.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    func_names: Vec<String>,
+    /// Per-function list of its block ids, in creation order.
+    func_blocks: Vec<Vec<u32>>,
+    /// Per-block owning function and instruction list.
+    block_func: Vec<u32>,
+    block_instrs: Vec<Vec<Instr>>,
+    fault_handler: Option<FunctionId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program named `"anonymous"`.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder {
+            name: "anonymous".to_owned(),
+            ..Default::default()
+        }
+    }
+
+    /// Creates an empty builder for a program named `name`.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares a function. The first function declared is the entry point.
+    pub fn function(&mut self, name: impl Into<String>) -> FunctionId {
+        let id = FunctionId(self.func_names.len() as u32);
+        self.func_names.push(name.into());
+        self.func_blocks.push(Vec::new());
+        id
+    }
+
+    /// Appends a new empty block to `func` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` was not created by this builder.
+    pub fn block(&mut self, func: FunctionId) -> BlockId {
+        let id = BlockId(self.block_func.len() as u32);
+        self.block_func.push(func.0);
+        self.block_instrs.push(Vec::new());
+        self.func_blocks[func.index()].push(id.0);
+        id
+    }
+
+    /// Appends `instr` to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn push(&mut self, block: BlockId, instr: Instr) -> &mut Self {
+        self.block_instrs[block.index()].push(instr);
+        self
+    }
+
+    /// Designates `func` as the page-fault handler invoked by faulting loads.
+    pub fn set_fault_handler(&mut self, func: FunctionId) -> &mut Self {
+        self.fault_handler = Some(func);
+        self
+    }
+
+    /// Number of instructions pushed so far.
+    #[must_use]
+    pub fn instr_count(&self) -> usize {
+        self.block_instrs.iter().map(Vec::len).sum()
+    }
+
+    /// Validates and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] describing the first structural problem
+    /// found: empty functions/blocks, misplaced terminators, cross-function
+    /// branch targets, missing fall-throughs, incomplete branch or memory
+    /// annotations, or fault-handler issues.
+    pub fn build(self) -> Result<Program, BuildError> {
+        if self.func_names.is_empty() {
+            return Err(BuildError::NoFunctions);
+        }
+
+        // Lay out: functions in order, each function's blocks in creation
+        // order, blocks contiguous.
+        let mut functions = Vec::with_capacity(self.func_names.len());
+        let mut blocks = Vec::new();
+        let mut instrs = Vec::new();
+        let mut instr_block = Vec::new();
+        let mut instr_func = Vec::new();
+        // Original block id -> laid-out block id.
+        let mut block_remap = vec![u32::MAX; self.block_instrs.len()];
+
+        for (fi, name) in self.func_names.iter().enumerate() {
+            let block_start = blocks.len() as u32;
+            if self.func_blocks[fi].is_empty() {
+                return Err(BuildError::EmptyFunction(name.clone()));
+            }
+            for &orig_block in &self.func_blocks[fi] {
+                let new_id = BlockId(blocks.len() as u32);
+                block_remap[orig_block as usize] = new_id.0;
+                let start = instrs.len() as u32;
+                let body = &self.block_instrs[orig_block as usize];
+                if body.is_empty() {
+                    return Err(BuildError::EmptyBlock(new_id.0));
+                }
+                for instr in body {
+                    instr_block.push(new_id.0);
+                    instr_func.push(fi as u32);
+                    instrs.push(instr.clone());
+                }
+                blocks.push(BasicBlock {
+                    id: new_id,
+                    function: FunctionId(fi as u32),
+                    start,
+                    end: instrs.len() as u32,
+                });
+            }
+            functions.push(Function {
+                id: FunctionId(fi as u32),
+                name: name.clone(),
+                block_start,
+                block_end: blocks.len() as u32,
+            });
+        }
+
+        // Remap branch/jump targets to laid-out block ids.
+        for instr in &mut instrs {
+            for t in [&mut instr.taken_target, &mut instr.jump_target]
+                .into_iter()
+                .flatten()
+            {
+                let orig = t.0 as usize;
+                if orig >= block_remap.len() || block_remap[orig] == u32::MAX {
+                    return Err(BuildError::DanglingTarget(0));
+                }
+                *t = BlockId(block_remap[orig]);
+            }
+        }
+
+        // Structural validation.
+        let mut needs_handler = false;
+        for (bi, block) in blocks.iter().enumerate() {
+            let func = &functions[block.function.index()];
+            let last_block_of_func = bi as u32 + 1 == func.block_end;
+            for gi in block.instr_range() {
+                let instr = &instrs[gi];
+                let is_last = gi + 1 == block.instr_range().end;
+                if instr.kind.is_terminator() && !is_last {
+                    return Err(BuildError::TerminatorNotLast(gi as u32));
+                }
+                match instr.kind {
+                    InstrKind::Branch => {
+                        let (Some(target), Some(_)) =
+                            (instr.taken_target, instr.branch_behavior.as_ref())
+                        else {
+                            return Err(BuildError::IncompleteBranch(gi as u32));
+                        };
+                        if blocks[target.index()].function != block.function {
+                            return Err(BuildError::CrossFunctionBranch(gi as u32));
+                        }
+                        // A branch can fall through; the next block must be
+                        // in the same function.
+                        if last_block_of_func {
+                            return Err(BuildError::MissingFallThrough(gi as u32));
+                        }
+                    }
+                    InstrKind::Jump => {
+                        let Some(target) = instr.jump_target else {
+                            return Err(BuildError::DanglingTarget(gi as u32));
+                        };
+                        if blocks[target.index()].function != block.function {
+                            return Err(BuildError::CrossFunctionJump(gi as u32));
+                        }
+                    }
+                    InstrKind::Call => {
+                        let Some(callee) = instr.callee else {
+                            return Err(BuildError::DanglingTarget(gi as u32));
+                        };
+                        if callee.index() >= functions.len() {
+                            return Err(BuildError::DanglingTarget(gi as u32));
+                        }
+                        // Execution resumes at the next block after return.
+                        if last_block_of_func {
+                            return Err(BuildError::MissingFallThrough(gi as u32));
+                        }
+                    }
+                    InstrKind::Load | InstrKind::Store => {
+                        if instr.mem.is_none() {
+                            return Err(BuildError::MissingMemBehavior(gi as u32));
+                        }
+                        if instr.fault.is_some() {
+                            if instr.kind != InstrKind::Load {
+                                return Err(BuildError::FaultOnNonLoad(gi as u32));
+                            }
+                            needs_handler = true;
+                        }
+                    }
+                    _ => {
+                        if instr.fault.is_some() {
+                            return Err(BuildError::FaultOnNonLoad(gi as u32));
+                        }
+                    }
+                }
+                // Plain fall-through off the end of a function.
+                if is_last && !instr.kind.is_terminator() && last_block_of_func {
+                    return Err(BuildError::MissingFallThrough(gi as u32));
+                }
+            }
+        }
+
+        let fault_handler = if needs_handler {
+            let handler = self.fault_handler.ok_or(BuildError::MissingFaultHandler)?;
+            // Handler's final block must end with ret.
+            let func = &functions[handler.index()];
+            let last_block = &blocks[func.block_end as usize - 1];
+            let last_instr = &instrs[last_block.instr_range().end - 1];
+            if last_instr.kind != InstrKind::Ret {
+                return Err(BuildError::HandlerMustReturn);
+            }
+            Some(handler)
+        } else {
+            self.fault_handler
+        };
+
+        Ok(Program {
+            name: self.name,
+            functions,
+            blocks,
+            instrs,
+            instr_block,
+            instr_func,
+            fault_handler,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{BranchBehavior, FaultSpec, MemBehavior};
+    use crate::reg::Reg;
+
+    fn loop_program() -> ProgramBuilder {
+        let mut b = ProgramBuilder::named("loop");
+        let main = b.function("main");
+        let body = b.block(main);
+        b.push(body, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(
+            body,
+            Instr::branch(body, BranchBehavior::Loop { taken_iters: 2 }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        b
+    }
+
+    #[test]
+    fn valid_program_builds() {
+        let p = loop_program().build().expect("valid");
+        assert_eq!(p.name(), "loop");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.functions().len(), 1);
+        assert_eq!(p.blocks().len(), 2);
+    }
+
+    #[test]
+    fn no_functions_rejected() {
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            BuildError::NoFunctions
+        );
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.function("empty");
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::EmptyFunction(_)
+        ));
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main");
+        b.block(f);
+        assert!(matches!(b.build().unwrap_err(), BuildError::EmptyBlock(_)));
+    }
+
+    #[test]
+    fn terminator_must_be_last() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main");
+        let blk = b.block(f);
+        b.push(blk, Instr::halt());
+        b.push(blk, Instr::nop());
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::TerminatorNotLast(_)
+        ));
+    }
+
+    #[test]
+    fn branch_fall_through_must_exist() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main");
+        let blk = b.block(f);
+        b.push(blk, Instr::branch(blk, BranchBehavior::AlwaysTaken));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::MissingFallThrough(_)
+        ));
+    }
+
+    #[test]
+    fn cross_function_branch_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main");
+        let g = b.function("other");
+        let gb = b.block(g);
+        b.push(gb, Instr::ret());
+        let blk = b.block(f);
+        b.push(blk, Instr::branch(gb, BranchBehavior::AlwaysTaken));
+        let exit = b.block(f);
+        b.push(exit, Instr::halt());
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::CrossFunctionBranch(_)
+        ));
+    }
+
+    #[test]
+    fn memory_instr_requires_behavior() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main");
+        let blk = b.block(f);
+        b.push(
+            blk,
+            Instr::op(InstrKind::Load, Some(Reg::int(1)), [None, None]),
+        );
+        b.push(blk, Instr::halt());
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::MissingMemBehavior(_)
+        ));
+    }
+
+    #[test]
+    fn fault_requires_handler() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main");
+        let blk = b.block(f);
+        b.push(
+            blk,
+            Instr::load(Some(Reg::int(1)), None, MemBehavior::Fixed { addr: 0x8000 })
+                .with_fault(FaultSpec { every: 100 }),
+        );
+        b.push(blk, Instr::halt());
+        assert_eq!(b.build().unwrap_err(), BuildError::MissingFaultHandler);
+    }
+
+    #[test]
+    fn fault_handler_must_return() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main");
+        let h = b.function("handler");
+        let hb = b.block(h);
+        b.push(hb, Instr::halt()); // not ret
+        let blk = b.block(f);
+        b.push(
+            blk,
+            Instr::load(Some(Reg::int(1)), None, MemBehavior::Fixed { addr: 0x8000 })
+                .with_fault(FaultSpec { every: 100 }),
+        );
+        b.push(blk, Instr::halt());
+        b.set_fault_handler(h);
+        assert_eq!(b.build().unwrap_err(), BuildError::HandlerMustReturn);
+    }
+
+    #[test]
+    fn fall_through_off_function_end_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main");
+        let blk = b.block(f);
+        b.push(blk, Instr::nop());
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::MissingFallThrough(_)
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty_lowercase() {
+        let errs: Vec<BuildError> = vec![
+            BuildError::NoFunctions,
+            BuildError::EmptyFunction("f".into()),
+            BuildError::EmptyBlock(0),
+            BuildError::TerminatorNotLast(0),
+            BuildError::CrossFunctionBranch(0),
+            BuildError::CrossFunctionJump(0),
+            BuildError::MissingFallThrough(0),
+            BuildError::IncompleteBranch(0),
+            BuildError::MissingMemBehavior(0),
+            BuildError::FaultOnNonLoad(0),
+            BuildError::MissingFaultHandler,
+            BuildError::HandlerMustReturn,
+            BuildError::DanglingTarget(0),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Functional execution: turning a static [`Program`] into dynamic
+//! instruction streams.
+//!
+//! [`Executor`] yields the *correct-path* stream the timing core will fetch
+//! from (and against which all profilers are evaluated). Page faults are
+//! interposed inline: a faulting load appears once flagged
+//! [`DynInstr::fault`], followed by the designated handler function's
+//! instructions, followed by a re-execution of the load.
+//!
+//! [`WrongPath`] yields the speculative stream a front-end fetches after a
+//! mispredicted branch or past a faulting load, by statically walking the
+//! CFG from a given instruction.
+
+use crate::behavior::{BranchState, MemState};
+use crate::kind::InstrKind;
+use crate::program::{InstrAddr, InstrIdx, Program};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// One dynamic (correct-path) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInstr {
+    /// Position in the correct-path stream (0-based).
+    pub seq: u64,
+    /// The static instruction this is an execution of.
+    pub idx: InstrIdx,
+    /// Its address.
+    pub addr: InstrAddr,
+    /// Its kind (copied out for convenience).
+    pub kind: InstrKind,
+    /// Branch direction, for branches.
+    pub taken: Option<bool>,
+    /// Effective address, for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Whether this execution page-faults (loads only). The stream continues
+    /// with the fault handler and then a non-faulting re-execution.
+    pub fault: bool,
+    /// Address of the next correct-path instruction (`None` at stream end).
+    /// The front-end uses this to check its predictions.
+    pub next_addr: Option<InstrAddr>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Frame {
+    /// Normal call: resume at this instruction after `ret`.
+    Call { resume: u32 },
+    /// Fault handler: re-execute this load (at this address) after `ret`.
+    Fault { load_idx: u32, mem_addr: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RawDyn {
+    idx: u32,
+    taken: Option<bool>,
+    mem_addr: Option<u64>,
+    fault: bool,
+}
+
+/// Lazily generates the correct-path dynamic instruction stream of a
+/// [`Program`].
+///
+/// Deterministic: the same program and seed produce the same stream. The
+/// stream ends when a `halt` commits architecturally or when the entry
+/// function returns.
+#[derive(Debug)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    /// Next instruction to execute; `None` when finished.
+    pc: Option<u32>,
+    stack: Vec<Frame>,
+    branch_states: Vec<Option<BranchState>>,
+    mem_states: Vec<Option<MemState>>,
+    /// Dynamic execution count of each load (drives fault injection).
+    exec_counts: Vec<u64>,
+    /// Pending re-execution of a faulting load after its handler returned.
+    reexec: Option<(u32, u64)>,
+    seed: u64,
+    seq: u64,
+    lookahead: Option<RawDyn>,
+    primed: bool,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor for `program` with the given behaviour seed.
+    #[must_use]
+    pub fn new(program: &'p Program, seed: u64) -> Self {
+        let n = program.len();
+        let entry = program.function(program.entry()).entry_block();
+        let pc = program.block(entry).first_instr().index() as u32;
+        Executor {
+            program,
+            pc: Some(pc),
+            stack: Vec::new(),
+            branch_states: vec![None; n],
+            mem_states: vec![None; n],
+            exec_counts: vec![0; n],
+            reexec: None,
+            seed,
+            seq: 0,
+            lookahead: None,
+            primed: false,
+        }
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    fn branch_state(&mut self, idx: u32) -> &mut BranchState {
+        let seed = self.seed;
+        self.branch_states[idx as usize]
+            .get_or_insert_with(|| BranchState::new(seed ^ (u64::from(idx) << 1 | 1)))
+    }
+
+    fn mem_state(&mut self, idx: u32) -> &mut MemState {
+        let seed = self.seed;
+        self.mem_states[idx as usize]
+            .get_or_insert_with(|| MemState::new(seed ^ (u64::from(idx) << 17 | 3)))
+    }
+
+    /// Advances architectural state by one instruction and returns its raw
+    /// record, or `None` at program end.
+    fn step(&mut self) -> Option<RawDyn> {
+        // A faulting load's handler has returned: re-execute the load.
+        if let Some((load_idx, mem_addr)) = self.reexec.take() {
+            self.pc = Some(load_idx + 1);
+            return Some(RawDyn {
+                idx: load_idx,
+                taken: None,
+                mem_addr: Some(mem_addr),
+                fault: false,
+            });
+        }
+
+        let pc = self.pc?;
+        let instr = &self.program.instrs()[pc as usize];
+        let mut raw = RawDyn {
+            idx: pc,
+            taken: None,
+            mem_addr: None,
+            fault: false,
+        };
+
+        match instr.kind() {
+            InstrKind::Branch => {
+                let behavior = instr.branch_behavior().expect("validated branch").clone();
+                let taken = self.branch_state(pc).next_outcome(&behavior);
+                raw.taken = Some(taken);
+                if taken {
+                    let target = instr.taken_target().expect("validated branch");
+                    self.pc = Some(self.program.block(target).first_instr().index() as u32);
+                } else {
+                    self.pc = Some(pc + 1);
+                }
+            }
+            InstrKind::Jump => {
+                let target = instr.jump_target.expect("validated jump");
+                self.pc = Some(self.program.block(target).first_instr().index() as u32);
+            }
+            InstrKind::Call => {
+                let callee = instr.callee().expect("validated call");
+                // Resume at the first instruction of the block following the
+                // call's block.
+                let call_block = self.program.block_of(InstrIdx(pc));
+                let next_block = crate::program::BlockId(call_block.index() as u32 + 1);
+                let resume = self.program.block(next_block).first_instr().index() as u32;
+                self.stack.push(Frame::Call { resume });
+                let entry = self.program.function(callee).entry_block();
+                self.pc = Some(self.program.block(entry).first_instr().index() as u32);
+            }
+            InstrKind::Ret => match self.stack.pop() {
+                Some(Frame::Call { resume }) => self.pc = Some(resume),
+                Some(Frame::Fault { load_idx, mem_addr }) => {
+                    self.reexec = Some((load_idx, mem_addr));
+                    self.pc = None; // replaced on re-exec
+                }
+                None => self.pc = None, // entry function returned: done
+            },
+            InstrKind::Halt => {
+                self.pc = None;
+            }
+            InstrKind::Load => {
+                let behavior = instr.mem_behavior().expect("validated load").clone();
+                let addr = self.mem_state(pc).next_addr(&behavior);
+                raw.mem_addr = Some(addr);
+                let n = self.exec_counts[pc as usize];
+                self.exec_counts[pc as usize] += 1;
+                if instr.fault_spec().is_some_and(|f| f.faults_on(n))
+                    && self.program.fault_handler().is_some()
+                {
+                    raw.fault = true;
+                    // Divert to the handler; re-execute the load on return.
+                    self.stack.push(Frame::Fault {
+                        load_idx: pc,
+                        mem_addr: addr,
+                    });
+                    let handler = self.program.fault_handler().expect("checked above");
+                    let entry = self.program.function(handler).entry_block();
+                    self.pc = Some(self.program.block(entry).first_instr().index() as u32);
+                } else {
+                    self.pc = Some(pc + 1);
+                }
+            }
+            InstrKind::Store => {
+                let behavior = instr.mem_behavior().expect("validated store").clone();
+                raw.mem_addr = Some(self.mem_state(pc).next_addr(&behavior));
+                self.pc = Some(pc + 1);
+            }
+            _ => {
+                self.pc = Some(pc + 1);
+            }
+        }
+        Some(raw)
+    }
+
+    fn to_dyn(&self, raw: RawDyn, next: Option<&RawDyn>) -> DynInstr {
+        let idx = InstrIdx(raw.idx);
+        DynInstr {
+            seq: self.seq,
+            idx,
+            addr: self.program.addr_of(idx),
+            kind: self.program.instr(idx).kind(),
+            taken: raw.taken,
+            mem_addr: raw.mem_addr,
+            fault: raw.fault,
+            next_addr: next.map(|n| self.program.addr_of(InstrIdx(n.idx))),
+        }
+    }
+}
+
+impl Iterator for Executor<'_> {
+    type Item = DynInstr;
+
+    fn next(&mut self) -> Option<DynInstr> {
+        if !self.primed {
+            self.lookahead = self.step();
+            self.primed = true;
+        }
+        let current = self.lookahead.take()?;
+        self.lookahead = self.step();
+        let out = self.to_dyn(current, self.lookahead.as_ref());
+        self.seq += 1;
+        Some(out)
+    }
+}
+
+/// One speculative (wrong-path) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WrongPathInstr {
+    /// The static instruction fetched.
+    pub idx: InstrIdx,
+    /// Its address.
+    pub addr: InstrAddr,
+    /// Its kind.
+    pub kind: InstrKind,
+    /// A synthetic effective address for speculative loads/stores.
+    pub mem_addr: Option<u64>,
+}
+
+/// Statically walks the CFG from a start instruction, producing the stream a
+/// front-end fetches down a wrong path (branches follow fall-through, jumps
+/// and calls are followed, returns pop a synthetic stack).
+#[derive(Debug)]
+pub struct WrongPath<'p> {
+    program: &'p Program,
+    pc: Option<u32>,
+    stack: Vec<u32>,
+    rng: SmallRng,
+}
+
+impl<'p> WrongPath<'p> {
+    /// Creates a wrong-path walker starting at `start`.
+    #[must_use]
+    pub fn new(program: &'p Program, start: InstrIdx, seed: u64) -> Self {
+        let pc = (start.index() < program.len()).then_some(start.index() as u32);
+        WrongPath {
+            program,
+            pc,
+            stack: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for WrongPath<'_> {
+    type Item = WrongPathInstr;
+
+    fn next(&mut self) -> Option<WrongPathInstr> {
+        let pc = self.pc?;
+        let program = self.program;
+        let instr = &program.instrs()[pc as usize];
+        let kind = instr.kind();
+
+        let mem_addr = instr.mem_behavior().map(|b| match *b {
+            crate::behavior::MemBehavior::Stride {
+                base, footprint, ..
+            } => base + self.rng.random_range(0..footprint.max(64) / 64) * 64,
+            crate::behavior::MemBehavior::RandomIn { base, footprint } => {
+                base + self.rng.random_range(0..footprint.max(8) / 8) * 8
+            }
+            crate::behavior::MemBehavior::Fixed { addr } => addr,
+        });
+
+        self.pc = match kind {
+            // Wrong paths follow fall-through at branches.
+            InstrKind::Branch => Some(pc + 1),
+            InstrKind::Jump => {
+                let target = instr.jump_target.expect("validated jump");
+                Some(program.block(target).first_instr().index() as u32)
+            }
+            InstrKind::Call => {
+                let callee = instr.callee().expect("validated call");
+                let call_block = program.block_of(InstrIdx(pc));
+                let next_block = crate::program::BlockId(call_block.index() as u32 + 1);
+                self.stack
+                    .push(program.block(next_block).first_instr().index() as u32);
+                let entry = program.function(callee).entry_block();
+                Some(program.block(entry).first_instr().index() as u32)
+            }
+            InstrKind::Ret => self.stack.pop(),
+            InstrKind::Halt => None,
+            _ => {
+                let next = pc + 1;
+                ((next as usize) < program.len()).then_some(next)
+            }
+        };
+
+        let idx = InstrIdx(pc);
+        Some(WrongPathInstr {
+            idx,
+            addr: program.addr_of(idx),
+            kind,
+            mem_addr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{BranchBehavior, FaultSpec, MemBehavior};
+    use crate::builder::ProgramBuilder;
+    use crate::program::TEXT_BASE;
+    use crate::reg::Reg;
+    use crate::Instr;
+
+    fn loop_program(taken_iters: u32) -> Program {
+        let mut b = ProgramBuilder::named("loop");
+        let main = b.function("main");
+        let body = b.block(main);
+        b.push(body, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(
+            body,
+            Instr::branch(body, BranchBehavior::Loop { taken_iters }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn loop_unrolls_correctly() {
+        let p = loop_program(2);
+        let stream: Vec<DynInstr> = Executor::new(&p, 0).collect();
+        // 3 iterations of (alu, br) then halt.
+        assert_eq!(stream.len(), 7);
+        assert_eq!(stream[1].taken, Some(true));
+        assert_eq!(stream[3].taken, Some(true));
+        assert_eq!(stream[5].taken, Some(false));
+        assert_eq!(stream[6].kind, InstrKind::Halt);
+        // seq is consecutive.
+        for (i, d) in stream.iter().enumerate() {
+            assert_eq!(d.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn next_addr_links_the_stream() {
+        let p = loop_program(1);
+        let stream: Vec<DynInstr> = Executor::new(&p, 0).collect();
+        for pair in stream.windows(2) {
+            assert_eq!(pair[0].next_addr, Some(pair[1].addr));
+        }
+        assert_eq!(stream.last().unwrap().next_addr, None);
+    }
+
+    #[test]
+    fn executor_is_deterministic() {
+        let p = loop_program(3);
+        let a: Vec<DynInstr> = Executor::new(&p, 9).collect();
+        let b: Vec<DynInstr> = Executor::new(&p, 9).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let callee = b.function("callee");
+        let m0 = b.block(main);
+        b.push(m0, Instr::call(callee));
+        let m1 = b.block(main);
+        b.push(m1, Instr::halt());
+        let c0 = b.block(callee);
+        b.push(c0, Instr::nop());
+        b.push(c0, Instr::ret());
+        let p = b.build().expect("valid");
+
+        let kinds: Vec<InstrKind> = Executor::new(&p, 0).map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                InstrKind::Call,
+                InstrKind::Nop,
+                InstrKind::Ret,
+                InstrKind::Halt
+            ]
+        );
+    }
+
+    #[test]
+    fn entry_function_return_ends_stream() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let m0 = b.block(main);
+        b.push(m0, Instr::nop());
+        b.push(m0, Instr::ret());
+        let p = b.build().expect("valid");
+        assert_eq!(Executor::new(&p, 0).count(), 2);
+    }
+
+    #[test]
+    fn fault_interposes_handler_and_reexecutes() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let handler = b.function("os_handler");
+        let m0 = b.block(main);
+        b.push(
+            m0,
+            Instr::load(Some(Reg::int(1)), None, MemBehavior::Fixed { addr: 0xF000 })
+                .with_fault(FaultSpec { every: 1 }),
+        );
+        b.push(m0, Instr::halt());
+        let h0 = b.block(handler);
+        b.push(h0, Instr::nop());
+        b.push(h0, Instr::ret());
+        b.set_fault_handler(handler);
+        let p = b.build().expect("valid");
+
+        let stream: Vec<DynInstr> = Executor::new(&p, 0).collect();
+        let kinds: Vec<InstrKind> = stream.iter().map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                InstrKind::Load, // faulting execution
+                InstrKind::Nop,  // handler
+                InstrKind::Ret,
+                InstrKind::Load, // re-execution
+                InstrKind::Halt,
+            ]
+        );
+        assert!(stream[0].fault);
+        assert!(!stream[3].fault);
+        assert_eq!(stream[0].mem_addr, stream[3].mem_addr);
+        // The faulting load's correct-path successor is the handler entry.
+        assert_eq!(stream[0].next_addr, Some(stream[1].addr));
+    }
+
+    #[test]
+    fn wrong_path_follows_fall_through() {
+        let p = loop_program(2);
+        // Start at the branch: wrong path must fall through to halt.
+        let wp: Vec<WrongPathInstr> = WrongPath::new(&p, InstrIdx(1), 0).take(8).collect();
+        assert_eq!(wp[0].kind, InstrKind::Branch);
+        assert_eq!(wp[1].kind, InstrKind::Halt);
+        assert_eq!(wp.len(), 2);
+    }
+
+    #[test]
+    fn wrong_path_addresses_match_program() {
+        let p = loop_program(2);
+        for w in WrongPath::new(&p, InstrIdx(0), 1).take(4) {
+            assert_eq!(w.addr, p.addr_of(w.idx));
+            assert!(w.addr.raw() >= TEXT_BASE);
+        }
+    }
+
+    #[test]
+    fn loads_have_memory_addresses() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let m0 = b.block(main);
+        b.push(
+            m0,
+            Instr::load(
+                Some(Reg::int(1)),
+                None,
+                MemBehavior::Stride {
+                    base: 0x10_0000,
+                    stride: 8,
+                    footprint: 64,
+                },
+            ),
+        );
+        b.push(
+            m0,
+            Instr::branch(m0, BranchBehavior::Loop { taken_iters: 3 }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        let p = b.build().expect("valid");
+
+        let addrs: Vec<u64> = Executor::new(&p, 0)
+            .filter(|d| d.kind == InstrKind::Load)
+            .map(|d| d.mem_addr.expect("load has address"))
+            .collect();
+        assert_eq!(addrs, vec![0x10_0000, 0x10_0008, 0x10_0010, 0x10_0018]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Instruction kinds and functional-unit classes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a static instruction.
+///
+/// The set is deliberately small: it is the minimum needed to reproduce the
+/// commit-stage behaviour the paper's profilers distinguish — integer and
+/// floating-point compute with different latencies, loads and stores (stall
+/// states), branches and jumps (flush state via misprediction), CSR
+/// instructions that flush the pipeline at commit (the Imagick case study),
+/// fences (serialized dispatch), and nops (the Imagick optimization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide.
+    IntDiv,
+    /// Pipelined floating-point add/sub/compare.
+    FpAlu,
+    /// Pipelined floating-point multiply / fused multiply-add.
+    FpMul,
+    /// Unpipelined floating-point divide / square root.
+    FpDiv,
+    /// Memory load; latency depends on the cache hierarchy.
+    Load,
+    /// Memory store; retires through the store buffer at commit.
+    Store,
+    /// Conditional branch (direction decided by a [`crate::BranchBehavior`]).
+    Branch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call; pushes a return address consumed by `Ret`.
+    Call,
+    /// Function return; target predicted through the return-address stack.
+    Ret,
+    /// Control-status-register access that forces a full pipeline flush when
+    /// it commits (e.g. RISC-V `frflags`/`fsflags` on a core that does not
+    /// rename status registers — the root cause in the Imagick case study).
+    CsrFlush,
+    /// Memory fence: dispatch is serialized around it (the ROB must drain
+    /// before it dispatches, and nothing dispatches until it commits).
+    Fence,
+    /// No-operation (still occupies a ROB entry and commits).
+    Nop,
+    /// Terminates the program when committed.
+    Halt,
+}
+
+impl InstrKind {
+    /// Execution latency in cycles on its functional unit.
+    ///
+    /// For loads this is only the address-generation component; the memory
+    /// access latency is added by the memory hierarchy.
+    #[must_use]
+    pub fn exec_latency(self) -> u32 {
+        match self {
+            InstrKind::IntAlu
+            | InstrKind::Branch
+            | InstrKind::Jump
+            | InstrKind::Call
+            | InstrKind::Ret
+            | InstrKind::CsrFlush
+            | InstrKind::Fence
+            | InstrKind::Nop
+            | InstrKind::Halt => 1,
+            InstrKind::IntMul => 3,
+            InstrKind::IntDiv => 12,
+            InstrKind::FpAlu | InstrKind::FpMul => 4,
+            InstrKind::FpDiv => 16,
+            InstrKind::Load | InstrKind::Store => 1,
+        }
+    }
+
+    /// Whether the functional unit is pipelined for this kind (unpipelined
+    /// units block their FU for the whole latency).
+    #[must_use]
+    pub fn pipelined(self) -> bool {
+        !matches!(self, InstrKind::IntDiv | InstrKind::FpDiv)
+    }
+
+    /// The functional-unit / issue-queue class this kind executes on.
+    #[must_use]
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            InstrKind::FpAlu | InstrKind::FpMul | InstrKind::FpDiv => FuClass::Fp,
+            InstrKind::Load | InstrKind::Store => FuClass::Mem,
+            _ => FuClass::Int,
+        }
+    }
+
+    /// True for instructions that may redirect the front-end (branches,
+    /// jumps, calls, returns).
+    #[must_use]
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self,
+            InstrKind::Branch | InstrKind::Jump | InstrKind::Call | InstrKind::Ret
+        )
+    }
+
+    /// True for instructions that must terminate a basic block.
+    #[must_use]
+    pub fn is_terminator(self) -> bool {
+        self.is_control_flow() || self == InstrKind::Halt
+    }
+
+    /// True for loads and stores.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstrKind::Load | InstrKind::Store)
+    }
+
+    /// Short mnemonic used in profile listings.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InstrKind::IntAlu => "alu",
+            InstrKind::IntMul => "mul",
+            InstrKind::IntDiv => "div",
+            InstrKind::FpAlu => "fadd",
+            InstrKind::FpMul => "fmul",
+            InstrKind::FpDiv => "fdiv",
+            InstrKind::Load => "ld",
+            InstrKind::Store => "st",
+            InstrKind::Branch => "br",
+            InstrKind::Jump => "j",
+            InstrKind::Call => "call",
+            InstrKind::Ret => "ret",
+            InstrKind::CsrFlush => "csr",
+            InstrKind::Fence => "fence",
+            InstrKind::Nop => "nop",
+            InstrKind::Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for InstrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Functional-unit (and issue-queue) class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Integer pipeline (ALU, MUL, DIV, control flow, CSR, fence, nop).
+    Int,
+    /// Floating-point pipeline.
+    Fp,
+    /// Memory pipeline (address generation + load/store unit).
+    Mem,
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuClass::Int => f.write_str("INT"),
+            FuClass::Fp => f.write_str("FP"),
+            FuClass::Mem => f.write_str("MEM"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flow_kinds_are_terminators() {
+        for kind in [
+            InstrKind::Branch,
+            InstrKind::Jump,
+            InstrKind::Call,
+            InstrKind::Ret,
+            InstrKind::Halt,
+        ] {
+            assert!(kind.is_terminator(), "{kind} should terminate a block");
+        }
+        assert!(!InstrKind::IntAlu.is_terminator());
+        assert!(!InstrKind::CsrFlush.is_terminator());
+    }
+
+    #[test]
+    fn divides_are_unpipelined() {
+        assert!(!InstrKind::IntDiv.pipelined());
+        assert!(!InstrKind::FpDiv.pipelined());
+        assert!(InstrKind::IntMul.pipelined());
+        assert!(InstrKind::FpMul.pipelined());
+    }
+
+    #[test]
+    fn fu_classes() {
+        assert_eq!(InstrKind::Load.fu_class(), FuClass::Mem);
+        assert_eq!(InstrKind::Store.fu_class(), FuClass::Mem);
+        assert_eq!(InstrKind::FpDiv.fu_class(), FuClass::Fp);
+        assert_eq!(InstrKind::Branch.fu_class(), FuClass::Int);
+        assert_eq!(InstrKind::CsrFlush.fu_class(), FuClass::Int);
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for kind in [
+            InstrKind::IntAlu,
+            InstrKind::IntMul,
+            InstrKind::IntDiv,
+            InstrKind::FpAlu,
+            InstrKind::FpMul,
+            InstrKind::FpDiv,
+            InstrKind::Load,
+            InstrKind::Store,
+            InstrKind::Branch,
+            InstrKind::Jump,
+            InstrKind::Call,
+            InstrKind::Ret,
+            InstrKind::CsrFlush,
+            InstrKind::Fence,
+            InstrKind::Nop,
+            InstrKind::Halt,
+        ] {
+            assert!(kind.exec_latency() >= 1);
+        }
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(InstrKind::Load.to_string(), "ld");
+        assert_eq!(FuClass::Mem.to_string(), "MEM");
+    }
+}

@@ -1,0 +1,59 @@
+//! Static program model for the TIP reproduction.
+//!
+//! This crate provides the substrate that stands in for compiled RISC-V
+//! binaries in the paper's evaluation: a small instruction set ([`InstrKind`]),
+//! programs structured as functions of basic blocks ([`Program`]), a builder
+//! with validation ([`ProgramBuilder`]), symbol lookup at instruction, basic
+//! block, and function granularity ([`Granularity`], [`SymbolMap`]), and a
+//! functional [`Executor`] that turns the static CFG plus per-instruction
+//! behaviour annotations ([`BranchBehavior`], [`MemBehavior`]) into the
+//! dynamic, correct-path instruction stream consumed by the timing simulator
+//! in `tip-ooo`.
+//!
+//! Programs here are *synthetic*: instructions do not compute real values.
+//! Instead, every control-flow or memory instruction carries a seeded
+//! behaviour that deterministically decides branch outcomes and memory
+//! addresses. This preserves exactly what the paper's evaluation depends on —
+//! dependency structure (ILP), stall/flush/drain behaviour, and a symbol
+//! hierarchy — without needing SPEC/PARSEC binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use tip_isa::{ProgramBuilder, Instr, Reg, BranchBehavior, Executor};
+//!
+//! # fn main() -> Result<(), tip_isa::BuildError> {
+//! let mut b = ProgramBuilder::new();
+//! let main = b.function("main");
+//! let body = b.block(main);
+//! b.push(body, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+//! b.push(body, Instr::branch(body, BranchBehavior::Loop { taken_iters: 3 }));
+//! let exit = b.block(main);
+//! b.push(exit, Instr::halt());
+//! let program = b.build()?;
+//!
+//! let stream: Vec<_> = Executor::new(&program, 42).take(16).collect();
+//! assert_eq!(stream.len(), 9); // 4 loop iterations of 2 instrs + halt
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod behavior;
+mod builder;
+mod exec;
+mod kind;
+mod program;
+mod reg;
+
+pub use behavior::{BranchBehavior, FaultSpec, MemBehavior};
+pub use builder::{BuildError, ProgramBuilder};
+pub use exec::{DynInstr, Executor, WrongPath, WrongPathInstr};
+pub use kind::{FuClass, InstrKind};
+pub use program::{
+    BasicBlock, BlockId, Function, FunctionId, Granularity, Instr, InstrAddr, InstrIdx, Program,
+    SymbolId, SymbolMap, INSTR_BYTES, TEXT_BASE,
+};
+pub use reg::{Reg, RegClass};

@@ -1,0 +1,762 @@
+//! Programs: functions, basic blocks, instructions, addresses, and symbols.
+
+use crate::behavior::{BranchBehavior, FaultSpec, MemBehavior};
+use crate::kind::InstrKind;
+use crate::reg::Reg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Byte address of the first instruction of a program.
+pub const TEXT_BASE: u64 = 0x1_0000;
+
+/// Size in bytes of one encoded instruction.
+pub const INSTR_BYTES: u64 = 4;
+
+/// Identifies a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionId(pub(crate) u32);
+
+impl FunctionId {
+    /// The dense index of this function.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a basic block within a [`Program`] (global across functions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The dense index of this block.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense index of a static instruction within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstrIdx(pub(crate) u32);
+
+impl InstrIdx {
+    /// Creates an index from a raw dense position.
+    #[must_use]
+    pub fn new(raw: u32) -> Self {
+        InstrIdx(raw)
+    }
+
+    /// The dense index of this instruction.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw dense position.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Byte address of a static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstrAddr(u64);
+
+impl InstrAddr {
+    /// Creates an address from a raw byte value.
+    #[must_use]
+    pub fn new(raw: u64) -> Self {
+        InstrAddr(raw)
+    }
+
+    /// The raw byte address.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for InstrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for InstrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A static instruction: a kind, a register signature shaping dependencies,
+/// and optional behaviour annotations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instr {
+    pub(crate) kind: InstrKind,
+    pub(crate) dst: Option<Reg>,
+    pub(crate) srcs: [Option<Reg>; 2],
+    /// Taken target (branches only); fall-through is the next block.
+    pub(crate) taken_target: Option<BlockId>,
+    /// Direction behaviour (branches only).
+    pub(crate) branch_behavior: Option<BranchBehavior>,
+    /// Jump/call target block (jumps: same function; calls: callee entry is
+    /// derived from the target function).
+    pub(crate) jump_target: Option<BlockId>,
+    /// Callee (calls only).
+    pub(crate) callee: Option<FunctionId>,
+    /// Address behaviour (loads/stores only).
+    pub(crate) mem: Option<MemBehavior>,
+    /// Page-fault injection (loads only).
+    pub(crate) fault: Option<FaultSpec>,
+}
+
+impl Instr {
+    fn bare(kind: InstrKind) -> Self {
+        Instr {
+            kind,
+            dst: None,
+            srcs: [None, None],
+            taken_target: None,
+            branch_behavior: None,
+            jump_target: None,
+            callee: None,
+            mem: None,
+            fault: None,
+        }
+    }
+
+    /// A plain instruction of `kind` with a register signature. Use the
+    /// dedicated constructors for control flow and memory instructions.
+    #[must_use]
+    pub fn op(kind: InstrKind, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
+        let mut i = Instr::bare(kind);
+        i.dst = dst;
+        i.srcs = srcs;
+        i
+    }
+
+    /// A single-cycle integer ALU instruction.
+    #[must_use]
+    pub fn int_alu(dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
+        Instr::op(InstrKind::IntAlu, dst, srcs)
+    }
+
+    /// A floating-point instruction of the given FP kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not `FpAlu`, `FpMul`, or `FpDiv`.
+    #[must_use]
+    pub fn fp(kind: InstrKind, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
+        assert!(
+            matches!(kind, InstrKind::FpAlu | InstrKind::FpMul | InstrKind::FpDiv),
+            "{kind} is not a floating-point kind"
+        );
+        Instr::op(kind, dst, srcs)
+    }
+
+    /// A load with the given address behaviour.
+    #[must_use]
+    pub fn load(dst: Option<Reg>, addr_src: Option<Reg>, mem: MemBehavior) -> Self {
+        let mut i = Instr::op(InstrKind::Load, dst, [addr_src, None]);
+        i.mem = Some(mem);
+        i
+    }
+
+    /// A store with the given address behaviour; `data_src`/`addr_src` shape
+    /// its dependencies.
+    #[must_use]
+    pub fn store(data_src: Option<Reg>, addr_src: Option<Reg>, mem: MemBehavior) -> Self {
+        let mut i = Instr::op(InstrKind::Store, None, [data_src, addr_src]);
+        i.mem = Some(mem);
+        i
+    }
+
+    /// A conditional branch to `taken_target` with direction `behavior`.
+    /// The fall-through is the next block of the same function.
+    #[must_use]
+    pub fn branch(taken_target: BlockId, behavior: BranchBehavior) -> Self {
+        let mut i = Instr::bare(InstrKind::Branch);
+        i.taken_target = Some(taken_target);
+        i.branch_behavior = Some(behavior);
+        i
+    }
+
+    /// A conditional branch whose condition reads `src` (adds a data
+    /// dependency into the branch, e.g. on a preceding load).
+    #[must_use]
+    pub fn branch_on(src: Reg, taken_target: BlockId, behavior: BranchBehavior) -> Self {
+        let mut i = Instr::branch(taken_target, behavior);
+        i.srcs = [Some(src), None];
+        i
+    }
+
+    /// An unconditional jump to `target` (same function).
+    #[must_use]
+    pub fn jump(target: BlockId) -> Self {
+        let mut i = Instr::bare(InstrKind::Jump);
+        i.jump_target = Some(target);
+        i
+    }
+
+    /// A direct call to `callee`; execution resumes at the next block of the
+    /// calling function when the callee returns.
+    #[must_use]
+    pub fn call(callee: FunctionId) -> Self {
+        let mut i = Instr::bare(InstrKind::Call);
+        i.callee = Some(callee);
+        i
+    }
+
+    /// A function return.
+    #[must_use]
+    pub fn ret() -> Self {
+        Instr::bare(InstrKind::Ret)
+    }
+
+    /// A CSR access that flushes the pipeline at commit.
+    #[must_use]
+    pub fn csr_flush() -> Self {
+        Instr::bare(InstrKind::CsrFlush)
+    }
+
+    /// A memory fence (serializes dispatch).
+    #[must_use]
+    pub fn fence() -> Self {
+        Instr::bare(InstrKind::Fence)
+    }
+
+    /// A no-operation.
+    #[must_use]
+    pub fn nop() -> Self {
+        Instr::bare(InstrKind::Nop)
+    }
+
+    /// Terminates the program when committed.
+    #[must_use]
+    pub fn halt() -> Self {
+        Instr::bare(InstrKind::Halt)
+    }
+
+    /// Attaches a page-fault injection spec (loads only; validated at build).
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The instruction kind.
+    #[must_use]
+    pub fn kind(&self) -> InstrKind {
+        self.kind
+    }
+
+    /// Destination register, if any.
+    #[must_use]
+    pub fn dst(&self) -> Option<Reg> {
+        self.dst
+    }
+
+    /// Source registers (up to two).
+    #[must_use]
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        self.srcs
+    }
+
+    /// Taken target for branches.
+    #[must_use]
+    pub fn taken_target(&self) -> Option<BlockId> {
+        self.taken_target
+    }
+
+    /// Direction behaviour for branches.
+    #[must_use]
+    pub fn branch_behavior(&self) -> Option<&BranchBehavior> {
+        self.branch_behavior.as_ref()
+    }
+
+    /// Memory behaviour for loads/stores.
+    #[must_use]
+    pub fn mem_behavior(&self) -> Option<&MemBehavior> {
+        self.mem.as_ref()
+    }
+
+    /// Fault spec for faulting loads.
+    #[must_use]
+    pub fn fault_spec(&self) -> Option<FaultSpec> {
+        self.fault
+    }
+
+    /// Callee for calls.
+    #[must_use]
+    pub fn callee(&self) -> Option<FunctionId> {
+        self.callee
+    }
+}
+
+/// A basic block: a contiguous run of instructions within one function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    pub(crate) id: BlockId,
+    pub(crate) function: FunctionId,
+    /// Global instruction index range `[start, end)`.
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+}
+
+impl BasicBlock {
+    /// This block's id.
+    #[must_use]
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The function containing this block.
+    #[must_use]
+    pub fn function(&self) -> FunctionId {
+        self.function
+    }
+
+    /// Global index of the first instruction.
+    #[must_use]
+    pub fn first_instr(&self) -> InstrIdx {
+        InstrIdx(self.start)
+    }
+
+    /// Global indices `[start, end)` of the block's instructions.
+    #[must_use]
+    pub fn instr_range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the block has no instructions (only possible pre-validation).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A function: a named, contiguous sequence of basic blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    pub(crate) id: FunctionId,
+    pub(crate) name: String,
+    /// Global block index range `[start, end)`.
+    pub(crate) block_start: u32,
+    pub(crate) block_end: u32,
+}
+
+impl Function {
+    /// This function's id.
+    #[must_use]
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The function's symbol name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Global block indices `[start, end)` belonging to this function.
+    #[must_use]
+    pub fn block_range(&self) -> std::ops::Range<usize> {
+        self.block_start as usize..self.block_end as usize
+    }
+
+    /// The function's entry block.
+    #[must_use]
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(self.block_start)
+    }
+}
+
+/// Profile granularity: which symbols time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Individual static instructions.
+    Instruction,
+    /// Basic blocks.
+    BasicBlock,
+    /// Functions.
+    Function,
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Granularity::Instruction => f.write_str("instruction"),
+            Granularity::BasicBlock => f.write_str("basic-block"),
+            Granularity::Function => f.write_str("function"),
+        }
+    }
+}
+
+/// A symbol at some granularity: an instruction, block, or function index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SymbolId(pub u32);
+
+/// A validated program.
+///
+/// Construct with [`crate::ProgramBuilder`]. Instructions live at
+/// `TEXT_BASE + 4 * global_index`, functions and blocks are contiguous, and
+/// all control-flow targets have been checked.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) functions: Vec<Function>,
+    pub(crate) blocks: Vec<BasicBlock>,
+    pub(crate) instrs: Vec<Instr>,
+    /// Per-instruction containing block.
+    pub(crate) instr_block: Vec<u32>,
+    /// Per-instruction containing function.
+    pub(crate) instr_func: Vec<u32>,
+    /// Designated page-fault handler, if any load carries a [`FaultSpec`].
+    pub(crate) fault_handler: Option<FunctionId>,
+}
+
+impl Program {
+    /// The program's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All functions, in layout order.
+    #[must_use]
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// All basic blocks, in layout order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// All instructions, in layout order.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions (never true post-validation).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn instr(&self, idx: InstrIdx) -> &Instr {
+        &self.instrs[idx.index()]
+    }
+
+    /// The block with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// The function with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn function(&self, id: FunctionId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// The entry function (the first one declared).
+    #[must_use]
+    pub fn entry(&self) -> FunctionId {
+        FunctionId(0)
+    }
+
+    /// The designated page-fault handler, if any.
+    #[must_use]
+    pub fn fault_handler(&self) -> Option<FunctionId> {
+        self.fault_handler
+    }
+
+    /// Address of the instruction at `idx`.
+    #[must_use]
+    pub fn addr_of(&self, idx: InstrIdx) -> InstrAddr {
+        InstrAddr(TEXT_BASE + INSTR_BYTES * u64::from(idx.0))
+    }
+
+    /// Instruction index for `addr`, if it names an instruction of this
+    /// program.
+    #[must_use]
+    pub fn idx_of_addr(&self, addr: InstrAddr) -> Option<InstrIdx> {
+        let raw = addr.raw();
+        if raw < TEXT_BASE || !(raw - TEXT_BASE).is_multiple_of(INSTR_BYTES) {
+            return None;
+        }
+        let idx = (raw - TEXT_BASE) / INSTR_BYTES;
+        if (idx as usize) < self.instrs.len() {
+            Some(InstrIdx(idx as u32))
+        } else {
+            None
+        }
+    }
+
+    /// The block containing instruction `idx`.
+    #[must_use]
+    pub fn block_of(&self, idx: InstrIdx) -> BlockId {
+        BlockId(self.instr_block[idx.index()])
+    }
+
+    /// The function containing instruction `idx`.
+    #[must_use]
+    pub fn function_of(&self, idx: InstrIdx) -> FunctionId {
+        FunctionId(self.instr_func[idx.index()])
+    }
+
+    /// The symbol of instruction `idx` at granularity `g`.
+    #[must_use]
+    pub fn symbol_of(&self, idx: InstrIdx, g: Granularity) -> SymbolId {
+        match g {
+            Granularity::Instruction => SymbolId(idx.0),
+            Granularity::BasicBlock => SymbolId(self.instr_block[idx.index()]),
+            Granularity::Function => SymbolId(self.instr_func[idx.index()]),
+        }
+    }
+
+    /// Number of distinct symbols at granularity `g`.
+    #[must_use]
+    pub fn num_symbols(&self, g: Granularity) -> usize {
+        match g {
+            Granularity::Instruction => self.instrs.len(),
+            Granularity::BasicBlock => self.blocks.len(),
+            Granularity::Function => self.functions.len(),
+        }
+    }
+
+    /// Human-readable name of a symbol at granularity `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is out of range for `g`.
+    #[must_use]
+    pub fn symbol_name(&self, g: Granularity, sym: SymbolId) -> String {
+        match g {
+            Granularity::Instruction => {
+                let idx = InstrIdx(sym.0);
+                let func = &self.functions[self.instr_func[idx.index()] as usize];
+                format!(
+                    "{}@{}<{}>",
+                    self.addr_of(idx),
+                    func.name,
+                    self.instr(idx).kind()
+                )
+            }
+            Granularity::BasicBlock => {
+                let blk = &self.blocks[sym.0 as usize];
+                let func = &self.functions[blk.function.index()];
+                format!("{}.bb{}", func.name, sym.0)
+            }
+            Granularity::Function => self.functions[sym.0 as usize].name.clone(),
+        }
+    }
+
+    /// A [`SymbolMap`] for fast address-to-symbol lookups at granularity `g`.
+    #[must_use]
+    pub fn symbol_map(&self, g: Granularity) -> SymbolMap {
+        let table = (0..self.instrs.len() as u32)
+            .map(|i| self.symbol_of(InstrIdx(i), g).0)
+            .collect();
+        SymbolMap {
+            granularity: g,
+            table,
+            num_symbols: self.num_symbols(g) as u32,
+        }
+    }
+
+    /// The static fall-through successor of instruction `idx` (the next
+    /// instruction in layout order), if any.
+    #[must_use]
+    pub fn next_idx(&self, idx: InstrIdx) -> Option<InstrIdx> {
+        let n = idx.0 + 1;
+        ((n as usize) < self.instrs.len()).then_some(InstrIdx(n))
+    }
+
+    /// The address execution resumes at after the call at `call_idx` returns:
+    /// the first instruction of the block following the call's block.
+    /// This is what a return-address stack pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `call_idx` is not a call (validation guarantees calls have a
+    /// following block in the same function).
+    #[must_use]
+    pub fn call_resume_addr(&self, call_idx: InstrIdx) -> InstrAddr {
+        assert_eq!(
+            self.instr(call_idx).kind(),
+            crate::InstrKind::Call,
+            "not a call"
+        );
+        let call_block = self.block_of(call_idx);
+        let next_block = &self.blocks[call_block.index() + 1];
+        self.addr_of(next_block.first_instr())
+    }
+}
+
+/// Flat address-to-symbol lookup table for one granularity.
+///
+/// Profilers use this during post-processing, mirroring how the paper's
+/// tooling maps sampled instruction addresses onto binary symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolMap {
+    granularity: Granularity,
+    /// Per-instruction symbol index.
+    table: Vec<u32>,
+    num_symbols: u32,
+}
+
+impl SymbolMap {
+    /// The granularity this map resolves to.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Number of symbols in the namespace.
+    #[must_use]
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols as usize
+    }
+
+    /// The symbol of instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn symbol(&self, idx: InstrIdx) -> SymbolId {
+        SymbolId(self.table[idx.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::BranchBehavior;
+
+    fn two_function_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let helper = b.function("helper");
+
+        let m0 = b.block(main);
+        b.push(m0, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(m0, Instr::call(helper));
+        let m1 = b.block(main);
+        b.push(m1, Instr::halt());
+
+        let h0 = b.block(helper);
+        b.push(
+            h0,
+            Instr::int_alu(Some(Reg::int(2)), [Some(Reg::int(1)), None]),
+        );
+        b.push(h0, Instr::ret());
+
+        b.build().expect("valid program")
+    }
+
+    #[test]
+    fn addresses_round_trip() {
+        let p = two_function_program();
+        for i in 0..p.len() {
+            let idx = InstrIdx(i as u32);
+            let addr = p.addr_of(idx);
+            assert_eq!(p.idx_of_addr(addr), Some(idx));
+        }
+        assert_eq!(p.idx_of_addr(InstrAddr::new(TEXT_BASE - 4)), None);
+        assert_eq!(p.idx_of_addr(InstrAddr::new(TEXT_BASE + 1)), None);
+        assert_eq!(
+            p.idx_of_addr(InstrAddr::new(TEXT_BASE + INSTR_BYTES * p.len() as u64)),
+            None
+        );
+    }
+
+    #[test]
+    fn symbols_at_all_granularities() {
+        let p = two_function_program();
+        assert_eq!(p.num_symbols(Granularity::Function), 2);
+        assert_eq!(p.num_symbols(Granularity::BasicBlock), 3);
+        assert_eq!(p.num_symbols(Granularity::Instruction), 5);
+
+        // helper's instructions belong to function 1.
+        let helper_instr = InstrIdx(3);
+        assert_eq!(
+            p.symbol_of(helper_instr, Granularity::Function),
+            SymbolId(1)
+        );
+        assert_eq!(p.function_of(helper_instr), FunctionId(1));
+        assert_eq!(p.symbol_name(Granularity::Function, SymbolId(1)), "helper");
+    }
+
+    #[test]
+    fn symbol_map_matches_symbol_of() {
+        let p = two_function_program();
+        for g in [
+            Granularity::Instruction,
+            Granularity::BasicBlock,
+            Granularity::Function,
+        ] {
+            let map = p.symbol_map(g);
+            assert_eq!(map.granularity(), g);
+            assert_eq!(map.num_symbols(), p.num_symbols(g));
+            for i in 0..p.len() {
+                let idx = InstrIdx(i as u32);
+                assert_eq!(map.symbol(idx), p.symbol_of(idx, g));
+            }
+        }
+    }
+
+    #[test]
+    fn block_layout_is_contiguous() {
+        let p = two_function_program();
+        let mut next = 0;
+        for blk in p.blocks() {
+            assert_eq!(blk.instr_range().start, next);
+            next = blk.instr_range().end;
+            assert!(!blk.is_empty());
+        }
+        assert_eq!(next, p.len());
+    }
+
+    #[test]
+    fn branch_constructor_roundtrip() {
+        let i = Instr::branch(BlockId(3), BranchBehavior::AlwaysTaken);
+        assert_eq!(i.kind(), InstrKind::Branch);
+        assert_eq!(i.taken_target(), Some(BlockId(3)));
+        assert_eq!(i.branch_behavior(), Some(&BranchBehavior::AlwaysTaken));
+    }
+}

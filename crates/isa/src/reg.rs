@@ -1,0 +1,122 @@
+//! Logical (architectural) registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of logical registers per class.
+pub const NUM_LOGICAL_REGS: u8 = 32;
+
+/// Register class: integer or floating-point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer register file.
+    Int,
+    /// Floating-point register file.
+    Fp,
+}
+
+/// A logical (architectural) register: a class plus an index in `0..32`.
+///
+/// Workload generators assign logical registers to shape the dependency
+/// structure (and hence the ILP) of a program; the simulator's renamer maps
+/// them onto physical registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg {
+    class: RegClass,
+    index: u8,
+}
+
+impl Reg {
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn int(index: u8) -> Self {
+        assert!(
+            index < NUM_LOGICAL_REGS,
+            "integer register index {index} out of range"
+        );
+        Reg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Creates a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn fp(index: u8) -> Self {
+        assert!(
+            index < NUM_LOGICAL_REGS,
+            "fp register index {index} out of range"
+        );
+        Reg {
+            class: RegClass::Fp,
+            index,
+        }
+    }
+
+    /// The register class.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index within the class, in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// A dense index in `0..64` combining class and index (integer registers
+    /// first), convenient for rename-map tables.
+    #[must_use]
+    pub fn dense_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_LOGICAL_REGS as usize + self.index as usize,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "x{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_index_is_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..NUM_LOGICAL_REGS {
+            assert!(seen.insert(Reg::int(i).dense_index()));
+            assert!(seen.insert(Reg::fp(i).dense_index()));
+        }
+        assert_eq!(seen.len(), 64);
+        assert!(seen.iter().all(|&d| d < 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_out_of_range_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::int(5).to_string(), "x5");
+        assert_eq!(Reg::fp(31).to_string(), "f31");
+    }
+}

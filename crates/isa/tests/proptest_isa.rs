@@ -1,0 +1,138 @@
+//! Property-based tests for the program model and executor.
+
+use proptest::prelude::*;
+use tip_isa::{
+    BranchBehavior, Executor, Instr, InstrAddr, InstrIdx, InstrKind, MemBehavior, Program,
+    ProgramBuilder, Reg, WrongPath,
+};
+
+/// A small random single-function loop program.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        0u32..6,                                  // loop iterations
+        proptest::collection::vec(0u8..5, 1..12), // instruction kind codes
+        1u64..1_000_000,                          // working set
+    )
+        .prop_map(|(iters, codes, ws)| {
+            let mut b = ProgramBuilder::named("prop");
+            let main = b.function("main");
+            let body = b.block(main);
+            for (i, &code) in codes.iter().enumerate() {
+                let reg = Some(Reg::int(1 + (i % 20) as u8));
+                let instr = match code {
+                    0 => Instr::int_alu(reg, [None, None]),
+                    1 => Instr::fp(
+                        InstrKind::FpAlu,
+                        Some(Reg::fp(1 + (i % 20) as u8)),
+                        [None, None],
+                    ),
+                    2 => Instr::load(
+                        reg,
+                        None,
+                        MemBehavior::Stride {
+                            base: 0x1000,
+                            stride: 8,
+                            footprint: ws,
+                        },
+                    ),
+                    3 => Instr::store(
+                        reg,
+                        None,
+                        MemBehavior::RandomIn {
+                            base: 0x8000,
+                            footprint: ws.max(8),
+                        },
+                    ),
+                    _ => Instr::nop(),
+                };
+                b.push(body, instr);
+            }
+            b.push(
+                body,
+                Instr::branch(body, BranchBehavior::Loop { taken_iters: iters }),
+            );
+            let exit = b.block(main);
+            b.push(exit, Instr::halt());
+            b.build().expect("structurally valid by construction")
+        })
+}
+
+proptest! {
+    #[test]
+    fn executor_is_deterministic_and_finite(program in arb_program(), seed in 0u64..100) {
+        let a: Vec<_> = Executor::new(&program, seed).collect();
+        let b: Vec<_> = Executor::new(&program, seed).collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(!a.is_empty());
+        prop_assert_eq!(a.last().unwrap().kind, InstrKind::Halt);
+        // Sequence numbers are dense.
+        for (i, d) in a.iter().enumerate() {
+            prop_assert_eq!(d.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn next_addr_chain_is_consistent(program in arb_program()) {
+        let stream: Vec<_> = Executor::new(&program, 3).collect();
+        for pair in stream.windows(2) {
+            prop_assert_eq!(pair[0].next_addr, Some(pair[1].addr));
+        }
+        prop_assert_eq!(stream.last().unwrap().next_addr, None);
+    }
+
+    #[test]
+    fn addresses_round_trip(program in arb_program()) {
+        for i in 0..program.len() {
+            let idx = InstrIdx::new(i as u32);
+            prop_assert_eq!(program.idx_of_addr(program.addr_of(idx)), Some(idx));
+        }
+        // Addresses past the program do not resolve.
+        let past_end = InstrAddr::new(program.addr_of(InstrIdx::new(0)).raw() + 4 * program.len() as u64);
+        prop_assert_eq!(program.idx_of_addr(past_end), None);
+    }
+
+    #[test]
+    fn symbols_nest_properly(program in arb_program()) {
+        use tip_isa::Granularity;
+        // Instructions sharing a block must share a function.
+        for i in 0..program.len() {
+            for j in 0..program.len() {
+                let (a, b) = (InstrIdx::new(i as u32), InstrIdx::new(j as u32));
+                if program.symbol_of(a, Granularity::BasicBlock)
+                    == program.symbol_of(b, Granularity::BasicBlock)
+                {
+                    prop_assert_eq!(
+                        program.symbol_of(a, Granularity::Function),
+                        program.symbol_of(b, Granularity::Function)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_path_stays_inside_the_program(program in arb_program(), start in 0u32..8, seed in 0u64..20) {
+        let start = InstrIdx::new(start % program.len() as u32);
+        for w in WrongPath::new(&program, start, seed).take(64) {
+            prop_assert!(w.idx.index() < program.len());
+            prop_assert_eq!(program.addr_of(w.idx), w.addr);
+        }
+    }
+
+    #[test]
+    fn mem_addresses_respect_behavior_bounds(program in arb_program(), seed in 0u64..20) {
+        for d in Executor::new(&program, seed) {
+            if let Some(addr) = d.mem_addr {
+                let instr = program.instr(d.idx);
+                match instr.mem_behavior().expect("mem instr has behavior") {
+                    MemBehavior::Stride { base, footprint, .. }
+                    | MemBehavior::RandomIn { base, footprint } => {
+                        prop_assert!(addr >= *base);
+                        prop_assert!(addr < base + footprint.max(&8) + 8);
+                    }
+                    MemBehavior::Fixed { addr: a } => prop_assert_eq!(addr, *a),
+                }
+            }
+        }
+    }
+}

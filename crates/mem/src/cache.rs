@@ -1,0 +1,411 @@
+//! Set-associative cache with LRU replacement and MSHR-limited misses.
+
+use crate::LINE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Human-readable level name ("L1D", "L2", ...).
+    pub name: String,
+    /// Total capacity in bytes. Must be a multiple of `ways * 64`.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Access (hit) latency in cycles.
+    pub hit_latency: u64,
+    /// Number of Miss Status Holding Registers: the maximum number of
+    /// outstanding misses; further misses stall until an MSHR frees.
+    pub mshrs: u32,
+    /// Whether a miss also prefetches the next line (the paper's BOOM config
+    /// uses a next-line prefetcher from L2 into the L1s).
+    pub next_line_prefetch: bool,
+    /// Model banked-array conflicts: an address-dependent extra hit cycle
+    /// (deterministic per line). Real L1Ds are banked, and this conflict
+    /// jitter is what keeps commit-group alignment from being perfectly
+    /// periodic in tight loops.
+    pub bank_conflicts: bool,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by size/ways/line size.
+    #[must_use]
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.ways) * LINE_BYTES)
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand accesses observed.
+    pub accesses: u64,
+    /// Demand misses (excludes prefetches).
+    pub misses: u64,
+    /// Prefetch fills issued.
+    pub prefetches: u64,
+    /// Cycles an access was delayed waiting for a free MSHR.
+    pub mshr_stall_cycles: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio, or 0 when there were no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    /// LRU stamp: higher = more recently used.
+    stamp: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Mshr {
+    line: u64,
+    /// Cycle the fill completes and the MSHR frees.
+    complete: u64,
+}
+
+/// The result of probing a cache: hit or miss, and when the line can be
+/// consumed assuming the miss is serviced with `fill_latency` beyond the
+/// cache's own hit latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Lookup {
+    pub hit: bool,
+    /// The access merged with an in-flight miss; `issue` is then the cycle
+    /// the in-flight fill delivers the data (do not walk the next level).
+    pub merged: bool,
+    /// The cycle the access may begin, after any MSHR stall.
+    pub start: u64,
+    /// For misses: the cycle at which the miss request is issued to the next
+    /// level (equals `start + hit_latency`, the tag check time). For merged
+    /// misses: the data-ready cycle.
+    pub issue: u64,
+}
+
+/// One level of set-associative cache.
+///
+/// Timing model: a hit at cycle `c` returns data at `c + hit_latency`. A miss
+/// needs a free MSHR; if all MSHRs are busy the access is delayed until the
+/// earliest outstanding miss completes. Misses to a line that already has an
+/// outstanding MSHR merge into it and complete together.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Way>,
+    num_sets: u64,
+    ways: usize,
+    mshrs: Vec<Mshr>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not describe at least one set.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        assert!(num_sets > 0, "cache {} has no sets", config.name);
+        let ways = config.ways as usize;
+        Cache {
+            sets: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0
+                };
+                (num_sets as usize) * ways
+            ],
+            num_sets,
+            ways,
+            mshrs: Vec::with_capacity(config.mshrs as usize),
+            stamp: 0,
+            stats: CacheStats::default(),
+            config,
+        }
+    }
+
+    /// This cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        ((line % self.num_sets) as usize) * self.ways
+    }
+
+    fn probe(&mut self, line: u64) -> bool {
+        let base = self.set_index(line);
+        self.stamp += 1;
+        for w in &mut self.sets[base..base + self.ways] {
+            if w.valid && w.tag == line {
+                w.stamp = self.stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `line`, evicting the LRU way of its set.
+    pub(crate) fn fill(&mut self, line: u64) {
+        let base = self.set_index(line);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = &mut self.sets[base..base + self.ways];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.stamp = stamp;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
+            .expect("cache set has at least one way");
+        *victim = Way {
+            tag: line,
+            valid: true,
+            stamp,
+        };
+    }
+
+    fn purge_mshrs(&mut self, cycle: u64) {
+        self.mshrs.retain(|m| m.complete > cycle);
+    }
+
+    /// Looks up `line` at `cycle`. On a hit the line's LRU stamp updates; on
+    /// a miss, MSHR availability determines when the miss may start.
+    ///
+    /// An access to a line whose fill is still in flight (an MSHR holds it)
+    /// merges with that miss and completes when the fill does — it does not
+    /// see the data early even though the tag array was already updated.
+    pub(crate) fn lookup(&mut self, line: u64, cycle: u64) -> Lookup {
+        self.stats.accesses += 1;
+        self.purge_mshrs(cycle);
+
+        // Secondary miss: completes with the in-flight primary; no new MSHR.
+        if let Some(existing) = self.mshrs.iter().find(|m| m.line == line) {
+            self.stats.misses += 1;
+            return Lookup {
+                hit: false,
+                merged: true,
+                start: cycle,
+                issue: existing.complete,
+            };
+        }
+
+        if self.probe(line) {
+            let conflict = if self.config.bank_conflicts {
+                (line ^ (line >> 3) ^ (line >> 7)) & 1
+            } else {
+                0
+            };
+            return Lookup {
+                hit: true,
+                merged: false,
+                start: cycle,
+                issue: cycle + self.config.hit_latency + conflict,
+            };
+        }
+
+        self.stats.misses += 1;
+        let mut start = cycle;
+        if self.mshrs.len() >= self.config.mshrs as usize {
+            let earliest = self
+                .mshrs
+                .iter()
+                .map(|m| m.complete)
+                .min()
+                .expect("mshrs non-empty when full");
+            self.stats.mshr_stall_cycles += earliest.saturating_sub(cycle);
+            start = earliest;
+            self.mshrs.retain(|m| m.complete > start);
+        }
+        Lookup {
+            hit: false,
+            merged: false,
+            start,
+            issue: start + self.config.hit_latency,
+        }
+    }
+
+    /// Registers a primary miss for `line` completing at `complete`, filling
+    /// the line.
+    pub(crate) fn register_miss(&mut self, line: u64, complete: u64) {
+        if self.mshrs.iter().all(|m| m.line != line) {
+            self.mshrs.push(Mshr { line, complete });
+        }
+        self.fill(line);
+    }
+
+    /// Registers a prefetch fill for `line` completing at `complete`.
+    /// Dropped silently if the line is resident, already in flight, or no
+    /// MSHR is free (prefetches never stall demand traffic).
+    pub(crate) fn register_prefetch(&mut self, line: u64, complete: u64) {
+        if self.mshrs.iter().any(|m| m.line == line) {
+            return;
+        }
+        let base = self.set_index(line);
+        if self.sets[base..base + self.ways]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+        {
+            return;
+        }
+        if self.mshrs.len() >= self.config.mshrs as usize {
+            return;
+        }
+        self.stats.prefetches += 1;
+        self.mshrs.push(Mshr { line, complete });
+        self.fill(line);
+    }
+
+    /// Whether `line` is currently resident (test/diagnostic helper; does not
+    /// update LRU state or stats).
+    #[must_use]
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let line = line_addr / LINE_BYTES;
+        let base = self.set_index(line);
+        self.sets[base..base + self.ways]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            name: "T".into(),
+            size_bytes: 4 * 64, // 2 sets x 2 ways
+            ways: 2,
+            hit_latency: 3,
+            mshrs: 2,
+            next_line_prefetch: false,
+            bank_conflicts: false,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        let l = c.lookup(5, 0);
+        assert!(!l.hit);
+        c.register_miss(5, 50);
+        let l2 = c.lookup(5, 100);
+        assert!(l2.hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        c.fill(0);
+        c.fill(2);
+        assert!(c.contains(0));
+        c.fill(4); // evicts 0
+        assert!(!c.contains(0));
+        assert!(c.contains(2 * LINE_BYTES));
+        assert!(c.contains(4 * LINE_BYTES));
+    }
+
+    #[test]
+    fn lru_respects_recency() {
+        let mut c = tiny();
+        c.fill(0);
+        c.fill(2);
+        // Touch 0, making 2 the LRU.
+        assert!(c.lookup(0, 10).hit);
+        c.fill(4);
+        assert!(c.contains(0));
+        assert!(!c.contains(2 * LINE_BYTES));
+    }
+
+    #[test]
+    fn mshr_full_delays_access() {
+        let mut c = tiny();
+        // Two outstanding misses fill both MSHRs.
+        assert!(!c.lookup(1, 0).hit);
+        c.register_miss(1, 100);
+        assert!(!c.lookup(3, 0).hit);
+        c.register_miss(3, 120);
+        // Third distinct miss must wait for the earliest (cycle 100).
+        let l = c.lookup(5, 10);
+        assert!(!l.hit);
+        assert_eq!(l.start, 100);
+        assert_eq!(c.stats().mshr_stall_cycles, 90);
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut c = tiny();
+        assert!(!c.lookup(1, 0).hit);
+        c.register_miss(1, 100);
+        // Evict line 1 so the next lookup misses again while its MSHR is
+        // still outstanding (contrived, but exercises the merge path).
+        c.fill(3);
+        c.fill(5);
+        let l = c.lookup(1, 10);
+        assert!(!l.hit);
+        assert_eq!(l.issue, 100, "secondary miss completes with the primary");
+    }
+
+    #[test]
+    fn mshrs_free_after_completion() {
+        let mut c = tiny();
+        assert!(!c.lookup(1, 0).hit);
+        c.register_miss(1, 100);
+        assert!(!c.lookup(3, 0).hit);
+        c.register_miss(3, 100);
+        // After cycle 100 both MSHRs are free: no stall.
+        let l = c.lookup(7, 200);
+        assert_eq!(l.start, 200);
+        assert_eq!(c.stats().mshr_stall_cycles, 0);
+    }
+
+    #[test]
+    fn config_num_sets() {
+        let cfg = CacheConfig {
+            name: "L1D".into(),
+            size_bytes: 32 * 1024,
+            ways: 8,
+            hit_latency: 3,
+            mshrs: 8,
+            next_line_prefetch: true,
+            bank_conflicts: false,
+        };
+        assert_eq!(cfg.num_sets(), 64);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.lookup(1, 0);
+        c.register_miss(1, 10);
+        c.lookup(1, 20);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Whole-memory-system configuration (Table 1 of the paper).
+
+use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
+use crate::tlb::TlbConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the full memory system.
+///
+/// The default reproduces Table 1 of the paper: 32 KB 8-way L1 I/D caches
+/// (8 MSHRs, next-line prefetch from L2), 512 KB 8-way L2 with 12 MSHRs,
+/// 4 MB 8-way LLC with 8 MSHRs, 32-entry fully-associative L1 TLBs, a
+/// 512-entry L2 TLB, a hardware page-table walker, and DDR3 at 25.6 GB/s.
+/// Latencies are expressed in 3.2 GHz core cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// L1 instruction TLB.
+    pub itlb: TlbConfig,
+    /// L1 data TLB.
+    pub dtlb: TlbConfig,
+    /// Shared L2 TLB.
+    pub l2_tlb: TlbConfig,
+    /// Page-table-walk latency in cycles.
+    pub ptw_latency: u64,
+    /// Main memory.
+    pub dram: DramConfig,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1i: CacheConfig {
+                name: "L1I".into(),
+                size_bytes: 32 * 1024,
+                ways: 8,
+                hit_latency: 1,
+                mshrs: 4,
+                next_line_prefetch: true,
+                bank_conflicts: false,
+            },
+            l1d: CacheConfig {
+                name: "L1D".into(),
+                size_bytes: 32 * 1024,
+                ways: 8,
+                hit_latency: 3,
+                mshrs: 8,
+                next_line_prefetch: true,
+                bank_conflicts: true,
+            },
+            l2: CacheConfig {
+                name: "L2".into(),
+                size_bytes: 512 * 1024,
+                ways: 8,
+                hit_latency: 14,
+                mshrs: 12,
+                next_line_prefetch: false,
+                bank_conflicts: false,
+            },
+            llc: CacheConfig {
+                name: "LLC".into(),
+                size_bytes: 4 * 1024 * 1024,
+                ways: 8,
+                hit_latency: 40,
+                mshrs: 8,
+                next_line_prefetch: false,
+                bank_conflicts: false,
+            },
+            itlb: TlbConfig {
+                entries: 32,
+                hit_latency: 0,
+            },
+            dtlb: TlbConfig {
+                entries: 32,
+                hit_latency: 0,
+            },
+            l2_tlb: TlbConfig {
+                entries: 512,
+                hit_latency: 8,
+            },
+            ptw_latency: 80,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1i.size_bytes, 32 * 1024);
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l1d.mshrs, 8);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.l2.mshrs, 12);
+        assert_eq!(c.llc.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.llc.mshrs, 8);
+        assert_eq!(c.itlb.entries, 32);
+        assert_eq!(c.dtlb.entries, 32);
+        assert_eq!(c.l2_tlb.entries, 512);
+        assert!(c.l1i.next_line_prefetch && c.l1d.next_line_prefetch);
+    }
+}

@@ -1,0 +1,107 @@
+//! DRAM latency/bandwidth model.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM model parameters (Table 1: 16 GB DDR3 FR-FCFS, 25.6 GB/s peak).
+///
+/// The model is a fixed access latency plus a channel-occupancy term: each
+/// 64 B line transfer occupies the channel for `transfer_cycles`, so bursts
+/// of misses queue behind each other, bounding effective bandwidth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Device access latency in core cycles (row activate + CAS + transfer,
+    /// expressed at the 3.2 GHz core clock).
+    pub access_latency: u64,
+    /// Core cycles one 64 B transfer occupies the channel:
+    /// 64 B / 25.6 GB/s at 3.2 GHz = 8 cycles.
+    pub transfer_cycles: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // 14-14-14 at 1 GHz is ~42 ns of device latency, ~134 cycles at
+        // 3.2 GHz; transfer: 64 B / 25.6 GB/s = 2.5 ns = 8 cycles.
+        DramConfig {
+            access_latency: 134,
+            transfer_cycles: 8,
+        }
+    }
+}
+
+/// The DRAM channel.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    /// Earliest cycle the channel is free.
+    next_free: u64,
+    accesses: u64,
+}
+
+impl Dram {
+    /// Creates an idle channel.
+    #[must_use]
+    pub fn new(config: DramConfig) -> Self {
+        Dram {
+            config,
+            next_free: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Issues a line fetch at `cycle`; returns the data-ready cycle.
+    pub fn access(&mut self, cycle: u64) -> u64 {
+        self.accesses += 1;
+        let start = cycle.max(self.next_free);
+        self.next_free = start + self.config.transfer_cycles;
+        start + self.config.access_latency
+    }
+
+    /// Number of line transfers so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_access_has_base_latency() {
+        let mut d = Dram::new(DramConfig::default());
+        assert_eq!(d.access(1000), 1000 + 134);
+    }
+
+    #[test]
+    fn back_to_back_accesses_queue() {
+        let mut d = Dram::new(DramConfig {
+            access_latency: 100,
+            transfer_cycles: 8,
+        });
+        let a = d.access(0);
+        let b = d.access(0);
+        let c = d.access(0);
+        assert_eq!(a, 100);
+        assert_eq!(b, 108);
+        assert_eq!(c, 116);
+        assert_eq!(d.accesses(), 3);
+    }
+
+    #[test]
+    fn idle_channel_does_not_penalize() {
+        let mut d = Dram::new(DramConfig {
+            access_latency: 100,
+            transfer_cycles: 8,
+        });
+        d.access(0);
+        // Long after the transfer completed: no queueing.
+        assert_eq!(d.access(1_000), 1_100);
+    }
+}

@@ -1,0 +1,46 @@
+//! Memory-hierarchy substrate for the TIP reproduction.
+//!
+//! Implements the memory system of Table 1 of the paper as a
+//! latency-composition model: set-associative caches with MSHR-limited
+//! miss concurrency ([`Cache`]), two-level TLBs with a page-table-walker
+//! latency model ([`TlbHierarchy`]), a bandwidth-limited DRAM model
+//! ([`Dram`]), and [`MemSystem`] which wires them into the I-side and D-side
+//! paths the out-of-order core uses.
+//!
+//! Every access takes the current cycle and returns the cycle at which the
+//! data is available; the caches update replacement and MSHR state as a side
+//! effect. This style (functional lookup + completion times) is exact enough
+//! to produce the stall distributions the paper's profilers attribute, while
+//! keeping the simulator fast and single-threaded.
+//!
+//! # Example
+//!
+//! ```
+//! use tip_mem::{MemConfig, MemSystem};
+//!
+//! let mut mem = MemSystem::new(&MemConfig::default());
+//! let cold = mem.access_data(0x4000, 0, false);
+//! let warm = mem.access_data(0x4000, cold.ready, false);
+//! assert!(warm.ready - cold.ready < cold.ready - 0); // second access hits L1
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod config;
+mod dram;
+mod system;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use config::MemConfig;
+pub use dram::{Dram, DramConfig};
+pub use system::{DataAccess, HitLevel, MemStats, MemSystem};
+pub use tlb::{Tlb, TlbConfig, TlbHierarchy, TlbStats};
+
+/// Bytes per cache line throughout the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// Bytes per virtual-memory page.
+pub const PAGE_BYTES: u64 = 4096;

@@ -1,0 +1,54 @@
+//! Property-based tests for the memory hierarchy's timing invariants.
+
+use proptest::prelude::*;
+use tip_mem::{MemConfig, MemSystem};
+
+proptest! {
+    #[test]
+    fn data_ready_never_precedes_the_access(
+        addrs in proptest::collection::vec(0u64..(1 << 28), 1..200),
+        gaps in proptest::collection::vec(0u64..200, 1..200),
+    ) {
+        let mut mem = MemSystem::new(&MemConfig::default());
+        let mut t = 0u64;
+        for (addr, gap) in addrs.iter().zip(&gaps) {
+            t += gap;
+            let a = mem.access_data(*addr, t, addr % 3 == 0);
+            prop_assert!(a.ready > t, "data cannot be ready at or before the access cycle");
+            prop_assert!(a.ready <= t + 5_000, "latency must be bounded");
+        }
+    }
+
+    #[test]
+    fn repeated_access_is_never_slower_than_cold(
+        addr in 0u64..(1 << 28),
+    ) {
+        let mut mem = MemSystem::new(&MemConfig::default());
+        let cold = mem.access_data(addr, 0, false);
+        let warm_start = cold.ready + 1_000;
+        let warm = mem.access_data(addr, warm_start, false);
+        prop_assert!(warm.ready - warm_start <= cold.ready, "warm access must not exceed cold latency");
+    }
+
+    #[test]
+    fn ifetch_ready_is_monotone_in_request_time(addr in 0u64..(1 << 24)) {
+        let mut a = MemSystem::new(&MemConfig::default());
+        let mut b = MemSystem::new(&MemConfig::default());
+        let early = a.access_inst(addr, 10);
+        let late = b.access_inst(addr, 500);
+        prop_assert!(late >= early, "asking later cannot yield data earlier");
+    }
+
+    #[test]
+    fn stats_count_accesses_exactly(
+        addrs in proptest::collection::vec(0u64..(1 << 20), 0..100),
+    ) {
+        let mut mem = MemSystem::new(&MemConfig::default());
+        for (i, addr) in addrs.iter().enumerate() {
+            mem.access_data(*addr, (i as u64) * 10, false);
+        }
+        prop_assert_eq!(mem.stats().l1d.accesses, addrs.len() as u64);
+        prop_assert!(mem.stats().l1d.misses <= mem.stats().l1d.accesses);
+        prop_assert_eq!(mem.stats().dtlb.accesses, addrs.len() as u64);
+    }
+}

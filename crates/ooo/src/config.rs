@@ -1,0 +1,212 @@
+//! Core configuration (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use tip_mem::MemConfig;
+
+/// Maximum commit width supported by the trace record layout.
+pub const MAX_COMMIT: usize = 4;
+
+/// One issue queue's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IqConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Instructions issued per cycle.
+    pub width: u32,
+}
+
+/// Full configuration of the out-of-order core.
+///
+/// The default reproduces the BOOM configuration of Table 1: 8-wide fetch
+/// into a 32-entry fetch buffer, 4-wide decode/dispatch/commit, 128-entry
+/// ROB banked by commit width, 128 int + 128 fp physical registers, a
+/// 40-entry 4-issue INT queue, 24-entry dual-issue MEM queue, 32-entry
+/// dual-issue FP queue, a 32-entry load/store queue, and at most 20
+/// outstanding branches, at 3.2 GHz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Configuration name (used in reports).
+    pub name: String,
+    /// Core clock in GHz (3.2 in the paper; used for data-rate conversions).
+    pub clock_ghz: f64,
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Fetch buffer entries.
+    pub fetch_buffer: u32,
+    /// Decode/rename/dispatch width.
+    pub decode_width: u32,
+    /// Commit width; equals the number of ROB banks. At most [`MAX_COMMIT`].
+    pub commit_width: u32,
+    /// Reorder buffer entries.
+    pub rob_entries: u32,
+    /// Integer physical registers.
+    pub int_phys_regs: u32,
+    /// Floating-point physical registers.
+    pub fp_phys_regs: u32,
+    /// Integer issue queue.
+    pub int_iq: IqConfig,
+    /// Memory issue queue.
+    pub mem_iq: IqConfig,
+    /// Floating-point issue queue.
+    pub fp_iq: IqConfig,
+    /// Load/store queue entries (combined).
+    pub lsq_entries: u32,
+    /// Store buffer entries draining committed stores to the L1D.
+    pub store_buffer: u32,
+    /// Maximum unresolved branches in flight.
+    pub max_branches: u32,
+    /// Pipeline depth from fetch to dispatch-eligibility, in cycles
+    /// (decode + rename stages).
+    pub front_end_delay: u32,
+    /// Fetch bubble after a predicted-taken control-flow instruction.
+    pub taken_bubble: u32,
+    /// Cycles between a mispredict/flush resolution and the front-end
+    /// beginning to refetch.
+    pub redirect_penalty: u32,
+    /// Whether the front-end fetches and dispatches wrong-path instructions
+    /// after a misprediction (ablation knob; the paper's core does).
+    pub model_wrong_path: bool,
+    /// Memory system configuration.
+    pub mem: MemConfig,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            name: "boom-4w".to_owned(),
+            clock_ghz: 3.2,
+            fetch_width: 8,
+            fetch_buffer: 32,
+            decode_width: 4,
+            commit_width: 4,
+            rob_entries: 128,
+            int_phys_regs: 128,
+            fp_phys_regs: 128,
+            int_iq: IqConfig {
+                entries: 40,
+                width: 4,
+            },
+            mem_iq: IqConfig {
+                entries: 24,
+                width: 2,
+            },
+            fp_iq: IqConfig {
+                entries: 32,
+                width: 2,
+            },
+            lsq_entries: 32,
+            store_buffer: 16,
+            max_branches: 20,
+            front_end_delay: 4,
+            taken_bubble: 1,
+            redirect_penalty: 2,
+            model_wrong_path: true,
+            mem: MemConfig::default(),
+        }
+    }
+}
+
+impl CoreConfig {
+    /// A smaller 2-wide configuration used by the validation experiment
+    /// (playing the role of the paper's "different platform").
+    #[must_use]
+    pub fn small_2wide() -> Self {
+        CoreConfig {
+            name: "small-2w".to_owned(),
+            fetch_width: 4,
+            fetch_buffer: 16,
+            decode_width: 2,
+            commit_width: 2,
+            rob_entries: 64,
+            int_phys_regs: 80,
+            fp_phys_regs: 80,
+            int_iq: IqConfig {
+                entries: 20,
+                width: 2,
+            },
+            mem_iq: IqConfig {
+                entries: 12,
+                width: 1,
+            },
+            fp_iq: IqConfig {
+                entries: 16,
+                width: 1,
+            },
+            lsq_entries: 16,
+            store_buffer: 8,
+            ..CoreConfig::default()
+        }
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the commit width exceeds [`MAX_COMMIT`], is zero, or the ROB
+    /// size is not a multiple of the commit width, or register files are too
+    /// small to cover the 32+32 logical registers.
+    pub fn validate(&self) {
+        assert!(self.commit_width >= 1 && self.commit_width as usize <= MAX_COMMIT);
+        assert!(
+            self.rob_entries.is_multiple_of(self.commit_width),
+            "ROB must divide into banks"
+        );
+        assert!(
+            self.int_phys_regs > 32 && self.fp_phys_regs > 32,
+            "need free physical registers"
+        );
+        assert!(self.decode_width >= 1 && self.fetch_width >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CoreConfig::default();
+        c.validate();
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.commit_width, 4);
+        assert_eq!(
+            c.int_iq,
+            IqConfig {
+                entries: 40,
+                width: 4
+            }
+        );
+        assert_eq!(
+            c.mem_iq,
+            IqConfig {
+                entries: 24,
+                width: 2
+            }
+        );
+        assert_eq!(
+            c.fp_iq,
+            IqConfig {
+                entries: 32,
+                width: 2
+            }
+        );
+        assert_eq!(c.lsq_entries, 32);
+        assert_eq!(c.max_branches, 20);
+        assert!((c.clock_ghz - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        CoreConfig::small_2wide().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "banks")]
+    fn invalid_rob_banking_panics() {
+        let c = CoreConfig {
+            rob_entries: 127,
+            ..CoreConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,1385 @@
+//! The cycle-level out-of-order core.
+//!
+//! Execution is trace-driven: a functional [`Executor`] produces the
+//! correct-path dynamic stream, the timing model fetches from it (or from a
+//! [`WrongPath`] stream while running down a misprediction), and all
+//! architectural events — stalls, flushes, drains, exceptions, commit ILP —
+//! fall out of the pipeline model. Each cycle emits one
+//! [`CycleRecord`](crate::CycleRecord) to the attached
+//! [`TraceSink`](crate::TraceSink).
+//!
+//! Pipeline order within a cycle: resolve mispredicted branches → commit →
+//! issue → dispatch → fetch → emit the record. This gives the standard
+//! one-cycle boundaries between stages (an instruction completing in cycle
+//! *c* commits no earlier than *c*, a dispatched instruction issues no
+//! earlier than the next cycle).
+
+use crate::config::CoreConfig;
+use crate::predictor::Predictor;
+use crate::rename::Renamer;
+use crate::stats::{CoreStats, RunExit, RunSummary};
+use crate::trace::{BankView, CommitView, CycleRecord, HeadView, TraceSink};
+use crate::uop::{Uop, UopSlab, WRONG_PATH_POS};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use tip_isa::{DynInstr, Executor, FuClass, InstrAddr, InstrIdx, InstrKind, Program, WrongPath};
+use tip_mem::{MemStats, MemSystem};
+
+/// Sliding window over the correct-path trace: the core fetches by absolute
+/// position and may rewind to any position not yet retired by commit.
+#[derive(Debug)]
+struct TraceWindow<'p> {
+    exec: Executor<'p>,
+    buf: VecDeque<DynInstr>,
+    base: u64,
+    exhausted: bool,
+}
+
+impl<'p> TraceWindow<'p> {
+    fn new(exec: Executor<'p>) -> Self {
+        TraceWindow {
+            exec,
+            buf: VecDeque::new(),
+            base: 0,
+            exhausted: false,
+        }
+    }
+
+    fn get(&mut self, pos: u64) -> Option<&DynInstr> {
+        assert!(
+            pos >= self.base,
+            "trace window underflow: {} < {}",
+            pos,
+            self.base
+        );
+        while !self.exhausted && self.base + self.buf.len() as u64 <= pos {
+            match self.exec.next() {
+                Some(d) => self.buf.push_back(d),
+                None => self.exhausted = true,
+            }
+        }
+        self.buf.get((pos - self.base) as usize)
+    }
+
+    /// Drops entries at positions strictly below `pos`.
+    fn retire_before(&mut self, pos: u64) {
+        while self.base < pos && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+/// An instruction sitting in the fetch buffer / front-end pipeline.
+#[derive(Debug, Clone, Copy)]
+struct FbEntry {
+    idx: InstrIdx,
+    addr: InstrAddr,
+    kind: InstrKind,
+    mem_addr: Option<u64>,
+    fault: bool,
+    wrong_path: bool,
+    trace_pos: u64,
+    mispredicted: bool,
+    /// Cycle at which the entry reaches the dispatch boundary.
+    ready_at: u64,
+}
+
+enum FetchMode<'p> {
+    Correct,
+    Wrong {
+        gen: WrongPath<'p>,
+        peek: Option<tip_isa::WrongPathInstr>,
+    },
+}
+
+/// The out-of-order core.
+///
+/// # Example
+///
+/// ```
+/// use tip_isa::{ProgramBuilder, Instr, BranchBehavior};
+/// use tip_ooo::{Core, CoreConfig};
+///
+/// # fn main() -> Result<(), tip_isa::BuildError> {
+/// let mut b = ProgramBuilder::named("demo");
+/// let main = b.function("main");
+/// let body = b.block(main);
+/// b.push(body, Instr::int_alu(None, [None, None]));
+/// b.push(body, Instr::branch(body, BranchBehavior::Loop { taken_iters: 99 }));
+/// let exit = b.block(main);
+/// b.push(exit, Instr::halt());
+/// let program = b.build()?;
+///
+/// let mut core = Core::new(&program, CoreConfig::default(), 1);
+/// let summary = core.run(&mut (), 100_000);
+/// assert_eq!(summary.instructions, 201);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Core<'p> {
+    program: &'p Program,
+    config: CoreConfig,
+    cycle: u64,
+    mem: MemSystem,
+    predictor: Predictor,
+
+    // Front end.
+    window: TraceWindow<'p>,
+    fetch_pos: u64,
+    fetch_mode: FetchMode<'p>,
+    fetch_stall_until: u64,
+    fetch_done: bool,
+    cur_line: u64,
+    cur_line_ready: u64,
+    wrong_path_seed: u64,
+    fetch_buffer: VecDeque<FbEntry>,
+
+    // Back end.
+    uops: UopSlab,
+    rob: VecDeque<usize>,
+    head_alloc: u64,
+    renamer: Renamer,
+    iq_int: Vec<(usize, u64)>,
+    iq_mem: Vec<(usize, u64)>,
+    iq_fp: Vec<(usize, u64)>,
+    div_busy: [u64; 2],
+    lsq_used: u32,
+    branches_inflight: u32,
+    store_buffer: Vec<u64>,
+    serialize: Option<u64>,
+    resolve_events: BinaryHeap<Reverse<(u64, usize, u64)>>,
+
+    halted: bool,
+    stats: CoreStats,
+}
+
+impl<'p> Core<'p> {
+    /// Creates a core about to execute `program` from a cold state.
+    ///
+    /// `seed` drives all workload behaviours (branch outcomes, memory
+    /// addresses); the same program, config and seed replay exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid
+    /// (see [`CoreConfig::validate`]).
+    #[must_use]
+    pub fn new(program: &'p Program, config: CoreConfig, seed: u64) -> Self {
+        config.validate();
+        let mem = MemSystem::new(&config.mem);
+        let predictor = Predictor::new(program.len());
+        let renamer = Renamer::new(config.int_phys_regs, config.fp_phys_regs);
+        Core {
+            program,
+            cycle: 0,
+            mem,
+            predictor,
+            window: TraceWindow::new(Executor::new(program, seed)),
+            fetch_pos: 0,
+            fetch_mode: FetchMode::Correct,
+            fetch_stall_until: 0,
+            fetch_done: false,
+            cur_line: u64::MAX,
+            cur_line_ready: 0,
+            wrong_path_seed: seed ^ 0x9e37_79b9_7f4a_7c15,
+            fetch_buffer: VecDeque::with_capacity(config.fetch_buffer as usize),
+            uops: UopSlab::default(),
+            rob: VecDeque::with_capacity(config.rob_entries as usize),
+            head_alloc: 0,
+            renamer,
+            iq_int: Vec::new(),
+            iq_mem: Vec::new(),
+            iq_fp: Vec::new(),
+            div_busy: [0, 0],
+            lsq_used: 0,
+            branches_inflight: 0,
+            store_buffer: Vec::with_capacity(config.store_buffer as usize),
+            serialize: None,
+            resolve_events: BinaryHeap::new(),
+            halted: false,
+            stats: CoreStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this core runs with.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Memory-hierarchy statistics accumulated so far.
+    #[must_use]
+    pub fn mem_stats(&self) -> MemStats {
+        self.mem.stats()
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the run has finished (halt committed or program drained).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.halted
+            || (self.window.exhausted
+                && self.rob.is_empty()
+                && self.fetch_buffer.is_empty()
+                && matches!(self.fetch_mode, FetchMode::Correct)
+                && self.fetch_really_done())
+    }
+
+    fn fetch_really_done(&self) -> bool {
+        // The executor is exhausted and the fetch position is past the end.
+        self.window.base + self.window.buf.len() as u64 <= self.fetch_pos
+    }
+
+    /// Runs until completion or `max_cycles`, streaming records into `sink`.
+    pub fn run(&mut self, sink: &mut impl TraceSink, max_cycles: u64) -> RunSummary {
+        while !self.finished() && self.cycle < max_cycles {
+            self.step(sink);
+        }
+        let exit = if self.halted {
+            RunExit::Halted
+        } else if self.finished() {
+            RunExit::StreamEnd
+        } else {
+            RunExit::CycleLimit
+        };
+        RunSummary {
+            cycles: self.cycle,
+            instructions: self.stats.committed,
+            exit,
+        }
+    }
+
+    /// Simulates one cycle, emitting one record into `sink`.
+    pub fn step(&mut self, sink: &mut impl TraceSink) {
+        let t = self.cycle;
+        let mut record = CycleRecord::empty(t);
+
+        self.process_resolves(t);
+        let pre_commit_head_alloc = self.head_alloc;
+        self.commit(t, &mut record);
+        self.issue(t);
+        self.dispatch(t);
+        self.fetch(t);
+        self.finalize_record(t, pre_commit_head_alloc, &mut record);
+
+        self.stats.cycles += 1;
+        if record.is_committing() {
+            self.stats.commit_cycles += 1;
+        } else if record.rob_empty() {
+            self.stats.empty_rob_cycles += 1;
+        }
+
+        sink.on_cycle(&record);
+        self.cycle = t + 1;
+    }
+
+    // ----- resolve ---------------------------------------------------------
+
+    fn process_resolves(&mut self, t: u64) {
+        while let Some(&Reverse((when, slot, uid))) = self.resolve_events.peek() {
+            if when > t {
+                break;
+            }
+            self.resolve_events.pop();
+            let Some(uop) = self.uops.get_if_uid(slot, uid) else {
+                continue;
+            };
+            if !uop.mispredicted || uop.wrong_path {
+                continue;
+            }
+            let resume = uop.trace_pos + 1;
+            self.stats.mispredicts += 1;
+            // Squash everything younger than the branch.
+            let pos = self
+                .rob
+                .iter()
+                .position(|&s| s == slot)
+                .expect("resolving branch still in ROB");
+            self.squash_from(pos + 1);
+            self.redirect(resume, t + u64::from(self.config.redirect_penalty));
+        }
+    }
+
+    // ----- commit ----------------------------------------------------------
+
+    fn commit(&mut self, t: u64, record: &mut CycleRecord) {
+        self.store_buffer.retain(|&done| done > t);
+
+        let width = self.config.commit_width as usize;
+        let mut n = 0usize;
+        while n < width {
+            let Some(&front) = self.rob.front() else {
+                break;
+            };
+            if !self.uops.get(front).executed(t) {
+                break;
+            }
+            if self.uops.get(front).fault {
+                if n > 0 {
+                    break; // the exception fires alone, next cycle
+                }
+                self.take_exception(t, front, record);
+                break;
+            }
+            if self.uops.get(front).kind == InstrKind::Store
+                && self.store_buffer.len() >= self.config.store_buffer as usize
+            {
+                break; // store stall at the head of the ROB
+            }
+
+            // Commit it.
+            self.rob.pop_front();
+            self.head_alloc += 1;
+            let uop = self.uops.remove(front);
+            debug_assert!(!uop.wrong_path, "wrong-path uops never commit");
+            if let Some(prev) = uop.prev_preg {
+                self.renamer.release_preg(prev);
+            }
+            if uop.uses_lsq() {
+                self.lsq_used -= 1;
+            }
+            if uop.kind == InstrKind::Branch || uop.kind == InstrKind::Ret {
+                self.branches_inflight = self.branches_inflight.saturating_sub(1);
+            }
+            if uop.kind == InstrKind::Store {
+                let access = self.mem.access_data(uop.mem_addr.unwrap_or(0), t, true);
+                self.store_buffer.push(access.ready);
+            }
+            if self.serialize == Some(uop.uid) {
+                self.serialize = None;
+            }
+            self.stats.committed += 1;
+            self.window.retire_before(uop.trace_pos);
+
+            record.committed[n] = Some(CommitView {
+                addr: uop.addr,
+                idx: uop.idx,
+                kind: uop.kind,
+                mispredicted: uop.mispredicted,
+                flush: uop.kind == InstrKind::CsrFlush,
+            });
+            n += 1;
+
+            match uop.kind {
+                InstrKind::Halt => {
+                    self.halted = true;
+                    break;
+                }
+                InstrKind::CsrFlush => {
+                    // Flush-on-commit: squash everything younger and refetch
+                    // from the next correct-path instruction.
+                    self.stats.csr_flushes += 1;
+                    self.squash_from(0);
+                    self.redirect(
+                        uop.trace_pos + 1,
+                        t + u64::from(self.config.redirect_penalty),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+        }
+        record.n_committed = n as u8;
+    }
+
+    fn take_exception(&mut self, t: u64, front_slot: usize, record: &mut CycleRecord) {
+        let (addr, idx, trace_pos) = {
+            let uop = self.uops.get(front_slot);
+            (uop.addr, uop.idx, uop.trace_pos)
+        };
+        record.exception = Some((addr, idx));
+        let resume = trace_pos + 1;
+        self.stats.exceptions += 1;
+        // The excepting instruction is squashed too; it re-executes after the
+        // handler (the functional trace already contains the re-execution).
+        self.squash_from(0);
+        self.redirect(resume, t + u64::from(self.config.redirect_penalty));
+    }
+
+    // ----- issue -----------------------------------------------------------
+
+    fn issue(&mut self, t: u64) {
+        self.issue_class(t, FuClass::Int);
+        self.issue_class(t, FuClass::Mem);
+        self.issue_class(t, FuClass::Fp);
+    }
+
+    fn issue_class(&mut self, t: u64, class: FuClass) {
+        let width = match class {
+            FuClass::Int => self.config.int_iq.width,
+            FuClass::Mem => self.config.mem_iq.width,
+            FuClass::Fp => self.config.fp_iq.width,
+        } as usize;
+
+        let queue = match class {
+            FuClass::Int => std::mem::take(&mut self.iq_int),
+            FuClass::Mem => std::mem::take(&mut self.iq_mem),
+            FuClass::Fp => std::mem::take(&mut self.iq_fp),
+        };
+
+        let mut remaining = Vec::with_capacity(queue.len());
+        let mut issued = 0usize;
+        for (slot, uid) in queue {
+            if self.uops.get_if_uid(slot, uid).is_none() {
+                continue; // squashed
+            }
+            if issued >= width {
+                remaining.push((slot, uid));
+                continue;
+            }
+            let ready = {
+                let uop = self.uops.get(slot);
+                uop.src_pregs
+                    .iter()
+                    .flatten()
+                    .all(|&p| self.renamer.ready_at(p) <= t)
+            };
+            if !ready {
+                remaining.push((slot, uid));
+                continue;
+            }
+            // Unpipelined units (dividers) serialize.
+            let kind = self.uops.get(slot).kind;
+            if !kind.pipelined() {
+                let div = match class {
+                    FuClass::Int => &mut self.div_busy[0],
+                    FuClass::Fp => &mut self.div_busy[1],
+                    FuClass::Mem => unreachable!("no unpipelined mem ops"),
+                };
+                if *div > t {
+                    remaining.push((slot, uid));
+                    continue;
+                }
+                *div = t + u64::from(kind.exec_latency());
+            }
+
+            let completion = self.execute_uop(t, slot);
+            let uop = self.uops.get_mut(slot);
+            uop.issued = true;
+            uop.executed_at = completion;
+            let (dst, mispredicted, wrong_path, uid2) =
+                (uop.dst_preg, uop.mispredicted, uop.wrong_path, uop.uid);
+            if let Some(dst) = dst {
+                self.renamer.set_ready_at(dst, completion);
+            }
+            if mispredicted && !wrong_path {
+                self.resolve_events.push(Reverse((completion, slot, uid2)));
+            }
+            issued += 1;
+        }
+
+        match class {
+            FuClass::Int => self.iq_int = remaining,
+            FuClass::Mem => self.iq_mem = remaining,
+            FuClass::Fp => self.iq_fp = remaining,
+        }
+    }
+
+    /// Computes the completion cycle of `slot` issued at `t`.
+    fn execute_uop(&mut self, t: u64, slot: usize) -> u64 {
+        let (kind, mem_addr, fault) = {
+            let u = self.uops.get(slot);
+            (u.kind, u.mem_addr, u.fault)
+        };
+        match kind {
+            InstrKind::Load => {
+                if fault {
+                    // TLB miss -> page-table walk concludes the page is not
+                    // resident; the exception bit is then set.
+                    t + 1 + self.config.mem.ptw_latency
+                } else {
+                    self.mem
+                        .access_data(mem_addr.unwrap_or(0), t + 1, false)
+                        .ready
+                }
+            }
+            // Stores only generate their address before commit.
+            InstrKind::Store => t + 1,
+            k => t + u64::from(k.exec_latency()),
+        }
+    }
+
+    // ----- dispatch --------------------------------------------------------
+
+    fn dispatch(&mut self, t: u64) {
+        let width = self.config.decode_width as usize;
+        for _ in 0..width {
+            if self.serialize.is_some() {
+                break; // a fence is in flight
+            }
+            let Some(&fb) = self.fetch_buffer.front() else {
+                break;
+            };
+            if fb.ready_at > t {
+                break;
+            }
+            if self.rob.len() >= self.config.rob_entries as usize {
+                self.stats.rob_full_cycles += 1;
+                break;
+            }
+            match fb.kind {
+                InstrKind::Fence
+                    // Serialized: wait for the ROB to drain and all
+                    // committed stores to reach the memory system.
+                    if (!self.rob.is_empty() || !self.store_buffer.is_empty()) => {
+                        break;
+                    }
+                InstrKind::Load | InstrKind::Store
+                    if self.lsq_used >= self.config.lsq_entries => {
+                        break;
+                    }
+                InstrKind::Branch | InstrKind::Ret
+                    if self.branches_inflight >= self.config.max_branches => {
+                        break;
+                    }
+                _ => {}
+            }
+
+            // Issue-queue space.
+            let static_instr = self.program.instr(fb.idx);
+            let iq_class = crate::uop::iq_class_of(fb.kind);
+            if let Some(class) = iq_class {
+                let (len, cap) = match class {
+                    FuClass::Int => (self.iq_int.len(), self.config.int_iq.entries),
+                    FuClass::Mem => (self.iq_mem.len(), self.config.mem_iq.entries),
+                    FuClass::Fp => (self.iq_fp.len(), self.config.fp_iq.entries),
+                };
+                if len >= cap as usize {
+                    break;
+                }
+            }
+
+            // Physical-register availability.
+            let dst_reg = static_instr.dst();
+            if let Some(dst) = dst_reg {
+                if !self.renamer.can_allocate(dst.class()) {
+                    break;
+                }
+            }
+
+            // All resources available: dispatch.
+            self.fetch_buffer.pop_front();
+            let src_pregs = {
+                let srcs = static_instr.srcs();
+                [
+                    srcs[0].map(|r| self.renamer.lookup(r)),
+                    srcs[1].map(|r| self.renamer.lookup(r)),
+                ]
+            };
+            let (dst_preg, prev_preg) = match dst_reg {
+                Some(reg) => {
+                    let (p, prev) = self.renamer.allocate(reg);
+                    (Some(p), Some(prev))
+                }
+                None => (None, None),
+            };
+
+            let alloc = self.head_alloc + self.rob.len() as u64;
+            let executed_at = match fb.kind {
+                // These execute in place, one cycle after dispatch.
+                InstrKind::Nop | InstrKind::Fence | InstrKind::Halt => t + 1,
+                _ => u64::MAX,
+            };
+            let uop = Uop {
+                uid: 0, // assigned by the slab
+                trace_pos: fb.trace_pos,
+                alloc,
+                idx: fb.idx,
+                addr: fb.addr,
+                kind: fb.kind,
+                wrong_path: fb.wrong_path,
+                mem_addr: fb.mem_addr,
+                fault: fb.fault,
+                mispredicted: fb.mispredicted,
+                dst_reg,
+                dst_preg,
+                prev_preg,
+                src_pregs,
+                issued: false,
+                executed_at,
+            };
+            let slot = self.uops.insert(uop);
+            let uid = self.uops.get(slot).uid;
+            self.rob.push_back(slot);
+
+            if let Some(class) = iq_class {
+                match class {
+                    FuClass::Int => self.iq_int.push((slot, uid)),
+                    FuClass::Mem => self.iq_mem.push((slot, uid)),
+                    FuClass::Fp => self.iq_fp.push((slot, uid)),
+                }
+            }
+            if fb.kind.is_mem() {
+                self.lsq_used += 1;
+            }
+            if fb.kind == InstrKind::Branch || fb.kind == InstrKind::Ret {
+                self.branches_inflight += 1;
+            }
+            if fb.kind == InstrKind::Fence {
+                self.serialize = Some(uid);
+            }
+            if let Some(dst) = dst_preg {
+                // Nop-likes produce no value but may name a dst; ready when
+                // they "execute".
+                if executed_at != u64::MAX {
+                    self.renamer.set_ready_at(dst, executed_at);
+                }
+            }
+        }
+    }
+
+    // ----- fetch -----------------------------------------------------------
+
+    fn fetch(&mut self, t: u64) {
+        if t < self.fetch_stall_until || self.fetch_done {
+            return;
+        }
+        let width = self.config.fetch_width as usize;
+        let cap = self.config.fetch_buffer as usize;
+        let ready_at = t + u64::from(self.config.front_end_delay);
+
+        for _ in 0..width {
+            if self.fetch_buffer.len() >= cap || t < self.fetch_stall_until {
+                break;
+            }
+            let stop = if matches!(self.fetch_mode, FetchMode::Correct) {
+                self.fetch_one_correct(t, ready_at)
+            } else {
+                self.fetch_one_wrong(t, ready_at)
+            };
+            if stop {
+                break;
+            }
+        }
+    }
+
+    /// Fetches one correct-path instruction; returns whether the fetch group
+    /// must stop.
+    fn fetch_one_correct(&mut self, t: u64, ready_at: u64) -> bool {
+        let Some(d) = self.window.get(self.fetch_pos).copied() else {
+            return true; // program stream exhausted
+        };
+        if !self.line_ready(d.addr, t) {
+            return true;
+        }
+        self.fetch_pos += 1;
+        self.stats.fetched += 1;
+        let mut entry = FbEntry {
+            idx: d.idx,
+            addr: d.addr,
+            kind: d.kind,
+            mem_addr: d.mem_addr,
+            fault: d.fault,
+            wrong_path: false,
+            trace_pos: d.seq,
+            mispredicted: false,
+            ready_at,
+        };
+        let mut stop_group = false;
+        match d.kind {
+            InstrKind::Branch => {
+                let actual = d.taken.unwrap_or(false);
+                let predicted = self.predictor.predict_and_train(d.idx.index(), actual);
+                if predicted != actual {
+                    entry.mispredicted = true;
+                    // The front-end runs down the predicted (wrong) path
+                    // until the branch resolves at execute.
+                    let wrong_start = if actual {
+                        // Predicted not-taken: falls through.
+                        InstrIdx::new(d.idx.raw() + 1)
+                    } else {
+                        // Predicted taken: runs down the taken target.
+                        let target = self
+                            .program
+                            .instr(d.idx)
+                            .taken_target()
+                            .expect("branch has target");
+                        self.program.block(target).first_instr()
+                    };
+                    self.enter_wrong_path(wrong_start);
+                    stop_group = true;
+                }
+                if predicted {
+                    self.fetch_stall_until = t + 1 + u64::from(self.config.taken_bubble);
+                    stop_group = true;
+                }
+            }
+            InstrKind::Jump => {
+                self.fetch_stall_until = t + 1 + u64::from(self.config.taken_bubble);
+                stop_group = true;
+            }
+            InstrKind::Call => {
+                let resume = self.program.call_resume_addr(d.idx);
+                self.predictor.push_return(resume);
+                self.fetch_stall_until = t + 1 + u64::from(self.config.taken_bubble);
+                stop_group = true;
+            }
+            InstrKind::Ret => {
+                let predicted = self.predictor.pop_return();
+                if predicted != d.next_addr {
+                    entry.mispredicted = true;
+                    self.predictor.record_ras_mispredict();
+                    match predicted.and_then(|a| self.program.idx_of_addr(a)) {
+                        Some(idx) => self.enter_wrong_path(idx),
+                        None => self.stall_until_redirect(),
+                    }
+                }
+                self.fetch_stall_until = t + 1 + u64::from(self.config.taken_bubble);
+                stop_group = true;
+            }
+            InstrKind::Halt => {
+                self.fetch_done = true;
+                stop_group = true;
+            }
+            InstrKind::Load if d.fault => {
+                // The front-end does not know the load will fault: it keeps
+                // fetching the architectural successor, which the exception
+                // later squashes. The correct-path trace continues at the
+                // handler.
+                self.enter_wrong_path(InstrIdx::new(d.idx.raw() + 1));
+                stop_group = true;
+            }
+            _ => {}
+        }
+        self.fetch_buffer.push_back(entry);
+        stop_group
+    }
+
+    /// Fetches one wrong-path instruction; returns whether the fetch group
+    /// must stop.
+    fn fetch_one_wrong(&mut self, t: u64, ready_at: u64) -> bool {
+        // Temporarily take the generator to sidestep aliasing with the
+        // memory system; it is restored before returning.
+        let FetchMode::Wrong { mut gen, mut peek } =
+            std::mem::replace(&mut self.fetch_mode, FetchMode::Correct)
+        else {
+            unreachable!("fetch_one_wrong called in correct mode");
+        };
+        if peek.is_none() {
+            peek = gen.next();
+        }
+        let Some(w) = peek else {
+            // Wrong path ran off the program: wait for the redirect.
+            self.fetch_mode = FetchMode::Wrong { gen, peek };
+            self.stall_until_redirect();
+            return true;
+        };
+        if !self.line_ready(w.addr, t) {
+            self.fetch_mode = FetchMode::Wrong { gen, peek };
+            return true;
+        }
+        self.fetch_mode = FetchMode::Wrong { gen, peek: None };
+        self.stats.wrong_path_fetched += 1;
+        self.fetch_buffer.push_back(FbEntry {
+            idx: w.idx,
+            addr: w.addr,
+            kind: w.kind,
+            mem_addr: w.mem_addr,
+            fault: false,
+            wrong_path: true,
+            trace_pos: WRONG_PATH_POS,
+            mispredicted: false,
+            ready_at,
+        });
+        match w.kind {
+            InstrKind::Jump | InstrKind::Call | InstrKind::Ret => {
+                self.fetch_stall_until = t + 1 + u64::from(self.config.taken_bubble);
+                true
+            }
+            InstrKind::Halt => {
+                self.stall_until_redirect();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Checks (and if needed requests) the I-cache line holding `addr`.
+    /// Returns whether fetch can proceed this cycle.
+    fn line_ready(&mut self, addr: InstrAddr, t: u64) -> bool {
+        let line = addr.raw() / tip_mem::LINE_BYTES;
+        if line != self.cur_line {
+            self.cur_line = line;
+            self.cur_line_ready = self.mem.access_inst(addr.raw(), t);
+        }
+        if self.cur_line_ready > t {
+            self.stats.icache_stall_cycles += self.cur_line_ready - t;
+            self.fetch_stall_until = self.fetch_stall_until.max(self.cur_line_ready);
+            return false;
+        }
+        true
+    }
+
+    fn enter_wrong_path(&mut self, start: InstrIdx) {
+        if !self.config.model_wrong_path {
+            self.stall_until_redirect();
+            return;
+        }
+        if start.index() >= self.program.len() {
+            self.stall_until_redirect();
+            return;
+        }
+        self.wrong_path_seed = self
+            .wrong_path_seed
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(1);
+        self.fetch_mode = FetchMode::Wrong {
+            gen: WrongPath::new(self.program, start, self.wrong_path_seed),
+            peek: None,
+        };
+    }
+
+    fn stall_until_redirect(&mut self) {
+        self.fetch_stall_until = u64::MAX;
+    }
+
+    fn redirect(&mut self, resume_pos: u64, refetch_at: u64) {
+        self.fetch_mode = FetchMode::Correct;
+        self.fetch_pos = resume_pos;
+        self.fetch_stall_until = refetch_at;
+        self.cur_line = u64::MAX;
+        self.fetch_done = false;
+        self.fetch_buffer.clear();
+    }
+
+    // ----- squash ----------------------------------------------------------
+
+    /// Squashes ROB entries from position `from` (0 = everything) youngest
+    /// first, undoing renames and releasing resources. The fetch buffer is
+    /// cleared by the accompanying [`redirect`](Self::redirect).
+    fn squash_from(&mut self, from: usize) {
+        while self.rob.len() > from {
+            let slot = self.rob.pop_back().expect("rob non-empty");
+            let uop = self.uops.remove(slot);
+            if let (Some(reg), Some(preg), Some(prev)) = (uop.dst_reg, uop.dst_preg, uop.prev_preg)
+            {
+                self.renamer.rollback(reg, preg, prev);
+            }
+            if uop.uses_lsq() {
+                self.lsq_used -= 1;
+            }
+            if uop.kind == InstrKind::Branch || uop.kind == InstrKind::Ret {
+                self.branches_inflight = self.branches_inflight.saturating_sub(1);
+            }
+            if self.serialize == Some(uop.uid) {
+                self.serialize = None;
+            }
+        }
+        // Drop squashed entries from the issue queues eagerly so occupancy
+        // checks stay accurate.
+        let uops = &self.uops;
+        self.iq_int
+            .retain(|&(s, u)| uops.get_if_uid(s, u).is_some());
+        self.iq_mem
+            .retain(|&(s, u)| uops.get_if_uid(s, u).is_some());
+        self.iq_fp.retain(|&(s, u)| uops.get_if_uid(s, u).is_some());
+    }
+
+    // ----- record ----------------------------------------------------------
+
+    fn finalize_record(&mut self, t: u64, pre_commit_head_alloc: u64, record: &mut CycleRecord) {
+        let w = self.config.commit_width as u64;
+        record.rob_len = self.rob.len() as u32;
+
+        if let Some(&front) = self.rob.front() {
+            let uop = self.uops.get(front);
+            record.head = Some(HeadView {
+                addr: uop.addr,
+                idx: uop.idx,
+                kind: uop.kind,
+                executed: uop.executed(t),
+            });
+        }
+
+        if record.n_committed > 0 {
+            // Computing state: the bank view reflects the committing column.
+            for (i, c) in record
+                .committed
+                .iter()
+                .take(record.n_committed as usize)
+                .enumerate()
+            {
+                let c = c.as_ref().expect("committed entries are dense");
+                let bank = ((pre_commit_head_alloc + i as u64) % w) as usize;
+                record.banks[bank] = BankView {
+                    valid: true,
+                    committing: true,
+                    addr: c.addr,
+                    idx: c.idx,
+                    kind: c.kind,
+                };
+            }
+            record.oldest_bank = (pre_commit_head_alloc % w) as u8;
+        } else {
+            // Stalled (or empty): the head column at end of cycle.
+            for i in 0..self.rob.len().min(w as usize) {
+                let uop = self.uops.get(self.rob[i]);
+                let bank = (uop.alloc % w) as usize;
+                record.banks[bank] = BankView {
+                    valid: true,
+                    committing: false,
+                    addr: uop.addr,
+                    idx: uop.idx,
+                    kind: uop.kind,
+                };
+            }
+            record.oldest_bank = (self.head_alloc % w) as u8;
+        }
+
+        record.next_to_dispatch = self
+            .fetch_buffer
+            .front()
+            .map(|fb| (fb.addr, fb.idx, fb.wrong_path));
+        record.next_to_fetch = self.window.get(self.fetch_pos).map(|d| (d.addr, d.idx));
+    }
+}
+
+impl std::fmt::Debug for Core<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("program", &self.program.name())
+            .field("config", &self.config.name)
+            .field("cycle", &self.cycle)
+            .field("rob_len", &self.rob.len())
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MAX_COMMIT;
+    use tip_isa::{BranchBehavior, FaultSpec, Instr, MemBehavior, ProgramBuilder, Reg};
+
+    /// Collects every record for post-hoc assertions.
+    #[derive(Default)]
+    struct Recorder {
+        records: Vec<CycleRecord>,
+    }
+
+    impl TraceSink for Recorder {
+        fn on_cycle(&mut self, record: &CycleRecord) {
+            self.records.push(record.clone());
+        }
+    }
+
+    fn loop_program(body: impl Fn(&mut ProgramBuilder, tip_isa::BlockId), iters: u32) -> Program {
+        let mut b = ProgramBuilder::named("test-loop");
+        let main = b.function("main");
+        let blk = b.block(main);
+        body(&mut b, blk);
+        b.push(
+            blk,
+            Instr::branch(blk, BranchBehavior::Loop { taken_iters: iters }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        b.build().expect("valid program")
+    }
+
+    fn run(program: &Program) -> (RunSummary, Recorder, CoreStats) {
+        let mut recorder = Recorder::default();
+        let mut core = Core::new(program, CoreConfig::default(), 7);
+        let summary = core.run(&mut recorder, 2_000_000);
+        let stats = *core.stats();
+        (summary, recorder, stats)
+    }
+
+    #[test]
+    fn independent_alus_reach_high_ipc() {
+        // 8 independent single-cycle ALU ops per iteration.
+        let p = loop_program(
+            |b, blk| {
+                for i in 0..8 {
+                    b.push(blk, Instr::int_alu(Some(Reg::int(i + 1)), [None, None]));
+                }
+            },
+            2_000,
+        );
+        let (summary, _, stats) = run(&p);
+        assert_eq!(summary.exit, RunExit::Halted);
+        let ipc = stats.ipc();
+        assert!(
+            ipc > 2.5,
+            "independent code should commit near-width IPC, got {ipc:.2}"
+        );
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc() {
+        // Each ALU op reads the previous one's destination.
+        let p = loop_program(
+            |b, blk| {
+                for _ in 0..8 {
+                    b.push(
+                        blk,
+                        Instr::int_alu(Some(Reg::int(1)), [Some(Reg::int(1)), None]),
+                    );
+                }
+            },
+            2_000,
+        );
+        let (_, _, stats) = run(&p);
+        let ipc = stats.ipc();
+        assert!(
+            ipc < 1.3,
+            "serial chain should commit about one per cycle, got {ipc:.2}"
+        );
+    }
+
+    #[test]
+    fn commit_respects_width_and_counts_match() {
+        let p = loop_program(
+            |b, blk| {
+                for i in 0..6 {
+                    b.push(blk, Instr::int_alu(Some(Reg::int(i + 1)), [None, None]));
+                }
+            },
+            500,
+        );
+        let (summary, recorder, _) = run(&p);
+        let mut total = 0u64;
+        for r in &recorder.records {
+            assert!(r.n_committed as usize <= MAX_COMMIT);
+            total += u64::from(r.n_committed);
+            // Committing entries appear in the bank view with commit bits.
+            for c in r.committed_iter() {
+                assert!(r
+                    .banks
+                    .iter()
+                    .any(|bnk| bnk.valid && bnk.committing && bnk.addr == c.addr));
+            }
+        }
+        assert_eq!(total, summary.instructions);
+        assert_eq!(recorder.records.len() as u64, summary.cycles);
+    }
+
+    #[test]
+    fn llc_missing_loads_stall_at_head() {
+        // Pointer-chase style dependent loads over a DRAM-sized footprint.
+        let p = loop_program(
+            |b, blk| {
+                b.push(
+                    blk,
+                    Instr::load(
+                        Some(Reg::int(1)),
+                        Some(Reg::int(1)),
+                        MemBehavior::RandomIn {
+                            base: 0x100_0000,
+                            footprint: 64 * 1024 * 1024,
+                        },
+                    ),
+                );
+            },
+            2_000,
+        );
+        let (_, recorder, _) = run(&p);
+        let stall_on_load = recorder
+            .records
+            .iter()
+            .filter(|r| {
+                !r.is_committing()
+                    && !r.rob_empty()
+                    && r.head.map(|h| h.kind == InstrKind::Load && !h.executed) == Some(true)
+            })
+            .count();
+        let frac = stall_on_load as f64 / recorder.records.len() as f64;
+        assert!(
+            frac > 0.5,
+            "dependent missing loads should dominate cycles, got {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_branch_flushes_pipeline() {
+        let mut b = ProgramBuilder::named("flushy");
+        let main = b.function("main");
+        let head = b.block(main);
+        let skip = b.block(main);
+        let tail = b.block(main);
+        let exit = b.block(main);
+        b.push(head, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(
+            head,
+            Instr::branch(tail, BranchBehavior::Bernoulli { taken_prob: 0.5 }),
+        );
+        b.push(skip, Instr::int_alu(Some(Reg::int(2)), [None, None]));
+        b.push(skip, Instr::jump(tail));
+        b.push(tail, Instr::int_alu(Some(Reg::int(3)), [None, None]));
+        b.push(
+            tail,
+            Instr::branch(head, BranchBehavior::Loop { taken_iters: 3_000 }),
+        );
+        b.push(exit, Instr::halt());
+        let p = b.build().expect("valid");
+
+        let (summary, recorder, stats) = run(&p);
+        assert_eq!(summary.exit, RunExit::Halted);
+        assert!(
+            stats.mispredicts > 500,
+            "expected many mispredicts, got {}",
+            stats.mispredicts
+        );
+        // Flushed state: an empty ROB cycle whose last commit was a
+        // mispredicted branch.
+        let mut seen_flush_state = false;
+        let mut last_commit_mispredicted = false;
+        for r in &recorder.records {
+            if let Some(c) = r.youngest_committed() {
+                last_commit_mispredicted = c.mispredicted;
+            }
+            if !r.is_committing() && r.rob_empty() && last_commit_mispredicted {
+                seen_flush_state = true;
+            }
+        }
+        assert!(
+            seen_flush_state,
+            "mispredicts should expose empty-ROB flush cycles"
+        );
+        assert!(
+            stats.wrong_path_fetched > 0,
+            "wrong-path fetch should be modelled"
+        );
+    }
+
+    #[test]
+    fn csr_flush_empties_rob() {
+        let p = loop_program(
+            |b, blk| {
+                b.push(blk, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+                b.push(blk, Instr::csr_flush());
+                b.push(blk, Instr::int_alu(Some(Reg::int(2)), [None, None]));
+            },
+            500,
+        );
+        let (_, recorder, stats) = run(&p);
+        assert_eq!(stats.csr_flushes, 501);
+        // After a CSR commit the ROB must be empty (everything younger
+        // squashed) until refetch.
+        let mut flush_then_empty = 0;
+        let mut prev_flush = false;
+        for r in &recorder.records {
+            if prev_flush && r.rob_empty() && !r.is_committing() {
+                flush_then_empty += 1;
+            }
+            prev_flush = r.committed_iter().any(|c| c.flush);
+        }
+        assert!(
+            flush_then_empty > 100,
+            "CSR flushes should drain the ROB, got {flush_then_empty}"
+        );
+    }
+
+    #[test]
+    fn page_fault_runs_handler_and_reexecutes() {
+        let mut b = ProgramBuilder::named("faulty");
+        let main = b.function("main");
+        let handler = b.function("os_handler");
+        let blk = b.block(main);
+        b.push(
+            blk,
+            Instr::load(
+                Some(Reg::int(1)),
+                None,
+                MemBehavior::Fixed { addr: 0x20_0000 },
+            )
+            .with_fault(FaultSpec { every: 50 }),
+        );
+        b.push(
+            blk,
+            Instr::int_alu(Some(Reg::int(2)), [Some(Reg::int(1)), None]),
+        );
+        b.push(
+            blk,
+            Instr::branch(blk, BranchBehavior::Loop { taken_iters: 200 }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        let h = b.block(handler);
+        b.push(h, Instr::int_alu(Some(Reg::int(3)), [None, None]));
+        b.push(h, Instr::ret());
+        b.set_fault_handler(handler);
+        let p = b.build().expect("valid");
+
+        let (summary, recorder, stats) = run(&p);
+        assert_eq!(summary.exit, RunExit::Halted);
+        assert_eq!(stats.exceptions, 4, "201 loads with every=50 fault 4 times");
+        let exception_records = recorder
+            .records
+            .iter()
+            .filter(|r| r.exception.is_some())
+            .count();
+        assert_eq!(exception_records, 4);
+        // The handler's instructions committed (handler ALU address).
+        let handler_entry = p.addr_of(p.block(p.function(handler).entry_block()).first_instr());
+        let handler_commits = recorder
+            .records
+            .iter()
+            .flat_map(|r| r.committed_iter())
+            .filter(|c| c.addr == handler_entry)
+            .count();
+        assert_eq!(handler_commits, 4);
+    }
+
+    #[test]
+    fn fence_serializes_but_completes() {
+        let with_fence = loop_program(
+            |b, blk| {
+                for i in 0..4 {
+                    b.push(blk, Instr::int_alu(Some(Reg::int(i + 1)), [None, None]));
+                }
+                b.push(blk, Instr::fence());
+            },
+            400,
+        );
+        let without = loop_program(
+            |b, blk| {
+                for i in 0..4 {
+                    b.push(blk, Instr::int_alu(Some(Reg::int(i + 1)), [None, None]));
+                }
+                b.push(blk, Instr::nop());
+            },
+            400,
+        );
+        let (sf, _, stats_f) = run(&with_fence);
+        let (sn, _, _) = run(&without);
+        assert_eq!(sf.exit, RunExit::Halted);
+        assert_eq!(sf.instructions, sn.instructions);
+        assert!(
+            sf.cycles as f64 > 1.5 * sn.cycles as f64,
+            "fences should serialize: {} vs {} cycles",
+            sf.cycles,
+            sn.cycles
+        );
+        assert!(
+            stats_f.ipc() < 1.6,
+            "serialized IPC should be low, got {:.2}",
+            stats_f.ipc()
+        );
+    }
+
+    #[test]
+    fn icache_misses_drain_rob() {
+        // A program with a huge instruction footprint: many blocks chained by
+        // jumps, total far exceeding the 32 KB L1I.
+        let mut b = ProgramBuilder::named("ifootprint");
+        let main = b.function("main");
+        let n_blocks = 1_200; // x ~24 instrs x 4B = ~115 KB of text
+        let blocks: Vec<_> = (0..n_blocks).map(|_| b.block(main)).collect();
+        let exit = b.block(main);
+        for (i, &blk) in blocks.iter().enumerate() {
+            for j in 0..23 {
+                b.push(
+                    blk,
+                    Instr::int_alu(Some(Reg::int((j % 8) + 1)), [None, None]),
+                );
+            }
+            if i + 1 < blocks.len() {
+                b.push(blk, Instr::jump(blocks[i + 1]));
+            } else {
+                // Loop back to the start a few times.
+                b.push(
+                    blk,
+                    Instr::branch(blocks[0], BranchBehavior::Loop { taken_iters: 3 }),
+                );
+            }
+        }
+        b.push(exit, Instr::halt());
+        let p = b.build().expect("valid");
+
+        let (summary, recorder, stats) = run(&p);
+        assert_eq!(summary.exit, RunExit::Halted);
+        assert!(stats.icache_stall_cycles > 0, "expected I-cache stalls");
+        // Drained state: empty ROB with no flush cause.
+        let empty = recorder
+            .records
+            .iter()
+            .filter(|r| r.rob_empty() && !r.is_committing())
+            .count();
+        assert!(empty > 0, "I-miss should drain the ROB");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = loop_program(
+            |b, blk| {
+                b.push(
+                    blk,
+                    Instr::load(
+                        Some(Reg::int(1)),
+                        None,
+                        MemBehavior::RandomIn {
+                            base: 0x50_0000,
+                            footprint: 1 << 20,
+                        },
+                    ),
+                );
+                b.push(
+                    blk,
+                    Instr::int_alu(Some(Reg::int(2)), [Some(Reg::int(1)), None]),
+                );
+            },
+            1_000,
+        );
+        let (s1, r1, _) = run(&p);
+        let (s2, r2, _) = run(&p);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.records.len(), r2.records.len());
+        assert_eq!(r1.records, r2.records);
+    }
+
+    #[test]
+    fn small_core_is_slower() {
+        let p = loop_program(
+            |b, blk| {
+                for i in 0..8 {
+                    b.push(blk, Instr::int_alu(Some(Reg::int(i + 1)), [None, None]));
+                }
+            },
+            2_000,
+        );
+        let mut big = Core::new(&p, CoreConfig::default(), 7);
+        let sb = big.run(&mut (), 2_000_000);
+        let mut small = Core::new(&p, CoreConfig::small_2wide(), 7);
+        let ss = small.run(&mut (), 2_000_000);
+        assert_eq!(sb.instructions, ss.instructions);
+        assert!(
+            ss.cycles > sb.cycles,
+            "2-wide core must be slower on ILP-rich code"
+        );
+    }
+
+    #[test]
+    fn stream_end_without_halt() {
+        let mut b = ProgramBuilder::named("ret-end");
+        let main = b.function("main");
+        let blk = b.block(main);
+        b.push(blk, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(blk, Instr::ret());
+        let p = b.build().expect("valid");
+        let mut core = Core::new(&p, CoreConfig::default(), 0);
+        let summary = core.run(&mut (), 10_000);
+        assert_eq!(summary.exit, RunExit::StreamEnd);
+        assert_eq!(summary.instructions, 2);
+    }
+}

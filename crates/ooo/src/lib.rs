@@ -1,0 +1,37 @@
+//! Cycle-level 4-wide out-of-order core simulator for the TIP reproduction.
+//!
+//! This crate is the stand-in for the paper's BOOM-in-FireSim substrate. It
+//! models the pipeline of Table 1 — 8-wide fetch with branch prediction and
+//! I-cache/I-TLB access, 4-wide decode/rename/dispatch, a 128-entry ROB
+//! banked by commit width, INT/MEM/FP issue queues, a load/store queue and
+//! store buffer, execution-unit latencies, and 4-wide in-order commit — and
+//! exposes exactly what the paper's profilers need: a per-cycle
+//! [`CycleRecord`] describing the commit stage (per-bank head entries with
+//! valid/commit/mispredict/flush/exception flags), plus the dispatch- and
+//! fetch-boundary addresses used to model AMD-IBS-style and interrupt-based
+//! profilers.
+//!
+//! Squash machinery covers all four of the paper's commit-stage states:
+//! mispredicted branches and stale return-address-stack returns redirect at
+//! execute (State 3, Flushed), CSR instructions flush at commit (the Imagick
+//! case study), page-faulting loads raise exceptions at the ROB head, and
+//! I-cache/I-TLB misses drain the ROB (State 4, Drained).
+//!
+//! See [`Core`] for an end-to-end example.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod core;
+mod predictor;
+mod rename;
+mod stats;
+mod trace;
+mod uop;
+
+pub use crate::core::Core;
+pub use config::{CoreConfig, IqConfig, MAX_COMMIT};
+pub use predictor::Predictor;
+pub use stats::{CoreStats, RunExit, RunSummary};
+pub use trace::{BankView, CommitView, CycleRecord, HeadView, TraceSink};

@@ -1,0 +1,173 @@
+//! Register renaming: speculative map, free lists, and readiness.
+
+use tip_isa::{Reg, RegClass};
+
+/// Renames logical registers onto physical registers.
+///
+/// Physical registers are numbered in one namespace: `0..int_regs` for the
+/// integer file and `int_regs..int_regs+fp_regs` for the FP file. Initially
+/// logical `xN` maps to physical `N` and `fN` to `int_regs + N`; the rest
+/// populate the free lists.
+///
+/// Each renamed uop records the previous mapping of its destination so a
+/// squash can roll the map back by undoing uops youngest-first.
+#[derive(Debug, Clone)]
+pub(crate) struct Renamer {
+    map: [u32; 64],
+    free_int: Vec<u32>,
+    free_fp: Vec<u32>,
+    /// Cycle at which each physical register's value is available
+    /// (`u64::MAX` = not yet scheduled; `0` = ready since reset).
+    ready_at: Vec<u64>,
+    int_regs: u32,
+}
+
+impl Renamer {
+    pub fn new(int_regs: u32, fp_regs: u32) -> Self {
+        let mut map = [0u32; 64];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = if i < 32 {
+                i as u32
+            } else {
+                int_regs + (i as u32 - 32)
+            };
+        }
+        let free_int = (32..int_regs).rev().collect();
+        let free_fp = (int_regs + 32..int_regs + fp_regs).rev().collect();
+        Renamer {
+            map,
+            free_int,
+            free_fp,
+            ready_at: vec![0; (int_regs + fp_regs) as usize],
+            int_regs,
+        }
+    }
+
+    /// Whether a destination of class `class` can be allocated.
+    pub fn can_allocate(&self, class: RegClass) -> bool {
+        match class {
+            RegClass::Int => !self.free_int.is_empty(),
+            RegClass::Fp => !self.free_fp.is_empty(),
+        }
+    }
+
+    /// Current physical mapping of `reg`.
+    pub fn lookup(&self, reg: Reg) -> u32 {
+        self.map[reg.dense_index()]
+    }
+
+    /// Allocates a new physical register for destination `reg`; returns
+    /// `(new_preg, previous_preg)`. The new register is marked not-ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the free list for `reg`'s class is empty (check
+    /// [`can_allocate`](Self::can_allocate) first).
+    pub fn allocate(&mut self, reg: Reg) -> (u32, u32) {
+        let free = match reg.class() {
+            RegClass::Int => &mut self.free_int,
+            RegClass::Fp => &mut self.free_fp,
+        };
+        let preg = free.pop().expect("free physical register available");
+        let prev = std::mem::replace(&mut self.map[reg.dense_index()], preg);
+        self.ready_at[preg as usize] = u64::MAX;
+        (preg, prev)
+    }
+
+    /// Rolls back one squashed uop's rename (call youngest-first).
+    pub fn rollback(&mut self, reg: Reg, preg: u32, prev: u32) {
+        self.map[reg.dense_index()] = prev;
+        self.release_preg(preg);
+    }
+
+    /// Frees `preg` into the right free list (the class is derived from the
+    /// numbering split).
+    pub fn release_preg(&mut self, preg: u32) {
+        if preg < self.int_regs {
+            self.free_int.push(preg);
+        } else {
+            self.free_fp.push(preg);
+        }
+    }
+
+    /// Marks `preg`'s value available at `cycle`.
+    pub fn set_ready_at(&mut self, preg: u32, cycle: u64) {
+        self.ready_at[preg as usize] = cycle;
+    }
+
+    /// The cycle `preg`'s value is available.
+    pub fn ready_at(&self, preg: u32) -> u64 {
+        self.ready_at[preg as usize]
+    }
+
+    /// Number of free integer / fp physical registers.
+    #[cfg(test)]
+    pub fn free_counts(&self) -> (usize, usize) {
+        (self.free_int.len(), self.free_fp.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_mapping_is_identity() {
+        let r = Renamer::new(128, 128);
+        assert_eq!(r.lookup(Reg::int(5)), 5);
+        assert_eq!(r.lookup(Reg::fp(5)), 128 + 5);
+        assert_eq!(r.free_counts(), (96, 96));
+    }
+
+    #[test]
+    fn allocate_and_rollback_restores_map() {
+        let mut r = Renamer::new(128, 128);
+        let before = r.lookup(Reg::int(3));
+        let (preg, prev) = r.allocate(Reg::int(3));
+        assert_eq!(prev, before);
+        assert_ne!(r.lookup(Reg::int(3)), before);
+        assert_eq!(r.ready_at(preg), u64::MAX);
+        r.rollback(Reg::int(3), preg, prev);
+        assert_eq!(r.lookup(Reg::int(3)), before);
+        assert_eq!(r.free_counts(), (96, 96));
+    }
+
+    #[test]
+    fn commit_frees_previous_mapping() {
+        let mut r = Renamer::new(128, 128);
+        let (_, prev) = r.allocate(Reg::int(3));
+        r.release_preg(prev);
+        assert_eq!(r.free_counts().0, 96, "net zero after commit frees prev");
+    }
+
+    #[test]
+    fn exhaustion_is_detectable() {
+        let mut r = Renamer::new(34, 33);
+        assert!(r.can_allocate(RegClass::Int));
+        r.allocate(Reg::int(0));
+        r.allocate(Reg::int(1));
+        assert!(!r.can_allocate(RegClass::Int));
+        assert!(r.can_allocate(RegClass::Fp));
+        r.allocate(Reg::fp(0));
+        assert!(!r.can_allocate(RegClass::Fp));
+    }
+
+    #[test]
+    fn readiness_tracks_cycles() {
+        let mut r = Renamer::new(128, 128);
+        let (preg, _) = r.allocate(Reg::int(1));
+        r.set_ready_at(preg, 42);
+        assert_eq!(r.ready_at(preg), 42);
+    }
+
+    #[test]
+    fn fp_pregs_release_to_fp_list() {
+        let mut r = Renamer::new(128, 128);
+        let (preg, prev) = r.allocate(Reg::fp(7));
+        assert!(preg >= 128);
+        r.release_preg(prev);
+        let (i, f) = r.free_counts();
+        assert_eq!(i, 96);
+        assert_eq!(f, 96);
+    }
+}

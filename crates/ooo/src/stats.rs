@@ -1,0 +1,81 @@
+//! Aggregate core statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Correct-path instructions committed.
+    pub committed: u64,
+    /// Correct-path instructions fetched.
+    pub fetched: u64,
+    /// Wrong-path instructions fetched (and later squashed).
+    pub wrong_path_fetched: u64,
+    /// Branches that resolved mispredicted (direction or return target).
+    pub mispredicts: u64,
+    /// Pipeline flushes caused by committing CSR instructions.
+    pub csr_flushes: u64,
+    /// Exceptions (page faults) taken.
+    pub exceptions: u64,
+    /// Cycles with at least one commit.
+    pub commit_cycles: u64,
+    /// Cycles with an empty ROB at end of cycle and no commit.
+    pub empty_rob_cycles: u64,
+    /// Cycles the front-end could not deliver because of I-cache/I-TLB
+    /// misses.
+    pub icache_stall_cycles: u64,
+    /// Cycles dispatch was blocked by a full ROB.
+    pub rob_full_cycles: u64,
+}
+
+impl CoreStats {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The outcome of [`crate::Core::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Correct-path instructions committed.
+    pub instructions: u64,
+    /// How the run ended.
+    pub exit: RunExit,
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunExit {
+    /// A `halt` instruction committed.
+    Halted,
+    /// The program's dynamic stream ended (entry function returned).
+    StreamEnd,
+    /// The cycle budget was exhausted.
+    CycleLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+        let s = CoreStats {
+            cycles: 100,
+            committed: 250,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! The per-cycle commit-stage trace the profilers consume.
+//!
+//! This mirrors what the paper's authors extracted from FireSim: "the
+//! instruction address and the valid, commit, exception, flush, and
+//! mispredicted flags of the head ROB-entry in each ROB bank every cycle",
+//! plus the head/tail information needed to model the Dispatch and Software
+//! profilers. All profilers in `tip-core` are driven exclusively from
+//! [`CycleRecord`]s — they never peek inside the core.
+
+use crate::config::MAX_COMMIT;
+use tip_isa::{InstrAddr, InstrIdx, InstrKind};
+
+/// An instruction committed this cycle, with the flags TIP's OIR tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitView {
+    /// Address of the committed instruction.
+    pub addr: InstrAddr,
+    /// Static instruction index.
+    pub idx: InstrIdx,
+    /// Kind (profilers use this for cycle-stack categories).
+    pub kind: InstrKind,
+    /// The instruction was a mispredicted branch.
+    pub mispredicted: bool,
+    /// The instruction forces a pipeline flush at commit (CSR access).
+    pub flush: bool,
+}
+
+/// The oldest in-flight instruction at the end of a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadView {
+    /// Address of the instruction at the head of the ROB.
+    pub addr: InstrAddr,
+    /// Static instruction index.
+    pub idx: InstrIdx,
+    /// Kind (drives the stall-type classification).
+    pub kind: InstrKind,
+    /// Whether it has finished executing (it then commits next cycle).
+    pub executed: bool,
+}
+
+/// One ROB bank's head entry as TIP's sample-selection unit sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankView {
+    /// The bank holds a dispatched instruction.
+    pub valid: bool,
+    /// The instruction committed this cycle.
+    pub committing: bool,
+    /// Its address (meaningless when `!valid`).
+    pub addr: InstrAddr,
+    /// Its static index (meaningless when `!valid`).
+    pub idx: InstrIdx,
+    /// Its kind (meaningless when `!valid`).
+    pub kind: InstrKind,
+}
+
+impl BankView {
+    /// An invalid (empty) bank.
+    #[must_use]
+    pub fn invalid() -> Self {
+        BankView {
+            valid: false,
+            committing: false,
+            addr: InstrAddr::new(0),
+            idx: InstrIdx::new(0),
+            kind: InstrKind::Nop,
+        }
+    }
+}
+
+/// Everything the profilers may observe about one clock cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleRecord {
+    /// The cycle number (0-based).
+    pub cycle: u64,
+    /// Number of instructions committed this cycle.
+    pub n_committed: u8,
+    /// The committed instructions, oldest first.
+    pub committed: [Option<CommitView>; MAX_COMMIT],
+    /// Head-column view per ROB bank (index = bank id).
+    pub banks: [BankView; MAX_COMMIT],
+    /// Bank id of the oldest valid entry (TIP's "Oldest ID").
+    pub oldest_bank: u8,
+    /// Number of ROB entries at the end of the cycle.
+    pub rob_len: u32,
+    /// The oldest in-flight instruction at the end of the cycle.
+    pub head: Option<HeadView>,
+    /// An exception fired this cycle for this instruction (it was squashed
+    /// and will re-execute after the handler).
+    pub exception: Option<(InstrAddr, InstrIdx)>,
+    /// The next instruction waiting at the dispatch boundary
+    /// (address, index, is-wrong-path). Models what AMD-IBS-style Dispatch
+    /// tagging would select.
+    pub next_to_dispatch: Option<(InstrAddr, InstrIdx, bool)>,
+    /// The next correct-path instruction the front-end will fetch. Models the
+    /// program counter a Software (interrupt-based) profiler would observe.
+    pub next_to_fetch: Option<(InstrAddr, InstrIdx)>,
+}
+
+impl CycleRecord {
+    /// A record for an idle cycle (nothing committed, empty ROB).
+    #[must_use]
+    pub fn empty(cycle: u64) -> Self {
+        CycleRecord {
+            cycle,
+            n_committed: 0,
+            committed: [None; MAX_COMMIT],
+            banks: [BankView::invalid(); MAX_COMMIT],
+            oldest_bank: 0,
+            rob_len: 0,
+            head: None,
+            exception: None,
+            next_to_dispatch: None,
+            next_to_fetch: None,
+        }
+    }
+
+    /// Committed instructions as a slice-like iterator, oldest first.
+    pub fn committed_iter(&self) -> impl Iterator<Item = &CommitView> {
+        self.committed
+            .iter()
+            .take(self.n_committed as usize)
+            .flatten()
+    }
+
+    /// Whether any instruction committed this cycle.
+    #[must_use]
+    pub fn is_committing(&self) -> bool {
+        self.n_committed > 0
+    }
+
+    /// Whether the ROB is empty at the end of the cycle.
+    #[must_use]
+    pub fn rob_empty(&self) -> bool {
+        self.rob_len == 0
+    }
+
+    /// The youngest instruction committed this cycle (what TIP's OIR-update
+    /// unit latches).
+    #[must_use]
+    pub fn youngest_committed(&self) -> Option<&CommitView> {
+        if self.n_committed == 0 {
+            None
+        } else {
+            self.committed[self.n_committed as usize - 1].as_ref()
+        }
+    }
+}
+
+/// Consumes the per-cycle trace online (profilers, statistics, ...).
+pub trait TraceSink {
+    /// Called once per simulated cycle, in order.
+    fn on_cycle(&mut self, record: &CycleRecord);
+}
+
+/// Discards the trace (pure performance simulation).
+impl TraceSink for () {
+    fn on_cycle(&mut self, _record: &CycleRecord) {}
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        self.0.on_cycle(record);
+        self.1.on_cycle(record);
+    }
+}
+
+impl<T: TraceSink> TraceSink for Vec<T> {
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        for sink in self {
+            sink.on_cycle(record);
+        }
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        (**self).on_cycle(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_record_is_idle() {
+        let r = CycleRecord::empty(7);
+        assert_eq!(r.cycle, 7);
+        assert!(!r.is_committing());
+        assert!(r.rob_empty());
+        assert!(r.youngest_committed().is_none());
+        assert_eq!(r.committed_iter().count(), 0);
+    }
+
+    #[test]
+    fn youngest_committed_picks_last() {
+        let mut r = CycleRecord::empty(0);
+        let mk = |a: u64| CommitView {
+            addr: InstrAddr::new(a),
+            idx: InstrIdx::new(0),
+            kind: InstrKind::IntAlu,
+            mispredicted: false,
+            flush: false,
+        };
+        r.committed[0] = Some(mk(0x10));
+        r.committed[1] = Some(mk(0x14));
+        r.n_committed = 2;
+        assert_eq!(r.youngest_committed().unwrap().addr, InstrAddr::new(0x14));
+        assert_eq!(r.committed_iter().count(), 2);
+        assert!(r.is_committing());
+    }
+
+    #[test]
+    fn sink_combinators_fan_out() {
+        struct Counter(u64);
+        impl TraceSink for Counter {
+            fn on_cycle(&mut self, _r: &CycleRecord) {
+                self.0 += 1;
+            }
+        }
+        let mut pair = (Counter(0), Counter(0));
+        let r = CycleRecord::empty(0);
+        pair.on_cycle(&r);
+        pair.on_cycle(&r);
+        assert_eq!(pair.0 .0, 2);
+        assert_eq!(pair.1 .0, 2);
+
+        let mut many = vec![Counter(0), Counter(0), Counter(0)];
+        many.on_cycle(&r);
+        assert!(many.iter().all(|c| c.0 == 1));
+    }
+}

@@ -1,0 +1,162 @@
+//! In-flight micro-op records and the slab that stores them.
+
+use tip_isa::{FuClass, InstrAddr, InstrIdx, InstrKind, Reg};
+
+/// Sentinel trace position for wrong-path uops.
+pub(crate) const WRONG_PATH_POS: u64 = u64::MAX;
+
+/// The issue-queue class of `kind`, or `None` for uops that skip the issue
+/// queues (nop, fence, halt execute in place).
+pub(crate) fn iq_class_of(kind: InstrKind) -> Option<FuClass> {
+    match kind {
+        InstrKind::Nop | InstrKind::Fence | InstrKind::Halt => None,
+        k => Some(k.fu_class()),
+    }
+}
+
+/// One in-flight instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct Uop {
+    /// Unique id, never reused within a run (guards stale event references).
+    pub uid: u64,
+    /// Position in the correct-path trace ([`WRONG_PATH_POS`] if wrong-path).
+    pub trace_pos: u64,
+    /// ROB allocation index (bank = `alloc % commit_width`).
+    pub alloc: u64,
+    pub idx: InstrIdx,
+    pub addr: InstrAddr,
+    pub kind: InstrKind,
+    pub wrong_path: bool,
+    pub mem_addr: Option<u64>,
+    /// This load execution page-faults.
+    pub fault: bool,
+    /// The front-end mispredicted this instruction; resolving it redirects.
+    pub mispredicted: bool,
+    /// Renaming: destination physical register and the previous mapping of
+    /// the destination logical register.
+    pub dst_reg: Option<Reg>,
+    pub dst_preg: Option<u32>,
+    pub prev_preg: Option<u32>,
+    pub src_pregs: [Option<u32>; 2],
+    /// Whether the uop has been issued to a functional unit.
+    pub issued: bool,
+    /// Cycle execution completes; `u64::MAX` until scheduled.
+    pub executed_at: u64,
+}
+
+impl Uop {
+    /// Whether execution has finished by the start of `cycle`.
+    pub fn executed(&self, cycle: u64) -> bool {
+        self.executed_at <= cycle
+    }
+
+    /// Whether this uop occupies a load/store-queue slot.
+    pub fn uses_lsq(&self) -> bool {
+        self.kind.is_mem()
+    }
+}
+
+/// Slab of in-flight uops with index reuse.
+#[derive(Debug, Default)]
+pub(crate) struct UopSlab {
+    slots: Vec<Option<Uop>>,
+    free: Vec<usize>,
+    next_uid: u64,
+}
+
+impl UopSlab {
+    pub fn insert(&mut self, mut uop: Uop) -> usize {
+        uop.uid = self.next_uid;
+        self.next_uid += 1;
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot] = Some(uop);
+            slot
+        } else {
+            self.slots.push(Some(uop));
+            self.slots.len() - 1
+        }
+    }
+
+    pub fn remove(&mut self, slot: usize) -> Uop {
+        let uop = self.slots[slot].take().expect("removing a live uop");
+        self.free.push(slot);
+        uop
+    }
+
+    pub fn get(&self, slot: usize) -> &Uop {
+        self.slots[slot].as_ref().expect("live uop")
+    }
+
+    pub fn get_mut(&mut self, slot: usize) -> &mut Uop {
+        self.slots[slot].as_mut().expect("live uop")
+    }
+
+    /// The uop in `slot` if it is still the one with `uid`.
+    pub fn get_if_uid(&self, slot: usize, uid: u64) -> Option<&Uop> {
+        self.slots.get(slot)?.as_ref().filter(|u| u.uid == uid)
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uop(kind: InstrKind) -> Uop {
+        Uop {
+            uid: 0,
+            trace_pos: 0,
+            alloc: 0,
+            idx: InstrIdx::new(0),
+            addr: InstrAddr::new(0x1000),
+            kind,
+            wrong_path: false,
+            mem_addr: None,
+            fault: false,
+            mispredicted: false,
+            dst_reg: None,
+            dst_preg: None,
+            prev_preg: None,
+            src_pregs: [None, None],
+            issued: false,
+            executed_at: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn slab_reuses_slots_with_fresh_uids() {
+        let mut slab = UopSlab::default();
+        let a = slab.insert(uop(InstrKind::IntAlu));
+        let uid_a = slab.get(a).uid;
+        slab.remove(a);
+        let b = slab.insert(uop(InstrKind::Load));
+        assert_eq!(a, b, "slot should be reused");
+        assert_ne!(slab.get(b).uid, uid_a, "uid must be fresh");
+        assert!(slab.get_if_uid(b, uid_a).is_none());
+        assert!(slab.get_if_uid(b, slab.get(b).uid).is_some());
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn iq_classes() {
+        assert_eq!(iq_class_of(InstrKind::Nop), None);
+        assert_eq!(iq_class_of(InstrKind::Fence), None);
+        assert_eq!(iq_class_of(InstrKind::Halt), None);
+        assert_eq!(iq_class_of(InstrKind::Load), Some(FuClass::Mem));
+        assert_eq!(iq_class_of(InstrKind::FpMul), Some(FuClass::Fp));
+        assert_eq!(iq_class_of(InstrKind::CsrFlush), Some(FuClass::Int));
+    }
+
+    #[test]
+    fn executed_threshold() {
+        let mut u = uop(InstrKind::IntAlu);
+        assert!(!u.executed(100));
+        u.executed_at = 50;
+        assert!(u.executed(50));
+        assert!(!u.executed(49));
+    }
+}

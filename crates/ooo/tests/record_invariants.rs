@@ -1,0 +1,291 @@
+//! Structural invariants of the commit-stage trace, checked on every cycle
+//! of varied executions, plus targeted pipeline-behaviour tests.
+
+use tip_isa::{BranchBehavior, Instr, InstrKind, MemBehavior, ProgramBuilder, Reg};
+use tip_ooo::{Core, CoreConfig, CycleRecord, TraceSink};
+
+/// Checks per-record invariants as the trace streams by.
+struct InvariantChecker {
+    commit_width: u8,
+    rob_entries: u32,
+    cycles: u64,
+    violations: Vec<String>,
+}
+
+impl InvariantChecker {
+    fn new(config: &CoreConfig) -> Self {
+        InvariantChecker {
+            commit_width: config.commit_width as u8,
+            rob_entries: config.rob_entries,
+            cycles: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    fn check(&mut self, r: &CycleRecord) -> Result<(), String> {
+        if r.cycle != self.cycles {
+            return Err(format!(
+                "cycle numbers must be dense: {} vs {}",
+                r.cycle, self.cycles
+            ));
+        }
+        if r.n_committed > self.commit_width {
+            return Err(format!("commit width exceeded: {}", r.n_committed));
+        }
+        if r.rob_len > self.rob_entries {
+            return Err(format!("ROB overflow: {}", r.rob_len));
+        }
+        if usize::from(r.oldest_bank) >= usize::from(self.commit_width) {
+            return Err(format!("oldest bank {} out of range", r.oldest_bank));
+        }
+        // Committed entries must appear in the bank view with commit bits.
+        for c in r.committed_iter() {
+            if !r
+                .banks
+                .iter()
+                .any(|b| b.valid && b.committing && b.addr == c.addr)
+            {
+                return Err(format!("committed {} missing from banks", c.addr));
+            }
+        }
+        // A non-empty ROB must expose a head; an empty one must not.
+        if r.rob_empty() != r.head.is_none() {
+            return Err("head/rob_len inconsistency".to_owned());
+        }
+        // In the stalled state the oldest bank holds the head instruction.
+        if !r.is_committing() {
+            if let Some(head) = &r.head {
+                let b = &r.banks[r.oldest_bank as usize];
+                if !(b.valid && b.addr == head.addr) {
+                    return Err("stalled head not in oldest bank".to_owned());
+                }
+            }
+        }
+        // Exceptions fire only on non-committing, squashed cycles.
+        if r.exception.is_some() && r.is_committing() {
+            return Err("exception on a committing cycle".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl TraceSink for InvariantChecker {
+    fn on_cycle(&mut self, r: &CycleRecord) {
+        if let Err(v) = self.check(r) {
+            self.violations.push(format!("cycle {}: {v}", r.cycle));
+        }
+        self.cycles += 1;
+    }
+}
+
+fn mixed_program() -> tip_isa::Program {
+    let mut b = ProgramBuilder::named("mixed");
+    let main = b.function("main");
+    let callee = b.function("callee");
+    let head = b.block(main);
+    b.push(head, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+    b.push(
+        head,
+        Instr::load(
+            Some(Reg::int(2)),
+            None,
+            MemBehavior::RandomIn {
+                base: 0x100_0000,
+                footprint: 8 << 20,
+            },
+        ),
+    );
+    b.push(head, Instr::call(callee));
+    let mid = b.block(main);
+    b.push(mid, Instr::csr_flush());
+    b.push(
+        mid,
+        Instr::branch(head, BranchBehavior::Loop { taken_iters: 400 }),
+    );
+    let exit = b.block(main);
+    b.push(exit, Instr::halt());
+    let c0 = b.block(callee);
+    b.push(
+        c0,
+        Instr::fp(InstrKind::FpMul, Some(Reg::fp(1)), [Some(Reg::fp(1)), None]),
+    );
+    b.push(
+        c0,
+        Instr::branch(c0, BranchBehavior::Bernoulli { taken_prob: 0.3 }),
+    );
+    let c1 = b.block(callee);
+    b.push(c1, Instr::ret());
+    b.build().expect("valid")
+}
+
+#[test]
+fn record_invariants_hold_on_default_core() {
+    let p = mixed_program();
+    let config = CoreConfig::default();
+    let mut checker = InvariantChecker::new(&config);
+    let mut core = Core::new(&p, config, 9);
+    core.run(&mut checker, 10_000_000);
+    assert!(
+        checker.violations.is_empty(),
+        "violations: {:?}",
+        &checker.violations[..3.min(checker.violations.len())]
+    );
+}
+
+#[test]
+fn record_invariants_hold_on_2wide_core() {
+    let p = mixed_program();
+    let config = CoreConfig::small_2wide();
+    let mut checker = InvariantChecker::new(&config);
+    let mut core = Core::new(&p, config, 9);
+    core.run(&mut checker, 10_000_000);
+    assert!(
+        checker.violations.is_empty(),
+        "violations: {:?}",
+        &checker.violations[..3.min(checker.violations.len())]
+    );
+}
+
+#[test]
+fn narrow_core_never_commits_more_than_its_width() {
+    struct MaxCommit(u8);
+    impl TraceSink for MaxCommit {
+        fn on_cycle(&mut self, r: &CycleRecord) {
+            self.0 = self.0.max(r.n_committed);
+        }
+    }
+    let p = mixed_program();
+    let mut max = MaxCommit(0);
+    let mut core = Core::new(&p, CoreConfig::small_2wide(), 9);
+    core.run(&mut max, 10_000_000);
+    assert!(max.0 <= 2);
+    assert!(max.0 > 0);
+}
+
+#[test]
+fn store_buffer_backpressure_creates_store_stalls() {
+    // Stores streaming to DRAM faster than the buffer can drain must stall
+    // commit with a store at the head.
+    let mut b = ProgramBuilder::named("stores");
+    let main = b.function("main");
+    let blk = b.block(main);
+    for i in 0..4 {
+        b.push(
+            blk,
+            Instr::store(
+                Some(Reg::int(i + 1)),
+                None,
+                MemBehavior::Stride {
+                    base: 0x200_0000,
+                    stride: 64,
+                    footprint: 64 << 20,
+                },
+            ),
+        );
+    }
+    b.push(
+        blk,
+        Instr::branch(blk, BranchBehavior::Loop { taken_iters: 3_000 }),
+    );
+    let exit = b.block(main);
+    b.push(exit, Instr::halt());
+    let p = b.build().expect("valid");
+
+    struct StoreStalls(u64);
+    impl TraceSink for StoreStalls {
+        fn on_cycle(&mut self, r: &CycleRecord) {
+            if !r.is_committing() {
+                if let Some(h) = &r.head {
+                    if h.kind == InstrKind::Store && h.executed {
+                        self.0 += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut stalls = StoreStalls(0);
+    let mut core = Core::new(&p, CoreConfig::default(), 9);
+    let summary = core.run(&mut stalls, 50_000_000);
+    assert!(
+        stalls.0 > summary.cycles / 10,
+        "expected heavy store-buffer backpressure, got {} of {} cycles",
+        stalls.0,
+        summary.cycles
+    );
+}
+
+#[test]
+fn deep_recursion_overflows_the_ras_gracefully() {
+    // A call chain deeper than the 32-entry RAS: returns beyond the stack
+    // depth mispredict, but execution stays correct.
+    let mut b = ProgramBuilder::named("deep");
+    let main = b.function("main");
+    let fns: Vec<_> = (0..40).map(|i| b.function(format!("f{i}"))).collect();
+    let m0 = b.block(main);
+    b.push(m0, Instr::call(fns[0]));
+    let m1 = b.block(main);
+    b.push(m1, Instr::halt());
+    for i in 0..40 {
+        let blk = b.block(fns[i]);
+        b.push(blk, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        if i + 1 < 40 {
+            b.push(blk, Instr::call(fns[i + 1]));
+            let r = b.block(fns[i]);
+            b.push(r, Instr::ret());
+        } else {
+            b.push(blk, Instr::ret());
+        }
+    }
+    let p = b.build().expect("valid");
+    let mut core = Core::new(&p, CoreConfig::default(), 9);
+    let summary = core.run(&mut (), 1_000_000);
+    assert_eq!(summary.exit, tip_ooo::RunExit::Halted);
+    assert!(
+        core.stats().mispredicts > 0,
+        "RAS overflow must cost mispredicts"
+    );
+}
+
+#[test]
+fn wrong_path_instructions_reach_the_dispatch_boundary() {
+    // With a hard-to-predict branch, wrong-path entries should be visible
+    // at next_to_dispatch (the Dispatch profiler's tag point).
+    let mut b = ProgramBuilder::named("wp");
+    let main = b.function("main");
+    let head = b.block(main);
+    let skip = b.block(main);
+    let join = b.block(main);
+    let exit = b.block(main);
+    b.push(head, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+    b.push(
+        head,
+        Instr::branch(join, BranchBehavior::Bernoulli { taken_prob: 0.5 }),
+    );
+    b.push(skip, Instr::int_alu(Some(Reg::int(2)), [None, None]));
+    b.push(skip, Instr::jump(join));
+    b.push(join, Instr::int_alu(Some(Reg::int(3)), [None, None]));
+    b.push(
+        join,
+        Instr::branch(head, BranchBehavior::Loop { taken_iters: 2_000 }),
+    );
+    b.push(exit, Instr::halt());
+    let p = b.build().expect("valid");
+
+    struct WrongPathSeen(u64);
+    impl TraceSink for WrongPathSeen {
+        fn on_cycle(&mut self, r: &CycleRecord) {
+            if matches!(r.next_to_dispatch, Some((_, _, true))) {
+                self.0 += 1;
+            }
+        }
+    }
+    let mut seen = WrongPathSeen(0);
+    let mut core = Core::new(&p, CoreConfig::default(), 9);
+    core.run(&mut seen, 10_000_000);
+    assert!(
+        seen.0 > 100,
+        "wrong-path dispatch tags should be common, got {}",
+        seen.0
+    );
+    assert!(core.stats().wrong_path_fetched > 1_000);
+}

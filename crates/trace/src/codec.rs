@@ -1,0 +1,349 @@
+//! The binary record encoding.
+//!
+//! Each [`CycleRecord`] becomes one variable-length frame. Instruction
+//! addresses are never stored — they are derivable from instruction indices
+//! (`TEXT_BASE + 4*idx`), which is exactly the compression a real trace
+//! implementation would apply. Cycle numbers are implicit (records are
+//! consecutive); the reader reconstructs them from the stream position.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! presence : u8   bit0 head, bit1 exception, bit2 next_to_dispatch,
+//!                 bit3 next_to_fetch, bit4 dispatch-wrong-path,
+//!                 bit5 head-executed
+//! n_commit : u8   committed count (low nibble) | oldest_bank (high nibble)
+//! rob_len  : u16
+//! committed: n_commit x { idx: u32, kind+flags: u8 }
+//! banks    : valid_mask: u8, committing_mask: u8,
+//!            per valid bank { idx: u32, kind: u8 }
+//! head     : { idx: u32, kind: u8 }            (if present)
+//! exception: { idx: u32 }                      (if present)
+//! dispatch : { idx: u32 }                      (if present)
+//! fetch    : { idx: u32 }                      (if present)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+use tip_isa::{InstrAddr, InstrIdx, InstrKind};
+use tip_ooo::{BankView, CommitView, CycleRecord, HeadView, MAX_COMMIT};
+
+/// All instruction kinds, indexable by their wire code.
+const KINDS: [InstrKind; 16] = [
+    InstrKind::IntAlu,
+    InstrKind::IntMul,
+    InstrKind::IntDiv,
+    InstrKind::FpAlu,
+    InstrKind::FpMul,
+    InstrKind::FpDiv,
+    InstrKind::Load,
+    InstrKind::Store,
+    InstrKind::Branch,
+    InstrKind::Jump,
+    InstrKind::Call,
+    InstrKind::Ret,
+    InstrKind::CsrFlush,
+    InstrKind::Fence,
+    InstrKind::Nop,
+    InstrKind::Halt,
+];
+
+fn kind_code(kind: InstrKind) -> u8 {
+    KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind has a code") as u8
+}
+
+fn kind_from_code(code: u8) -> Result<InstrKind, DecodeError> {
+    KINDS
+        .get(code as usize)
+        .copied()
+        .ok_or(DecodeError::BadKind(code))
+}
+
+fn addr_of(idx: InstrIdx) -> InstrAddr {
+    InstrAddr::new(tip_isa::TEXT_BASE + tip_isa::INSTR_BYTES * u64::from(idx.raw()))
+}
+
+/// Errors produced when decoding a trace stream.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// An instruction-kind code outside the wire table.
+    BadKind(u8),
+    /// A frame was malformed (inconsistent counts or masks).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "trace read failed: {e}"),
+            DecodeError::BadKind(c) => write!(f, "invalid instruction-kind code {c}"),
+            DecodeError::Malformed(what) => write!(f, "malformed trace frame: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+/// Encodes one record into `out`. The cycle number is not stored (records
+/// are consecutive).
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn encode_record(record: &CycleRecord, out: &mut impl Write) -> io::Result<()> {
+    let mut presence = 0u8;
+    if record.head.is_some() {
+        presence |= 1;
+    }
+    if record.exception.is_some() {
+        presence |= 2;
+    }
+    if record.next_to_dispatch.is_some() {
+        presence |= 4;
+    }
+    if record.next_to_fetch.is_some() {
+        presence |= 8;
+    }
+    if matches!(record.next_to_dispatch, Some((_, _, true))) {
+        presence |= 16;
+    }
+    if record.head.as_ref().is_some_and(|h| h.executed) {
+        presence |= 32;
+    }
+    out.write_all(&[presence, record.n_committed | (record.oldest_bank << 4)])?;
+    out.write_all(&(record.rob_len as u16).to_le_bytes())?;
+
+    for c in record.committed_iter() {
+        out.write_all(&c.idx.raw().to_le_bytes())?;
+        let flags = kind_code(c.kind) | u8::from(c.mispredicted) << 4 | u8::from(c.flush) << 5;
+        out.write_all(&[flags])?;
+    }
+
+    let mut valid_mask = 0u8;
+    let mut committing_mask = 0u8;
+    for (i, b) in record.banks.iter().enumerate() {
+        if b.valid {
+            valid_mask |= 1 << i;
+        }
+        if b.committing {
+            committing_mask |= 1 << i;
+        }
+    }
+    out.write_all(&[valid_mask, committing_mask])?;
+    for b in record.banks.iter().filter(|b| b.valid) {
+        out.write_all(&b.idx.raw().to_le_bytes())?;
+        out.write_all(&[kind_code(b.kind)])?;
+    }
+
+    if let Some(h) = &record.head {
+        out.write_all(&h.idx.raw().to_le_bytes())?;
+        out.write_all(&[kind_code(h.kind)])?;
+    }
+    if let Some((_, idx)) = record.exception {
+        out.write_all(&idx.raw().to_le_bytes())?;
+    }
+    if let Some((_, idx, _)) = record.next_to_dispatch {
+        out.write_all(&idx.raw().to_le_bytes())?;
+    }
+    if let Some((_, idx)) = record.next_to_fetch {
+        out.write_all(&idx.raw().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_idx(r: &mut impl Read) -> io::Result<InstrIdx> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(InstrIdx::new(u32::from_le_bytes(b)))
+}
+
+/// Decodes one record from `input`, assigning it `cycle`. Returns
+/// `Ok(None)` at clean end-of-stream.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on I/O failure or malformed frames.
+pub fn decode_record(
+    input: &mut impl Read,
+    cycle: u64,
+) -> Result<Option<CycleRecord>, DecodeError> {
+    let presence = match read_u8(input) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let counts = read_u8(input)?;
+    let n_committed = counts & 0x0f;
+    let oldest_bank = counts >> 4;
+    if usize::from(n_committed) > MAX_COMMIT || usize::from(oldest_bank) >= MAX_COMMIT {
+        return Err(DecodeError::Malformed("commit count or bank out of range"));
+    }
+    let rob_len = read_u16(input)?;
+
+    let mut record = CycleRecord::empty(cycle);
+    record.n_committed = n_committed;
+    record.oldest_bank = oldest_bank;
+    record.rob_len = u32::from(rob_len);
+
+    for i in 0..usize::from(n_committed) {
+        let idx = read_idx(input)?;
+        let flags = read_u8(input)?;
+        record.committed[i] = Some(CommitView {
+            addr: addr_of(idx),
+            idx,
+            kind: kind_from_code(flags & 0x0f)?,
+            mispredicted: flags & 16 != 0,
+            flush: flags & 32 != 0,
+        });
+    }
+
+    let valid_mask = read_u8(input)?;
+    let committing_mask = read_u8(input)?;
+    for i in 0..MAX_COMMIT {
+        if valid_mask & (1 << i) != 0 {
+            let idx = read_idx(input)?;
+            let kind = kind_from_code(read_u8(input)?)?;
+            record.banks[i] = BankView {
+                valid: true,
+                committing: committing_mask & (1 << i) != 0,
+                addr: addr_of(idx),
+                idx,
+                kind,
+            };
+        }
+    }
+
+    if presence & 1 != 0 {
+        let idx = read_idx(input)?;
+        let kind = kind_from_code(read_u8(input)?)?;
+        record.head = Some(HeadView {
+            addr: addr_of(idx),
+            idx,
+            kind,
+            executed: presence & 32 != 0,
+        });
+    }
+    if presence & 2 != 0 {
+        let idx = read_idx(input)?;
+        record.exception = Some((addr_of(idx), idx));
+    }
+    if presence & 4 != 0 {
+        let idx = read_idx(input)?;
+        record.next_to_dispatch = Some((addr_of(idx), idx, presence & 16 != 0));
+    }
+    if presence & 8 != 0 {
+        let idx = read_idx(input)?;
+        record.next_to_fetch = Some((addr_of(idx), idx));
+    }
+    Ok(Some(record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for (i, &k) in KINDS.iter().enumerate() {
+            assert_eq!(kind_code(k), i as u8);
+            assert_eq!(kind_from_code(i as u8).expect("valid code"), k);
+        }
+        assert!(kind_from_code(16).is_err());
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let r = CycleRecord::empty(5);
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf).expect("encode");
+        let back = decode_record(&mut buf.as_slice(), 5)
+            .expect("decode")
+            .expect("present");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn rich_record_round_trips() {
+        let mut r = CycleRecord::empty(9);
+        let idx = InstrIdx::new(7);
+        r.committed[0] = Some(CommitView {
+            addr: addr_of(idx),
+            idx,
+            kind: InstrKind::Branch,
+            mispredicted: true,
+            flush: false,
+        });
+        r.n_committed = 1;
+        r.oldest_bank = 2;
+        r.rob_len = 17;
+        r.banks[2] = BankView {
+            valid: true,
+            committing: true,
+            addr: addr_of(idx),
+            idx,
+            kind: InstrKind::Branch,
+        };
+        r.head = Some(HeadView {
+            addr: addr_of(InstrIdx::new(8)),
+            idx: InstrIdx::new(8),
+            kind: InstrKind::Load,
+            executed: true,
+        });
+        r.exception = Some((addr_of(InstrIdx::new(9)), InstrIdx::new(9)));
+        r.next_to_dispatch = Some((addr_of(InstrIdx::new(10)), InstrIdx::new(10), true));
+        r.next_to_fetch = Some((addr_of(InstrIdx::new(11)), InstrIdx::new(11)));
+
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf).expect("encode");
+        let back = decode_record(&mut buf.as_slice(), 9)
+            .expect("decode")
+            .expect("present");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn end_of_stream_is_clean() {
+        let empty: &[u8] = &[];
+        assert!(decode_record(&mut &*empty, 0).expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let r = CycleRecord::empty(0);
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf).expect("encode");
+        buf.pop();
+        assert!(decode_record(&mut buf.as_slice(), 0).is_err());
+    }
+}

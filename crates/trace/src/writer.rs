@@ -1,0 +1,135 @@
+//! Streaming trace writer.
+
+use crate::codec::encode_record;
+use std::io::{self, BufWriter, Write};
+use tip_ooo::{CycleRecord, TraceSink};
+
+/// A [`TraceSink`] that encodes every record into a byte stream.
+///
+/// Writes are buffered; call [`flush`](TraceWriter::flush) (or drop the
+/// writer) when the run finishes. Encoding errors are sticky: the first one
+/// is stored and surfaced by `flush`, since `TraceSink::on_cycle` cannot
+/// fail.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: BufWriter<W>,
+    records: u64,
+    bytes: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer over `out`.
+    pub fn new(out: W) -> Self {
+        TraceWriter {
+            out: BufWriter::new(out),
+            records: 0,
+            bytes: 0,
+            error: None,
+        }
+    }
+
+    /// Records written so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Encoded bytes so far (before any I/O buffering).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean encoded bytes per cycle — the figure that makes Oracle-style
+    /// tracing impractical (Section 3.2).
+    #[must_use]
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.records as f64
+        }
+    }
+
+    /// Flushes buffered data and surfaces any deferred encoding error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered while encoding or flushing.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any deferred encoding error or flush failure.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.flush()?;
+        self.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut frame = Vec::with_capacity(64);
+        if let Err(e) = encode_record(record, &mut frame) {
+            self.error = Some(e);
+            return;
+        }
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        if let Err(e) = self.out.write_all(&frame) {
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_records_and_bytes() {
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut buf);
+            for c in 0..10 {
+                w.on_cycle(&CycleRecord::empty(c));
+            }
+            assert_eq!(w.records(), 10);
+            assert!(w.bytes() >= 10 * 6, "each empty frame is at least 6 bytes");
+            assert!(w.bytes_per_cycle() >= 6.0);
+            w.flush().expect("flush ok");
+        }
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn write_errors_are_sticky_and_surfaced() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _b: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // A tiny buffer capacity forces the failure through quickly; the
+        // default BufWriter hides it until flush, which is also fine.
+        let mut w = TraceWriter::new(FailingWriter);
+        for c in 0..100_000 {
+            w.on_cycle(&CycleRecord::empty(c));
+        }
+        assert!(w.flush().is_err());
+    }
+}

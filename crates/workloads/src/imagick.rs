@@ -1,0 +1,397 @@
+//! The Imagick case study (Section 6 of the paper).
+//!
+//! SPEC CPU2017's Imagick spends much of its time in the math-library
+//! `ceil` and `floor` functions, which bracket their floating-point work
+//! with `frflags`/`fsflags` status-register accesses. On a core that does
+//! not rename FP status registers (like BOOM), each of those CSR accesses
+//! flushes the pipeline at commit. The paper's optimized version replaces
+//! them with `nop`s, yielding a 1.93x speed-up — mostly through the
+//! second-order effect that removing the flushes restores the core's
+//! ability to hide latencies.
+//!
+//! This module builds both versions with the same call structure the paper
+//! reports: `MeanShiftImage` (the hot loop, calling `floor` and `ceil` per
+//! pixel) and `MorphologyApply` (a second, memory-heavier kernel).
+
+use tip_isa::{BranchBehavior, Instr, InstrKind, MemBehavior, Program, ProgramBuilder, Reg};
+
+/// Pixels processed per `MeanShiftImage` call.
+const PIXELS_PER_CALL: u32 = 24;
+
+/// Iterations per `MorphologyApply` call.
+const MORPH_ITERS: u32 = 30;
+
+/// Builds the original Imagick stand-in (with CSR flushes in `floor` and
+/// `ceil`); `dyn_instrs` controls the dynamic length.
+#[must_use]
+pub fn imagick_original(dyn_instrs: u64) -> Program {
+    build(false, dyn_instrs)
+}
+
+/// Builds the optimized version: `frflags`/`fsflags` replaced by `nop`s, as
+/// in the paper's source-level fix.
+#[must_use]
+pub fn imagick_optimized(dyn_instrs: u64) -> Program {
+    build(true, dyn_instrs)
+}
+
+/// The function names of the Imagick stand-in, hottest-first as in
+/// Figure 13.
+pub const IMAGICK_FUNCTIONS: [&str; 5] =
+    ["main", "MeanShiftImage", "floor", "ceil", "MorphologyApply"];
+
+/// Emits `n` generic, mostly independent pixel-arithmetic instructions.
+fn emit_pixel_work(b: &mut ProgramBuilder, blk: tip_isa::BlockId, n: u32) {
+    for i in 0..n {
+        let instr = match i % 5 {
+            0 => Instr::fp(
+                InstrKind::FpMul,
+                Some(Reg::fp(18 + (i % 4) as u8)),
+                [None, None],
+            ),
+            1 => Instr::int_alu(Some(Reg::int(18 + (i % 4) as u8)), [None, None]),
+            2 => Instr::fp(
+                InstrKind::FpAlu,
+                Some(Reg::fp(22 + (i % 4) as u8)),
+                [None, None],
+            ),
+            3 => Instr::int_alu(
+                Some(Reg::int(22 + (i % 4) as u8)),
+                [Some(Reg::int(18 + (i % 4) as u8)), None],
+            ),
+            _ => Instr::fp(
+                InstrKind::FpAlu,
+                Some(Reg::fp(26 + (i % 3) as u8)),
+                [Some(Reg::fp(18 + (i % 4) as u8)), None],
+            ),
+        };
+        b.push(blk, instr);
+    }
+}
+
+fn csr_or_nop(optimized: bool) -> Instr {
+    if optimized {
+        Instr::nop()
+    } else {
+        Instr::csr_flush()
+    }
+}
+
+/// Emits a `floor`/`ceil`-style math-library function: status-register save,
+/// dependent FP arithmetic, status-register restore, return.
+fn math_function(b: &mut ProgramBuilder, f: tip_isa::FunctionId, optimized: bool) -> u64 {
+    let body = b.block(f);
+    // frflags: read (and implicitly serialize on) the FP status register.
+    b.push(body, csr_or_nop(optimized));
+    // The actual rounding work: mostly independent FP/int operations.
+    b.push(
+        body,
+        Instr::fp(
+            InstrKind::FpAlu,
+            Some(Reg::fp(10)),
+            [Some(Reg::fp(1)), None],
+        ),
+    );
+    b.push(body, Instr::int_alu(Some(Reg::int(10)), [None, None]));
+    b.push(
+        body,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(11)), [None, None]),
+    );
+    b.push(body, Instr::int_alu(Some(Reg::int(11)), [None, None]));
+    b.push(
+        body,
+        Instr::fp(
+            InstrKind::FpAlu,
+            Some(Reg::fp(12)),
+            [Some(Reg::fp(10)), None],
+        ),
+    );
+    b.push(
+        body,
+        Instr::int_alu(Some(Reg::int(12)), [Some(Reg::int(10)), None]),
+    );
+    b.push(
+        body,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(13)), [None, None]),
+    );
+    b.push(body, Instr::int_alu(Some(Reg::int(13)), [None, None]));
+    // fsflags: restore the FP status register (masks any side effects).
+    b.push(body, csr_or_nop(optimized));
+    let ret = b.block(f);
+    b.push(ret, Instr::ret());
+    12 // dynamic instructions per call (10 body + ret + the call itself)
+}
+
+fn build(optimized: bool, dyn_instrs: u64) -> Program {
+    let name = if optimized { "imagick-opt" } else { "imagick" };
+    let mut b = ProgramBuilder::named(name);
+    let main = b.function("main");
+    let mean_shift = b.function("MeanShiftImage");
+    let floor = b.function("floor");
+    let ceil = b.function("ceil");
+    let morphology = b.function("MorphologyApply");
+
+    // --- MeanShiftImage: the hot per-pixel loop ---------------------------
+    let ms_entry = b.block(mean_shift);
+    b.push(ms_entry, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+    b.push(
+        ms_entry,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(1)), [None, None]),
+    );
+
+    // Per-pixel: gather, window arithmetic, floor(), ceil(), accumulate.
+    let ms_a = b.block(mean_shift);
+    b.push(
+        ms_a,
+        Instr::load(
+            Some(Reg::int(2)),
+            None,
+            MemBehavior::Stride {
+                base: 0x2000_0000,
+                stride: 8,
+                footprint: 16 * 1024,
+            },
+        ),
+    );
+    b.push(
+        ms_a,
+        Instr::fp(InstrKind::FpMul, Some(Reg::fp(2)), [Some(Reg::fp(1)), None]),
+    );
+    b.push(
+        ms_a,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(3)), [Some(Reg::fp(2)), None]),
+    );
+    b.push(
+        ms_a,
+        Instr::int_alu(Some(Reg::int(3)), [Some(Reg::int(2)), None]),
+    );
+    b.push(
+        ms_a,
+        Instr::fp(InstrKind::FpMul, Some(Reg::fp(14)), [None, None]),
+    );
+    b.push(ms_a, Instr::int_alu(Some(Reg::int(14)), [None, None]));
+    b.push(
+        ms_a,
+        Instr::load(
+            Some(Reg::int(15)),
+            None,
+            MemBehavior::Stride {
+                base: 0x2100_0000,
+                stride: 8,
+                footprint: 16 * 1024,
+            },
+        ),
+    );
+    b.push(
+        ms_a,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(15)), [None, None]),
+    );
+    b.push(ms_a, Instr::int_alu(Some(Reg::int(16)), [None, None]));
+    emit_pixel_work(&mut b, ms_a, 38);
+    b.push(ms_a, Instr::call(floor));
+
+    let ms_b = b.block(mean_shift);
+    b.push(
+        ms_b,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(4)), [Some(Reg::fp(3)), None]),
+    );
+    b.push(ms_b, Instr::int_alu(Some(Reg::int(4)), [None, None]));
+    b.push(
+        ms_b,
+        Instr::fp(InstrKind::FpMul, Some(Reg::fp(16)), [None, None]),
+    );
+    b.push(ms_b, Instr::int_alu(Some(Reg::int(17)), [None, None]));
+    b.push(
+        ms_b,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(17)), [None, None]),
+    );
+    emit_pixel_work(&mut b, ms_b, 32);
+    b.push(ms_b, Instr::call(ceil));
+
+    let ms_c = b.block(mean_shift);
+    b.push(
+        ms_c,
+        Instr::fp(InstrKind::FpMul, Some(Reg::fp(5)), [Some(Reg::fp(4)), None]),
+    );
+    b.push(
+        ms_c,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(6)), [Some(Reg::fp(5)), None]),
+    );
+    b.push(
+        ms_c,
+        Instr::store(
+            Some(Reg::int(4)),
+            None,
+            MemBehavior::Stride {
+                base: 0x2800_0000,
+                stride: 8,
+                footprint: 16 * 1024,
+            },
+        ),
+    );
+    b.push(
+        ms_c,
+        Instr::int_alu(Some(Reg::int(5)), [Some(Reg::int(4)), None]),
+    );
+    emit_pixel_work(&mut b, ms_c, 26);
+    b.push(
+        ms_c,
+        Instr::branch(
+            ms_a,
+            BranchBehavior::Loop {
+                taken_iters: PIXELS_PER_CALL,
+            },
+        ),
+    );
+    let ms_ret = b.block(mean_shift);
+    b.push(ms_ret, Instr::ret());
+
+    // --- floor / ceil ------------------------------------------------------
+    let floor_dyn = math_function(&mut b, floor, optimized);
+    let ceil_dyn = math_function(&mut b, ceil, optimized);
+
+    // --- MorphologyApply: memory-heavier convolution-style kernel ----------
+    let ma_entry = b.block(morphology);
+    b.push(ma_entry, Instr::int_alu(Some(Reg::int(6)), [None, None]));
+    let ma_loop = b.block(morphology);
+    b.push(
+        ma_loop,
+        Instr::load(
+            Some(Reg::int(7)),
+            None,
+            MemBehavior::Stride {
+                base: 0x3000_0000,
+                stride: 64,
+                footprint: 256 * 1024,
+            },
+        ),
+    );
+    b.push(
+        ma_loop,
+        Instr::fp(InstrKind::FpMul, Some(Reg::fp(7)), [Some(Reg::fp(6)), None]),
+    );
+    b.push(
+        ma_loop,
+        Instr::fp(InstrKind::FpAlu, Some(Reg::fp(8)), [Some(Reg::fp(7)), None]),
+    );
+    b.push(
+        ma_loop,
+        Instr::load(
+            Some(Reg::int(8)),
+            None,
+            MemBehavior::Stride {
+                base: 0x3400_0000,
+                stride: 64,
+                footprint: 256 * 1024,
+            },
+        ),
+    );
+    b.push(
+        ma_loop,
+        Instr::int_alu(Some(Reg::int(9)), [Some(Reg::int(8)), None]),
+    );
+    b.push(
+        ma_loop,
+        Instr::store(
+            Some(Reg::int(9)),
+            None,
+            MemBehavior::Stride {
+                base: 0x3800_0000,
+                stride: 64,
+                footprint: 256 * 1024,
+            },
+        ),
+    );
+    b.push(
+        ma_loop,
+        Instr::branch(
+            ma_loop,
+            BranchBehavior::Loop {
+                taken_iters: MORPH_ITERS,
+            },
+        ),
+    );
+    let ma_ret = b.block(morphology);
+    b.push(ma_ret, Instr::ret());
+
+    // --- main driver --------------------------------------------------------
+    // Dynamic instructions per outer iteration.
+    let ms_per_pixel = 48 + floor_dyn + 38 + ceil_dyn + 31; // ms_a + floor + ms_b + ceil + ms_c
+    let ms_dyn = 2 + u64::from(PIXELS_PER_CALL + 1) * ms_per_pixel + 1;
+    let ma_dyn = 1 + u64::from(MORPH_ITERS + 1) * 7 + 1;
+    let per_outer = ms_dyn + ma_dyn + 3;
+    let outer_iters = (dyn_instrs / per_outer).max(1) as u32;
+
+    let m0 = b.block(main);
+    b.push(m0, Instr::call(mean_shift));
+    let m1 = b.block(main);
+    b.push(m1, Instr::call(morphology));
+    let m2 = b.block(main);
+    b.push(m2, Instr::int_alu(Some(Reg::int(20)), [None, None]));
+    b.push(
+        m2,
+        Instr::branch(
+            m0,
+            BranchBehavior::Loop {
+                taken_iters: outer_iters,
+            },
+        ),
+    );
+    let m3 = b.block(main);
+    b.push(m3, Instr::halt());
+
+    b.build()
+        .unwrap_or_else(|e| panic!("imagick program invalid: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_isa::Executor;
+
+    #[test]
+    fn both_versions_build_and_differ_only_in_csrs() {
+        let orig = imagick_original(100_000);
+        let opt = imagick_optimized(100_000);
+        assert_eq!(orig.len(), opt.len(), "same instruction count");
+        let mut diffs = 0;
+        for (a, b) in orig.instrs().iter().zip(opt.instrs()) {
+            if a != b {
+                assert_eq!(a.kind(), InstrKind::CsrFlush);
+                assert_eq!(b.kind(), InstrKind::Nop);
+                diffs += 1;
+            }
+        }
+        assert_eq!(diffs, 4, "frflags+fsflags in both floor and ceil");
+    }
+
+    #[test]
+    fn function_names_match_case_study() {
+        let p = imagick_original(10_000);
+        let names: Vec<&str> = p.functions().iter().map(|f| f.name()).collect();
+        assert_eq!(names, IMAGICK_FUNCTIONS.to_vec());
+    }
+
+    #[test]
+    fn dynamic_length_tracks_target() {
+        let p = imagick_original(200_000);
+        let n = Executor::new(&p, 0).count() as f64;
+        assert!((0.5..2.0).contains(&(n / 200_000.0)), "got {n}");
+    }
+
+    #[test]
+    fn csr_count_scales_with_pixels() {
+        let p = imagick_original(50_000);
+        let mut exec_csrs = 0u64;
+        for d in Executor::new(&p, 0) {
+            if d.kind == InstrKind::CsrFlush {
+                exec_csrs += 1;
+            }
+        }
+        // 4 CSR executions per pixel (2 in floor + 2 in ceil).
+        assert!(
+            exec_csrs > 1_000,
+            "CSR flushes should be frequent, got {exec_csrs}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic benchmark suite for the TIP reproduction.
+//!
+//! The paper evaluates on 27 SPEC CPU2017 + PARSEC benchmarks run to
+//! completion under FireSim. We cannot run those binaries, so this crate
+//! generates seeded synthetic programs with the same *commit-stage
+//! behaviour classes* (Figure 7): Compute-intensive, Flush-intensive, and
+//! Stall-intensive. The profiler evaluation only depends on those classes —
+//! ILP at commit, stall distributions, flush and drain events, and a symbol
+//! hierarchy — not on benchmark semantics (see DESIGN.md).
+//!
+//! The crate also contains the hand-built [`imagick_original`] /
+//! [`imagick_optimized`] pair reproducing the paper's Section 6 case study.
+//!
+//! # Example
+//!
+//! ```
+//! use tip_workloads::{benchmark, SuiteScale};
+//!
+//! let mcf = benchmark("mcf", SuiteScale::Test);
+//! assert_eq!(mcf.class, tip_workloads::WorkloadClass::Stall);
+//! assert!(mcf.program.len() > 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod imagick;
+mod spec;
+mod synth;
+
+pub use imagick::{imagick_optimized, imagick_original, IMAGICK_FUNCTIONS};
+pub use spec::{benchmark, suite, Benchmark, SuiteScale, WorkloadClass, BENCHMARK_NAMES};
+pub use synth::{generate, InstrMix, SynthParams, DATA_BASE};

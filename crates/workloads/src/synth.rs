@@ -1,0 +1,631 @@
+//! Parameterized synthetic program generation.
+//!
+//! Each benchmark of the suite is produced by [`generate`] from a
+//! [`SynthParams`] knob set and a seed. Programs have the shape of real
+//! hot loops: an outer driver loop in `main` calling a handful of leaf
+//! functions, each containing (optionally bloated) straight-line segments
+//! and an inner loop with optional hard-to-predict diamonds, a tunable
+//! instruction mix, dependency density (ILP), and memory behaviours over a
+//! configurable working set.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tip_isa::{
+    BranchBehavior, FaultSpec, Instr, InstrKind, MemBehavior, Program, ProgramBuilder, Reg,
+};
+
+/// Base address of the shared data region synthetic loads/stores access.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Relative weights of non-control instruction kinds in generated blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// Single-cycle integer ALU.
+    pub alu: f64,
+    /// Integer multiply.
+    pub mul: f64,
+    /// Integer divide (unpipelined).
+    pub div: f64,
+    /// FP add/compare.
+    pub fp_alu: f64,
+    /// FP multiply.
+    pub fp_mul: f64,
+    /// FP divide (unpipelined).
+    pub fp_div: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+}
+
+impl InstrMix {
+    /// An integer-dominated mix.
+    #[must_use]
+    pub fn int_heavy() -> Self {
+        InstrMix {
+            alu: 0.62,
+            mul: 0.05,
+            div: 0.01,
+            fp_alu: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.22,
+            store: 0.10,
+        }
+    }
+
+    /// A floating-point-dominated mix.
+    #[must_use]
+    pub fn fp_heavy() -> Self {
+        InstrMix {
+            alu: 0.25,
+            mul: 0.02,
+            div: 0.0,
+            fp_alu: 0.25,
+            fp_mul: 0.18,
+            fp_div: 0.02,
+            load: 0.18,
+            store: 0.10,
+        }
+    }
+
+    /// A memory-dominated mix.
+    #[must_use]
+    pub fn mem_heavy() -> Self {
+        InstrMix {
+            alu: 0.40,
+            mul: 0.02,
+            div: 0.0,
+            fp_alu: 0.05,
+            fp_mul: 0.03,
+            fp_div: 0.0,
+            load: 0.35,
+            store: 0.15,
+        }
+    }
+
+    fn pick(&self, rng: &mut SmallRng) -> InstrKind {
+        let total = self.alu
+            + self.mul
+            + self.div
+            + self.fp_alu
+            + self.fp_mul
+            + self.fp_div
+            + self.load
+            + self.store;
+        let mut x = rng.random_range(0.0..total.max(1e-9));
+        for (w, k) in [
+            (self.alu, InstrKind::IntAlu),
+            (self.mul, InstrKind::IntMul),
+            (self.div, InstrKind::IntDiv),
+            (self.fp_alu, InstrKind::FpAlu),
+            (self.fp_mul, InstrKind::FpMul),
+            (self.fp_div, InstrKind::FpDiv),
+            (self.load, InstrKind::Load),
+            (self.store, InstrKind::Store),
+        ] {
+            if x < w {
+                return k;
+            }
+            x -= w;
+        }
+        InstrKind::IntAlu
+    }
+}
+
+/// All knobs of the synthetic generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthParams {
+    /// Number of leaf functions called from the driver loop.
+    pub n_funcs: u32,
+    /// Instructions per generated block (min, max).
+    pub block_len: (u32, u32),
+    /// Straight-line segment blocks per function, executed once per call
+    /// (inflates the instruction footprint for front-end pressure).
+    pub code_segments: u32,
+    /// Inner-loop iterations per function call.
+    pub inner_iters: u32,
+    /// Instruction-kind mix.
+    pub mix: InstrMix,
+    /// Probability an operand depends on the most recent producer (1.0 =
+    /// serial chain, 0.0 = maximal ILP).
+    pub dep_prob: f64,
+    /// Probability a block ends in a hard-to-predict diamond branch.
+    pub diamond_prob: f64,
+    /// Probability the inner loop contains a *predictable* pattern diamond:
+    /// a short cyclic direction pattern over an odd-length skip block. Real
+    /// code's data-dependent-but-regular control flow; it varies the dynamic
+    /// path length so commit-group alignment rotates (without it, synthetic
+    /// loops are unrealistically periodic and NCI-style leaders never
+    /// rotate).
+    pub pattern_diamond_prob: f64,
+    /// Taken probability of diamond branches (0.5 = maximally flushy).
+    pub bernoulli_prob: f64,
+    /// Bytes of data the loads/stores touch.
+    pub working_set: u64,
+    /// Fraction of memory instructions that stream (stride 64) rather than
+    /// access randomly within the working set.
+    pub stride_share: f64,
+    /// Fraction of loads that pointer-chase through a loop-carried register,
+    /// serializing their misses (mcf/canneal-like). 0.0 disables chasing.
+    pub pointer_chase: f64,
+    /// Insert a CSR flush instruction in blocks with this probability
+    /// (Imagick-like status-register flushes).
+    pub csr_flush_prob: f64,
+    /// If set, one load page-faults every N executions (exercises the
+    /// exception path; needs the generated fault handler).
+    pub fault_every: Option<u64>,
+    /// Approximate dynamic instructions the program should execute.
+    pub dyn_instrs: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams {
+            n_funcs: 4,
+            block_len: (6, 14),
+            code_segments: 0,
+            inner_iters: 32,
+            mix: InstrMix::int_heavy(),
+            dep_prob: 0.25,
+            diamond_prob: 0.0,
+            pattern_diamond_prob: 0.8,
+            bernoulli_prob: 0.5,
+            working_set: 16 * 1024,
+            stride_share: 0.7,
+            pointer_chase: 0.0,
+            csr_flush_prob: 0.0,
+            fault_every: None,
+            dyn_instrs: 1_000_000,
+        }
+    }
+}
+
+/// Tracks recently-written registers so operand selection can dial the
+/// dependency density.
+struct RegAlloc {
+    rng_state: u8,
+    fp_state: u8,
+}
+
+impl RegAlloc {
+    fn new() -> Self {
+        RegAlloc {
+            rng_state: 0,
+            fp_state: 0,
+        }
+    }
+
+    fn next_int(&mut self) -> Reg {
+        self.rng_state = (self.rng_state + 1) % 20;
+        Reg::int(1 + self.rng_state)
+    }
+
+    fn next_fp(&mut self) -> Reg {
+        self.fp_state = (self.fp_state + 1) % 20;
+        Reg::fp(1 + self.fp_state)
+    }
+}
+
+/// Generates a program from `params`, deterministically per seed.
+///
+/// The resulting program always terminates via `halt`, after an outer trip
+/// count chosen so the dynamic length approximates `params.dyn_instrs`.
+#[must_use]
+pub fn generate(name: &str, params: &SynthParams, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::named(name);
+    let main = b.function("main");
+    let funcs: Vec<_> = (0..params.n_funcs)
+        .map(|i| b.function(format!("func_{i}")))
+        .collect();
+    let handler = params
+        .fault_every
+        .map(|_| b.function("kernel_page_fault_handler"));
+
+    let mut regs = RegAlloc::new();
+    let mut last_int: Option<Reg> = None;
+    let mut last_fp: Option<Reg> = None;
+    let mut instrs_per_call_total = 0u64;
+    // The pointer-chase register carries the serial dependency.
+    let chase_reg = Reg::int(25);
+
+    // Generate each leaf function body.
+    let mut fault_assigned = false;
+    for &f in &funcs {
+        let mut per_call = 0u64;
+
+        let gen_body = |b: &mut ProgramBuilder,
+                        blk,
+                        rng: &mut SmallRng,
+                        regs: &mut RegAlloc,
+                        last_int: &mut Option<Reg>,
+                        last_fp: &mut Option<Reg>,
+                        fault_assigned: &mut bool|
+         -> u64 {
+            let n = rng.random_range(params.block_len.0..=params.block_len.1);
+            for _ in 0..n {
+                let kind = params.mix.pick(rng);
+                let pick_src = |rng: &mut SmallRng, last: Option<Reg>, fresh: Reg| {
+                    if last.is_some() && rng.random_bool(params.dep_prob) {
+                        last
+                    } else {
+                        Some(fresh)
+                    }
+                };
+                let instr = match kind {
+                    InstrKind::Load => {
+                        let chase = params.pointer_chase > 0.0
+                            && rng.random_bool(params.pointer_chase.clamp(0.0, 1.0));
+                        let behavior = if chase {
+                            MemBehavior::RandomIn {
+                                base: DATA_BASE,
+                                footprint: params.working_set,
+                            }
+                        } else if rng.random_bool(params.stride_share) {
+                            MemBehavior::Stride {
+                                base: DATA_BASE,
+                                stride: 64,
+                                footprint: params.working_set,
+                            }
+                        } else {
+                            MemBehavior::RandomIn {
+                                base: DATA_BASE,
+                                footprint: params.working_set,
+                            }
+                        };
+                        let (dst, addr_src) = if chase {
+                            (chase_reg, Some(chase_reg))
+                        } else {
+                            let d = regs.next_int();
+                            *last_int = Some(d);
+                            (d, None)
+                        };
+                        let mut load = Instr::load(Some(dst), addr_src, behavior);
+                        if let (Some(every), false) = (params.fault_every, *fault_assigned) {
+                            load = load.with_fault(FaultSpec { every });
+                            *fault_assigned = true;
+                        }
+                        load
+                    }
+                    InstrKind::Store => {
+                        let behavior = if rng.random_bool(params.stride_share) {
+                            MemBehavior::Stride {
+                                base: DATA_BASE + params.working_set / 2,
+                                stride: 64,
+                                footprint: params.working_set,
+                            }
+                        } else {
+                            MemBehavior::RandomIn {
+                                base: DATA_BASE + params.working_set / 2,
+                                footprint: params.working_set,
+                            }
+                        };
+                        Instr::store(pick_src(rng, *last_int, Reg::int(26)), None, behavior)
+                    }
+                    InstrKind::FpAlu | InstrKind::FpMul | InstrKind::FpDiv => {
+                        let dst = regs.next_fp();
+                        let src = pick_src(rng, *last_fp, Reg::fp(26));
+                        *last_fp = Some(dst);
+                        Instr::fp(kind, Some(dst), [src, None])
+                    }
+                    k => {
+                        let dst = regs.next_int();
+                        let src = pick_src(rng, *last_int, Reg::int(26));
+                        *last_int = Some(dst);
+                        Instr::op(k, Some(dst), [src, None])
+                    }
+                };
+                b.push(blk, instr);
+            }
+            if params.csr_flush_prob > 0.0 && rng.random_bool(params.csr_flush_prob) {
+                b.push(blk, Instr::csr_flush());
+                return u64::from(n) + 1;
+            }
+            u64::from(n)
+        };
+
+        // Entry block.
+        let entry = b.block(f);
+        per_call += gen_body(
+            &mut b,
+            entry,
+            &mut rng,
+            &mut regs,
+            &mut last_int,
+            &mut last_fp,
+            &mut fault_assigned,
+        );
+
+        // Code segments executed once per call, visited in a shuffled order
+        // via jumps so the instruction stream is non-sequential — this is
+        // what actually pressures the I-cache (sequential code is absorbed
+        // by the next-line prefetcher). The entry jumps to the first
+        // shuffled segment; the last one jumps to the loop head.
+        let segments: Vec<_> = (0..params.code_segments).map(|_| b.block(f)).collect();
+        let mut order: Vec<usize> = (0..segments.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.random_range(0..=i));
+        }
+        if let Some(&first) = order.first() {
+            b.push(entry, Instr::jump(segments[first]));
+            per_call += 1;
+        }
+        for w in order.windows(2) {
+            per_call += gen_body(
+                &mut b,
+                segments[w[0]],
+                &mut rng,
+                &mut regs,
+                &mut last_int,
+                &mut last_fp,
+                &mut fault_assigned,
+            );
+            b.push(segments[w[0]], Instr::jump(segments[w[1]]));
+            per_call += 1;
+        }
+
+        // Inner loop: head [, Bernoulli diamond] [, pattern diamond] with a
+        // back edge.
+        let loop_head = b.block(f);
+        if let Some(&last) = order.last() {
+            per_call += gen_body(
+                &mut b,
+                segments[last],
+                &mut rng,
+                &mut regs,
+                &mut last_int,
+                &mut last_fp,
+                &mut fault_assigned,
+            );
+            b.push(segments[last], Instr::jump(loop_head));
+            per_call += 1;
+        }
+        let mut body = gen_body(
+            &mut b,
+            loop_head,
+            &mut rng,
+            &mut regs,
+            &mut last_int,
+            &mut last_fp,
+            &mut fault_assigned,
+        );
+        let mut back_block = if rng.random_bool(params.diamond_prob) {
+            let skip = b.block(f);
+            let join = b.block(f);
+            b.push(
+                loop_head,
+                Instr::branch(
+                    join,
+                    BranchBehavior::Bernoulli {
+                        taken_prob: params.bernoulli_prob,
+                    },
+                ),
+            );
+            body += 1;
+            body += gen_body(
+                &mut b,
+                skip,
+                &mut rng,
+                &mut regs,
+                &mut last_int,
+                &mut last_fp,
+                &mut fault_assigned,
+            ) / 2;
+            body += gen_body(
+                &mut b,
+                join,
+                &mut rng,
+                &mut regs,
+                &mut last_int,
+                &mut last_fp,
+                &mut fault_assigned,
+            );
+            join
+        } else {
+            loop_head
+        };
+        if rng.random_bool(params.pattern_diamond_prob) {
+            // A regular, learnable direction pattern over an odd-length skip
+            // block: shifts the dynamic instruction count per iteration.
+            let period = rng.random_range(3..=7u32);
+            let skip_at = rng.random_range(0..period);
+            let pattern: Vec<bool> = (0..period).map(|i| i != skip_at).collect();
+            let skip = b.block(f);
+            let join = b.block(f);
+            b.push(
+                back_block,
+                Instr::branch(join, BranchBehavior::Pattern { pattern }),
+            );
+            body += 1;
+            let skip_len = 2 * rng.random_range(0..=2u32) + 1; // 1, 3, or 5
+            for j in 0..skip_len {
+                b.push(
+                    skip,
+                    Instr::int_alu(Some(Reg::int(21 + (j % 3) as u8)), [None, None]),
+                );
+            }
+            body += u64::from(skip_len) / u64::from(period).max(1);
+            body += gen_body(
+                &mut b,
+                join,
+                &mut rng,
+                &mut regs,
+                &mut last_int,
+                &mut last_fp,
+                &mut fault_assigned,
+            );
+            back_block = join;
+        }
+        b.push(
+            back_block,
+            Instr::branch(
+                loop_head,
+                BranchBehavior::Loop {
+                    taken_iters: params.inner_iters,
+                },
+            ),
+        );
+        body += 1;
+
+        let ret_block = b.block(f);
+        b.push(ret_block, Instr::ret());
+        per_call += u64::from(params.inner_iters + 1) * body + 1;
+        instrs_per_call_total += per_call;
+    }
+
+    // The driver loop in main: call each function, repeat.
+    let per_outer = instrs_per_call_total + u64::from(params.n_funcs) + 1;
+    let outer_iters = (params.dyn_instrs / per_outer.max(1)).max(1) as u32;
+    let call_blocks: Vec<_> = (0..params.n_funcs).map(|_| b.block(main)).collect();
+    for (i, &blk) in call_blocks.iter().enumerate() {
+        b.push(blk, Instr::call(funcs[i]));
+    }
+    let loop_block = b.block(main);
+    b.push(loop_block, Instr::nop());
+    b.push(
+        loop_block,
+        Instr::branch(
+            call_blocks[0],
+            BranchBehavior::Loop {
+                taken_iters: outer_iters,
+            },
+        ),
+    );
+    let exit = b.block(main);
+    b.push(exit, Instr::halt());
+
+    // Fault handler (OS page-fault service routine).
+    if let Some(h) = handler {
+        let hb = b.block(h);
+        for _ in 0..24 {
+            b.push(
+                hb,
+                Instr::int_alu(Some(Reg::int(27)), [Some(Reg::int(27)), None]),
+            );
+        }
+        b.push(
+            hb,
+            Instr::load(
+                Some(Reg::int(28)),
+                None,
+                MemBehavior::Stride {
+                    base: 0x6000_0000,
+                    stride: 64,
+                    footprint: 1 << 16,
+                },
+            ),
+        );
+        let hr = b.block(h);
+        b.push(hr, Instr::ret());
+        b.set_fault_handler(h);
+    }
+
+    b.build()
+        .unwrap_or_else(|e| panic!("synthetic program `{name}` invalid: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_isa::Executor;
+
+    #[test]
+    fn generated_programs_are_valid_and_deterministic() {
+        let params = SynthParams::default();
+        let a = generate("t", &params, 1);
+        let b = generate("t", &params, 1);
+        assert_eq!(a, b);
+        let c = generate("t", &params, 2);
+        assert_ne!(a, c, "different seeds give different programs");
+    }
+
+    #[test]
+    fn dynamic_length_is_near_target() {
+        let params = SynthParams {
+            dyn_instrs: 200_000,
+            ..SynthParams::default()
+        };
+        let p = generate("t", &params, 3);
+        let n = Executor::new(&p, 3).count() as f64;
+        let target = params.dyn_instrs as f64;
+        assert!(
+            (0.5..2.0).contains(&(n / target)),
+            "dynamic length {n} should approximate target {target}"
+        );
+    }
+
+    #[test]
+    fn diamonds_generate_bernoulli_branches() {
+        let params = SynthParams {
+            diamond_prob: 1.0,
+            ..SynthParams::default()
+        };
+        let p = generate("t", &params, 4);
+        let bernoulli = p
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i.branch_behavior(), Some(BranchBehavior::Bernoulli { .. })))
+            .count();
+        assert!(bernoulli >= params.n_funcs as usize);
+    }
+
+    #[test]
+    fn csr_flushes_appear_when_requested() {
+        let params = SynthParams {
+            csr_flush_prob: 0.9,
+            ..SynthParams::default()
+        };
+        let p = generate("t", &params, 5);
+        assert!(p.instrs().iter().any(|i| i.kind() == InstrKind::CsrFlush));
+    }
+
+    #[test]
+    fn fault_handler_is_wired_up() {
+        let params = SynthParams {
+            fault_every: Some(1_000),
+            ..SynthParams::default()
+        };
+        let p = generate("t", &params, 6);
+        assert!(p.fault_handler().is_some());
+        assert!(p.instrs().iter().any(|i| i.fault_spec().is_some()));
+    }
+
+    #[test]
+    fn code_segments_inflate_footprint() {
+        let small = generate("s", &SynthParams::default(), 7);
+        let big = generate(
+            "b",
+            &SynthParams {
+                code_segments: 60,
+                ..SynthParams::default()
+            },
+            7,
+        );
+        assert!(big.len() > 4 * small.len());
+    }
+
+    #[test]
+    fn pointer_chase_serializes_through_register() {
+        let params = SynthParams {
+            pointer_chase: 1.0,
+            mix: InstrMix::mem_heavy(),
+            ..SynthParams::default()
+        };
+        let p = generate("t", &params, 8);
+        let chasing = p
+            .instrs()
+            .iter()
+            .filter(|i| {
+                i.kind() == InstrKind::Load
+                    && i.dst() == Some(Reg::int(25))
+                    && i.srcs()[0] == Some(Reg::int(25))
+            })
+            .count();
+        assert!(
+            chasing > 0,
+            "pointer-chase loads must carry a loop dependency"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Commit-stage cycle stacks: where do benchmarks of the three classes
+//! spend their cycles? (Figure 7 of the paper, for a representative subset.)
+//!
+//! Run with: `cargo run --release --example cycle_stacks`
+
+use tip_repro::core::{CycleCategory, ProfilerBank, ProfilerId, SamplerConfig};
+use tip_repro::ooo::{Core, CoreConfig};
+use tip_repro::workloads::{benchmark, SuiteScale};
+
+fn main() {
+    let names = [
+        "exchange2",
+        "namd",
+        "imagick",
+        "povray",
+        "mcf",
+        "lbm",
+        "cam4",
+    ];
+    println!("{:<12} {:>6}  cycle stack", "benchmark", "IPC");
+    for name in names {
+        let bench = benchmark(name, SuiteScale::Small);
+        let mut bank = ProfilerBank::new(
+            &bench.program,
+            SamplerConfig::periodic(149),
+            &[ProfilerId::Tip],
+        );
+        let mut core = Core::new(&bench.program, CoreConfig::default(), 42);
+        core.run(&mut bank, 400_000_000);
+        let ipc = core.stats().ipc();
+        let result = bank.finish();
+        let stack = result.oracle.cycle_stack().normalized();
+
+        // Render the stack as a 50-character bar.
+        const GLYPHS: [char; 7] = ['#', 'a', 'l', 's', 'f', 'm', 'x'];
+        let mut bar = String::new();
+        for (i, frac) in stack.iter().enumerate() {
+            bar.extend(std::iter::repeat_n(
+                GLYPHS[i],
+                (frac * 50.0).round() as usize,
+            ));
+        }
+        println!("{name:<12} {ipc:>6.2}  {bar}");
+    }
+    println!();
+    for (glyph, cat) in ['#', 'a', 'l', 's', 'f', 'm', 'x']
+        .iter()
+        .zip(CycleCategory::ALL)
+    {
+        println!("  {glyph} = {cat}");
+    }
+}

@@ -1,0 +1,53 @@
+//! All seven profiling strategies on one benchmark, at all three
+//! granularities — a condensed view of the paper's Figures 8, 9, and 10.
+//!
+//! Run with: `cargo run --release --example profiler_shootout [benchmark]`
+
+use tip_repro::core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_repro::isa::Granularity;
+use tip_repro::ooo::{Core, CoreConfig};
+use tip_repro::workloads::{benchmark, SuiteScale, BENCHMARK_NAMES};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "imagick".to_owned());
+    let name = BENCHMARK_NAMES
+        .iter()
+        .copied()
+        .find(|&n| n == name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`; pick one of {BENCHMARK_NAMES:?}"));
+
+    let bench = benchmark(name, SuiteScale::Small);
+    let mut bank = ProfilerBank::new(
+        &bench.program,
+        SamplerConfig::periodic(149),
+        &ProfilerId::ALL,
+    );
+    let mut core = Core::new(&bench.program, CoreConfig::default(), 42);
+    let summary = core.run(&mut bank, 400_000_000);
+    println!(
+        "benchmark {name} ({:?} class): {} instrs, {} cycles, IPC {:.2}\n",
+        bench.class,
+        summary.instructions,
+        summary.cycles,
+        core.stats().ipc()
+    );
+    let result = bank.finish();
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "profiler", "function", "basic-block", "instruction"
+    );
+    for id in ProfilerId::ALL {
+        let e = |g| 100.0 * result.error_of(&bench.program, id, g);
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>11.1}%",
+            id.label(),
+            e(Granularity::Function),
+            e(Granularity::BasicBlock),
+            e(Granularity::Instruction)
+        );
+    }
+    println!("\n(error vs the Oracle golden reference; lower is better)");
+}

@@ -1,0 +1,96 @@
+//! Quickstart: build a small program, run it on the simulated 4-wide
+//! out-of-order core with TIP attached, and print the profile next to the
+//! golden Oracle reference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tip_repro::core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_repro::isa::{BranchBehavior, Granularity, Instr, MemBehavior, ProgramBuilder, Reg};
+use tip_repro::ooo::{Core, CoreConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny hot loop: some arithmetic, one cache-missing load, a store.
+    let mut b = ProgramBuilder::named("quickstart");
+    let main = b.function("main");
+    let hot = b.function("hot_loop");
+
+    let m0 = b.block(main);
+    b.push(m0, Instr::call(hot));
+    let m1 = b.block(main);
+    b.push(m1, Instr::halt());
+
+    let body = b.block(hot);
+    b.push(body, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+    b.push(body, Instr::int_alu(Some(Reg::int(2)), [None, None]));
+    b.push(
+        body,
+        // A load streaming through a 16 MB array: misses past the LLC.
+        Instr::load(
+            Some(Reg::int(3)),
+            None,
+            MemBehavior::Stride {
+                base: 0x100_0000,
+                stride: 64,
+                footprint: 16 << 20,
+            },
+        ),
+    );
+    b.push(
+        body,
+        Instr::int_alu(Some(Reg::int(4)), [Some(Reg::int(3)), None]),
+    );
+    b.push(
+        body,
+        Instr::store(
+            Some(Reg::int(4)),
+            None,
+            MemBehavior::Stride {
+                base: 0x200_0000,
+                stride: 8,
+                footprint: 64 << 10,
+            },
+        ),
+    );
+    b.push(
+        body,
+        Instr::branch(
+            body,
+            BranchBehavior::Loop {
+                taken_iters: 100_000,
+            },
+        ),
+    );
+    let done = b.block(hot);
+    b.push(done, Instr::ret());
+    let program = b.build()?;
+
+    // Run the core with the Oracle + TIP + NCI attached, all sampling the
+    // same cycles.
+    let mut bank = ProfilerBank::new(
+        &program,
+        SamplerConfig::periodic(149),
+        &[ProfilerId::Tip, ProfilerId::Nci],
+    );
+    let mut core = Core::new(&program, CoreConfig::default(), 42);
+    let summary = core.run(&mut bank, 100_000_000);
+    println!(
+        "ran `{}`: {} instructions in {} cycles (IPC {:.2})\n",
+        program.name(),
+        summary.instructions,
+        summary.cycles,
+        core.stats().ipc()
+    );
+
+    let result = bank.finish();
+    for granularity in [Granularity::Function, Granularity::Instruction] {
+        let oracle = result.oracle.profile(&program, granularity);
+        println!("=== top symbols at {granularity} level (Oracle) ===");
+        print!("{}", oracle.top_table(&program, 6));
+        for id in [ProfilerId::Tip, ProfilerId::Nci] {
+            let err = result.error_of(&program, id, granularity);
+            println!("{id} profile error vs Oracle: {:.1}%", 100.0 * err);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate for the TIP (Time-Proportional Instruction Profiling)
+//! reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the examples under
+//! `examples/` and the integration tests under `tests/` can use the whole
+//! system through a single dependency:
+//!
+//! - [`isa`] — static program model and functional executor,
+//! - [`mem`] — cache/TLB/DRAM hierarchy (Table 1),
+//! - [`ooo`] — the 4-wide out-of-order core simulator and its commit trace,
+//! - [`core`] — the paper's contribution: Oracle, TIP, and the heuristic
+//!   profilers, sampling, error metrics, cycle stacks, overhead analysis,
+//! - [`workloads`] — the 27 synthetic benchmarks plus the Imagick pair,
+//! - [`trace`] — commit-stage trace serialization for out-of-band
+//!   profiler evaluation,
+//! - [`bench`](mod@bench) — the experiment harness behind each paper figure/table.
+
+#![forbid(unsafe_code)]
+
+pub use tip_bench as bench;
+pub use tip_core as core;
+pub use tip_isa as isa;
+pub use tip_mem as mem;
+pub use tip_ooo as ooo;
+pub use tip_trace as trace;
+pub use tip_workloads as workloads;

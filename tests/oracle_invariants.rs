@@ -1,0 +1,127 @@
+//! Cross-crate invariants of the Oracle golden reference: every cycle is
+//! accounted, exactly once, to real instructions, consistently across
+//! granularities.
+
+use tip_repro::core::{CycleCategory, ProfilerBank, ProfilerId, SamplerConfig};
+use tip_repro::isa::Granularity;
+use tip_repro::ooo::{Core, CoreConfig};
+use tip_repro::workloads::{benchmark, SuiteScale};
+
+fn run(
+    name: &'static str,
+) -> (
+    tip_repro::workloads::Benchmark,
+    tip_repro::core::BankResult,
+    u64,
+) {
+    let bench = benchmark(name, SuiteScale::Test);
+    let mut bank = ProfilerBank::new(
+        &bench.program,
+        SamplerConfig::periodic(101),
+        &[ProfilerId::Tip],
+    );
+    let mut core = Core::new(&bench.program, CoreConfig::default(), 7);
+    let summary = core.run(&mut bank, 100_000_000);
+    let cycles = summary.cycles;
+    (bench, bank.finish(), cycles)
+}
+
+#[test]
+fn oracle_accounts_every_cycle() {
+    for name in ["exchange2", "imagick", "mcf", "gcc"] {
+        let (_, result, cycles) = run(name);
+        let attributed: f64 = result.oracle.per_instr().iter().sum();
+        // Unresolved drain cycles at the very end of the run may be dropped;
+        // everything else must be accounted.
+        assert!(
+            (attributed - cycles as f64).abs() < 64.0,
+            "{name}: attributed {attributed:.1} of {cycles} cycles"
+        );
+        assert_eq!(result.oracle.total_cycles(), cycles);
+    }
+}
+
+#[test]
+fn cycle_stack_matches_per_instruction_totals() {
+    let (_, result, _) = run("povray");
+    let stack_total = result.oracle.cycle_stack().total();
+    let instr_total: f64 = result.oracle.per_instr().iter().sum();
+    assert!((stack_total - instr_total).abs() < 1e-6);
+}
+
+#[test]
+fn granularities_aggregate_consistently() {
+    let (bench, result, _) = run("leela");
+    let p = &bench.program;
+    let instr = result.oracle.profile(p, Granularity::Instruction);
+    let block = result.oracle.profile(p, Granularity::BasicBlock);
+    let func = result.oracle.profile(p, Granularity::Function);
+    assert!((instr.total() - block.total()).abs() < 1e-6);
+    assert!((block.total() - func.total()).abs() < 1e-6);
+
+    // Summing instruction weights per function must reproduce the
+    // function-level profile.
+    for (fi, f) in p.functions().iter().enumerate() {
+        let mut sum = 0.0;
+        for (i, w) in instr.weights().iter().enumerate() {
+            if p.function_of(tip_repro::isa::InstrIdx::new(i as u32)) == f.id() {
+                sum += w;
+            }
+        }
+        let fw = func.weights()[fi];
+        assert!(
+            (sum - fw).abs() < 1e-6,
+            "function {} mismatch: {sum} vs {fw}",
+            f.name()
+        );
+    }
+}
+
+#[test]
+fn error_at_coarser_granularity_never_exceeds_finer() {
+    // Misattribution within the correct function is invisible at function
+    // level, so error can only shrink as granularity coarsens.
+    for name in ["imagick", "lbm", "deepsjeng"] {
+        let (bench, result, _) = run(name);
+        {
+            let id = ProfilerId::Tip;
+            let ei = result.error_of(&bench.program, id, Granularity::Instruction);
+            let eb = result.error_of(&bench.program, id, Granularity::BasicBlock);
+            let ef = result.error_of(&bench.program, id, Granularity::Function);
+            assert!(eb <= ei + 1e-9, "{name}: block {eb} > instr {ei}");
+            assert!(ef <= eb + 1e-9, "{name}: func {ef} > block {eb}");
+        }
+    }
+}
+
+#[test]
+fn flush_benchmark_shows_flush_categories() {
+    let (_, result, _) = run("imagick");
+    let stack = result.oracle.cycle_stack();
+    assert!(
+        stack.get(CycleCategory::MiscFlush) > 0.03 * stack.total(),
+        "imagick must spend >3% on CSR flushes (got {:.1}%)",
+        100.0 * stack.get(CycleCategory::MiscFlush) / stack.total()
+    );
+}
+
+#[test]
+fn compute_benchmark_mostly_executes() {
+    let (_, result, _) = run("swaptions");
+    let stack = result.oracle.cycle_stack();
+    assert!(
+        stack.get(CycleCategory::Execution) > 0.5 * stack.total(),
+        "swaptions must spend >50% committing (got {:.1}%)",
+        100.0 * stack.get(CycleCategory::Execution) / stack.total()
+    );
+}
+
+#[test]
+fn stall_benchmark_mostly_stalls() {
+    let (_, result, _) = run("mcf");
+    let stack = result.oracle.cycle_stack();
+    assert!(
+        stack.get(CycleCategory::LoadStall) > 0.4 * stack.total(),
+        "mcf must be load-stall dominated"
+    );
+}

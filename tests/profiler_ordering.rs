@@ -1,0 +1,129 @@
+//! The paper's headline orderings, verified end to end at reduced scale:
+//! TIP is the most accurate profiler at instruction level, NCI+ILP is
+//! *worse* than NCI, and everyone is much better at function level.
+
+use tip_repro::core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_repro::isa::Granularity;
+use tip_repro::ooo::{Core, CoreConfig};
+use tip_repro::workloads::{benchmark, SuiteScale};
+
+fn errors_for(name: &'static str, granularity: Granularity) -> Vec<(ProfilerId, f64)> {
+    let bench = benchmark(name, SuiteScale::Small);
+    let mut bank = ProfilerBank::new(
+        &bench.program,
+        SamplerConfig::periodic(149),
+        &ProfilerId::ALL,
+    );
+    let mut core = Core::new(&bench.program, CoreConfig::default(), 7);
+    core.run(&mut bank, 400_000_000);
+    let result = bank.finish();
+    ProfilerId::ALL
+        .iter()
+        .map(|&id| (id, result.error_of(&bench.program, id, granularity)))
+        .collect()
+}
+
+fn get(errors: &[(ProfilerId, f64)], id: ProfilerId) -> f64 {
+    errors
+        .iter()
+        .find(|(i, _)| *i == id)
+        .expect("profiler present")
+        .1
+}
+
+#[test]
+fn tip_wins_at_instruction_level() {
+    // Representative benchmark per class.
+    for name in ["x264", "povray", "streamcluster"] {
+        let e = errors_for(name, Granularity::Instruction);
+        let tip = get(&e, ProfilerId::Tip);
+        for other in [
+            ProfilerId::Software,
+            ProfilerId::Dispatch,
+            ProfilerId::Lci,
+            ProfilerId::Nci,
+            ProfilerId::TipIlp,
+        ] {
+            assert!(
+                tip <= get(&e, other) + 0.01,
+                "{name}: TIP ({:.3}) must beat {other} ({:.3})",
+                tip,
+                get(&e, other)
+            );
+        }
+        assert!(
+            tip < 0.10,
+            "{name}: TIP instruction error should be small, got {tip:.3}"
+        );
+    }
+}
+
+#[test]
+fn nci_beats_lci_and_software_at_instruction_level() {
+    for name in ["x264", "imagick"] {
+        let e = errors_for(name, Granularity::Instruction);
+        assert!(get(&e, ProfilerId::Nci) < get(&e, ProfilerId::Software));
+        assert!(get(&e, ProfilerId::Nci) < get(&e, ProfilerId::Lci));
+    }
+}
+
+#[test]
+fn nci_ilp_is_worse_than_nci() {
+    // The paper's Figure 11c: naively adding commit-parallelism awareness
+    // to NCI hurts, because after a stall the next n committers share a
+    // sample that belongs entirely to the stalling instruction.
+    let e = errors_for("streamcluster", Granularity::Instruction);
+    assert!(
+        get(&e, ProfilerId::NciIlp) > get(&e, ProfilerId::Nci),
+        "NCI+ILP ({:.3}) must be worse than NCI ({:.3})",
+        get(&e, ProfilerId::NciIlp),
+        get(&e, ProfilerId::Nci)
+    );
+}
+
+#[test]
+fn tip_ilp_explains_the_gap_on_flush_code() {
+    // On flush-intensive code, handling flushes (TIP-ILP vs NCI) matters.
+    let e = errors_for("imagick", Granularity::Instruction);
+    assert!(get(&e, ProfilerId::TipIlp) < get(&e, ProfilerId::Nci));
+    // And handling ILP (TIP vs TIP-ILP) matters everywhere.
+    assert!(get(&e, ProfilerId::Tip) < get(&e, ProfilerId::TipIlp));
+}
+
+#[test]
+fn function_level_is_easy_for_commit_based_profilers() {
+    for name in ["namd", "imagick"] {
+        let e = errors_for(name, Granularity::Function);
+        for id in [
+            ProfilerId::Lci,
+            ProfilerId::Nci,
+            ProfilerId::TipIlp,
+            ProfilerId::Tip,
+        ] {
+            // NCI misattributes imagick's flush time across a function
+            // boundary (ceil's flush blamed on the caller), so its
+            // function-level error is the largest of the commit-based
+            // profilers — still far below Software/Dispatch territory.
+            let limit = if id == ProfilerId::Nci { 0.12 } else { 0.08 };
+            assert!(
+                get(&e, id) < limit,
+                "{name}: {id} should be accurate at function level, got {:.3}",
+                get(&e, id)
+            );
+        }
+    }
+}
+
+#[test]
+fn software_and_dispatch_are_biased_even_at_function_level() {
+    // Tagging at fetch/dispatch attributes stalls to instructions far from
+    // the culprit — visible even at function granularity on stall-heavy
+    // code (paper: up to 31.7% / 27.4%).
+    let e = errors_for("mcf", Granularity::Function);
+    let best_commit_based = get(&e, ProfilerId::Tip).min(get(&e, ProfilerId::Nci));
+    let software = get(&e, ProfilerId::Software);
+    assert!(
+        software > 2.0 * best_commit_based,
+        "Software ({software:.3}) should be clearly worse than commit-based ({best_commit_based:.3})"
+    );
+}

@@ -1,0 +1,104 @@
+//! Property-based tests over randomly generated workloads: the whole
+//! pipeline (generator → executor → core → profilers) upholds its
+//! invariants for arbitrary parameter combinations.
+
+use proptest::prelude::*;
+use tip_repro::core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_repro::isa::{Executor, Granularity};
+use tip_repro::ooo::{Core, CoreConfig, RunExit};
+use tip_repro::workloads::{generate, InstrMix, SynthParams};
+
+fn arb_params() -> impl Strategy<Value = SynthParams> {
+    (
+        1u32..3,       // n_funcs
+        2u32..10,      // block len min
+        0u32..12,      // extra block len
+        0u32..8,       // code segments
+        1u32..20,      // inner iters
+        0.0f64..0.9,   // dep prob
+        0.0f64..1.0,   // diamond prob
+        0.05f64..0.95, // bernoulli prob
+        prop::sample::select(vec![4u64 << 10, 64 << 10, 1 << 20, 16 << 20]),
+        0.0f64..1.0,  // stride share
+        0.0f64..0.3,  // pointer chase
+        0.0f64..0.15, // csr flush prob
+    )
+        .prop_map(
+            |(
+                n_funcs,
+                bl_min,
+                bl_extra,
+                segs,
+                iters,
+                dep,
+                diamond,
+                bern,
+                ws,
+                stride,
+                chase,
+                csr,
+            )| {
+                SynthParams {
+                    n_funcs,
+                    block_len: (bl_min, bl_min + bl_extra),
+                    code_segments: segs,
+                    inner_iters: iters,
+                    mix: InstrMix::int_heavy(),
+                    dep_prob: dep,
+                    diamond_prob: diamond,
+                    pattern_diamond_prob: 0.5,
+                    bernoulli_prob: bern,
+                    working_set: ws,
+                    stride_share: stride,
+                    pointer_chase: chase,
+                    csr_flush_prob: csr,
+                    fault_every: None,
+                    dyn_instrs: 6_000,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_generated_program_simulates_to_completion(params in arb_params(), seed in 0u64..1000) {
+        let program = generate("prop", &params, seed);
+        let dyn_len = Executor::new(&program, seed).count() as u64;
+        prop_assert!(dyn_len > 0);
+
+        let mut bank = ProfilerBank::new(&program, SamplerConfig::periodic(53), &[ProfilerId::Tip, ProfilerId::Nci]);
+        let mut core = Core::new(&program, CoreConfig::default(), seed);
+        let summary = core.run(&mut bank, 50_000_000);
+        prop_assert_eq!(summary.exit, RunExit::Halted);
+        // The core commits exactly the functional execution's instructions.
+        prop_assert_eq!(summary.instructions, dyn_len);
+
+        let result = bank.finish();
+        // Oracle accounts (almost) every cycle.
+        let attributed: f64 = result.oracle.per_instr().iter().sum();
+        prop_assert!((attributed - summary.cycles as f64).abs() < 64.0);
+
+        // Errors are proper fractions at every granularity.
+        for g in [Granularity::Instruction, Granularity::BasicBlock, Granularity::Function] {
+            for id in [ProfilerId::Tip, ProfilerId::Nci] {
+                let e = result.error_of(&program, id, g);
+                prop_assert!((0.0..=1.0).contains(&e), "error {} out of range", e);
+            }
+        }
+    }
+
+    #[test]
+    fn commit_counts_are_independent_of_sampling(params in arb_params()) {
+        let program = generate("prop2", &params, 11);
+        let run_with = |interval: u64| {
+            let mut bank = ProfilerBank::new(&program, SamplerConfig::periodic(interval), &[ProfilerId::Tip]);
+            let mut core = Core::new(&program, CoreConfig::default(), 11);
+            let s = core.run(&mut bank, 50_000_000);
+            (s.cycles, s.instructions)
+        };
+        // Profiling is pure observation: it never perturbs the simulation.
+        prop_assert_eq!(run_with(31), run_with(977));
+    }
+}

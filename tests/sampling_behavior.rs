@@ -1,0 +1,133 @@
+//! Sampling-related end-to-end behaviour: determinism, frequency trends,
+//! and lock-step scheduling across profilers.
+
+use tip_repro::core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_repro::isa::Granularity;
+use tip_repro::ooo::{Core, CoreConfig};
+use tip_repro::workloads::{benchmark, SuiteScale};
+
+fn tip_error(name: &'static str, interval: u64, scale: SuiteScale, seed: u64) -> f64 {
+    let bench = benchmark(name, scale);
+    let mut bank = ProfilerBank::new(
+        &bench.program,
+        SamplerConfig::periodic(interval),
+        &[ProfilerId::Tip],
+    );
+    let mut core = Core::new(&bench.program, CoreConfig::default(), seed);
+    core.run(&mut bank, 400_000_000);
+    bank.finish()
+        .error_of(&bench.program, ProfilerId::Tip, Granularity::Instruction)
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let a = tip_error("perlbench", 149, SuiteScale::Test, 7);
+    let b = tip_error("perlbench", 149, SuiteScale::Test, 7);
+    assert_eq!(a, b, "identical seeds must reproduce bit-identical results");
+}
+
+#[test]
+fn error_shrinks_with_sampling_frequency() {
+    // The Figure 11a trend: more samples, less unsystematic error. Compare
+    // a very sparse schedule against a dense one.
+    let sparse = tip_error("namd", 1499, SuiteScale::Small, 7);
+    let dense = tip_error("namd", 101, SuiteScale::Small, 7);
+    assert!(
+        dense < sparse,
+        "TIP error must fall with frequency: dense {dense:.4} vs sparse {sparse:.4}"
+    );
+}
+
+#[test]
+fn all_profilers_share_the_schedule() {
+    let bench = benchmark("x264", SuiteScale::Test);
+    let mut bank = ProfilerBank::new(
+        &bench.program,
+        SamplerConfig::periodic(101),
+        &ProfilerId::ALL,
+    );
+    let mut core = Core::new(&bench.program, CoreConfig::default(), 7);
+    core.run(&mut bank, 100_000_000);
+    let result = bank.finish();
+    let counts: Vec<(ProfilerId, usize)> = result
+        .samples
+        .iter()
+        .map(|(id, s)| (*id, s.len()))
+        .collect();
+    let max = counts
+        .iter()
+        .map(|&(_, n)| n)
+        .max()
+        .expect("profilers present");
+    for &(id, n) in &counts {
+        // Pending samples at the very end of the run may be dropped, so
+        // counts can differ by a handful, never more.
+        assert!(
+            max - n <= 4,
+            "{id} resolved {n} of {max} scheduled samples — schedules diverged?"
+        );
+    }
+}
+
+#[test]
+fn random_sampling_is_reproducible_per_seed() {
+    let bench = benchmark("lbm", SuiteScale::Test);
+    let run = |sampler_seed: u64| {
+        let mut bank = ProfilerBank::new(
+            &bench.program,
+            SamplerConfig::random(149, sampler_seed),
+            &[ProfilerId::Tip],
+        );
+        let mut core = Core::new(&bench.program, CoreConfig::default(), 7);
+        core.run(&mut bank, 100_000_000);
+        let r = bank.finish();
+        r.samples_of(ProfilerId::Tip)
+            .iter()
+            .map(|s| s.cycle)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(3), run(3));
+    assert_ne!(
+        run(3),
+        run(4),
+        "different sampler seeds must pick different cycles"
+    );
+}
+
+#[test]
+fn periodic_aliasing_is_possible_and_random_sampling_fixes_it() {
+    // A tight loop whose commit pattern has period 2 aliases with any even
+    // sampling interval (the Figure 11b pathology); random sampling within
+    // the same interval restores accuracy.
+    use tip_repro::isa::{BranchBehavior, Instr, ProgramBuilder};
+    let mut b = ProgramBuilder::named("aliasing");
+    let main = b.function("main");
+    let body = b.block(main);
+    b.push(body, Instr::int_alu(None, [None, None]));
+    b.push(
+        body,
+        Instr::branch(
+            body,
+            BranchBehavior::Loop {
+                taken_iters: 60_000,
+            },
+        ),
+    );
+    let exit = b.block(main);
+    b.push(exit, Instr::halt());
+    let program = b.build().expect("valid");
+
+    let run = |sampler: SamplerConfig| {
+        let mut bank = ProfilerBank::new(&program, sampler, &[ProfilerId::Tip]);
+        let mut core = Core::new(&program, CoreConfig::default(), 7);
+        core.run(&mut bank, 100_000_000);
+        bank.finish()
+            .error_of(&program, ProfilerId::Tip, Granularity::Instruction)
+    };
+    let aliased = run(SamplerConfig::periodic(100));
+    let random = run(SamplerConfig::random(100, 9));
+    assert!(
+        aliased > random + 0.05,
+        "even interval should alias (periodic {aliased:.3} vs random {random:.3})"
+    );
+}

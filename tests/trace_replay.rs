@@ -1,0 +1,44 @@
+//! Integration: the trace crate composes with the whole system — record a
+//! suite benchmark once, then evaluate profilers from the file without
+//! re-simulating, including the sampled cycle stacks.
+
+use tip_repro::core::{sampled_symbol_stacks, ProfilerBank, ProfilerId, SamplerConfig};
+use tip_repro::isa::Granularity;
+use tip_repro::ooo::{Core, CoreConfig};
+use tip_repro::trace::{TraceReader, TraceWriter};
+use tip_repro::workloads::{benchmark, SuiteScale};
+
+#[test]
+fn record_once_profile_many() {
+    let bench = benchmark("imagick", SuiteScale::Test);
+
+    // Record the run without any profiler attached.
+    let mut writer = TraceWriter::new(Vec::new());
+    let mut core = Core::new(&bench.program, CoreConfig::default(), 7);
+    let summary = core.run(&mut writer, 100_000_000);
+    let buf = writer.into_inner().expect("flush");
+
+    // Evaluate two different sampling schedules from the same recording —
+    // something online profiling cannot do.
+    let mut errors = Vec::new();
+    for interval in [101, 499] {
+        let mut bank = ProfilerBank::new(
+            &bench.program,
+            SamplerConfig::periodic(interval),
+            &[ProfilerId::Tip],
+        );
+        let replayed = TraceReader::new(buf.as_slice())
+            .replay_into(&mut bank)
+            .expect("replay");
+        assert_eq!(replayed, summary.cycles);
+        let result = bank.finish();
+        errors.push(result.error_of(&bench.program, ProfilerId::Tip, Granularity::Instruction));
+
+        // Category-labelled samples survive the round trip.
+        let map = bench.program.symbol_map(Granularity::Function);
+        let stacks = sampled_symbol_stacks(result.samples_of(ProfilerId::Tip), &map);
+        assert!(stacks.iter().any(|s| s.total() > 0.0));
+    }
+    // Denser sampling cannot be worse on the same recording.
+    assert!(errors[0] <= errors[1] + 0.02, "dense {} vs sparse {}", errors[0], errors[1]);
+}
