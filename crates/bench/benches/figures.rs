@@ -34,7 +34,8 @@ fn mini_suite(sampler: SamplerConfig, profilers: &[ProfilerId]) -> Vec<experimen
                 sampler,
                 profilers,
                 42,
-            );
+            )
+            .expect("bench workload terminates");
             experiments::SuiteRun { bench, run }
         })
         .collect()
@@ -155,15 +156,20 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     g.bench_function("fig12_imagick_profiles", |b| {
-        b.iter(|| experiments::fig12(SCALE).functions.len())
+        b.iter(|| {
+            experiments::fig12(SCALE)
+                .expect("fig12 runs")
+                .functions
+                .len()
+        })
     });
 
     g.bench_function("fig13_imagick_speedup", |b| {
-        b.iter(|| experiments::fig13(SCALE).speedup)
+        b.iter(|| experiments::fig13(SCALE).expect("fig13 runs").speedup)
     });
 
     g.bench_function("validation_platform_gap", |b| {
-        b.iter(|| validation(SCALE).len())
+        b.iter(|| validation(SCALE).expect("validation runs").len())
     });
 
     g.bench_function("overhead_models", |b| {

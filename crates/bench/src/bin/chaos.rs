@@ -1,0 +1,234 @@
+//! Chaos harness: drives every fault-injection mode through the full stack
+//! and checks that each layer degrades gracefully instead of panicking.
+//!
+//! Usage: `chaos [test|small|full]` (default: test).
+//!
+//! Three acts:
+//!
+//! 1. **Trace integrity** — encode a benchmark's commit trace, damage the
+//!    bytes with each byte-level [`Fault`], and show the recovering reader
+//!    classifying the damage (corrupt chunks skipped, truncation detected)
+//!    while replaying everything salvageable.
+//! 2. **Profiler resilience** — feed profilers a trace perturbed in flight
+//!    (dropped cycles, flipped commit flags) and show profile errors stay
+//!    finite and bounded.
+//! 3. **Campaign isolation** — run a figure-style sweep in which one
+//!    benchmark is forced to panic and another livelocks; the campaign
+//!    finishes with a failure report and every other result intact.
+//!
+//! Exits non-zero if any resilience property is violated.
+
+use tip_bench::campaign::{run_campaign, CampaignConfig};
+use tip_bench::run::{run_profiled, RunError};
+use tip_bench::DEFAULT_INTERVAL;
+use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_ooo::{Core, CoreConfig, CycleRecord, TraceSink};
+use tip_trace::{Fault, FaultPlan, TraceReader, TraceWriter};
+use tip_workloads::{benchmark, suite, SuiteScale};
+
+fn scale_from_args() -> SuiteScale {
+    match std::env::args().nth(1).as_deref() {
+        None | Some("test") => SuiteScale::Test,
+        Some("small") => SuiteScale::Small,
+        Some("full") => SuiteScale::Full,
+        Some(other) => {
+            eprintln!("chaos: unknown scale `{other}` (expected test, small, or full)");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Count(u64);
+impl TraceSink for Count {
+    fn on_cycle(&mut self, _r: &CycleRecord) {
+        self.0 += 1;
+    }
+}
+
+/// Act 1: byte-level damage vs the recovering reader.
+fn trace_integrity(scale: SuiteScale) -> bool {
+    println!("== trace integrity ==");
+    let b = benchmark("exchange2", scale);
+    let mut core = Core::new(&b.program, CoreConfig::default(), 1);
+    // Small chunks so single faults hit a minority of the stream.
+    let mut writer = TraceWriter::with_chunk_size(Vec::new(), 4096);
+    let summary = core.run(&mut writer, 400_000_000);
+    writer.flush().expect("in-memory flush");
+    let clean = writer.into_inner().expect("in-memory writer");
+    println!(
+        "baseline: {} cycles encoded into {} bytes",
+        summary.cycles,
+        clean.len()
+    );
+
+    let plans = [
+        (
+            "flip-bits",
+            FaultPlan::new(7, vec![Fault::FlipBits { bits: 16 }]),
+        ),
+        (
+            "corrupt-run",
+            FaultPlan::new(8, vec![Fault::CorruptRun { len: 512 }]),
+        ),
+        (
+            "truncate",
+            FaultPlan::new(9, vec![Fault::Truncate { keep_fraction: 0.7 }]),
+        ),
+    ];
+    let mut ok = true;
+    for (name, plan) in plans {
+        let mut bytes = clean.clone();
+        plan.apply_bytes(&mut bytes);
+        let mut sink = Count(0);
+        match TraceReader::new(bytes.as_slice()).replay_recovering(&mut sink) {
+            Ok(report) => {
+                println!(
+                    "{name:>12}: replayed {} of {} cycles, {} chunk(s) skipped, truncated={}, unrecoverable={}",
+                    report.records, summary.cycles, report.skipped_chunks, report.truncated,
+                    report.unrecoverable,
+                );
+                if sink.0 != report.records {
+                    println!("{name:>12}: FAIL — sink saw {} records", sink.0);
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                println!("{name:>12}: FAIL — recovering replay errored: {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Act 2: in-flight record damage vs the profilers.
+fn profiler_resilience(scale: SuiteScale) -> bool {
+    println!("\n== profiler resilience ==");
+    let b = benchmark("imagick", scale);
+    let profilers = [ProfilerId::Tip, ProfilerId::Nci];
+    let sampler = SamplerConfig::periodic(DEFAULT_INTERVAL);
+
+    let baseline = {
+        let mut bank = ProfilerBank::new(&b.program, sampler, &profilers);
+        let mut core = Core::new(&b.program, CoreConfig::default(), 1);
+        core.run(&mut bank, 400_000_000);
+        bank.finish()
+            .error_of(&b.program, ProfilerId::Tip, Granularity::Instruction)
+    };
+    println!("baseline TIP instruction error: {:.4}", baseline);
+
+    let plans = [
+        (
+            "drop-cycles",
+            FaultPlan::new(10, vec![Fault::DropCycles { one_in: 50 }]),
+        ),
+        (
+            "flip-commits",
+            FaultPlan::new(11, vec![Fault::FlipCommitFlags { one_in: 50 }]),
+        ),
+    ];
+    let mut ok = true;
+    for (name, plan) in plans {
+        let bank = ProfilerBank::new(&b.program, sampler, &profilers);
+        let mut sink = plan.wrap_sink(bank);
+        let mut core = Core::new(&b.program, CoreConfig::default(), 1);
+        core.run(&mut sink, 400_000_000);
+        println!(
+            "{name:>12}: {} dropped, {} flipped",
+            sink.dropped(),
+            sink.flipped()
+        );
+        let result = sink.into_inner().finish();
+        for p in profilers {
+            let err = result.error_of(&b.program, p, Granularity::Instruction);
+            println!("{:>12}  {p:?} error {err:.4}", "");
+            // Graceful degradation: errors stay finite, in range, and in
+            // the same order of magnitude as the damage (never NaN/inf).
+            if !err.is_finite() || !(0.0..=1.0).contains(&err) {
+                println!("{name:>12}: FAIL — unbounded or NaN error");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Act 3: a sweep where one workload panics and one livelocks.
+fn campaign_isolation(scale: SuiteScale) -> bool {
+    println!("\n== campaign isolation ==");
+    let dir = std::env::temp_dir().join(format!("tip-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = CampaignConfig {
+        profilers: vec![ProfilerId::Tip],
+        max_attempts: 2,
+        out_dir: Some(dir.clone()),
+        ..CampaignConfig::default()
+    };
+    let panic_plan = FaultPlan::new(12, vec![Fault::ForcePanic]);
+    let sampler = config.sampler;
+    let profilers = config.profilers.clone();
+    let outcome = run_campaign(suite(scale), &config, move |bench, seed| {
+        if bench.name == "mcf" && panic_plan.forces_panic() {
+            panic!("chaos: forced panic in {}", bench.name);
+        }
+        if bench.name == "lbm" {
+            // Wedge the core mid-run: the watchdog turns the livelock into
+            // a structured diagnostic instead of an endless spin.
+            let mut bank = ProfilerBank::new(&bench.program, sampler, &profilers);
+            let mut core = Core::new(&bench.program, CoreConfig::default(), seed);
+            for _ in 0..200 {
+                core.step(&mut bank);
+            }
+            core.inject_lost_redirect();
+            return core
+                .run_to_completion(&mut bank, 400_000_000)
+                .map(|_| unreachable!("wedged core cannot complete"))
+                .map_err(|source| RunError::Sim {
+                    bench: bench.name.to_owned(),
+                    source,
+                });
+        }
+        run_profiled(
+            &bench.program,
+            CoreConfig::default(),
+            sampler,
+            &profilers,
+            seed,
+        )
+    });
+    print!("{}", outcome.summary());
+    let mut ok = true;
+    if outcome.failed.len() != 2 {
+        println!("FAIL — expected exactly 2 casualties (mcf, lbm)");
+        ok = false;
+    }
+    let results = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    println!(
+        "persisted {} files in {} (incl. failures.txt)",
+        results,
+        dir.display()
+    );
+    // Every benchmark leaves a result file, plus the failure report.
+    if results != outcome.completed.len() + outcome.failed.len() + 1 {
+        println!("FAIL — missing per-benchmark result files");
+        ok = false;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    ok
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let ok = [
+        trace_integrity(scale),
+        profiler_resilience(scale),
+        campaign_isolation(scale),
+    ];
+    if ok.iter().all(|&x| x) {
+        println!("\nchaos: all resilience properties held");
+    } else {
+        println!("\nchaos: FAILURES detected");
+        std::process::exit(1);
+    }
+}

@@ -31,7 +31,11 @@ fn main() {
         scale_from_args(),
         SamplerConfig::periodic(DEFAULT_INTERVAL),
         &profilers,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig01: {e}");
+        std::process::exit(1);
+    });
     let rows = error_rows(&runs, Granularity::Instruction, &profilers);
     let avg = mean_errors(&rows, &profilers);
     let imagick = rows

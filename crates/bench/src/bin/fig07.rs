@@ -24,7 +24,11 @@ fn main() {
         scale,
         SamplerConfig::periodic(DEFAULT_INTERVAL),
         &[ProfilerId::Tip],
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig07: {e}");
+        std::process::exit(1);
+    });
     let rows = fig07(&runs);
 
     let mut header = vec!["benchmark".to_owned(), "class".to_owned(), "IPC".to_owned()];

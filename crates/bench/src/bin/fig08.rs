@@ -1,11 +1,13 @@
 //! Figure 8: function-level profile errors for all six profilers.
 //!
-//! Usage: `fig08 [test|small|full]` (default: small).
+//! Usage: `fig08 [test|small|full] [out_dir]` (default: small). Runs as a
+//! fault-tolerant campaign: a benchmark that dies is retried, then skipped
+//! with a report, and per-benchmark results land in `out_dir` incrementally.
 
-use tip_bench::experiments::{class_mean_errors, error_rows, mean_errors, run_suite_with};
+use tip_bench::campaign::{run_suite_campaign, CampaignConfig};
+use tip_bench::experiments::{class_mean_errors, error_rows, mean_errors};
 use tip_bench::table::{pct, Table};
-use tip_bench::DEFAULT_INTERVAL;
-use tip_core::{ProfilerId, SamplerConfig};
+use tip_core::ProfilerId;
 use tip_isa::Granularity;
 use tip_workloads::{SuiteScale, WorkloadClass};
 
@@ -27,11 +29,18 @@ fn main() {
         ProfilerId::Tip,
     ];
     eprintln!("running the suite...");
-    let runs = run_suite_with(
-        scale_from_args(),
-        SamplerConfig::periodic(DEFAULT_INTERVAL),
-        &profilers,
-    );
+    let config = CampaignConfig {
+        profilers: profilers.to_vec(),
+        out_dir: std::env::args().nth(2).map(Into::into),
+        ..CampaignConfig::default()
+    };
+    let outcome = run_suite_campaign(scale_from_args(), &config);
+    eprint!("{}", outcome.summary());
+    let (runs, failed) = outcome.into_parts();
+    if runs.is_empty() {
+        eprintln!("fig08: no benchmark completed");
+        std::process::exit(1);
+    }
     let rows = error_rows(&runs, Granularity::Function, &profilers);
 
     let mut header = vec!["benchmark".to_owned(), "class".to_owned()];
@@ -60,4 +69,11 @@ fn main() {
         "Figure 8: function-level profile error\n(paper avgs: Software 9.1%, Dispatch 5.8%, LCI 1.6%, NCI 0.6%, TIP-ILP 0.4%, TIP 0.3%)\n"
     );
     print!("{}", t.render());
+    if !failed.is_empty() {
+        println!(
+            "\nWARNING: {} benchmark(s) failed and are excluded above.",
+            failed.len()
+        );
+        std::process::exit(2);
+    }
 }

@@ -29,7 +29,11 @@ fn main() {
         scale_from_args(),
         SamplerConfig::periodic(DEFAULT_INTERVAL),
         &profilers,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig09: {e}");
+        std::process::exit(1);
+    });
     let rows = error_rows(&runs, Granularity::BasicBlock, &profilers);
 
     let mut t = Table::new(["benchmark", "class", "LCI", "NCI", "TIP-ILP", "TIP"]);

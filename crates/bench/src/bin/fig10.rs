@@ -1,12 +1,14 @@
 //! Figure 10: instruction-level profile errors for NCI, TIP-ILP, and TIP
 //! across the suite.
 //!
-//! Usage: `fig10 [test|small|full]` (default: small).
+//! Usage: `fig10 [test|small|full] [out_dir]` (default: small). Runs as a
+//! fault-tolerant campaign: a benchmark that dies is retried, then skipped
+//! with a report, and per-benchmark results land in `out_dir` incrementally.
 
-use tip_bench::experiments::{class_mean_errors, error_rows, mean_errors, run_suite_with};
+use tip_bench::campaign::{run_suite_campaign, CampaignConfig};
+use tip_bench::experiments::{class_mean_errors, error_rows, mean_errors};
 use tip_bench::table::{pct, Table};
-use tip_bench::DEFAULT_INTERVAL;
-use tip_core::{ProfilerId, SamplerConfig};
+use tip_core::ProfilerId;
 use tip_isa::Granularity;
 use tip_workloads::{SuiteScale, WorkloadClass};
 
@@ -21,11 +23,18 @@ fn scale_from_args() -> SuiteScale {
 fn main() {
     let profilers = [ProfilerId::Nci, ProfilerId::TipIlp, ProfilerId::Tip];
     eprintln!("running the suite...");
-    let runs = run_suite_with(
-        scale_from_args(),
-        SamplerConfig::periodic(DEFAULT_INTERVAL),
-        &profilers,
-    );
+    let config = CampaignConfig {
+        profilers: profilers.to_vec(),
+        out_dir: std::env::args().nth(2).map(Into::into),
+        ..CampaignConfig::default()
+    };
+    let outcome = run_suite_campaign(scale_from_args(), &config);
+    eprint!("{}", outcome.summary());
+    let (runs, failed) = outcome.into_parts();
+    if runs.is_empty() {
+        eprintln!("fig10: no benchmark completed");
+        std::process::exit(1);
+    }
     let rows = error_rows(&runs, Granularity::Instruction, &profilers);
 
     let mut t = Table::new(["benchmark", "class", "NCI", "TIP-ILP", "TIP"]);
@@ -62,4 +71,11 @@ fn main() {
     ]);
     println!("Figure 10: instruction-level profile error (paper avgs: NCI 9.3%, TIP-ILP 7.2%, TIP 1.6%)\n");
     print!("{}", t.render());
+    if !failed.is_empty() {
+        println!(
+            "\nWARNING: {} benchmark(s) failed and are excluded above.",
+            failed.len()
+        );
+        std::process::exit(2);
+    }
 }

@@ -19,7 +19,10 @@ fn scale_from_args() -> SuiteScale {
 
 fn main() {
     eprintln!("running the suite once per frequency...");
-    let rows = fig11a(scale_from_args());
+    let rows = fig11a(scale_from_args()).unwrap_or_else(|e| {
+        eprintln!("fig11a: {e}");
+        std::process::exit(1);
+    });
     let mut header = vec!["profiler".to_owned()];
     header.extend(FREQUENCIES.iter().map(|&(l, _)| l.to_owned()));
     let mut t = Table::new(header);

@@ -16,7 +16,10 @@ fn scale_from_args() -> SuiteScale {
 
 fn main() {
     eprintln!("running the suite twice (periodic, random)...");
-    let rows = fig11b(scale_from_args());
+    let rows = fig11b(scale_from_args()).unwrap_or_else(|e| {
+        eprintln!("fig11b: {e}");
+        std::process::exit(1);
+    });
     let mut t = Table::new(["benchmark", "class", "periodic", "random"]);
     let (mut sp, mut sr) = (0.0, 0.0);
     let n = rows.len() as f64;

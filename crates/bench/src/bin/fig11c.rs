@@ -30,7 +30,11 @@ fn main() {
         scale_from_args(),
         SamplerConfig::periodic(DEFAULT_INTERVAL),
         &profilers,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig11c: {e}");
+        std::process::exit(1);
+    });
     let rows = fig11c(&runs);
     let mut t = Table::new(["profiler", "min", "q1", "median", "q3", "max", "mean"]);
     for r in rows {

@@ -17,7 +17,10 @@ fn scale_from_args() -> SuiteScale {
 }
 
 fn main() {
-    let f = fig12(scale_from_args());
+    let f = fig12(scale_from_args()).unwrap_or_else(|e| {
+        eprintln!("fig12: {e}");
+        std::process::exit(1);
+    });
     let mut t = Table::new(["function", "Oracle", "TIP", "NCI"]);
     for (name, o, tip, nci) in &f.functions {
         t.row([name.clone(), pct(*o), pct(*tip), pct(*nci)]);

@@ -17,7 +17,10 @@ fn scale_from_args() -> SuiteScale {
 }
 
 fn main() {
-    let f = fig13(scale_from_args());
+    let f = fig13(scale_from_args()).unwrap_or_else(|e| {
+        eprintln!("fig13: {e}");
+        std::process::exit(1);
+    });
     let mut header = vec![
         "function".to_owned(),
         "version".to_owned(),

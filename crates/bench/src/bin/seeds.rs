@@ -36,7 +36,11 @@ fn main() {
                     SamplerConfig::random(DEFAULT_INTERVAL, 0x5eed + seed),
                     &profilers,
                     1000 + seed,
-                );
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("seeds: {e}");
+                    std::process::exit(1);
+                });
                 SuiteRun { bench, run }
             })
             .collect();

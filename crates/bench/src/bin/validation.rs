@@ -19,7 +19,10 @@ fn scale_from_args() -> SuiteScale {
 
 fn main() {
     eprintln!("running 6 benchmarks on two core configurations...");
-    let rows = validation(scale_from_args());
+    let rows = validation(scale_from_args()).unwrap_or_else(|e| {
+        eprintln!("validation: {e}");
+        std::process::exit(1);
+    });
     let mut t = Table::new(["configuration", "instr-level gap", "function-level gap"]);
     for r in &rows {
         t.row([r.config.clone(), pct(r.instr_gap), pct(r.func_gap)]);

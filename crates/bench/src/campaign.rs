@@ -1,0 +1,412 @@
+//! Fault-tolerant experiment campaigns.
+//!
+//! A figure-style sweep over the suite dies entirely if one workload
+//! panics or livelocks — hours of completed runs lost with it. This module
+//! isolates each benchmark behind [`std::panic::catch_unwind`], retries
+//! failed runs a bounded number of times with a reseeded core, and persists
+//! every per-benchmark result to disk *as it completes*, so a campaign
+//! always finishes with whatever subset succeeded plus a failure report.
+//!
+//! The runner is a closure, so tests and the `chaos` binary can substitute
+//! one that injects faults ([`tip_trace::FaultPlan`]-driven panics, wedged
+//! cores) without the production path knowing about fault injection.
+//!
+//! ```no_run
+//! use tip_bench::campaign::{run_suite_campaign, CampaignConfig};
+//! use tip_workloads::SuiteScale;
+//!
+//! let outcome = run_suite_campaign(SuiteScale::Test, &CampaignConfig::default());
+//! println!("{}", outcome.summary());
+//! assert!(outcome.failed.is_empty());
+//! ```
+
+use std::any::Any;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::experiments::SuiteRun;
+use crate::run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_ooo::CoreConfig;
+use tip_workloads::{suite, Benchmark, SuiteScale};
+
+/// How a campaign runs its benchmarks.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base seed; attempt `k` of a benchmark runs with `seed + k`.
+    pub seed: u64,
+    /// Attempts per benchmark before it is written off as failed (≥ 1).
+    pub max_attempts: u32,
+    /// Sampling schedule for every run.
+    pub sampler: SamplerConfig,
+    /// Profilers attached to every run.
+    pub profilers: Vec<ProfilerId>,
+    /// If set, per-benchmark results and the failure report are persisted
+    /// here incrementally (one `<bench>.result` file each, plus
+    /// `failures.txt`).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 42,
+            max_attempts: 2,
+            sampler: SamplerConfig::periodic(DEFAULT_INTERVAL),
+            profilers: ProfilerId::ALL.to_vec(),
+            out_dir: None,
+        }
+    }
+}
+
+/// A benchmark that produced a profile (possibly after retries).
+#[derive(Debug)]
+pub struct CompletedBench {
+    /// The benchmark and its profiled run, table-ready.
+    pub run: SuiteRun,
+    /// Attempts it took (1 = first try).
+    pub attempts: u32,
+}
+
+/// A benchmark that failed every attempt.
+#[derive(Debug)]
+pub struct FailedBench {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Attempts made.
+    pub attempts: u32,
+    /// The error of the final attempt.
+    pub error: RunError,
+}
+
+/// Everything a campaign produced.
+#[derive(Debug, Default)]
+pub struct CampaignOutcome {
+    /// Benchmarks that completed, in suite order.
+    pub completed: Vec<CompletedBench>,
+    /// Benchmarks that failed every attempt, in suite order.
+    pub failed: Vec<FailedBench>,
+}
+
+impl CampaignOutcome {
+    /// The completed runs as plain [`SuiteRun`]s for the figure helpers
+    /// ([`crate::experiments::error_rows`] and friends).
+    #[must_use]
+    pub fn runs(&self) -> Vec<&SuiteRun> {
+        self.completed.iter().map(|c| &c.run).collect()
+    }
+
+    /// Splits the outcome into table-ready runs and the failures.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<SuiteRun>, Vec<FailedBench>) {
+        (
+            self.completed.into_iter().map(|c| c.run).collect(),
+            self.failed,
+        )
+    }
+
+    /// Human-readable one-screen summary, including the failure report.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "campaign: {} completed, {} failed",
+            self.completed.len(),
+            self.failed.len()
+        );
+        for c in &self.completed {
+            if c.attempts > 1 {
+                let _ = writeln!(
+                    s,
+                    "  {}: ok after {} attempts",
+                    c.run.bench.name, c.attempts
+                );
+            }
+        }
+        for f in &self.failed {
+            let _ = writeln!(
+                s,
+                "  {}: FAILED after {} attempts: {}",
+                f.name,
+                f.attempts,
+                one_line(&f.error.to_string())
+            );
+        }
+        s
+    }
+}
+
+/// Runs `benches` through `runner` with per-benchmark panic isolation,
+/// bounded reseeded retries, and (if configured) incremental persistence.
+///
+/// `runner` gets the benchmark and the attempt's seed; a panic inside it is
+/// caught and converted to [`RunError::Panicked`]. I/O errors from the
+/// persistence directory are reported to stderr but never abort the sweep —
+/// losing a result file must not lose the campaign.
+pub fn run_campaign<F>(
+    benches: Vec<Benchmark>,
+    config: &CampaignConfig,
+    mut runner: F,
+) -> CampaignOutcome
+where
+    F: FnMut(&Benchmark, u64) -> Result<ProfiledRun, RunError>,
+{
+    let mut outcome = CampaignOutcome::default();
+    for bench in benches {
+        let mut last_err: Option<RunError> = None;
+        let mut done: Option<ProfiledRun> = None;
+        let attempts_cap = config.max_attempts.max(1);
+        let mut attempts = 0;
+        for attempt in 0..attempts_cap {
+            attempts = attempt + 1;
+            let seed = config.seed.wrapping_add(u64::from(attempt));
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| runner(&bench, seed)));
+            match caught {
+                Ok(Ok(run)) => {
+                    done = Some(run);
+                    break;
+                }
+                Ok(Err(err)) => last_err = Some(err),
+                Err(payload) => {
+                    last_err = Some(RunError::Panicked {
+                        bench: bench.name.to_owned(),
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+        match done {
+            Some(run) => {
+                let completed = CompletedBench {
+                    run: SuiteRun { bench, run },
+                    attempts,
+                };
+                persist_completed(config, &completed);
+                outcome.completed.push(completed);
+            }
+            None => {
+                let failed = FailedBench {
+                    name: bench.name,
+                    attempts,
+                    error: last_err.unwrap_or(RunError::Panicked {
+                        bench: bench.name.to_owned(),
+                        message: "no attempt ran".to_owned(),
+                    }),
+                };
+                persist_failed(config, &failed);
+                outcome.failed.push(failed);
+            }
+        }
+        persist_failure_report(config, &outcome);
+    }
+    outcome
+}
+
+/// Runs the whole suite at `scale` under the default profiled runner.
+#[must_use]
+pub fn run_suite_campaign(scale: SuiteScale, config: &CampaignConfig) -> CampaignOutcome {
+    let sampler = config.sampler;
+    let profilers = config.profilers.clone();
+    run_campaign(suite(scale), config, move |bench, seed| {
+        run_profiled(
+            &bench.program,
+            CoreConfig::default(),
+            sampler,
+            &profilers,
+            seed,
+        )
+    })
+}
+
+/// Best-effort string form of a panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Collapses a multi-line error (e.g. a livelock pipeline dump) to one line
+/// for the key=value result files.
+fn one_line(s: &str) -> String {
+    s.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+fn persist_completed(config: &CampaignConfig, c: &CompletedBench) {
+    let Some(dir) = &config.out_dir else { return };
+    let mut body = String::new();
+    let _ = writeln!(body, "status=ok");
+    let _ = writeln!(body, "bench={}", c.run.bench.name);
+    let _ = writeln!(body, "attempts={}", c.attempts);
+    let _ = writeln!(body, "cycles={}", c.run.run.summary.cycles);
+    let _ = writeln!(body, "instructions={}", c.run.run.summary.instructions);
+    let _ = writeln!(body, "ipc={:.6}", c.run.run.ipc());
+    for &p in &config.profilers {
+        let err = c
+            .run
+            .run
+            .bank
+            .error_of(&c.run.bench.program, p, Granularity::Instruction);
+        let _ = writeln!(body, "error.instr.{p:?}={err:.6}");
+    }
+    report_io(write_result_file(dir, c.run.bench.name, &body));
+}
+
+fn persist_failed(config: &CampaignConfig, f: &FailedBench) {
+    let Some(dir) = &config.out_dir else { return };
+    let mut body = String::new();
+    let _ = writeln!(body, "status=failed");
+    let _ = writeln!(body, "bench={}", f.name);
+    let _ = writeln!(body, "attempts={}", f.attempts);
+    let _ = writeln!(body, "error={}", one_line(&f.error.to_string()));
+    report_io(write_result_file(dir, f.name, &body));
+}
+
+fn persist_failure_report(config: &CampaignConfig, outcome: &CampaignOutcome) {
+    let Some(dir) = &config.out_dir else { return };
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "completed={} failed={}",
+        outcome.completed.len(),
+        outcome.failed.len()
+    );
+    for f in &outcome.failed {
+        let _ = writeln!(
+            body,
+            "{} attempts={} {}",
+            f.name,
+            f.attempts,
+            one_line(&f.error.to_string())
+        );
+    }
+    report_io(fs::create_dir_all(dir).and_then(|()| fs::write(dir.join("failures.txt"), body)));
+}
+
+fn write_result_file(dir: &Path, bench: &str, body: &str) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{bench}.result")), body)
+}
+
+fn report_io(res: io::Result<()>) {
+    if let Err(e) = res {
+        eprintln!("campaign: failed to persist result: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_workloads::BENCHMARK_NAMES;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tip-campaign-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn healthy_campaign_completes_everything() {
+        let config = CampaignConfig {
+            profilers: vec![ProfilerId::Tip],
+            sampler: SamplerConfig::periodic(211),
+            ..CampaignConfig::default()
+        };
+        let outcome = run_suite_campaign(SuiteScale::Test, &config);
+        assert_eq!(outcome.completed.len(), BENCHMARK_NAMES.len());
+        assert!(outcome.failed.is_empty());
+        assert!(outcome.completed.iter().all(|c| c.attempts == 1));
+    }
+
+    #[test]
+    fn panicking_benchmark_is_isolated_and_reported() {
+        let dir = tmp_dir("panic");
+        let config = CampaignConfig {
+            profilers: vec![ProfilerId::Tip],
+            sampler: SamplerConfig::periodic(211),
+            max_attempts: 3,
+            out_dir: Some(dir.clone()),
+            ..CampaignConfig::default()
+        };
+        let sampler = config.sampler;
+        let profilers = config.profilers.clone();
+        let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, seed| {
+            assert!(bench.name != "mcf", "injected fault in mcf");
+            run_profiled(
+                &bench.program,
+                CoreConfig::default(),
+                sampler,
+                &profilers,
+                seed,
+            )
+        });
+        assert_eq!(outcome.completed.len(), BENCHMARK_NAMES.len() - 1);
+        assert_eq!(outcome.failed.len(), 1);
+        let f = &outcome.failed[0];
+        assert_eq!(f.name, "mcf");
+        assert_eq!(f.attempts, 3);
+        assert!(matches!(f.error, RunError::Panicked { .. }));
+        assert!(f.error.to_string().contains("injected fault"));
+
+        // Incremental persistence: every benchmark has a result file and
+        // the failure report names the casualty.
+        for name in BENCHMARK_NAMES {
+            let path = dir.join(format!("{name}.result"));
+            let body = fs::read_to_string(&path).expect("result file exists");
+            if name == "mcf" {
+                assert!(body.contains("status=failed"));
+            } else {
+                assert!(body.contains("status=ok"));
+                assert!(body.contains("error.instr.Tip="));
+            }
+        }
+        let report = fs::read_to_string(dir.join("failures.txt")).expect("report");
+        assert!(report.contains("mcf"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flaky_benchmark_succeeds_on_retry_with_new_seed() {
+        let config = CampaignConfig {
+            profilers: vec![ProfilerId::Tip],
+            sampler: SamplerConfig::periodic(211),
+            max_attempts: 3,
+            seed: 7,
+            ..CampaignConfig::default()
+        };
+        let sampler = config.sampler;
+        let profilers = config.profilers.clone();
+        let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, seed| {
+            // First attempt (seed 7) fails for lbm; the reseeded retry works.
+            if bench.name == "lbm" && seed == 7 {
+                panic!("transient fault");
+            }
+            run_profiled(
+                &bench.program,
+                CoreConfig::default(),
+                sampler,
+                &profilers,
+                seed,
+            )
+        });
+        assert!(outcome.failed.is_empty());
+        let lbm = outcome
+            .completed
+            .iter()
+            .find(|c| c.run.bench.name == "lbm")
+            .expect("lbm completed");
+        assert_eq!(lbm.attempts, 2);
+    }
+}

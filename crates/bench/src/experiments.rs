@@ -4,7 +4,7 @@
 //! binaries render them with [`crate::table`]. EXPERIMENTS.md records the
 //! measured numbers against the paper's.
 
-use crate::run::{run_profiled, ProfiledRun, DEFAULT_INTERVAL};
+use crate::run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};
 use tip_core::{CycleCategory, ProfilerId, SamplerConfig, NUM_CATEGORIES};
 use tip_isa::{Granularity, SymbolId};
 use tip_ooo::CoreConfig;
@@ -22,8 +22,12 @@ pub struct SuiteRun {
 }
 
 /// Runs the whole suite with all profilers on the default schedule.
-#[must_use]
-pub fn run_suite(scale: SuiteScale) -> Vec<SuiteRun> {
+///
+/// # Errors
+///
+/// Fails fast with the first [`RunError`]; use [`crate::campaign`] to keep
+/// going past individual benchmark failures.
+pub fn run_suite(scale: SuiteScale) -> Result<Vec<SuiteRun>, RunError> {
     run_suite_with(
         scale,
         SamplerConfig::periodic(DEFAULT_INTERVAL),
@@ -32,12 +36,16 @@ pub fn run_suite(scale: SuiteScale) -> Vec<SuiteRun> {
 }
 
 /// Runs the whole suite with a custom schedule/profiler set.
-#[must_use]
+///
+/// # Errors
+///
+/// Fails fast with the first [`RunError`]; use [`crate::campaign`] to keep
+/// going past individual benchmark failures.
 pub fn run_suite_with(
     scale: SuiteScale,
     sampler: SamplerConfig,
     profilers: &[ProfilerId],
-) -> Vec<SuiteRun> {
+) -> Result<Vec<SuiteRun>, RunError> {
     suite(scale)
         .into_iter()
         .map(|bench| {
@@ -47,8 +55,8 @@ pub fn run_suite_with(
                 sampler,
                 profilers,
                 42,
-            );
-            SuiteRun { bench, run }
+            )?;
+            Ok(SuiteRun { bench, run })
         })
         .collect()
 }
@@ -182,8 +190,11 @@ pub struct FrequencyRow {
 
 /// Figure 11a: instruction-level error vs sampling frequency for NCI,
 /// TIP-ILP, and TIP, averaged over the suite.
-#[must_use]
-pub fn fig11a(scale: SuiteScale) -> Vec<FrequencyRow> {
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] from any sweep point.
+pub fn fig11a(scale: SuiteScale) -> Result<Vec<FrequencyRow>, RunError> {
     let profilers = [ProfilerId::Nci, ProfilerId::TipIlp, ProfilerId::Tip];
     let mut per_profiler: Vec<FrequencyRow> = profilers
         .iter()
@@ -194,14 +205,14 @@ pub fn fig11a(scale: SuiteScale) -> Vec<FrequencyRow> {
         .collect();
     for &(label, freq) in &FREQUENCIES {
         let sampler = SamplerConfig::periodic(interval_for_frequency(freq));
-        let runs = run_suite_with(scale, sampler, &profilers);
+        let runs = run_suite_with(scale, sampler, &profilers)?;
         let rows = error_rows(&runs, Granularity::Instruction, &profilers);
         for (i, &(p, e)) in mean_errors(&rows, &profilers).iter().enumerate() {
             debug_assert_eq!(per_profiler[i].profiler, p);
             per_profiler[i].errors.push((label, e));
         }
     }
-    per_profiler
+    Ok(per_profiler)
 }
 
 // ---------------------------------------------------------------------------
@@ -222,16 +233,19 @@ pub struct SamplingModeRow {
 }
 
 /// Figure 11b: TIP instruction-level error, periodic vs random sampling.
-#[must_use]
-pub fn fig11b(scale: SuiteScale) -> Vec<SamplingModeRow> {
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] from either sweep.
+pub fn fig11b(scale: SuiteScale) -> Result<Vec<SamplingModeRow>, RunError> {
     let profilers = [ProfilerId::Tip];
-    let periodic = run_suite_with(scale, SamplerConfig::periodic(DEFAULT_INTERVAL), &profilers);
+    let periodic = run_suite_with(scale, SamplerConfig::periodic(DEFAULT_INTERVAL), &profilers)?;
     let random = run_suite_with(
         scale,
         SamplerConfig::random(DEFAULT_INTERVAL, 0xfeed),
         &profilers,
-    );
-    periodic
+    )?;
+    let rows = periodic
         .iter()
         .zip(&random)
         .map(|(p, r)| SamplingModeRow {
@@ -248,7 +262,8 @@ pub fn fig11b(scale: SuiteScale) -> Vec<SamplingModeRow> {
                 Granularity::Instruction,
             ),
         })
-        .collect()
+        .collect();
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------------
@@ -291,7 +306,13 @@ pub fn five_number_summary(xs: &[f64]) -> (f64, f64, f64, f64, f64) {
         let hi = pos.ceil() as usize;
         xs[lo] + (xs[hi] - xs[lo]) * (pos - lo as f64)
     };
-    (xs[0], q(0.25), q(0.5), q(0.75), *xs.last().expect("non-empty"))
+    (
+        xs[0],
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        *xs.last().expect("non-empty"),
+    )
 }
 
 /// Figure 11c: box-plot statistics for NCI+ILP vs NCI, TIP-ILP, and TIP.
@@ -341,8 +362,11 @@ pub struct Fig12 {
 }
 
 /// Figure 12: profiles of the Imagick stand-in.
-#[must_use]
-pub fn fig12(scale: SuiteScale) -> Fig12 {
+///
+/// # Errors
+///
+/// Propagates the [`RunError`] of the Imagick run.
+pub fn fig12(scale: SuiteScale) -> Result<Fig12, RunError> {
     let bench = benchmark("imagick", scale);
     let program = &bench.program;
     let run = run_profiled(
@@ -351,7 +375,7 @@ pub fn fig12(scale: SuiteScale) -> Fig12 {
         SamplerConfig::periodic(DEFAULT_INTERVAL),
         &[ProfilerId::Tip, ProfilerId::Nci],
         42,
-    );
+    )?;
 
     let g = Granularity::Function;
     let oracle_f = run.bank.oracle.profile(program, g);
@@ -416,10 +440,10 @@ pub fn fig12(scale: SuiteScale) -> Fig12 {
             }
         }
     }
-    Fig12 {
+    Ok(Fig12 {
         functions,
         ceil_instrs,
-    }
+    })
 }
 
 /// Per-function time breakdowns for original vs optimized Imagick
@@ -437,8 +461,11 @@ pub struct Fig13 {
 }
 
 /// Figure 13: the Imagick optimization.
-#[must_use]
-pub fn fig13(scale: SuiteScale) -> Fig13 {
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] from either Imagick variant.
+pub fn fig13(scale: SuiteScale) -> Result<Fig13, RunError> {
     let orig = tip_workloads::imagick_original(scale.dyn_instrs());
     let opt = tip_workloads::imagick_optimized(scale.dyn_instrs());
     let sampler = SamplerConfig::periodic(DEFAULT_INTERVAL);
@@ -448,8 +475,8 @@ pub fn fig13(scale: SuiteScale) -> Fig13 {
         sampler,
         &[ProfilerId::Tip],
         42,
-    );
-    let run_p = run_profiled(&opt, CoreConfig::default(), sampler, &[ProfilerId::Tip], 42);
+    )?;
+    let run_p = run_profiled(&opt, CoreConfig::default(), sampler, &[ProfilerId::Tip], 42)?;
 
     let stacks = |program: &tip_isa::Program, run: &ProfiledRun| {
         program
@@ -470,12 +497,12 @@ pub fn fig13(scale: SuiteScale) -> Fig13 {
             .collect::<Vec<_>>()
     };
 
-    Fig13 {
+    Ok(Fig13 {
         original: stacks(&orig, &run_o),
         optimized: stacks(&opt, &run_p),
         speedup: run_o.summary.cycles as f64 / run_p.summary.cycles as f64,
         ipc: (run_o.ipc(), run_p.ipc()),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -497,8 +524,11 @@ pub struct ValidationRow {
 }
 
 /// Runs the validation experiment on a subset of the suite.
-#[must_use]
-pub fn validation(scale: SuiteScale) -> Vec<ValidationRow> {
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] from any configuration/benchmark pair.
+pub fn validation(scale: SuiteScale) -> Result<Vec<ValidationRow>, RunError> {
     let names = ["exchange2", "imagick", "mcf", "lbm", "gcc", "namd"];
     let configs = [CoreConfig::default(), CoreConfig::small_2wide()];
     configs
@@ -514,7 +544,7 @@ pub fn validation(scale: SuiteScale) -> Vec<ValidationRow> {
                     SamplerConfig::periodic(DEFAULT_INTERVAL),
                     &[ProfilerId::Software, ProfilerId::Nci],
                     42,
-                );
+                )?;
                 for (g, acc) in [
                     (Granularity::Instruction, &mut instr_gap),
                     (Granularity::Function, &mut func_gap),
@@ -524,11 +554,11 @@ pub fn validation(scale: SuiteScale) -> Vec<ValidationRow> {
                     *acc += sw.error_vs(&nci);
                 }
             }
-            ValidationRow {
+            Ok(ValidationRow {
                 config: config.name.clone(),
                 instr_gap: instr_gap / names.len() as f64,
                 func_gap: func_gap / names.len() as f64,
-            }
+            })
         })
         .collect()
 }
@@ -567,9 +597,21 @@ mod tests {
     fn class_means_partition_the_suite() {
         // Hand-built rows: class means must aggregate only their class.
         let rows = vec![
-            ErrorRow { name: "a", class: WorkloadClass::Compute, errors: vec![(ProfilerId::Tip, 0.1)] },
-            ErrorRow { name: "b", class: WorkloadClass::Stall, errors: vec![(ProfilerId::Tip, 0.3)] },
-            ErrorRow { name: "c", class: WorkloadClass::Compute, errors: vec![(ProfilerId::Tip, 0.2)] },
+            ErrorRow {
+                name: "a",
+                class: WorkloadClass::Compute,
+                errors: vec![(ProfilerId::Tip, 0.1)],
+            },
+            ErrorRow {
+                name: "b",
+                class: WorkloadClass::Stall,
+                errors: vec![(ProfilerId::Tip, 0.3)],
+            },
+            ErrorRow {
+                name: "c",
+                class: WorkloadClass::Compute,
+                errors: vec![(ProfilerId::Tip, 0.2)],
+            },
         ];
         let compute = class_mean_errors(&rows, WorkloadClass::Compute, &[ProfilerId::Tip]);
         assert!((compute[0].1 - 0.15).abs() < 1e-12);
@@ -585,7 +627,8 @@ mod tests {
             SuiteScale::Test,
             SamplerConfig::periodic(211),
             &[ProfilerId::Tip],
-        );
+        )
+        .expect("test suite terminates");
         let rows = error_rows(&runs, Granularity::Function, &[ProfilerId::Tip]);
         assert_eq!(rows.len(), BENCHMARK_NAMES.len());
         let means = mean_errors(&rows, &[ProfilerId::Tip]);

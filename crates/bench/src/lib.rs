@@ -1,15 +1,19 @@
 //! Experiment harness for the TIP reproduction.
 //!
 //! One module per concern: [`run`] executes a benchmark under the full
-//! profiler bank, [`table`] renders the paper-style text tables, and
+//! profiler bank, [`table`] renders the paper-style text tables,
 //! [`experiments`] implements the data collection behind every figure and
-//! table of the paper (each `src/bin/figNN.rs` binary is a thin wrapper).
+//! table of the paper (each `src/bin/figNN.rs` binary is a thin wrapper),
+//! and [`campaign`] adds the fault-tolerant sweep layer (per-benchmark
+//! panic isolation, bounded reseeded retries, incremental persistence).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod run;
 pub mod table;
 
-pub use run::{run_profiled, ProfiledRun, DEFAULT_INTERVAL};
+pub use campaign::{run_suite_campaign, CampaignConfig, CampaignOutcome};
+pub use run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};

@@ -1,9 +1,12 @@
 //! Running a benchmark under the full profiler bank.
 
+use std::error::Error;
+use std::fmt;
+
 use tip_core::{BankResult, ProfilerBank, ProfilerId, SamplerConfig};
 use tip_isa::Program;
 use tip_mem::MemStats;
-use tip_ooo::{Core, CoreConfig, CoreStats, RunExit, RunSummary};
+use tip_ooo::{Core, CoreConfig, CoreStats, RunSummary, SimError};
 
 /// The default sampling interval in cycles for our scaled-down runs.
 ///
@@ -40,39 +43,91 @@ impl ProfiledRun {
     }
 }
 
+/// A benchmark run that failed to produce a profile.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulation did not complete: a livelock caught by the core's
+    /// forward-progress watchdog, or an exhausted cycle budget.
+    Sim {
+        /// Name of the benchmark that failed.
+        bench: String,
+        /// The structured simulator error.
+        source: SimError,
+    },
+    /// The benchmark panicked mid-run (caught by the campaign isolation
+    /// layer, see [`crate::campaign`]).
+    Panicked {
+        /// Name of the benchmark that failed.
+        bench: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl RunError {
+    /// Name of the benchmark that failed.
+    #[must_use]
+    pub fn bench(&self) -> &str {
+        match self {
+            RunError::Sim { bench, .. } | RunError::Panicked { bench, .. } => bench,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim { bench, source } => {
+                write!(f, "benchmark `{bench}` failed: {source}")
+            }
+            RunError::Panicked { bench, message } => {
+                write!(f, "benchmark `{bench}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Sim { source, .. } => Some(source),
+            RunError::Panicked { .. } => None,
+        }
+    }
+}
+
 /// Runs `program` on a core with `config`, attaching the Oracle and the
 /// given profilers, all sampling on the same schedule.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the run exhausts the internal cycle budget instead of
-/// terminating — synthetic programs always halt.
-#[must_use]
+/// [`RunError::Sim`] if the run livelocks (watchdog) or exhausts the
+/// internal cycle budget instead of terminating — synthetic programs always
+/// halt, so either means a simulator or workload bug, now reported with a
+/// pipeline-state dump instead of a panic.
 pub fn run_profiled(
     program: &Program,
     config: CoreConfig,
     sampler: SamplerConfig,
     profilers: &[ProfilerId],
     seed: u64,
-) -> ProfiledRun {
+) -> Result<ProfiledRun, RunError> {
     let mut bank = ProfilerBank::new(program, sampler, profilers);
     let mut core = Core::new(program, config, seed);
-    let summary = core.run(&mut bank, MAX_CYCLES);
-    assert_ne!(
-        summary.exit,
-        RunExit::CycleLimit,
-        "benchmark `{}` did not terminate within {} cycles",
-        program.name(),
-        MAX_CYCLES
-    );
+    let summary = core
+        .run_to_completion(&mut bank, MAX_CYCLES)
+        .map_err(|source| RunError::Sim {
+            bench: program.name().to_owned(),
+            source,
+        })?;
     let stats = *core.stats();
     let mem_stats = core.mem_stats();
-    ProfiledRun {
+    Ok(ProfiledRun {
         bank: bank.finish(),
         summary,
         stats,
         mem_stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -89,7 +144,8 @@ mod tests {
             SamplerConfig::periodic(211),
             &[ProfilerId::Tip, ProfilerId::Nci],
             1,
-        );
+        )
+        .expect("test benchmark terminates");
         assert!(run.summary.instructions > 10_000);
         assert!(run.ipc() > 0.0);
         assert_eq!(run.bank.total_cycles, run.summary.cycles);

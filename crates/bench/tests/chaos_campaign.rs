@@ -1,0 +1,106 @@
+//! Acceptance: a figure-style sweep completes with a failure report even
+//! when one workload panics and another livelocks, and every other
+//! benchmark's result is intact on disk.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tip_bench::campaign::{run_campaign, CampaignConfig};
+use tip_bench::run::{run_profiled, RunError};
+use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_ooo::{Core, CoreConfig, SimError};
+use tip_trace::{Fault, FaultPlan};
+use tip_workloads::{suite, SuiteScale, BENCHMARK_NAMES};
+
+#[test]
+fn sweep_survives_panic_and_livelock_with_results_on_disk() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("tip-chaos-campaign-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    let config = CampaignConfig {
+        profilers: vec![ProfilerId::Tip],
+        sampler: SamplerConfig::periodic(211),
+        max_attempts: 2,
+        out_dir: Some(dir.clone()),
+        ..CampaignConfig::default()
+    };
+    let plan = FaultPlan::new(1, vec![Fault::ForcePanic]);
+    let sampler = config.sampler;
+    let profilers = config.profilers.clone();
+    let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, seed| {
+        if bench.name == "mcf" && plan.forces_panic() {
+            panic!("chaos: forced panic");
+        }
+        if bench.name == "lbm" {
+            // A lost redirect wedges the pipeline; the watchdog converts
+            // the livelock into a structured SimError.
+            let mut bank = ProfilerBank::new(&bench.program, sampler, &profilers);
+            let mut core = Core::new(&bench.program, CoreConfig::default(), seed);
+            for _ in 0..100 {
+                core.step(&mut bank);
+            }
+            core.inject_lost_redirect();
+            return core
+                .run_to_completion(&mut bank, 10_000_000)
+                .map(|_| unreachable!("wedged core cannot complete"))
+                .map_err(|source| RunError::Sim {
+                    bench: bench.name.to_owned(),
+                    source,
+                });
+        }
+        run_profiled(
+            &bench.program,
+            CoreConfig::default(),
+            sampler,
+            &profilers,
+            seed,
+        )
+    });
+
+    // The sweep finished: every other benchmark completed.
+    assert_eq!(outcome.completed.len(), BENCHMARK_NAMES.len() - 2);
+    assert_eq!(outcome.failed.len(), 2);
+    let lbm = outcome
+        .failed
+        .iter()
+        .find(|f| f.name == "lbm")
+        .expect("lbm reported");
+    assert!(
+        matches!(
+            &lbm.error,
+            RunError::Sim {
+                source: SimError::Livelock(_),
+                ..
+            }
+        ),
+        "livelock classified: {:?}",
+        lbm.error
+    );
+    let mcf = outcome
+        .failed
+        .iter()
+        .find(|f| f.name == "mcf")
+        .expect("mcf reported");
+    assert!(matches!(&mcf.error, RunError::Panicked { .. }));
+    assert_eq!(mcf.attempts, 2, "panic was retried before giving up");
+
+    // Results on disk: one file per benchmark plus the failure report,
+    // survivors marked ok with their error metric, casualties marked failed.
+    for name in BENCHMARK_NAMES {
+        let body = fs::read_to_string(dir.join(format!("{name}.result")))
+            .unwrap_or_else(|e| panic!("{name}.result missing: {e}"));
+        if name == "mcf" || name == "lbm" {
+            assert!(body.contains("status=failed"), "{name}: {body}");
+        } else {
+            assert!(body.contains("status=ok"), "{name}: {body}");
+            assert!(body.contains("error.instr.Tip="), "{name}: {body}");
+        }
+    }
+    let report = fs::read_to_string(dir.join("failures.txt")).expect("failure report");
+    assert!(report.contains("completed=25 failed=2"), "{report}");
+    assert!(report.contains("mcf") && report.contains("lbm"), "{report}");
+    assert!(report.contains("livelock"), "{report}");
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -97,22 +97,46 @@ pub struct BankResult {
 }
 
 impl BankResult {
+    /// The samples of one profiler, or `None` if `id` was not in the bank.
+    #[must_use]
+    pub fn try_samples_of(&self, id: ProfilerId) -> Option<&[Sample]> {
+        self.samples
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, s)| s.as_slice())
+    }
+
     /// The samples of one profiler.
     ///
     /// # Panics
     ///
-    /// Panics if `id` was not part of the bank.
+    /// Panics if `id` was not part of the bank — use [`Self::try_samples_of`]
+    /// when the profiler set is not statically known.
     #[must_use]
     pub fn samples_of(&self, id: ProfilerId) -> &[Sample] {
-        &self
-            .samples
-            .iter()
-            .find(|(i, _)| *i == id)
+        self.try_samples_of(id)
             .unwrap_or_else(|| panic!("profiler {id} was not in the bank"))
-            .1
+    }
+
+    /// Builds `id`'s profile at `granularity`, or `None` if `id` was not in
+    /// the bank.
+    #[must_use]
+    pub fn try_profile_of(
+        &self,
+        program: &Program,
+        id: ProfilerId,
+        granularity: Granularity,
+    ) -> Option<Profile> {
+        self.try_samples_of(id)
+            .map(|s| Profile::from_samples(s, &program.symbol_map(granularity)))
     }
 
     /// Builds `id`'s profile at `granularity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not part of the bank — use [`Self::try_profile_of`]
+    /// when the profiler set is not statically known.
     #[must_use]
     pub fn profile_of(
         &self,

@@ -190,11 +190,19 @@ impl Nci {
     }
 
     fn resolve(&mut self, cycle: u64, record: &CycleRecord) {
+        // A record can claim `n_committed > 0` yet carry no commit entries
+        // if it came from a damaged or perturbed trace; drop the sample
+        // instead of panicking (replays must degrade, not die).
         let sample = if self.ilp_aware {
             let targets: Vec<InstrIdx> = record.committed_iter().map(|c| c.idx).collect();
+            if targets.is_empty() {
+                return;
+            }
             Sample::split(cycle, &targets, None)
         } else {
-            let oldest = record.committed_iter().next().expect("committing record");
+            let Some(oldest) = record.committed_iter().next() else {
+                return;
+            };
             Sample::single(cycle, oldest.idx, None)
         };
         self.resolved.push(sample);
@@ -262,6 +270,21 @@ mod tests {
         let s = nci.drain_samples();
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].targets, vec![(InstrIdx::new(3), 1.0)]);
+    }
+
+    #[test]
+    fn nci_survives_committing_record_with_no_entries() {
+        // A perturbed/damaged trace can claim `n_committed > 0` while
+        // carrying no commit entries; both NCI variants must drop the
+        // sample rather than panic.
+        let mut hostile = CycleRecord::empty(1);
+        hostile.n_committed = 2;
+        for ilp in [false, true] {
+            let mut nci = Nci::new(ilp);
+            nci.observe(&CycleRecord::empty(0), true);
+            nci.observe(&hostile, false);
+            assert!(nci.drain_samples().is_empty(), "ilp={ilp}");
+        }
     }
 
     #[test]

@@ -66,6 +66,16 @@ pub struct CoreConfig {
     /// Whether the front-end fetches and dispatches wrong-path instructions
     /// after a misprediction (ablation knob; the paper's core does).
     pub model_wrong_path: bool,
+    /// Forward-progress watchdog: if no instruction commits for this many
+    /// consecutive cycles, [`crate::Core::run`] exits with
+    /// [`crate::RunExit::Stuck`] and a pipeline-state dump instead of
+    /// spinning until the cycle budget runs out. `0` disables the watchdog.
+    ///
+    /// The default (100 000 cycles) is orders of magnitude beyond any legal
+    /// commit gap in this model: the longest structural stalls — a chain of
+    /// DRAM misses at the ROB head plus a serialized dispatch — span
+    /// thousands of cycles, not tens of thousands.
+    pub watchdog_cycles: u64,
     /// Memory system configuration.
     pub mem: MemConfig,
 }
@@ -101,6 +111,7 @@ impl Default for CoreConfig {
             taken_bubble: 1,
             redirect_penalty: 2,
             model_wrong_path: true,
+            watchdog_cycles: 100_000,
             mem: MemConfig::default(),
         }
     }

@@ -15,6 +15,7 @@
 //! earlier than the next cycle).
 
 use crate::config::CoreConfig;
+use crate::error::{SimError, StallReason, StuckDiag, StuckHead};
 use crate::predictor::Predictor;
 use crate::rename::Renamer;
 use crate::stats::{CoreStats, RunExit, RunSummary};
@@ -250,9 +251,32 @@ impl<'p> Core<'p> {
     }
 
     /// Runs until completion or `max_cycles`, streaming records into `sink`.
+    ///
+    /// A forward-progress watchdog (see [`CoreConfig::watchdog_cycles`])
+    /// monitors the commit stage: if no instruction commits for the
+    /// configured number of consecutive cycles, the run exits early with
+    /// [`RunExit::Stuck`] carrying a pipeline-state dump, rather than
+    /// spinning in a livelock until the cycle budget runs out.
     pub fn run(&mut self, sink: &mut impl TraceSink, max_cycles: u64) -> RunSummary {
+        let watchdog = self.config.watchdog_cycles;
+        let mut last_committed = self.stats.committed;
+        let mut last_commit_cycle = self.cycle;
         while !self.finished() && self.cycle < max_cycles {
             self.step(sink);
+            if self.stats.committed != last_committed {
+                last_committed = self.stats.committed;
+                last_commit_cycle = self.cycle;
+            } else if watchdog != 0 && self.cycle - last_commit_cycle >= watchdog {
+                if self.finished() {
+                    break;
+                }
+                let diag = self.stuck_diag(last_commit_cycle);
+                return RunSummary {
+                    cycles: self.cycle,
+                    instructions: self.stats.committed,
+                    exit: RunExit::Stuck(diag),
+                };
+            }
         }
         let exit = if self.halted {
             RunExit::Halted
@@ -265,6 +289,67 @@ impl<'p> Core<'p> {
             cycles: self.cycle,
             instructions: self.stats.committed,
             exit,
+        }
+    }
+
+    /// Like [`Core::run`], but abnormal exits become structured errors.
+    ///
+    /// Returns `Ok` only when the run completed (halt committed or dynamic
+    /// stream drained); a watchdog-detected livelock becomes
+    /// [`SimError::Livelock`] with the captured pipeline dump, and an
+    /// exhausted budget becomes [`SimError::CycleLimit`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Livelock`] if the forward-progress watchdog fired;
+    /// [`SimError::CycleLimit`] if `max_cycles` elapsed first.
+    pub fn run_to_completion(
+        &mut self,
+        sink: &mut impl TraceSink,
+        max_cycles: u64,
+    ) -> Result<RunSummary, SimError> {
+        let summary = self.run(sink, max_cycles);
+        match summary.exit {
+            RunExit::Halted | RunExit::StreamEnd => Ok(summary),
+            RunExit::Stuck(diag) => Err(SimError::Livelock(diag)),
+            RunExit::CycleLimit => Err(SimError::CycleLimit {
+                max_cycles,
+                committed: summary.instructions,
+            }),
+        }
+    }
+
+    /// Captures the pipeline-state dump for a watchdog-detected livelock.
+    fn stuck_diag(&self, last_commit_cycle: u64) -> StuckDiag {
+        let t = self.cycle;
+        let head = self.rob.front().map(|&slot| {
+            let uop = self.uops.get(slot);
+            StuckHead {
+                kind: uop.kind,
+                trace_pos: uop.trace_pos,
+                wrong_path: uop.wrong_path,
+                issued: uop.issued,
+                executed: uop.executed(t),
+            }
+        });
+        let reason = match &head {
+            Some(h) if !h.executed => StallReason::HeadNotExecuted,
+            Some(_) => StallReason::HeadNotCommitting,
+            None if self.fetch_stall_until == u64::MAX => StallReason::FrontEndStalled,
+            None => StallReason::FetchNotDelivering,
+        };
+        StuckDiag {
+            cycle: t,
+            last_commit_cycle,
+            committed: self.stats.committed,
+            rob_len: self.rob.len() as u32,
+            head,
+            fetch_pos: self.fetch_pos,
+            fetch_stalled_forever: self.fetch_stall_until == u64::MAX,
+            fetch_buffer_len: self.fetch_buffer.len() as u32,
+            branches_inflight: self.branches_inflight,
+            lsq_used: self.lsq_used,
+            reason,
         }
     }
 
@@ -850,6 +935,21 @@ impl<'p> Core<'p> {
 
     fn stall_until_redirect(&mut self) {
         self.fetch_stall_until = u64::MAX;
+    }
+
+    /// Fault injection: squashes everything in flight and parks the
+    /// front-end as if waiting for a redirect that never arrives.
+    ///
+    /// This wedges the core into a commit livelock on purpose — no
+    /// instruction will ever commit again — so the chaos harness and tests
+    /// can exercise the forward-progress watchdog on a crafted failure
+    /// instead of hoping for a real model bug.
+    pub fn inject_lost_redirect(&mut self) {
+        self.squash_from(0);
+        self.fetch_mode = FetchMode::Correct;
+        self.fetch_buffer.clear();
+        self.fetch_done = false;
+        self.stall_until_redirect();
     }
 
     fn redirect(&mut self, resume_pos: u64, refetch_at: u64) {

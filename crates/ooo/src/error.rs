@@ -1,0 +1,232 @@
+//! Structured simulation errors and the forward-progress watchdog report.
+//!
+//! A cycle-level model has two systemic failure modes that a panic hides
+//! badly: a **livelock**, where the pipeline keeps cycling but never commits
+//! (a lost redirect, a resolve event that never fires, a deadlocked resource),
+//! and a **cycle-budget overrun**, where the run is making progress but too
+//! slowly to finish. [`crate::Core::run_to_completion`] surfaces both as
+//! [`SimError`] values instead of asserting, and the livelock case carries a
+//! [`StuckDiag`] pipeline-state dump captured by the watchdog at the moment it
+//! fired — enough to tell *which* structural invariant broke without re-running
+//! under a debugger.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tip_isa::InstrKind;
+
+/// Why the pipeline is failing to commit, as classified by the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallReason {
+    /// The ROB head has not finished executing: its completion event never
+    /// arrived (or lies unreachably far in the future).
+    HeadNotExecuted,
+    /// The ROB head finished executing but still is not committing — a
+    /// commit-stage gate (store buffer, serialization point) never opens.
+    HeadNotCommitting,
+    /// The ROB is empty and the front-end is stalled indefinitely, waiting
+    /// for a redirect that will never come.
+    FrontEndStalled,
+    /// The ROB is empty and the front-end claims to be fetching, yet no
+    /// instruction reached dispatch for the whole watchdog window.
+    FetchNotDelivering,
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallReason::HeadNotExecuted => "ROB head never finishes executing",
+            StallReason::HeadNotCommitting => "executed ROB head never commits",
+            StallReason::FrontEndStalled => "ROB empty and front-end stalled awaiting a redirect",
+            StallReason::FetchNotDelivering => "ROB empty and fetch delivers no instructions",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The ROB-head entry at the moment the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckHead {
+    /// Instruction kind of the head uop.
+    pub kind: InstrKind,
+    /// Position in the correct-path trace (`u64::MAX` for wrong-path uops).
+    pub trace_pos: u64,
+    /// Whether the head uop is on the wrong path.
+    pub wrong_path: bool,
+    /// Whether the head uop has been issued to a functional unit.
+    pub issued: bool,
+    /// Whether execution had completed by the capture cycle.
+    pub executed: bool,
+}
+
+/// Pipeline-state dump captured by the forward-progress watchdog.
+///
+/// Attached to [`crate::RunExit::Stuck`] and [`SimError::Livelock`]. All
+/// fields describe the state at `cycle`, the cycle the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckDiag {
+    /// Cycle at which the watchdog declared livelock.
+    pub cycle: u64,
+    /// Last cycle on which any instruction committed (`0` if none ever did).
+    pub last_commit_cycle: u64,
+    /// Total instructions committed before progress stopped.
+    pub committed: u64,
+    /// Occupied ROB entries.
+    pub rob_len: u32,
+    /// The ROB-head uop, if the ROB is non-empty.
+    pub head: Option<StuckHead>,
+    /// Front-end fetch position in the correct-path trace.
+    pub fetch_pos: u64,
+    /// Whether the front-end is stalled with no scheduled restart
+    /// (awaiting a redirect).
+    pub fetch_stalled_forever: bool,
+    /// Occupied fetch-buffer entries.
+    pub fetch_buffer_len: u32,
+    /// In-flight unresolved branches.
+    pub branches_inflight: u32,
+    /// Occupied load/store-queue slots.
+    pub lsq_used: u32,
+    /// The watchdog's classification of the stall.
+    pub reason: StallReason,
+}
+
+impl StuckDiag {
+    /// Cycles elapsed since the last commit when the watchdog fired.
+    #[must_use]
+    pub fn cycles_since_commit(&self) -> u64 {
+        self.cycle.saturating_sub(self.last_commit_cycle)
+    }
+}
+
+impl fmt::Display for StuckDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no commit for {} cycles (cycle {}, {} committed): {}; \
+             rob_len={} fetch_pos={} fetch_buffer={} branches={} lsq={}{}",
+            self.cycles_since_commit(),
+            self.cycle,
+            self.committed,
+            self.reason,
+            self.rob_len,
+            self.fetch_pos,
+            self.fetch_buffer_len,
+            self.branches_inflight,
+            self.lsq_used,
+            if self.fetch_stalled_forever {
+                " (front-end parked)"
+            } else {
+                ""
+            },
+        )?;
+        if let Some(head) = &self.head {
+            write!(
+                f,
+                "; head: {} @trace_pos={}{}{}{}",
+                head.kind,
+                head.trace_pos,
+                if head.wrong_path { " wrong-path" } else { "" },
+                if head.issued {
+                    " issued"
+                } else {
+                    " not-issued"
+                },
+                if head.executed {
+                    " executed"
+                } else {
+                    " not-executed"
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A simulation that could not run to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The forward-progress watchdog detected a commit livelock before the
+    /// cycle budget ran out.
+    Livelock(StuckDiag),
+    /// The cycle budget was exhausted while the core was still making
+    /// progress.
+    CycleLimit {
+        /// The budget that was exhausted.
+        max_cycles: u64,
+        /// Instructions committed within the budget.
+        committed: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Livelock(diag) => write!(f, "pipeline livelock: {diag}"),
+            SimError::CycleLimit {
+                max_cycles,
+                committed,
+            } => write!(
+                f,
+                "cycle budget exhausted: {committed} instructions committed in {max_cycles} cycles"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> StuckDiag {
+        StuckDiag {
+            cycle: 100_500,
+            last_commit_cycle: 500,
+            committed: 1_234,
+            rob_len: 17,
+            head: Some(StuckHead {
+                kind: InstrKind::Load,
+                trace_pos: 1_234,
+                wrong_path: false,
+                issued: true,
+                executed: false,
+            }),
+            fetch_pos: 2_000,
+            fetch_stalled_forever: false,
+            fetch_buffer_len: 3,
+            branches_inflight: 2,
+            lsq_used: 5,
+            reason: StallReason::HeadNotExecuted,
+        }
+    }
+
+    #[test]
+    fn stuck_diag_display_names_the_cause() {
+        let text = diag().to_string();
+        assert!(text.contains("no commit for 100000 cycles"), "{text}");
+        assert!(text.contains("never finishes executing"), "{text}");
+        assert!(text.contains("trace_pos=1234"), "{text}");
+        assert!(text.contains("not-executed"), "{text}");
+    }
+
+    #[test]
+    fn sim_error_display_is_informative() {
+        let livelock = SimError::Livelock(diag()).to_string();
+        assert!(livelock.starts_with("pipeline livelock"), "{livelock}");
+        let limit = SimError::CycleLimit {
+            max_cycles: 1000,
+            committed: 42,
+        }
+        .to_string();
+        assert!(limit.contains("42 instructions"), "{limit}");
+        assert!(limit.contains("1000 cycles"), "{limit}");
+    }
+
+    #[test]
+    fn cycles_since_commit_saturates() {
+        let mut d = diag();
+        d.last_commit_cycle = d.cycle + 1;
+        assert_eq!(d.cycles_since_commit(), 0);
+    }
+}

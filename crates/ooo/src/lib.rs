@@ -24,6 +24,7 @@
 
 mod config;
 mod core;
+mod error;
 mod predictor;
 mod rename;
 mod stats;
@@ -32,6 +33,7 @@ mod uop;
 
 pub use crate::core::Core;
 pub use config::{CoreConfig, IqConfig, MAX_COMMIT};
+pub use error::{SimError, StallReason, StuckDiag, StuckHead};
 pub use predictor::Predictor;
 pub use stats::{CoreStats, RunExit, RunSummary};
 pub use trace::{BankView, CommitView, CycleRecord, HeadView, TraceSink};

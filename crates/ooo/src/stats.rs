@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::StuckDiag;
+
 /// Counters accumulated by one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CoreStats {
@@ -62,6 +64,17 @@ pub enum RunExit {
     StreamEnd,
     /// The cycle budget was exhausted.
     CycleLimit,
+    /// The forward-progress watchdog detected a commit livelock; the payload
+    /// is the pipeline-state dump captured when it fired.
+    Stuck(StuckDiag),
+}
+
+impl RunExit {
+    /// Whether the run completed normally (halt committed or stream drained).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunExit::Halted | RunExit::StreamEnd)
+    }
 }
 
 #[cfg(test)]

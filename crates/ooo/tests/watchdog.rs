@@ -1,0 +1,140 @@
+//! Forward-progress watchdog: a crafted livelock must be detected quickly
+//! and reported with an actionable pipeline-state dump.
+
+use tip_isa::{BranchBehavior, Instr, Program, ProgramBuilder};
+use tip_ooo::{Core, CoreConfig, RunExit, SimError, StallReason};
+
+fn looping_program(iters: u32) -> Program {
+    let mut b = ProgramBuilder::named("watchdog-victim");
+    let main = b.function("main");
+    let body = b.block(main);
+    b.push(body, Instr::int_alu(None, [None, None]));
+    b.push(body, Instr::int_alu(None, [None, None]));
+    b.push(
+        body,
+        Instr::branch(body, BranchBehavior::Loop { taken_iters: iters }),
+    );
+    let exit = b.block(main);
+    b.push(exit, Instr::halt());
+    b.build().expect("valid program")
+}
+
+fn wedged_core(program: &Program, watchdog_cycles: u64) -> Core<'_> {
+    let config = CoreConfig {
+        watchdog_cycles,
+        ..CoreConfig::default()
+    };
+    let mut core = Core::new(program, config, 1);
+    // Make some healthy progress first, then wedge the front-end.
+    for _ in 0..200 {
+        core.step(&mut ());
+    }
+    assert!(core.stats().committed > 0, "warm-up should commit");
+    core.inject_lost_redirect();
+    core
+}
+
+#[test]
+fn watchdog_detects_crafted_livelock() {
+    let program = looping_program(1_000_000);
+    let mut core = wedged_core(&program, 1_000);
+    let committed_before = core.stats().committed;
+
+    let summary = core.run(&mut (), 50_000_000);
+    let RunExit::Stuck(diag) = summary.exit else {
+        panic!("expected Stuck exit, got {:?}", summary.exit);
+    };
+
+    // The watchdog fired close to its threshold, not at the cycle budget.
+    assert!(
+        summary.cycles < 250 + 1_000 + 16,
+        "fired late: {} cycles",
+        summary.cycles
+    );
+    assert!(diag.cycles_since_commit() >= 1_000);
+
+    // The dump describes the crafted fault: an empty ROB with the front-end
+    // parked waiting for a redirect that never arrives.
+    assert_eq!(diag.reason, StallReason::FrontEndStalled);
+    assert!(diag.fetch_stalled_forever);
+    assert_eq!(diag.rob_len, 0);
+    assert!(diag.head.is_none());
+    assert_eq!(diag.committed, committed_before);
+    assert_eq!(diag.cycle, summary.cycles);
+
+    // And the rendered diagnostic is human-readable.
+    let text = diag.to_string();
+    assert!(text.contains("front-end stalled"), "{text}");
+    assert!(text.contains("no commit for"), "{text}");
+}
+
+#[test]
+fn run_to_completion_reports_livelock_as_error() {
+    let program = looping_program(1_000_000);
+    let mut core = wedged_core(&program, 1_000);
+    let err = core
+        .run_to_completion(&mut (), 50_000_000)
+        .expect_err("wedged core cannot complete");
+    match err {
+        SimError::Livelock(diag) => {
+            assert_eq!(diag.reason, StallReason::FrontEndStalled);
+        }
+        other => panic!("expected Livelock, got {other:?}"),
+    }
+    let text = err.to_string();
+    assert!(text.starts_with("pipeline livelock"), "{text}");
+}
+
+#[test]
+fn run_to_completion_reports_cycle_limit_as_error() {
+    let program = looping_program(1_000_000);
+    let mut core = Core::new(&program, CoreConfig::default(), 1);
+    let err = core
+        .run_to_completion(&mut (), 500)
+        .expect_err("budget far too small");
+    match err {
+        SimError::CycleLimit {
+            max_cycles,
+            committed,
+        } => {
+            assert_eq!(max_cycles, 500);
+            assert!(committed > 0, "should have made progress");
+        }
+        other => panic!("expected CycleLimit, got {other:?}"),
+    }
+}
+
+#[test]
+fn healthy_runs_are_unaffected_by_the_watchdog() {
+    let program = looping_program(5_000);
+    let config = CoreConfig::default();
+    let mut with_watchdog = Core::new(&program, config.clone(), 7);
+    let a = with_watchdog.run(&mut (), 50_000_000);
+    let mut without = Core::new(
+        &program,
+        CoreConfig {
+            watchdog_cycles: 0,
+            ..config
+        },
+        7,
+    );
+    let b = without.run(&mut (), 50_000_000);
+    assert_eq!(a, b, "watchdog must not perturb healthy runs");
+    assert!(a.exit.is_complete());
+}
+
+#[test]
+fn disabled_watchdog_spins_to_cycle_limit() {
+    let program = looping_program(1_000_000);
+    let config = CoreConfig {
+        watchdog_cycles: 0,
+        ..CoreConfig::default()
+    };
+    let mut core = Core::new(&program, config, 1);
+    for _ in 0..200 {
+        core.step(&mut ());
+    }
+    core.inject_lost_redirect();
+    let summary = core.run(&mut (), 10_000);
+    assert_eq!(summary.exit, RunExit::CycleLimit);
+}

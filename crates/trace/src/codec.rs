@@ -74,8 +74,27 @@ pub enum DecodeError {
     Io(io::Error),
     /// An instruction-kind code outside the wire table.
     BadKind(u8),
-    /// A frame was malformed (inconsistent counts or masks).
+    /// A frame was malformed (inconsistent counts, masks, or flags).
     Malformed(&'static str),
+    /// The stream does not start with the trace magic — not a framed TIP
+    /// trace (or the header itself was damaged).
+    BadMagic([u8; 4]),
+    /// The stream is a framed TIP trace of a version this reader does not
+    /// understand.
+    UnsupportedVersion(u16),
+    /// The bytes at `offset` were damaged in place: a chunk whose CRC does
+    /// not match its payload, or an undecodable frame inside a chunk.
+    Corrupt {
+        /// Byte offset of the damaged chunk's header within the stream.
+        offset: u64,
+    },
+    /// The stream ends mid-chunk — the tail was cut off. Everything up to
+    /// and including `last_good_cycle` was protected by intact chunks.
+    Truncated {
+        /// Cycle number of the last record covered by an intact chunk, or
+        /// `None` if no complete chunk survived.
+        last_good_cycle: Option<u64>,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -84,6 +103,19 @@ impl fmt::Display for DecodeError {
             DecodeError::Io(e) => write!(f, "trace read failed: {e}"),
             DecodeError::BadKind(c) => write!(f, "invalid instruction-kind code {c}"),
             DecodeError::Malformed(what) => write!(f, "malformed trace frame: {what}"),
+            DecodeError::BadMagic(m) => {
+                write!(f, "not a TIP trace: bad magic {m:02x?}")
+            }
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            DecodeError::Corrupt { offset } => {
+                write!(f, "trace corrupt at byte offset {offset} (CRC mismatch)")
+            }
+            DecodeError::Truncated { last_good_cycle } => match last_good_cycle {
+                Some(c) => write!(f, "trace truncated: last intact chunk ends at cycle {c}"),
+                None => write!(f, "trace truncated before the first complete chunk"),
+            },
         }
     }
 }
@@ -203,6 +235,17 @@ pub fn decode_record(
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e.into()),
     };
+    if presence & 0xc0 != 0 {
+        return Err(DecodeError::Malformed("reserved presence bits set"));
+    }
+    if presence & 32 != 0 && presence & 1 == 0 {
+        return Err(DecodeError::Malformed("head-executed flag without a head"));
+    }
+    if presence & 16 != 0 && presence & 4 == 0 {
+        return Err(DecodeError::Malformed(
+            "dispatch-wrong-path flag without a dispatch entry",
+        ));
+    }
     let counts = read_u8(input)?;
     let n_committed = counts & 0x0f;
     let oldest_bank = counts >> 4;
@@ -230,6 +273,14 @@ pub fn decode_record(
 
     let valid_mask = read_u8(input)?;
     let committing_mask = read_u8(input)?;
+    if valid_mask >> MAX_COMMIT != 0 {
+        return Err(DecodeError::Malformed(
+            "valid mask has bits beyond MAX_COMMIT",
+        ));
+    }
+    if committing_mask & !valid_mask != 0 {
+        return Err(DecodeError::Malformed("committing bank that is not valid"));
+    }
     for i in 0..MAX_COMMIT {
         if valid_mask & (1 << i) != 0 {
             let idx = read_idx(input)?;

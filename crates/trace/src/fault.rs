@@ -1,0 +1,349 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] describes a reproducible set of faults to inject into a
+//! trace pipeline, at two levels:
+//!
+//! - **record-level** faults ([`Fault::DropCycles`],
+//!   [`Fault::FlipCommitFlags`]) perturb [`CycleRecord`]s in flight, between
+//!   the core and whatever sink consumes them — apply them by wrapping the
+//!   sink in a [`FaultySink`];
+//! - **byte-level** faults ([`Fault::FlipBits`], [`Fault::CorruptRun`],
+//!   [`Fault::Truncate`]) damage an encoded stream in place — apply them to
+//!   a byte buffer with [`FaultPlan::apply_bytes`].
+//!
+//! [`Fault::ForcePanic`] is a marker interpreted by the experiment-campaign
+//! layer (it makes a workload panic mid-run); the trace layer ignores it.
+//!
+//! Everything is seeded: the same plan over the same input injects the same
+//! faults, so chaos tests are reproducible failures, not flakes.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use tip_ooo::{CycleRecord, TraceSink, MAX_COMMIT};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Byte-level: flip `bits` randomly chosen bits anywhere in the stream.
+    FlipBits {
+        /// Number of bits to flip.
+        bits: u32,
+    },
+    /// Byte-level: overwrite `len` consecutive bytes at a random offset
+    /// with random garbage.
+    CorruptRun {
+        /// Length of the damaged run.
+        len: u32,
+    },
+    /// Byte-level: cut the stream down to `keep_fraction` of its length
+    /// (clamped to `[0, 1]`).
+    Truncate {
+        /// Fraction of the stream to keep.
+        keep_fraction: f64,
+    },
+    /// Record-level: silently drop roughly one in `one_in` cycles before
+    /// they reach the sink.
+    DropCycles {
+        /// Mean dropping period (`0` and `1` drop every cycle).
+        one_in: u32,
+    },
+    /// Record-level: toggle a commit flag on roughly one in `one_in`
+    /// records — a committing bank stops committing, a valid idle bank
+    /// starts, or the committed count is clipped.
+    FlipCommitFlags {
+        /// Mean flipping period (`0` and `1` hit every cycle).
+        one_in: u32,
+    },
+    /// Campaign-level marker: force the workload to panic mid-run. Ignored
+    /// by the trace layer; interpreted by `tip-bench`'s campaign runner.
+    ForcePanic,
+}
+
+/// A reproducible set of faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all randomness the plan uses.
+    pub seed: u64,
+    /// The faults to inject.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan injecting `faults` with randomness derived from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, faults: Vec<Fault>) -> Self {
+        FaultPlan { seed, faults }
+    }
+
+    /// A plan that injects nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Whether the plan asks the campaign layer to force a panic.
+    #[must_use]
+    pub fn forces_panic(&self) -> bool {
+        self.faults.contains(&Fault::ForcePanic)
+    }
+
+    /// Applies the plan's byte-level faults to `bytes` in place.
+    ///
+    /// Record-level and campaign-level faults are ignored here.
+    pub fn apply_bytes(&self, bytes: &mut Vec<u8>) {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xb17e_5eed);
+        for fault in &self.faults {
+            match *fault {
+                Fault::FlipBits { bits } => {
+                    for _ in 0..bits {
+                        if bytes.is_empty() {
+                            break;
+                        }
+                        let at = rng.random_range(0..bytes.len());
+                        bytes[at] ^= 1 << rng.random_range(0u32..8);
+                    }
+                }
+                Fault::CorruptRun { len } => {
+                    if bytes.is_empty() {
+                        continue;
+                    }
+                    let at = rng.random_range(0..bytes.len());
+                    let end = (at + len as usize).min(bytes.len());
+                    for b in &mut bytes[at..end] {
+                        *b = (rng.next_u64() & 0xff) as u8;
+                    }
+                }
+                Fault::Truncate { keep_fraction } => {
+                    let keep = keep_fraction.clamp(0.0, 1.0);
+                    let new_len = (bytes.len() as f64 * keep) as usize;
+                    bytes.truncate(new_len);
+                }
+                Fault::DropCycles { .. } | Fault::FlipCommitFlags { .. } | Fault::ForcePanic => {}
+            }
+        }
+    }
+
+    /// Wraps `inner` so the plan's record-level faults perturb every cycle
+    /// on its way through.
+    pub fn wrap_sink<S: TraceSink>(&self, inner: S) -> FaultySink<S> {
+        FaultySink {
+            inner,
+            rng: SmallRng::seed_from_u64(self.seed ^ 0x5111_c0de),
+            drop_one_in: self.faults.iter().find_map(|f| match f {
+                Fault::DropCycles { one_in } => Some((*one_in).max(1)),
+                _ => None,
+            }),
+            flip_one_in: self.faults.iter().find_map(|f| match f {
+                Fault::FlipCommitFlags { one_in } => Some((*one_in).max(1)),
+                _ => None,
+            }),
+            dropped: 0,
+            flipped: 0,
+        }
+    }
+}
+
+/// A [`TraceSink`] adaptor injecting a [`FaultPlan`]'s record-level faults.
+#[derive(Debug)]
+pub struct FaultySink<S> {
+    inner: S,
+    rng: SmallRng,
+    drop_one_in: Option<u32>,
+    flip_one_in: Option<u32>,
+    dropped: u64,
+    flipped: u64,
+}
+
+impl<S> FaultySink<S> {
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Cycles silently dropped so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records whose commit flags were perturbed so far.
+    #[must_use]
+    pub fn flipped(&self) -> u64 {
+        self.flipped
+    }
+}
+
+impl<S: TraceSink> TraceSink for FaultySink<S> {
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        if let Some(n) = self.drop_one_in {
+            if self.rng.random_range(0..n) == 0 {
+                self.dropped += 1;
+                return;
+            }
+        }
+        if let Some(n) = self.flip_one_in {
+            if self.rng.random_range(0..n) == 0 {
+                let mut mutated = record.clone();
+                self.flipped += 1;
+                match self.rng.random_range(0u32..3) {
+                    // A committing bank stops committing.
+                    0 => {
+                        if let Some(bank) = mutated.banks.iter_mut().find(|b| b.committing) {
+                            bank.committing = false;
+                        }
+                    }
+                    // A valid idle bank claims to commit.
+                    1 => {
+                        if let Some(bank) =
+                            mutated.banks.iter_mut().find(|b| b.valid && !b.committing)
+                        {
+                            bank.committing = true;
+                        }
+                    }
+                    // The committed count is clipped.
+                    _ => {
+                        if mutated.n_committed > 0 {
+                            let clip =
+                                self.rng.random_range(0..u32::from(mutated.n_committed)) as u8;
+                            for slot in &mut mutated.committed[usize::from(clip)..MAX_COMMIT] {
+                                *slot = None;
+                            }
+                            mutated.n_committed = clip;
+                        }
+                    }
+                }
+                self.inner.on_cycle(&mutated);
+                return;
+            }
+        }
+        self.inner.on_cycle(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let plan = FaultPlan::new(42, vec![Fault::FlipBits { bits: 8 }]);
+        let mut a = vec![0u8; 256];
+        let mut b = vec![0u8; 256];
+        plan.apply_bytes(&mut a);
+        plan.apply_bytes(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, vec![0u8; 256], "bits actually flipped");
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let plan = FaultPlan::new(1, vec![Fault::Truncate { keep_fraction: 0.5 }]);
+        let mut data = vec![7u8; 100];
+        plan.apply_bytes(&mut data);
+        assert_eq!(data.len(), 50);
+    }
+
+    #[test]
+    fn corrupt_run_stays_in_bounds() {
+        let plan = FaultPlan::new(2, vec![Fault::CorruptRun { len: 1_000 }]);
+        let mut data = vec![0u8; 64];
+        plan.apply_bytes(&mut data);
+        assert_eq!(data.len(), 64);
+    }
+
+    #[test]
+    fn empty_buffers_survive_all_byte_faults() {
+        let plan = FaultPlan::new(
+            3,
+            vec![
+                Fault::FlipBits { bits: 10 },
+                Fault::CorruptRun { len: 10 },
+                Fault::Truncate { keep_fraction: 0.5 },
+            ],
+        );
+        let mut data = Vec::new();
+        plan.apply_bytes(&mut data);
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn dropping_sink_drops() {
+        struct Count(u64);
+        impl TraceSink for Count {
+            fn on_cycle(&mut self, _r: &CycleRecord) {
+                self.0 += 1;
+            }
+        }
+        let plan = FaultPlan::new(4, vec![Fault::DropCycles { one_in: 2 }]);
+        let mut sink = plan.wrap_sink(Count(0));
+        for c in 0..1_000 {
+            sink.on_cycle(&CycleRecord::empty(c));
+        }
+        assert!(sink.dropped() > 250, "dropped {}", sink.dropped());
+        assert_eq!(sink.inner().0 + sink.dropped(), 1_000);
+    }
+
+    #[test]
+    fn flipping_sink_preserves_record_validity() {
+        // Mutated records must stay encodable and decodable: the flip
+        // mutations respect the codec's structural invariants.
+        use crate::codec::{decode_record, encode_record};
+        struct Check;
+        impl TraceSink for Check {
+            fn on_cycle(&mut self, r: &CycleRecord) {
+                let mut buf = Vec::new();
+                encode_record(r, &mut buf).expect("encodable");
+                let back = decode_record(&mut buf.as_slice(), r.cycle)
+                    .expect("decodable")
+                    .expect("present");
+                assert_eq!(&back, r);
+            }
+        }
+        use tip_isa::{InstrAddr, InstrIdx, InstrKind};
+        use tip_ooo::{BankView, CommitView};
+        let plan = FaultPlan::new(5, vec![Fault::FlipCommitFlags { one_in: 1 }]);
+        let mut sink = plan.wrap_sink(Check);
+        for c in 0..200 {
+            let mut r = CycleRecord::empty(c);
+            let idx = InstrIdx::new(c as u32);
+            let addr = InstrAddr::new(tip_isa::TEXT_BASE + tip_isa::INSTR_BYTES * c);
+            r.n_committed = 2;
+            for slot in 0..2 {
+                r.committed[slot] = Some(CommitView {
+                    addr,
+                    idx,
+                    kind: InstrKind::IntAlu,
+                    mispredicted: false,
+                    flush: false,
+                });
+                r.banks[slot] = BankView {
+                    valid: true,
+                    committing: slot == 0,
+                    addr,
+                    idx,
+                    kind: InstrKind::IntAlu,
+                };
+            }
+            sink.on_cycle(&r);
+        }
+        assert!(sink.flipped() > 0);
+    }
+
+    #[test]
+    fn force_panic_is_campaign_level_only() {
+        let plan = FaultPlan::new(6, vec![Fault::ForcePanic]);
+        assert!(plan.forces_panic());
+        let mut data = vec![1u8; 16];
+        plan.apply_bytes(&mut data);
+        assert_eq!(data, vec![1u8; 16], "trace layer ignores it");
+        assert!(!FaultPlan::none().forces_panic());
+    }
+}

@@ -1,0 +1,233 @@
+//! Stream framing: magic/version header and CRC-protected chunks.
+//!
+//! The record encoding ([`crate::codec`]) is a dense bit-packed format with
+//! no redundancy: a single flipped bit silently changes decoded history, and
+//! a truncated file just looks like a shorter run. Long FireSim-style
+//! campaigns cannot afford either failure mode, so the on-disk stream wraps
+//! records in an integrity layer:
+//!
+//! ```text
+//! header : magic "TIPT" (4) | version u16 LE | flags u16 LE | reserved u32 LE
+//! chunk* : payload_len u32 LE | n_records u32 LE | first_cycle u64 LE |
+//!          crc32 u32 LE | payload (record frames)
+//! ```
+//!
+//! The CRC-32 (IEEE) covers the first 16 header bytes *and* the payload, so
+//! damage to the length, record-count, or cycle fields is detected just like
+//! damage to the records themselves.
+//!
+//! A reader can therefore tell three situations apart that the raw encoding
+//! conflates: a stream that simply ends (clean end exactly at a chunk
+//! boundary), one whose tail was cut off (`Truncated`, reporting the last
+//! cycle protected by an intact chunk), and one whose bytes were damaged in
+//! place (`Corrupt`, reporting the chunk's byte offset). Because every chunk
+//! header carries its payload length and starting cycle, replay can skip a
+//! damaged chunk and resume from the next intact one.
+
+use std::io::{self, Read};
+
+/// Stream magic: identifies a framed TIP trace.
+pub const MAGIC: [u8; 4] = *b"TIPT";
+
+/// Current stream format version.
+pub const VERSION: u16 = 1;
+
+/// Size of the stream header in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Size of each chunk header in bytes.
+pub const CHUNK_HEADER_LEN: usize = 20;
+
+/// Default uncompressed payload size at which the writer seals a chunk.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Upper bound accepted for a chunk payload; larger declared lengths are
+/// treated as corruption rather than honoured (guards against attempting a
+/// multi-gigabyte allocation from a damaged length field).
+pub const MAX_CHUNK_BYTES: usize = 16 * 1024 * 1024;
+
+/// The CRC-32 (IEEE 802.3) of `a` followed by `b`, without concatenating.
+#[must_use]
+pub fn crc32_pair(a: &[u8], b: &[u8]) -> u32 {
+    !crc32_update(crc32_update(!0, a), b)
+}
+
+/// The CRC-32 (IEEE 802.3) of `data`.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(!0, data)
+}
+
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    // Small table computed on first use; the polynomial is the reflected
+    // IEEE one (0xEDB88320).
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, slot) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 {
+                        0xEDB8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
+                }
+                *slot = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    for &b in data {
+        crc = t[usize::from((crc as u8) ^ b)] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// Encodes the stream header.
+#[must_use]
+pub fn encode_header() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&MAGIC);
+    h[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    // flags (6..8) and reserved (8..12) are zero in version 1.
+    h
+}
+
+/// One chunk's header fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHeader {
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Number of record frames in the payload.
+    pub n_records: u32,
+    /// Cycle number of the first record in the payload.
+    pub first_cycle: u64,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+}
+
+impl ChunkHeader {
+    /// Encodes the header into its wire form.
+    #[must_use]
+    pub fn encode(&self) -> [u8; CHUNK_HEADER_LEN] {
+        let mut h = [0u8; CHUNK_HEADER_LEN];
+        h[0..4].copy_from_slice(&self.payload_len.to_le_bytes());
+        h[4..8].copy_from_slice(&self.n_records.to_le_bytes());
+        h[8..16].copy_from_slice(&self.first_cycle.to_le_bytes());
+        h[16..20].copy_from_slice(&self.crc.to_le_bytes());
+        h
+    }
+
+    /// The header bytes covered by the chunk CRC (everything except the CRC
+    /// field itself).
+    #[must_use]
+    pub fn protected_prefix(&self) -> [u8; CHUNK_HEADER_LEN - 4] {
+        let mut p = [0u8; CHUNK_HEADER_LEN - 4];
+        p[0..4].copy_from_slice(&self.payload_len.to_le_bytes());
+        p[4..8].copy_from_slice(&self.n_records.to_le_bytes());
+        p[8..16].copy_from_slice(&self.first_cycle.to_le_bytes());
+        p
+    }
+
+    /// Decodes a header from its wire form.
+    #[must_use]
+    pub fn decode(bytes: &[u8; CHUNK_HEADER_LEN]) -> Self {
+        ChunkHeader {
+            payload_len: u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")),
+            n_records: u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
+            first_cycle: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            crc: u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean end (zero bytes
+/// read) from a mid-item truncation.
+///
+/// # Errors
+///
+/// Propagates reader errors.
+pub fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Outcome of [`read_exact_or_eof`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// The stream ended before the first byte.
+    CleanEof,
+    /// The stream ended partway through.
+    Truncated,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn chunk_header_round_trips() {
+        let h = ChunkHeader {
+            payload_len: 123,
+            n_records: 7,
+            first_cycle: 99_999,
+            crc: 0xDEAD_BEEF,
+        };
+        assert_eq!(ChunkHeader::decode(&h.encode()), h);
+    }
+
+    #[test]
+    fn header_is_well_formed() {
+        let h = encode_header();
+        assert_eq!(&h[0..4], b"TIPT");
+        assert_eq!(u16::from_le_bytes([h[4], h[5]]), VERSION);
+    }
+
+    #[test]
+    fn read_exact_or_eof_distinguishes_cases() {
+        let mut buf = [0u8; 4];
+        let mut full: &[u8] = &[1, 2, 3, 4, 5];
+        assert_eq!(
+            read_exact_or_eof(&mut full, &mut buf).expect("read"),
+            ReadOutcome::Full
+        );
+        let mut empty: &[u8] = &[];
+        assert_eq!(
+            read_exact_or_eof(&mut empty, &mut buf).expect("read"),
+            ReadOutcome::CleanEof
+        );
+        let mut short: &[u8] = &[1, 2];
+        assert_eq!(
+            read_exact_or_eof(&mut short, &mut buf).expect("read"),
+            ReadOutcome::Truncated
+        );
+    }
+}

@@ -45,9 +45,12 @@
 #![forbid(unsafe_code)]
 
 mod codec;
+pub mod fault;
+pub mod framing;
 mod reader;
 mod writer;
 
 pub use codec::{decode_record, encode_record, DecodeError};
-pub use reader::TraceReader;
+pub use fault::{Fault, FaultPlan, FaultySink};
+pub use reader::{ReplayReport, TraceReader};
 pub use writer::TraceWriter;

@@ -1,15 +1,80 @@
-//! Streaming trace reader.
+//! Streaming trace reader with corruption detection and recovery.
 
 use crate::codec::{decode_record, DecodeError};
+use crate::framing::{
+    crc32_pair, read_exact_or_eof, ChunkHeader, ReadOutcome, CHUNK_HEADER_LEN, HEADER_LEN, MAGIC,
+    MAX_CHUNK_BYTES, VERSION,
+};
 use std::io::{BufReader, Read};
 use tip_ooo::{CycleRecord, TraceSink};
 
-/// Decodes a trace stream back into [`CycleRecord`]s, assigning consecutive
-/// cycle numbers from 0.
+/// What happened while loading the next chunk.
+enum ChunkLoad {
+    /// A verified chunk is ready for decoding.
+    Loaded,
+    /// The stream ended cleanly at a chunk boundary.
+    CleanEnd,
+    /// The chunk at `offset` failed its CRC; the stream position is past it,
+    /// so replay can resume at the next chunk.
+    CorruptSkippable(u64),
+    /// The chunk header at `offset` is unusable (e.g. an absurd length), so
+    /// the position of the next chunk is unknown.
+    CorruptFatal(u64),
+    /// The stream ended mid-chunk.
+    TruncatedTail,
+}
+
+/// Outcome of a lossy, fault-tolerant replay
+/// (see [`TraceReader::replay_recovering`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records delivered to the sink.
+    pub records: u64,
+    /// Cycle number of the last delivered record.
+    pub last_cycle: Option<u64>,
+    /// Chunks skipped because their CRC (or their content) was bad.
+    pub skipped_chunks: u64,
+    /// Whether the stream ended mid-chunk (tail cut off).
+    pub truncated: bool,
+    /// Whether replay stopped early because the framing itself was
+    /// destroyed and the next chunk could not be located.
+    pub unrecoverable: bool,
+}
+
+impl ReplayReport {
+    /// Whether the stream replayed completely, with nothing skipped or
+    /// missing.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.skipped_chunks == 0 && !self.truncated && !self.unrecoverable
+    }
+}
+
+/// Decodes a framed trace stream back into [`CycleRecord`]s.
+///
+/// The stream must begin with the TIP trace header (see [`crate::framing`]);
+/// records are read chunk by chunk, and each chunk's CRC is verified before
+/// any of its records are yielded. Iteration yields
+/// [`DecodeError::Corrupt`] for in-place damage (with the chunk's byte
+/// offset) and [`DecodeError::Truncated`] for a cut-off tail (with the last
+/// cycle still covered by an intact chunk). [`replay_recovering`]
+/// (TraceReader::replay_recovering) instead skips damaged chunks and resumes
+/// from the next intact one.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     input: BufReader<R>,
+    /// Bytes consumed from the stream so far.
+    offset: u64,
+    header_checked: bool,
+    /// Verified payload of the current chunk.
+    chunk: Vec<u8>,
+    chunk_pos: usize,
+    /// Stream offset of the current chunk's header.
+    chunk_offset: u64,
+    records_left: u32,
     next_cycle: u64,
+    /// Last cycle covered by a CRC-verified chunk.
+    last_good_cycle: Option<u64>,
     done: bool,
 }
 
@@ -18,8 +83,115 @@ impl<R: Read> TraceReader<R> {
     pub fn new(input: R) -> Self {
         TraceReader {
             input: BufReader::new(input),
+            offset: 0,
+            header_checked: false,
+            chunk: Vec::new(),
+            chunk_pos: 0,
+            chunk_offset: 0,
+            records_left: 0,
             next_cycle: 0,
+            last_good_cycle: None,
             done: false,
+        }
+    }
+
+    /// Validates the stream header (idempotent).
+    fn check_header(&mut self) -> Result<(), DecodeError> {
+        if self.header_checked {
+            return Ok(());
+        }
+        let mut header = [0u8; HEADER_LEN];
+        match read_exact_or_eof(&mut self.input, &mut header)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::CleanEof | ReadOutcome::Truncated => {
+                return Err(DecodeError::Truncated {
+                    last_good_cycle: None,
+                });
+            }
+        }
+        self.offset += HEADER_LEN as u64;
+        let magic: [u8; 4] = header[0..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        self.header_checked = true;
+        Ok(())
+    }
+
+    /// Reads and verifies the next chunk into `self.chunk`.
+    fn load_chunk(&mut self) -> Result<ChunkLoad, DecodeError> {
+        loop {
+            let mut raw = [0u8; CHUNK_HEADER_LEN];
+            match read_exact_or_eof(&mut self.input, &mut raw)? {
+                ReadOutcome::CleanEof => return Ok(ChunkLoad::CleanEnd),
+                ReadOutcome::Truncated => return Ok(ChunkLoad::TruncatedTail),
+                ReadOutcome::Full => {}
+            }
+            let chunk_offset = self.offset;
+            self.offset += CHUNK_HEADER_LEN as u64;
+            let header = ChunkHeader::decode(&raw);
+            if header.payload_len as usize > MAX_CHUNK_BYTES {
+                return Ok(ChunkLoad::CorruptFatal(chunk_offset));
+            }
+            self.chunk.clear();
+            self.chunk.resize(header.payload_len as usize, 0);
+            match read_exact_or_eof(&mut self.input, &mut self.chunk)? {
+                ReadOutcome::Full | ReadOutcome::CleanEof if header.payload_len == 0 => {}
+                ReadOutcome::Full => {}
+                ReadOutcome::CleanEof | ReadOutcome::Truncated => {
+                    self.chunk.clear();
+                    return Ok(ChunkLoad::TruncatedTail);
+                }
+            }
+            self.offset += u64::from(header.payload_len);
+            if crc32_pair(&header.protected_prefix(), &self.chunk) != header.crc {
+                self.chunk.clear();
+                return Ok(ChunkLoad::CorruptSkippable(chunk_offset));
+            }
+            if header.n_records == 0 && header.payload_len == 0 {
+                continue; // an empty chunk carries nothing
+            }
+            self.chunk_pos = 0;
+            self.chunk_offset = chunk_offset;
+            self.records_left = header.n_records;
+            self.next_cycle = header.first_cycle;
+            if header.n_records > 0 {
+                self.last_good_cycle = Some(header.first_cycle + u64::from(header.n_records) - 1);
+            }
+            return Ok(ChunkLoad::Loaded);
+        }
+    }
+
+    /// Decodes the next record of the current chunk, or `Ok(None)` when the
+    /// chunk is exactly exhausted.
+    fn decode_from_chunk(&mut self) -> Result<Option<CycleRecord>, DecodeError> {
+        if self.records_left == 0 {
+            if self.chunk_pos != self.chunk.len() {
+                return Err(DecodeError::Corrupt {
+                    offset: self.chunk_offset,
+                });
+            }
+            return Ok(None);
+        }
+        let mut slice = &self.chunk[self.chunk_pos..];
+        let before = slice.len();
+        let decoded = decode_record(&mut slice, self.next_cycle)?;
+        self.chunk_pos += before - slice.len();
+        match decoded {
+            Some(record) => {
+                self.records_left -= 1;
+                self.next_cycle += 1;
+                Ok(Some(record))
+            }
+            // The CRC-valid payload ended although the header promised more
+            // records: the chunk itself is inconsistent.
+            None => Err(DecodeError::Corrupt {
+                offset: self.chunk_offset,
+            }),
         }
     }
 
@@ -28,7 +200,8 @@ impl<R: Read> TraceReader<R> {
     ///
     /// # Errors
     ///
-    /// Returns the first decode error.
+    /// Returns the first decode error (strict: corruption and truncation
+    /// both abort the replay).
     pub fn replay_into(mut self, sink: &mut impl TraceSink) -> Result<u64, DecodeError> {
         let mut n = 0;
         for record in &mut self {
@@ -36,6 +209,64 @@ impl<R: Read> TraceReader<R> {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Replays as much of the stream as can be trusted, skipping damaged
+    /// chunks and resuming from the next intact one.
+    ///
+    /// Corrupt chunks are counted in the returned [`ReplayReport`] rather
+    /// than aborting the replay; a truncated tail ends the replay and is
+    /// flagged. Only an unusable stream header is a hard error.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadMagic`], [`DecodeError::UnsupportedVersion`], or
+    /// [`DecodeError::Truncated`] (header shorter than
+    /// [`HEADER_LEN`](crate::framing::HEADER_LEN) bytes), plus any I/O error
+    /// from the underlying reader.
+    pub fn replay_recovering(
+        mut self,
+        sink: &mut impl TraceSink,
+    ) -> Result<ReplayReport, DecodeError> {
+        self.check_header()?;
+        let mut report = ReplayReport::default();
+        'chunks: loop {
+            match self.load_chunk() {
+                Ok(ChunkLoad::Loaded) => {}
+                Ok(ChunkLoad::CleanEnd) => break,
+                Ok(ChunkLoad::CorruptSkippable(_)) => {
+                    report.skipped_chunks += 1;
+                    continue;
+                }
+                Ok(ChunkLoad::CorruptFatal(_)) => {
+                    report.skipped_chunks += 1;
+                    report.unrecoverable = true;
+                    break;
+                }
+                Ok(ChunkLoad::TruncatedTail) => {
+                    report.truncated = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            loop {
+                match self.decode_from_chunk() {
+                    Ok(Some(record)) => {
+                        report.records += 1;
+                        report.last_cycle = Some(record.cycle);
+                        sink.on_cycle(&record);
+                    }
+                    Ok(None) => break,
+                    // A CRC-valid chunk whose content still fails to decode:
+                    // skip the remainder of this chunk and resume.
+                    Err(_) => {
+                        report.skipped_chunks += 1;
+                        continue 'chunks;
+                    }
+                }
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -46,18 +277,39 @@ impl<R: Read> Iterator for TraceReader<R> {
         if self.done {
             return None;
         }
-        match decode_record(&mut self.input, self.next_cycle) {
-            Ok(Some(record)) => {
-                self.next_cycle += 1;
-                Some(Ok(record))
+        if let Err(e) = self.check_header() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        loop {
+            match self.decode_from_chunk() {
+                Ok(Some(record)) => return Some(Ok(record)),
+                Ok(None) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
             }
-            Ok(None) => {
-                self.done = true;
-                None
-            }
-            Err(e) => {
-                self.done = true;
-                Some(Err(e))
+            match self.load_chunk() {
+                Ok(ChunkLoad::Loaded) => {}
+                Ok(ChunkLoad::CleanEnd) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(ChunkLoad::CorruptSkippable(offset) | ChunkLoad::CorruptFatal(offset)) => {
+                    self.done = true;
+                    return Some(Err(DecodeError::Corrupt { offset }));
+                }
+                Ok(ChunkLoad::TruncatedTail) => {
+                    self.done = true;
+                    return Some(Err(DecodeError::Truncated {
+                        last_good_cycle: self.last_good_cycle,
+                    }));
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
             }
         }
     }
@@ -68,21 +320,27 @@ mod tests {
     use super::*;
     use crate::writer::TraceWriter;
 
+    fn stream_of(n: u64, chunk_bytes: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::with_chunk_size(&mut buf, chunk_bytes);
+        for c in 0..n {
+            w.on_cycle(&CycleRecord::empty(c));
+        }
+        w.flush().expect("flush");
+        drop(w);
+        buf
+    }
+
     #[test]
     fn round_trips_a_synthetic_stream() {
-        let mut buf = Vec::new();
-        let originals: Vec<CycleRecord> = (0..32).map(CycleRecord::empty).collect();
-        {
-            let mut w = TraceWriter::new(&mut buf);
-            for r in &originals {
-                w.on_cycle(r);
-            }
-            w.flush().expect("flush");
-        }
+        let buf = stream_of(32, 64 * 1024);
         let decoded: Vec<CycleRecord> = TraceReader::new(buf.as_slice())
             .collect::<Result<_, _>>()
             .expect("decode");
-        assert_eq!(decoded, originals);
+        assert_eq!(decoded.len(), 32);
+        for (c, r) in decoded.iter().enumerate() {
+            assert_eq!(r.cycle, c as u64);
+        }
     }
 
     #[test]
@@ -93,19 +351,117 @@ mod tests {
                 self.0 += 1;
             }
         }
-        let mut buf = Vec::new();
-        {
-            let mut w = TraceWriter::new(&mut buf);
-            for c in 0..7 {
-                w.on_cycle(&CycleRecord::empty(c));
-            }
-            w.flush().expect("flush");
-        }
+        let buf = stream_of(7, 64 * 1024);
         let mut counter = Counter(0);
         let n = TraceReader::new(buf.as_slice())
             .replay_into(&mut counter)
             .expect("replay");
         assert_eq!(n, 7);
         assert_eq!(counter.0, 7);
+    }
+
+    #[test]
+    fn bad_magic_is_reported() {
+        let mut buf = stream_of(4, 64 * 1024);
+        buf[0] = b'X';
+        let err = TraceReader::new(buf.as_slice())
+            .next()
+            .expect("one item")
+            .expect_err("bad magic");
+        assert!(matches!(err, DecodeError::BadMagic(_)), "{err:?}");
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut buf = stream_of(4, 64 * 1024);
+        buf[4] = 0xff;
+        let err = TraceReader::new(buf.as_slice())
+            .next()
+            .expect("one item")
+            .expect_err("version");
+        assert!(matches!(err, DecodeError::UnsupportedVersion(_)), "{err:?}");
+    }
+
+    #[test]
+    fn bit_flip_is_corruption_with_an_offset() {
+        let buf = stream_of(100, 128);
+        // Damage a payload byte in the middle of the stream.
+        let victim = buf.len() / 2;
+        let mut bad = buf.clone();
+        bad[victim] ^= 0x40;
+        let err = TraceReader::new(bad.as_slice())
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("corrupt");
+        match err {
+            DecodeError::Corrupt { offset } => {
+                assert!(offset as usize <= victim, "offset {offset} past damage");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_reports_last_good_cycle() {
+        let buf = stream_of(100, 128);
+        let cut = buf.len() - 10;
+        let err = TraceReader::new(&buf[..cut])
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("truncated");
+        match err {
+            DecodeError::Truncated { last_good_cycle } => {
+                let last = last_good_cycle.expect("some chunks intact");
+                assert!(last < 100);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_skips_damage_and_resumes() {
+        struct Collect(Vec<u64>);
+        impl TraceSink for Collect {
+            fn on_cycle(&mut self, r: &CycleRecord) {
+                self.0.push(r.cycle);
+            }
+        }
+        let buf = stream_of(200, 128);
+        let mut bad = buf.clone();
+        let victim = bad.len() / 2;
+        bad[victim] ^= 0x01;
+
+        let mut sink = Collect(Vec::new());
+        let report = TraceReader::new(bad.as_slice())
+            .replay_recovering(&mut sink)
+            .expect("header fine");
+        assert_eq!(report.skipped_chunks, 1);
+        assert!(!report.truncated && !report.unrecoverable);
+        assert!(report.records < 200);
+        // Replay resumed after the bad chunk: the final cycles are present.
+        assert_eq!(sink.0.last().copied(), Some(199));
+        assert_eq!(report.last_cycle, Some(199));
+        // Cycle numbering stays faithful across the gap.
+        assert!(sink.0.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn recovery_reports_truncation() {
+        let buf = stream_of(200, 128);
+        let report = TraceReader::new(&buf[..buf.len() - 7])
+            .replay_recovering(&mut ())
+            .expect("header fine");
+        assert!(report.truncated);
+        assert!(report.records < 200);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn recovery_on_clean_stream_is_clean() {
+        let buf = stream_of(64, 128);
+        let report = TraceReader::new(buf.as_slice())
+            .replay_recovering(&mut ())
+            .expect("clean");
+        assert!(report.is_clean());
+        assert_eq!(report.records, 64);
+        assert_eq!(report.last_cycle, Some(63));
     }
 }

@@ -1,10 +1,17 @@
-//! Streaming trace writer.
+//! Streaming trace writer with integrity framing.
 
 use crate::codec::encode_record;
+use crate::framing::{crc32_pair, encode_header, ChunkHeader, DEFAULT_CHUNK_BYTES};
 use std::io::{self, BufWriter, Write};
 use tip_ooo::{CycleRecord, TraceSink};
 
-/// A [`TraceSink`] that encodes every record into a byte stream.
+/// A [`TraceSink`] that encodes every record into a framed byte stream.
+///
+/// The stream starts with a magic/version header and carries records in
+/// CRC-32-protected chunks (see [`crate::framing`]), so a reader can detect
+/// in-place corruption and distinguish it from a truncated tail. Chunks are
+/// sealed when their payload reaches the configured size and on
+/// [`flush`](TraceWriter::flush).
 ///
 /// Writes are buffered; call [`flush`](TraceWriter::flush) (or drop the
 /// writer) when the run finishes. Encoding errors are sticky: the first one
@@ -13,16 +20,34 @@ use tip_ooo::{CycleRecord, TraceSink};
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     out: BufWriter<W>,
+    chunk: Vec<u8>,
+    chunk_bytes: usize,
+    chunk_first_cycle: u64,
+    chunk_records: u32,
+    header_written: bool,
     records: u64,
     bytes: u64,
     error: Option<io::Error>,
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Creates a writer over `out`.
+    /// Creates a writer over `out` with the default chunk size.
     pub fn new(out: W) -> Self {
+        Self::with_chunk_size(out, DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Creates a writer sealing chunks at `chunk_bytes` of payload.
+    ///
+    /// Smaller chunks bound the data lost to a damaged or truncated region
+    /// at the cost of more framing overhead (20 bytes per chunk).
+    pub fn with_chunk_size(out: W, chunk_bytes: usize) -> Self {
         TraceWriter {
             out: BufWriter::new(out),
+            chunk: Vec::with_capacity(chunk_bytes.min(DEFAULT_CHUNK_BYTES) + 64),
+            chunk_bytes: chunk_bytes.max(1),
+            chunk_first_cycle: 0,
+            chunk_records: 0,
+            header_written: false,
             records: 0,
             bytes: 0,
             error: None,
@@ -35,7 +60,8 @@ impl<W: Write> TraceWriter<W> {
         self.records
     }
 
-    /// Encoded bytes so far (before any I/O buffering).
+    /// Encoded record bytes so far (excluding framing, before I/O
+    /// buffering).
     #[must_use]
     pub fn bytes(&self) -> u64 {
         self.bytes
@@ -52,7 +78,35 @@ impl<W: Write> TraceWriter<W> {
         }
     }
 
-    /// Flushes buffered data and surfaces any deferred encoding error.
+    fn write_header_once(&mut self) -> io::Result<()> {
+        if !self.header_written {
+            self.out.write_all(&encode_header())?;
+            self.header_written = true;
+        }
+        Ok(())
+    }
+
+    fn seal_chunk(&mut self) -> io::Result<()> {
+        self.write_header_once()?;
+        if self.chunk.is_empty() {
+            return Ok(());
+        }
+        let mut header = ChunkHeader {
+            payload_len: self.chunk.len() as u32,
+            n_records: self.chunk_records,
+            first_cycle: self.chunk_first_cycle,
+            crc: 0,
+        };
+        header.crc = crc32_pair(&header.protected_prefix(), &self.chunk);
+        self.out.write_all(&header.encode())?;
+        self.out.write_all(&self.chunk)?;
+        self.chunk.clear();
+        self.chunk_records = 0;
+        Ok(())
+    }
+
+    /// Seals the open chunk, flushes buffered data, and surfaces any
+    /// deferred encoding error.
     ///
     /// # Errors
     ///
@@ -61,6 +115,7 @@ impl<W: Write> TraceWriter<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
+        self.seal_chunk()?;
         self.out.flush()
     }
 
@@ -80,15 +135,22 @@ impl<W: Write> TraceSink for TraceWriter<W> {
         if self.error.is_some() {
             return;
         }
-        let mut frame = Vec::with_capacity(64);
-        if let Err(e) = encode_record(record, &mut frame) {
+        if self.chunk.is_empty() {
+            self.chunk_first_cycle = record.cycle;
+        }
+        let before = self.chunk.len();
+        if let Err(e) = encode_record(record, &mut self.chunk) {
+            self.chunk.truncate(before);
             self.error = Some(e);
             return;
         }
-        self.bytes += frame.len() as u64;
+        self.bytes += (self.chunk.len() - before) as u64;
         self.records += 1;
-        if let Err(e) = self.out.write_all(&frame) {
-            self.error = Some(e);
+        self.chunk_records += 1;
+        if self.chunk.len() >= self.chunk_bytes {
+            if let Err(e) = self.seal_chunk() {
+                self.error = Some(e);
+            }
         }
     }
 }
@@ -96,6 +158,7 @@ impl<W: Write> TraceSink for TraceWriter<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framing::{CHUNK_HEADER_LEN, HEADER_LEN, MAGIC};
 
     #[test]
     fn counts_records_and_bytes() {
@@ -110,7 +173,37 @@ mod tests {
             assert!(w.bytes_per_cycle() >= 6.0);
             w.flush().expect("flush ok");
         }
-        assert!(!buf.is_empty());
+        assert!(buf.len() >= HEADER_LEN + CHUNK_HEADER_LEN + 10 * 6);
+        assert_eq!(&buf[0..4], &MAGIC);
+    }
+
+    #[test]
+    fn empty_stream_still_carries_a_header() {
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut buf);
+            w.flush().expect("flush ok");
+        }
+        assert_eq!(buf.len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn small_chunk_size_splits_the_stream() {
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::with_chunk_size(&mut buf, 16);
+            for c in 0..50 {
+                w.on_cycle(&CycleRecord::empty(c));
+            }
+            w.flush().expect("flush ok");
+        }
+        // With a 16-byte target and ~6-byte frames every chunk holds very
+        // few records, so many chunk headers must appear.
+        assert!(
+            buf.len() > HEADER_LEN + 10 * CHUNK_HEADER_LEN,
+            "expected many chunks, got {} bytes",
+            buf.len()
+        );
     }
 
     #[test]
@@ -124,8 +217,6 @@ mod tests {
                 Ok(())
             }
         }
-        // A tiny buffer capacity forces the failure through quickly; the
-        // default BufWriter hides it until flush, which is also fine.
         let mut w = TraceWriter::new(FailingWriter);
         for c in 0..100_000 {
             w.on_cycle(&CycleRecord::empty(c));

@@ -40,5 +40,10 @@ fn record_once_profile_many() {
         assert!(stacks.iter().any(|s| s.total() > 0.0));
     }
     // Denser sampling cannot be worse on the same recording.
-    assert!(errors[0] <= errors[1] + 0.02, "dense {} vs sparse {}", errors[0], errors[1]);
+    assert!(
+        errors[0] <= errors[1] + 0.02,
+        "dense {} vs sparse {}",
+        errors[0],
+        errors[1]
+    );
 }

@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple wall-clock measurement loop: a short warm-up,
+//! then batches timed until the measurement budget is spent, reporting the
+//! mean time per iteration (and derived throughput) to stdout. No
+//! statistics, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batching policy for [`Bencher::iter_batched`] (ignored: every batch is
+/// one iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Opaque value sink preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up time.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the target number of samples.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Applies command-line overrides (accepted and ignored).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benches `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let name = name.into();
+        self.benchmark_group(name.clone()).run(&name, None, None, f);
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benches `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let label = format!("{}/{}", self.name, id.into());
+        let (throughput, samples) = (self.throughput, self.sample_size);
+        self.run(&label, throughput, samples, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        samples: Option<usize>,
+        mut f: F,
+    ) {
+        let samples = samples.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up: one call, untimed beyond what the bencher records.
+        f(&mut b);
+        let warmed = b.elapsed >= self.criterion.warm_up;
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        let deadline = Instant::now() + self.criterion.measurement;
+        let mut rounds = 0usize;
+        while rounds < samples && (rounds == 0 || Instant::now() < deadline) {
+            f(&mut b);
+            rounds += 1;
+        }
+        let _ = warmed;
+        if b.iters == 0 {
+            println!("bench {label:<50} no iterations recorded");
+            return;
+        }
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!("bench {label:<50} {:>12.3} ms/iter{rate}", per_iter * 1e3);
+    }
+}
+
+/// Times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Bundles benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut total = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| total += v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(total > 0);
+    }
+}

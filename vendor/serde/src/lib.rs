@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (there is no
+//! serializer crate in the dependency tree), so marker traits are
+//! sufficient: they keep the derive annotations compiling without pulling
+//! the real serde stack into an offline build. Swapping the real `serde`
+//! back in is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,52 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! Emits empty marker-trait impls. Uses only the compiler's built-in
+//! `proc_macro` API — no syn/quote — since the build environment cannot
+//! reach crates.io. Generic types are rejected with a clear compile error
+//! (the workspace has none).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct`/`enum`, rejecting generics.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "the offline serde stub cannot derive for generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("no struct or enum found in derive input".to_owned())
+}
+
+fn impl_for(input: TokenStream, template: &str) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template.replace("__NAME__", &name).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for(input, "impl serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for(input, "impl<'de> serde::Deserialize<'de> for __NAME__ {}")
+}
