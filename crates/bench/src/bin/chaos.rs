@@ -15,10 +15,15 @@
 //! 3. **Campaign isolation** — run a figure-style sweep in which one
 //!    benchmark is forced to panic and another livelocks; the campaign
 //!    finishes with a failure report and every other result intact.
+//! 4. **Checkpoint corruption** — damage a mid-run `TIPS` snapshot with
+//!    bit-flips, truncation, and a stale format version; every variant is
+//!    rejected with a classified error, the poison is removed, and the
+//!    from-scratch fallback still produces the uninterrupted-run profile.
 //!
 //! Exits non-zero if any resilience property is violated.
 
 use tip_bench::campaign::{run_campaign, CampaignConfig};
+use tip_bench::checkpoint::{run_profiled_checkpointed, save_checkpoint, CheckpointSpec};
 use tip_bench::run::{run_profiled, RunError};
 use tip_bench::DEFAULT_INTERVAL;
 use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
@@ -54,8 +59,17 @@ fn trace_integrity(scale: SuiteScale) -> bool {
     // Small chunks so single faults hit a minority of the stream.
     let mut writer = TraceWriter::with_chunk_size(Vec::new(), 4096);
     let summary = core.run(&mut writer, 400_000_000);
-    writer.flush().expect("in-memory flush");
-    let clean = writer.into_inner().expect("in-memory writer");
+    if let Err(e) = writer.flush() {
+        println!("    baseline: FAIL — in-memory flush errored: {e}");
+        return false;
+    }
+    let clean = match writer.into_inner() {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            println!("    baseline: FAIL — writer teardown errored: {e}");
+            return false;
+        }
+    };
     println!(
         "baseline: {} cycles encoded into {} bytes",
         summary.cycles,
@@ -168,7 +182,7 @@ fn campaign_isolation(scale: SuiteScale) -> bool {
     let panic_plan = FaultPlan::new(12, vec![Fault::ForcePanic]);
     let sampler = config.sampler;
     let profilers = config.profilers.clone();
-    let outcome = run_campaign(suite(scale), &config, move |bench, seed| {
+    let outcome = run_campaign(suite(scale), &config, move |bench, ctx| {
         if bench.name == "mcf" && panic_plan.forces_panic() {
             panic!("chaos: forced panic in {}", bench.name);
         }
@@ -176,7 +190,7 @@ fn campaign_isolation(scale: SuiteScale) -> bool {
             // Wedge the core mid-run: the watchdog turns the livelock into
             // a structured diagnostic instead of an endless spin.
             let mut bank = ProfilerBank::new(&bench.program, sampler, &profilers);
-            let mut core = Core::new(&bench.program, CoreConfig::default(), seed);
+            let mut core = Core::new(&bench.program, CoreConfig::default(), ctx.seed);
             for _ in 0..200 {
                 core.step(&mut bank);
             }
@@ -194,7 +208,7 @@ fn campaign_isolation(scale: SuiteScale) -> bool {
             CoreConfig::default(),
             sampler,
             &profilers,
-            seed,
+            ctx.seed,
         )
     });
     print!("{}", outcome.summary());
@@ -205,14 +219,210 @@ fn campaign_isolation(scale: SuiteScale) -> bool {
     }
     let results = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
     println!(
-        "persisted {} files in {} (incl. failures.txt)",
+        "persisted {} files in {} (incl. failures.txt and journal.txt)",
         results,
         dir.display()
     );
-    // Every benchmark leaves a result file, plus the failure report.
-    if results != outcome.completed.len() + outcome.failed.len() + 1 {
+    // Every benchmark leaves a result file, plus the failure report and
+    // the resume journal.
+    if results != outcome.completed.len() + outcome.failed.len() + 2 {
         println!("FAIL — missing per-benchmark result files");
         ok = false;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    ok
+}
+
+/// Forwards every record to both the trace writer and the profiler bank —
+/// the same shape the checkpointed runner uses internally.
+struct Tee<'a, A, B>(&'a mut A, &'a mut B);
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
+    fn on_cycle(&mut self, r: &CycleRecord) {
+        self.0.on_cycle(r);
+        self.1.on_cycle(r);
+    }
+}
+
+/// Act 4: damaged `TIPS` snapshots vs the checkpointed runner.
+fn checkpoint_corruption(scale: SuiteScale) -> bool {
+    println!("\n== checkpoint corruption ==");
+    let b = benchmark("exchange2", scale);
+    let sampler = SamplerConfig::periodic(DEFAULT_INTERVAL);
+    let profilers = [ProfilerId::Tip];
+    let seed = 13;
+
+    // The ground truth a recovered run must reproduce.
+    let plain = match run_profiled(&b.program, CoreConfig::default(), sampler, &profilers, seed) {
+        Ok(run) => run,
+        Err(e) => {
+            println!("    baseline: FAIL — uninterrupted run errored: {e}");
+            return false;
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("tip-chaos-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        println!("    setup: FAIL — cannot create {}: {e}", dir.display());
+        return false;
+    }
+
+    // Hand-build an interrupted run: simulate 1 000 cycles, seal the trace,
+    // persist a real checkpoint, then walk away as if the process died.
+    let spec = CheckpointSpec {
+        snapshot_path: dir.join("exchange2.tips"),
+        trace_path: dir.join("exchange2.trace"),
+        every_cycles: 1_000,
+        resume: true,
+    };
+    let pristine = {
+        let mut core = Core::new(&b.program, CoreConfig::default(), seed);
+        let mut bank = ProfilerBank::new(&b.program, sampler, &profilers);
+        let file = match std::fs::File::create(&spec.trace_path) {
+            Ok(f) => f,
+            Err(e) => {
+                println!("    setup: FAIL — cannot create trace file: {e}");
+                return false;
+            }
+        };
+        let mut writer = TraceWriter::new(file);
+        {
+            let mut tee = Tee(&mut writer, &mut bank);
+            core.run(&mut tee, 1_000);
+        }
+        if let Err(e) = writer.flush() {
+            println!("    setup: FAIL — trace flush errored: {e}");
+            return false;
+        }
+        if let Err(e) = save_checkpoint(
+            &spec.snapshot_path,
+            core.stats().cycles,
+            &core.snapshot(),
+            &bank.snapshot(),
+            writer.position(),
+        ) {
+            println!("    setup: FAIL — checkpoint save errored: {e}");
+            return false;
+        }
+        match std::fs::read(&spec.snapshot_path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                println!("    setup: FAIL — checkpoint read-back errored: {e}");
+                return false;
+            }
+        }
+    };
+    println!(
+        "interrupted at cycle 1000: snapshot is {} bytes",
+        pristine.len()
+    );
+
+    let plans = [
+        (
+            "flip-bits",
+            FaultPlan::new(21, vec![Fault::FlipBits { bits: 48 }]),
+        ),
+        (
+            "truncate",
+            FaultPlan::new(22, vec![Fault::Truncate { keep_fraction: 0.5 }]),
+        ),
+        (
+            "stale-version",
+            FaultPlan::new(23, vec![Fault::StaleSnapshotHeader]),
+        ),
+    ];
+    let mut ok = true;
+    for (name, plan) in plans {
+        let mut bytes = pristine.clone();
+        plan.apply_snapshot(&mut bytes);
+        if let Err(e) = std::fs::write(&spec.snapshot_path, &bytes) {
+            println!("{name:>13}: FAIL — cannot plant damage: {e}");
+            ok = false;
+            continue;
+        }
+        match run_profiled_checkpointed(
+            &b.program,
+            CoreConfig::default(),
+            sampler,
+            &profilers,
+            seed,
+            &spec,
+        ) {
+            Err(RunError::Checkpoint { source, .. }) => {
+                println!("{name:>13}: rejected as expected ({source})");
+            }
+            Err(e) => {
+                println!("{name:>13}: FAIL — misclassified: {e}");
+                ok = false;
+            }
+            Ok(_) => {
+                println!("{name:>13}: FAIL — damaged snapshot restored silently");
+                ok = false;
+            }
+        }
+        if spec.snapshot_path.exists() {
+            println!("{name:>13}: FAIL — poisoned snapshot not removed");
+            ok = false;
+            continue;
+        }
+        // The retry path: with the poison gone, the same invocation runs
+        // from scratch and still matches the uninterrupted baseline.
+        match run_profiled_checkpointed(
+            &b.program,
+            CoreConfig::default(),
+            sampler,
+            &profilers,
+            seed,
+            &spec,
+        ) {
+            Ok(run) => {
+                let equiv = run.summary == plain.summary
+                    && run.bank.samples_of(ProfilerId::Tip)
+                        == plain.bank.samples_of(ProfilerId::Tip);
+                if equiv {
+                    println!("{name:>13}: from-scratch fallback matches baseline");
+                } else {
+                    println!("{name:>13}: FAIL — fallback diverged from baseline");
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                println!("{name:>13}: FAIL — fallback errored: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    // Finally, an intact snapshot: restore it and finish the run, expecting
+    // profiles identical to the uninterrupted baseline (resume equivalence).
+    if let Err(e) = std::fs::write(&spec.snapshot_path, &pristine) {
+        println!("       intact: FAIL — cannot restore snapshot: {e}");
+        ok = false;
+    } else {
+        match run_profiled_checkpointed(
+            &b.program,
+            CoreConfig::default(),
+            sampler,
+            &profilers,
+            seed,
+            &spec,
+        ) {
+            Ok(run) => {
+                let equiv = run.summary == plain.summary
+                    && run.bank.samples_of(ProfilerId::Tip)
+                        == plain.bank.samples_of(ProfilerId::Tip);
+                if equiv {
+                    println!("       intact: resumed run matches the uninterrupted baseline");
+                } else {
+                    println!("       intact: FAIL — resumed run diverged");
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                println!("       intact: FAIL — intact snapshot failed to resume: {e}");
+                ok = false;
+            }
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
     ok
@@ -224,6 +434,7 @@ fn main() {
         trace_integrity(scale),
         profiler_resilience(scale),
         campaign_isolation(scale),
+        checkpoint_corruption(scale),
     ];
     if ok.iter().all(|&x| x) {
         println!("\nchaos: all resilience properties held");

@@ -1,34 +1,33 @@
 //! Figure 10: instruction-level profile errors for NCI, TIP-ILP, and TIP
 //! across the suite.
 //!
-//! Usage: `fig10 [test|small|full] [out_dir]` (default: small). Runs as a
-//! fault-tolerant campaign: a benchmark that dies is retried, then skipped
-//! with a report, and per-benchmark results land in `out_dir` incrementally.
+//! Usage: `fig10 [test|small|full] [out_dir] [--checkpoint N] [--resume]`
+//! (default: small). Runs as a fault-tolerant campaign: a benchmark that
+//! dies is retried, then skipped with a report, and per-benchmark results
+//! land in `out_dir` incrementally via atomic renames. With `--checkpoint N`
+//! each benchmark also persists a restorable mid-run snapshot every N
+//! cycles; after a crash, re-running with `--resume` skips completed
+//! benchmarks and continues the interrupted one from its last checkpoint.
 
-use tip_bench::campaign::{run_suite_campaign, CampaignConfig};
+use tip_bench::campaign::{run_suite_campaign, CampaignCli};
 use tip_bench::experiments::{class_mean_errors, error_rows, mean_errors};
 use tip_bench::table::{pct, Table};
 use tip_core::ProfilerId;
 use tip_isa::Granularity;
-use tip_workloads::{SuiteScale, WorkloadClass};
-
-fn scale_from_args() -> SuiteScale {
-    match std::env::args().nth(1).as_deref() {
-        Some("test") => SuiteScale::Test,
-        Some("full") => SuiteScale::Full,
-        _ => SuiteScale::Small,
-    }
-}
+use tip_workloads::WorkloadClass;
 
 fn main() {
     let profilers = [ProfilerId::Nci, ProfilerId::TipIlp, ProfilerId::Tip];
-    eprintln!("running the suite...");
-    let config = CampaignConfig {
-        profilers: profilers.to_vec(),
-        out_dir: std::env::args().nth(2).map(Into::into),
-        ..CampaignConfig::default()
+    let cli = match CampaignCli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("fig10: {e}");
+            eprintln!("usage: fig10 [test|small|full] [out_dir] [--checkpoint N] [--resume]");
+            std::process::exit(2);
+        }
     };
-    let outcome = run_suite_campaign(scale_from_args(), &config);
+    eprintln!("running the suite...");
+    let outcome = run_suite_campaign(cli.scale, &cli.config(&profilers));
     eprint!("{}", outcome.summary());
     let (runs, failed) = outcome.into_parts();
     if runs.is_empty() {

@@ -1,4 +1,4 @@
-//! Fault-tolerant experiment campaigns.
+//! Fault-tolerant, resumable experiment campaigns.
 //!
 //! A figure-style sweep over the suite dies entirely if one workload
 //! panics or livelocks — hours of completed runs lost with it. This module
@@ -7,9 +7,20 @@
 //! every per-benchmark result to disk *as it completes*, so a campaign
 //! always finishes with whatever subset succeeded plus a failure report.
 //!
+//! Campaigns are also **crash-consistent and resumable**: every result file
+//! and the `journal.txt` ledger are written via temp-file + atomic rename
+//! (directory fsynced), so a `SIGKILL` can never leave a torn file. With
+//! [`CampaignConfig::checkpoint_cycles`] set, each benchmark additionally
+//! writes a restorable mid-run snapshot every N simulated cycles (see
+//! [`crate::checkpoint`]). Re-invoking a killed campaign with
+//! [`CampaignConfig::resume`] skips journalled-complete benchmarks and
+//! restores the interrupted one from its last checkpoint, continuing
+//! bit-identically.
+//!
 //! The runner is a closure, so tests and the `chaos` binary can substitute
 //! one that injects faults ([`tip_trace::FaultPlan`]-driven panics, wedged
-//! cores) without the production path knowing about fault injection.
+//! cores, damaged snapshots) without the production path knowing about
+//! fault injection.
 //!
 //! ```no_run
 //! use tip_bench::campaign::{run_suite_campaign, CampaignConfig};
@@ -27,6 +38,7 @@ use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
+use crate::checkpoint::{atomic_write, run_profiled_checkpointed, CheckpointSpec};
 use crate::experiments::SuiteRun;
 use crate::run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};
 use tip_core::{ProfilerId, SamplerConfig};
@@ -47,8 +59,18 @@ pub struct CampaignConfig {
     pub profilers: Vec<ProfilerId>,
     /// If set, per-benchmark results and the failure report are persisted
     /// here incrementally (one `<bench>.result` file each, plus
-    /// `failures.txt`).
+    /// `failures.txt` and the `journal.txt` resume ledger), all via
+    /// temp-file + atomic rename.
     pub out_dir: Option<PathBuf>,
+    /// If set (and [`Self::out_dir`] is set), each benchmark writes a
+    /// restorable `TIPS` snapshot every this many simulated cycles, plus
+    /// its framed commit trace (`<bench>.tips` / `<bench>.trace`).
+    pub checkpoint_cycles: Option<u64>,
+    /// Resume a previous campaign in [`Self::out_dir`]: benchmarks the
+    /// journal records as complete are skipped, and an interrupted
+    /// benchmark restores from its mid-run checkpoint. Journalled
+    /// *failures* are retried, not skipped.
+    pub resume: bool,
 }
 
 impl Default for CampaignConfig {
@@ -59,8 +81,37 @@ impl Default for CampaignConfig {
             sampler: SamplerConfig::periodic(DEFAULT_INTERVAL),
             profilers: ProfilerId::ALL.to_vec(),
             out_dir: None,
+            checkpoint_cycles: None,
+            resume: false,
         }
     }
+}
+
+impl CampaignConfig {
+    /// The checkpoint spec for one benchmark, when checkpointing is on
+    /// (both [`Self::out_dir`] and [`Self::checkpoint_cycles`] set).
+    #[must_use]
+    pub fn checkpoint_spec(&self, bench: &str) -> Option<CheckpointSpec> {
+        let dir = self.out_dir.as_ref()?;
+        let every_cycles = self.checkpoint_cycles?;
+        Some(CheckpointSpec {
+            snapshot_path: dir.join(format!("{bench}.tips")),
+            trace_path: dir.join(format!("{bench}.trace")),
+            every_cycles,
+            resume: self.resume,
+        })
+    }
+}
+
+/// Everything the campaign hands a runner for one attempt.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Seed for this attempt (`config.seed + attempt`).
+    pub seed: u64,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Checkpointing paths and period, when enabled.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 /// A benchmark that produced a profile (possibly after retries).
@@ -90,6 +141,10 @@ pub struct CampaignOutcome {
     pub completed: Vec<CompletedBench>,
     /// Benchmarks that failed every attempt, in suite order.
     pub failed: Vec<FailedBench>,
+    /// Benchmarks skipped because a resumed journal already records them as
+    /// complete; their result files from the earlier invocation remain on
+    /// disk untouched.
+    pub skipped: Vec<&'static str>,
 }
 
 impl CampaignOutcome {
@@ -115,9 +170,14 @@ impl CampaignOutcome {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "campaign: {} completed, {} failed",
+            "campaign: {} completed, {} failed{}",
             self.completed.len(),
-            self.failed.len()
+            self.failed.len(),
+            if self.skipped.is_empty() {
+                String::new()
+            } else {
+                format!(", {} skipped (already done)", self.skipped.len())
+            }
         );
         for c in &self.completed {
             if c.attempts > 1 {
@@ -141,31 +201,93 @@ impl CampaignOutcome {
     }
 }
 
-/// Runs `benches` through `runner` with per-benchmark panic isolation,
-/// bounded reseeded retries, and (if configured) incremental persistence.
+/// The campaign's resume ledger: which benchmarks are already settled.
 ///
-/// `runner` gets the benchmark and the attempt's seed; a panic inside it is
-/// caught and converted to [`RunError::Panicked`]. I/O errors from the
-/// persistence directory are reported to stderr but never abort the sweep —
-/// losing a result file must not lose the campaign.
+/// One line per settled benchmark (`done <name>` / `failed <name>`),
+/// rewritten atomically after every benchmark. On resume, `done` entries
+/// are skipped; `failed` entries are retried (the failure may have been
+/// transient, or caused by a now-removed poisoned checkpoint).
+#[derive(Debug, Default)]
+struct Journal {
+    entries: Vec<(bool, String)>,
+}
+
+impl Journal {
+    const FILE: &'static str = "journal.txt";
+
+    fn load(config: &CampaignConfig) -> Self {
+        let mut journal = Journal::default();
+        if !config.resume {
+            return journal;
+        }
+        let Some(dir) = &config.out_dir else {
+            return journal;
+        };
+        let Ok(body) = fs::read_to_string(dir.join(Self::FILE)) else {
+            return journal;
+        };
+        for line in body.lines() {
+            // Only `done` entries are kept: a journalled failure is dropped
+            // here so the retry's fresh verdict replaces it instead of
+            // duplicating the line.
+            if let Some(("done", name)) = line.split_once(' ') {
+                journal.entries.push((true, name.to_owned()));
+            }
+        }
+        journal
+    }
+
+    fn is_done(&self, name: &str) -> bool {
+        self.entries.iter().any(|(ok, n)| *ok && n == name)
+    }
+
+    fn record(&mut self, config: &CampaignConfig, name: &str, ok: bool) {
+        self.entries.push((ok, name.to_owned()));
+        let Some(dir) = &config.out_dir else { return };
+        let mut body = String::new();
+        for (ok, name) in &self.entries {
+            let _ = writeln!(body, "{} {name}", if *ok { "done" } else { "failed" });
+        }
+        report_io(atomic_write(&dir.join(Self::FILE), body.as_bytes()));
+    }
+}
+
+/// Runs `benches` through `runner` with per-benchmark panic isolation,
+/// bounded reseeded retries, and (if configured) crash-consistent
+/// incremental persistence plus journal-driven resume.
+///
+/// `runner` gets the benchmark and a [`RunCtx`] (attempt seed, attempt
+/// number, and checkpoint paths when enabled); a panic inside it is caught
+/// and converted to [`RunError::Panicked`]. I/O errors from the persistence
+/// directory are reported to stderr but never abort the sweep — losing a
+/// result file must not lose the campaign.
 pub fn run_campaign<F>(
     benches: Vec<Benchmark>,
     config: &CampaignConfig,
     mut runner: F,
 ) -> CampaignOutcome
 where
-    F: FnMut(&Benchmark, u64) -> Result<ProfiledRun, RunError>,
+    F: FnMut(&Benchmark, &RunCtx) -> Result<ProfiledRun, RunError>,
 {
     let mut outcome = CampaignOutcome::default();
+    let mut journal = Journal::load(config);
     for bench in benches {
+        if journal.is_done(bench.name) {
+            outcome.skipped.push(bench.name);
+            continue;
+        }
         let mut last_err: Option<RunError> = None;
         let mut done: Option<ProfiledRun> = None;
         let attempts_cap = config.max_attempts.max(1);
         let mut attempts = 0;
         for attempt in 0..attempts_cap {
             attempts = attempt + 1;
-            let seed = config.seed.wrapping_add(u64::from(attempt));
-            let caught = panic::catch_unwind(AssertUnwindSafe(|| runner(&bench, seed)));
+            let ctx = RunCtx {
+                seed: config.seed.wrapping_add(u64::from(attempt)),
+                attempt: attempts,
+                checkpoint: config.checkpoint_spec(bench.name),
+            };
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| runner(&bench, &ctx)));
             match caught {
                 Ok(Ok(run)) => {
                     done = Some(run);
@@ -180,6 +302,8 @@ where
                 }
             }
         }
+        let ok = done.is_some();
+        let name = bench.name;
         match done {
             Some(run) => {
                 let completed = CompletedBench {
@@ -202,24 +326,36 @@ where
                 outcome.failed.push(failed);
             }
         }
+        journal.record(config, name, ok);
         persist_failure_report(config, &outcome);
     }
     outcome
 }
 
-/// Runs the whole suite at `scale` under the default profiled runner.
+/// Runs the whole suite at `scale` under the default profiled runner
+/// (checkpointed when [`CampaignConfig::checkpoint_cycles`] is set).
 #[must_use]
 pub fn run_suite_campaign(scale: SuiteScale, config: &CampaignConfig) -> CampaignOutcome {
     let sampler = config.sampler;
     let profilers = config.profilers.clone();
-    run_campaign(suite(scale), config, move |bench, seed| {
-        run_profiled(
-            &bench.program,
-            CoreConfig::default(),
-            sampler,
-            &profilers,
-            seed,
-        )
+    run_campaign(suite(scale), config, move |bench, ctx| {
+        match &ctx.checkpoint {
+            Some(spec) => run_profiled_checkpointed(
+                &bench.program,
+                CoreConfig::default(),
+                sampler,
+                &profilers,
+                ctx.seed,
+                spec,
+            ),
+            None => run_profiled(
+                &bench.program,
+                CoreConfig::default(),
+                sampler,
+                &profilers,
+                ctx.seed,
+            ),
+        }
     })
 }
 
@@ -292,17 +428,103 @@ fn persist_failure_report(config: &CampaignConfig, outcome: &CampaignOutcome) {
             one_line(&f.error.to_string())
         );
     }
-    report_io(fs::create_dir_all(dir).and_then(|()| fs::write(dir.join("failures.txt"), body)));
+    report_io(atomic_write(&dir.join("failures.txt"), body.as_bytes()));
 }
 
 fn write_result_file(dir: &Path, bench: &str, body: &str) -> io::Result<()> {
-    fs::create_dir_all(dir)?;
-    fs::write(dir.join(format!("{bench}.result")), body)
+    atomic_write(&dir.join(format!("{bench}.result")), body.as_bytes())
 }
 
 fn report_io(res: io::Result<()>) {
     if let Err(e) = res {
         eprintln!("campaign: failed to persist result: {e}");
+    }
+}
+
+/// Shared command-line parsing for the campaign-driven figure binaries
+/// (`fig08`, `fig10`): `[test|small|full] [out_dir] [--checkpoint N]
+/// [--resume]`.
+#[derive(Debug, Clone)]
+pub struct CampaignCli {
+    /// Suite scale (defaults to `Small`).
+    pub scale: SuiteScale,
+    /// Persistence directory, when given.
+    pub out_dir: Option<PathBuf>,
+    /// Mid-run checkpoint period, when `--checkpoint N` was given.
+    pub checkpoint_cycles: Option<u64>,
+    /// Whether `--resume` was given.
+    pub resume: bool,
+}
+
+impl CampaignCli {
+    /// Parses `std::env::args().skip(1)`-style arguments.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the offending argument.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut cli = CampaignCli {
+            scale: SuiteScale::Small,
+            out_dir: None,
+            checkpoint_cycles: None,
+            resume: false,
+        };
+        let mut positional = 0;
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--resume" => cli.resume = true,
+                "--checkpoint" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| "--checkpoint needs a cycle count".to_owned())?;
+                    let cycles: u64 = value
+                        .parse()
+                        .map_err(|_| format!("--checkpoint: bad cycle count `{value}`"))?;
+                    if cycles == 0 {
+                        return Err("--checkpoint: cycle count must be positive".to_owned());
+                    }
+                    cli.checkpoint_cycles = Some(cycles);
+                }
+                _ if positional == 0 => {
+                    positional += 1;
+                    cli.scale = match arg.as_str() {
+                        "test" => SuiteScale::Test,
+                        "small" => SuiteScale::Small,
+                        "full" => SuiteScale::Full,
+                        other => {
+                            return Err(format!(
+                                "unknown scale `{other}` (expected test, small, or full)"
+                            ));
+                        }
+                    };
+                }
+                _ if positional == 1 => {
+                    positional += 1;
+                    cli.out_dir = Some(PathBuf::from(arg));
+                }
+                other => return Err(format!("unexpected argument `{other}`")),
+            }
+        }
+        if cli.checkpoint_cycles.is_some() && cli.out_dir.is_none() {
+            return Err("--checkpoint needs an out_dir to write into".to_owned());
+        }
+        if cli.resume && cli.out_dir.is_none() {
+            return Err("--resume needs the out_dir of the interrupted campaign".to_owned());
+        }
+        Ok(cli)
+    }
+
+    /// Folds the CLI into a campaign config.
+    #[must_use]
+    pub fn config(&self, profilers: &[ProfilerId]) -> CampaignConfig {
+        CampaignConfig {
+            profilers: profilers.to_vec(),
+            out_dir: self.out_dir.clone(),
+            checkpoint_cycles: self.checkpoint_cycles,
+            resume: self.resume,
+            ..CampaignConfig::default()
+        }
     }
 }
 
@@ -342,14 +564,14 @@ mod tests {
         };
         let sampler = config.sampler;
         let profilers = config.profilers.clone();
-        let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, seed| {
+        let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, ctx| {
             assert!(bench.name != "mcf", "injected fault in mcf");
             run_profiled(
                 &bench.program,
                 CoreConfig::default(),
                 sampler,
                 &profilers,
-                seed,
+                ctx.seed,
             )
         });
         assert_eq!(outcome.completed.len(), BENCHMARK_NAMES.len() - 1);
@@ -388,9 +610,9 @@ mod tests {
         };
         let sampler = config.sampler;
         let profilers = config.profilers.clone();
-        let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, seed| {
+        let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, ctx| {
             // First attempt (seed 7) fails for lbm; the reseeded retry works.
-            if bench.name == "lbm" && seed == 7 {
+            if bench.name == "lbm" && ctx.seed == 7 {
                 panic!("transient fault");
             }
             run_profiled(
@@ -398,7 +620,7 @@ mod tests {
                 CoreConfig::default(),
                 sampler,
                 &profilers,
-                seed,
+                ctx.seed,
             )
         });
         assert!(outcome.failed.is_empty());
@@ -408,5 +630,101 @@ mod tests {
             .find(|c| c.run.bench.name == "lbm")
             .expect("lbm completed");
         assert_eq!(lbm.attempts, 2);
+    }
+
+    #[test]
+    fn resume_skips_journalled_benchmarks_and_retries_failures() {
+        use tip_workloads::benchmark;
+        let dir = tmp_dir("resume");
+        let config = CampaignConfig {
+            profilers: vec![ProfilerId::Tip],
+            sampler: SamplerConfig::periodic(211),
+            max_attempts: 1,
+            out_dir: Some(dir.clone()),
+            ..CampaignConfig::default()
+        };
+        let benches = || {
+            vec![
+                benchmark("exchange2", SuiteScale::Test),
+                benchmark("mcf", SuiteScale::Test),
+            ]
+        };
+        let sampler = config.sampler;
+        let profilers = config.profilers.clone();
+        let runner = move |bench: &Benchmark, ctx: &RunCtx, fail_mcf: bool| {
+            if fail_mcf && bench.name == "mcf" {
+                panic!("simulated crash");
+            }
+            run_profiled(
+                &bench.program,
+                CoreConfig::default(),
+                sampler,
+                &profilers,
+                ctx.seed,
+            )
+        };
+
+        // First invocation: exchange2 completes, mcf dies.
+        let r = runner.clone();
+        let first = run_campaign(benches(), &config, move |b, c| r(b, c, true));
+        assert_eq!(first.completed.len(), 1);
+        assert_eq!(first.failed.len(), 1);
+        let journal = fs::read_to_string(dir.join("journal.txt")).expect("journal");
+        assert!(journal.contains("done exchange2"));
+        assert!(journal.contains("failed mcf"));
+
+        // Resumed invocation: exchange2 is skipped, mcf retried and now ok.
+        let resumed = CampaignConfig {
+            resume: true,
+            ..config.clone()
+        };
+        let r = runner.clone();
+        let second = run_campaign(benches(), &resumed, move |b, c| r(b, c, false));
+        assert_eq!(second.skipped, vec!["exchange2"]);
+        assert_eq!(second.completed.len(), 1);
+        assert_eq!(second.completed[0].run.bench.name, "mcf");
+        assert!(second.failed.is_empty());
+        let journal = fs::read_to_string(dir.join("journal.txt")).expect("journal");
+        assert!(journal.contains("done exchange2"));
+        assert!(journal.contains("done mcf"));
+        assert!(!journal.contains("failed"), "stale failure line replaced");
+
+        // No torn temp files anywhere in the campaign directory.
+        let torn = fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(torn, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cli_parses_flags_and_rejects_nonsense() {
+        fn args<'a>(v: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+            v.iter().map(|s| (*s).to_owned())
+        }
+        let cli = CampaignCli::parse(args(&[
+            "test",
+            "/tmp/out",
+            "--checkpoint",
+            "50000",
+            "--resume",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.scale, SuiteScale::Test);
+        assert_eq!(cli.out_dir.as_deref(), Some(Path::new("/tmp/out")));
+        assert_eq!(cli.checkpoint_cycles, Some(50_000));
+        assert!(cli.resume);
+
+        assert!(CampaignCli::parse(args(&["bogus"])).is_err());
+        assert!(CampaignCli::parse(args(&["--checkpoint"])).is_err());
+        assert!(CampaignCli::parse(args(&["--checkpoint", "zero"])).is_err());
+        assert!(CampaignCli::parse(args(&["--checkpoint", "0"])).is_err());
+        assert!(
+            CampaignCli::parse(args(&["--resume"])).is_err(),
+            "no out_dir"
+        );
+        assert!(CampaignCli::parse(args(&["test", "d", "extra"])).is_err());
     }
 }

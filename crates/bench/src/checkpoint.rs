@@ -1,0 +1,471 @@
+//! Mid-run checkpointing: periodic `TIPS` snapshots and crash-safe resume.
+//!
+//! A checkpointed run simulates in slices of [`CheckpointSpec::every_cycles`]
+//! cycles. At each slice boundary it seals the trace file and atomically
+//! persists a `TIPS` container (see [`tip_trace::snapshot`]) holding the
+//! core's full mid-flight state, the profiler bank's accumulators, and the
+//! trace writer's resume position. If the process dies, re-running with
+//! [`CheckpointSpec::resume`] restores the last checkpoint, truncates the
+//! trace file back to its recorded frame boundary (discarding any torn
+//! tail), and continues — producing a commit trace and final profiles
+//! **bit-identical** to an uninterrupted run with the same seed.
+//!
+//! Damage to a checkpoint is never restored silently: a corrupt, truncated,
+//! or stale-version snapshot surfaces as [`RunError::Checkpoint`] with the
+//! classified [`TraceError`], and the poisoned file is removed so the
+//! campaign's bounded retry falls back to a from-scratch run.
+//!
+//! All files are written via temp-file + atomic rename, with the file and
+//! its directory fsynced, so a crash can never leave a half-written
+//! checkpoint or result masquerading as a complete one.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::run::{ProfiledRun, RunError, MAX_CYCLES};
+use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_isa::Program;
+use tip_ooo::{Core, CoreConfig, CycleRecord, RunExit, SimError, TraceSink};
+use tip_trace::{
+    read_snapshot, write_snapshot, TraceError, TracePos, TraceWriter, SECTION_CORE,
+    SECTION_PROFILERS, SECTION_TRACE_POS,
+};
+
+/// Where and how often a checkpointed run persists its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Path of the `TIPS` snapshot file (conventionally `<bench>.tips`).
+    pub snapshot_path: PathBuf,
+    /// Path of the framed trace file the run writes and, on resume, extends.
+    pub trace_path: PathBuf,
+    /// Simulated cycles between checkpoints.
+    pub every_cycles: u64,
+    /// Whether to restore an existing snapshot instead of starting fresh.
+    pub resume: bool,
+}
+
+/// The decoded contents of a checkpoint file.
+#[derive(Debug, Clone)]
+pub struct LoadedCheckpoint {
+    /// Simulated cycle at which the checkpoint was taken.
+    pub cycle: u64,
+    /// The core's serialized state (`tip_ooo::Core::snapshot`).
+    pub core: Vec<u8>,
+    /// The profiler bank's serialized state (`tip_core::ProfilerBank::snapshot`).
+    pub bank: Vec<u8>,
+    /// The trace writer's resume position.
+    pub trace: TracePos,
+}
+
+/// Writes `bytes` to `path` crash-consistently: temp file in the same
+/// directory, fsync, atomic rename, fsync of the directory. A reader (or a
+/// restart) sees either the old content or the new — never a torn mix.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing, or renaming.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    fs::create_dir_all(&dir)?;
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other("atomic_write: path has no file name"))?;
+    let tmp = dir.join(format!(".{}.tmp", name.to_string_lossy()));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    fsync_dir(&dir)
+}
+
+/// Makes a rename in `dir` durable by fsyncing the directory itself.
+/// Best-effort on platforms where directories cannot be opened.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Atomically persists a checkpoint: core state, bank state, and the trace
+/// position, wrapped in a CRC-framed `TIPS` container.
+///
+/// # Errors
+///
+/// Any I/O error from the atomic write.
+pub fn save_checkpoint(
+    path: &Path,
+    cycle: u64,
+    core: &[u8],
+    bank: &[u8],
+    trace: TracePos,
+) -> io::Result<()> {
+    let pos = trace.encode();
+    let bytes = write_snapshot(
+        cycle,
+        &[
+            (SECTION_CORE, core),
+            (SECTION_PROFILERS, bank),
+            (SECTION_TRACE_POS, pos.as_slice()),
+        ],
+    );
+    atomic_write(path, &bytes)
+}
+
+/// Reads and CRC-verifies a checkpoint file.
+///
+/// # Errors
+///
+/// A classified [`TraceError`]: `Io` when the file cannot be read,
+/// `BadMagic`/`UnsupportedVersion` for a foreign or stale container,
+/// `Corrupt`/`Truncated` for damaged bytes, and `Malformed` when a required
+/// section is missing or inconsistent.
+pub fn load_checkpoint(path: &Path) -> Result<LoadedCheckpoint, TraceError> {
+    let bytes = fs::read(path)?;
+    let snap = read_snapshot(&bytes)?;
+    let section = |tag: u8, what: &'static str| {
+        snap.section(tag)
+            .ok_or(TraceError::Malformed(what))
+            .map(<[u8]>::to_vec)
+    };
+    let core = section(SECTION_CORE, "checkpoint missing the core section")?;
+    let bank = section(SECTION_PROFILERS, "checkpoint missing the profiler section")?;
+    let pos = section(SECTION_TRACE_POS, "checkpoint missing the trace position")?;
+    Ok(LoadedCheckpoint {
+        cycle: snap.cycle,
+        core,
+        bank,
+        trace: TracePos::decode(&pos)?,
+    })
+}
+
+/// Forwards every record to both sinks (trace writer and profiler bank).
+struct Tee<'a, A, B>(&'a mut A, &'a mut B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        self.0.on_cycle(record);
+        self.1.on_cycle(record);
+    }
+}
+
+/// Opens the trace file for a resumed run: verifies it still covers the
+/// checkpointed prefix, truncates any torn tail past the last sealed chunk,
+/// and positions the cursor for appending.
+fn reopen_trace(path: &Path, pos: TracePos) -> Result<File, TraceError> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if len < pos.framed_bytes {
+        // The file lost bytes the checkpoint relies on (e.g. never made it
+        // to disk before power loss): the prefix cannot be trusted.
+        return Err(TraceError::Truncated {
+            last_good_cycle: None,
+        });
+    }
+    file.set_len(pos.framed_bytes)?;
+    file.seek(SeekFrom::Start(pos.framed_bytes))?;
+    Ok(file)
+}
+
+/// Builds the (core, bank, writer) triple, either fresh or from a snapshot.
+#[allow(clippy::type_complexity)]
+fn build_state<'p>(
+    program: &'p Program,
+    config: CoreConfig,
+    sampler: SamplerConfig,
+    profilers: &[ProfilerId],
+    seed: u64,
+    spec: &CheckpointSpec,
+) -> Result<(Core<'p>, ProfilerBank, TraceWriter<File>), TraceError> {
+    if spec.resume && spec.snapshot_path.exists() {
+        let ckpt = load_checkpoint(&spec.snapshot_path)?;
+        let core = Core::restore(program, config, &ckpt.core)?;
+        let bank = ProfilerBank::restore(program, sampler, &ckpt.bank)?;
+        let file = reopen_trace(&spec.trace_path, ckpt.trace)?;
+        Ok((core, bank, TraceWriter::resume(file, ckpt.trace)))
+    } else {
+        if !spec.resume {
+            // A fresh run must not pick up a stale snapshot later.
+            let _ = fs::remove_file(&spec.snapshot_path);
+        }
+        if let Some(dir) = spec.trace_path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let core = Core::new(program, config, seed);
+        let bank = ProfilerBank::new(program, sampler, profilers);
+        let file = File::create(&spec.trace_path)?;
+        Ok((core, bank, TraceWriter::new(file)))
+    }
+}
+
+/// Runs `program` under the profiler bank like [`crate::run::run_profiled`],
+/// but in checkpointed slices: the commit trace streams to
+/// [`CheckpointSpec::trace_path`] and a restorable snapshot lands at
+/// [`CheckpointSpec::snapshot_path`] every
+/// [`CheckpointSpec::every_cycles`] cycles. On success the snapshot is
+/// consumed (removed); the trace file remains as a run artifact.
+///
+/// # Errors
+///
+/// [`RunError::Sim`] for livelocks and exhausted cycle budgets (as in the
+/// plain runner), and [`RunError::Checkpoint`] when a snapshot cannot be
+/// written or an existing one fails to restore — the poisoned snapshot is
+/// removed first, so a retry starts from scratch instead of hitting the
+/// same damage again.
+pub fn run_profiled_checkpointed(
+    program: &Program,
+    config: CoreConfig,
+    sampler: SamplerConfig,
+    profilers: &[ProfilerId],
+    seed: u64,
+    spec: &CheckpointSpec,
+) -> Result<ProfiledRun, RunError> {
+    let bench = program.name().to_owned();
+    let ckpt_err = |bench: &str, source: TraceError| RunError::Checkpoint {
+        bench: bench.to_owned(),
+        source,
+    };
+
+    let (mut core, mut bank, mut writer) =
+        match build_state(program, config, sampler, profilers, seed, spec) {
+            Ok(state) => state,
+            Err(source) => {
+                // Classified rejection: drop the unusable snapshot so the
+                // campaign's reseeded retry runs from scratch.
+                let _ = fs::remove_file(&spec.snapshot_path);
+                return Err(ckpt_err(&bench, source));
+            }
+        };
+
+    let every = spec.every_cycles.max(1);
+    loop {
+        let next_stop = core.stats().cycles.saturating_add(every).min(MAX_CYCLES);
+        let summary = {
+            let mut tee = Tee(&mut writer, &mut bank);
+            core.run(&mut tee, next_stop)
+        };
+        match summary.exit {
+            RunExit::Halted | RunExit::StreamEnd => {
+                writer
+                    .flush()
+                    .map_err(|e| ckpt_err(&bench, TraceError::Io(e)))?;
+                // The checkpoint is consumed; a completed run leaves none.
+                let _ = fs::remove_file(&spec.snapshot_path);
+                let stats = *core.stats();
+                let mem_stats = core.mem_stats();
+                return Ok(ProfiledRun {
+                    bank: bank.finish(),
+                    summary,
+                    stats,
+                    mem_stats,
+                });
+            }
+            RunExit::Stuck(diag) => {
+                return Err(RunError::Sim {
+                    bench,
+                    source: SimError::Livelock(diag),
+                });
+            }
+            RunExit::CycleLimit => {
+                if next_stop >= MAX_CYCLES {
+                    return Err(RunError::Sim {
+                        bench,
+                        source: SimError::CycleLimit {
+                            max_cycles: MAX_CYCLES,
+                            committed: summary.instructions,
+                        },
+                    });
+                }
+                // Slice boundary: seal the trace so its position is a valid
+                // resume point, then persist everything atomically.
+                writer
+                    .flush()
+                    .map_err(|e| ckpt_err(&bench, TraceError::Io(e)))?;
+                save_checkpoint(
+                    &spec.snapshot_path,
+                    summary.cycles,
+                    &core.snapshot(),
+                    &bank.snapshot(),
+                    writer.position(),
+                )
+                .map_err(|e| ckpt_err(&bench, TraceError::Io(e)))?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_core::ProfilerId;
+    use tip_trace::{Fault, FaultPlan, TraceReader};
+    use tip_workloads::{benchmark, SuiteScale};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tip-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec_in(dir: &Path, every: u64, resume: bool) -> CheckpointSpec {
+        CheckpointSpec {
+            snapshot_path: dir.join("bench.tips"),
+            trace_path: dir.join("bench.trace"),
+            every_cycles: every,
+            resume,
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_the_plain_runner() {
+        let b = benchmark("exchange2", SuiteScale::Test);
+        let sampler = SamplerConfig::periodic(211);
+        let profilers = [ProfilerId::Tip, ProfilerId::Nci];
+        let plain =
+            crate::run::run_profiled(&b.program, CoreConfig::default(), sampler, &profilers, 5)
+                .expect("plain run");
+
+        let dir = tmp_dir("plain-eq");
+        let spec = spec_in(&dir, 2_003, false);
+        let ckpt = run_profiled_checkpointed(
+            &b.program,
+            CoreConfig::default(),
+            sampler,
+            &profilers,
+            5,
+            &spec,
+        )
+        .expect("checkpointed run");
+
+        assert_eq!(ckpt.summary, plain.summary);
+        assert_eq!(ckpt.stats, plain.stats);
+        assert_eq!(ckpt.bank.total_cycles, plain.bank.total_cycles);
+        for p in profilers {
+            assert_eq!(ckpt.bank.samples_of(p), plain.bank.samples_of(p));
+        }
+        // The trace file decodes to exactly the run's cycles, and the
+        // consumed snapshot is gone.
+        let file = File::open(&spec.trace_path).expect("trace file");
+        let n = TraceReader::new(file)
+            .collect::<Result<Vec<_>, _>>()
+            .expect("decodes")
+            .len() as u64;
+        assert_eq!(n, ckpt.summary.cycles);
+        assert!(!spec.snapshot_path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("x.tips");
+        let pos = TracePos {
+            framed_bytes: 100,
+            records: 7,
+            payload_bytes: 60,
+        };
+        save_checkpoint(&path, 1_234, b"core", b"bank", pos).expect("save");
+        let back = load_checkpoint(&path).expect("load");
+        assert_eq!(back.cycle, 1_234);
+        assert_eq!(back.core, b"core");
+        assert_eq!(back.bank, b"bank");
+        assert_eq!(back.trace, pos);
+        // No temp file left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_checkpoints_are_classified_and_removed() {
+        let b = benchmark("exchange2", SuiteScale::Test);
+        let sampler = SamplerConfig::periodic(211);
+        let profilers = [ProfilerId::Tip];
+
+        let plans = [
+            (
+                "flip",
+                FaultPlan::new(3, vec![Fault::FlipBits { bits: 64 }]),
+            ),
+            (
+                "truncate",
+                FaultPlan::new(4, vec![Fault::Truncate { keep_fraction: 0.4 }]),
+            ),
+            ("stale", FaultPlan::new(5, vec![Fault::StaleSnapshotHeader])),
+        ];
+        for (tag, plan) in plans {
+            let dir = tmp_dir(&format!("damage-{tag}"));
+            // Produce a real interrupted state, then damage the snapshot.
+            let spec = spec_in(&dir, 1_000, false);
+            {
+                let (mut core, mut bank, mut writer) = build_state(
+                    &b.program,
+                    CoreConfig::default(),
+                    sampler,
+                    &profilers,
+                    9,
+                    &spec,
+                )
+                .expect("fresh state");
+                let mut tee = Tee(&mut writer, &mut bank);
+                core.run(&mut tee, 1_000);
+                writer.flush().expect("flush");
+                save_checkpoint(
+                    &spec.snapshot_path,
+                    1_000,
+                    &core.snapshot(),
+                    &bank.snapshot(),
+                    writer.position(),
+                )
+                .expect("save");
+            }
+            let mut bytes = fs::read(&spec.snapshot_path).expect("read");
+            plan.apply_snapshot(&mut bytes);
+            fs::write(&spec.snapshot_path, &bytes).expect("write damage");
+
+            let resume = CheckpointSpec {
+                resume: true,
+                ..spec.clone()
+            };
+            let err = run_profiled_checkpointed(
+                &b.program,
+                CoreConfig::default(),
+                sampler,
+                &profilers,
+                9,
+                &resume,
+            )
+            .expect_err("damaged snapshot must not restore");
+            assert!(
+                matches!(err, RunError::Checkpoint { .. }),
+                "{tag}: got {err:?}"
+            );
+            assert!(
+                !spec.snapshot_path.exists(),
+                "{tag}: poisoned snapshot not removed"
+            );
+            // The retry path: with the poison gone, the same invocation
+            // completes from scratch.
+            run_profiled_checkpointed(
+                &b.program,
+                CoreConfig::default(),
+                sampler,
+                &profilers,
+                9,
+                &resume,
+            )
+            .expect("from-scratch fallback");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}

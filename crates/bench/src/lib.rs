@@ -4,16 +4,22 @@
 //! profiler bank, [`table`] renders the paper-style text tables,
 //! [`experiments`] implements the data collection behind every figure and
 //! table of the paper (each `src/bin/figNN.rs` binary is a thin wrapper),
-//! and [`campaign`] adds the fault-tolerant sweep layer (per-benchmark
-//! panic isolation, bounded reseeded retries, incremental persistence).
+//! [`checkpoint`] adds mid-run `TIPS` snapshots with crash-safe resume, and
+//! [`campaign`] adds the fault-tolerant sweep layer (per-benchmark panic
+//! isolation, bounded reseeded retries, crash-consistent incremental
+//! persistence, and journal-driven resume).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod experiments;
 pub mod run;
 pub mod table;
 
-pub use campaign::{run_suite_campaign, CampaignConfig, CampaignOutcome};
+pub use campaign::{run_suite_campaign, CampaignCli, CampaignConfig, CampaignOutcome, RunCtx};
+pub use checkpoint::{
+    load_checkpoint, run_profiled_checkpointed, save_checkpoint, CheckpointSpec, LoadedCheckpoint,
+};
 pub use run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};

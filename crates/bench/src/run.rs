@@ -62,6 +62,15 @@ pub enum RunError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A checkpoint could not be written, or an existing one failed to
+    /// restore: damaged bytes, a stale format version, or state captured
+    /// under a different configuration (see [`crate::checkpoint`]).
+    Checkpoint {
+        /// Name of the benchmark that failed.
+        bench: String,
+        /// The classified trace/snapshot error.
+        source: tip_trace::TraceError,
+    },
 }
 
 impl RunError {
@@ -69,7 +78,9 @@ impl RunError {
     #[must_use]
     pub fn bench(&self) -> &str {
         match self {
-            RunError::Sim { bench, .. } | RunError::Panicked { bench, .. } => bench,
+            RunError::Sim { bench, .. }
+            | RunError::Panicked { bench, .. }
+            | RunError::Checkpoint { bench, .. } => bench,
         }
     }
 }
@@ -83,6 +94,9 @@ impl fmt::Display for RunError {
             RunError::Panicked { bench, message } => {
                 write!(f, "benchmark `{bench}` panicked: {message}")
             }
+            RunError::Checkpoint { bench, source } => {
+                write!(f, "benchmark `{bench}` checkpoint failed: {source}")
+            }
         }
     }
 }
@@ -92,6 +106,7 @@ impl Error for RunError {
         match self {
             RunError::Sim { source, .. } => Some(source),
             RunError::Panicked { .. } => None,
+            RunError::Checkpoint { source, .. } => Some(source),
         }
     }
 }

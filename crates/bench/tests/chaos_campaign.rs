@@ -28,7 +28,7 @@ fn sweep_survives_panic_and_livelock_with_results_on_disk() {
     let plan = FaultPlan::new(1, vec![Fault::ForcePanic]);
     let sampler = config.sampler;
     let profilers = config.profilers.clone();
-    let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, seed| {
+    let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, ctx| {
         if bench.name == "mcf" && plan.forces_panic() {
             panic!("chaos: forced panic");
         }
@@ -36,7 +36,7 @@ fn sweep_survives_panic_and_livelock_with_results_on_disk() {
             // A lost redirect wedges the pipeline; the watchdog converts
             // the livelock into a structured SimError.
             let mut bank = ProfilerBank::new(&bench.program, sampler, &profilers);
-            let mut core = Core::new(&bench.program, CoreConfig::default(), seed);
+            let mut core = Core::new(&bench.program, CoreConfig::default(), ctx.seed);
             for _ in 0..100 {
                 core.step(&mut bank);
             }
@@ -54,7 +54,7 @@ fn sweep_survives_panic_and_livelock_with_results_on_disk() {
             CoreConfig::default(),
             sampler,
             &profilers,
-            seed,
+            ctx.seed,
         )
     });
 

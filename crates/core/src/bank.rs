@@ -13,6 +13,7 @@ use crate::profile::Profile;
 use crate::profilers::{ProfilerId, SampledProfiler};
 use crate::sample::Sample;
 use crate::sampler::{SampleSchedule, SamplerConfig};
+use tip_isa::snap::{self, SnapError, SnapReader};
 use tip_isa::{Granularity, Program};
 use tip_ooo::{CycleRecord, TraceSink};
 
@@ -34,6 +35,72 @@ impl ProfilerBank {
             profilers: ids.iter().map(|&id| (id, id.build())).collect(),
             cycles: 0,
         }
+    }
+
+    /// Serializes the bank's complete mid-run state — schedule position,
+    /// Oracle accumulators, and every profiler's in-flight state — for a
+    /// checkpoint. [`Self::restore`] continues the run bit-identically.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.schedule.snapshot_into(&mut out);
+        self.oracle.snapshot_into(&mut out);
+        snap::put_len(&mut out, self.profilers.len());
+        for (id, p) in &self.profilers {
+            snap::put_u8(&mut out, id.tag());
+            let mut state = Vec::new();
+            p.snapshot_into(&mut state);
+            snap::put_len(&mut out, state.len());
+            out.extend_from_slice(&state);
+        }
+        snap::put_u64(&mut out, self.cycles);
+        out
+    }
+
+    /// Restores a bank captured by [`Self::snapshot`] for the same program
+    /// and sampler configuration. The profiler set is recovered from the
+    /// snapshot itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the bytes are damaged, captured under a
+    /// different sampler configuration, sized for another program, or name
+    /// an unknown profiler.
+    pub fn restore(
+        program: &Program,
+        sampler: SamplerConfig,
+        data: &[u8],
+    ) -> Result<Self, SnapError> {
+        let r = &mut SnapReader::new(data);
+        let schedule = SampleSchedule::restore(r)?;
+        if *schedule.config() != sampler {
+            return Err(SnapError::Malformed("sampler config mismatch"));
+        }
+        let oracle = OracleProfiler::restore(program.len(), r)?;
+        let n = r.len()?;
+        let mut profilers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = ProfilerId::from_tag(r.u8()?)
+                .ok_or(SnapError::Malformed("unknown profiler tag"))?;
+            let state_len = r.len()?;
+            let mut p = id.build();
+            let state = &mut SnapReader::new(r.bytes(state_len)?);
+            p.restore_from(state, program.len())?;
+            if !state.is_empty() {
+                return Err(SnapError::Malformed("trailing bytes in profiler state"));
+            }
+            profilers.push((id, p));
+        }
+        let bank = ProfilerBank {
+            schedule,
+            oracle,
+            profilers,
+            cycles: r.u64()?,
+        };
+        if !r.is_empty() {
+            return Err(SnapError::Malformed("trailing bytes after bank state"));
+        }
+        Ok(bank)
     }
 
     /// Finishes the run: resolves sample weights (each sample represents the
@@ -220,6 +287,57 @@ mod tests {
             tip < 0.2,
             "TIP error should be small on a simple loop, got {tip:.3}"
         );
+    }
+
+    #[test]
+    fn bank_snapshot_resumes_identically() {
+        let p = simple_program();
+        let sampler = SamplerConfig::random(41, 11);
+        let ids: Vec<ProfilerId> = ProfilerId::ALL.to_vec();
+
+        // Uninterrupted reference.
+        let mut full = ProfilerBank::new(&p, sampler, &ids);
+        let mut core = Core::new(&p, CoreConfig::default(), 3);
+        core.run(&mut full, 1_000_000);
+        let want = full.finish();
+
+        // Same run, checkpointed and restored mid-flight (twice).
+        let mut bank = ProfilerBank::new(&p, sampler, &ids);
+        let mut core = Core::new(&p, CoreConfig::default(), 3);
+        core.run(&mut bank, 1_009);
+        let core_snap = core.snapshot();
+        let bank_snap = bank.snapshot();
+        drop((core, bank));
+        let mut core = Core::restore(&p, CoreConfig::default(), &core_snap).expect("core");
+        let mut bank = ProfilerBank::restore(&p, sampler, &bank_snap).expect("bank");
+        core.run(&mut bank, 1_000_000);
+        let got = bank.finish();
+
+        assert_eq!(got.total_cycles, want.total_cycles);
+        assert_eq!(got.oracle, want.oracle);
+        assert_eq!(got.samples.len(), want.samples.len());
+        for ((gid, gs), (wid, ws)) in got.samples.iter().zip(&want.samples) {
+            assert_eq!(gid, wid);
+            assert_eq!(gs, ws, "{gid} samples diverge after restore");
+        }
+    }
+
+    #[test]
+    fn bank_restore_rejects_damage_and_mismatch() {
+        let p = simple_program();
+        let sampler = SamplerConfig::periodic(50);
+        let mut bank = ProfilerBank::new(&p, sampler, &ProfilerId::ALL);
+        let mut core = Core::new(&p, CoreConfig::default(), 3);
+        core.run(&mut bank, 2_000);
+        let snap = bank.snapshot();
+
+        // A different sampler configuration must be rejected.
+        assert!(ProfilerBank::restore(&p, SamplerConfig::periodic(51), &snap).is_err());
+        // Truncation anywhere is an error, never a panic.
+        for cut in (0..snap.len()).step_by(snap.len() / 19 + 1) {
+            assert!(ProfilerBank::restore(&p, sampler, &snap[..cut]).is_err());
+        }
+        assert!(ProfilerBank::restore(&p, sampler, &snap[..snap.len() - 1]).is_err());
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod profile;
 pub mod profilers;
 mod sample;
 mod sampler;
+mod snapshot;
 
 pub mod overhead;
 

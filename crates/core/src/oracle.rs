@@ -18,7 +18,9 @@
 
 use crate::category::{classify, CommitState, CycleCategory, Oir, NUM_CATEGORIES};
 use crate::profile::Profile;
+use crate::snapshot::{get_oir, put_oir};
 use serde::{Deserialize, Serialize};
+use tip_isa::snap::{self, SnapError, SnapReader};
 use tip_isa::{Granularity, InstrIdx, Program, SymbolId};
 use tip_ooo::{CycleRecord, TraceSink};
 
@@ -171,6 +173,55 @@ impl OracleProfiler {
             let cycles = std::mem::take(&mut self.pending_drained);
             self.attribute(idx, CycleCategory::FrontEnd, cycles);
         }
+    }
+
+    /// Serializes the accumulated attribution state for a checkpoint.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_len(out, self.per_instr.len());
+        for &c in &self.per_instr {
+            snap::put_f64(out, c);
+        }
+        for per_cat in &self.per_instr_category {
+            for &c in per_cat {
+                snap::put_f64(out, c);
+            }
+        }
+        put_oir(out, &self.oir);
+        snap::put_f64(out, self.pending_drained);
+        snap::put_u64(out, self.total_cycles);
+    }
+
+    /// Restores an Oracle captured by [`Self::snapshot_into`] for a program
+    /// with `num_instrs` static instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is damaged or was captured
+    /// for a program of a different size.
+    pub fn restore(num_instrs: usize, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len_of(8)?;
+        if n != num_instrs {
+            return Err(SnapError::Malformed("oracle sized for another program"));
+        }
+        let mut per_instr = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_instr.push(r.f64()?);
+        }
+        let mut per_instr_category = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut per_cat = [0.0; NUM_CATEGORIES];
+            for c in &mut per_cat {
+                *c = r.f64()?;
+            }
+            per_instr_category.push(per_cat);
+        }
+        Ok(OracleProfiler {
+            per_instr,
+            per_instr_category,
+            oir: get_oir(r, num_instrs)?,
+            pending_drained: r.f64()?,
+            total_cycles: r.u64()?,
+        })
     }
 
     /// Consumes the profiler, producing the result. Unresolved drained

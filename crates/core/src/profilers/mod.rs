@@ -14,6 +14,7 @@ pub use tip::{DrainedPolicy, Tip, TipFlags, TipRegisters};
 use crate::sample::Sample;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use tip_isa::snap::{SnapError, SnapReader};
 use tip_ooo::CycleRecord;
 
 /// A statistical profiler driven by the commit-stage trace.
@@ -29,6 +30,21 @@ pub trait SampledProfiler {
 
     /// Takes the samples resolved so far (in trigger order).
     fn drain_samples(&mut self) -> Vec<Sample>;
+
+    /// Serializes the profiler's complete mid-run state (resolved samples,
+    /// in-flight samples, hardware registers) for a checkpoint.
+    fn snapshot_into(&self, out: &mut Vec<u8>);
+
+    /// Restores state captured by [`snapshot_into`](Self::snapshot_into)
+    /// into a freshly built profiler of the same kind, for a program with
+    /// `num_instrs` static instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is damaged, names an
+    /// instruction outside the program, or was captured from a different
+    /// profiler variant.
+    fn restore_from(&mut self, r: &mut SnapReader<'_>, num_instrs: usize) -> Result<(), SnapError>;
 }
 
 /// Identifies one of the evaluated profiling strategies.
@@ -83,6 +99,36 @@ impl ProfilerId {
         }
     }
 
+    /// The stable one-byte tag identifying this kind in snapshots
+    /// (append-only numbering; never reorder).
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            ProfilerId::Software => 0,
+            ProfilerId::Dispatch => 1,
+            ProfilerId::Lci => 2,
+            ProfilerId::Nci => 3,
+            ProfilerId::NciIlp => 4,
+            ProfilerId::TipIlp => 5,
+            ProfilerId::Tip => 6,
+            ProfilerId::TipLastCommitDrain => 7,
+        }
+    }
+
+    /// The profiler kind a snapshot tag names, if any.
+    pub(crate) fn from_tag(tag: u8) -> Option<ProfilerId> {
+        match tag {
+            0 => Some(ProfilerId::Software),
+            1 => Some(ProfilerId::Dispatch),
+            2 => Some(ProfilerId::Lci),
+            3 => Some(ProfilerId::Nci),
+            4 => Some(ProfilerId::NciIlp),
+            5 => Some(ProfilerId::TipIlp),
+            6 => Some(ProfilerId::Tip),
+            7 => Some(ProfilerId::TipLastCommitDrain),
+            _ => None,
+        }
+    }
+
     /// Builds a fresh profiler of this kind.
     #[must_use]
     pub fn build(self) -> Box<dyn SampledProfiler> {
@@ -117,6 +163,17 @@ mod tests {
         assert_eq!(ProfilerId::TipIlp.label(), "TIP-ILP");
         assert_eq!(ProfilerId::NciIlp.label(), "NCI+ILP");
         assert_eq!(ProfilerId::ALL.len(), 7);
+    }
+
+    #[test]
+    fn snapshot_tags_roundtrip() {
+        for id in ProfilerId::ALL
+            .into_iter()
+            .chain([ProfilerId::TipLastCommitDrain])
+        {
+            assert_eq!(ProfilerId::from_tag(id.tag()), Some(id));
+        }
+        assert_eq!(ProfilerId::from_tag(8), None);
     }
 
     #[test]

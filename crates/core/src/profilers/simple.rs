@@ -4,9 +4,25 @@
 
 use super::SampledProfiler;
 use crate::sample::Sample;
+use crate::snapshot::{get_idx, get_samples, put_samples};
 use std::collections::VecDeque;
+use tip_isa::snap::{self, SnapError, SnapReader};
 use tip_isa::InstrIdx;
 use tip_ooo::CycleRecord;
+
+/// Serializes a queue of pending trigger cycles.
+fn put_cycles(out: &mut Vec<u8>, cycles: impl IntoIterator<Item = u64>, len: usize) {
+    snap::put_len(out, len);
+    for c in cycles {
+        snap::put_u64(out, c);
+    }
+}
+
+/// Reads a queue of pending trigger cycles.
+fn get_cycles<C: FromIterator<u64>>(r: &mut SnapReader<'_>) -> Result<C, SnapError> {
+    let n = r.len_of(8)?;
+    (0..n).map(|_| r.u64()).collect()
+}
 
 /// Software (interrupt-based) profiling, e.g. plain Linux perf.
 ///
@@ -46,6 +62,17 @@ impl SampledProfiler for Software {
 
     fn drain_samples(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.resolved)
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        put_samples(out, &self.resolved);
+        put_cycles(out, self.pending.iter().copied(), self.pending.len());
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>, num_instrs: usize) -> Result<(), SnapError> {
+        self.resolved = get_samples(r, num_instrs)?;
+        self.pending = get_cycles(r)?;
+        Ok(())
     }
 }
 
@@ -117,6 +144,29 @@ impl SampledProfiler for Dispatch {
     fn drain_samples(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.resolved)
     }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        put_samples(out, &self.resolved);
+        put_cycles(out, self.untagged.iter().copied(), self.untagged.len());
+        snap::put_len(out, self.tagged.len());
+        for &(cycle, tag_cycle, idx) in &self.tagged {
+            snap::put_u64(out, cycle);
+            snap::put_u64(out, tag_cycle);
+            snap::put_u32(out, idx.raw());
+        }
+        put_cycles(out, self.latencies.iter().copied(), self.latencies.len());
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>, num_instrs: usize) -> Result<(), SnapError> {
+        self.resolved = get_samples(r, num_instrs)?;
+        self.untagged = get_cycles(r)?;
+        let n = r.len_of(20)?;
+        self.tagged = (0..n)
+            .map(|_| Ok((r.u64()?, r.u64()?, get_idx(r, num_instrs)?)))
+            .collect::<Result<_, SnapError>>()?;
+        self.latencies = get_cycles(r)?;
+        Ok(())
+    }
 }
 
 /// Last-Committed Instruction (Arm CoreSight-style external monitors).
@@ -162,6 +212,29 @@ impl SampledProfiler for Lci {
 
     fn drain_samples(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.resolved)
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        match self.last_committed {
+            None => snap::put_u8(out, 0),
+            Some(idx) => {
+                snap::put_u8(out, 1);
+                snap::put_u32(out, idx.raw());
+            }
+        }
+        put_samples(out, &self.resolved);
+        put_cycles(out, self.pending.iter().copied(), self.pending.len());
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>, num_instrs: usize) -> Result<(), SnapError> {
+        self.last_committed = match r.u8()? {
+            0 => None,
+            1 => Some(get_idx(r, num_instrs)?),
+            _ => return Err(SnapError::Malformed("LCI register tag")),
+        };
+        self.resolved = get_samples(r, num_instrs)?;
+        self.pending = get_cycles(r)?;
+        Ok(())
     }
 }
 
@@ -223,6 +296,21 @@ impl SampledProfiler for Nci {
 
     fn drain_samples(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.resolved)
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_bool(out, self.ilp_aware);
+        put_samples(out, &self.resolved);
+        put_cycles(out, self.pending.iter().copied(), self.pending.len());
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>, num_instrs: usize) -> Result<(), SnapError> {
+        if r.bool()? != self.ilp_aware {
+            return Err(SnapError::Malformed("NCI variant mismatch"));
+        }
+        self.resolved = get_samples(r, num_instrs)?;
+        self.pending = get_cycles(r)?;
+        Ok(())
     }
 }
 

@@ -19,7 +19,9 @@
 use super::SampledProfiler;
 use crate::category::{CycleCategory, Oir};
 use crate::sample::Sample;
+use crate::snapshot::{get_idx, get_oir, get_samples, put_oir, put_samples};
 use std::collections::VecDeque;
+use tip_isa::snap::{self, SnapError, SnapReader};
 use tip_isa::{InstrAddr, InstrIdx};
 use tip_ooo::{CycleRecord, MAX_COMMIT};
 
@@ -90,6 +92,39 @@ impl TipRegisters {
             valid: [false; MAX_COMMIT],
             oldest: 0,
         }
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_u64(out, self.cycle);
+        snap::put_u64(out, self.flags.encode());
+        for addr in self.addrs {
+            snap::put_u64(out, addr.raw());
+        }
+        for v in self.valid {
+            snap::put_bool(out, v);
+        }
+        snap::put_u8(out, self.oldest);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cycle = r.u64()?;
+        let raw_flags = r.u64()?;
+        if raw_flags >= 32 {
+            return Err(SnapError::Malformed("TIP flags CSR"));
+        }
+        let mut regs = TipRegisters::empty(cycle);
+        regs.flags = TipFlags::decode(raw_flags);
+        for addr in &mut regs.addrs {
+            *addr = InstrAddr::new(r.u64()?);
+        }
+        for v in &mut regs.valid {
+            *v = r.bool()?;
+        }
+        regs.oldest = r.u8()?;
+        if regs.oldest as usize >= MAX_COMMIT {
+            return Err(SnapError::Malformed("oldest bank id"));
+        }
+        Ok(regs)
     }
 }
 
@@ -287,6 +322,50 @@ impl SampledProfiler for Tip {
 
     fn drain_samples(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.resolved)
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_bool(out, self.ilp_aware);
+        snap::put_bool(out, self.drained_policy == DrainedPolicy::LastCommitted);
+        put_oir(out, &self.oir);
+        put_samples(out, &self.resolved);
+        snap::put_len(out, self.open.len());
+        for open in &self.open {
+            open.registers.snapshot_into(out);
+        }
+        for idx in self.idx_of {
+            snap::put_u32(out, idx.raw());
+        }
+        for kind in self.kind_of {
+            snap::put_kind(out, kind);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>, num_instrs: usize) -> Result<(), SnapError> {
+        if r.bool()? != self.ilp_aware {
+            return Err(SnapError::Malformed("TIP variant mismatch"));
+        }
+        let last_committed = r.bool()?;
+        if last_committed != (self.drained_policy == DrainedPolicy::LastCommitted) {
+            return Err(SnapError::Malformed("TIP drained-policy mismatch"));
+        }
+        self.oir = get_oir(r, num_instrs)?;
+        self.resolved = get_samples(r, num_instrs)?;
+        let n = r.len()?;
+        self.open = (0..n)
+            .map(|_| {
+                Ok(OpenSample {
+                    registers: TipRegisters::restore(r)?,
+                })
+            })
+            .collect::<Result<_, SnapError>>()?;
+        for idx in &mut self.idx_of {
+            *idx = get_idx(r, num_instrs)?;
+        }
+        for kind in &mut self.kind_of {
+            *kind = snap::get_kind(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use tip_isa::snap::{self, SnapError, SnapReader};
 
 /// How sample cycles are placed within each interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,6 +130,53 @@ impl SampleSchedule {
     #[must_use]
     pub fn samples_taken(&self) -> u64 {
         self.samples_taken
+    }
+
+    /// Serializes the configuration and mid-run position for a checkpoint.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_u64(out, self.config.interval);
+        snap::put_u8(
+            out,
+            match self.config.mode {
+                SamplingMode::Periodic => 0,
+                SamplingMode::Random => 1,
+            },
+        );
+        snap::put_u64(out, self.config.seed);
+        snap::put_u64(out, self.next_sample);
+        snap::put_u64(out, self.interval_start);
+        snap::put_rng(out, &self.rng);
+        snap::put_u64(out, self.samples_taken);
+    }
+
+    /// Restores a schedule captured by [`Self::snapshot_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is damaged or encodes an
+    /// impossible schedule (zero interval, unknown mode).
+    pub fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let interval = r.u64()?;
+        if interval == 0 {
+            return Err(SnapError::Malformed("zero sampling interval"));
+        }
+        let mode = match r.u8()? {
+            0 => SamplingMode::Periodic,
+            1 => SamplingMode::Random,
+            _ => return Err(SnapError::Malformed("sampling mode tag")),
+        };
+        let config = SamplerConfig {
+            interval,
+            mode,
+            seed: r.u64()?,
+        };
+        Ok(SampleSchedule {
+            config,
+            next_sample: r.u64()?,
+            interval_start: r.u64()?,
+            rng: snap::get_rng(r)?,
+            samples_taken: r.u64()?,
+        })
     }
 
     /// The configuration.

@@ -1,0 +1,167 @@
+//! Snapshot codec helpers for the profiler stack.
+//!
+//! Serializes the value types shared by the profilers (samples, categories,
+//! the OIR) so a [`crate::ProfilerBank`] can be checkpointed mid-run and
+//! restored to continue producing exactly the samples an uninterrupted run
+//! would have. Decoding validates every tag and every instruction index, so
+//! a damaged checkpoint surfaces as a [`SnapError`] instead of a panic.
+
+use crate::category::{CycleCategory, Oir, OirEntry};
+use crate::sample::Sample;
+use tip_isa::snap::{self, SnapError, SnapReader};
+use tip_isa::{InstrAddr, InstrIdx};
+
+/// Reads an instruction index, rejecting positions at or past `num_instrs`.
+pub(crate) fn get_idx(r: &mut SnapReader<'_>, num_instrs: usize) -> Result<InstrIdx, SnapError> {
+    let raw = r.u32()?;
+    if (raw as usize) >= num_instrs {
+        return Err(SnapError::Malformed("instruction index out of range"));
+    }
+    Ok(InstrIdx::new(raw))
+}
+
+pub(crate) fn put_opt_category(out: &mut Vec<u8>, category: Option<CycleCategory>) {
+    match category {
+        None => snap::put_u8(out, 0),
+        Some(c) => snap::put_u8(out, 1 + c as u8),
+    }
+}
+
+pub(crate) fn get_opt_category(r: &mut SnapReader<'_>) -> Result<Option<CycleCategory>, SnapError> {
+    match r.u8()? {
+        0 => Ok(None),
+        tag => CycleCategory::ALL
+            .get(tag as usize - 1)
+            .copied()
+            .map(Some)
+            .ok_or(SnapError::Malformed("cycle category tag")),
+    }
+}
+
+pub(crate) fn put_sample(out: &mut Vec<u8>, s: &Sample) {
+    snap::put_u64(out, s.cycle);
+    snap::put_f64(out, s.weight_cycles);
+    snap::put_len(out, s.targets.len());
+    for &(idx, frac) in &s.targets {
+        snap::put_u32(out, idx.raw());
+        snap::put_f64(out, frac);
+    }
+    put_opt_category(out, s.category);
+}
+
+pub(crate) fn get_sample(r: &mut SnapReader<'_>, num_instrs: usize) -> Result<Sample, SnapError> {
+    let cycle = r.u64()?;
+    let weight_cycles = r.f64()?;
+    let n = r.len_of(12)?;
+    let mut targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = get_idx(r, num_instrs)?;
+        targets.push((idx, r.f64()?));
+    }
+    Ok(Sample {
+        cycle,
+        weight_cycles,
+        targets,
+        category: get_opt_category(r)?,
+    })
+}
+
+pub(crate) fn put_samples(out: &mut Vec<u8>, samples: &[Sample]) {
+    snap::put_len(out, samples.len());
+    for s in samples {
+        put_sample(out, s);
+    }
+}
+
+pub(crate) fn get_samples(
+    r: &mut SnapReader<'_>,
+    num_instrs: usize,
+) -> Result<Vec<Sample>, SnapError> {
+    let n = r.len()?;
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        samples.push(get_sample(r, num_instrs)?);
+    }
+    Ok(samples)
+}
+
+pub(crate) fn put_oir(out: &mut Vec<u8>, oir: &Oir) {
+    match &oir.entry {
+        None => snap::put_u8(out, 0),
+        Some(e) => {
+            snap::put_u8(out, 1);
+            snap::put_u64(out, e.addr.raw());
+            snap::put_u32(out, e.idx.raw());
+            snap::put_bool(out, e.mispredicted);
+            snap::put_bool(out, e.flush);
+            snap::put_bool(out, e.exception);
+        }
+    }
+}
+
+pub(crate) fn get_oir(r: &mut SnapReader<'_>, num_instrs: usize) -> Result<Oir, SnapError> {
+    let entry = match r.u8()? {
+        0 => None,
+        1 => {
+            let addr = InstrAddr::new(r.u64()?);
+            Some(OirEntry {
+                addr,
+                idx: get_idx(r, num_instrs)?,
+                mispredicted: r.bool()?,
+                flush: r.bool()?,
+                exception: r.bool()?,
+            })
+        }
+        _ => return Err(SnapError::Malformed("OIR tag")),
+    };
+    Ok(Oir { entry })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_roundtrips() {
+        let s = Sample {
+            cycle: 99,
+            weight_cycles: 37.0,
+            targets: vec![(InstrIdx::new(1), 0.5), (InstrIdx::new(3), 0.5)],
+            category: Some(CycleCategory::Mispredict),
+        };
+        let mut buf = Vec::new();
+        put_sample(&mut buf, &s);
+        let mut r = SnapReader::new(&buf);
+        assert_eq!(get_sample(&mut r, 4).unwrap(), s);
+        assert!(r.is_empty());
+        // An index past the program is rejected.
+        assert!(get_sample(&mut SnapReader::new(&buf), 3).is_err());
+    }
+
+    #[test]
+    fn category_tags_roundtrip() {
+        for c in CycleCategory::ALL.into_iter().map(Some).chain([None]) {
+            let mut buf = Vec::new();
+            put_opt_category(&mut buf, c);
+            assert_eq!(get_opt_category(&mut SnapReader::new(&buf)).unwrap(), c);
+        }
+        assert!(get_opt_category(&mut SnapReader::new(&[9])).is_err());
+    }
+
+    #[test]
+    fn oir_roundtrips() {
+        let oir = Oir {
+            entry: Some(OirEntry {
+                addr: InstrAddr::new(0x1004),
+                idx: InstrIdx::new(1),
+                mispredicted: true,
+                flush: false,
+                exception: false,
+            }),
+        };
+        let mut buf = Vec::new();
+        put_oir(&mut buf, &oir);
+        assert_eq!(get_oir(&mut SnapReader::new(&buf), 2).unwrap(), oir);
+        assert!(get_oir(&mut SnapReader::new(&buf), 1).is_err());
+    }
+}

@@ -51,6 +51,22 @@ impl BranchState {
         }
     }
 
+    /// Serializes the state for a checkpoint.
+    pub(crate) fn snapshot_into(&self, out: &mut Vec<u8>) {
+        crate::snap::put_u64(out, self.counter);
+        crate::snap::put_rng(out, &self.rng);
+    }
+
+    /// Restores a state captured by [`BranchState::snapshot_into`].
+    pub(crate) fn restore(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Self, crate::snap::SnapError> {
+        Ok(BranchState {
+            counter: r.u64()?,
+            rng: crate::snap::get_rng(r)?,
+        })
+    }
+
     /// Produces the next direction for `behavior`.
     pub(crate) fn next_outcome(&mut self, behavior: &BranchBehavior) -> bool {
         let n = self.counter;
@@ -119,6 +135,22 @@ impl MemState {
             counter: 0,
             rng: SmallRng::seed_from_u64(seed),
         }
+    }
+
+    /// Serializes the state for a checkpoint.
+    pub(crate) fn snapshot_into(&self, out: &mut Vec<u8>) {
+        crate::snap::put_u64(out, self.counter);
+        crate::snap::put_rng(out, &self.rng);
+    }
+
+    /// Restores a state captured by [`MemState::snapshot_into`].
+    pub(crate) fn restore(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Self, crate::snap::SnapError> {
+        Ok(MemState {
+            counter: r.u64()?,
+            rng: crate::snap::get_rng(r)?,
+        })
     }
 
     /// Produces the next effective address for `behavior`.

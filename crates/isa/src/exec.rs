@@ -14,6 +14,7 @@
 use crate::behavior::{BranchState, MemState};
 use crate::kind::InstrKind;
 use crate::program::{InstrAddr, InstrIdx, Program};
+use crate::snap::{self, SnapError, SnapReader};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -48,12 +49,69 @@ enum Frame {
     Fault { load_idx: u32, mem_addr: u64 },
 }
 
+impl Frame {
+    fn snapshot_into(self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Call { resume } => {
+                snap::put_u8(out, 0);
+                snap::put_u32(out, resume);
+            }
+            Frame::Fault { load_idx, mem_addr } => {
+                snap::put_u8(out, 1);
+                snap::put_u32(out, load_idx);
+                snap::put_u64(out, mem_addr);
+            }
+        }
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Frame::Call { resume: r.u32()? }),
+            1 => Ok(Frame::Fault {
+                load_idx: r.u32()?,
+                mem_addr: r.u64()?,
+            }),
+            _ => Err(SnapError::Malformed("stack frame tag")),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct RawDyn {
     idx: u32,
     taken: Option<bool>,
     mem_addr: Option<u64>,
     fault: bool,
+}
+
+impl RawDyn {
+    fn snapshot_into(self, out: &mut Vec<u8>) {
+        snap::put_u32(out, self.idx);
+        snap::put_u8(
+            out,
+            match self.taken {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            },
+        );
+        snap::put_opt_u64(out, self.mem_addr);
+        snap::put_bool(out, self.fault);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RawDyn {
+            idx: r.u32()?,
+            taken: match r.u8()? {
+                0 => None,
+                1 => Some(false),
+                2 => Some(true),
+                _ => return Err(SnapError::Malformed("taken tag")),
+            },
+            mem_addr: r.opt_u64()?,
+            fault: r.bool()?,
+        })
+    }
 }
 
 /// Lazily generates the correct-path dynamic instruction stream of a
@@ -106,6 +164,130 @@ impl<'p> Executor<'p> {
     #[must_use]
     pub fn program(&self) -> &'p Program {
         self.program
+    }
+
+    /// Serializes the executor's full mid-stream state for a checkpoint.
+    ///
+    /// The program itself is not captured — restore pairs the bytes with the
+    /// same [`Program`], exactly as the core re-attaches to it.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_opt_u32(out, self.pc);
+        snap::put_len(out, self.stack.len());
+        for frame in &self.stack {
+            frame.snapshot_into(out);
+        }
+        // Behaviour states are created lazily: encode only the live ones.
+        let live = self.branch_states.iter().filter(|s| s.is_some()).count();
+        snap::put_len(out, live);
+        for (i, state) in self.branch_states.iter().enumerate() {
+            if let Some(s) = state {
+                snap::put_u32(out, i as u32);
+                s.snapshot_into(out);
+            }
+        }
+        let live = self.mem_states.iter().filter(|s| s.is_some()).count();
+        snap::put_len(out, live);
+        for (i, state) in self.mem_states.iter().enumerate() {
+            if let Some(s) = state {
+                snap::put_u32(out, i as u32);
+                s.snapshot_into(out);
+            }
+        }
+        snap::put_len(out, self.exec_counts.len());
+        for &c in &self.exec_counts {
+            snap::put_u64(out, c);
+        }
+        match self.reexec {
+            Some((idx, addr)) => {
+                snap::put_u8(out, 1);
+                snap::put_u32(out, idx);
+                snap::put_u64(out, addr);
+            }
+            None => snap::put_u8(out, 0),
+        }
+        snap::put_u64(out, self.seed);
+        snap::put_u64(out, self.seq);
+        match self.lookahead {
+            Some(raw) => {
+                snap::put_u8(out, 1);
+                raw.snapshot_into(out);
+            }
+            None => snap::put_u8(out, 0),
+        }
+        snap::put_bool(out, self.primed);
+    }
+
+    /// Restores an executor captured by [`Executor::snapshot_into`] against
+    /// the same `program`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] if the bytes are truncated, malformed, or refer to
+    /// instruction indices outside `program`.
+    pub fn restore(program: &'p Program, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = program.len();
+        let check_idx = |idx: u32| -> Result<u32, SnapError> {
+            if (idx as usize) < n {
+                Ok(idx)
+            } else {
+                Err(SnapError::Malformed("instruction index out of range"))
+            }
+        };
+        let pc = r.opt_u32()?.map(check_idx).transpose()?;
+        let stack_len = r.len()?;
+        let mut stack = Vec::with_capacity(stack_len);
+        for _ in 0..stack_len {
+            stack.push(Frame::restore(r)?);
+        }
+        let mut branch_states = vec![None; n];
+        let live = r.len()?;
+        for _ in 0..live {
+            let idx = check_idx(r.u32()?)? as usize;
+            branch_states[idx] = Some(BranchState::restore(r)?);
+        }
+        let mut mem_states = vec![None; n];
+        let live = r.len()?;
+        for _ in 0..live {
+            let idx = check_idx(r.u32()?)? as usize;
+            mem_states[idx] = Some(MemState::restore(r)?);
+        }
+        let exec_len = r.len_of(8)?;
+        if exec_len != n {
+            return Err(SnapError::Malformed("exec_counts length"));
+        }
+        let mut exec_counts = vec![0u64; n];
+        for c in &mut exec_counts {
+            *c = r.u64()?;
+        }
+        let reexec = match r.u8()? {
+            0 => None,
+            1 => Some((check_idx(r.u32()?)?, r.u64()?)),
+            _ => return Err(SnapError::Malformed("reexec tag")),
+        };
+        let seed = r.u64()?;
+        let seq = r.u64()?;
+        let lookahead = match r.u8()? {
+            0 => None,
+            1 => Some(RawDyn::restore(r)?),
+            _ => return Err(SnapError::Malformed("lookahead tag")),
+        };
+        let primed = r.bool()?;
+        if let Some(raw) = &lookahead {
+            check_idx(raw.idx)?;
+        }
+        Ok(Executor {
+            program,
+            pc,
+            stack,
+            branch_states,
+            mem_states,
+            exec_counts,
+            reexec,
+            seed,
+            seq,
+            lookahead,
+            primed,
+        })
     }
 
     fn branch_state(&mut self, idx: u32) -> &mut BranchState {
@@ -281,6 +463,47 @@ impl<'p> WrongPath<'p> {
             stack: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
         }
+    }
+
+    /// Serializes the walker's mid-stream state for a checkpoint.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_opt_u32(out, self.pc);
+        snap::put_len(out, self.stack.len());
+        for &resume in &self.stack {
+            snap::put_u32(out, resume);
+        }
+        snap::put_rng(out, &self.rng);
+    }
+
+    /// Restores a walker captured by [`WrongPath::snapshot_into`] against the
+    /// same `program`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] if the bytes are truncated, malformed, or refer to
+    /// instruction indices outside `program`.
+    pub fn restore(program: &'p Program, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = program.len();
+        let check_idx = |idx: u32| -> Result<u32, SnapError> {
+            if (idx as usize) < n {
+                Ok(idx)
+            } else {
+                Err(SnapError::Malformed("instruction index out of range"))
+            }
+        };
+        let pc = r.opt_u32()?.map(check_idx).transpose()?;
+        let stack_len = r.len_of(4)?;
+        let mut stack = Vec::with_capacity(stack_len);
+        for _ in 0..stack_len {
+            stack.push(check_idx(r.u32()?)?);
+        }
+        let rng = snap::get_rng(r)?;
+        Ok(WrongPath {
+            program,
+            pc,
+            stack,
+            rng,
+        })
     }
 }
 
@@ -485,6 +708,81 @@ mod tests {
             assert_eq!(w.addr, p.addr_of(w.idx));
             assert!(w.addr.raw() >= TEXT_BASE);
         }
+    }
+
+    #[test]
+    fn executor_snapshot_resumes_identically() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let handler = b.function("os_handler");
+        let m0 = b.block(main);
+        b.push(
+            m0,
+            Instr::load(
+                Some(Reg::int(1)),
+                None,
+                MemBehavior::RandomIn {
+                    base: 0x2000,
+                    footprint: 4096,
+                },
+            )
+            .with_fault(FaultSpec { every: 5 }),
+        );
+        b.push(
+            m0,
+            Instr::branch(m0, BranchBehavior::Bernoulli { taken_prob: 0.7 }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        let h0 = b.block(handler);
+        b.push(h0, Instr::nop());
+        b.push(h0, Instr::ret());
+        b.set_fault_handler(handler);
+        let p = b.build().expect("valid");
+
+        for stop in [0usize, 1, 7, 23] {
+            let mut exec = Executor::new(&p, 42);
+            let mut reference = Executor::new(&p, 42);
+            let prefix: Vec<DynInstr> = (&mut exec).take(stop).collect();
+            let ref_prefix: Vec<DynInstr> = (&mut reference).take(stop).collect();
+            assert_eq!(prefix, ref_prefix);
+
+            let mut buf = Vec::new();
+            exec.snapshot_into(&mut buf);
+            let restored = Executor::restore(&p, &mut SnapReader::new(&buf)).expect("restores");
+            let suffix: Vec<DynInstr> = restored.take(200).collect();
+            let ref_suffix: Vec<DynInstr> = reference.take(200).collect();
+            assert_eq!(suffix, ref_suffix, "suffix diverged after stop={stop}");
+        }
+    }
+
+    #[test]
+    fn executor_restore_rejects_damage() {
+        let p = loop_program(4);
+        let mut exec = Executor::new(&p, 1);
+        let _ = (&mut exec).take(3).count();
+        let mut buf = Vec::new();
+        exec.snapshot_into(&mut buf);
+        // Truncations at every prefix must error, never panic.
+        for cut in 0..buf.len() {
+            assert!(Executor::restore(&p, &mut SnapReader::new(&buf[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn wrong_path_snapshot_resumes_identically() {
+        let p = loop_program(5);
+        let mut wp = WrongPath::new(&p, InstrIdx(0), 9);
+        let _ = (&mut wp).take(1).count();
+        let mut reference = WrongPath::new(&p, InstrIdx(0), 9);
+        let _ = (&mut reference).take(1).count();
+
+        let mut buf = Vec::new();
+        wp.snapshot_into(&mut buf);
+        let restored = WrongPath::restore(&p, &mut SnapReader::new(&buf)).expect("restores");
+        let a: Vec<WrongPathInstr> = restored.take(8).collect();
+        let b: Vec<WrongPathInstr> = reference.take(8).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

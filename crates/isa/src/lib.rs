@@ -47,6 +47,7 @@ mod exec;
 mod kind;
 mod program;
 mod reg;
+pub mod snap;
 
 pub use behavior::{BranchBehavior, FaultSpec, MemBehavior};
 pub use builder::{BuildError, ProgramBuilder};

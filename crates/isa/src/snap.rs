@@ -1,0 +1,350 @@
+//! Minimal binary codec for checkpoint snapshots.
+//!
+//! Simulator state is serialized by hand into little-endian byte streams —
+//! the vendored `serde` is a no-op marker stub, and a hand-rolled format
+//! keeps snapshots compact, versionable, and free of platform-dependent
+//! layout. Every crate in the stack encodes its state with these helpers;
+//! `tip-trace` wraps the result in the CRC-framed `TIPS` container.
+//!
+//! Encoding writes into a plain `Vec<u8>` via the `put_*` functions; decoding
+//! goes through [`SnapReader`], which bounds-checks every read and surfaces
+//! damage as a [`SnapError`] instead of panicking — a poisoned checkpoint
+//! must be an error, not an abort.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a snapshot could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The stream ended before the expected field.
+    UnexpectedEof,
+    /// A field decoded to a structurally impossible value.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::UnexpectedEof => write!(f, "snapshot truncated mid-field"),
+            SnapError::Malformed(what) => write!(f, "malformed snapshot field: {what}"),
+        }
+    }
+}
+
+impl Error for SnapError {}
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a `bool` as one byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Appends an `Option<u64>` as a presence byte plus the value.
+pub fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            put_u8(out, 1);
+            put_u64(out, x);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+/// Appends an `Option<u32>` as a presence byte plus the value.
+pub fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        Some(x) => {
+            put_u8(out, 1);
+            put_u32(out, x);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+/// Appends a collection length as a `u32` (snapshots never need more).
+///
+/// # Panics
+///
+/// Panics if `len` exceeds `u32::MAX` — no simulator structure gets there.
+pub fn put_len(out: &mut Vec<u8>, len: usize) {
+    put_u32(
+        out,
+        u32::try_from(len).expect("snapshot collection fits u32"),
+    );
+}
+
+/// A bounds-checked cursor over an encoded snapshot.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `data`, positioned at the start.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        SnapReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::UnexpectedEof);
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads `n` raw bytes (e.g. a length-prefixed nested stream).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`; any byte other than 0/1 is malformed.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Malformed("bool byte")),
+        }
+    }
+
+    /// Reads an `Option<u64>` written by [`put_opt_u64`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(SnapError::Malformed("option tag")),
+        }
+    }
+
+    /// Reads an `Option<u32>` written by [`put_opt_u32`].
+    pub fn opt_u32(&mut self) -> Result<Option<u32>, SnapError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            _ => Err(SnapError::Malformed("option tag")),
+        }
+    }
+
+    /// Reads a collection length written by [`put_len`], rejecting lengths
+    /// that cannot fit in the remaining bytes at one byte per element (a
+    /// cheap guard against allocating on garbage).
+    pub fn len(&mut self) -> Result<usize, SnapError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(SnapError::Malformed("length exceeds snapshot"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length with an element width hint: `n * width_bytes` must fit
+    /// in the remaining stream.
+    pub fn len_of(&mut self, width_bytes: usize) -> Result<usize, SnapError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(width_bytes.max(1))
+            .is_none_or(|total| total > self.remaining())
+        {
+            return Err(SnapError::Malformed("length exceeds snapshot"));
+        }
+        Ok(n)
+    }
+}
+
+/// All instruction kinds in tag order — the snapshot format's stable
+/// numbering (append-only; never reorder).
+const KINDS: [crate::InstrKind; 16] = [
+    crate::InstrKind::IntAlu,
+    crate::InstrKind::IntMul,
+    crate::InstrKind::IntDiv,
+    crate::InstrKind::FpAlu,
+    crate::InstrKind::FpMul,
+    crate::InstrKind::FpDiv,
+    crate::InstrKind::Load,
+    crate::InstrKind::Store,
+    crate::InstrKind::Branch,
+    crate::InstrKind::Jump,
+    crate::InstrKind::Call,
+    crate::InstrKind::Ret,
+    crate::InstrKind::CsrFlush,
+    crate::InstrKind::Fence,
+    crate::InstrKind::Nop,
+    crate::InstrKind::Halt,
+];
+
+/// Appends an [`crate::InstrKind`] as its stable one-byte tag.
+pub fn put_kind(out: &mut Vec<u8>, kind: crate::InstrKind) {
+    let tag = KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind has a tag");
+    put_u8(out, tag as u8);
+}
+
+/// Reads an [`crate::InstrKind`] tag written by [`put_kind`].
+pub fn get_kind(r: &mut SnapReader<'_>) -> Result<crate::InstrKind, SnapError> {
+    KINDS
+        .get(r.u8()? as usize)
+        .copied()
+        .ok_or(SnapError::Malformed("instruction kind tag"))
+}
+
+/// Captures a [`rand::rngs::SmallRng`]'s state (4 little-endian words).
+pub fn put_rng(out: &mut Vec<u8>, rng: &rand::rngs::SmallRng) {
+    for w in rng.state() {
+        put_u64(out, w);
+    }
+}
+
+/// Restores a [`rand::rngs::SmallRng`] captured by [`put_rng`].
+pub fn get_rng(r: &mut SnapReader<'_>) -> Result<rand::rngs::SmallRng, SnapError> {
+    let s = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    Ok(rand::rngs::SmallRng::from_state(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.125);
+        put_bool(&mut buf, true);
+        put_opt_u64(&mut buf, None);
+        put_opt_u64(&mut buf, Some(99));
+        put_opt_u32(&mut buf, Some(3));
+        put_len(&mut buf, 2);
+        put_u8(&mut buf, 1);
+        put_u8(&mut buf, 2);
+
+        let mut r = SnapReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(99));
+        assert_eq!(r.opt_u32().unwrap(), Some(3));
+        let n = r.len().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!((r.u8().unwrap(), r.u8().unwrap()), (1, 2));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        for cut in 0..8 {
+            let mut r = SnapReader::new(&buf[..cut]);
+            assert_eq!(r.u64(), Err(SnapError::UnexpectedEof));
+        }
+    }
+
+    #[test]
+    fn garbage_tags_are_malformed() {
+        let mut r = SnapReader::new(&[2]);
+        assert_eq!(r.bool(), Err(SnapError::Malformed("bool byte")));
+        let mut r = SnapReader::new(&[9, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(r.opt_u64(), Err(SnapError::Malformed("option tag")));
+    }
+
+    #[test]
+    fn hostile_length_is_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut r = SnapReader::new(&buf);
+        assert!(r.len().is_err());
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 10);
+        put_u64(&mut buf, 0); // only 8 bytes follow, but 10 * 8 claimed
+        let mut r = SnapReader::new(&buf);
+        assert!(r.len_of(8).is_err());
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for kind in KINDS {
+            let mut buf = Vec::new();
+            put_kind(&mut buf, kind);
+            assert_eq!(get_kind(&mut SnapReader::new(&buf)).unwrap(), kind);
+        }
+        assert!(get_kind(&mut SnapReader::new(&[16])).is_err());
+    }
+
+    #[test]
+    fn rng_state_roundtrips_mid_stream() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        let mut buf = Vec::new();
+        put_rng(&mut buf, &rng);
+        let mut restored = get_rng(&mut SnapReader::new(&buf)).unwrap();
+        for _ in 0..32 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::LINE_BYTES;
 use serde::{Deserialize, Serialize};
+use tip_isa::snap::{self, SnapError, SnapReader};
 
 /// Configuration of one cache level.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -278,6 +279,83 @@ impl Cache {
         self.fill(line);
     }
 
+    /// Serializes the full microarchitectural state (tag array, MSHRs, LRU
+    /// clock, counters) for a checkpoint. The configuration itself is not
+    /// written — restore re-derives geometry from the live config and rejects
+    /// snapshots that do not match it.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_len(out, self.sets.len());
+        for w in &self.sets {
+            snap::put_u64(out, w.tag);
+            snap::put_bool(out, w.valid);
+            snap::put_u64(out, w.stamp);
+        }
+        snap::put_len(out, self.mshrs.len());
+        for m in &self.mshrs {
+            snap::put_u64(out, m.line);
+            snap::put_u64(out, m.complete);
+        }
+        snap::put_u64(out, self.stamp);
+        snap::put_u64(out, self.stats.accesses);
+        snap::put_u64(out, self.stats.misses);
+        snap::put_u64(out, self.stats.prefetches);
+        snap::put_u64(out, self.stats.mshr_stall_cycles);
+    }
+
+    /// Restores a cache captured by [`Cache::snapshot_into`] against `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is truncated, or when the
+    /// recorded geometry (way count, MSHR count) disagrees with `config` —
+    /// a checkpoint taken under a different configuration must not restore.
+    pub fn restore(config: CacheConfig, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let num_sets = config.num_sets();
+        if num_sets == 0 {
+            return Err(SnapError::Malformed("cache config has no sets"));
+        }
+        let ways = config.ways as usize;
+        let n_ways = r.len_of(17)?;
+        if n_ways != (num_sets as usize) * ways {
+            return Err(SnapError::Malformed("cache tag-array size mismatch"));
+        }
+        let mut sets = Vec::with_capacity(n_ways);
+        for _ in 0..n_ways {
+            sets.push(Way {
+                tag: r.u64()?,
+                valid: r.bool()?,
+                stamp: r.u64()?,
+            });
+        }
+        let n_mshrs = r.len_of(16)?;
+        if n_mshrs > config.mshrs as usize {
+            return Err(SnapError::Malformed("more MSHRs than configured"));
+        }
+        let mut mshrs = Vec::with_capacity(config.mshrs as usize);
+        for _ in 0..n_mshrs {
+            mshrs.push(Mshr {
+                line: r.u64()?,
+                complete: r.u64()?,
+            });
+        }
+        let stamp = r.u64()?;
+        let stats = CacheStats {
+            accesses: r.u64()?,
+            misses: r.u64()?,
+            prefetches: r.u64()?,
+            mshr_stall_cycles: r.u64()?,
+        };
+        Ok(Cache {
+            sets,
+            num_sets,
+            ways,
+            mshrs,
+            stamp,
+            stats,
+            config,
+        })
+    }
+
     /// Whether `line` is currently resident (test/diagnostic helper; does not
     /// update LRU state or stats).
     #[must_use]
@@ -397,6 +475,53 @@ mod tests {
             bank_conflicts: false,
         };
         assert_eq!(cfg.num_sets(), 64);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_warm_state() {
+        let mut c = tiny();
+        c.lookup(1, 0);
+        c.register_miss(1, 100);
+        c.lookup(3, 5);
+        c.register_miss(3, 120);
+        c.lookup(1, 50); // merges with the in-flight miss
+
+        let mut buf = Vec::new();
+        c.snapshot_into(&mut buf);
+        let mut r = SnapReader::new(&buf);
+        let mut restored = Cache::restore(c.config().clone(), &mut r).unwrap();
+        assert!(r.is_empty());
+
+        assert_eq!(restored.stats(), c.stats());
+        // Identical behaviour after restore: same merge, same hit.
+        assert_eq!(restored.lookup(3, 60), c.lookup(3, 60));
+        assert_eq!(restored.lookup(1, 200), c.lookup(1, 200));
+        assert!(restored.lookup(1, 201).hit);
+    }
+
+    #[test]
+    fn restore_rejects_geometry_mismatch() {
+        let c = tiny();
+        let mut buf = Vec::new();
+        c.snapshot_into(&mut buf);
+        let mut other = c.config().clone();
+        other.size_bytes *= 2;
+        assert!(Cache::restore(other, &mut SnapReader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_truncation() {
+        let mut c = tiny();
+        c.lookup(1, 0);
+        c.register_miss(1, 100);
+        let mut buf = Vec::new();
+        c.snapshot_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                Cache::restore(c.config().clone(), &mut SnapReader::new(&buf[..cut])).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! DRAM latency/bandwidth model.
 
 use serde::{Deserialize, Serialize};
+use tip_isa::snap::{self, SnapError, SnapReader};
 
 /// DRAM model parameters (Table 1: 16 GB DDR3 FR-FCFS, 25.6 GB/s peak).
 ///
@@ -67,6 +68,25 @@ impl Dram {
     pub fn config(&self) -> &DramConfig {
         &self.config
     }
+
+    /// Serializes the channel-occupancy state and access counter.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_u64(out, self.next_free);
+        snap::put_u64(out, self.accesses);
+    }
+
+    /// Restores a channel captured by [`Dram::snapshot_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is truncated.
+    pub fn restore(config: DramConfig, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Dram {
+            config,
+            next_free: r.u64()?,
+            accesses: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +112,22 @@ mod tests {
         assert_eq!(b, 108);
         assert_eq!(c, 116);
         assert_eq!(d.accesses(), 3);
+    }
+
+    #[test]
+    fn snapshot_preserves_channel_occupancy() {
+        let mut d = Dram::new(DramConfig {
+            access_latency: 100,
+            transfer_cycles: 8,
+        });
+        d.access(0);
+        d.access(0);
+        let mut buf = Vec::new();
+        d.snapshot_into(&mut buf);
+        let mut restored = Dram::restore(d.config().clone(), &mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(restored.accesses(), 2);
+        // The third access still queues behind the in-flight transfers.
+        assert_eq!(restored.access(0), d.access(0));
     }
 
     #[test]

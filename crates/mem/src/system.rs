@@ -6,6 +6,7 @@ use crate::dram::Dram;
 use crate::tlb::{TlbHierarchy, TlbStats};
 use crate::LINE_BYTES;
 use serde::{Deserialize, Serialize};
+use tip_isa::snap::{SnapError, SnapReader};
 
 /// Which level serviced an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -175,6 +176,47 @@ impl MemSystem {
         }
     }
 
+    /// Serializes every stateful component — cache tag arrays, MSHRs, TLB
+    /// entries, DRAM channel occupancy, and all counters — for a checkpoint.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        self.l1i.snapshot_into(out);
+        self.l1d.snapshot_into(out);
+        self.l2.snapshot_into(out);
+        self.llc.snapshot_into(out);
+        self.dram.snapshot_into(out);
+        self.itlb.snapshot_into(out);
+        self.dtlb.snapshot_into(out);
+    }
+
+    /// Restores a memory system captured by [`MemSystem::snapshot_into`]
+    /// against `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is damaged or the recorded
+    /// geometry disagrees with `config`.
+    pub fn restore(config: &MemConfig, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MemSystem {
+            l1i: Cache::restore(config.l1i.clone(), r)?,
+            l1d: Cache::restore(config.l1d.clone(), r)?,
+            l2: Cache::restore(config.l2.clone(), r)?,
+            llc: Cache::restore(config.llc.clone(), r)?,
+            dram: Dram::restore(config.dram.clone(), r)?,
+            itlb: TlbHierarchy::restore(
+                config.itlb.clone(),
+                config.l2_tlb.clone(),
+                config.ptw_latency,
+                r,
+            )?,
+            dtlb: TlbHierarchy::restore(
+                config.dtlb.clone(),
+                config.l2_tlb.clone(),
+                config.ptw_latency,
+                r,
+            )?,
+        })
+    }
+
     /// A snapshot of all counters.
     #[must_use]
     pub fn stats(&self) -> MemStats {
@@ -259,6 +301,51 @@ mod tests {
         let b = m.access_data(0x80_0000, t + 10, false); // new page
         assert!(m.stats().dtlb.misses > stats_before);
         assert!(b.ready >= t + 10 + 80, "PTW latency applies");
+    }
+
+    #[test]
+    fn snapshot_restores_identical_timing() {
+        let mut m = system();
+        // Warm the hierarchy with a mix of in-flight and resident lines.
+        for k in 0..32u64 {
+            m.access_data(0x10_0000 + k * 64, k * 7, (k % 3) == 0);
+            m.access_inst(0x1_0000 + k * 64, k * 5);
+        }
+        let mut buf = Vec::new();
+        m.snapshot_into(&mut buf);
+        let mut restored =
+            MemSystem::restore(&MemConfig::default(), &mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(restored.stats(), m.stats());
+        // Bit-identical timing from here on.
+        for k in 0..64u64 {
+            let addr = 0x10_0000 + (k * 192) % 8192;
+            let cycle = 10_000 + k * 11;
+            assert_eq!(
+                restored.access_data(addr, cycle, false),
+                m.access_data(addr, cycle, false)
+            );
+            assert_eq!(
+                restored.access_inst(0x1_0000 + k * 64, cycle),
+                m.access_inst(0x1_0000 + k * 64, cycle)
+            );
+        }
+        assert_eq!(restored.stats(), m.stats());
+    }
+
+    #[test]
+    fn damaged_system_snapshot_is_rejected() {
+        let mut m = system();
+        m.access_data(0x4000, 0, false);
+        let mut buf = Vec::new();
+        m.snapshot_into(&mut buf);
+        // Truncations at coarse strides (every byte is slow on a big buffer).
+        for cut in (0..buf.len()).step_by(97) {
+            assert!(
+                MemSystem::restore(&MemConfig::default(), &mut SnapReader::new(&buf[..cut]))
+                    .is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::PAGE_BYTES;
 use serde::{Deserialize, Serialize};
+use tip_isa::snap::{self, SnapError, SnapReader};
 
 /// Configuration of one TLB level.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,6 +88,46 @@ impl Tlb {
     pub fn config(&self) -> &TlbConfig {
         &self.config
     }
+
+    /// Serializes the resident entries, LRU clock, and counters.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_len(out, self.entries.len());
+        for &(page, stamp) in &self.entries {
+            snap::put_u64(out, page);
+            snap::put_u64(out, stamp);
+        }
+        snap::put_u64(out, self.stamp);
+        snap::put_u64(out, self.stats.accesses);
+        snap::put_u64(out, self.stats.misses);
+    }
+
+    /// Restores a TLB captured by [`Tlb::snapshot_into`] against `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on truncation or when the snapshot holds more
+    /// entries than `config` allows.
+    pub fn restore(config: TlbConfig, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len_of(16)?;
+        if n > config.entries as usize {
+            return Err(SnapError::Malformed("more TLB entries than configured"));
+        }
+        let mut entries = Vec::with_capacity(config.entries as usize);
+        for _ in 0..n {
+            entries.push((r.u64()?, r.u64()?));
+        }
+        let stamp = r.u64()?;
+        let stats = TlbStats {
+            accesses: r.u64()?,
+            misses: r.u64()?,
+        };
+        Ok(Tlb {
+            config,
+            entries,
+            stamp,
+            stats,
+        })
+    }
 }
 
 /// One side (I or D) of the two-level TLB hierarchy plus the shared
@@ -138,6 +179,30 @@ impl TlbHierarchy {
     pub fn l2_stats(&self) -> TlbStats {
         self.l2.stats()
     }
+
+    /// Serializes both levels (the walk latency comes from configuration).
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        self.l1.snapshot_into(out);
+        self.l2.snapshot_into(out);
+    }
+
+    /// Restores a hierarchy captured by [`TlbHierarchy::snapshot_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when either level fails to decode.
+    pub fn restore(
+        l1: TlbConfig,
+        l2: TlbConfig,
+        walk_latency: u64,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SnapError> {
+        Ok(TlbHierarchy {
+            l1: Tlb::restore(l1, r)?,
+            l2: Tlb::restore(l2, r)?,
+            walk_latency,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +239,46 @@ mod tests {
         t.translate(2 * PAGE_BYTES, 0); // evicts page 0 from the 2-entry L1
         let ready = t.translate(0, 1_000);
         assert_eq!(ready, 1_008, "page 0 should hit in L2");
+    }
+
+    #[test]
+    fn hierarchy_snapshot_roundtrips() {
+        let mut t = hierarchy();
+        t.translate(0, 0);
+        t.translate(PAGE_BYTES, 10);
+        t.translate(2 * PAGE_BYTES, 20);
+
+        let mut buf = Vec::new();
+        t.snapshot_into(&mut buf);
+        let mut r = SnapReader::new(&buf);
+        let mut restored =
+            TlbHierarchy::restore(t.l1.config().clone(), t.l2.config().clone(), 80, &mut r)
+                .unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored.l1_stats(), t.l1_stats());
+        assert_eq!(restored.l2_stats(), t.l2_stats());
+        // Same LRU decisions after restore.
+        for (addr, cycle) in [(0u64, 100u64), (3 * PAGE_BYTES, 110), (PAGE_BYTES, 120)] {
+            assert_eq!(restored.translate(addr, cycle), t.translate(addr, cycle));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_overfull_tlb() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            hit_latency: 0,
+        });
+        for p in 0..4 {
+            t.fill(p);
+        }
+        let mut buf = Vec::new();
+        t.snapshot_into(&mut buf);
+        let smaller = TlbConfig {
+            entries: 2,
+            hit_latency: 0,
+        };
+        assert!(Tlb::restore(smaller, &mut SnapReader::new(&buf)).is_err());
     }
 
     #[test]

@@ -18,11 +18,15 @@ use crate::config::CoreConfig;
 use crate::error::{SimError, StallReason, StuckDiag, StuckHead};
 use crate::predictor::Predictor;
 use crate::rename::Renamer;
+use crate::snapshot::{
+    get_dyn, get_idx, get_kind, get_wrong_instr, put_dyn, put_kind, put_wrong_instr,
+};
 use crate::stats::{CoreStats, RunExit, RunSummary};
 use crate::trace::{BankView, CommitView, CycleRecord, HeadView, TraceSink};
 use crate::uop::{Uop, UopSlab, WRONG_PATH_POS};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use tip_isa::snap::{self, SnapError, SnapReader};
 use tip_isa::{DynInstr, Executor, FuClass, InstrAddr, InstrIdx, InstrKind, Program, WrongPath};
 use tip_mem::{MemStats, MemSystem};
 
@@ -69,6 +73,31 @@ impl<'p> TraceWindow<'p> {
             self.base += 1;
         }
     }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        self.exec.snapshot_into(out);
+        snap::put_len(out, self.buf.len());
+        for d in &self.buf {
+            put_dyn(out, d);
+        }
+        snap::put_u64(out, self.base);
+        snap::put_bool(out, self.exhausted);
+    }
+
+    fn restore(program: &'p Program, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let exec = Executor::restore(program, r)?;
+        let n = r.len()?;
+        let mut buf = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            buf.push_back(get_dyn(r, program)?);
+        }
+        Ok(TraceWindow {
+            exec,
+            buf,
+            base: r.u64()?,
+            exhausted: r.bool()?,
+        })
+    }
 }
 
 /// An instruction sitting in the fetch buffer / front-end pipeline.
@@ -84,6 +113,34 @@ struct FbEntry {
     mispredicted: bool,
     /// Cycle at which the entry reaches the dispatch boundary.
     ready_at: u64,
+}
+
+impl FbEntry {
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_u32(out, self.idx.raw());
+        snap::put_u64(out, self.addr.raw());
+        put_kind(out, self.kind);
+        snap::put_opt_u64(out, self.mem_addr);
+        snap::put_bool(out, self.fault);
+        snap::put_bool(out, self.wrong_path);
+        snap::put_u64(out, self.trace_pos);
+        snap::put_bool(out, self.mispredicted);
+        snap::put_u64(out, self.ready_at);
+    }
+
+    fn restore(r: &mut SnapReader<'_>, program: &Program) -> Result<Self, SnapError> {
+        Ok(FbEntry {
+            idx: get_idx(r, program)?,
+            addr: InstrAddr::new(r.u64()?),
+            kind: get_kind(r)?,
+            mem_addr: r.opt_u64()?,
+            fault: r.bool()?,
+            wrong_path: r.bool()?,
+            trace_pos: r.u64()?,
+            mispredicted: r.bool()?,
+            ready_at: r.u64()?,
+        })
+    }
 }
 
 enum FetchMode<'p> {
@@ -153,6 +210,13 @@ pub struct Core<'p> {
 
     halted: bool,
     stats: CoreStats,
+
+    // Forward-progress watchdog, persisted across [`Core::run`] calls so a
+    // checkpointed run observes the same commit gaps as an uninterrupted one.
+    /// Commit count when the watchdog last observed forward progress.
+    watchdog_committed: u64,
+    /// Cycle at which the watchdog last observed forward progress.
+    watchdog_commit_cycle: u64,
 }
 
 impl<'p> Core<'p> {
@@ -200,6 +264,8 @@ impl<'p> Core<'p> {
             resolve_events: BinaryHeap::new(),
             halted: false,
             stats: CoreStats::default(),
+            watchdog_committed: 0,
+            watchdog_commit_cycle: 0,
             config,
         }
     }
@@ -259,18 +325,16 @@ impl<'p> Core<'p> {
     /// spinning in a livelock until the cycle budget runs out.
     pub fn run(&mut self, sink: &mut impl TraceSink, max_cycles: u64) -> RunSummary {
         let watchdog = self.config.watchdog_cycles;
-        let mut last_committed = self.stats.committed;
-        let mut last_commit_cycle = self.cycle;
         while !self.finished() && self.cycle < max_cycles {
             self.step(sink);
-            if self.stats.committed != last_committed {
-                last_committed = self.stats.committed;
-                last_commit_cycle = self.cycle;
-            } else if watchdog != 0 && self.cycle - last_commit_cycle >= watchdog {
+            if self.stats.committed != self.watchdog_committed {
+                self.watchdog_committed = self.stats.committed;
+                self.watchdog_commit_cycle = self.cycle;
+            } else if watchdog != 0 && self.cycle - self.watchdog_commit_cycle >= watchdog {
                 if self.finished() {
                     break;
                 }
-                let diag = self.stuck_diag(last_commit_cycle);
+                let diag = self.stuck_diag(self.watchdog_commit_cycle);
                 return RunSummary {
                     cycles: self.cycle,
                     instructions: self.stats.committed,
@@ -317,6 +381,249 @@ impl<'p> Core<'p> {
                 committed: summary.instructions,
             }),
         }
+    }
+
+    /// Serializes the complete mid-flight state of the core: architectural
+    /// position (executor, stack, behaviour RNGs), microarchitectural state
+    /// (ROB and rename maps, issue queues, LSQ occupancy, store buffer,
+    /// in-flight uops, fetch engine, predictor tables), the memory hierarchy,
+    /// statistics, and watchdog progress.
+    ///
+    /// [`Core::restore`] with the same program and configuration continues
+    /// the run bit-identically: every subsequent [`CycleRecord`] equals the
+    /// one an uninterrupted run would have produced.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        snap::put_u64(&mut out, self.cycle);
+        self.mem.snapshot_into(&mut out);
+        self.predictor.snapshot_into(&mut out);
+        self.window.snapshot_into(&mut out);
+        snap::put_u64(&mut out, self.fetch_pos);
+        match &self.fetch_mode {
+            FetchMode::Correct => snap::put_u8(&mut out, 0),
+            FetchMode::Wrong { gen, peek } => {
+                snap::put_u8(&mut out, 1);
+                gen.snapshot_into(&mut out);
+                match peek {
+                    None => snap::put_u8(&mut out, 0),
+                    Some(w) => {
+                        snap::put_u8(&mut out, 1);
+                        put_wrong_instr(&mut out, w);
+                    }
+                }
+            }
+        }
+        snap::put_u64(&mut out, self.fetch_stall_until);
+        snap::put_bool(&mut out, self.fetch_done);
+        snap::put_u64(&mut out, self.cur_line);
+        snap::put_u64(&mut out, self.cur_line_ready);
+        snap::put_u64(&mut out, self.wrong_path_seed);
+        snap::put_len(&mut out, self.fetch_buffer.len());
+        for fb in &self.fetch_buffer {
+            fb.snapshot_into(&mut out);
+        }
+        self.uops.snapshot_into(&mut out);
+        snap::put_len(&mut out, self.rob.len());
+        for &slot in &self.rob {
+            snap::put_u32(&mut out, slot as u32);
+        }
+        snap::put_u64(&mut out, self.head_alloc);
+        self.renamer.snapshot_into(&mut out);
+        for q in [&self.iq_int, &self.iq_mem, &self.iq_fp] {
+            snap::put_len(&mut out, q.len());
+            for &(slot, uid) in q {
+                snap::put_u32(&mut out, slot as u32);
+                snap::put_u64(&mut out, uid);
+            }
+        }
+        snap::put_u64(&mut out, self.div_busy[0]);
+        snap::put_u64(&mut out, self.div_busy[1]);
+        snap::put_u32(&mut out, self.lsq_used);
+        snap::put_u32(&mut out, self.branches_inflight);
+        snap::put_len(&mut out, self.store_buffer.len());
+        for &done in &self.store_buffer {
+            snap::put_u64(&mut out, done);
+        }
+        snap::put_opt_u64(&mut out, self.serialize);
+        // BinaryHeap iteration order is unspecified; serialize sorted so the
+        // same state always produces the same bytes.
+        let events = self.resolve_events.clone().into_sorted_vec();
+        snap::put_len(&mut out, events.len());
+        for Reverse((when, slot, uid)) in events {
+            snap::put_u64(&mut out, when);
+            snap::put_u32(&mut out, slot as u32);
+            snap::put_u64(&mut out, uid);
+        }
+        snap::put_bool(&mut out, self.halted);
+        for v in [
+            self.stats.cycles,
+            self.stats.committed,
+            self.stats.fetched,
+            self.stats.wrong_path_fetched,
+            self.stats.mispredicts,
+            self.stats.csr_flushes,
+            self.stats.exceptions,
+            self.stats.commit_cycles,
+            self.stats.empty_rob_cycles,
+            self.stats.icache_stall_cycles,
+            self.stats.rob_full_cycles,
+        ] {
+            snap::put_u64(&mut out, v);
+        }
+        snap::put_u64(&mut out, self.watchdog_committed);
+        snap::put_u64(&mut out, self.watchdog_commit_cycle);
+        out
+    }
+
+    /// Restores a core captured by [`Core::snapshot`], re-attached to the
+    /// same `program` and `config` the snapshot was taken under.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the bytes are truncated or malformed,
+    /// refer to instruction indices outside `program`, or disagree with
+    /// `config`'s structural shape (register files, cache geometry). Damaged
+    /// checkpoints surface as errors — never as a panic or a silently wrong
+    /// simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` itself is structurally invalid
+    /// (see [`CoreConfig::validate`]).
+    pub fn restore(
+        program: &'p Program,
+        config: CoreConfig,
+        data: &[u8],
+    ) -> Result<Self, SnapError> {
+        config.validate();
+        let r = &mut SnapReader::new(data);
+        let cycle = r.u64()?;
+        let mem = MemSystem::restore(&config.mem, r)?;
+        let predictor = Predictor::restore(program.len(), r)?;
+        let window = TraceWindow::restore(program, r)?;
+        let fetch_pos = r.u64()?;
+        let fetch_mode = match r.u8()? {
+            0 => FetchMode::Correct,
+            1 => {
+                let gen = WrongPath::restore(program, r)?;
+                let peek = match r.u8()? {
+                    0 => None,
+                    1 => Some(get_wrong_instr(r, program)?),
+                    _ => return Err(SnapError::Malformed("wrong-path peek tag")),
+                };
+                FetchMode::Wrong { gen, peek }
+            }
+            _ => return Err(SnapError::Malformed("fetch mode tag")),
+        };
+        let fetch_stall_until = r.u64()?;
+        let fetch_done = r.bool()?;
+        let cur_line = r.u64()?;
+        let cur_line_ready = r.u64()?;
+        let wrong_path_seed = r.u64()?;
+        let n_fb = r.len()?;
+        let mut fetch_buffer = VecDeque::with_capacity(config.fetch_buffer as usize);
+        for _ in 0..n_fb {
+            fetch_buffer.push_back(FbEntry::restore(r, program)?);
+        }
+        let uops = UopSlab::restore(r, program)?;
+        let n_rob = r.len_of(4)?;
+        let mut rob = VecDeque::with_capacity(config.rob_entries as usize);
+        for _ in 0..n_rob {
+            let slot = r.u32()? as usize;
+            if !uops.is_live(slot) {
+                return Err(SnapError::Malformed("ROB names a dead uop slot"));
+            }
+            rob.push_back(slot);
+        }
+        let head_alloc = r.u64()?;
+        let renamer = Renamer::restore(config.int_phys_regs, config.fp_phys_regs, r)?;
+        let read_iq = |r: &mut SnapReader<'_>| -> Result<Vec<(usize, u64)>, SnapError> {
+            let n = r.len_of(12)?;
+            let mut q = Vec::with_capacity(n);
+            for _ in 0..n {
+                let slot = r.u32()? as usize;
+                if slot >= uops.num_slots() {
+                    return Err(SnapError::Malformed("issue queue slot out of range"));
+                }
+                q.push((slot, r.u64()?));
+            }
+            Ok(q)
+        };
+        let iq_int = read_iq(r)?;
+        let iq_mem = read_iq(r)?;
+        let iq_fp = read_iq(r)?;
+        let div_busy = [r.u64()?, r.u64()?];
+        let lsq_used = r.u32()?;
+        let branches_inflight = r.u32()?;
+        let n_sb = r.len_of(8)?;
+        let mut store_buffer = Vec::with_capacity(config.store_buffer as usize);
+        for _ in 0..n_sb {
+            store_buffer.push(r.u64()?);
+        }
+        let serialize = r.opt_u64()?;
+        let n_ev = r.len_of(20)?;
+        let mut resolve_events = BinaryHeap::with_capacity(n_ev);
+        for _ in 0..n_ev {
+            let when = r.u64()?;
+            let slot = r.u32()? as usize;
+            if slot >= uops.num_slots() {
+                return Err(SnapError::Malformed("resolve event slot out of range"));
+            }
+            resolve_events.push(Reverse((when, slot, r.u64()?)));
+        }
+        let halted = r.bool()?;
+        let stats = CoreStats {
+            cycles: r.u64()?,
+            committed: r.u64()?,
+            fetched: r.u64()?,
+            wrong_path_fetched: r.u64()?,
+            mispredicts: r.u64()?,
+            csr_flushes: r.u64()?,
+            exceptions: r.u64()?,
+            commit_cycles: r.u64()?,
+            empty_rob_cycles: r.u64()?,
+            icache_stall_cycles: r.u64()?,
+            rob_full_cycles: r.u64()?,
+        };
+        let watchdog_committed = r.u64()?;
+        let watchdog_commit_cycle = r.u64()?;
+        if !r.is_empty() {
+            return Err(SnapError::Malformed("trailing bytes after core state"));
+        }
+        Ok(Core {
+            program,
+            cycle,
+            mem,
+            predictor,
+            window,
+            fetch_pos,
+            fetch_mode,
+            fetch_stall_until,
+            fetch_done,
+            cur_line,
+            cur_line_ready,
+            wrong_path_seed,
+            fetch_buffer,
+            uops,
+            rob,
+            head_alloc,
+            renamer,
+            iq_int,
+            iq_mem,
+            iq_fp,
+            div_busy,
+            lsq_used,
+            branches_inflight,
+            store_buffer,
+            serialize,
+            resolve_events,
+            halted,
+            stats,
+            watchdog_committed,
+            watchdog_commit_cycle,
+            config,
+        })
     }
 
     /// Captures the pipeline-state dump for a watchdog-detected livelock.
@@ -1481,5 +1788,141 @@ mod tests {
         let summary = core.run(&mut (), 10_000);
         assert_eq!(summary.exit, RunExit::StreamEnd);
         assert_eq!(summary.instructions, 2);
+    }
+
+    /// A program exercising every squash path at once: hard-to-predict
+    /// branches (mispredicts + wrong-path fetch), calls and returns (RAS),
+    /// faulting loads over a cache-hostile footprint (exceptions + MSHRs),
+    /// and CSR flushes.
+    fn stress_program() -> Program {
+        let mut b = ProgramBuilder::named("stress");
+        let main = b.function("main");
+        let helper = b.function("helper");
+        let handler = b.function("os_handler");
+        let head = b.block(main);
+        let skip = b.block(main);
+        let resume = b.block(main);
+        let tail = b.block(main);
+        let exit = b.block(main);
+        b.push(
+            head,
+            Instr::load(
+                Some(Reg::int(1)),
+                None,
+                MemBehavior::RandomIn {
+                    base: 0x40_0000,
+                    footprint: 4 * 1024 * 1024,
+                },
+            )
+            .with_fault(FaultSpec { every: 301 }),
+        );
+        b.push(
+            head,
+            Instr::int_alu(Some(Reg::int(2)), [Some(Reg::int(1)), None]),
+        );
+        b.push(
+            head,
+            Instr::branch(tail, BranchBehavior::Bernoulli { taken_prob: 0.5 }),
+        );
+        b.push(skip, Instr::call(helper));
+        b.push(resume, Instr::jump(tail));
+        b.push(
+            tail,
+            Instr::store(
+                Some(Reg::int(2)),
+                None,
+                MemBehavior::Stride {
+                    base: 0x80_0000,
+                    stride: 64,
+                    footprint: 1024 * 1024,
+                },
+            ),
+        );
+        b.push(
+            tail,
+            Instr::branch(head, BranchBehavior::Loop { taken_iters: 1_500 }),
+        );
+        b.push(exit, Instr::halt());
+        let hb = b.block(helper);
+        b.push(hb, Instr::int_alu(Some(Reg::int(4)), [None, None]));
+        b.push(hb, Instr::csr_flush());
+        b.push(hb, Instr::ret());
+        let fh = b.block(handler);
+        b.push(fh, Instr::int_alu(Some(Reg::int(5)), [None, None]));
+        b.push(fh, Instr::ret());
+        b.set_fault_handler(handler);
+        b.build().expect("valid program")
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let p = stress_program();
+        let config = CoreConfig::default();
+
+        // Uninterrupted reference run.
+        let mut full_rec = Recorder::default();
+        let mut full = Core::new(&p, config.clone(), 7);
+        let full_summary = full.run(&mut full_rec, 2_000_000);
+        assert_eq!(full_summary.exit, RunExit::Halted);
+        assert!(
+            full.stats().mispredicts > 100 && full.stats().exceptions > 0,
+            "stress program must exercise squash paths"
+        );
+        assert!(
+            full_summary.cycles > 9_000,
+            "program too short to checkpoint mid-flight"
+        );
+
+        // The same run torn down and restored twice mid-flight, at cycle
+        // bounds chosen to land inside the loop (not on iteration edges).
+        let mut rec = Recorder::default();
+        let mut core = Core::new(&p, config.clone(), 7);
+        core.run(&mut rec, 3_001);
+        let snap1 = core.snapshot();
+        drop(core);
+        let mut core = Core::restore(&p, config.clone(), &snap1).expect("restore checkpoint 1");
+        core.run(&mut rec, 7_003);
+        let snap2 = core.snapshot();
+        drop(core);
+        let mut core = Core::restore(&p, config.clone(), &snap2).expect("restore checkpoint 2");
+        let summary = core.run(&mut rec, 2_000_000);
+
+        assert_eq!(summary, full_summary);
+        assert_eq!(*core.stats(), *full.stats());
+        assert_eq!(rec.records.len(), full_rec.records.len());
+        for (i, (got, want)) in rec.records.iter().zip(&full_rec.records).enumerate() {
+            assert_eq!(got, want, "cycle {i} diverges after restore");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_restore_validates() {
+        let p = stress_program();
+        let mut a = Core::new(&p, CoreConfig::default(), 7);
+        a.run(&mut (), 5_000);
+        let snap = a.snapshot();
+        let mut b = Core::new(&p, CoreConfig::default(), 7);
+        b.run(&mut (), 5_000);
+        assert_eq!(snap, b.snapshot(), "same state must serialize identically");
+
+        // A snapshot taken under another core shape must be rejected.
+        assert!(Core::restore(&p, CoreConfig::small_2wide(), &snap).is_err());
+        // A snapshot of another program must be rejected.
+        let other = loop_program(
+            |b, blk| {
+                b.push(blk, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+            },
+            100,
+        );
+        assert!(Core::restore(&other, CoreConfig::default(), &snap).is_err());
+        // Truncation anywhere is detected, never a panic.
+        for cut in (0..snap.len()).step_by(snap.len() / 23 + 1) {
+            assert!(Core::restore(&p, CoreConfig::default(), &snap[..cut]).is_err());
+        }
+        assert!(Core::restore(&p, CoreConfig::default(), &snap[..snap.len() - 1]).is_err());
+        // Trailing garbage is detected.
+        let mut extended = snap.clone();
+        extended.push(0);
+        assert!(Core::restore(&p, CoreConfig::default(), &extended).is_err());
     }
 }

@@ -27,6 +27,7 @@ mod core;
 mod error;
 mod predictor;
 mod rename;
+mod snapshot;
 mod stats;
 mod trace;
 mod uop;

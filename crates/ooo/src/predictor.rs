@@ -11,6 +11,7 @@
 //! come from the RAS and go stale across exception handlers and deep
 //! call chains.
 
+use tip_isa::snap::{self, SnapError, SnapReader};
 use tip_isa::InstrAddr;
 
 const HISTORY_BITS: u32 = 8;
@@ -95,6 +96,83 @@ impl Predictor {
     #[must_use]
     pub fn mispredictions(&self) -> u64 {
         self.mispredictions
+    }
+
+    /// Serializes the pattern tables, histories, RAS, and counters for a
+    /// checkpoint.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_len(out, self.tables.len());
+        for table in &self.tables {
+            match table {
+                None => snap::put_u8(out, 0),
+                Some(t) => {
+                    snap::put_u8(out, 1);
+                    out.extend_from_slice(&t[..]);
+                }
+            }
+        }
+        for &h in &self.history {
+            snap::put_u8(out, h);
+        }
+        snap::put_len(out, self.ras.len());
+        for &addr in &self.ras {
+            snap::put_u64(out, addr.raw());
+        }
+        snap::put_u64(out, self.predictions);
+        snap::put_u64(out, self.mispredictions);
+    }
+
+    /// Restores a predictor captured by [`Predictor::snapshot_into`], sized
+    /// for `num_static_instrs` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is damaged or was captured for
+    /// a program of a different size.
+    pub fn restore(num_static_instrs: usize, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len()?;
+        if n != num_static_instrs {
+            return Err(SnapError::Malformed("predictor sized for another program"));
+        }
+        let mut tables = Vec::with_capacity(n);
+        for _ in 0..n {
+            tables.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let mut t = Box::new([0u8; TABLE_SIZE]);
+                    for c in t.iter_mut() {
+                        let v = r.u8()?;
+                        if v > 3 {
+                            return Err(SnapError::Malformed("saturating counter"));
+                        }
+                        *c = v;
+                    }
+                    Some(t)
+                }
+                _ => return Err(SnapError::Malformed("pattern table tag")),
+            });
+        }
+        let mut history = Vec::with_capacity(n);
+        for _ in 0..n {
+            history.push(r.u8()?);
+        }
+        let ras_capacity = 32;
+        let n_ras = r.len_of(8)?;
+        if n_ras > ras_capacity {
+            return Err(SnapError::Malformed("RAS deeper than capacity"));
+        }
+        let mut ras = Vec::with_capacity(n_ras);
+        for _ in 0..n_ras {
+            ras.push(InstrAddr::new(r.u64()?));
+        }
+        Ok(Predictor {
+            tables,
+            history,
+            ras,
+            ras_capacity,
+            predictions: r.u64()?,
+            mispredictions: r.u64()?,
+        })
     }
 }
 
@@ -206,6 +284,29 @@ mod tests {
             popped += 1;
         }
         assert_eq!(popped, 32);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_learned_state() {
+        let mut p = Predictor::new(3);
+        for _ in 0..50 {
+            p.predict_and_train(0, true);
+            p.predict_and_train(2, false);
+        }
+        p.push_return(InstrAddr::new(0x40));
+        let mut buf = Vec::new();
+        p.snapshot_into(&mut buf);
+        let mut r = SnapReader::new(&buf);
+        let mut restored = Predictor::restore(3, &mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored.predictions(), p.predictions());
+        assert_eq!(restored.mispredictions(), p.mispredictions());
+        // Learned behaviour carries over.
+        assert!(restored.predict_and_train(0, true));
+        assert!(!restored.predict_and_train(2, false));
+        assert_eq!(restored.pop_return(), Some(InstrAddr::new(0x40)));
+        // A snapshot for the wrong program size must not restore.
+        assert!(Predictor::restore(4, &mut SnapReader::new(&buf)).is_err());
     }
 
     #[test]

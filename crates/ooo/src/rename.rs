@@ -1,5 +1,6 @@
 //! Register renaming: speculative map, free lists, and readiness.
 
+use tip_isa::snap::{self, SnapError, SnapReader};
 use tip_isa::{Reg, RegClass};
 
 /// Renames logical registers onto physical registers.
@@ -105,6 +106,71 @@ impl Renamer {
     pub fn free_counts(&self) -> (usize, usize) {
         (self.free_int.len(), self.free_fp.len())
     }
+
+    /// Serializes the rename map, free lists, and readiness table.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        for &m in &self.map {
+            snap::put_u32(out, m);
+        }
+        snap::put_len(out, self.free_int.len());
+        for &p in &self.free_int {
+            snap::put_u32(out, p);
+        }
+        snap::put_len(out, self.free_fp.len());
+        for &p in &self.free_fp {
+            snap::put_u32(out, p);
+        }
+        for &ready in &self.ready_at {
+            snap::put_u64(out, ready);
+        }
+    }
+
+    /// Restores a renamer captured by [`Renamer::snapshot_into`] for a core
+    /// with `int_regs` + `fp_regs` physical registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is damaged or any physical
+    /// register number falls outside the configured files.
+    pub fn restore(int_regs: u32, fp_regs: u32, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let total = int_regs + fp_regs;
+        let mut map = [0u32; 64];
+        for m in &mut map {
+            let p = r.u32()?;
+            if p >= total {
+                return Err(SnapError::Malformed("mapped preg out of range"));
+            }
+            *m = p;
+        }
+        let read_free = |r: &mut SnapReader<'_>| -> Result<Vec<u32>, SnapError> {
+            let n = r.len_of(4)?;
+            let mut free = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = r.u32()?;
+                if p >= total {
+                    return Err(SnapError::Malformed("free preg out of range"));
+                }
+                free.push(p);
+            }
+            Ok(free)
+        };
+        let free_int = read_free(r)?;
+        let free_fp = read_free(r)?;
+        if free_int.iter().any(|&p| p >= int_regs) || free_fp.iter().any(|&p| p < int_regs) {
+            return Err(SnapError::Malformed("free list crosses register files"));
+        }
+        let mut ready_at = Vec::with_capacity(total as usize);
+        for _ in 0..total {
+            ready_at.push(r.u64()?);
+        }
+        Ok(Renamer {
+            map,
+            free_int,
+            free_fp,
+            ready_at,
+            int_regs,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +224,27 @@ mod tests {
         let (preg, _) = r.allocate(Reg::int(1));
         r.set_ready_at(preg, 42);
         assert_eq!(r.ready_at(preg), 42);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_mid_rename() {
+        let mut r = Renamer::new(40, 40);
+        let (p1, _) = r.allocate(Reg::int(3));
+        r.set_ready_at(p1, 77);
+        let (_, prev) = r.allocate(Reg::fp(9));
+        r.release_preg(prev);
+
+        let mut buf = Vec::new();
+        r.snapshot_into(&mut buf);
+        let mut reader = SnapReader::new(&buf);
+        let restored = Renamer::restore(40, 40, &mut reader).unwrap();
+        assert!(reader.is_empty());
+        assert_eq!(restored.lookup(Reg::int(3)), r.lookup(Reg::int(3)));
+        assert_eq!(restored.lookup(Reg::fp(9)), r.lookup(Reg::fp(9)));
+        assert_eq!(restored.ready_at(p1), 77);
+        assert_eq!(restored.free_counts(), r.free_counts());
+        // A different register-file shape must be rejected.
+        assert!(Renamer::restore(36, 36, &mut SnapReader::new(&buf)).is_err());
     }
 
     #[test]

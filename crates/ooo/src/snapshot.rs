@@ -1,0 +1,136 @@
+//! Snapshot codec helpers shared by the core's checkpoint machinery.
+//!
+//! Encodes the ISA-level value types (instruction kinds, registers, dynamic
+//! instructions) that appear inside the core's microarchitectural state.
+//! Decoding validates every tag and every instruction index against the
+//! program, so a damaged snapshot surfaces as a
+//! [`SnapError`] instead of a panic or out-of-bounds access.
+
+use tip_isa::snap::{self, SnapError, SnapReader};
+pub(crate) use tip_isa::snap::{get_kind, put_kind};
+use tip_isa::{DynInstr, InstrAddr, InstrIdx, Program, Reg, RegClass, WrongPathInstr};
+
+pub(crate) fn put_opt_reg(out: &mut Vec<u8>, reg: Option<Reg>) {
+    match reg {
+        None => snap::put_u8(out, 0),
+        Some(reg) => {
+            snap::put_u8(
+                out,
+                match reg.class() {
+                    RegClass::Int => 1,
+                    RegClass::Fp => 2,
+                },
+            );
+            snap::put_u8(out, reg.index());
+        }
+    }
+}
+
+pub(crate) fn get_opt_reg(r: &mut SnapReader<'_>) -> Result<Option<Reg>, SnapError> {
+    let tag = r.u8()?;
+    if tag == 0 {
+        return Ok(None);
+    }
+    let index = r.u8()?;
+    if index >= 32 {
+        return Err(SnapError::Malformed("register index"));
+    }
+    match tag {
+        1 => Ok(Some(Reg::int(index))),
+        2 => Ok(Some(Reg::fp(index))),
+        _ => Err(SnapError::Malformed("register tag")),
+    }
+}
+
+pub(crate) fn put_opt_taken(out: &mut Vec<u8>, taken: Option<bool>) {
+    snap::put_u8(
+        out,
+        match taken {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+    );
+}
+
+pub(crate) fn get_opt_taken(r: &mut SnapReader<'_>) -> Result<Option<bool>, SnapError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(false)),
+        2 => Ok(Some(true)),
+        _ => Err(SnapError::Malformed("taken tag")),
+    }
+}
+
+/// Reads an instruction index, rejecting positions outside `program`.
+pub(crate) fn get_idx(r: &mut SnapReader<'_>, program: &Program) -> Result<InstrIdx, SnapError> {
+    let raw = r.u32()?;
+    if (raw as usize) >= program.len() {
+        return Err(SnapError::Malformed("instruction index out of range"));
+    }
+    Ok(InstrIdx::new(raw))
+}
+
+pub(crate) fn put_dyn(out: &mut Vec<u8>, d: &DynInstr) {
+    snap::put_u64(out, d.seq);
+    snap::put_u32(out, d.idx.raw());
+    snap::put_u64(out, d.addr.raw());
+    put_kind(out, d.kind);
+    put_opt_taken(out, d.taken);
+    snap::put_opt_u64(out, d.mem_addr);
+    snap::put_bool(out, d.fault);
+    snap::put_opt_u64(out, d.next_addr.map(InstrAddr::raw));
+}
+
+pub(crate) fn get_dyn(r: &mut SnapReader<'_>, program: &Program) -> Result<DynInstr, SnapError> {
+    Ok(DynInstr {
+        seq: r.u64()?,
+        idx: get_idx(r, program)?,
+        addr: InstrAddr::new(r.u64()?),
+        kind: get_kind(r)?,
+        taken: get_opt_taken(r)?,
+        mem_addr: r.opt_u64()?,
+        fault: r.bool()?,
+        next_addr: r.opt_u64()?.map(InstrAddr::new),
+    })
+}
+
+pub(crate) fn put_wrong_instr(out: &mut Vec<u8>, w: &WrongPathInstr) {
+    snap::put_u32(out, w.idx.raw());
+    snap::put_u64(out, w.addr.raw());
+    put_kind(out, w.kind);
+    snap::put_opt_u64(out, w.mem_addr);
+}
+
+pub(crate) fn get_wrong_instr(
+    r: &mut SnapReader<'_>,
+    program: &Program,
+) -> Result<WrongPathInstr, SnapError> {
+    Ok(WrongPathInstr {
+        idx: get_idx(r, program)?,
+        addr: InstrAddr::new(r.u64()?),
+        kind: get_kind(r)?,
+        mem_addr: r.opt_u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regs_roundtrip() {
+        for reg in [
+            None,
+            Some(Reg::int(0)),
+            Some(Reg::int(31)),
+            Some(Reg::fp(7)),
+        ] {
+            let mut buf = Vec::new();
+            put_opt_reg(&mut buf, reg);
+            assert_eq!(get_opt_reg(&mut SnapReader::new(&buf)).unwrap(), reg);
+        }
+        assert!(get_opt_reg(&mut SnapReader::new(&[1, 32])).is_err());
+        assert!(get_opt_reg(&mut SnapReader::new(&[3, 0])).is_err());
+    }
+}

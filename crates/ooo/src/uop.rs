@@ -1,6 +1,8 @@
 //! In-flight micro-op records and the slab that stores them.
 
-use tip_isa::{FuClass, InstrAddr, InstrIdx, InstrKind, Reg};
+use crate::snapshot::{get_idx, get_kind, get_opt_reg, put_kind, put_opt_reg};
+use tip_isa::snap::{self, SnapError, SnapReader};
+use tip_isa::{FuClass, InstrAddr, InstrIdx, InstrKind, Program, Reg};
 
 /// Sentinel trace position for wrong-path uops.
 pub(crate) const WRONG_PATH_POS: u64 = u64::MAX;
@@ -54,6 +56,47 @@ impl Uop {
     pub fn uses_lsq(&self) -> bool {
         self.kind.is_mem()
     }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_u64(out, self.uid);
+        snap::put_u64(out, self.trace_pos);
+        snap::put_u64(out, self.alloc);
+        snap::put_u32(out, self.idx.raw());
+        snap::put_u64(out, self.addr.raw());
+        put_kind(out, self.kind);
+        snap::put_bool(out, self.wrong_path);
+        snap::put_opt_u64(out, self.mem_addr);
+        snap::put_bool(out, self.fault);
+        snap::put_bool(out, self.mispredicted);
+        put_opt_reg(out, self.dst_reg);
+        snap::put_opt_u32(out, self.dst_preg);
+        snap::put_opt_u32(out, self.prev_preg);
+        snap::put_opt_u32(out, self.src_pregs[0]);
+        snap::put_opt_u32(out, self.src_pregs[1]);
+        snap::put_bool(out, self.issued);
+        snap::put_u64(out, self.executed_at);
+    }
+
+    fn restore(r: &mut SnapReader<'_>, program: &Program) -> Result<Self, SnapError> {
+        Ok(Uop {
+            uid: r.u64()?,
+            trace_pos: r.u64()?,
+            alloc: r.u64()?,
+            idx: get_idx(r, program)?,
+            addr: InstrAddr::new(r.u64()?),
+            kind: get_kind(r)?,
+            wrong_path: r.bool()?,
+            mem_addr: r.opt_u64()?,
+            fault: r.bool()?,
+            mispredicted: r.bool()?,
+            dst_reg: get_opt_reg(r)?,
+            dst_preg: r.opt_u32()?,
+            prev_preg: r.opt_u32()?,
+            src_pregs: [r.opt_u32()?, r.opt_u32()?],
+            issued: r.bool()?,
+            executed_at: r.u64()?,
+        })
+    }
 }
 
 /// Slab of in-flight uops with index reuse.
@@ -99,6 +142,64 @@ impl UopSlab {
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.slots.len() - self.free.len()
+    }
+
+    /// Serializes every slot (live or free), the free list, and the uid
+    /// counter, preserving slot indices exactly — the ROB, issue queues, and
+    /// resolve events all refer to uops by slot.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snap::put_len(out, self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                None => snap::put_u8(out, 0),
+                Some(uop) => {
+                    snap::put_u8(out, 1);
+                    uop.snapshot_into(out);
+                }
+            }
+        }
+        snap::put_len(out, self.free.len());
+        for &f in &self.free {
+            snap::put_u32(out, f as u32);
+        }
+        snap::put_u64(out, self.next_uid);
+    }
+
+    /// Restores a slab captured by [`UopSlab::snapshot_into`].
+    pub fn restore(r: &mut SnapReader<'_>, program: &Program) -> Result<Self, SnapError> {
+        let n = r.len()?;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            slots.push(match r.u8()? {
+                0 => None,
+                1 => Some(Uop::restore(r, program)?),
+                _ => return Err(SnapError::Malformed("uop slot tag")),
+            });
+        }
+        let n_free = r.len_of(4)?;
+        let mut free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            let f = r.u32()? as usize;
+            if f >= slots.len() || slots[f].is_some() {
+                return Err(SnapError::Malformed("free list names a live slot"));
+            }
+            free.push(f);
+        }
+        Ok(UopSlab {
+            slots,
+            free,
+            next_uid: r.u64()?,
+        })
+    }
+
+    /// Number of slots (live and free) in the slab.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `slot` currently holds a live uop.
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.slots.get(slot).is_some_and(Option::is_some)
     }
 }
 

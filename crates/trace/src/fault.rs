@@ -13,6 +13,9 @@
 //!
 //! [`Fault::ForcePanic`] is a marker interpreted by the experiment-campaign
 //! layer (it makes a workload panic mid-run); the trace layer ignores it.
+//! **Snapshot-level** faults ([`Fault::StaleSnapshotHeader`], plus the
+//! byte-level ones) damage an encoded `TIPS` checkpoint — apply them with
+//! [`FaultPlan::apply_snapshot`] to verify that restore rejects the damage.
 //!
 //! Everything is seeded: the same plan over the same input injects the same
 //! faults, so chaos tests are reproducible failures, not flakes.
@@ -57,6 +60,11 @@ pub enum Fault {
     /// Campaign-level marker: force the workload to panic mid-run. Ignored
     /// by the trace layer; interpreted by `tip-bench`'s campaign runner.
     ForcePanic,
+    /// Snapshot-level: overwrite a `TIPS` checkpoint's version field with an
+    /// unsupported value, simulating a stale snapshot left behind by an
+    /// older (or newer) build. Applied by [`FaultPlan::apply_snapshot`];
+    /// [`FaultPlan::apply_bytes`] ignores it.
+    StaleSnapshotHeader,
 }
 
 /// A reproducible set of faults.
@@ -121,8 +129,23 @@ impl FaultPlan {
                     let new_len = (bytes.len() as f64 * keep) as usize;
                     bytes.truncate(new_len);
                 }
-                Fault::DropCycles { .. } | Fault::FlipCommitFlags { .. } | Fault::ForcePanic => {}
+                Fault::DropCycles { .. }
+                | Fault::FlipCommitFlags { .. }
+                | Fault::ForcePanic
+                | Fault::StaleSnapshotHeader => {}
             }
+        }
+    }
+
+    /// Applies the plan's snapshot-corruption faults to an encoded `TIPS`
+    /// checkpoint in place: the byte-level faults of
+    /// [`apply_bytes`](Self::apply_bytes) plus
+    /// [`Fault::StaleSnapshotHeader`].
+    pub fn apply_snapshot(&self, bytes: &mut Vec<u8>) {
+        self.apply_bytes(bytes);
+        if self.faults.contains(&Fault::StaleSnapshotHeader) && bytes.len() >= 6 {
+            // The version field sits at bytes 4..6 of the container header.
+            bytes[4..6].copy_from_slice(&u16::MAX.to_le_bytes());
         }
     }
 

@@ -48,9 +48,17 @@ mod codec;
 pub mod fault;
 pub mod framing;
 mod reader;
+pub mod snapshot;
 mod writer;
 
+/// The crate's unified error type: every failure while decoding a trace
+/// stream *or* a `TIPS` snapshot is one of these classified variants.
+pub use codec::DecodeError as TraceError;
 pub use codec::{decode_record, encode_record, DecodeError};
 pub use fault::{Fault, FaultPlan, FaultySink};
 pub use reader::{ReplayReport, TraceReader};
+pub use snapshot::{
+    read_snapshot, write_snapshot, Snapshot, TracePos, SECTION_CORE, SECTION_PROFILERS,
+    SECTION_TRACE_POS, SNAP_MAGIC, SNAP_VERSION,
+};
 pub use writer::TraceWriter;

@@ -1,0 +1,432 @@
+//! The `TIPS` snapshot container: a versioned, CRC-framed checkpoint file.
+//!
+//! A checkpoint captures every stateful layer of a run mid-flight — the
+//! core's architectural and microarchitectural state, the profiler bank's
+//! accumulators and sampler RNG, and the trace writer's resume position —
+//! so a killed campaign can restore and produce a bit-identical commit-trace
+//! suffix. The container reuses the trace stream's framing machinery
+//! ([`crate::framing`]): the same 12-byte header shape (magic `TIPS` instead
+//! of `TIPT`) and the same CRC-32-protected chunk header guarding the whole
+//! payload, so damage to a snapshot is *detected and classified*, never
+//! silently restored.
+//!
+//! ```text
+//! header : magic "TIPS" (4) | version u16 LE | flags u16 LE | reserved u32 LE
+//! frame  : payload_len u32 LE | n_sections u32 LE | cycle u64 LE | crc32 u32 LE
+//! payload: section* = tag u8 | len u32 LE | bytes
+//! ```
+//!
+//! The frame is a [`ChunkHeader`] whose `n_records` field carries the section
+//! count and whose `first_cycle` carries the checkpoint cycle, so the CRC
+//! protects the counts and the cycle exactly like a trace chunk's.
+//!
+//! Section payloads are opaque here: the core and profiler sections are the
+//! `tip-ooo`/`tip-core` snapshot codecs' bytes, validated on restore by those
+//! crates; [`TracePos`] (the trace writer's resume position) is defined in
+//! this crate. Readers must tolerate unknown tags — they are skipped, which
+//! is what lets a later version add sections without breaking version 1.
+
+use crate::codec::DecodeError;
+use crate::framing::{crc32_pair, ChunkHeader, CHUNK_HEADER_LEN, HEADER_LEN, MAX_CHUNK_BYTES};
+use tip_isa::snap::SnapError;
+
+/// Snapshot magic: identifies a framed TIP checkpoint.
+pub const SNAP_MAGIC: [u8; 4] = *b"TIPS";
+
+/// Current snapshot format version.
+pub const SNAP_VERSION: u16 = 1;
+
+/// Section tag: the OoO core's full state (`tip_ooo::Core::snapshot`).
+pub const SECTION_CORE: u8 = 1;
+
+/// Section tag: the profiler bank's state
+/// (`tip_core::ProfilerBank::snapshot`).
+pub const SECTION_PROFILERS: u8 = 2;
+
+/// Section tag: the trace writer's resume position ([`TracePos`]).
+pub const SECTION_TRACE_POS: u8 = 3;
+
+impl From<SnapError> for DecodeError {
+    fn from(e: SnapError) -> Self {
+        match e {
+            SnapError::UnexpectedEof => DecodeError::Malformed("snapshot state ends early"),
+            SnapError::Malformed(what) => DecodeError::Malformed(what),
+        }
+    }
+}
+
+/// The trace writer's resume position, stored under [`SECTION_TRACE_POS`].
+///
+/// `framed_bytes` is the exact length of the trace file at checkpoint time
+/// (header plus every sealed chunk); a resumed run truncates the file to
+/// this offset and appends. The counters restore the writer's statistics so
+/// `records()` and `bytes_per_cycle()` stay faithful across the resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePos {
+    /// Bytes of the framed stream written so far (file truncation point).
+    pub framed_bytes: u64,
+    /// Records written so far.
+    pub records: u64,
+    /// Encoded record payload bytes so far (excluding framing).
+    pub payload_bytes: u64,
+}
+
+impl TracePos {
+    /// Encoded size of a trace position section.
+    pub const ENCODED_LEN: usize = 24;
+
+    /// Encodes the position into its section payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        out.extend_from_slice(&self.framed_bytes.to_le_bytes());
+        out.extend_from_slice(&self.records.to_le_bytes());
+        out.extend_from_slice(&self.payload_bytes.to_le_bytes());
+        out
+    }
+
+    /// Decodes a position from its section payload.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Malformed`] when the section is not exactly
+    /// [`Self::ENCODED_LEN`] bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return Err(DecodeError::Malformed("trace position section length"));
+        }
+        let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        Ok(TracePos {
+            framed_bytes: word(0),
+            records: word(8),
+            payload_bytes: word(16),
+        })
+    }
+}
+
+/// A decoded, CRC-verified snapshot container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The simulated cycle at which the checkpoint was taken.
+    pub cycle: u64,
+    sections: Vec<(u8, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// The first section with the given tag, if present.
+    #[must_use]
+    pub fn section(&self, tag: u8) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, data)| data.as_slice())
+    }
+
+    /// All sections, in file order.
+    #[must_use]
+    pub fn sections(&self) -> &[(u8, Vec<u8>)] {
+        &self.sections
+    }
+}
+
+fn encode_snap_header() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&SNAP_MAGIC);
+    h[4..6].copy_from_slice(&SNAP_VERSION.to_le_bytes());
+    // flags (6..8) and reserved (8..12) are zero in version 1.
+    h
+}
+
+/// Encodes a snapshot container: header, CRC frame, and tagged sections.
+///
+/// # Panics
+///
+/// Panics when the combined payload exceeds
+/// [`MAX_CHUNK_BYTES`](crate::framing::MAX_CHUNK_BYTES) — real checkpoints
+/// are far smaller; hitting the bound indicates a caller bug, not damage.
+#[must_use]
+pub fn write_snapshot(cycle: u64, sections: &[(u8, &[u8])]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for &(tag, data) in sections {
+        payload.push(tag);
+        payload.extend_from_slice(
+            &(u32::try_from(data.len()).expect("section fits u32")).to_le_bytes(),
+        );
+        payload.extend_from_slice(data);
+    }
+    assert!(
+        payload.len() <= MAX_CHUNK_BYTES,
+        "snapshot payload exceeds the chunk bound"
+    );
+    let mut header = ChunkHeader {
+        payload_len: payload.len() as u32,
+        n_records: sections.len() as u32,
+        first_cycle: cycle,
+        crc: 0,
+    };
+    header.crc = crc32_pair(&header.protected_prefix(), &payload);
+    let mut out = Vec::with_capacity(HEADER_LEN + CHUNK_HEADER_LEN + payload.len());
+    out.extend_from_slice(&encode_snap_header());
+    out.extend_from_slice(&header.encode());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes and verifies a snapshot container.
+///
+/// # Errors
+///
+/// Every damage mode maps to a classified [`DecodeError`], never a panic:
+///
+/// - [`DecodeError::BadMagic`] — not a `TIPS` snapshot (or the magic itself
+///   was damaged);
+/// - [`DecodeError::UnsupportedVersion`] — a snapshot from a different
+///   format version (e.g. a stale file after an upgrade);
+/// - [`DecodeError::Truncated`] — the file is shorter than its frame
+///   declares (tail cut off mid-write);
+/// - [`DecodeError::Corrupt`] — bytes damaged in place (CRC mismatch, or an
+///   absurd declared length);
+/// - [`DecodeError::Malformed`] — the frame verified but its section
+///   structure is inconsistent (writer bug or crafted file).
+pub fn read_snapshot(bytes: &[u8]) -> Result<Snapshot, DecodeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            last_good_cycle: None,
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if magic != SNAP_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != SNAP_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let rest = &bytes[HEADER_LEN..];
+    if rest.len() < CHUNK_HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            last_good_cycle: None,
+        });
+    }
+    let raw: [u8; CHUNK_HEADER_LEN] = rest[..CHUNK_HEADER_LEN].try_into().expect("20 bytes");
+    let header = ChunkHeader::decode(&raw);
+    if header.payload_len as usize > MAX_CHUNK_BYTES {
+        return Err(DecodeError::Corrupt {
+            offset: HEADER_LEN as u64,
+        });
+    }
+    let payload = &rest[CHUNK_HEADER_LEN..];
+    if payload.len() < header.payload_len as usize {
+        return Err(DecodeError::Truncated {
+            last_good_cycle: None,
+        });
+    }
+    if payload.len() > header.payload_len as usize {
+        return Err(DecodeError::Malformed(
+            "trailing bytes after snapshot frame",
+        ));
+    }
+    if crc32_pair(&header.protected_prefix(), payload) != header.crc {
+        return Err(DecodeError::Corrupt {
+            offset: HEADER_LEN as u64,
+        });
+    }
+    let mut sections = Vec::with_capacity(header.n_records as usize);
+    let mut pos = 0usize;
+    for _ in 0..header.n_records {
+        if payload.len() - pos < 5 {
+            return Err(DecodeError::Malformed("snapshot section header"));
+        }
+        let tag = payload[pos];
+        let len =
+            u32::from_le_bytes(payload[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        pos += 5;
+        if payload.len() - pos < len {
+            return Err(DecodeError::Malformed("snapshot section length"));
+        }
+        sections.push((tag, payload[pos..pos + len].to_vec()));
+        pos += len;
+    }
+    if pos != payload.len() {
+        return Err(DecodeError::Malformed(
+            "trailing bytes after snapshot sections",
+        ));
+    }
+    Ok(Snapshot {
+        cycle: header.first_cycle,
+        sections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultPlan};
+
+    fn sample_snapshot() -> Vec<u8> {
+        let pos = TracePos {
+            framed_bytes: 4_096,
+            records: 123,
+            payload_bytes: 2_000,
+        };
+        write_snapshot(
+            77_001,
+            &[
+                (SECTION_CORE, b"core-state-bytes".as_slice()),
+                (SECTION_PROFILERS, b"profiler-bank-bytes".as_slice()),
+                (SECTION_TRACE_POS, pos.encode().as_slice()),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trips_sections_and_cycle() {
+        let bytes = sample_snapshot();
+        let snap = read_snapshot(&bytes).expect("decode");
+        assert_eq!(snap.cycle, 77_001);
+        assert_eq!(snap.sections().len(), 3);
+        assert_eq!(
+            snap.section(SECTION_CORE),
+            Some(b"core-state-bytes".as_slice())
+        );
+        assert_eq!(
+            snap.section(SECTION_PROFILERS),
+            Some(b"profiler-bank-bytes".as_slice())
+        );
+        let pos = TracePos::decode(snap.section(SECTION_TRACE_POS).expect("pos")).expect("decode");
+        assert_eq!(
+            pos,
+            TracePos {
+                framed_bytes: 4_096,
+                records: 123,
+                payload_bytes: 2_000,
+            }
+        );
+        assert_eq!(
+            snap.section(99),
+            None,
+            "unknown tag is absent, not an error"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let bytes = write_snapshot(0, &[]);
+        let snap = read_snapshot(&bytes).expect("decode");
+        assert_eq!(snap.cycle, 0);
+        assert!(snap.sections().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_classified() {
+        let mut bytes = sample_snapshot();
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_snapshot(&bytes),
+            Err(DecodeError::BadMagic(_))
+        ));
+        // A trace header is not a snapshot.
+        bytes[0..4].copy_from_slice(&crate::framing::MAGIC);
+        assert!(matches!(
+            read_snapshot(&bytes),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn stale_version_is_classified() {
+        let mut bytes = sample_snapshot();
+        let plan = FaultPlan::new(9, vec![Fault::StaleSnapshotHeader]);
+        plan.apply_snapshot(&mut bytes);
+        assert!(matches!(
+            read_snapshot(&bytes),
+            Err(DecodeError::UnsupportedVersion(u16::MAX))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_classified() {
+        let bytes = sample_snapshot();
+        for cut in 0..bytes.len() {
+            let err = read_snapshot(&bytes[..cut]).expect_err("damaged");
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::Truncated { .. } | DecodeError::Corrupt { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_damage_is_corrupt() {
+        let mut bytes = sample_snapshot();
+        let victim = HEADER_LEN + CHUNK_HEADER_LEN + 3;
+        bytes[victim] ^= 0x10;
+        assert!(matches!(
+            read_snapshot(&bytes),
+            Err(DecodeError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_malformed() {
+        let mut bytes = sample_snapshot();
+        bytes.push(0xAA);
+        assert!(matches!(
+            read_snapshot(&bytes),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn random_bit_flips_never_yield_wrong_data() {
+        // A flipped bit must either be detected or land in the unprotected
+        // flags/reserved header bytes, which do not alter the decoded state.
+        let pristine = read_snapshot(&sample_snapshot()).expect("decode");
+        for seed in 0..64 {
+            let mut bytes = sample_snapshot();
+            let plan = FaultPlan::new(seed, vec![Fault::FlipBits { bits: 3 }]);
+            plan.apply_snapshot(&mut bytes);
+            if let Ok(snap) = read_snapshot(&bytes) {
+                assert_eq!(snap, pristine, "seed {seed} silently altered the snapshot");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_fault_is_classified() {
+        for keep in [0.0, 0.2, 0.5, 0.9] {
+            let mut bytes = sample_snapshot();
+            let plan = FaultPlan::new(
+                1,
+                vec![Fault::Truncate {
+                    keep_fraction: keep,
+                }],
+            );
+            plan.apply_snapshot(&mut bytes);
+            assert!(read_snapshot(&bytes).is_err(), "keep={keep} undetected");
+        }
+    }
+
+    #[test]
+    fn trace_pos_rejects_wrong_length() {
+        assert!(matches!(
+            TracePos::decode(&[0u8; 23]),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn snap_errors_convert() {
+        assert!(matches!(
+            DecodeError::from(SnapError::UnexpectedEof),
+            DecodeError::Malformed(_)
+        ));
+        assert!(matches!(
+            DecodeError::from(SnapError::Malformed("x")),
+            DecodeError::Malformed("x")
+        ));
+    }
+}

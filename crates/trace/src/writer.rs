@@ -1,7 +1,10 @@
 //! Streaming trace writer with integrity framing.
 
 use crate::codec::encode_record;
-use crate::framing::{crc32_pair, encode_header, ChunkHeader, DEFAULT_CHUNK_BYTES};
+use crate::framing::{
+    crc32_pair, encode_header, ChunkHeader, CHUNK_HEADER_LEN, DEFAULT_CHUNK_BYTES, HEADER_LEN,
+};
+use crate::snapshot::TracePos;
 use std::io::{self, BufWriter, Write};
 use tip_ooo::{CycleRecord, TraceSink};
 
@@ -27,6 +30,7 @@ pub struct TraceWriter<W: Write> {
     header_written: bool,
     records: u64,
     bytes: u64,
+    framed_bytes: u64,
     error: Option<io::Error>,
 }
 
@@ -50,8 +54,31 @@ impl<W: Write> TraceWriter<W> {
             header_written: false,
             records: 0,
             bytes: 0,
+            framed_bytes: 0,
             error: None,
         }
+    }
+
+    /// Creates a writer that continues a stream previously written up to
+    /// `pos` — the resume half of a checkpoint.
+    ///
+    /// The caller must have truncated the underlying file to exactly
+    /// `pos.framed_bytes` (the end of the last sealed chunk) and positioned
+    /// `out` there; the magic/version header is *not* rewritten, and the
+    /// writer's record/byte counters continue from the checkpoint so the
+    /// resumed stream is indistinguishable from an uninterrupted one.
+    pub fn resume(out: W, pos: TracePos) -> Self {
+        Self::resume_with_chunk_size(out, DEFAULT_CHUNK_BYTES, pos)
+    }
+
+    /// [`resume`](Self::resume) with an explicit chunk size.
+    pub fn resume_with_chunk_size(out: W, chunk_bytes: usize, pos: TracePos) -> Self {
+        let mut w = Self::with_chunk_size(out, chunk_bytes);
+        w.header_written = true;
+        w.records = pos.records;
+        w.bytes = pos.payload_bytes;
+        w.framed_bytes = pos.framed_bytes;
+        w
     }
 
     /// Records written so far.
@@ -78,10 +105,26 @@ impl<W: Write> TraceWriter<W> {
         }
     }
 
+    /// The stream's resume position: counters plus the exact framed length
+    /// written so far.
+    ///
+    /// Only meaningful after [`flush`](Self::flush) — an open (unsealed)
+    /// chunk's records are not yet framed and would be lost by a resume from
+    /// this position.
+    #[must_use]
+    pub fn position(&self) -> TracePos {
+        TracePos {
+            framed_bytes: self.framed_bytes,
+            records: self.records,
+            payload_bytes: self.bytes,
+        }
+    }
+
     fn write_header_once(&mut self) -> io::Result<()> {
         if !self.header_written {
             self.out.write_all(&encode_header())?;
             self.header_written = true;
+            self.framed_bytes += HEADER_LEN as u64;
         }
         Ok(())
     }
@@ -100,6 +143,7 @@ impl<W: Write> TraceWriter<W> {
         header.crc = crc32_pair(&header.protected_prefix(), &self.chunk);
         self.out.write_all(&header.encode())?;
         self.out.write_all(&self.chunk)?;
+        self.framed_bytes += (CHUNK_HEADER_LEN + self.chunk.len()) as u64;
         self.chunk.clear();
         self.chunk_records = 0;
         Ok(())
@@ -204,6 +248,64 @@ mod tests {
             "expected many chunks, got {} bytes",
             buf.len()
         );
+    }
+
+    #[test]
+    fn position_tracks_the_exact_framed_length() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::with_chunk_size(&mut buf, 64);
+        for c in 0..37 {
+            w.on_cycle(&CycleRecord::empty(c));
+        }
+        w.flush().expect("flush ok");
+        let pos = w.position();
+        drop(w);
+        assert_eq!(pos.framed_bytes, buf.len() as u64);
+        assert_eq!(pos.records, 37);
+    }
+
+    #[test]
+    fn resumed_stream_is_indistinguishable_from_uninterrupted() {
+        use crate::reader::TraceReader;
+
+        // First half, checkpointed at cycle 50.
+        let mut file = Vec::new();
+        let mut w = TraceWriter::with_chunk_size(&mut file, 64);
+        for c in 0..50 {
+            w.on_cycle(&CycleRecord::empty(c));
+        }
+        w.flush().expect("flush ok");
+        let pos = w.position();
+        drop(w);
+        assert_eq!(
+            pos.framed_bytes,
+            file.len() as u64,
+            "flush sealed everything"
+        );
+
+        // Crash: a torn partial write past the checkpoint, then resume —
+        // truncate to the recorded offset and append the second half.
+        file.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+        file.truncate(pos.framed_bytes as usize);
+        let mut tail = Vec::new();
+        let mut w = TraceWriter::resume_with_chunk_size(&mut tail, 64, pos);
+        for c in 50..100 {
+            w.on_cycle(&CycleRecord::empty(c));
+        }
+        w.flush().expect("flush ok");
+        assert_eq!(w.records(), 100, "counters continue across the resume");
+        let resumed_framed = w.position().framed_bytes;
+        drop(w);
+        assert_eq!(resumed_framed, (file.len() + tail.len()) as u64);
+        file.extend_from_slice(&tail);
+
+        let decoded: Vec<CycleRecord> = TraceReader::new(file.as_slice())
+            .collect::<Result<_, _>>()
+            .expect("whole resumed stream decodes");
+        assert_eq!(decoded.len(), 100);
+        for (c, r) in decoded.iter().enumerate() {
+            assert_eq!(r.cycle, c as u64);
+        }
     }
 
     #[test]
