@@ -1,7 +1,8 @@
 //! Chaos harness: drives every fault-injection mode through the full stack
 //! and checks that each layer degrades gracefully instead of panicking.
 //!
-//! Usage: `chaos [test|small|full]` (default: test).
+//! Usage: `chaos [test|small|full] [--jobs N]` (default: test, all cores;
+//! the campaign act fans out over the shared job executor).
 //!
 //! Three acts:
 //!
@@ -22,8 +23,9 @@
 //!
 //! Exits non-zero if any resilience property is violated.
 
-use tip_bench::campaign::{run_campaign, CampaignConfig};
+use tip_bench::campaign::{run_campaign, CampaignCli, CampaignConfig};
 use tip_bench::checkpoint::{run_profiled_checkpointed, save_checkpoint, CheckpointSpec};
+use tip_bench::executor::{Job, RunCtx};
 use tip_bench::run::{run_profiled, RunError};
 use tip_bench::DEFAULT_INTERVAL;
 use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
@@ -32,16 +34,23 @@ use tip_ooo::{Core, CoreConfig, CycleRecord, TraceSink};
 use tip_trace::{Fault, FaultPlan, TraceReader, TraceWriter};
 use tip_workloads::{benchmark, suite, SuiteScale};
 
-fn scale_from_args() -> SuiteScale {
-    match std::env::args().nth(1).as_deref() {
-        None | Some("test") => SuiteScale::Test,
-        Some("small") => SuiteScale::Small,
-        Some("full") => SuiteScale::Full,
-        Some(other) => {
-            eprintln!("chaos: unknown scale `{other}` (expected test, small, or full)");
+/// Parses the CLI with the shared campaign parser, rejecting the persistence
+/// flags chaos manages itself (it writes only scratch directories).
+fn cli_from_args() -> CampaignCli {
+    let cli = match CampaignCli::parse_with_default(std::env::args().skip(1), SuiteScale::Test) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            eprintln!("usage: chaos [test|small|full] [--jobs N]");
             std::process::exit(2);
         }
+    };
+    if cli.out_dir.is_some() || cli.checkpoint_cycles.is_some() || cli.resume {
+        eprintln!("chaos: out_dir/--checkpoint/--resume are not supported (chaos manages its own scratch state)");
+        eprintln!("usage: chaos [test|small|full] [--jobs N]");
+        std::process::exit(2);
     }
+    cli
 }
 
 struct Count(u64);
@@ -168,28 +177,29 @@ fn profiler_resilience(scale: SuiteScale) -> bool {
     ok
 }
 
-/// Act 3: a sweep where one workload panics and one livelocks.
-fn campaign_isolation(scale: SuiteScale) -> bool {
-    println!("\n== campaign isolation ==");
+/// Act 3: a sweep where one workload panics and one livelocks, fanned out
+/// over the shared job executor.
+fn campaign_isolation(scale: SuiteScale, jobs: usize) -> bool {
+    println!("\n== campaign isolation ({jobs} worker(s)) ==");
     let dir = std::env::temp_dir().join(format!("tip-chaos-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let config = CampaignConfig {
         profilers: vec![ProfilerId::Tip],
         max_attempts: 2,
+        jobs,
         out_dir: Some(dir.clone()),
         ..CampaignConfig::default()
     };
     let panic_plan = FaultPlan::new(12, vec![Fault::ForcePanic]);
-    let sampler = config.sampler;
-    let profilers = config.profilers.clone();
-    let outcome = run_campaign(suite(scale), &config, move |bench, ctx| {
+    let outcome = run_campaign(suite(scale), &config, move |job: &Job, ctx: &RunCtx| {
+        let bench = &job.bench;
         if bench.name == "mcf" && panic_plan.forces_panic() {
             panic!("chaos: forced panic in {}", bench.name);
         }
         if bench.name == "lbm" {
             // Wedge the core mid-run: the watchdog turns the livelock into
             // a structured diagnostic instead of an endless spin.
-            let mut bank = ProfilerBank::new(&bench.program, sampler, &profilers);
+            let mut bank = ProfilerBank::new(&bench.program, job.sampler, &job.profilers);
             let mut core = Core::new(&bench.program, CoreConfig::default(), ctx.seed);
             for _ in 0..200 {
                 core.step(&mut bank);
@@ -206,8 +216,8 @@ fn campaign_isolation(scale: SuiteScale) -> bool {
         run_profiled(
             &bench.program,
             CoreConfig::default(),
-            sampler,
-            &profilers,
+            job.sampler,
+            &job.profilers,
             ctx.seed,
         )
     });
@@ -219,13 +229,13 @@ fn campaign_isolation(scale: SuiteScale) -> bool {
     }
     let results = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
     println!(
-        "persisted {} files in {} (incl. failures.txt and journal.txt)",
+        "persisted {} files in {} (incl. failures.txt, journal.txt, metrics.txt)",
         results,
         dir.display()
     );
-    // Every benchmark leaves a result file, plus the failure report and
-    // the resume journal.
-    if results != outcome.completed.len() + outcome.failed.len() + 2 {
+    // Every benchmark leaves a result file, plus the failure report, the
+    // resume journal, and the campaign metrics.
+    if results != outcome.completed.len() + outcome.failed.len() + 3 {
         println!("FAIL — missing per-benchmark result files");
         ok = false;
     }
@@ -429,11 +439,12 @@ fn checkpoint_corruption(scale: SuiteScale) -> bool {
 }
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = cli_from_args();
+    let scale = cli.scale;
     let ok = [
         trace_integrity(scale),
         profiler_resilience(scale),
-        campaign_isolation(scale),
+        campaign_isolation(scale, cli.effective_jobs()),
         checkpoint_corruption(scale),
     ];
     if ok.iter().all(|&x| x) {

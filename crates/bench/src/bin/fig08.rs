@@ -1,7 +1,10 @@
 //! Figure 8: function-level profile errors for all six profilers.
 //!
-//! Usage: `fig08 [test|small|full] [out_dir] [--checkpoint N] [--resume]`
-//! (default: small). Runs as a fault-tolerant campaign: a benchmark that
+//! Usage: `fig08 [test|small|full] [out_dir] [--jobs N] [--checkpoint N]
+//! [--resume]` (default: small, all cores). Runs as a fault-tolerant
+//! campaign fanned out over `--jobs N` worker threads with a deterministic
+//! merge (outputs are byte-identical at any worker count; `metrics.txt`
+//! records the per-job timing and the speedup): a benchmark that
 //! dies is retried, then skipped with a report, and per-benchmark results
 //! land in `out_dir` incrementally via atomic renames. With `--checkpoint N`
 //! each benchmark also persists a restorable mid-run snapshot every N
@@ -28,7 +31,9 @@ fn main() {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("fig08: {e}");
-            eprintln!("usage: fig08 [test|small|full] [out_dir] [--checkpoint N] [--resume]");
+            eprintln!(
+                "usage: fig08 [test|small|full] [out_dir] [--jobs N] [--checkpoint N] [--resume]"
+            );
             std::process::exit(2);
         }
     };

@@ -1,11 +1,19 @@
-//! Fault-tolerant, resumable experiment campaigns.
+//! Fault-tolerant, resumable experiment campaigns over the job executor.
 //!
 //! A figure-style sweep over the suite dies entirely if one workload
 //! panics or livelocks — hours of completed runs lost with it. This module
-//! isolates each benchmark behind [`std::panic::catch_unwind`], retries
+//! turns each benchmark into a [`Job`](crate::executor::Job), fans the jobs
+//! out over the [`crate::executor`] worker pool (`--jobs N`), retries
 //! failed runs a bounded number of times with a reseeded core, and persists
-//! every per-benchmark result to disk *as it completes*, so a campaign
-//! always finishes with whatever subset succeeded plus a failure report.
+//! every per-benchmark result to disk *as it settles*, so a campaign always
+//! finishes with whatever subset succeeded plus a failure report.
+//!
+//! Parallelism never changes the outputs: the executor's committer applies
+//! results in canonical suite order through this module's persistence
+//! helpers, so `journal.txt`, `failures.txt`, and every `<bench>.result`
+//! file are **byte-identical** at any worker count. Host timing lands only
+//! in `metrics.txt` (per-job wall-clock, cycles, IPC, and the campaign
+//! speedup), which is the one deliberately non-deterministic artifact.
 //!
 //! Campaigns are also **crash-consistent and resumable**: every result file
 //! and the `journal.txt` ledger are written via temp-file + atomic rename
@@ -13,14 +21,14 @@
 //! [`CampaignConfig::checkpoint_cycles`] set, each benchmark additionally
 //! writes a restorable mid-run snapshot every N simulated cycles (see
 //! [`crate::checkpoint`]). Re-invoking a killed campaign with
-//! [`CampaignConfig::resume`] skips journalled-complete benchmarks and
-//! restores the interrupted one from its last checkpoint, continuing
-//! bit-identically.
+//! [`CampaignConfig::resume`] scans the journal, re-enqueues only the
+//! incomplete jobs, and restores an interrupted benchmark from its last
+//! checkpoint, continuing bit-identically.
 //!
-//! The runner is a closure, so tests and the `chaos` binary can substitute
-//! one that injects faults ([`tip_trace::FaultPlan`]-driven panics, wedged
-//! cores, damaged snapshots) without the production path knowing about
-//! fault injection.
+//! The runner is a [`Runner`] value (closures qualify), so tests and the
+//! `chaos` binary can substitute one that injects faults
+//! ([`tip_trace::FaultPlan`]-driven panics, wedged cores, damaged
+//! snapshots) without the production path knowing about fault injection.
 //!
 //! ```no_run
 //! use tip_bench::campaign::{run_suite_campaign, CampaignConfig};
@@ -31,20 +39,21 @@
 //! assert!(outcome.failed.is_empty());
 //! ```
 
-use std::any::Any;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
-use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
-use crate::checkpoint::{atomic_write, run_profiled_checkpointed, CheckpointSpec};
+use crate::checkpoint::{atomic_write, CheckpointSpec};
+use crate::executor::{self, default_workers, ExecSummary, Job, JobMetrics, Runner, SpecRunner};
 use crate::experiments::SuiteRun;
-use crate::run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};
+use crate::run::{RunError, DEFAULT_INTERVAL, MAX_CYCLES};
 use tip_core::{ProfilerId, SamplerConfig};
 use tip_isa::Granularity;
 use tip_ooo::CoreConfig;
 use tip_workloads::{suite, Benchmark, SuiteScale};
+
+pub use crate::executor::RunCtx;
 
 /// How a campaign runs its benchmarks.
 #[derive(Debug, Clone)]
@@ -57,19 +66,23 @@ pub struct CampaignConfig {
     pub sampler: SamplerConfig,
     /// Profilers attached to every run.
     pub profilers: Vec<ProfilerId>,
+    /// Worker threads for the job executor (≥ 1; capped by the number of
+    /// jobs). `1` runs serially; any value produces byte-identical
+    /// journal/result/profile outputs.
+    pub jobs: usize,
     /// If set, per-benchmark results and the failure report are persisted
     /// here incrementally (one `<bench>.result` file each, plus
-    /// `failures.txt` and the `journal.txt` resume ledger), all via
-    /// temp-file + atomic rename.
+    /// `failures.txt`, the `journal.txt` resume ledger, and the campaign
+    /// `metrics.txt`), all via temp-file + atomic rename.
     pub out_dir: Option<PathBuf>,
     /// If set (and [`Self::out_dir`] is set), each benchmark writes a
     /// restorable `TIPS` snapshot every this many simulated cycles, plus
     /// its framed commit trace (`<bench>.tips` / `<bench>.trace`).
     pub checkpoint_cycles: Option<u64>,
     /// Resume a previous campaign in [`Self::out_dir`]: benchmarks the
-    /// journal records as complete are skipped, and an interrupted
-    /// benchmark restores from its mid-run checkpoint. Journalled
-    /// *failures* are retried, not skipped.
+    /// journal records as complete are skipped (not re-enqueued), and an
+    /// interrupted benchmark restores from its mid-run checkpoint.
+    /// Journalled *failures* are retried, not skipped.
     pub resume: bool,
 }
 
@@ -80,6 +93,7 @@ impl Default for CampaignConfig {
             max_attempts: 2,
             sampler: SamplerConfig::periodic(DEFAULT_INTERVAL),
             profilers: ProfilerId::ALL.to_vec(),
+            jobs: 1,
             out_dir: None,
             checkpoint_cycles: None,
             resume: false,
@@ -101,17 +115,22 @@ impl CampaignConfig {
             resume: self.resume,
         })
     }
-}
 
-/// Everything the campaign hands a runner for one attempt.
-#[derive(Debug, Clone)]
-pub struct RunCtx {
-    /// Seed for this attempt (`config.seed + attempt`).
-    pub seed: u64,
-    /// 1-based attempt number.
-    pub attempt: u32,
-    /// Checkpointing paths and period, when enabled.
-    pub checkpoint: Option<CheckpointSpec>,
+    /// Folds one benchmark into its executable [`Job`] spec.
+    #[must_use]
+    pub fn job(&self, bench: Benchmark) -> Job {
+        let checkpoint = self.checkpoint_spec(bench.name);
+        Job {
+            bench,
+            seed: self.seed,
+            core: CoreConfig::default(),
+            sampler: self.sampler,
+            profilers: self.profilers.clone(),
+            checkpoint,
+            max_attempts: self.max_attempts,
+            max_cycles: MAX_CYCLES,
+        }
+    }
 }
 
 /// A benchmark that produced a profile (possibly after retries).
@@ -204,9 +223,11 @@ impl CampaignOutcome {
 /// The campaign's resume ledger: which benchmarks are already settled.
 ///
 /// One line per settled benchmark (`done <name>` / `failed <name>`),
-/// rewritten atomically after every benchmark. On resume, `done` entries
-/// are skipped; `failed` entries are retried (the failure may have been
-/// transient, or caused by a now-removed poisoned checkpoint).
+/// rewritten atomically after every benchmark — always by the committer, in
+/// canonical suite order, so the file is byte-identical at any worker
+/// count. On resume, `done` entries are skipped; `failed` entries are
+/// retried (the failure may have been transient, or caused by a
+/// now-removed poisoned checkpoint).
 #[derive(Debug, Default)]
 struct Journal {
     entries: Vec<(bool, String)>,
@@ -252,75 +273,63 @@ impl Journal {
     }
 }
 
-/// Runs `benches` through `runner` with per-benchmark panic isolation,
-/// bounded reseeded retries, and (if configured) crash-consistent
-/// incremental persistence plus journal-driven resume.
+/// Runs `benches` through `runner` on the job executor with per-attempt
+/// panic isolation, bounded reseeded retries, and (if configured)
+/// crash-consistent incremental persistence plus journal-driven resume.
 ///
-/// `runner` gets the benchmark and a [`RunCtx`] (attempt seed, attempt
-/// number, and checkpoint paths when enabled); a panic inside it is caught
-/// and converted to [`RunError::Panicked`]. I/O errors from the persistence
-/// directory are reported to stderr but never abort the sweep — losing a
-/// result file must not lose the campaign.
-pub fn run_campaign<F>(
+/// Benchmarks the resume journal records as complete are not enqueued at
+/// all; the rest become [`Job`]s executed on [`CampaignConfig::jobs`]
+/// worker threads. All campaign-level file I/O happens on the calling
+/// thread (the executor's committer) in canonical suite order, so the
+/// on-disk artifacts are byte-identical regardless of worker count. I/O
+/// errors from the persistence directory are reported to stderr but never
+/// abort the sweep — losing a result file must not lose the campaign.
+pub fn run_campaign<R>(
     benches: Vec<Benchmark>,
     config: &CampaignConfig,
-    mut runner: F,
+    runner: R,
 ) -> CampaignOutcome
 where
-    F: FnMut(&Benchmark, &RunCtx) -> Result<ProfiledRun, RunError>,
+    R: Runner,
 {
     let mut outcome = CampaignOutcome::default();
     let mut journal = Journal::load(config);
+    let mut jobs = Vec::new();
     for bench in benches {
         if journal.is_done(bench.name) {
             outcome.skipped.push(bench.name);
-            continue;
+        } else {
+            jobs.push(config.job(bench));
         }
-        let mut last_err: Option<RunError> = None;
-        let mut done: Option<ProfiledRun> = None;
-        let attempts_cap = config.max_attempts.max(1);
-        let mut attempts = 0;
-        for attempt in 0..attempts_cap {
-            attempts = attempt + 1;
-            let ctx = RunCtx {
-                seed: config.seed.wrapping_add(u64::from(attempt)),
-                attempt: attempts,
-                checkpoint: config.checkpoint_spec(bench.name),
-            };
-            let caught = panic::catch_unwind(AssertUnwindSafe(|| runner(&bench, &ctx)));
-            match caught {
-                Ok(Ok(run)) => {
-                    done = Some(run);
-                    break;
-                }
-                Ok(Err(err)) => last_err = Some(err),
-                Err(payload) => {
-                    last_err = Some(RunError::Panicked {
-                        bench: bench.name.to_owned(),
-                        message: panic_message(payload.as_ref()),
-                    });
-                }
-            }
-        }
-        let ok = done.is_some();
-        let name = bench.name;
-        match done {
-            Some(run) => {
+    }
+    let mut metrics: Vec<BenchMetrics> = Vec::new();
+    let summary = executor::execute(&jobs, &runner, config.jobs, |out| {
+        let job = &jobs[out.index];
+        let name = job.bench.name;
+        let ok = out.result.is_ok();
+        metrics.push(BenchMetrics {
+            name,
+            ok,
+            attempts: out.attempts,
+            metrics: out.metrics,
+        });
+        match out.result {
+            Ok(run) => {
                 let completed = CompletedBench {
-                    run: SuiteRun { bench, run },
-                    attempts,
+                    run: SuiteRun {
+                        bench: job.bench.clone(),
+                        run,
+                    },
+                    attempts: out.attempts,
                 };
                 persist_completed(config, &completed);
                 outcome.completed.push(completed);
             }
-            None => {
+            Err(error) => {
                 let failed = FailedBench {
-                    name: bench.name,
-                    attempts,
-                    error: last_err.unwrap_or(RunError::Panicked {
-                        bench: bench.name.to_owned(),
-                        message: "no attempt ran".to_owned(),
-                    }),
+                    name,
+                    attempts: out.attempts,
+                    error,
                 };
                 persist_failed(config, &failed);
                 outcome.failed.push(failed);
@@ -328,46 +337,16 @@ where
         }
         journal.record(config, name, ok);
         persist_failure_report(config, &outcome);
-    }
+    });
+    persist_metrics(config, &metrics, summary);
     outcome
 }
 
-/// Runs the whole suite at `scale` under the default profiled runner
+/// Runs the whole suite at `scale` under the production [`SpecRunner`]
 /// (checkpointed when [`CampaignConfig::checkpoint_cycles`] is set).
 #[must_use]
 pub fn run_suite_campaign(scale: SuiteScale, config: &CampaignConfig) -> CampaignOutcome {
-    let sampler = config.sampler;
-    let profilers = config.profilers.clone();
-    run_campaign(suite(scale), config, move |bench, ctx| {
-        match &ctx.checkpoint {
-            Some(spec) => run_profiled_checkpointed(
-                &bench.program,
-                CoreConfig::default(),
-                sampler,
-                &profilers,
-                ctx.seed,
-                spec,
-            ),
-            None => run_profiled(
-                &bench.program,
-                CoreConfig::default(),
-                sampler,
-                &profilers,
-                ctx.seed,
-            ),
-        }
-    })
-}
-
-/// Best-effort string form of a panic payload.
-fn panic_message(payload: &(dyn Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
+    run_campaign(suite(scale), config, SpecRunner)
 }
 
 /// Collapses a multi-line error (e.g. a livelock pipeline dump) to one line
@@ -413,10 +392,13 @@ fn persist_failed(config: &CampaignConfig, f: &FailedBench) {
 fn persist_failure_report(config: &CampaignConfig, outcome: &CampaignOutcome) {
     let Some(dir) = &config.out_dir else { return };
     let mut body = String::new();
+    // Skipped benchmarks completed in an earlier invocation of this
+    // campaign, so a resumed run converges to the same report bytes as an
+    // uninterrupted one.
     let _ = writeln!(
         body,
         "completed={} failed={}",
-        outcome.completed.len(),
+        outcome.completed.len() + outcome.skipped.len(),
         outcome.failed.len()
     );
     for f in &outcome.failed {
@@ -431,6 +413,52 @@ fn persist_failure_report(config: &CampaignConfig, outcome: &CampaignOutcome) {
     report_io(atomic_write(&dir.join("failures.txt"), body.as_bytes()));
 }
 
+/// One settled benchmark's entry in `metrics.txt`.
+#[derive(Debug, Clone, Copy)]
+struct BenchMetrics {
+    name: &'static str,
+    ok: bool,
+    attempts: u32,
+    metrics: JobMetrics,
+}
+
+/// Writes the campaign `metrics.txt`: per-job wall-clock/cycles/IPC plus
+/// the fan-out's aggregate speedup (sum of job wall-clocks over campaign
+/// wall-clock). Host timing is inherently non-deterministic, which is why
+/// it lives in its own file instead of the byte-stable result files.
+fn persist_metrics(config: &CampaignConfig, rows: &[BenchMetrics], summary: ExecSummary) {
+    let Some(dir) = &config.out_dir else { return };
+    let wall_ms = summary.wall.as_secs_f64() * 1e3;
+    let cpu_ms: f64 = rows
+        .iter()
+        .map(|r| r.metrics.wall.as_secs_f64() * 1e3)
+        .sum();
+    let mut body = String::new();
+    let _ = writeln!(body, "jobs={}", rows.len());
+    let _ = writeln!(body, "workers={}", summary.workers);
+    let _ = writeln!(body, "wall_ms={wall_ms:.1}");
+    let _ = writeln!(body, "cpu_ms={cpu_ms:.1}");
+    let _ = writeln!(
+        body,
+        "speedup={:.2}",
+        if wall_ms > 0.0 { cpu_ms / wall_ms } else { 1.0 }
+    );
+    for r in rows {
+        let _ = writeln!(
+            body,
+            "bench={} status={} attempts={} wall_ms={:.1} cycles={} instructions={} ipc={:.6}",
+            r.name,
+            if r.ok { "ok" } else { "failed" },
+            r.attempts,
+            r.metrics.wall.as_secs_f64() * 1e3,
+            r.metrics.cycles,
+            r.metrics.instructions,
+            r.metrics.ipc,
+        );
+    }
+    report_io(atomic_write(&dir.join("metrics.txt"), body.as_bytes()));
+}
+
 fn write_result_file(dir: &Path, bench: &str, body: &str) -> io::Result<()> {
     atomic_write(&dir.join(format!("{bench}.result")), body.as_bytes())
 }
@@ -441,15 +469,18 @@ fn report_io(res: io::Result<()>) {
     }
 }
 
-/// Shared command-line parsing for the campaign-driven figure binaries
-/// (`fig08`, `fig10`): `[test|small|full] [out_dir] [--checkpoint N]
-/// [--resume]`.
+/// Shared command-line parsing for the campaign-driven binaries (`fig08`,
+/// `fig10`, `chaos`): `[test|small|full] [out_dir] [--jobs N]
+/// [--checkpoint N] [--resume]`.
 #[derive(Debug, Clone)]
 pub struct CampaignCli {
     /// Suite scale (defaults to `Small`).
     pub scale: SuiteScale,
     /// Persistence directory, when given.
     pub out_dir: Option<PathBuf>,
+    /// Worker threads, when `--jobs N` was given (rejects 0); `None` means
+    /// use every available core, capped by the job count.
+    pub jobs: Option<usize>,
     /// Mid-run checkpoint period, when `--checkpoint N` was given.
     pub checkpoint_cycles: Option<u64>,
     /// Whether `--resume` was given.
@@ -463,9 +494,23 @@ impl CampaignCli {
     ///
     /// A usage message naming the offending argument.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        Self::parse_with_default(args, SuiteScale::Small)
+    }
+
+    /// [`Self::parse`] with a caller-chosen default scale (the `chaos`
+    /// binary defaults to `test`, the figure binaries to `small`).
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the offending argument.
+    pub fn parse_with_default(
+        args: impl Iterator<Item = String>,
+        default_scale: SuiteScale,
+    ) -> Result<Self, String> {
         let mut cli = CampaignCli {
-            scale: SuiteScale::Small,
+            scale: default_scale,
             out_dir: None,
+            jobs: None,
             checkpoint_cycles: None,
             resume: false,
         };
@@ -474,6 +519,21 @@ impl CampaignCli {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--resume" => cli.resume = true,
+                "--jobs" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| "--jobs needs a worker count".to_owned())?;
+                    let jobs: usize = value
+                        .parse()
+                        .map_err(|_| format!("--jobs: bad worker count `{value}`"))?;
+                    if jobs == 0 {
+                        return Err(
+                            "--jobs: worker count must be at least 1 (use --jobs 1 to run serially)"
+                                .to_owned(),
+                        );
+                    }
+                    cli.jobs = Some(jobs);
+                }
                 "--checkpoint" => {
                     let value = args
                         .next()
@@ -515,11 +575,19 @@ impl CampaignCli {
         Ok(cli)
     }
 
+    /// The effective worker count: `--jobs N` when given, otherwise every
+    /// available core. The executor additionally caps it by the job count.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(default_workers)
+    }
+
     /// Folds the CLI into a campaign config.
     #[must_use]
     pub fn config(&self, profilers: &[ProfilerId]) -> CampaignConfig {
         CampaignConfig {
             profilers: profilers.to_vec(),
+            jobs: self.effective_jobs(),
             out_dir: self.out_dir.clone(),
             checkpoint_cycles: self.checkpoint_cycles,
             resume: self.resume,
@@ -531,6 +599,7 @@ impl CampaignCli {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::run_profiled;
     use tip_workloads::BENCHMARK_NAMES;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -562,18 +631,20 @@ mod tests {
             out_dir: Some(dir.clone()),
             ..CampaignConfig::default()
         };
-        let sampler = config.sampler;
-        let profilers = config.profilers.clone();
-        let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, ctx| {
-            assert!(bench.name != "mcf", "injected fault in mcf");
-            run_profiled(
-                &bench.program,
-                CoreConfig::default(),
-                sampler,
-                &profilers,
-                ctx.seed,
-            )
-        });
+        let outcome = run_campaign(
+            suite(SuiteScale::Test),
+            &config,
+            |job: &Job, ctx: &RunCtx| {
+                assert!(job.bench.name != "mcf", "injected fault in mcf");
+                run_profiled(
+                    &job.bench.program,
+                    CoreConfig::default(),
+                    job.sampler,
+                    &job.profilers,
+                    ctx.seed,
+                )
+            },
+        );
         assert_eq!(outcome.completed.len(), BENCHMARK_NAMES.len() - 1);
         assert_eq!(outcome.failed.len(), 1);
         let f = &outcome.failed[0];
@@ -596,6 +667,14 @@ mod tests {
         }
         let report = fs::read_to_string(dir.join("failures.txt")).expect("report");
         assert!(report.contains("mcf"));
+        // Per-job timing landed in metrics.txt, including the casualty.
+        let metrics = fs::read_to_string(dir.join("metrics.txt")).expect("metrics");
+        assert!(metrics.contains("workers=1"), "{metrics}");
+        assert!(
+            metrics.contains("bench=mcf status=failed attempts=3"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("bench=exchange2 status=ok"), "{metrics}");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -608,21 +687,23 @@ mod tests {
             seed: 7,
             ..CampaignConfig::default()
         };
-        let sampler = config.sampler;
-        let profilers = config.profilers.clone();
-        let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, ctx| {
-            // First attempt (seed 7) fails for lbm; the reseeded retry works.
-            if bench.name == "lbm" && ctx.seed == 7 {
-                panic!("transient fault");
-            }
-            run_profiled(
-                &bench.program,
-                CoreConfig::default(),
-                sampler,
-                &profilers,
-                ctx.seed,
-            )
-        });
+        let outcome = run_campaign(
+            suite(SuiteScale::Test),
+            &config,
+            |job: &Job, ctx: &RunCtx| {
+                // First attempt (seed 7) fails for lbm; the reseeded retry works.
+                if job.bench.name == "lbm" && ctx.seed == 7 {
+                    panic!("transient fault");
+                }
+                run_profiled(
+                    &job.bench.program,
+                    CoreConfig::default(),
+                    job.sampler,
+                    &job.profilers,
+                    ctx.seed,
+                )
+            },
+        );
         assert!(outcome.failed.is_empty());
         let lbm = outcome
             .completed
@@ -649,24 +730,21 @@ mod tests {
                 benchmark("mcf", SuiteScale::Test),
             ]
         };
-        let sampler = config.sampler;
-        let profilers = config.profilers.clone();
-        let runner = move |bench: &Benchmark, ctx: &RunCtx, fail_mcf: bool| {
-            if fail_mcf && bench.name == "mcf" {
+        let runner = |job: &Job, ctx: &RunCtx, fail_mcf: bool| {
+            if fail_mcf && job.bench.name == "mcf" {
                 panic!("simulated crash");
             }
             run_profiled(
-                &bench.program,
+                &job.bench.program,
                 CoreConfig::default(),
-                sampler,
-                &profilers,
+                job.sampler,
+                &job.profilers,
                 ctx.seed,
             )
         };
 
         // First invocation: exchange2 completes, mcf dies.
-        let r = runner.clone();
-        let first = run_campaign(benches(), &config, move |b, c| r(b, c, true));
+        let first = run_campaign(benches(), &config, |j: &Job, c: &RunCtx| runner(j, c, true));
         assert_eq!(first.completed.len(), 1);
         assert_eq!(first.failed.len(), 1);
         let journal = fs::read_to_string(dir.join("journal.txt")).expect("journal");
@@ -678,8 +756,9 @@ mod tests {
             resume: true,
             ..config.clone()
         };
-        let r = runner.clone();
-        let second = run_campaign(benches(), &resumed, move |b, c| r(b, c, false));
+        let second = run_campaign(benches(), &resumed, |j: &Job, c: &RunCtx| {
+            runner(j, c, false)
+        });
         assert_eq!(second.skipped, vec!["exchange2"]);
         assert_eq!(second.completed.len(), 1);
         assert_eq!(second.completed[0].run.bench.name, "mcf");
@@ -709,18 +788,32 @@ mod tests {
             "/tmp/out",
             "--checkpoint",
             "50000",
+            "--jobs",
+            "4",
             "--resume",
         ]))
         .expect("valid");
         assert_eq!(cli.scale, SuiteScale::Test);
         assert_eq!(cli.out_dir.as_deref(), Some(Path::new("/tmp/out")));
         assert_eq!(cli.checkpoint_cycles, Some(50_000));
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.effective_jobs(), 4);
         assert!(cli.resume);
+        assert_eq!(cli.config(&[ProfilerId::Tip]).jobs, 4);
+
+        // Without --jobs the effective count is the host's parallelism.
+        let cli = CampaignCli::parse(args(&["test"])).expect("valid");
+        assert_eq!(cli.jobs, None);
+        assert!(cli.effective_jobs() >= 1);
 
         assert!(CampaignCli::parse(args(&["bogus"])).is_err());
         assert!(CampaignCli::parse(args(&["--checkpoint"])).is_err());
         assert!(CampaignCli::parse(args(&["--checkpoint", "zero"])).is_err());
         assert!(CampaignCli::parse(args(&["--checkpoint", "0"])).is_err());
+        assert!(CampaignCli::parse(args(&["--jobs"])).is_err());
+        assert!(CampaignCli::parse(args(&["--jobs", "many"])).is_err());
+        let err = CampaignCli::parse(args(&["--jobs", "0"])).expect_err("jobs 0");
+        assert!(err.contains("at least 1"), "usable error: {err}");
         assert!(
             CampaignCli::parse(args(&["--resume"])).is_err(),
             "no out_dir"

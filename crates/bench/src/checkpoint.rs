@@ -226,6 +226,25 @@ pub fn run_profiled_checkpointed(
     seed: u64,
     spec: &CheckpointSpec,
 ) -> Result<ProfiledRun, RunError> {
+    run_profiled_checkpointed_budgeted(program, config, sampler, profilers, seed, spec, MAX_CYCLES)
+}
+
+/// [`run_profiled_checkpointed`] with an explicit cycle budget instead of
+/// the harness default [`MAX_CYCLES`].
+///
+/// # Errors
+///
+/// As [`run_profiled_checkpointed`]; budget exhaustion surfaces as the
+/// dedicated [`tip_ooo::SimError::CycleLimit`] variant.
+pub fn run_profiled_checkpointed_budgeted(
+    program: &Program,
+    config: CoreConfig,
+    sampler: SamplerConfig,
+    profilers: &[ProfilerId],
+    seed: u64,
+    spec: &CheckpointSpec,
+    max_cycles: u64,
+) -> Result<ProfiledRun, RunError> {
     let bench = program.name().to_owned();
     let ckpt_err = |bench: &str, source: TraceError| RunError::Checkpoint {
         bench: bench.to_owned(),
@@ -245,7 +264,7 @@ pub fn run_profiled_checkpointed(
 
     let every = spec.every_cycles.max(1);
     loop {
-        let next_stop = core.stats().cycles.saturating_add(every).min(MAX_CYCLES);
+        let next_stop = core.stats().cycles.saturating_add(every).min(max_cycles);
         let summary = {
             let mut tee = Tee(&mut writer, &mut bank);
             core.run(&mut tee, next_stop)
@@ -273,11 +292,11 @@ pub fn run_profiled_checkpointed(
                 });
             }
             RunExit::CycleLimit => {
-                if next_stop >= MAX_CYCLES {
+                if next_stop >= max_cycles {
                     return Err(RunError::Sim {
                         bench,
                         source: SimError::CycleLimit {
-                            max_cycles: MAX_CYCLES,
+                            max_cycles,
                             committed: summary.instructions,
                         },
                     });

@@ -1,0 +1,455 @@
+//! Job-based parallel execution with a deterministic merge.
+//!
+//! The paper's evaluation is embarrassingly parallel: every (benchmark ×
+//! profiler-config × seed) run is an independent deterministic simulation,
+//! yet the original harness executed them serially, paying wall-clock =
+//! sum-of-runs. This module decomposes a sweep into explicit [`Job`] specs
+//! and fans them out over a pool of `std::thread` workers pulling from a
+//! shared queue, while keeping every observable output **byte-identical to
+//! a serial run**:
+//!
+//! * Workers never touch campaign-level files. Each finished job is sent to
+//!   a single **committer** (the thread that called [`execute`]), which
+//!   buffers out-of-order completions and applies them in canonical job
+//!   order through the caller's commit closure — so journals, result files,
+//!   and failure reports are written in the same order, with the same
+//!   contents, regardless of worker count or completion order.
+//! * Seeds derive from the job spec (`job.seed + attempt`), never from
+//!   which worker picked the job up.
+//! * Per-worker panic isolation reuses the campaign's `catch_unwind`
+//!   machinery: a panicking benchmark costs one attempt, not a worker (and
+//!   never the whole process).
+//!
+//! Per-job wall-clock and simulation counters are collected into
+//! [`JobMetrics`] so the speedup from `--jobs N` is observable (see the
+//! campaign's `metrics.txt`).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::checkpoint::{run_profiled_checkpointed_budgeted, CheckpointSpec};
+use crate::run::{run_profiled_budgeted, ProfiledRun, RunError, DEFAULT_INTERVAL, MAX_CYCLES};
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_ooo::CoreConfig;
+use tip_workloads::Benchmark;
+
+/// Everything needed to run one benchmark under the profiler bank: the
+/// complete, self-contained spec of a unit of campaign work.
+///
+/// A job is deliberately *data*, not behaviour — the same `Vec<Job>` can be
+/// replayed serially, fanned out over threads, or (later) shipped to another
+/// machine, and the results are identical because nothing about scheduling
+/// leaks into the spec.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The benchmark (name, class, generated program).
+    pub bench: Benchmark,
+    /// Base seed; attempt `k` (1-based) runs with `seed + k - 1`.
+    pub seed: u64,
+    /// Core configuration for every attempt.
+    pub core: CoreConfig,
+    /// Sampling schedule.
+    pub sampler: SamplerConfig,
+    /// Profilers attached to the run.
+    pub profilers: Vec<ProfilerId>,
+    /// Mid-run checkpoint paths and period, when enabled.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Attempts before the job is written off as failed (≥ 1).
+    pub max_attempts: u32,
+    /// Cycle budget; exhausting it fails the attempt with the dedicated
+    /// [`tip_ooo::SimError::CycleLimit`] variant.
+    pub max_cycles: u64,
+}
+
+impl Job {
+    /// A plain job for `bench`: default core, one attempt, the standard
+    /// sampling interval, no checkpointing, the harness cycle budget.
+    #[must_use]
+    pub fn new(bench: Benchmark, seed: u64, profilers: &[ProfilerId]) -> Self {
+        Job {
+            bench,
+            seed,
+            core: CoreConfig::default(),
+            sampler: SamplerConfig::periodic(DEFAULT_INTERVAL),
+            profilers: profilers.to_vec(),
+            checkpoint: None,
+            max_attempts: 1,
+            max_cycles: MAX_CYCLES,
+        }
+    }
+}
+
+/// Everything the executor hands a runner for one attempt.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Seed for this attempt (`job.seed + attempt - 1`).
+    pub seed: u64,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Checkpointing paths and period, when enabled.
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+/// Executes one attempt of a job.
+///
+/// The runner is shared by every worker thread (`Sync`) and must derive all
+/// run-to-run variation from the job spec and [`RunCtx`] — never from
+/// ambient state — or the deterministic-merge guarantee breaks. Closures of
+/// the right shape implement it automatically; [`SpecRunner`] is the
+/// production implementation that simply runs the spec.
+pub trait Runner: Sync {
+    /// Runs one attempt of `job`.
+    ///
+    /// # Errors
+    ///
+    /// A [`RunError`] for the attempt; the executor retries up to
+    /// [`Job::max_attempts`] with reseeded contexts.
+    fn run(&self, job: &Job, ctx: &RunCtx) -> Result<ProfiledRun, RunError>;
+}
+
+impl<F> Runner for F
+where
+    F: Fn(&Job, &RunCtx) -> Result<ProfiledRun, RunError> + Sync,
+{
+    fn run(&self, job: &Job, ctx: &RunCtx) -> Result<ProfiledRun, RunError> {
+        self(job, ctx)
+    }
+}
+
+/// The production runner: executes exactly what the [`Job`] spec says —
+/// checkpointed when the context carries a [`CheckpointSpec`], plain
+/// otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpecRunner;
+
+impl Runner for SpecRunner {
+    fn run(&self, job: &Job, ctx: &RunCtx) -> Result<ProfiledRun, RunError> {
+        match &ctx.checkpoint {
+            Some(spec) => run_profiled_checkpointed_budgeted(
+                &job.bench.program,
+                job.core.clone(),
+                job.sampler,
+                &job.profilers,
+                ctx.seed,
+                spec,
+                job.max_cycles,
+            ),
+            None => run_profiled_budgeted(
+                &job.bench.program,
+                job.core.clone(),
+                job.sampler,
+                &job.profilers,
+                ctx.seed,
+                job.max_cycles,
+            ),
+        }
+    }
+}
+
+/// Timing and simulation counters for one finished job (success or not).
+///
+/// Wall-clock is host time and therefore *not* part of the deterministic
+/// outputs; it lands only in `metrics.txt`, never in result files.
+#[derive(Debug, Clone, Copy)]
+pub struct JobMetrics {
+    /// Host wall-clock the job spent across all its attempts.
+    pub wall: Duration,
+    /// Simulated cycles of the successful attempt (0 if the job failed).
+    pub cycles: u64,
+    /// Committed instructions of the successful attempt (0 if failed).
+    pub instructions: u64,
+    /// Instructions per cycle of the successful attempt (0.0 if failed).
+    pub ipc: f64,
+}
+
+/// One job's outcome, delivered to the commit closure in canonical order.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Position of the job in the submitted slice.
+    pub index: usize,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// The profiled run, or the error of the final attempt.
+    pub result: Result<ProfiledRun, RunError>,
+    /// Timing and counters for `metrics.txt`.
+    pub metrics: JobMetrics,
+}
+
+/// What one [`execute`] call did, for the campaign's `metrics.txt`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecSummary {
+    /// Worker threads actually used (after capping by job count).
+    pub workers: usize,
+    /// Wall-clock of the whole fan-out, queue to last commit.
+    pub wall: Duration,
+}
+
+/// The default worker count: everything the host offers.
+#[must_use]
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs every job in `jobs` through `runner` on `workers` threads and
+/// delivers each [`JobOutcome`] to `commit` **in job order** (index 0, 1,
+/// …), regardless of completion order.
+///
+/// `commit` runs on the calling thread only — it is the single committer
+/// that owns all campaign-level file I/O. Workers pull jobs from a shared
+/// queue (so a slow job never idles the pool), buffer nothing on disk, and
+/// send finished outcomes back over a channel. A panic inside the runner is
+/// caught per attempt and surfaces as [`RunError::Panicked`]; worker threads
+/// themselves never unwind.
+///
+/// `workers` is clamped to `1..=jobs.len()`; `workers == 1` runs inline on
+/// the calling thread with no queue at all, which is also the path that
+/// *defines* the byte-identical reference behaviour.
+pub fn execute<R, C>(jobs: &[Job], runner: &R, workers: usize, mut commit: C) -> ExecSummary
+where
+    R: Runner,
+    C: FnMut(JobOutcome),
+{
+    let started = Instant::now();
+    let workers = workers.clamp(1, jobs.len().max(1));
+    if workers == 1 {
+        for (index, job) in jobs.iter().enumerate() {
+            commit(run_one(index, job, runner));
+        }
+        return ExecSummary {
+            workers,
+            wall: started.elapsed(),
+        };
+    }
+
+    // Shared queue: a claim counter over the job slice. Workers race to
+    // claim the next index; whichever thread is free takes the next job,
+    // which is all the stealing a fixed job list needs.
+    let next_job = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<JobOutcome>();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next_job = &next_job;
+            s.spawn(move || loop {
+                let index = next_job.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index) else { break };
+                if tx.send(run_one(index, job, runner)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // The committer: reorder completions into canonical job order so
+        // every file write happens in the same sequence as a serial run.
+        let mut pending = std::collections::BTreeMap::new();
+        let mut next_commit = 0usize;
+        for outcome in rx {
+            pending.insert(outcome.index, outcome);
+            while let Some(outcome) = pending.remove(&next_commit) {
+                next_commit += 1;
+                commit(outcome);
+            }
+        }
+        debug_assert!(pending.is_empty(), "committer drained every outcome");
+    });
+    ExecSummary {
+        workers,
+        wall: started.elapsed(),
+    }
+}
+
+/// Runs one job to settlement: bounded reseeded retries with per-attempt
+/// panic isolation. This is the exact retry ladder the serial campaign used,
+/// now shared by every worker.
+fn run_one<R: Runner>(index: usize, job: &Job, runner: &R) -> JobOutcome {
+    let started = Instant::now();
+    let attempts_cap = job.max_attempts.max(1);
+    let mut last_err: Option<RunError> = None;
+    let mut attempts = 0;
+    let mut done: Option<ProfiledRun> = None;
+    for attempt in 0..attempts_cap {
+        attempts = attempt + 1;
+        let ctx = RunCtx {
+            seed: job.seed.wrapping_add(u64::from(attempt)),
+            attempt: attempts,
+            checkpoint: job.checkpoint.clone(),
+        };
+        match panic::catch_unwind(AssertUnwindSafe(|| runner.run(job, &ctx))) {
+            Ok(Ok(run)) => {
+                done = Some(run);
+                break;
+            }
+            Ok(Err(err)) => last_err = Some(err),
+            Err(payload) => {
+                last_err = Some(RunError::Panicked {
+                    bench: job.bench.name.to_owned(),
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        }
+    }
+    let wall = started.elapsed();
+    let (result, metrics) = match done {
+        Some(run) => {
+            let metrics = JobMetrics {
+                wall,
+                cycles: run.summary.cycles,
+                instructions: run.summary.instructions,
+                ipc: run.ipc(),
+            };
+            (Ok(run), metrics)
+        }
+        None => (
+            Err(last_err.unwrap_or(RunError::Panicked {
+                bench: job.bench.name.to_owned(),
+                message: "no attempt ran".to_owned(),
+            })),
+            JobMetrics {
+                wall,
+                cycles: 0,
+                instructions: 0,
+                ipc: 0.0,
+            },
+        ),
+    };
+    JobOutcome {
+        index,
+        attempts,
+        result,
+        metrics,
+    }
+}
+
+/// Best-effort string form of a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+// A whole profiled run has to be able to move to a worker thread and its
+// outcome back to the committer; regressing these bounds (an `Rc`, a
+// non-`Send` trait object) must fail the build here, not at a distant
+// `thread::scope` call.
+const _: () = {
+    const fn send<T: Send>() {}
+    const fn sync<T: Sync>() {}
+    send::<Job>();
+    sync::<Job>();
+    send::<JobOutcome>();
+    send::<RunError>();
+    sync::<SpecRunner>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use tip_workloads::{benchmark, SuiteScale};
+
+    fn job(name: &'static str, attempts: u32) -> Job {
+        Job {
+            sampler: SamplerConfig::periodic(211),
+            max_attempts: attempts,
+            ..Job::new(benchmark(name, SuiteScale::Test), 7, &[ProfilerId::Tip])
+        }
+    }
+
+    #[test]
+    fn outcomes_commit_in_job_order_on_any_worker_count() {
+        let jobs: Vec<Job> = ["exchange2", "mcf", "lbm", "gcc"]
+            .into_iter()
+            .map(|n| job(n, 1))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            let mut seen = Vec::new();
+            let summary = execute(&jobs, &SpecRunner, workers, |out| {
+                assert!(out.result.is_ok(), "{:?}", out.result);
+                seen.push(out.index);
+            });
+            assert_eq!(seen, vec![0, 1, 2, 3], "workers={workers}");
+            assert_eq!(summary.workers, workers.min(jobs.len()));
+        }
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_job_count_and_floored_at_one() {
+        let jobs = vec![job("exchange2", 1)];
+        assert_eq!(execute(&jobs, &SpecRunner, 0, |_| {}).workers, 1);
+        assert_eq!(execute(&jobs, &SpecRunner, 16, |_| {}).workers, 1);
+        assert_eq!(execute(&[], &SpecRunner, 16, |_| {}).workers, 1);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_attempt_and_retried_reseeded() {
+        let jobs = vec![job("exchange2", 3)];
+        let tries = AtomicU32::new(0);
+        let runner = |j: &Job, ctx: &RunCtx| {
+            tries.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(ctx.seed, j.seed + u64::from(ctx.attempt) - 1);
+            if ctx.attempt < 3 {
+                panic!("transient fault on attempt {}", ctx.attempt);
+            }
+            SpecRunner.run(j, ctx)
+        };
+        let mut outcomes = Vec::new();
+        execute(&jobs, &runner, 4, |out| outcomes.push(out));
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].attempts, 3);
+        assert!(outcomes[0].result.is_ok());
+        assert!(outcomes[0].metrics.cycles > 0);
+        assert!(outcomes[0].metrics.ipc > 0.0);
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_the_last_error() {
+        let jobs = vec![job("exchange2", 2)];
+        let runner = |_: &Job, ctx: &RunCtx| -> Result<ProfiledRun, RunError> {
+            panic!("always dies (attempt {})", ctx.attempt)
+        };
+        let mut outcomes = Vec::new();
+        execute(&jobs, &runner, 2, |out| outcomes.push(out));
+        assert_eq!(outcomes[0].attempts, 2);
+        match &outcomes[0].result {
+            Err(RunError::Panicked { bench, message }) => {
+                assert_eq!(bench, "exchange2");
+                assert!(message.contains("attempt 2"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(outcomes[0].metrics.cycles, 0);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_results_exactly() {
+        let jobs: Vec<Job> = ["exchange2", "mcf", "lbm"]
+            .into_iter()
+            .map(|n| job(n, 1))
+            .collect();
+        let collect = |workers| {
+            let mut runs = Vec::new();
+            execute(&jobs, &SpecRunner, workers, |out| {
+                runs.push(out.result.expect("completes"));
+            });
+            runs
+        };
+        let serial = collect(1);
+        let parallel = collect(4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.summary, p.summary);
+            assert_eq!(s.stats, p.stats);
+            for (id, samples) in &s.bank.samples {
+                assert_eq!(Some(samples.as_slice()), p.bank.try_samples_of(*id));
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! binaries render them with [`crate::table`]. EXPERIMENTS.md records the
 //! measured numbers against the paper's.
 
+use crate::executor::{self, default_workers, Job, SpecRunner};
 use crate::run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};
 use tip_core::{CycleCategory, ProfilerId, SamplerConfig, NUM_CATEGORIES};
 use tip_isa::{Granularity, SymbolId};
@@ -35,30 +36,47 @@ pub fn run_suite(scale: SuiteScale) -> Result<Vec<SuiteRun>, RunError> {
     )
 }
 
-/// Runs the whole suite with a custom schedule/profiler set.
+/// Runs the whole suite with a custom schedule/profiler set, fanned out over
+/// the [`crate::executor`] worker pool (every available core). Results come
+/// back in canonical suite order — the executor's deterministic merge makes
+/// the fan-out invisible.
 ///
 /// # Errors
 ///
-/// Fails fast with the first [`RunError`]; use [`crate::campaign`] to keep
-/// going past individual benchmark failures.
+/// Fails with the first [`RunError`] in suite order; use [`crate::campaign`]
+/// to keep going past individual benchmark failures.
 pub fn run_suite_with(
     scale: SuiteScale,
     sampler: SamplerConfig,
     profilers: &[ProfilerId],
 ) -> Result<Vec<SuiteRun>, RunError> {
-    suite(scale)
+    let jobs: Vec<Job> = suite(scale)
         .into_iter()
-        .map(|bench| {
-            let run = run_profiled(
-                &bench.program,
-                CoreConfig::default(),
-                sampler,
-                profilers,
-                42,
-            )?;
-            Ok(SuiteRun { bench, run })
+        .map(|bench| Job {
+            sampler,
+            ..Job::new(bench, 42, profilers)
         })
-        .collect()
+        .collect();
+    let mut runs: Vec<SuiteRun> = Vec::with_capacity(jobs.len());
+    let mut first_err: Option<RunError> = None;
+    executor::execute(&jobs, &SpecRunner, default_workers(), |out| {
+        // Commits arrive in suite order, so the first error seen here is
+        // the same one the old serial loop would have failed fast on.
+        if first_err.is_some() {
+            return;
+        }
+        match out.result {
+            Ok(run) => runs.push(SuiteRun {
+                bench: jobs[out.index].bench.clone(),
+                run,
+            }),
+            Err(e) => first_err = Some(e),
+        }
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(runs),
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -4,9 +4,11 @@
 //! profiler bank, [`table`] renders the paper-style text tables,
 //! [`experiments`] implements the data collection behind every figure and
 //! table of the paper (each `src/bin/figNN.rs` binary is a thin wrapper),
-//! [`checkpoint`] adds mid-run `TIPS` snapshots with crash-safe resume, and
-//! [`campaign`] adds the fault-tolerant sweep layer (per-benchmark panic
-//! isolation, bounded reseeded retries, crash-consistent incremental
+//! [`checkpoint`] adds mid-run `TIPS` snapshots with crash-safe resume,
+//! [`executor`] turns a sweep into explicit [`Job`](executor::Job) specs
+//! fanned out over worker threads with a deterministic merge, and
+//! [`campaign`] adds the fault-tolerant sweep layer on top (per-benchmark
+//! panic isolation, bounded reseeded retries, crash-consistent incremental
 //! persistence, and journal-driven resume).
 
 #![warn(missing_docs)]
@@ -14,12 +16,16 @@
 
 pub mod campaign;
 pub mod checkpoint;
+pub mod executor;
 pub mod experiments;
 pub mod run;
 pub mod table;
 
-pub use campaign::{run_suite_campaign, CampaignCli, CampaignConfig, CampaignOutcome, RunCtx};
+pub use campaign::{run_suite_campaign, CampaignCli, CampaignConfig, CampaignOutcome};
 pub use checkpoint::{
     load_checkpoint, run_profiled_checkpointed, save_checkpoint, CheckpointSpec, LoadedCheckpoint,
+};
+pub use executor::{
+    default_workers, execute, ExecSummary, Job, JobMetrics, JobOutcome, RunCtx, Runner, SpecRunner,
 };
 pub use run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};

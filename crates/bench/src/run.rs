@@ -19,7 +19,10 @@ use tip_ooo::{Core, CoreConfig, CoreStats, RunSummary, SimError};
 pub const DEFAULT_INTERVAL: u64 = 149;
 
 /// Cycle budget used by the experiment harness (well above any benchmark's
-/// natural length; a run hitting it is a bug surfaced in the run summary).
+/// natural length). Synthetic programs always halt, so a run that exhausts
+/// this budget is a simulator or workload bug — it fails with the dedicated
+/// [`SimError::CycleLimit`] variant, reported distinctly from a watchdog
+/// [`SimError::Livelock`], never silently folded into a "completed" summary.
 pub const MAX_CYCLES: u64 = 400_000_000;
 
 /// Everything one profiled benchmark run produced.
@@ -127,10 +130,30 @@ pub fn run_profiled(
     profilers: &[ProfilerId],
     seed: u64,
 ) -> Result<ProfiledRun, RunError> {
+    run_profiled_budgeted(program, config, sampler, profilers, seed, MAX_CYCLES)
+}
+
+/// [`run_profiled`] with an explicit cycle budget instead of the harness
+/// default [`MAX_CYCLES`].
+///
+/// # Errors
+///
+/// [`RunError::Sim`] carrying [`SimError::Livelock`] when the watchdog
+/// catches a commit livelock, or [`SimError::CycleLimit`] when `max_cycles`
+/// elapse while the core is still making progress — two distinct failure
+/// modes, never conflated.
+pub fn run_profiled_budgeted(
+    program: &Program,
+    config: CoreConfig,
+    sampler: SamplerConfig,
+    profilers: &[ProfilerId],
+    seed: u64,
+    max_cycles: u64,
+) -> Result<ProfiledRun, RunError> {
     let mut bank = ProfilerBank::new(program, sampler, profilers);
     let mut core = Core::new(program, config, seed);
     let summary = core
-        .run_to_completion(&mut bank, MAX_CYCLES)
+        .run_to_completion(&mut bank, max_cycles)
         .map_err(|source| RunError::Sim {
             bench: program.name().to_owned(),
             source,
@@ -165,5 +188,42 @@ mod tests {
         assert!(run.ipc() > 0.0);
         assert_eq!(run.bank.total_cycles, run.summary.cycles);
         assert!(!run.bank.samples_of(ProfilerId::Tip).is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_distinct_error_not_a_livelock() {
+        let b = benchmark("exchange2", SuiteScale::Test);
+        // A budget far below the benchmark's natural length: the core is
+        // healthy and committing, so the watchdog must stay silent and the
+        // failure must classify as CycleLimit carrying the exact budget.
+        let err = run_profiled_budgeted(
+            &b.program,
+            CoreConfig::default(),
+            SamplerConfig::periodic(211),
+            &[ProfilerId::Tip],
+            1,
+            1_000,
+        )
+        .expect_err("1k cycles cannot finish the benchmark");
+        match &err {
+            RunError::Sim {
+                bench,
+                source:
+                    source @ SimError::CycleLimit {
+                        max_cycles,
+                        committed,
+                    },
+            } => {
+                assert_eq!(bench, "exchange2");
+                assert_eq!(*max_cycles, 1_000);
+                assert!(*committed > 0, "the core was making progress");
+                assert!(
+                    !matches!(source, SimError::Livelock(_)),
+                    "budget exhaustion must not be conflated with livelock"
+                );
+                assert!(source.to_string().contains("cycle budget exhausted"));
+            }
+            other => panic!("expected CycleLimit, got {other:?}"),
+        }
     }
 }

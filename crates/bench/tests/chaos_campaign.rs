@@ -6,6 +6,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use tip_bench::campaign::{run_campaign, CampaignConfig};
+use tip_bench::executor::{Job, RunCtx};
 use tip_bench::run::{run_profiled, RunError};
 use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
 use tip_ooo::{Core, CoreConfig, SimError};
@@ -26,37 +27,40 @@ fn sweep_survives_panic_and_livelock_with_results_on_disk() {
         ..CampaignConfig::default()
     };
     let plan = FaultPlan::new(1, vec![Fault::ForcePanic]);
-    let sampler = config.sampler;
-    let profilers = config.profilers.clone();
-    let outcome = run_campaign(suite(SuiteScale::Test), &config, move |bench, ctx| {
-        if bench.name == "mcf" && plan.forces_panic() {
-            panic!("chaos: forced panic");
-        }
-        if bench.name == "lbm" {
-            // A lost redirect wedges the pipeline; the watchdog converts
-            // the livelock into a structured SimError.
-            let mut bank = ProfilerBank::new(&bench.program, sampler, &profilers);
-            let mut core = Core::new(&bench.program, CoreConfig::default(), ctx.seed);
-            for _ in 0..100 {
-                core.step(&mut bank);
+    let outcome = run_campaign(
+        suite(SuiteScale::Test),
+        &config,
+        move |job: &Job, ctx: &RunCtx| {
+            let bench = &job.bench;
+            if bench.name == "mcf" && plan.forces_panic() {
+                panic!("chaos: forced panic");
             }
-            core.inject_lost_redirect();
-            return core
-                .run_to_completion(&mut bank, 10_000_000)
-                .map(|_| unreachable!("wedged core cannot complete"))
-                .map_err(|source| RunError::Sim {
-                    bench: bench.name.to_owned(),
-                    source,
-                });
-        }
-        run_profiled(
-            &bench.program,
-            CoreConfig::default(),
-            sampler,
-            &profilers,
-            ctx.seed,
-        )
-    });
+            if bench.name == "lbm" {
+                // A lost redirect wedges the pipeline; the watchdog converts
+                // the livelock into a structured SimError.
+                let mut bank = ProfilerBank::new(&bench.program, job.sampler, &job.profilers);
+                let mut core = Core::new(&bench.program, CoreConfig::default(), ctx.seed);
+                for _ in 0..100 {
+                    core.step(&mut bank);
+                }
+                core.inject_lost_redirect();
+                return core
+                    .run_to_completion(&mut bank, 10_000_000)
+                    .map(|_| unreachable!("wedged core cannot complete"))
+                    .map_err(|source| RunError::Sim {
+                        bench: bench.name.to_owned(),
+                        source,
+                    });
+            }
+            run_profiled(
+                &bench.program,
+                CoreConfig::default(),
+                job.sampler,
+                &job.profilers,
+                ctx.seed,
+            )
+        },
+    );
 
     // The sweep finished: every other benchmark completed.
     assert_eq!(outcome.completed.len(), BENCHMARK_NAMES.len() - 2);

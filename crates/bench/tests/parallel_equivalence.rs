@@ -1,0 +1,168 @@
+//! Keystone acceptance for the parallel executor: **deterministic merge**.
+//!
+//! A campaign fanned out over 4 workers must be indistinguishable on disk
+//! from the same campaign at `--jobs 1`: byte-identical `journal.txt`,
+//! `failures.txt`, and every `<bench>.result` file, and sample-identical
+//! profiles — including when a benchmark fails its first attempt and is
+//! retried, so the retry ladder itself is covered by the guarantee. Only
+//! `metrics.txt` (host wall-clock) may differ.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tip_bench::campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+use tip_bench::executor::{Job, RunCtx};
+use tip_bench::run::run_profiled;
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_ooo::CoreConfig;
+use tip_workloads::{suite, SuiteScale, BENCHMARK_NAMES};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tip-par-eq-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every campaign artifact that participates in the byte-identity
+/// guarantee, as `name -> bytes`. `metrics.txt` carries host timing and is
+/// explicitly excluded; nothing else is.
+fn artifacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fs::read_dir(dir)
+        .expect("campaign dir exists")
+        .map(|e| e.expect("dir entry"))
+        .filter(|e| e.file_name() != "metrics.txt")
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).expect("artifact readable"),
+            )
+        })
+        .collect()
+}
+
+/// The shared runner: `mcf` dies on its first attempt (base seed) and
+/// succeeds on the reseeded retry, every other benchmark runs clean. All
+/// variation derives from the job spec and context, never from scheduling.
+fn flaky_runner(job: &Job, ctx: &RunCtx) -> Result<tip_bench::ProfiledRun, tip_bench::RunError> {
+    if job.bench.name == "mcf" && ctx.attempt == 1 {
+        panic!("transient fault on first attempt");
+    }
+    run_profiled(
+        &job.bench.program,
+        CoreConfig::default(),
+        job.sampler,
+        &job.profilers,
+        ctx.seed,
+    )
+}
+
+fn campaign(jobs: usize, dir: &Path) -> CampaignOutcome {
+    let config = CampaignConfig {
+        profilers: vec![ProfilerId::Tip, ProfilerId::Nci],
+        sampler: SamplerConfig::periodic(211),
+        max_attempts: 2,
+        seed: 17,
+        jobs,
+        out_dir: Some(dir.to_path_buf()),
+        ..CampaignConfig::default()
+    };
+    run_campaign(suite(SuiteScale::Test), &config, flaky_runner)
+}
+
+#[test]
+fn four_workers_produce_byte_identical_outputs_to_one() {
+    let dir_serial = tmp_dir("serial");
+    let dir_parallel = tmp_dir("parallel");
+    let serial = campaign(1, &dir_serial);
+    let parallel = campaign(4, &dir_parallel);
+
+    // Same settlement: everything completed, mcf needed its retry.
+    for outcome in [&serial, &parallel] {
+        assert_eq!(outcome.completed.len(), BENCHMARK_NAMES.len());
+        assert!(outcome.failed.is_empty(), "{}", outcome.summary());
+        let mcf = outcome
+            .completed
+            .iter()
+            .find(|c| c.run.bench.name == "mcf")
+            .expect("mcf completed");
+        assert_eq!(mcf.attempts, 2, "mcf was retried");
+    }
+
+    // Byte-identical artifacts: journal, failure report, every result file.
+    let a = artifacts(&dir_serial);
+    let b = artifacts(&dir_parallel);
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "same artifact set"
+    );
+    assert!(a.contains_key("journal.txt"));
+    assert!(a.contains_key("failures.txt"));
+    assert_eq!(
+        a.keys().filter(|k| k.ends_with(".result")).count(),
+        BENCHMARK_NAMES.len()
+    );
+    for (name, bytes) in &a {
+        assert_eq!(bytes, &b[name], "artifact `{name}` diverged across --jobs");
+    }
+
+    // journal order is canonical suite order, not completion order.
+    let journal = String::from_utf8(a["journal.txt"].clone()).expect("utf8");
+    let journalled: Vec<&str> = journal
+        .lines()
+        .map(|l| l.strip_prefix("done ").expect("all done"))
+        .collect();
+    assert_eq!(journalled, BENCHMARK_NAMES.to_vec());
+
+    // Sample-identical profiles, not just identical summaries on disk.
+    for (s, p) in serial.completed.iter().zip(&parallel.completed) {
+        assert_eq!(s.run.bench.name, p.run.bench.name);
+        assert_eq!(s.run.run.summary, p.run.run.summary);
+        assert_eq!(s.run.run.stats, p.run.run.stats);
+        for id in [ProfilerId::Tip, ProfilerId::Nci] {
+            assert_eq!(
+                s.run.run.bank.samples_of(id),
+                p.run.run.bank.samples_of(id),
+                "profiler {id:?} diverged for {}",
+                s.run.bench.name
+            );
+        }
+    }
+
+    // metrics.txt exists in both and records the actual worker count.
+    for (dir, workers) in [(&dir_serial, 1), (&dir_parallel, 4)] {
+        let metrics = fs::read_to_string(dir.join("metrics.txt")).expect("metrics");
+        assert!(metrics.contains(&format!("workers={workers}")), "{metrics}");
+        assert!(metrics.contains("speedup="), "{metrics}");
+        assert!(
+            metrics.contains("bench=mcf status=ok attempts=2"),
+            "{metrics}"
+        );
+    }
+
+    let _ = fs::remove_dir_all(&dir_serial);
+    let _ = fs::remove_dir_all(&dir_parallel);
+}
+
+/// Wall-clock speedup is real but host-dependent, so it is not asserted in
+/// the default suite; run with `--ignored` on an idle multi-core machine.
+#[test]
+#[ignore = "timing-sensitive; run manually on an idle machine"]
+fn four_workers_are_faster_than_one() {
+    use std::time::Instant;
+    let dir_serial = tmp_dir("speed-serial");
+    let dir_parallel = tmp_dir("speed-parallel");
+    let t0 = Instant::now();
+    let _ = campaign(1, &dir_serial);
+    let serial = t0.elapsed();
+    let t1 = Instant::now();
+    let _ = campaign(4, &dir_parallel);
+    let parallel = t1.elapsed();
+    assert!(
+        parallel < serial,
+        "4 workers ({parallel:?}) should beat 1 ({serial:?})"
+    );
+    let _ = fs::remove_dir_all(&dir_serial);
+    let _ = fs::remove_dir_all(&dir_parallel);
+}

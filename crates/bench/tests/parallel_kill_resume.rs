@@ -1,0 +1,149 @@
+//! Kill-and-resume under parallelism: SIGKILL a `--jobs 4` campaign
+//! mid-flight, resume it, and the final on-disk results must be
+//! byte-identical to an uninterrupted campaign — with only the incomplete
+//! jobs re-run (journalled benchmarks are skipped, not re-enqueued).
+//!
+//! This drives the real `fig10` binary as a subprocess, because the crash
+//! being simulated is the *process* dying with worker threads in flight.
+
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tip_workloads::BENCHMARK_NAMES;
+
+const CHECKPOINT: &str = "20000";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tip-par-kill-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fig10(dir: &Path, resume: bool) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig10"));
+    cmd.arg("test")
+        .arg(dir)
+        .args(["--jobs", "4", "--checkpoint", CHECKPOINT])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd
+}
+
+fn done_lines(dir: &Path) -> Vec<String> {
+    fs::read_to_string(dir.join("journal.txt"))
+        .unwrap_or_default()
+        .lines()
+        .filter_map(|l| l.strip_prefix("done ").map(str::to_owned))
+        .collect()
+}
+
+/// Waits until the campaign has journalled at least one completed benchmark
+/// (or exited on its own), then returns whether the child is still alive.
+fn wait_for_progress(child: &mut Child, dir: &Path) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if !done_lines(dir).is_empty() {
+            return child.try_wait().expect("child status").is_none();
+        }
+        if child.try_wait().expect("child status").is_some() {
+            return false;
+        }
+        assert!(Instant::now() < deadline, "campaign made no progress");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The deterministic artifacts: result files, journal, failure report.
+/// `metrics.txt` is host timing; `.trace`/`.tips` are checkpoint plumbing
+/// whose chunk boundaries legitimately differ at the kill point (their
+/// *records* are covered by the resume-equivalence suite).
+fn artifacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fs::read_dir(dir)
+        .expect("campaign dir exists")
+        .map(|e| e.expect("dir entry"))
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.ends_with(".result") || name == "journal.txt" || name == "failures.txt"
+        })
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).expect("artifact readable"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sigkilled_parallel_campaign_resumes_to_identical_results() {
+    // Uninterrupted reference at the same worker count and seeds.
+    let ref_dir = tmp_dir("ref");
+    let output = fig10(&ref_dir, false).output().expect("reference campaign");
+    assert!(
+        output.status.success(),
+        "reference campaign failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(done_lines(&ref_dir).len(), BENCHMARK_NAMES.len());
+
+    // The victim: killed as soon as it has journalled some (but usually not
+    // all) benchmarks, with 4 workers mid-simulation.
+    let kill_dir = tmp_dir("kill");
+    let mut child = fig10(&kill_dir, false).spawn().expect("spawn campaign");
+    if wait_for_progress(&mut child, &kill_dir) {
+        child.kill().expect("SIGKILL");
+    }
+    child.wait().expect("reap");
+    let done_at_kill = done_lines(&kill_dir);
+    assert!(!done_at_kill.is_empty(), "kill landed after some progress");
+
+    // Resume: only the incomplete jobs may re-run.
+    let output = fig10(&kill_dir, true).output().expect("resumed campaign");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "resume failed: {stderr}");
+    if done_at_kill.len() < BENCHMARK_NAMES.len() {
+        assert!(
+            stderr.contains(&format!("{} skipped (already done)", done_at_kill.len())),
+            "journalled benchmarks were skipped, not re-enqueued: {stderr}"
+        );
+    }
+
+    // Final state: full canonical journal, results byte-identical to the
+    // uninterrupted reference.
+    assert_eq!(done_lines(&kill_dir), BENCHMARK_NAMES.to_vec());
+    let reference = artifacts(&ref_dir);
+    let resumed = artifacts(&kill_dir);
+    assert_eq!(
+        reference.keys().collect::<Vec<_>>(),
+        resumed.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        reference.keys().filter(|k| k.ends_with(".result")).count(),
+        BENCHMARK_NAMES.len()
+    );
+    for (name, bytes) in &reference {
+        assert_eq!(
+            bytes, &resumed[name],
+            "artifact `{name}` diverged after kill+resume"
+        );
+    }
+
+    // No torn temp files survived the SIGKILL.
+    let torn = fs::read_dir(&kill_dir)
+        .expect("dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .count();
+    assert_eq!(torn, 0);
+
+    let _ = fs::remove_dir_all(&ref_dir);
+    let _ = fs::remove_dir_all(&kill_dir);
+}

@@ -198,17 +198,15 @@ fn killed_campaign_resumes_mid_benchmark_from_its_checkpoint() {
         .expect("save checkpoint");
     }
 
-    let sampler_cfg = config.sampler;
-    let profilers = config.profilers.clone();
     let outcome = run_campaign(
         vec![benchmark("exchange2", SuiteScale::Test)],
         &config,
-        move |bench, ctx| {
+        |job: &tip_bench::Job, ctx: &tip_bench::RunCtx| {
             run_profiled_checkpointed(
-                &bench.program,
+                &job.bench.program,
                 CoreConfig::default(),
-                sampler_cfg,
-                &profilers,
+                job.sampler,
+                &job.profilers,
                 ctx.seed,
                 ctx.checkpoint.as_ref().expect("checkpointing configured"),
             )

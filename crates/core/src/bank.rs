@@ -25,6 +25,15 @@ pub struct ProfilerBank {
     cycles: u64,
 }
 
+// A bank moves to an executor worker thread with the run it instruments;
+// `SampledProfiler: Send` makes the boxed profilers — and so the whole
+// bank — `Send` by construction. Regressions fail the build here.
+const _: () = {
+    const fn send<T: Send>() {}
+    send::<ProfilerBank>();
+    send::<Box<dyn SampledProfiler>>();
+};
+
 impl ProfilerBank {
     /// Creates a bank for `program` with the given schedule and profilers.
     #[must_use]

@@ -24,7 +24,12 @@ use tip_ooo::CycleRecord;
 /// produce a [`Sample`] for every sampled cycle — possibly later, when the
 /// needed event occurs (NCI waits for the next commit, TIP's Front-end state
 /// waits for the next dispatch).
-pub trait SampledProfiler {
+///
+/// `Send` is a supertrait so a boxed profiler — and therefore a whole
+/// [`crate::ProfilerBank`] — can move to an executor worker thread; an
+/// implementation with thread-bound state (`Rc`, raw pointers) is rejected
+/// at the trait boundary instead of at a distant `thread::scope`.
+pub trait SampledProfiler: Send {
     /// Observes one cycle; `sampled` marks sample cycles.
     fn observe(&mut self, record: &CycleRecord, sampled: bool);
 

@@ -424,6 +424,15 @@ pub struct Program {
     pub(crate) fault_handler: Option<FunctionId>,
 }
 
+// Programs are shared immutably across executor worker threads (every
+// `Core<'p>` borrows one); keep them `Send + Sync` by construction.
+const _: () = {
+    const fn send<T: Send>() {}
+    const fn sync<T: Sync>() {}
+    send::<Program>();
+    sync::<Program>();
+};
+
 impl Program {
     /// The program's name.
     #[must_use]

@@ -232,6 +232,14 @@ impl MemSystem {
     }
 }
 
+// The memory system travels inside a `Core` to executor worker threads;
+// keep it `Send` (no `Rc`, no thread-bound state) by construction.
+const _: () = {
+    const fn send<T: Send>() {}
+    send::<MemSystem>();
+    send::<MemStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1372,6 +1372,17 @@ impl std::fmt::Debug for Core<'_> {
     }
 }
 
+// A whole in-flight simulation (core + memory system + trace window) moves
+// to an executor worker thread; the borrow of the program is fine because
+// `Program` is `Sync`. Regressing either bound must fail the build here,
+// not at a distant `thread::scope` call.
+const _: () = {
+    const fn send<T: Send>() {}
+    send::<Core<'static>>();
+    send::<CoreStats>();
+    send::<RunSummary>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,15 @@ pub struct Benchmark {
     pub program: Program,
 }
 
+// Benchmarks ride inside executor `Job` specs that move to worker threads;
+// keep them `Send + Sync` by construction.
+const _: () = {
+    const fn send<T: Send>() {}
+    const fn sync<T: Sync>() {}
+    send::<Benchmark>();
+    sync::<Benchmark>();
+};
+
 /// Scales the dynamic length of the generated suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SuiteScale {
