@@ -1,0 +1,109 @@
+//! Host-throughput benchmark: simulated cycles per host-second.
+//!
+//! Usage: `hostbench [--quick] [--scale test|small|full] [--budget N]
+//! [--trials N] [--out FILE] [--baseline FILE]`
+//!
+//! Runs the fixed benchmark × mode matrix (raw simulator, fig08 profiler
+//! bank, framed tracing), prints the throughput table, and writes the
+//! `BENCH_PR4.json` perf-trajectory point to `--out` (default
+//! `BENCH_PR4.json` in the current directory). With `--baseline FILE` the
+//! aggregate of a previous report is embedded alongside the new numbers and
+//! per-mode speedups are computed — this is how the PR-4 acceptance
+//! criterion (bank-mode speedup vs the pre-optimization build) is recorded.
+
+use std::process::exit;
+
+use tip_bench::hostbench::{read_aggregate, run_hostbench, HostBenchOptions};
+use tip_workloads::SuiteScale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hostbench [--quick] [--scale test|small|full] [--budget N] [--trials N] [--out FILE] [--baseline FILE]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut options = HostBenchOptions::full();
+    let mut out = String::from("BENCH_PR4.json");
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let quick = HostBenchOptions::quick();
+                options.quick = true;
+                options.budget = quick.budget;
+                options.trials = quick.trials;
+            }
+            "--scale" => {
+                options.scale = match args.next().as_deref() {
+                    Some("test") => SuiteScale::Test,
+                    Some("small") => SuiteScale::Small,
+                    Some("full") => SuiteScale::Full,
+                    _ => usage(),
+                }
+            }
+            "--budget" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.budget = n,
+                None => usage(),
+            },
+            "--trials" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.trials = n,
+                None => usage(),
+            },
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => usage(),
+            },
+            "--baseline" => baseline_path = args.next().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+
+    let baseline = baseline_path.as_deref().map(|p| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("hostbench: cannot read baseline {p}: {e}");
+            exit(2);
+        });
+        read_aggregate(&text).unwrap_or_else(|| {
+            eprintln!("hostbench: {p} has no readable aggregate block");
+            exit(2);
+        })
+    });
+
+    eprintln!(
+        "hostbench: measuring {} matrix at {:?} scale ({} trial(s), {}-cycle budget)...",
+        if options.quick { "quick" } else { "full" },
+        options.scale,
+        options.trials,
+        options.budget
+    );
+    let report = run_hostbench(&options);
+    println!("Host throughput (simulated cycles per host-second)\n");
+    print!("{}", report.render_table());
+    let a = report.aggregate();
+    if let Some(b) = &baseline {
+        println!(
+            "\nbank-mode aggregate: {:.2} Mcycles/s vs baseline {:.2} Mcycles/s ({:.2}x)",
+            a.bank_mcycles_per_s,
+            b.bank_mcycles_per_s,
+            if b.bank_mcycles_per_s > 0.0 {
+                a.bank_mcycles_per_s / b.bank_mcycles_per_s
+            } else {
+                0.0
+            }
+        );
+    } else {
+        println!(
+            "\nbank-mode aggregate: {:.2} Mcycles/s",
+            a.bank_mcycles_per_s
+        );
+    }
+    let json = report.to_json(baseline.as_ref());
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("hostbench: cannot write {out}: {e}");
+        exit(1);
+    }
+    eprintln!("hostbench: wrote {out}");
+}

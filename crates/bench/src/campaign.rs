@@ -443,6 +443,24 @@ fn persist_metrics(config: &CampaignConfig, rows: &[BenchMetrics], summary: Exec
         "speedup={:.2}",
         if wall_ms > 0.0 { cpu_ms / wall_ms } else { 1.0 }
     );
+    // Host-throughput figures in hostbench's units (simulated cycles per
+    // host-second), so a campaign's `--jobs N` scaling can be read against
+    // the single-core numbers in `BENCH_PR4.json`.
+    let total_cycles: u64 = rows.iter().map(|r| r.metrics.cycles).sum();
+    let scaling = crate::hostbench::ScalingReport::new(
+        total_cycles,
+        wall_ms as u64,
+        cpu_ms as u64,
+        summary.workers,
+    );
+    let _ = writeln!(body, "total_cycles={total_cycles}");
+    let _ = writeln!(body, "cycles_per_s={:.0}", scaling.cycles_per_s);
+    let _ = writeln!(
+        body,
+        "per_worker_cycles_per_s={:.0}",
+        scaling.per_worker_cycles_per_s
+    );
+    let _ = writeln!(body, "scaling_efficiency={:.3}", scaling.efficiency);
     for r in rows {
         let _ = writeln!(
             body,
@@ -675,6 +693,11 @@ mod tests {
             "{metrics}"
         );
         assert!(metrics.contains("bench=exchange2 status=ok"), "{metrics}");
+        // Host-throughput figures ride along in hostbench units.
+        assert!(metrics.contains("total_cycles="), "{metrics}");
+        assert!(metrics.contains("cycles_per_s="), "{metrics}");
+        assert!(metrics.contains("per_worker_cycles_per_s="), "{metrics}");
+        assert!(metrics.contains("scaling_efficiency="), "{metrics}");
         let _ = fs::remove_dir_all(&dir);
     }
 

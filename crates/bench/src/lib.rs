@@ -9,7 +9,9 @@
 //! fanned out over worker threads with a deterministic merge, and
 //! [`campaign`] adds the fault-tolerant sweep layer on top (per-benchmark
 //! panic isolation, bounded reseeded retries, crash-consistent incremental
-//! persistence, and journal-driven resume).
+//! persistence, and journal-driven resume), and [`hostbench`] measures host
+//! throughput (simulated cycles per host-second) over a fixed matrix so
+//! each PR extends a reproducible perf trajectory (`BENCH_PR4.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,6 +20,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod executor;
 pub mod experiments;
+pub mod hostbench;
 pub mod run;
 pub mod table;
 
@@ -28,4 +31,5 @@ pub use checkpoint::{
 pub use executor::{
     default_workers, execute, ExecSummary, Job, JobMetrics, JobOutcome, RunCtx, Runner, SpecRunner,
 };
+pub use hostbench::{run_hostbench, HostBenchOptions, HostBenchReport, ScalingReport};
 pub use run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};

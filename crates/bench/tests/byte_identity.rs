@@ -1,0 +1,112 @@
+//! PR-4 regression gates: the allocation-free cycle loop (reused
+//! `CycleRecord`, in-place issue-queue compaction) and the sample-aware
+//! profiler fan-out are *performance* changes — every observable artifact
+//! must stay byte-identical. These tests pin that from three angles:
+//!
+//! 1. the framed trace a run writes (same seed → same bytes, and the
+//!    reused-record `run()` loop vs the fresh-record `step()` loop agree),
+//! 2. the profiler-bank results (two identical runs produce equal
+//!    `BankResult`s, snapshot-for-snapshot),
+//! 3. campaign artifacts (`journal.txt` and every `<bench>.result` of two
+//!    same-seed campaigns are byte-for-byte equal).
+
+use std::fs;
+use std::path::PathBuf;
+
+use tip_bench::campaign::{run_suite_campaign, CampaignConfig};
+use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
+use tip_ooo::{Core, CoreConfig};
+use tip_trace::TraceWriter;
+use tip_workloads::{benchmark, SuiteScale};
+
+const SEED: u64 = 42;
+const BUDGET: u64 = 150_000;
+
+fn trace_bytes_via_run(bench: &'static str) -> Vec<u8> {
+    let b = benchmark(bench, SuiteScale::Test);
+    let mut core = Core::new(&b.program, CoreConfig::default(), SEED);
+    let mut writer = TraceWriter::new(Vec::new());
+    core.run(&mut writer, BUDGET);
+    writer.into_inner().expect("flush")
+}
+
+fn trace_bytes_via_step(bench: &'static str) -> Vec<u8> {
+    let b = benchmark(bench, SuiteScale::Test);
+    let mut core = Core::new(&b.program, CoreConfig::default(), SEED);
+    let mut writer = TraceWriter::new(Vec::new());
+    while !core.finished() && core.cycle() < BUDGET {
+        core.step(&mut writer);
+    }
+    writer.into_inner().expect("flush")
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    for bench in ["exchange2", "mcf"] {
+        let a = trace_bytes_via_run(bench);
+        let b = trace_bytes_via_run(bench);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "{bench}: same-seed traces diverged");
+    }
+}
+
+#[test]
+fn reused_record_loop_matches_fresh_record_steps() {
+    // `run()` reuses one CycleRecord for the whole run; `step()` builds a
+    // fresh one per cycle. A stale-tail leak in the reuse path would show
+    // up as differing trace bytes here.
+    for bench in ["exchange2", "perlbench"] {
+        let reused = trace_bytes_via_run(bench);
+        let fresh = trace_bytes_via_step(bench);
+        assert_eq!(reused, fresh, "{bench}: record reuse leaked state");
+    }
+}
+
+#[test]
+fn same_seed_profiles_are_identical() {
+    let b = benchmark("imagick", SuiteScale::Test);
+    let run_once = || {
+        let mut bank =
+            ProfilerBank::new(&b.program, SamplerConfig::periodic(149), &ProfilerId::ALL);
+        let mut core = Core::new(&b.program, CoreConfig::default(), SEED);
+        core.run(&mut bank, BUDGET);
+        bank.finish()
+    };
+    let (first, second) = (run_once(), run_once());
+    assert_eq!(first.total_cycles, second.total_cycles);
+    assert_eq!(first.oracle, second.oracle);
+    assert_eq!(first.samples, second.samples);
+}
+
+#[test]
+fn same_seed_campaign_artifacts_are_byte_identical() {
+    let run_into = |dir: &PathBuf| {
+        let config = CampaignConfig {
+            out_dir: Some(dir.clone()),
+            ..CampaignConfig::default()
+        };
+        let outcome = run_suite_campaign(SuiteScale::Test, &config);
+        assert!(outcome.failed.is_empty(), "campaign must complete cleanly");
+    };
+    let base = std::env::temp_dir().join(format!("tip-byte-identity-{}", std::process::id()));
+    let (dir_a, dir_b) = (base.join("a"), base.join("b"));
+    fs::create_dir_all(&dir_a).expect("mkdir");
+    fs::create_dir_all(&dir_b).expect("mkdir");
+    run_into(&dir_a);
+    run_into(&dir_b);
+
+    let mut compared = 0;
+    for entry in fs::read_dir(&dir_a).expect("read dir") {
+        let name = entry.expect("entry").file_name();
+        let name_str = name.to_string_lossy();
+        if name_str != "journal.txt" && !name_str.ends_with(".result") {
+            continue; // metrics.txt carries host timing, inherently unstable
+        }
+        let a = fs::read(dir_a.join(&name)).expect("read a");
+        let b = fs::read(dir_b.join(&name)).expect("read b");
+        assert_eq!(a, b, "{name_str} differs between same-seed campaigns");
+        compared += 1;
+    }
+    assert!(compared > 2, "expected journal + several result files");
+    let _ = fs::remove_dir_all(&base);
+}

@@ -10,7 +10,7 @@
 
 use crate::oracle::{OracleProfiler, OracleResult};
 use crate::profile::Profile;
-use crate::profilers::{ProfilerId, SampledProfiler};
+use crate::profilers::{AnyProfiler, ProfilerId, SampledProfiler};
 use crate::sample::Sample;
 use crate::sampler::{SampleSchedule, SamplerConfig};
 use tip_isa::snap::{self, SnapError, SnapReader};
@@ -21,17 +21,21 @@ use tip_ooo::{CycleRecord, TraceSink};
 pub struct ProfilerBank {
     schedule: SampleSchedule,
     oracle: OracleProfiler,
-    profilers: Vec<(ProfilerId, Box<dyn SampledProfiler>)>,
+    /// Statically-dispatched profilers: the per-cycle latch fan-out inlines
+    /// into [`TraceSink::on_cycle`] instead of going through seven separate
+    /// vtable calls (see [`ProfilerId::build_static`]).
+    profilers: Vec<(ProfilerId, AnyProfiler)>,
     cycles: u64,
 }
 
 // A bank moves to an executor worker thread with the run it instruments;
-// `SampledProfiler: Send` makes the boxed profilers — and so the whole
-// bank — `Send` by construction. Regressions fail the build here.
+// `SampledProfiler: Send` makes boxed profilers — and the concrete enum the
+// bank stores — `Send` by construction. Regressions fail the build here.
 const _: () = {
     const fn send<T: Send>() {}
     send::<ProfilerBank>();
     send::<Box<dyn SampledProfiler>>();
+    send::<AnyProfiler>();
 };
 
 impl ProfilerBank {
@@ -41,7 +45,7 @@ impl ProfilerBank {
         ProfilerBank {
             schedule: sampler.schedule(),
             oracle: OracleProfiler::new(program.len()),
-            profilers: ids.iter().map(|&id| (id, id.build())).collect(),
+            profilers: ids.iter().map(|&id| (id, id.build_static())).collect(),
             cycles: 0,
         }
     }
@@ -49,6 +53,12 @@ impl ProfilerBank {
     /// Serializes the bank's complete mid-run state — schedule position,
     /// Oracle accumulators, and every profiler's in-flight state — for a
     /// checkpoint. [`Self::restore`] continues the run bit-identically.
+    ///
+    /// Each profiler serializes straight into the single output buffer; its
+    /// length prefix is reserved up front and patched back afterwards
+    /// (`snap::put_len` is a fixed-width u32), instead of staging every
+    /// state in a temporary `Vec` — checkpoints are taken mid-run, so the
+    /// snapshot path avoids per-profiler allocations.
     #[must_use]
     pub fn snapshot(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -57,10 +67,13 @@ impl ProfilerBank {
         snap::put_len(&mut out, self.profilers.len());
         for (id, p) in &self.profilers {
             snap::put_u8(&mut out, id.tag());
-            let mut state = Vec::new();
-            p.snapshot_into(&mut state);
-            snap::put_len(&mut out, state.len());
-            out.extend_from_slice(&state);
+            let len_at = out.len();
+            snap::put_len(&mut out, 0);
+            let state_at = out.len();
+            p.snapshot_into(&mut out);
+            let state_len =
+                u32::try_from(out.len() - state_at).expect("profiler state exceeds u32");
+            out[len_at..state_at].copy_from_slice(&state_len.to_le_bytes());
         }
         snap::put_u64(&mut out, self.cycles);
         out
@@ -92,7 +105,7 @@ impl ProfilerBank {
             let id = ProfilerId::from_tag(r.u8()?)
                 .ok_or(SnapError::Malformed("unknown profiler tag"))?;
             let state_len = r.len()?;
-            let mut p = id.build();
+            let mut p = id.build_static();
             let state = &mut SnapReader::new(r.bytes(state_len)?);
             p.restore_from(state, program.len())?;
             if !state.is_empty() {
@@ -138,13 +151,42 @@ impl ProfilerBank {
     }
 }
 
-impl TraceSink for ProfilerBank {
-    fn on_cycle(&mut self, record: &CycleRecord) {
+impl ProfilerBank {
+    /// Reference (pre-split) observation path: polls the schedule on every
+    /// cycle and drives each profiler through the two-argument `observe`
+    /// shim. Semantically identical to the [`TraceSink::on_cycle`] fast
+    /// path — the `fast_path_matches_reference_fanout` proptest holds the
+    /// two bit-equal on arbitrary programs and sampler configs.
+    pub fn on_cycle_reference(&mut self, record: &CycleRecord) {
         self.cycles += 1;
         let sampled = self.schedule.is_sample(record.cycle);
         self.oracle.on_cycle(record);
         for (_, p) in &mut self.profilers {
             p.observe(record, sampled);
+        }
+    }
+}
+
+impl TraceSink for ProfilerBank {
+    #[inline]
+    fn on_cycle(&mut self, record: &CycleRecord) {
+        self.cycles += 1;
+        self.oracle.on_cycle(record);
+        // The schedule precomputes its next sample cycle and advances only
+        // when it is reached (see `SampleSchedule::is_sample`), so
+        // non-sampled cycles skip the schedule entirely and pay only the
+        // Oracle update plus each profiler's cheap latch — the full
+        // attribution fan-out runs on the ~1/interval sampled cycles.
+        if record.cycle == self.schedule.next_sample_cycle() {
+            let hit = self.schedule.is_sample(record.cycle);
+            debug_assert!(hit, "the precomputed sample cycle must hit");
+            for (_, p) in &mut self.profilers {
+                p.on_sample(record);
+            }
+        } else {
+            for (_, p) in &mut self.profilers {
+                p.latch(record);
+            }
         }
     }
 }

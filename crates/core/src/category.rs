@@ -207,13 +207,13 @@ mod tests {
 
     fn commit_record(cycle: u64, flush: bool, mispredicted: bool) -> CycleRecord {
         let mut r = CycleRecord::empty(cycle);
-        r.committed[0] = Some(CommitView {
+        r.committed[0] = CommitView {
             addr: InstrAddr::new(0x1000),
             idx: InstrIdx::new(0),
             kind: InstrKind::IntAlu,
             mispredicted,
             flush,
-        });
+        };
         r.n_committed = 1;
         r.rob_len = 1;
         r

@@ -71,6 +71,6 @@ pub use bank::{BankResult, ProfilerBank};
 pub use category::{classify, CommitState, CycleCategory, Oir, OirEntry, NUM_CATEGORIES};
 pub use oracle::{sampled_symbol_stacks, CycleStack, OracleProfiler, OracleResult};
 pub use profile::Profile;
-pub use profilers::{ProfilerId, SampledProfiler};
+pub use profilers::{AnyProfiler, ProfilerId, SampledProfiler};
 pub use sample::Sample;
 pub use sampler::{SampleSchedule, SamplerConfig, SamplingMode};

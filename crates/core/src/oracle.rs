@@ -304,13 +304,13 @@ mod tests {
     fn commit(cycle: u64, idxs: &[u32]) -> CycleRecord {
         let mut r = CycleRecord::empty(cycle);
         for (i, &idx) in idxs.iter().enumerate() {
-            r.committed[i] = Some(CommitView {
+            r.committed[i] = CommitView {
                 addr: InstrAddr::new(0x1000 + 4 * u64::from(idx)),
                 idx: InstrIdx::new(idx),
                 kind: InstrKind::IntAlu,
                 mispredicted: false,
                 flush: false,
-            });
+            };
         }
         r.n_committed = idxs.len() as u8;
         r.rob_len = 0;
@@ -366,13 +366,13 @@ mod tests {
         // empty 4 cycles, then the target stalls one cycle and commits.
         let mut o = OracleProfiler::new(8);
         let mut r = commit(0, &[0]);
-        r.committed[1] = Some(CommitView {
+        r.committed[1] = CommitView {
             addr: InstrAddr::new(0x1004),
             idx: InstrIdx::new(1),
             kind: InstrKind::Branch,
             mispredicted: true,
             flush: false,
-        });
+        };
         r.n_committed = 2;
         o.on_cycle(&r);
         for c in 1..=4 {
@@ -450,13 +450,13 @@ mod tests {
     fn csr_flush_is_misc_flush_category() {
         let mut o = OracleProfiler::new(4);
         let mut r = CycleRecord::empty(0);
-        r.committed[0] = Some(CommitView {
+        r.committed[0] = CommitView {
             addr: InstrAddr::new(0x1000),
             idx: InstrIdx::new(0),
             kind: InstrKind::CsrFlush,
             mispredicted: false,
             flush: true,
-        });
+        };
         r.n_committed = 1;
         o.on_cycle(&r);
         o.on_cycle(&CycleRecord::empty(1));

@@ -30,8 +30,31 @@ use tip_ooo::CycleRecord;
 /// implementation with thread-bound state (`Rc`, raw pointers) is rejected
 /// at the trait boundary instead of at a distant `thread::scope`.
 pub trait SampledProfiler: Send {
-    /// Observes one cycle; `sampled` marks sample cycles.
-    fn observe(&mut self, record: &CycleRecord, sampled: bool);
+    /// Observes one *non-sampled* cycle: the cheap always-on state tracking
+    /// a real implementation would keep in hardware registers (LCI's
+    /// last-committed latch, NCI's pending-sample drain, TIP's OIR update).
+    /// This is the only per-cycle cost a profiler pays on the
+    /// [`crate::ProfilerBank`] fast path, so implementations keep it
+    /// allocation-free and early-out as soon as the cycle is irrelevant.
+    fn latch(&mut self, record: &CycleRecord);
+
+    /// Observes one *sampled* cycle: full attribution work. Implementations
+    /// embed this cycle's latch updates at the exact point the hardware
+    /// would perform them, so a cycle is observed by `latch` *or*
+    /// `on_sample`, never both.
+    fn on_sample(&mut self, record: &CycleRecord);
+
+    /// Observes one cycle; `sampled` marks sample cycles. Compatibility
+    /// shim over the [`latch`](Self::latch) / [`on_sample`](Self::on_sample)
+    /// split — also the reference semantics the
+    /// [`crate::ProfilerBank`] fast path is equivalence-tested against.
+    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
+        if sampled {
+            self.on_sample(record);
+        } else {
+            self.latch(record);
+        }
+    }
 
     /// Takes the samples resolved so far (in trigger order).
     fn drain_samples(&mut self) -> Vec<Sample>;
@@ -134,20 +157,100 @@ impl ProfilerId {
         }
     }
 
-    /// Builds a fresh profiler of this kind.
+    /// Builds a fresh profiler of this kind behind dynamic dispatch.
     #[must_use]
     pub fn build(self) -> Box<dyn SampledProfiler> {
+        Box::new(self.build_static())
+    }
+
+    /// Builds a fresh profiler of this kind with *static* dispatch.
+    ///
+    /// [`crate::ProfilerBank`] stores these instead of boxed trait objects:
+    /// the per-cycle `latch` fan-out is then a match over inlined bodies
+    /// (each a few loads and an early-out) rather than seven indirect calls
+    /// through separate heap allocations.
+    #[must_use]
+    pub fn build_static(self) -> AnyProfiler {
         match self {
-            ProfilerId::Software => Box::new(Software::new()),
-            ProfilerId::Dispatch => Box::new(Dispatch::new()),
-            ProfilerId::Lci => Box::new(Lci::new()),
-            ProfilerId::Nci => Box::new(Nci::new(false)),
-            ProfilerId::NciIlp => Box::new(Nci::new(true)),
-            ProfilerId::TipIlp => Box::new(Tip::new(false)),
-            ProfilerId::Tip => Box::new(Tip::new(true)),
+            ProfilerId::Software => AnyProfiler::Software(Software::new()),
+            ProfilerId::Dispatch => AnyProfiler::Dispatch(Dispatch::new()),
+            ProfilerId::Lci => AnyProfiler::Lci(Lci::new()),
+            ProfilerId::Nci => AnyProfiler::Nci(Nci::new(false)),
+            ProfilerId::NciIlp => AnyProfiler::Nci(Nci::new(true)),
+            ProfilerId::TipIlp => AnyProfiler::Tip(Tip::new(false)),
+            ProfilerId::Tip => AnyProfiler::Tip(Tip::new(true)),
             ProfilerId::TipLastCommitDrain => {
-                Box::new(Tip::new(true).with_drained_policy(DrainedPolicy::LastCommitted))
+                AnyProfiler::Tip(Tip::new(true).with_drained_policy(DrainedPolicy::LastCommitted))
             }
+        }
+    }
+}
+
+/// A sampled profiler with static dispatch: one variant per concrete
+/// implementation ([`Nci`] and [`Tip`] cover several [`ProfilerId`]s via
+/// construction flags). Exists purely so the hot per-cycle fan-out in
+/// [`crate::ProfilerBank`] compiles to direct, inlinable calls; behaviour is
+/// identical to the boxed form by construction.
+#[allow(missing_docs)]
+#[derive(Debug)]
+pub enum AnyProfiler {
+    Software(Software),
+    Dispatch(Dispatch),
+    Lci(Lci),
+    Nci(Nci),
+    Tip(Tip),
+}
+
+impl SampledProfiler for AnyProfiler {
+    #[inline]
+    fn latch(&mut self, record: &CycleRecord) {
+        match self {
+            AnyProfiler::Software(p) => p.latch(record),
+            AnyProfiler::Dispatch(p) => p.latch(record),
+            AnyProfiler::Lci(p) => p.latch(record),
+            AnyProfiler::Nci(p) => p.latch(record),
+            AnyProfiler::Tip(p) => p.latch(record),
+        }
+    }
+
+    #[inline]
+    fn on_sample(&mut self, record: &CycleRecord) {
+        match self {
+            AnyProfiler::Software(p) => p.on_sample(record),
+            AnyProfiler::Dispatch(p) => p.on_sample(record),
+            AnyProfiler::Lci(p) => p.on_sample(record),
+            AnyProfiler::Nci(p) => p.on_sample(record),
+            AnyProfiler::Tip(p) => p.on_sample(record),
+        }
+    }
+
+    fn drain_samples(&mut self) -> Vec<Sample> {
+        match self {
+            AnyProfiler::Software(p) => p.drain_samples(),
+            AnyProfiler::Dispatch(p) => p.drain_samples(),
+            AnyProfiler::Lci(p) => p.drain_samples(),
+            AnyProfiler::Nci(p) => p.drain_samples(),
+            AnyProfiler::Tip(p) => p.drain_samples(),
+        }
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AnyProfiler::Software(p) => p.snapshot_into(out),
+            AnyProfiler::Dispatch(p) => p.snapshot_into(out),
+            AnyProfiler::Lci(p) => p.snapshot_into(out),
+            AnyProfiler::Nci(p) => p.snapshot_into(out),
+            AnyProfiler::Tip(p) => p.snapshot_into(out),
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>, num_instrs: usize) -> Result<(), SnapError> {
+        match self {
+            AnyProfiler::Software(p) => p.restore_from(r, num_instrs),
+            AnyProfiler::Dispatch(p) => p.restore_from(r, num_instrs),
+            AnyProfiler::Lci(p) => p.restore_from(r, num_instrs),
+            AnyProfiler::Nci(p) => p.restore_from(r, num_instrs),
+            AnyProfiler::Tip(p) => p.restore_from(r, num_instrs),
         }
     }
 }

@@ -45,15 +45,27 @@ impl Software {
 }
 
 impl SampledProfiler for Software {
-    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
+    #[inline]
+    fn latch(&mut self, record: &CycleRecord) {
+        // Off-sample the handler only has work when an earlier interrupt is
+        // still waiting for fetch to resume.
+        if self.pending.is_empty() {
+            return;
+        }
         if let Some((_, idx)) = record.next_to_fetch {
             while let Some(cycle) = self.pending.pop_front() {
                 self.resolved.push(Sample::single(cycle, idx, None));
             }
-            if sampled {
-                self.resolved.push(Sample::single(record.cycle, idx, None));
+        }
+    }
+
+    fn on_sample(&mut self, record: &CycleRecord) {
+        if let Some((_, idx)) = record.next_to_fetch {
+            while let Some(cycle) = self.pending.pop_front() {
+                self.resolved.push(Sample::single(cycle, idx, None));
             }
-        } else if sampled {
+            self.resolved.push(Sample::single(record.cycle, idx, None));
+        } else {
             // Fetch has nothing (program ending / redirect pending): the PC
             // is captured when fetch resumes.
             self.pending.push_back(record.cycle);
@@ -112,23 +124,26 @@ impl Dispatch {
     }
 }
 
-impl SampledProfiler for Dispatch {
-    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
-        if sampled {
-            self.untagged.push_back(record.cycle);
-        }
+impl Dispatch {
+    /// Tags waiting samples at the dispatch boundary and retrieves tags
+    /// whose instruction commits this cycle — the always-on half of the
+    /// IBS-style machinery, shared by both observation paths.
+    #[inline]
+    fn tag_and_retrieve(&mut self, record: &CycleRecord) {
         // Tag pending samples with the correct-path instruction at the
         // dispatch boundary.
-        if let Some((_, idx, false)) = record.next_to_dispatch {
-            while let Some(cycle) = self.untagged.pop_front() {
-                self.tagged.push_back((cycle, record.cycle, idx));
+        if !self.untagged.is_empty() {
+            if let Some((_, idx, false)) = record.next_to_dispatch {
+                while let Some(cycle) = self.untagged.pop_front() {
+                    self.tagged.push_back((cycle, record.cycle, idx));
+                }
             }
         }
         // Retrieve samples whose tagged instruction commits this cycle. A
         // squash-and-refetch re-executes the same static instruction, so the
         // tag still resolves (matching IBS re-tagging behaviour closely
         // enough for attribution purposes).
-        if record.is_committing() {
+        if !self.tagged.is_empty() && record.is_committing() {
             while let Some(&(cycle, tag_cycle, idx)) = self.tagged.front() {
                 if record.committed_iter().any(|c| c.idx == idx) {
                     self.tagged.pop_front();
@@ -139,6 +154,18 @@ impl SampledProfiler for Dispatch {
                 }
             }
         }
+    }
+}
+
+impl SampledProfiler for Dispatch {
+    #[inline]
+    fn latch(&mut self, record: &CycleRecord) {
+        self.tag_and_retrieve(record);
+    }
+
+    fn on_sample(&mut self, record: &CycleRecord) {
+        self.untagged.push_back(record.cycle);
+        self.tag_and_retrieve(record);
     }
 
     fn drain_samples(&mut self) -> Vec<Sample> {
@@ -191,7 +218,22 @@ impl Lci {
 }
 
 impl SampledProfiler for Lci {
-    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
+    #[inline]
+    fn latch(&mut self, record: &CycleRecord) {
+        // The monitor's last-committed register latches every cycle.
+        if let Some(c) = record.youngest_committed() {
+            self.last_committed = Some(c.idx);
+        }
+        if !self.pending.is_empty() {
+            if let Some(idx) = self.last_committed {
+                while let Some(cycle) = self.pending.pop_front() {
+                    self.resolved.push(Sample::single(cycle, idx, None));
+                }
+            }
+        }
+    }
+
+    fn on_sample(&mut self, record: &CycleRecord) {
         // The monitor reads the last-committed instruction as of the sampled
         // cycle; commits in the sampled cycle itself are visible.
         if let Some(c) = record.youngest_committed() {
@@ -201,10 +243,8 @@ impl SampledProfiler for Lci {
             while let Some(cycle) = self.pending.pop_front() {
                 self.resolved.push(Sample::single(cycle, idx, None));
             }
-            if sampled {
-                self.resolved.push(Sample::single(record.cycle, idx, None));
-            }
-        } else if sampled {
+            self.resolved.push(Sample::single(record.cycle, idx, None));
+        } else {
             // Nothing has committed yet (cold start): resolve at first commit.
             self.pending.push_back(record.cycle);
         }
@@ -283,10 +323,17 @@ impl Nci {
 }
 
 impl SampledProfiler for Nci {
-    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
-        if sampled {
-            self.pending.push_back(record.cycle);
+    #[inline]
+    fn latch(&mut self, record: &CycleRecord) {
+        if !self.pending.is_empty() && record.is_committing() {
+            while let Some(cycle) = self.pending.pop_front() {
+                self.resolve(cycle, record);
+            }
         }
+    }
+
+    fn on_sample(&mut self, record: &CycleRecord) {
+        self.pending.push_back(record.cycle);
         if record.is_committing() {
             while let Some(cycle) = self.pending.pop_front() {
                 self.resolve(cycle, record);
@@ -323,13 +370,13 @@ mod tests {
     fn commit(cycle: u64, idxs: &[u32]) -> CycleRecord {
         let mut r = CycleRecord::empty(cycle);
         for (i, &idx) in idxs.iter().enumerate() {
-            r.committed[i] = Some(CommitView {
+            r.committed[i] = CommitView {
                 addr: InstrAddr::new(0x1000 + 4 * u64::from(idx)),
                 idx: InstrIdx::new(idx),
                 kind: InstrKind::IntAlu,
                 mispredicted: false,
                 flush: false,
-            });
+            };
         }
         r.n_committed = idxs.len() as u8;
         r
@@ -361,17 +408,20 @@ mod tests {
     }
 
     #[test]
-    fn nci_survives_committing_record_with_no_entries() {
-        // A perturbed/damaged trace can claim `n_committed > 0` while
-        // carrying no commit entries; both NCI variants must drop the
-        // sample rather than panic.
+    fn nci_survives_hostile_commit_counts() {
+        // With the plain commit array a "count without entries" record is
+        // unrepresentable — the array always holds values, so the old
+        // sparse-record hazard is gone by construction. The remaining
+        // hostile shape is an out-of-range count on a hand-built or
+        // damaged record: `committed_slice`'s clamp must keep both NCI
+        // variants panic-free (they resolve against the filler entries).
         let mut hostile = CycleRecord::empty(1);
-        hostile.n_committed = 2;
+        hostile.n_committed = 200;
         for ilp in [false, true] {
             let mut nci = Nci::new(ilp);
             nci.observe(&CycleRecord::empty(0), true);
             nci.observe(&hostile, false);
-            assert!(nci.drain_samples().is_empty(), "ilp={ilp}");
+            let _ = nci.drain_samples(); // no panic is the assertion
         }
     }
 

@@ -291,10 +291,11 @@ impl Tip {
     }
 }
 
-impl SampledProfiler for Tip {
-    fn observe(&mut self, record: &CycleRecord, sampled: bool) {
-        // Resolve open (Front-end) samples on the first dispatch: the head
-        // of the refilled ROB is the first instruction that entered it.
+impl Tip {
+    /// Resolves open (Front-end) samples on the first dispatch: the head
+    /// of the refilled ROB is the first instruction that entered it.
+    #[inline]
+    fn resolve_open(&mut self, record: &CycleRecord) {
         if !self.open.is_empty() {
             if let Some(head) = &record.head {
                 while let Some(mut open) = self.open.pop_front() {
@@ -306,17 +307,30 @@ impl SampledProfiler for Tip {
                 }
             }
         }
+    }
+}
 
-        if sampled {
-            let (regs, open) = self.select(record);
-            if open {
-                self.open.push_back(OpenSample { registers: regs });
-            } else {
-                self.resolved.push(self.attribute(&regs));
-            }
+impl SampledProfiler for Tip {
+    #[inline]
+    fn latch(&mut self, record: &CycleRecord) {
+        self.resolve_open(record);
+        // The OIR-update unit runs every cycle regardless of sampling.
+        self.oir.update(record);
+    }
+
+    fn on_sample(&mut self, record: &CycleRecord) {
+        self.resolve_open(record);
+
+        let (regs, open) = self.select(record);
+        if open {
+            self.open.push_back(OpenSample { registers: regs });
+        } else {
+            self.resolved.push(self.attribute(&regs));
         }
 
-        // The OIR-update unit runs every cycle regardless of sampling.
+        // The OIR-update unit latches *after* sample selection, as in
+        // `observe`'s historical ordering: the sampled cycle's own commits
+        // become visible to the OIR only on the next cycle.
         self.oir.update(record);
     }
 
@@ -390,7 +404,7 @@ mod tests {
                 mispredicted: last && mispredicted_last,
                 flush: last && flush_last,
             };
-            r.committed[i] = Some(view);
+            r.committed[i] = view;
             r.banks[i] = BankView {
                 valid: true,
                 committing: true,

@@ -106,24 +106,42 @@ impl SampleSchedule {
         }
     }
 
-    /// Whether `cycle` is a sample cycle. Must be called with consecutive
-    /// cycles (0, 1, 2, ...).
+    /// Whether `cycle` is a sample cycle, for monotonically increasing
+    /// `cycle` values.
+    ///
+    /// The schedule advances *eagerly*: all state (interval position, RNG
+    /// draws, sample count) mutates at the moment a sample hits, so calls
+    /// for non-sample cycles are pure no-ops. Callers that poll every cycle
+    /// see the same hit sequence as the historical advance-at-interval-end
+    /// algorithm (one RNG draw per interval, in the same order — see the
+    /// `eager_advance_matches_reference_algorithm` test), and callers that
+    /// know [`Self::next_sample_cycle`] may skip the call entirely on other
+    /// cycles, which is what makes the [`crate::ProfilerBank`] sample-aware
+    /// fast path possible.
+    #[inline]
     pub fn is_sample(&mut self, cycle: u64) -> bool {
-        let hit = cycle == self.next_sample;
-        if hit {
-            self.samples_taken += 1;
+        if cycle != self.next_sample {
+            return false;
         }
-        // Advance to the next interval when the current one ends.
-        if cycle + 1 >= self.interval_start + self.config.interval {
-            self.interval_start += self.config.interval;
-            self.next_sample = match self.config.mode {
-                SamplingMode::Periodic => self.interval_start + self.config.interval - 1,
-                SamplingMode::Random => {
-                    self.interval_start + self.rng.random_range(0..self.config.interval)
-                }
-            };
-        }
-        hit
+        self.samples_taken += 1;
+        self.interval_start += self.config.interval;
+        self.next_sample = match self.config.mode {
+            SamplingMode::Periodic => self.interval_start + self.config.interval - 1,
+            SamplingMode::Random => {
+                self.interval_start + self.rng.random_range(0..self.config.interval)
+            }
+        };
+        true
+    }
+
+    /// The precomputed cycle the next sample will land on.
+    ///
+    /// Strictly increases after each hit; `is_sample` is a no-op for any
+    /// cycle before it.
+    #[must_use]
+    #[inline]
+    pub fn next_sample_cycle(&self) -> u64 {
+        self.next_sample
     }
 
     /// Samples taken so far.
@@ -248,5 +266,98 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_panics() {
         let _ = SamplerConfig::periodic(0).schedule();
+    }
+
+    /// The pre-PR-4 schedule advanced its interval state at the *end* of
+    /// every interval, paying an RNG draw and two compares on each of those
+    /// cycles whether or not a sample hit. The eager-advance rewrite mutates
+    /// only at hit time; this reference reimplements the historical
+    /// algorithm verbatim so the hit sequences can be compared exactly.
+    struct ReferenceSchedule {
+        config: SamplerConfig,
+        next_sample: u64,
+        interval_start: u64,
+        rng: SmallRng,
+        samples_taken: u64,
+    }
+
+    impl ReferenceSchedule {
+        fn new(config: SamplerConfig) -> Self {
+            let mut rng = SmallRng::seed_from_u64(config.seed);
+            let next_sample = match config.mode {
+                SamplingMode::Periodic => config.interval - 1,
+                SamplingMode::Random => rng.random_range(0..config.interval),
+            };
+            ReferenceSchedule {
+                config,
+                next_sample,
+                interval_start: 0,
+                rng,
+                samples_taken: 0,
+            }
+        }
+
+        fn is_sample(&mut self, cycle: u64) -> bool {
+            let hit = cycle == self.next_sample;
+            if hit {
+                self.samples_taken += 1;
+            }
+            if cycle + 1 >= self.interval_start + self.config.interval {
+                self.interval_start += self.config.interval;
+                self.next_sample = match self.config.mode {
+                    SamplingMode::Periodic => self.interval_start + self.config.interval - 1,
+                    SamplingMode::Random => {
+                        self.interval_start + self.rng.random_range(0..self.config.interval)
+                    }
+                };
+            }
+            hit
+        }
+    }
+
+    #[test]
+    fn eager_advance_matches_reference_algorithm() {
+        let mut configs = vec![SamplerConfig::periodic(1), SamplerConfig::periodic(149)];
+        for interval in [1, 2, 3, 64, 149, 1000] {
+            for seed in 0..8 {
+                configs.push(SamplerConfig::random(interval, seed));
+            }
+        }
+        for cfg in configs {
+            let mut new = cfg.schedule();
+            let mut reference = ReferenceSchedule::new(cfg);
+            for cycle in 0..20_000 {
+                assert_eq!(
+                    new.is_sample(cycle),
+                    reference.is_sample(cycle),
+                    "hit divergence at cycle {cycle} under {cfg:?}"
+                );
+                assert_eq!(new.samples_taken(), reference.samples_taken);
+            }
+        }
+    }
+
+    #[test]
+    fn next_sample_cycle_predicts_every_hit() {
+        for cfg in [
+            SamplerConfig::periodic(100),
+            SamplerConfig::random(100, 9),
+            SamplerConfig::random(1, 3),
+        ] {
+            let mut skipping = cfg.schedule();
+            let dense = sample_cycles(cfg, 50_000);
+            // Drive a second schedule only at its own predicted cycles; it
+            // must reproduce the densely polled hit sequence.
+            let mut predicted = Vec::new();
+            while skipping.next_sample_cycle() < 50_000 {
+                let c = skipping.next_sample_cycle();
+                assert!(skipping.is_sample(c), "predicted cycle must hit");
+                predicted.push(c);
+            }
+            assert_eq!(
+                predicted, dense,
+                "skip-driven hits must match dense polling"
+            );
+        }
     }
 }

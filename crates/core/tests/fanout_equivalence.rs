@@ -1,0 +1,100 @@
+//! Hot-path equivalence: the sample-aware `ProfilerBank` fan-out
+//! (precomputed next-sample cycle, `latch`/`on_sample` split) must be
+//! bit-identical to the reference full fan-out (per-cycle schedule poll,
+//! two-argument `observe`) on arbitrary programs and sampler configs.
+//!
+//! This is the correctness gate for the PR-4 fast path: any divergence —
+//! a missed sample, a latch running on a sampled cycle, an RNG draw taken
+//! at a different time — shows up as a sample/Oracle mismatch here.
+
+use proptest::prelude::*;
+use tip_core::{BankResult, ProfilerBank, ProfilerId, SamplerConfig};
+use tip_ooo::{Core, CoreConfig, TraceSink};
+use tip_workloads::{generate, SynthParams};
+
+/// Runs `program` under every profiler twice — fast path vs reference
+/// fan-out — and returns both results.
+fn run_both(
+    program: &tip_isa::Program,
+    sampler: SamplerConfig,
+    max_cycles: u64,
+) -> (BankResult, BankResult) {
+    let ids = ProfilerId::ALL;
+
+    let mut fast = ProfilerBank::new(program, sampler, &ids);
+    let mut core = Core::new(program, CoreConfig::default(), 3);
+    core.run(&mut fast, max_cycles);
+
+    // The reference path drives the bank through `on_cycle_reference` via a
+    // forwarding sink, over the *same* deterministic simulation.
+    struct Reference(ProfilerBank);
+    impl TraceSink for Reference {
+        fn on_cycle(&mut self, record: &tip_ooo::CycleRecord) {
+            self.0.on_cycle_reference(record);
+        }
+    }
+    let mut reference = Reference(ProfilerBank::new(program, sampler, &ids));
+    let mut core = Core::new(program, CoreConfig::default(), 3);
+    core.run(&mut reference, max_cycles);
+
+    (fast.finish(), reference.0.finish())
+}
+
+fn assert_identical(fast: &BankResult, reference: &BankResult) {
+    assert_eq!(fast.total_cycles, reference.total_cycles);
+    assert_eq!(fast.oracle, reference.oracle, "Oracle accounting diverged");
+    assert_eq!(fast.samples.len(), reference.samples.len());
+    for ((fid, fs), (rid, rs)) in fast.samples.iter().zip(&reference.samples) {
+        assert_eq!(fid, rid);
+        assert_eq!(fs, rs, "{fid} samples diverged between fast and reference");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fast_path_matches_reference_fanout(
+        program_seed in 0u64..1_000,
+        dep_prob in 0.0f64..0.3,
+        diamond_prob in 0.0f64..0.9,
+        inner_iters in 4u32..32,
+        interval in 1u64..400,
+        random in proptest::bool::ANY,
+        sampler_seed in 0u64..50,
+    ) {
+        let params = SynthParams {
+            dep_prob,
+            diamond_prob,
+            inner_iters,
+            dyn_instrs: 15_000,
+            ..SynthParams::default()
+        };
+        let program = generate("fanout-eq", &params, program_seed);
+        let sampler = if random {
+            SamplerConfig::random(interval, sampler_seed)
+        } else {
+            SamplerConfig::periodic(interval)
+        };
+        let (fast, reference) = run_both(&program, sampler, 200_000);
+        assert_identical(&fast, &reference);
+    }
+}
+
+/// The deterministic smoke version: a real benchmark at test scale with the
+/// harness' default interval, plus the interval=1 (every cycle sampled) and
+/// huge-interval (sampling never fires) corners the proptest is unlikely to
+/// pin exactly.
+#[test]
+fn fast_path_matches_reference_on_benchmark_corners() {
+    let b = tip_workloads::benchmark("perlbench", tip_workloads::SuiteScale::Test);
+    for sampler in [
+        SamplerConfig::periodic(149),
+        SamplerConfig::periodic(1),
+        SamplerConfig::periodic(1 << 40),
+        SamplerConfig::random(149, 7),
+    ] {
+        let (fast, reference) = run_both(&b.program, sampler, 400_000);
+        assert_identical(&fast, &reference);
+    }
+}

@@ -317,7 +317,12 @@ impl<'p> Executor<'p> {
         }
 
         let pc = self.pc?;
-        let instr = &self.program.instrs()[pc as usize];
+        // Copy the `&'p Program` out of `self` so `instr` does not borrow
+        // `self` — behaviours can then be passed by reference to the state
+        // machines below instead of cloned per dynamic instruction (the
+        // `Pattern` branch behaviour owns a `Vec`, so that clone allocated).
+        let program = self.program;
+        let instr = &program.instrs()[pc as usize];
         let mut raw = RawDyn {
             idx: pc,
             taken: None,
@@ -327,12 +332,12 @@ impl<'p> Executor<'p> {
 
         match instr.kind() {
             InstrKind::Branch => {
-                let behavior = instr.branch_behavior().expect("validated branch").clone();
-                let taken = self.branch_state(pc).next_outcome(&behavior);
+                let behavior = instr.branch_behavior().expect("validated branch");
+                let taken = self.branch_state(pc).next_outcome(behavior);
                 raw.taken = Some(taken);
                 if taken {
                     let target = instr.taken_target().expect("validated branch");
-                    self.pc = Some(self.program.block(target).first_instr().index() as u32);
+                    self.pc = Some(program.block(target).first_instr().index() as u32);
                 } else {
                     self.pc = Some(pc + 1);
                 }
@@ -364,8 +369,8 @@ impl<'p> Executor<'p> {
                 self.pc = None;
             }
             InstrKind::Load => {
-                let behavior = instr.mem_behavior().expect("validated load").clone();
-                let addr = self.mem_state(pc).next_addr(&behavior);
+                let behavior = instr.mem_behavior().expect("validated load");
+                let addr = self.mem_state(pc).next_addr(behavior);
                 raw.mem_addr = Some(addr);
                 let n = self.exec_counts[pc as usize];
                 self.exec_counts[pc as usize] += 1;
@@ -386,8 +391,8 @@ impl<'p> Executor<'p> {
                 }
             }
             InstrKind::Store => {
-                let behavior = instr.mem_behavior().expect("validated store").clone();
-                raw.mem_addr = Some(self.mem_state(pc).next_addr(&behavior));
+                let behavior = instr.mem_behavior().expect("validated store");
+                raw.mem_addr = Some(self.mem_state(pc).next_addr(behavior));
                 self.pc = Some(pc + 1);
             }
             _ => {

@@ -108,6 +108,12 @@ pub struct Cache {
     mshrs: Vec<Mshr>,
     stamp: u64,
     stats: CacheStats,
+    /// Host-side memo of the most recent hit (`line`, way index): repeated
+    /// accesses to one line skip the set scan. Not architectural state — the
+    /// way is revalidated (valid + tag) before use, so staleness after an
+    /// eviction is harmless. Never serialized.
+    last_line: u64,
+    last_way: usize,
 }
 
 impl Cache {
@@ -136,6 +142,8 @@ impl Cache {
             stamp: 0,
             stats: CacheStats::default(),
             config,
+            last_line: u64::MAX,
+            last_way: 0,
         }
     }
 
@@ -152,15 +160,35 @@ impl Cache {
     }
 
     fn set_index(&self, line: u64) -> usize {
-        ((line % self.num_sets) as usize) * self.ways
+        // Set counts are powers of two for every Table 1 configuration, so
+        // the modulo reduces to a mask; keep `%` as the general fallback.
+        let set = if self.num_sets.is_power_of_two() {
+            line & (self.num_sets - 1)
+        } else {
+            line % self.num_sets
+        };
+        (set as usize) * self.ways
     }
 
     fn probe(&mut self, line: u64) -> bool {
-        let base = self.set_index(line);
         self.stamp += 1;
-        for w in &mut self.sets[base..base + self.ways] {
+        // Memoized fast path: the way is revalidated, and a hit performs
+        // exactly the stamp update the scan below would (tags are unique
+        // within a set, so the scan could only find this same way).
+        if line == self.last_line {
+            if let Some(w) = self.sets.get_mut(self.last_way) {
+                if w.valid && w.tag == line {
+                    w.stamp = self.stamp;
+                    return true;
+                }
+            }
+        }
+        let base = self.set_index(line);
+        for (i, w) in self.sets[base..base + self.ways].iter_mut().enumerate() {
             if w.valid && w.tag == line {
                 w.stamp = self.stamp;
+                self.last_line = line;
+                self.last_way = base + i;
                 return true;
             }
         }
@@ -189,7 +217,9 @@ impl Cache {
     }
 
     fn purge_mshrs(&mut self, cycle: u64) {
-        self.mshrs.retain(|m| m.complete > cycle);
+        if !self.mshrs.is_empty() {
+            self.mshrs.retain(|m| m.complete > cycle);
+        }
     }
 
     /// Looks up `line` at `cycle`. On a hit the line's LRU stamp updates; on
@@ -353,6 +383,8 @@ impl Cache {
             stamp,
             stats,
             config,
+            last_line: u64::MAX,
+            last_way: 0,
         })
     }
 

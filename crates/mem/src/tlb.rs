@@ -32,17 +32,45 @@ pub struct Tlb {
     entries: Vec<(u64, u64)>, // (page, lru stamp)
     stamp: u64,
     stats: TlbStats,
+    /// Index of the most recent hit — purely a host-side accelerator for the
+    /// associative scan (page locality makes repeat hits the common case).
+    /// Not part of the architectural state: never serialized, and stale
+    /// values are harmless because the page is re-checked before use.
+    last_hit: usize,
+    /// Host-side page → `entries` index map, kept exactly in sync with
+    /// `entries`. Pages are unique within a TLB, so map membership equals
+    /// scan membership — this turns the O(entries) associative scan (512
+    /// entries for the shared L2 TLB) into O(1) without touching the
+    /// modelled LRU state. Never serialized; rebuilt on restore.
+    index: std::collections::HashMap<u64, usize>,
+    /// Host-side eviction accelerator: the oldest entries found by the last
+    /// eviction scan as `(index, stamp)` pairs, sorted newest-first so the
+    /// oldest pops off the end. Stamps are unique and only ever move
+    /// forward, so a candidate whose stamp is unchanged is *still* strictly
+    /// the LRU entry and can be evicted without rescanning; a touched
+    /// candidate fails the stamp check and is discarded. Never serialized.
+    victims: Vec<(u32, u64)>,
 }
+
+/// How many eviction candidates one scan harvests (amortizes the
+/// O(entries) stamp scan over up to this many evictions while the victims
+/// stay untouched — the common case in a thrashing phase, where the oldest
+/// entries are old precisely because nothing hits them).
+const VICTIM_CANDIDATES: usize = 8;
 
 impl Tlb {
     /// Creates an empty TLB.
     #[must_use]
     pub fn new(config: TlbConfig) -> Self {
+        let capacity = config.entries as usize;
         Tlb {
-            entries: Vec::with_capacity(config.entries as usize),
+            entries: Vec::with_capacity(capacity),
             stamp: 0,
             stats: TlbStats::default(),
             config,
+            last_hit: 0,
+            index: std::collections::HashMap::with_capacity(capacity),
+            victims: Vec::with_capacity(VICTIM_CANDIDATES),
         }
     }
 
@@ -50,8 +78,18 @@ impl Tlb {
     pub fn lookup(&mut self, page: u64) -> bool {
         self.stats.accesses += 1;
         self.stamp += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.stamp;
+        // Memoized fast path: pages are unique within a TLB, so if the
+        // last-hit slot still holds `page` it is *the* matching entry and
+        // the LRU/stats updates below are identical to the map path's.
+        if let Some(e) = self.entries.get_mut(self.last_hit) {
+            if e.0 == page {
+                e.1 = self.stamp;
+                return true;
+            }
+        }
+        if let Some(&i) = self.index.get(&page) {
+            self.entries[i].1 = self.stamp;
+            self.last_hit = i;
             return true;
         }
         self.stats.misses += 1;
@@ -61,19 +99,53 @@ impl Tlb {
     /// Installs `page`, evicting the LRU entry when full.
     pub fn fill(&mut self, page: u64) {
         self.stamp += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.stamp;
+        if let Some(&i) = self.index.get(&page) {
+            self.entries[i].1 = self.stamp;
             return;
         }
         if self.entries.len() < self.config.entries as usize {
             self.entries.push((page, self.stamp));
+            self.index.insert(page, self.entries.len() - 1);
         } else {
-            let victim = self
-                .entries
-                .iter_mut()
-                .min_by_key(|e| e.1)
-                .expect("tlb non-empty when full");
-            *victim = (page, self.stamp);
+            let victim = self.lru_victim();
+            self.index.remove(&self.entries[victim].0);
+            self.index.insert(page, victim);
+            self.entries[victim] = (page, self.stamp);
+        }
+    }
+
+    /// Index of the least-recently-used entry — exactly the entry a full
+    /// min-stamp scan would pick, but amortized through the `victims`
+    /// candidate list.
+    ///
+    /// Correctness: a scan observes every entry's stamp at one instant, and
+    /// stamps are unique and strictly increasing on every touch. If the
+    /// candidate with the smallest recorded stamp is unchanged, every other
+    /// entry (including any candidate touched since — its new stamp exceeds
+    /// all scan-time stamps) still carries a larger stamp, so it remains
+    /// strictly the oldest. Stale candidates are simply skipped.
+    fn lru_victim(&mut self) -> usize {
+        loop {
+            match self.victims.pop() {
+                Some((i, s)) => {
+                    let i = i as usize;
+                    if self.entries[i].1 == s {
+                        return i;
+                    }
+                }
+                None => {
+                    for (i, e) in self.entries.iter().enumerate() {
+                        if self.victims.len() < VICTIM_CANDIDATES || e.1 < self.victims[0].1 {
+                            let pos = self.victims.partition_point(|&(_, s)| s > e.1);
+                            self.victims.insert(pos, (i as u32, e.1));
+                            if self.victims.len() > VICTIM_CANDIDATES {
+                                self.victims.remove(0);
+                            }
+                        }
+                    }
+                    debug_assert!(!self.victims.is_empty());
+                }
+            }
         }
     }
 
@@ -121,11 +193,15 @@ impl Tlb {
             accesses: r.u64()?,
             misses: r.u64()?,
         };
+        let index = entries.iter().enumerate().map(|(i, e)| (e.0, i)).collect();
         Ok(Tlb {
             config,
             entries,
             stamp,
             stats,
+            last_hit: 0,
+            index,
+            victims: Vec::with_capacity(VICTIM_CANDIDATES),
         })
     }
 }

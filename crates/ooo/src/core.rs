@@ -50,6 +50,7 @@ impl<'p> TraceWindow<'p> {
         }
     }
 
+    #[inline]
     fn get(&mut self, pos: u64) -> Option<&DynInstr> {
         assert!(
             pos >= self.base,
@@ -198,9 +199,19 @@ pub struct Core<'p> {
     rob: VecDeque<usize>,
     head_alloc: u64,
     renamer: Renamer,
-    iq_int: Vec<(usize, u64)>,
-    iq_mem: Vec<(usize, u64)>,
-    iq_fp: Vec<(usize, u64)>,
+    // Issue-queue entries are `(slot, uid, wakeup_bound)`. The bound is a
+    // host-side scheduling accelerator: the earliest cycle the entry's
+    // operands can all be ready (0 = not yet known). Once every source preg
+    // has left the `u64::MAX` "unscheduled" state its `ready_at` is final
+    // for the lifetime of the consumer (each preg is written exactly once
+    // per allocation epoch, and a live entry's sources cannot be
+    // reallocated under it), so `bound > t` proves the entry is not
+    // issuable at `t` without touching the slab or renamer. Not part of
+    // the architectural state: never serialized, rebuilt lazily after
+    // restore.
+    iq_int: Vec<(usize, u64, u64)>,
+    iq_mem: Vec<(usize, u64, u64)>,
+    iq_fp: Vec<(usize, u64, u64)>,
     div_busy: [u64; 2],
     lsq_used: u32,
     branches_inflight: u32,
@@ -325,8 +336,10 @@ impl<'p> Core<'p> {
     /// spinning in a livelock until the cycle budget runs out.
     pub fn run(&mut self, sink: &mut impl TraceSink, max_cycles: u64) -> RunSummary {
         let watchdog = self.config.watchdog_cycles;
+        // One record for the whole run; `step_with` resets it each cycle.
+        let mut record = CycleRecord::empty(self.cycle);
         while !self.finished() && self.cycle < max_cycles {
-            self.step(sink);
+            self.step_with(&mut record, sink);
             if self.stats.committed != self.watchdog_committed {
                 self.watchdog_committed = self.stats.committed;
                 self.watchdog_commit_cycle = self.cycle;
@@ -432,7 +445,8 @@ impl<'p> Core<'p> {
         self.renamer.snapshot_into(&mut out);
         for q in [&self.iq_int, &self.iq_mem, &self.iq_fp] {
             snap::put_len(&mut out, q.len());
-            for &(slot, uid) in q {
+            // The wakeup bound is a host-side cache — rebuilt after restore.
+            for &(slot, uid, _) in q {
                 snap::put_u32(&mut out, slot as u32);
                 snap::put_u64(&mut out, uid);
             }
@@ -447,13 +461,17 @@ impl<'p> Core<'p> {
         }
         snap::put_opt_u64(&mut out, self.serialize);
         // BinaryHeap iteration order is unspecified; serialize sorted so the
-        // same state always produces the same bytes.
-        let events = self.resolve_events.clone().into_sorted_vec();
+        // same state always produces the same bytes. Sorting borrowed entries
+        // keeps the heap intact (no deep clone); ascending `Reverse` order is
+        // exactly what `clone().into_sorted_vec()` used to produce, so the
+        // byte stream is unchanged.
+        let mut events: Vec<&Reverse<(u64, usize, u64)>> = self.resolve_events.iter().collect();
+        events.sort_unstable();
         snap::put_len(&mut out, events.len());
         for Reverse((when, slot, uid)) in events {
-            snap::put_u64(&mut out, when);
-            snap::put_u32(&mut out, slot as u32);
-            snap::put_u64(&mut out, uid);
+            snap::put_u64(&mut out, *when);
+            snap::put_u32(&mut out, *slot as u32);
+            snap::put_u64(&mut out, *uid);
         }
         snap::put_bool(&mut out, self.halted);
         for v in [
@@ -538,7 +556,7 @@ impl<'p> Core<'p> {
         }
         let head_alloc = r.u64()?;
         let renamer = Renamer::restore(config.int_phys_regs, config.fp_phys_regs, r)?;
-        let read_iq = |r: &mut SnapReader<'_>| -> Result<Vec<(usize, u64)>, SnapError> {
+        let read_iq = |r: &mut SnapReader<'_>| -> Result<Vec<(usize, u64, u64)>, SnapError> {
             let n = r.len_of(12)?;
             let mut q = Vec::with_capacity(n);
             for _ in 0..n {
@@ -546,7 +564,8 @@ impl<'p> Core<'p> {
                 if slot >= uops.num_slots() {
                     return Err(SnapError::Malformed("issue queue slot out of range"));
                 }
-                q.push((slot, r.u64()?));
+                // Wakeup bound 0 = "unknown": recomputed on first issue scan.
+                q.push((slot, r.u64()?, 0));
             }
             Ok(q)
         };
@@ -662,16 +681,27 @@ impl<'p> Core<'p> {
 
     /// Simulates one cycle, emitting one record into `sink`.
     pub fn step(&mut self, sink: &mut impl TraceSink) {
+        let mut record = CycleRecord::empty(self.cycle);
+        self.step_with(&mut record, sink);
+    }
+
+    /// The single-cycle body, writing into a caller-owned record.
+    ///
+    /// [`Core::run`] keeps one record alive for the whole run and resets it
+    /// here each cycle; sinks only ever see `&CycleRecord`, so the reuse is
+    /// invisible to them (equality deliberately ignores the stale tail of
+    /// the commit array — see [`CycleRecord::reset`]).
+    fn step_with(&mut self, record: &mut CycleRecord, sink: &mut impl TraceSink) {
         let t = self.cycle;
-        let mut record = CycleRecord::empty(t);
+        record.reset(t);
 
         self.process_resolves(t);
         let pre_commit_head_alloc = self.head_alloc;
-        self.commit(t, &mut record);
+        self.commit(t, record);
         self.issue(t);
         self.dispatch(t);
         self.fetch(t);
-        self.finalize_record(t, pre_commit_head_alloc, &mut record);
+        self.finalize_record(t, pre_commit_head_alloc, record);
 
         self.stats.cycles += 1;
         if record.is_committing() {
@@ -680,12 +710,13 @@ impl<'p> Core<'p> {
             self.stats.empty_rob_cycles += 1;
         }
 
-        sink.on_cycle(&record);
+        sink.on_cycle(record);
         self.cycle = t + 1;
     }
 
     // ----- resolve ---------------------------------------------------------
 
+    #[inline]
     fn process_resolves(&mut self, t: u64) {
         while let Some(&Reverse((when, slot, uid))) = self.resolve_events.peek() {
             if when > t {
@@ -722,19 +753,22 @@ impl<'p> Core<'p> {
             let Some(&front) = self.rob.front() else {
                 break;
             };
-            if !self.uops.get(front).executed(t) {
+            // One slab access for all three head checks.
+            let (executed, fault, is_store) = {
+                let uop = self.uops.get(front);
+                (uop.executed(t), uop.fault, uop.kind == InstrKind::Store)
+            };
+            if !executed {
                 break;
             }
-            if self.uops.get(front).fault {
+            if fault {
                 if n > 0 {
                     break; // the exception fires alone, next cycle
                 }
                 self.take_exception(t, front, record);
                 break;
             }
-            if self.uops.get(front).kind == InstrKind::Store
-                && self.store_buffer.len() >= self.config.store_buffer as usize
-            {
+            if is_store && self.store_buffer.len() >= self.config.store_buffer as usize {
                 break; // store stall at the head of the ROB
             }
 
@@ -762,13 +796,13 @@ impl<'p> Core<'p> {
             self.stats.committed += 1;
             self.window.retire_before(uop.trace_pos);
 
-            record.committed[n] = Some(CommitView {
+            record.committed[n] = CommitView {
                 addr: uop.addr,
                 idx: uop.idx,
                 kind: uop.kind,
                 mispredicted: uop.mispredicted,
                 flush: uop.kind == InstrKind::CsrFlush,
-            });
+            };
             n += 1;
 
             match uop.kind {
@@ -822,35 +856,69 @@ impl<'p> Core<'p> {
             FuClass::Fp => self.config.fp_iq.width,
         } as usize;
 
-        let queue = match class {
+        // The queue is moved out (a pointer swap, not a copy) so `self` stays
+        // borrowable, then compacted *in place*: survivors are written back
+        // through `kept` and the tail truncated. The old rebuild-into-a-fresh
+        // `Vec` allocated three times per cycle on the hot path.
+        let mut queue = match class {
             FuClass::Int => std::mem::take(&mut self.iq_int),
             FuClass::Mem => std::mem::take(&mut self.iq_mem),
             FuClass::Fp => std::mem::take(&mut self.iq_fp),
         };
 
-        let mut remaining = Vec::with_capacity(queue.len());
+        let mut kept = 0usize;
         let mut issued = 0usize;
-        for (slot, uid) in queue {
-            if self.uops.get_if_uid(slot, uid).is_none() {
-                continue; // squashed
-            }
+        for i in 0..queue.len() {
             if issued >= width {
-                remaining.push((slot, uid));
+                // Issue bandwidth is exhausted: every remaining entry is a
+                // survivor, so move the whole tail at once. Skipping the
+                // per-entry squash check is sound because `squash_from`
+                // purges the issue queues eagerly (squashes happen in
+                // resolve/commit, both earlier in the cycle than issue), so
+                // no stale entry can be present here.
+                let len = queue.len();
+                queue.copy_within(i..len, kept);
+                kept += len - i;
+                break;
+            }
+            let (slot, uid, bound) = queue[i];
+            // Cached wakeup bound: a waiting entry whose operands cannot be
+            // ready before `bound` skips the slab and renamer entirely.
+            if bound > t {
+                queue[kept] = (slot, uid, bound);
+                kept += 1;
                 continue;
             }
-            let ready = {
-                let uop = self.uops.get(slot);
-                uop.src_pregs
-                    .iter()
-                    .flatten()
-                    .all(|&p| self.renamer.ready_at(p) <= t)
+            // One slab access covers the squash check, the operand-ready
+            // scan, and the kind read (uops and renamer are disjoint
+            // fields, so the borrows do not conflict).
+            let Some(uop) = self.uops.get_if_uid(slot, uid) else {
+                continue; // squashed
             };
+            let kind = uop.kind;
+            // Single pass over the sources: readiness now, plus the cached
+            // bound for later cycles (0 while any producer is unscheduled —
+            // its `ready_at` is still `u64::MAX`, so no finite bound exists
+            // yet and the entry must be rechecked every cycle).
+            let mut ready = true;
+            let mut new_bound = 0u64;
+            for &p in uop.src_pregs.iter().flatten() {
+                let r = self.renamer.ready_at(p);
+                if r > t {
+                    ready = false;
+                }
+                if r == u64::MAX {
+                    new_bound = 0;
+                    break;
+                }
+                new_bound = new_bound.max(r);
+            }
             if !ready {
-                remaining.push((slot, uid));
+                queue[kept] = (slot, uid, new_bound);
+                kept += 1;
                 continue;
             }
             // Unpipelined units (dividers) serialize.
-            let kind = self.uops.get(slot).kind;
             if !kind.pipelined() {
                 let div = match class {
                     FuClass::Int => &mut self.div_busy[0],
@@ -858,7 +926,11 @@ impl<'p> Core<'p> {
                     FuClass::Mem => unreachable!("no unpipelined mem ops"),
                 };
                 if *div > t {
-                    remaining.push((slot, uid));
+                    // The divider stays busy until at least `*div` (the
+                    // busy-until mark only ever moves later), so it doubles
+                    // as this entry's wakeup bound.
+                    queue[kept] = (slot, uid, *div);
+                    kept += 1;
                     continue;
                 }
                 *div = t + u64::from(kind.exec_latency());
@@ -878,15 +950,17 @@ impl<'p> Core<'p> {
             }
             issued += 1;
         }
+        queue.truncate(kept);
 
         match class {
-            FuClass::Int => self.iq_int = remaining,
-            FuClass::Mem => self.iq_mem = remaining,
-            FuClass::Fp => self.iq_fp = remaining,
+            FuClass::Int => self.iq_int = queue,
+            FuClass::Mem => self.iq_mem = queue,
+            FuClass::Fp => self.iq_fp = queue,
         }
     }
 
     /// Computes the completion cycle of `slot` issued at `t`.
+    #[inline]
     fn execute_uop(&mut self, t: u64, slot: usize) -> u64 {
         let (kind, mem_addr, fault) = {
             let u = self.uops.get(slot);
@@ -1014,10 +1088,22 @@ impl<'p> Core<'p> {
             self.rob.push_back(slot);
 
             if let Some(class) = iq_class {
+                // Seed the cached wakeup bound (see the issue-queue field
+                // comment): the max of the sources' scheduled ready times,
+                // or 0 while any producer is still unscheduled.
+                let mut wakeup_bound = 0u64;
+                for &p in src_pregs.iter().flatten() {
+                    let r = self.renamer.ready_at(p);
+                    if r == u64::MAX {
+                        wakeup_bound = 0;
+                        break;
+                    }
+                    wakeup_bound = wakeup_bound.max(r);
+                }
                 match class {
-                    FuClass::Int => self.iq_int.push((slot, uid)),
-                    FuClass::Mem => self.iq_mem.push((slot, uid)),
-                    FuClass::Fp => self.iq_fp.push((slot, uid)),
+                    FuClass::Int => self.iq_int.push((slot, uid, wakeup_bound)),
+                    FuClass::Mem => self.iq_mem.push((slot, uid, wakeup_bound)),
+                    FuClass::Fp => self.iq_fp.push((slot, uid, wakeup_bound)),
                 }
             }
             if fb.kind.is_mem() {
@@ -1295,16 +1381,28 @@ impl<'p> Core<'p> {
         // checks stay accurate.
         let uops = &self.uops;
         self.iq_int
-            .retain(|&(s, u)| uops.get_if_uid(s, u).is_some());
+            .retain(|&(s, u, _)| uops.get_if_uid(s, u).is_some());
         self.iq_mem
-            .retain(|&(s, u)| uops.get_if_uid(s, u).is_some());
-        self.iq_fp.retain(|&(s, u)| uops.get_if_uid(s, u).is_some());
+            .retain(|&(s, u, _)| uops.get_if_uid(s, u).is_some());
+        self.iq_fp
+            .retain(|&(s, u, _)| uops.get_if_uid(s, u).is_some());
     }
 
     // ----- record ----------------------------------------------------------
 
+    #[inline]
     fn finalize_record(&mut self, t: u64, pre_commit_head_alloc: u64, record: &mut CycleRecord) {
         let w = self.config.commit_width as u64;
+        // The commit width is a power of two in every shipped config; reduce
+        // the per-bank modulo to a mask there (`%` on a runtime u64 is a
+        // hardware divide, and this runs up to six times per cycle).
+        let bank_of = |alloc: u64| -> u64 {
+            if w.is_power_of_two() {
+                alloc & (w - 1)
+            } else {
+                alloc % w
+            }
+        };
         record.rob_len = self.rob.len() as u32;
 
         if let Some(&front) = self.rob.front() {
@@ -1319,14 +1417,9 @@ impl<'p> Core<'p> {
 
         if record.n_committed > 0 {
             // Computing state: the bank view reflects the committing column.
-            for (i, c) in record
-                .committed
-                .iter()
-                .take(record.n_committed as usize)
-                .enumerate()
-            {
-                let c = c.as_ref().expect("committed entries are dense");
-                let bank = ((pre_commit_head_alloc + i as u64) % w) as usize;
+            for i in 0..record.n_committed as usize {
+                let c = record.committed[i];
+                let bank = bank_of(pre_commit_head_alloc + i as u64) as usize;
                 record.banks[bank] = BankView {
                     valid: true,
                     committing: true,
@@ -1335,12 +1428,12 @@ impl<'p> Core<'p> {
                     kind: c.kind,
                 };
             }
-            record.oldest_bank = (pre_commit_head_alloc % w) as u8;
+            record.oldest_bank = bank_of(pre_commit_head_alloc) as u8;
         } else {
             // Stalled (or empty): the head column at end of cycle.
             for i in 0..self.rob.len().min(w as usize) {
                 let uop = self.uops.get(self.rob[i]);
-                let bank = (uop.alloc % w) as usize;
+                let bank = bank_of(uop.alloc) as usize;
                 record.banks[bank] = BankView {
                     valid: true,
                     committing: false,
@@ -1349,7 +1442,7 @@ impl<'p> Core<'p> {
                     kind: uop.kind,
                 };
             }
-            record.oldest_bank = (self.head_alloc % w) as u8;
+            record.oldest_bank = bank_of(self.head_alloc) as u8;
         }
 
         record.next_to_dispatch = self

@@ -67,15 +67,37 @@ impl BankView {
     }
 }
 
+impl CommitView {
+    /// Filler for the unused tail of a record's commit array; never
+    /// observable through [`CycleRecord::committed_iter`].
+    #[must_use]
+    pub fn invalid() -> Self {
+        CommitView {
+            addr: InstrAddr::new(0),
+            idx: InstrIdx::new(0),
+            kind: InstrKind::Nop,
+            mispredicted: false,
+            flush: false,
+        }
+    }
+}
+
 /// Everything the profilers may observe about one clock cycle.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares only the *meaningful* commit entries
+/// (`committed[..n_committed]`): the simulator reuses one record across
+/// cycles, so the array tail may hold stale data from earlier cycles — it
+/// is dead storage, not state.
+#[derive(Debug, Clone)]
 pub struct CycleRecord {
     /// The cycle number (0-based).
     pub cycle: u64,
-    /// Number of instructions committed this cycle.
+    /// Number of instructions committed this cycle (at most
+    /// [`MAX_COMMIT`]).
     pub n_committed: u8,
-    /// The committed instructions, oldest first.
-    pub committed: [Option<CommitView>; MAX_COMMIT],
+    /// The committed instructions, oldest first; only the first
+    /// `n_committed` entries are meaningful.
+    pub committed: [CommitView; MAX_COMMIT],
     /// Head-column view per ROB bank (index = bank id).
     pub banks: [BankView; MAX_COMMIT],
     /// Bank id of the oldest valid entry (TIP's "Oldest ID").
@@ -103,7 +125,7 @@ impl CycleRecord {
         CycleRecord {
             cycle,
             n_committed: 0,
-            committed: [None; MAX_COMMIT],
+            committed: [CommitView::invalid(); MAX_COMMIT],
             banks: [BankView::invalid(); MAX_COMMIT],
             oldest_bank: 0,
             rob_len: 0,
@@ -114,21 +136,51 @@ impl CycleRecord {
         }
     }
 
-    /// Committed instructions as a slice-like iterator, oldest first.
+    /// Resets to an idle record for `cycle`, reusing the storage.
+    ///
+    /// The committed array is deliberately *not* cleared: `n_committed = 0`
+    /// makes the tail unobservable, so the per-cycle cost is just the small
+    /// scalar fields and the bank views. This is what lets the simulator
+    /// keep one record alive across the whole run instead of rebuilding a
+    /// ~300-byte struct every cycle.
+    #[inline]
+    pub fn reset(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        self.n_committed = 0;
+        self.banks = [BankView::invalid(); MAX_COMMIT];
+        self.oldest_bank = 0;
+        self.rob_len = 0;
+        self.head = None;
+        self.exception = None;
+        self.next_to_dispatch = None;
+        self.next_to_fetch = None;
+    }
+
+    /// The meaningful committed instructions, oldest first.
+    #[inline]
+    #[must_use]
+    pub fn committed_slice(&self) -> &[CommitView] {
+        // Records from the live simulator always satisfy
+        // `n_committed <= MAX_COMMIT`; clamp anyway so a hand-built or
+        // damaged record degrades instead of panicking.
+        &self.committed[..(self.n_committed as usize).min(MAX_COMMIT)]
+    }
+
+    /// Committed instructions as an iterator, oldest first.
+    #[inline]
     pub fn committed_iter(&self) -> impl Iterator<Item = &CommitView> {
-        self.committed
-            .iter()
-            .take(self.n_committed as usize)
-            .flatten()
+        self.committed_slice().iter()
     }
 
     /// Whether any instruction committed this cycle.
+    #[inline]
     #[must_use]
     pub fn is_committing(&self) -> bool {
         self.n_committed > 0
     }
 
     /// Whether the ROB is empty at the end of the cycle.
+    #[inline]
     #[must_use]
     pub fn rob_empty(&self) -> bool {
         self.rob_len == 0
@@ -136,13 +188,25 @@ impl CycleRecord {
 
     /// The youngest instruction committed this cycle (what TIP's OIR-update
     /// unit latches).
+    #[inline]
     #[must_use]
     pub fn youngest_committed(&self) -> Option<&CommitView> {
-        if self.n_committed == 0 {
-            None
-        } else {
-            self.committed[self.n_committed as usize - 1].as_ref()
-        }
+        self.committed_slice().last()
+    }
+}
+
+impl PartialEq for CycleRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle
+            && self.n_committed == other.n_committed
+            && self.committed_slice() == other.committed_slice()
+            && self.banks == other.banks
+            && self.oldest_bank == other.oldest_bank
+            && self.rob_len == other.rob_len
+            && self.head == other.head
+            && self.exception == other.exception
+            && self.next_to_dispatch == other.next_to_dispatch
+            && self.next_to_fetch == other.next_to_fetch
     }
 }
 
@@ -192,22 +256,66 @@ mod tests {
         assert_eq!(r.committed_iter().count(), 0);
     }
 
-    #[test]
-    fn youngest_committed_picks_last() {
-        let mut r = CycleRecord::empty(0);
-        let mk = |a: u64| CommitView {
+    fn mk(a: u64) -> CommitView {
+        CommitView {
             addr: InstrAddr::new(a),
             idx: InstrIdx::new(0),
             kind: InstrKind::IntAlu,
             mispredicted: false,
             flush: false,
-        };
-        r.committed[0] = Some(mk(0x10));
-        r.committed[1] = Some(mk(0x14));
+        }
+    }
+
+    #[test]
+    fn youngest_committed_picks_last() {
+        let mut r = CycleRecord::empty(0);
+        r.committed[0] = mk(0x10);
+        r.committed[1] = mk(0x14);
         r.n_committed = 2;
         assert_eq!(r.youngest_committed().unwrap().addr, InstrAddr::new(0x14));
         assert_eq!(r.committed_iter().count(), 2);
         assert!(r.is_committing());
+    }
+
+    #[test]
+    fn equality_ignores_the_stale_commit_tail() {
+        let mut a = CycleRecord::empty(0);
+        a.committed[0] = mk(0x10);
+        a.n_committed = 1;
+        let mut b = a.clone();
+        // Stale garbage beyond n_committed must be invisible to equality —
+        // a reused record is compared against freshly decoded ones.
+        b.committed[1] = mk(0xdead);
+        b.committed[3] = mk(0xbeef);
+        assert_eq!(a, b);
+        b.n_committed = 2;
+        assert_ne!(a, b, "entries under the count do participate");
+    }
+
+    #[test]
+    fn reset_yields_an_idle_record_with_dead_tail() {
+        let mut r = CycleRecord::empty(3);
+        r.committed[0] = mk(0x10);
+        r.n_committed = 1;
+        r.rob_len = 9;
+        r.oldest_bank = 2;
+        r.banks[1].valid = true;
+        r.head = None;
+        r.exception = Some((InstrAddr::new(0x44), InstrIdx::new(4)));
+        r.next_to_fetch = Some((InstrAddr::new(0x48), InstrIdx::new(5)));
+        r.reset(7);
+        assert_eq!(r, CycleRecord::empty(7), "reset must equal a fresh record");
+        assert!(!r.is_committing());
+        assert!(r.rob_empty());
+        assert!(r.committed_iter().next().is_none());
+    }
+
+    #[test]
+    fn hostile_count_is_clamped_not_a_panic() {
+        let mut r = CycleRecord::empty(0);
+        r.n_committed = 200; // only possible for hand-built/damaged records
+        assert_eq!(r.committed_slice().len(), MAX_COMMIT);
+        assert!(r.youngest_committed().is_some());
     }
 
     #[test]

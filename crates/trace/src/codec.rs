@@ -142,6 +142,24 @@ impl From<io::Error> for DecodeError {
 ///
 /// Propagates writer errors.
 pub fn encode_record(record: &CycleRecord, out: &mut impl Write) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(MAX_FRAME_BYTES);
+    encode_record_into(record, &mut buf);
+    out.write_all(&buf)
+}
+
+/// Upper bound on one encoded frame, from the layout above with every
+/// optional field present and all [`MAX_COMMIT`] commit and bank slots full.
+pub const MAX_FRAME_BYTES: usize = 4 + MAX_COMMIT * 5 + 2 + MAX_COMMIT * 5 + 5 + 4 + 4 + 4;
+
+/// Encodes one record directly into a byte buffer — the hot path the trace
+/// writer batches records through.
+///
+/// Byte-for-byte identical to [`encode_record`] (which delegates here), but
+/// infallible: appending to a `Vec` cannot fail, so the per-cycle encode
+/// carries no `io::Result` plumbing and the writer amortises I/O error
+/// handling to once per sealed chunk.
+pub fn encode_record_into(record: &CycleRecord, out: &mut Vec<u8>) {
+    out.reserve(MAX_FRAME_BYTES);
     let mut presence = 0u8;
     if record.head.is_some() {
         presence |= 1;
@@ -161,13 +179,14 @@ pub fn encode_record(record: &CycleRecord, out: &mut impl Write) -> io::Result<(
     if record.head.as_ref().is_some_and(|h| h.executed) {
         presence |= 32;
     }
-    out.write_all(&[presence, record.n_committed | (record.oldest_bank << 4)])?;
-    out.write_all(&(record.rob_len as u16).to_le_bytes())?;
+    out.push(presence);
+    out.push(record.n_committed | (record.oldest_bank << 4));
+    out.extend_from_slice(&(record.rob_len as u16).to_le_bytes());
 
     for c in record.committed_iter() {
-        out.write_all(&c.idx.raw().to_le_bytes())?;
+        out.extend_from_slice(&c.idx.raw().to_le_bytes());
         let flags = kind_code(c.kind) | u8::from(c.mispredicted) << 4 | u8::from(c.flush) << 5;
-        out.write_all(&[flags])?;
+        out.push(flags);
     }
 
     let mut valid_mask = 0u8;
@@ -180,26 +199,26 @@ pub fn encode_record(record: &CycleRecord, out: &mut impl Write) -> io::Result<(
             committing_mask |= 1 << i;
         }
     }
-    out.write_all(&[valid_mask, committing_mask])?;
+    out.push(valid_mask);
+    out.push(committing_mask);
     for b in record.banks.iter().filter(|b| b.valid) {
-        out.write_all(&b.idx.raw().to_le_bytes())?;
-        out.write_all(&[kind_code(b.kind)])?;
+        out.extend_from_slice(&b.idx.raw().to_le_bytes());
+        out.push(kind_code(b.kind));
     }
 
     if let Some(h) = &record.head {
-        out.write_all(&h.idx.raw().to_le_bytes())?;
-        out.write_all(&[kind_code(h.kind)])?;
+        out.extend_from_slice(&h.idx.raw().to_le_bytes());
+        out.push(kind_code(h.kind));
     }
     if let Some((_, idx)) = record.exception {
-        out.write_all(&idx.raw().to_le_bytes())?;
+        out.extend_from_slice(&idx.raw().to_le_bytes());
     }
     if let Some((_, idx, _)) = record.next_to_dispatch {
-        out.write_all(&idx.raw().to_le_bytes())?;
+        out.extend_from_slice(&idx.raw().to_le_bytes());
     }
     if let Some((_, idx)) = record.next_to_fetch {
-        out.write_all(&idx.raw().to_le_bytes())?;
+        out.extend_from_slice(&idx.raw().to_le_bytes());
     }
-    Ok(())
 }
 
 fn read_u8(r: &mut impl Read) -> io::Result<u8> {
@@ -262,13 +281,13 @@ pub fn decode_record(
     for i in 0..usize::from(n_committed) {
         let idx = read_idx(input)?;
         let flags = read_u8(input)?;
-        record.committed[i] = Some(CommitView {
+        record.committed[i] = CommitView {
             addr: addr_of(idx),
             idx,
             kind: kind_from_code(flags & 0x0f)?,
             mispredicted: flags & 16 != 0,
             flush: flags & 32 != 0,
-        });
+        };
     }
 
     let valid_mask = read_u8(input)?;
@@ -348,13 +367,13 @@ mod tests {
     fn rich_record_round_trips() {
         let mut r = CycleRecord::empty(9);
         let idx = InstrIdx::new(7);
-        r.committed[0] = Some(CommitView {
+        r.committed[0] = CommitView {
             addr: addr_of(idx),
             idx,
             kind: InstrKind::Branch,
             mispredicted: true,
             flush: false,
-        });
+        };
         r.n_committed = 1;
         r.oldest_bank = 2;
         r.rob_len = 17;
@@ -381,6 +400,50 @@ mod tests {
             .expect("decode")
             .expect("present");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn infallible_encode_is_byte_identical_and_bounded() {
+        // `encode_record_into` is the hot path; `encode_record` delegates to
+        // it, but pin the equivalence (and the frame-size bound) explicitly
+        // so a future divergence fails here, not in a trace diff.
+        let mut rich = CycleRecord::empty(3);
+        let idx = InstrIdx::new(12);
+        for i in 0..MAX_COMMIT {
+            rich.committed[i] = CommitView {
+                addr: addr_of(idx),
+                idx,
+                kind: InstrKind::Load,
+                mispredicted: i == 1,
+                flush: false,
+            };
+            rich.banks[i] = BankView {
+                valid: true,
+                committing: true,
+                addr: addr_of(idx),
+                idx,
+                kind: InstrKind::Load,
+            };
+        }
+        rich.n_committed = MAX_COMMIT as u8;
+        rich.head = Some(HeadView {
+            addr: addr_of(idx),
+            idx,
+            kind: InstrKind::Store,
+            executed: true,
+        });
+        rich.exception = Some((addr_of(idx), idx));
+        rich.next_to_dispatch = Some((addr_of(idx), idx, true));
+        rich.next_to_fetch = Some((addr_of(idx), idx));
+
+        for r in [CycleRecord::empty(0), rich] {
+            let mut via_write = Vec::new();
+            encode_record(&r, &mut via_write).expect("encode");
+            let mut via_push = Vec::new();
+            encode_record_into(&r, &mut via_push);
+            assert_eq!(via_write, via_push);
+            assert!(via_push.len() <= MAX_FRAME_BYTES);
+        }
     }
 
     #[test]

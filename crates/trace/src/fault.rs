@@ -22,7 +22,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, RngExt, SeedableRng};
-use tip_ooo::{CycleRecord, TraceSink, MAX_COMMIT};
+use tip_ooo::{CycleRecord, TraceSink};
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -231,14 +231,13 @@ impl<S: TraceSink> TraceSink for FaultySink<S> {
                             bank.committing = true;
                         }
                     }
-                    // The committed count is clipped.
+                    // The committed count is clipped. The clipped entries stay
+                    // in the array as dead storage — `n_committed` alone
+                    // bounds what any consumer (or equality) can observe.
                     _ => {
                         if mutated.n_committed > 0 {
                             let clip =
                                 self.rng.random_range(0..u32::from(mutated.n_committed)) as u8;
-                            for slot in &mut mutated.committed[usize::from(clip)..MAX_COMMIT] {
-                                *slot = None;
-                            }
                             mutated.n_committed = clip;
                         }
                     }
@@ -340,13 +339,13 @@ mod tests {
             let addr = InstrAddr::new(tip_isa::TEXT_BASE + tip_isa::INSTR_BYTES * c);
             r.n_committed = 2;
             for slot in 0..2 {
-                r.committed[slot] = Some(CommitView {
+                r.committed[slot] = CommitView {
                     addr,
                     idx,
                     kind: InstrKind::IntAlu,
                     mispredicted: false,
                     flush: false,
-                });
+                };
                 r.banks[slot] = BankView {
                     valid: true,
                     committing: slot == 0,

@@ -58,31 +58,57 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc32_update(!0, data)
 }
 
-fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
-    // Small table computed on first use; the polynomial is the reflected
-    // IEEE one (0xEDB88320).
-    fn table() -> &'static [u32; 256] {
-        use std::sync::OnceLock;
-        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-        TABLE.get_or_init(|| {
-            let mut t = [0u32; 256];
-            for (i, slot) in t.iter_mut().enumerate() {
-                let mut c = i as u32;
-                for _ in 0..8 {
-                    c = if c & 1 != 0 {
-                        0xEDB8_8320 ^ (c >> 1)
-                    } else {
-                        c >> 1
-                    };
-                }
-                *slot = c;
+/// Lookup tables for slice-by-8 CRC computation, built on first use.
+///
+/// `TABLES[0]` is the classic per-byte table for the reflected IEEE
+/// polynomial (0xEDB88320); `TABLES[k][i]` extends it by `k` extra zero
+/// bytes, which is what lets the hot loop fold eight input bytes into the
+/// running CRC with eight independent table lookups instead of eight
+/// serial per-byte steps. Trace writing checksums every sealed chunk, so
+/// this sits directly on the simulator's trace-throughput path.
+fn crc_tables() -> &'static [[u32; 256]; 8] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for i in 0..256u32 {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
-            t
-        })
+            t[0][i as usize] = c;
+        }
+        for k in 1..8 {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = t[0][(prev & 0xff) as usize] ^ (prev >> 8);
+            }
+        }
+        t
+    })
+}
+
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    let t = crc_tables();
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
     }
-    let t = table();
-    for &b in data {
-        crc = t[usize::from((crc as u8) ^ b)] ^ (crc >> 8);
+    for &b in chunks.remainder() {
+        crc = t[0][usize::from((crc as u8) ^ b)] ^ (crc >> 8);
     }
     crc
 }
@@ -191,6 +217,31 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn sliced_crc_matches_bytewise_reference_at_every_length() {
+        // Bytewise reference using only the first table: the slice-by-8
+        // fold must agree on every length (exercising the 8-byte body and
+        // each possible remainder) and across the pair-split entry point.
+        fn reference(data: &[u8]) -> u32 {
+            let t = &crc_tables()[0];
+            let mut crc = !0u32;
+            for &b in data {
+                crc = t[usize::from((crc as u8) ^ b)] ^ (crc >> 8);
+            }
+            !crc
+        }
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(131) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len={len}");
+        }
+        for split in [0, 1, 7, 8, 9, 64, 256] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32_pair(a, b), reference(&data), "split={split}");
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod writer;
 /// The crate's unified error type: every failure while decoding a trace
 /// stream *or* a `TIPS` snapshot is one of these classified variants.
 pub use codec::DecodeError as TraceError;
-pub use codec::{decode_record, encode_record, DecodeError};
+pub use codec::{decode_record, encode_record, encode_record_into, DecodeError, MAX_FRAME_BYTES};
 pub use fault::{Fault, FaultPlan, FaultySink};
 pub use reader::{ReplayReport, TraceReader};
 pub use snapshot::{

@@ -1,6 +1,6 @@
 //! Streaming trace writer with integrity framing.
 
-use crate::codec::encode_record;
+use crate::codec::encode_record_into;
 use crate::framing::{
     crc32_pair, encode_header, ChunkHeader, CHUNK_HEADER_LEN, DEFAULT_CHUNK_BYTES, HEADER_LEN,
 };
@@ -183,11 +183,10 @@ impl<W: Write> TraceSink for TraceWriter<W> {
             self.chunk_first_cycle = record.cycle;
         }
         let before = self.chunk.len();
-        if let Err(e) = encode_record(record, &mut self.chunk) {
-            self.chunk.truncate(before);
-            self.error = Some(e);
-            return;
-        }
+        // Infallible append straight into the chunk buffer: no per-record
+        // `io::Result` plumbing, no intermediate frame buffer. I/O (and its
+        // error handling) happens once per sealed chunk.
+        encode_record_into(record, &mut self.chunk);
         self.bytes += (self.chunk.len() - before) as u64;
         self.records += 1;
         self.chunk_records += 1;
