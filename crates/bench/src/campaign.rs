@@ -9,11 +9,13 @@
 //! finishes with whatever subset succeeded plus a failure report.
 //!
 //! Parallelism never changes the outputs: the executor's committer applies
-//! results in canonical suite order through this module's persistence
-//! helpers, so `journal.txt`, `failures.txt`, and every `<bench>.result`
-//! file are **byte-identical** at any worker count. Host timing lands only
-//! in `metrics.txt` (per-job wall-clock, cycles, IPC, and the campaign
-//! speedup), which is the one deliberately non-deterministic artifact.
+//! results in canonical suite order through the shared campaign
+//! [`Ledger`](crate::ledger::Ledger), so `journal.txt`, `failures.txt`, and
+//! every `<bench>.result` file are **byte-identical** at any worker count.
+//! Host timing lands only in `metrics.txt` (per-job wall-clock, queue wait,
+//! cycles, IPC, and the campaign speedup), which is the one deliberately
+//! non-deterministic artifact. The same ledger backs the `tip-serve`
+//! daemon, which is how remote submission inherits the identical bytes.
 //!
 //! Campaigns are also **crash-consistent and resumable**: every result file
 //! and the `journal.txt` ledger are written via temp-file + atomic rename
@@ -40,16 +42,14 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
-use crate::checkpoint::{atomic_write, CheckpointSpec};
-use crate::executor::{self, default_workers, ExecSummary, Job, JobMetrics, Runner, SpecRunner};
+use crate::checkpoint::CheckpointSpec;
+use crate::executor::{self, default_workers, Job, Runner, SpecRunner};
 use crate::experiments::SuiteRun;
+use crate::ledger::{one_line, Ledger};
 use crate::run::{RunError, DEFAULT_INTERVAL, MAX_CYCLES};
 use tip_core::{ProfilerId, SamplerConfig};
-use tip_isa::Granularity;
 use tip_ooo::CoreConfig;
 use tip_workloads::{suite, Benchmark, SuiteScale};
 
@@ -220,59 +220,6 @@ impl CampaignOutcome {
     }
 }
 
-/// The campaign's resume ledger: which benchmarks are already settled.
-///
-/// One line per settled benchmark (`done <name>` / `failed <name>`),
-/// rewritten atomically after every benchmark — always by the committer, in
-/// canonical suite order, so the file is byte-identical at any worker
-/// count. On resume, `done` entries are skipped; `failed` entries are
-/// retried (the failure may have been transient, or caused by a
-/// now-removed poisoned checkpoint).
-#[derive(Debug, Default)]
-struct Journal {
-    entries: Vec<(bool, String)>,
-}
-
-impl Journal {
-    const FILE: &'static str = "journal.txt";
-
-    fn load(config: &CampaignConfig) -> Self {
-        let mut journal = Journal::default();
-        if !config.resume {
-            return journal;
-        }
-        let Some(dir) = &config.out_dir else {
-            return journal;
-        };
-        let Ok(body) = fs::read_to_string(dir.join(Self::FILE)) else {
-            return journal;
-        };
-        for line in body.lines() {
-            // Only `done` entries are kept: a journalled failure is dropped
-            // here so the retry's fresh verdict replaces it instead of
-            // duplicating the line.
-            if let Some(("done", name)) = line.split_once(' ') {
-                journal.entries.push((true, name.to_owned()));
-            }
-        }
-        journal
-    }
-
-    fn is_done(&self, name: &str) -> bool {
-        self.entries.iter().any(|(ok, n)| *ok && n == name)
-    }
-
-    fn record(&mut self, config: &CampaignConfig, name: &str, ok: bool) {
-        self.entries.push((ok, name.to_owned()));
-        let Some(dir) = &config.out_dir else { return };
-        let mut body = String::new();
-        for (ok, name) in &self.entries {
-            let _ = writeln!(body, "{} {name}", if *ok { "done" } else { "failed" });
-        }
-        report_io(atomic_write(&dir.join(Self::FILE), body.as_bytes()));
-    }
-}
-
 /// Runs `benches` through `runner` on the job executor with per-attempt
 /// panic isolation, bounded reseeded retries, and (if configured)
 /// crash-consistent incremental persistence plus journal-driven resume.
@@ -293,26 +240,19 @@ where
     R: Runner,
 {
     let mut outcome = CampaignOutcome::default();
-    let mut journal = Journal::load(config);
+    let mut ledger = Ledger::open(config.out_dir.as_deref(), config.resume);
     let mut jobs = Vec::new();
     for bench in benches {
-        if journal.is_done(bench.name) {
+        if ledger.is_done(bench.name) {
             outcome.skipped.push(bench.name);
+            ledger.note_skipped();
         } else {
             jobs.push(config.job(bench));
         }
     }
-    let mut metrics: Vec<BenchMetrics> = Vec::new();
     let summary = executor::execute(&jobs, &runner, config.jobs, |out| {
         let job = &jobs[out.index];
         let name = job.bench.name;
-        let ok = out.result.is_ok();
-        metrics.push(BenchMetrics {
-            name,
-            ok,
-            attempts: out.attempts,
-            metrics: out.metrics,
-        });
         match out.result {
             Ok(run) => {
                 let completed = CompletedBench {
@@ -322,7 +262,7 @@ where
                     },
                     attempts: out.attempts,
                 };
-                persist_completed(config, &completed);
+                ledger.commit_completed(&completed, out.metrics, &config.profilers);
                 outcome.completed.push(completed);
             }
             Err(error) => {
@@ -331,14 +271,12 @@ where
                     attempts: out.attempts,
                     error,
                 };
-                persist_failed(config, &failed);
+                ledger.commit_failed(&failed, out.metrics);
                 outcome.failed.push(failed);
             }
         }
-        journal.record(config, name, ok);
-        persist_failure_report(config, &outcome);
     });
-    persist_metrics(config, &metrics, summary);
+    ledger.finish(summary);
     outcome
 }
 
@@ -347,144 +285,6 @@ where
 #[must_use]
 pub fn run_suite_campaign(scale: SuiteScale, config: &CampaignConfig) -> CampaignOutcome {
     run_campaign(suite(scale), config, SpecRunner)
-}
-
-/// Collapses a multi-line error (e.g. a livelock pipeline dump) to one line
-/// for the key=value result files.
-fn one_line(s: &str) -> String {
-    s.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty())
-        .collect::<Vec<_>>()
-        .join(" | ")
-}
-
-fn persist_completed(config: &CampaignConfig, c: &CompletedBench) {
-    let Some(dir) = &config.out_dir else { return };
-    let mut body = String::new();
-    let _ = writeln!(body, "status=ok");
-    let _ = writeln!(body, "bench={}", c.run.bench.name);
-    let _ = writeln!(body, "attempts={}", c.attempts);
-    let _ = writeln!(body, "cycles={}", c.run.run.summary.cycles);
-    let _ = writeln!(body, "instructions={}", c.run.run.summary.instructions);
-    let _ = writeln!(body, "ipc={:.6}", c.run.run.ipc());
-    for &p in &config.profilers {
-        let err = c
-            .run
-            .run
-            .bank
-            .error_of(&c.run.bench.program, p, Granularity::Instruction);
-        let _ = writeln!(body, "error.instr.{p:?}={err:.6}");
-    }
-    report_io(write_result_file(dir, c.run.bench.name, &body));
-}
-
-fn persist_failed(config: &CampaignConfig, f: &FailedBench) {
-    let Some(dir) = &config.out_dir else { return };
-    let mut body = String::new();
-    let _ = writeln!(body, "status=failed");
-    let _ = writeln!(body, "bench={}", f.name);
-    let _ = writeln!(body, "attempts={}", f.attempts);
-    let _ = writeln!(body, "error={}", one_line(&f.error.to_string()));
-    report_io(write_result_file(dir, f.name, &body));
-}
-
-fn persist_failure_report(config: &CampaignConfig, outcome: &CampaignOutcome) {
-    let Some(dir) = &config.out_dir else { return };
-    let mut body = String::new();
-    // Skipped benchmarks completed in an earlier invocation of this
-    // campaign, so a resumed run converges to the same report bytes as an
-    // uninterrupted one.
-    let _ = writeln!(
-        body,
-        "completed={} failed={}",
-        outcome.completed.len() + outcome.skipped.len(),
-        outcome.failed.len()
-    );
-    for f in &outcome.failed {
-        let _ = writeln!(
-            body,
-            "{} attempts={} {}",
-            f.name,
-            f.attempts,
-            one_line(&f.error.to_string())
-        );
-    }
-    report_io(atomic_write(&dir.join("failures.txt"), body.as_bytes()));
-}
-
-/// One settled benchmark's entry in `metrics.txt`.
-#[derive(Debug, Clone, Copy)]
-struct BenchMetrics {
-    name: &'static str,
-    ok: bool,
-    attempts: u32,
-    metrics: JobMetrics,
-}
-
-/// Writes the campaign `metrics.txt`: per-job wall-clock/cycles/IPC plus
-/// the fan-out's aggregate speedup (sum of job wall-clocks over campaign
-/// wall-clock). Host timing is inherently non-deterministic, which is why
-/// it lives in its own file instead of the byte-stable result files.
-fn persist_metrics(config: &CampaignConfig, rows: &[BenchMetrics], summary: ExecSummary) {
-    let Some(dir) = &config.out_dir else { return };
-    let wall_ms = summary.wall.as_secs_f64() * 1e3;
-    let cpu_ms: f64 = rows
-        .iter()
-        .map(|r| r.metrics.wall.as_secs_f64() * 1e3)
-        .sum();
-    let mut body = String::new();
-    let _ = writeln!(body, "jobs={}", rows.len());
-    let _ = writeln!(body, "workers={}", summary.workers);
-    let _ = writeln!(body, "wall_ms={wall_ms:.1}");
-    let _ = writeln!(body, "cpu_ms={cpu_ms:.1}");
-    let _ = writeln!(
-        body,
-        "speedup={:.2}",
-        if wall_ms > 0.0 { cpu_ms / wall_ms } else { 1.0 }
-    );
-    // Host-throughput figures in hostbench's units (simulated cycles per
-    // host-second), so a campaign's `--jobs N` scaling can be read against
-    // the single-core numbers in `BENCH_PR4.json`.
-    let total_cycles: u64 = rows.iter().map(|r| r.metrics.cycles).sum();
-    let scaling = crate::hostbench::ScalingReport::new(
-        total_cycles,
-        wall_ms as u64,
-        cpu_ms as u64,
-        summary.workers,
-    );
-    let _ = writeln!(body, "total_cycles={total_cycles}");
-    let _ = writeln!(body, "cycles_per_s={:.0}", scaling.cycles_per_s);
-    let _ = writeln!(
-        body,
-        "per_worker_cycles_per_s={:.0}",
-        scaling.per_worker_cycles_per_s
-    );
-    let _ = writeln!(body, "scaling_efficiency={:.3}", scaling.efficiency);
-    for r in rows {
-        let _ = writeln!(
-            body,
-            "bench={} status={} attempts={} wall_ms={:.1} cycles={} instructions={} ipc={:.6}",
-            r.name,
-            if r.ok { "ok" } else { "failed" },
-            r.attempts,
-            r.metrics.wall.as_secs_f64() * 1e3,
-            r.metrics.cycles,
-            r.metrics.instructions,
-            r.metrics.ipc,
-        );
-    }
-    report_io(atomic_write(&dir.join("metrics.txt"), body.as_bytes()));
-}
-
-fn write_result_file(dir: &Path, bench: &str, body: &str) -> io::Result<()> {
-    atomic_write(&dir.join(format!("{bench}.result")), body.as_bytes())
-}
-
-fn report_io(res: io::Result<()>) {
-    if let Err(e) = res {
-        eprintln!("campaign: failed to persist result: {e}");
-    }
 }
 
 /// Shared command-line parsing for the campaign-driven binaries (`fig08`,
@@ -618,6 +418,8 @@ impl CampaignCli {
 mod tests {
     use super::*;
     use crate::run::run_profiled;
+    use std::fs;
+    use std::path::Path;
     use tip_workloads::BENCHMARK_NAMES;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -698,6 +500,10 @@ mod tests {
         assert!(metrics.contains("cycles_per_s="), "{metrics}");
         assert!(metrics.contains("per_worker_cycles_per_s="), "{metrics}");
         assert!(metrics.contains("scaling_efficiency="), "{metrics}");
+        // Executor-level queueing figures ride along per job and in summary.
+        assert!(metrics.contains("mean_queue_wait_ms="), "{metrics}");
+        assert!(metrics.contains("queue_wait_ms="), "{metrics}");
+        assert!(metrics.contains("worker=0"), "{metrics}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -157,6 +157,14 @@ impl Runner for SpecRunner {
 pub struct JobMetrics {
     /// Host wall-clock the job spent across all its attempts.
     pub wall: Duration,
+    /// Host time the job sat in the queue before a worker picked it up —
+    /// the difference between campaign wall-clock and simulation time that
+    /// [`crate::hostbench::ScalingReport`] previously could not explain.
+    pub queue_wait: Duration,
+    /// Index of the worker that ran the job (0 for the inline serial path).
+    /// Scheduling-dependent, so it lands only in `metrics.txt`, never in
+    /// the deterministic result files.
+    pub worker: usize,
     /// Simulated cycles of the successful attempt (0 if the job failed).
     pub cycles: u64,
     /// Committed instructions of the successful attempt (0 if failed).
@@ -216,7 +224,10 @@ where
     let workers = workers.clamp(1, jobs.len().max(1));
     if workers == 1 {
         for (index, job) in jobs.iter().enumerate() {
-            commit(run_one(index, job, runner));
+            // Inline path: the "queue" is the jobs ahead of this one, so the
+            // wait is simply how long the call has been running when the job
+            // is picked up.
+            commit(run_job(index, job, runner, started.elapsed(), 0));
         }
         return ExecSummary {
             workers,
@@ -230,13 +241,18 @@ where
     let next_job = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<JobOutcome>();
     thread::scope(|s| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let next_job = &next_job;
+            let queued = started;
             s.spawn(move || loop {
                 let index = next_job.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
-                if tx.send(run_one(index, job, runner)).is_err() {
+                // All jobs are enqueued at once, so claim time *is* the
+                // queue wait — the figure the server's stats endpoint and
+                // `ScalingReport` use to separate queueing from compute.
+                let wait = queued.elapsed();
+                if tx.send(run_job(index, job, runner, wait, worker)).is_err() {
                     break;
                 }
             });
@@ -264,8 +280,20 @@ where
 
 /// Runs one job to settlement: bounded reseeded retries with per-attempt
 /// panic isolation. This is the exact retry ladder the serial campaign used,
-/// now shared by every worker.
-fn run_one<R: Runner>(index: usize, job: &Job, runner: &R) -> JobOutcome {
+/// now shared by every worker — and public so external schedulers (the
+/// `tip-serve` daemon pulls jobs off a network queue) reuse the same
+/// semantics instead of reimplementing them.
+///
+/// `queue_wait` is how long the job sat queued before this call, and
+/// `worker` identifies the thread running it; both are host-side observations
+/// recorded into [`JobMetrics`] verbatim.
+pub fn run_job<R: Runner>(
+    index: usize,
+    job: &Job,
+    runner: &R,
+    queue_wait: Duration,
+    worker: usize,
+) -> JobOutcome {
     let started = Instant::now();
     let attempts_cap = job.max_attempts.max(1);
     let mut last_err: Option<RunError> = None;
@@ -297,6 +325,8 @@ fn run_one<R: Runner>(index: usize, job: &Job, runner: &R) -> JobOutcome {
         Some(run) => {
             let metrics = JobMetrics {
                 wall,
+                queue_wait,
+                worker,
                 cycles: run.summary.cycles,
                 instructions: run.summary.instructions,
                 ipc: run.ipc(),
@@ -310,6 +340,8 @@ fn run_one<R: Runner>(index: usize, job: &Job, runner: &R) -> JobOutcome {
             })),
             JobMetrics {
                 wall,
+                queue_wait,
+                worker,
                 cycles: 0,
                 instructions: 0,
                 ipc: 0.0,
@@ -373,11 +405,32 @@ mod tests {
             let mut seen = Vec::new();
             let summary = execute(&jobs, &SpecRunner, workers, |out| {
                 assert!(out.result.is_ok(), "{:?}", out.result);
+                assert!(
+                    out.metrics.worker < workers.min(jobs.len()),
+                    "worker {} out of range for {workers} workers",
+                    out.metrics.worker
+                );
                 seen.push(out.index);
             });
             assert_eq!(seen, vec![0, 1, 2, 3], "workers={workers}");
             assert_eq!(summary.workers, workers.min(jobs.len()));
         }
+    }
+
+    #[test]
+    fn queue_wait_grows_monotonically_on_the_serial_path() {
+        let jobs: Vec<Job> = ["exchange2", "mcf"]
+            .into_iter()
+            .map(|n| job(n, 1))
+            .collect();
+        let mut waits = Vec::new();
+        execute(&jobs, &SpecRunner, 1, |out| {
+            assert_eq!(out.metrics.worker, 0);
+            waits.push(out.metrics.queue_wait);
+        });
+        assert_eq!(waits.len(), 2);
+        // Job 1 waits at least as long as job 0 took to run.
+        assert!(waits[1] >= waits[0], "{waits:?}");
     }
 
     #[test]

@@ -488,6 +488,10 @@ pub struct ScalingReport {
     /// Parallel efficiency: speedup / workers, in `[0, 1]` for an ideal
     /// scaler (can exceed 1 with cache effects).
     pub efficiency: f64,
+    /// Mean per-job queue wait in milliseconds — how much of the wall/cpu
+    /// gap is queueing rather than compute. `0.0` when the caller has no
+    /// per-job waits (e.g. hostbench's single-job cells).
+    pub mean_queue_wait_ms: f64,
 }
 
 impl ScalingReport {
@@ -522,7 +526,17 @@ impl ScalingReport {
             cycles_per_s,
             per_worker_cycles_per_s: per_worker,
             efficiency,
+            mean_queue_wait_ms: 0.0,
         }
+    }
+
+    /// Attaches the mean per-job queue wait (milliseconds) measured by the
+    /// executor, closing the wall-vs-cpu gap this report used to leave
+    /// unexplained.
+    #[must_use]
+    pub fn with_queue_wait(mut self, mean_queue_wait_ms: f64) -> Self {
+        self.mean_queue_wait_ms = mean_queue_wait_ms;
+        self
     }
 }
 
@@ -587,6 +601,8 @@ mod tests {
         assert!((r.cycles_per_s - 5_000_000.0).abs() < 1.0);
         assert!((r.per_worker_cycles_per_s - 1_250_000.0).abs() < 1.0);
         assert!((r.efficiency - 1.0).abs() < 1e-9, "ideal scaling");
+        assert_eq!(r.mean_queue_wait_ms, 0.0);
+        assert_eq!(r.with_queue_wait(12.5).mean_queue_wait_ms, 12.5);
         let degenerate = ScalingReport::new(0, 0, 0, 0);
         assert_eq!(degenerate.cycles_per_s, 0.0);
         assert_eq!(degenerate.efficiency, 0.0);

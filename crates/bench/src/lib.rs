@@ -9,9 +9,11 @@
 //! fanned out over worker threads with a deterministic merge, and
 //! [`campaign`] adds the fault-tolerant sweep layer on top (per-benchmark
 //! panic isolation, bounded reseeded retries, crash-consistent incremental
-//! persistence, and journal-driven resume), and [`hostbench`] measures host
-//! throughput (simulated cycles per host-second) over a fixed matrix so
-//! each PR extends a reproducible perf trajectory (`BENCH_PR4.json`).
+//! persistence, and journal-driven resume), [`ledger`] owns the byte-stable
+//! on-disk artifact formats that campaign and the `tip-serve` daemon share,
+//! and [`hostbench`] measures host throughput (simulated cycles per
+//! host-second) over a fixed matrix so each PR extends a reproducible perf
+//! trajectory (`BENCH_PR4.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +23,7 @@ pub mod checkpoint;
 pub mod executor;
 pub mod experiments;
 pub mod hostbench;
+pub mod ledger;
 pub mod run;
 pub mod table;
 
@@ -29,7 +32,9 @@ pub use checkpoint::{
     load_checkpoint, run_profiled_checkpointed, save_checkpoint, CheckpointSpec, LoadedCheckpoint,
 };
 pub use executor::{
-    default_workers, execute, ExecSummary, Job, JobMetrics, JobOutcome, RunCtx, Runner, SpecRunner,
+    default_workers, execute, run_job, ExecSummary, Job, JobMetrics, JobOutcome, RunCtx, Runner,
+    SpecRunner,
 };
 pub use hostbench::{run_hostbench, HostBenchOptions, HostBenchReport, ScalingReport};
+pub use ledger::Ledger;
 pub use run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};

@@ -1,0 +1,157 @@
+//! `tipctl` — client for the `tipd` profiling daemon.
+//!
+//! ```text
+//! tipctl [--addr HOST:PORT] submit <bench|fig08> [test|small|full] [--seed N]
+//! tipctl [--addr HOST:PORT] status <job>
+//! tipctl [--addr HOST:PORT] watch <job>
+//! tipctl [--addr HOST:PORT] result <job>
+//! tipctl [--addr HOST:PORT] cancel <job>
+//! tipctl [--addr HOST:PORT] stats
+//! tipctl [--addr HOST:PORT] shutdown [--no-drain]
+//! ```
+//!
+//! `submit fig08` enqueues the whole suite with the fig08 campaign's
+//! six-profiler set — the service-side equivalent of running the fig08
+//! campaign locally, with byte-identical artifacts in the daemon's
+//! `--out` directory.
+
+use std::process::ExitCode;
+
+use tip_bench::hostbench::FIG08_PROFILERS;
+use tip_serve::client::Client;
+use tip_serve::proto::{JobSpec, JobState};
+use tip_workloads::{SuiteScale, BENCHMARK_NAMES};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7421";
+
+fn usage() -> &'static str {
+    "usage: tipctl [--addr HOST:PORT] \
+     <submit <bench|fig08> [test|small|full] [--seed N] | status N | watch N | \
+     result N | cancel N | stats | shutdown [--no-drain]>"
+}
+
+fn state_line(state: JobState) -> String {
+    match state {
+        JobState::Queued { ahead } => format!("queued ahead={ahead}"),
+        JobState::Running { worker } => format!("running worker={worker}"),
+        JobState::Done { ok, attempts } => format!(
+            "done status={} attempts={attempts}",
+            if ok { "ok" } else { "failed" }
+        ),
+        JobState::Cancelled => "cancelled".to_owned(),
+    }
+}
+
+fn parse_job(arg: Option<String>) -> Result<u64, String> {
+    let v = arg.ok_or("missing job id")?;
+    v.parse().map_err(|_| format!("bad job id `{v}`"))
+}
+
+fn run(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut cmd = args.next().ok_or(usage())?;
+    if cmd == "--addr" {
+        addr = args.next().ok_or("--addr needs HOST:PORT")?;
+        cmd = args.next().ok_or(usage())?;
+    }
+    let client = Client::new(&addr);
+    match cmd.as_str() {
+        "submit" => {
+            let target = args
+                .next()
+                .ok_or("submit needs a benchmark name or `fig08`")?;
+            let mut scale = SuiteScale::Small;
+            let mut seed: Option<u64> = None;
+            let mut rest = args.peekable();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "test" => scale = SuiteScale::Test,
+                    "small" => scale = SuiteScale::Small,
+                    "full" => scale = SuiteScale::Full,
+                    "--seed" => {
+                        let v = rest.next().ok_or("--seed needs a value")?;
+                        seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let benches: Vec<&str> = if target == "fig08" {
+                BENCHMARK_NAMES.to_vec()
+            } else {
+                vec![target.as_str()]
+            };
+            for bench in benches {
+                let mut spec = JobSpec::new(bench, scale);
+                if target == "fig08" {
+                    // Match the fig08 binary's profiler set exactly, so the
+                    // daemon's out dir is byte-identical to a local run.
+                    spec.profilers = FIG08_PROFILERS.to_vec();
+                }
+                if let Some(seed) = seed {
+                    spec.seed = seed;
+                }
+                let job = client.submit(&spec).map_err(|e| e.to_string())?;
+                println!("submitted job={job} bench={bench}");
+            }
+            Ok(())
+        }
+        "status" => {
+            let job = parse_job(args.next())?;
+            let state = client.status(job).map_err(|e| e.to_string())?;
+            println!("job={job} {}", state_line(state));
+            Ok(())
+        }
+        "watch" => {
+            let job = parse_job(args.next())?;
+            let last = client
+                .watch(job, |state| println!("job={job} {}", state_line(state)))
+                .map_err(|e| e.to_string())?;
+            match last {
+                JobState::Done { ok: true, .. } => Ok(()),
+                JobState::Done { ok: false, .. } => Err(format!("job {job} failed")),
+                other => Err(format!("job {job} ended {}", state_line(other))),
+            }
+        }
+        "result" => {
+            let job = parse_job(args.next())?;
+            let body = client.result(job).map_err(|e| e.to_string())?;
+            print!("{body}");
+            Ok(())
+        }
+        "cancel" => {
+            let job = parse_job(args.next())?;
+            let ok = client.cancel(job).map_err(|e| e.to_string())?;
+            println!(
+                "job={job} {}",
+                if ok { "cancelled" } else { "not cancellable" }
+            );
+            Ok(())
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            print!("{}", stats.render());
+            Ok(())
+        }
+        "shutdown" => {
+            let drain = match args.next().as_deref() {
+                None => true,
+                Some("--no-drain") => false,
+                Some(other) => return Err(format!("unexpected argument `{other}`")),
+            };
+            client.shutdown(drain).map_err(|e| e.to_string())?;
+            println!("shutting down (drain={drain})");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tipctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! `tipd` — the TIP profiling daemon.
+//!
+//! ```text
+//! tipd --listen 127.0.0.1:7421 --out runs/service [--jobs N] [--resume]
+//!      [--max-conns N] [--io-timeout-ms N]
+//! ```
+//!
+//! Listens for TIPW requests, runs submitted jobs on a worker pool, and
+//! persists byte-stable campaign artifacts to `--out`. Exits on a wire
+//! `Shutdown` request (`tipctl shutdown`), draining in-flight jobs and
+//! journaling them so `--resume` continues the campaign.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tip_serve::server::{serve, ServerConfig};
+
+fn usage() -> String {
+    "usage: tipd --listen HOST:PORT --out DIR [--jobs N] [--resume] \
+     [--max-conns N] [--io-timeout-ms N]"
+        .to_owned()
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
+    let mut listen: Option<String> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut workers = tip_bench::default_workers();
+    let mut resume = false;
+    let mut max_conns = 32usize;
+    let mut io_timeout = Duration::from_secs(5);
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(args.next().ok_or("--listen needs HOST:PORT")?),
+            "--out" => out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a dir")?)),
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a worker count")?;
+                workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs: bad worker count `{v}`"))?;
+            }
+            "--max-conns" => {
+                let v = args.next().ok_or("--max-conns needs a count")?;
+                max_conns = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--max-conns: bad count `{v}`"))?;
+            }
+            "--io-timeout-ms" => {
+                let v = args.next().ok_or("--io-timeout-ms needs milliseconds")?;
+                io_timeout = Duration::from_millis(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--io-timeout-ms: bad value `{v}`"))?,
+                );
+            }
+            "--resume" => resume = true,
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let mut config =
+        ServerConfig::new(out_dir.ok_or_else(|| format!("--out is required\n{}", usage()))?);
+    config.listen = listen.ok_or_else(|| format!("--listen is required\n{}", usage()))?;
+    config.workers = workers;
+    config.resume = resume;
+    config.max_conns = max_conns;
+    config.io_timeout = io_timeout;
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tipd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match serve(&config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("tipd: bind {} failed: {e}", config.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "tipd: listening on {} ({} workers, out {})",
+        handle.addr(),
+        config.workers,
+        config.out_dir.display()
+    );
+    let engine = handle.engine().clone();
+    handle.join();
+    let stats = engine.stats();
+    eprintln!(
+        "tipd: drained and exiting (done={} failed={} cancelled={})",
+        stats.done, stats.failed, stats.cancelled
+    );
+    if stats.failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,250 @@
+//! The `tipctl` client library: one connection per request, retry with
+//! exponential backoff on connect, typed errors for everything the server
+//! can say.
+//!
+//! The client is deliberately stateless — each call dials, sends one
+//! request, reads the reply (or the `Progress` stream for
+//! [`Client::watch`]), and closes. That keeps the protocol trivially
+//! restartable: a daemon restart between calls is invisible except for job
+//! ids, which restart from 1 with the resume journal deciding what
+//! actually re-runs.
+
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use crate::proto::{
+    read_response, write_request, ErrorCode, JobSpec, JobState, Request, Response, ServerStats,
+};
+use tip_trace::TraceError;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach the server (after all connect retries).
+    Io(io::Error),
+    /// The server's bytes did not decode as TIPW.
+    Proto(TraceError),
+    /// The server answered with a typed refusal.
+    Server {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// One-line detail.
+        message: String,
+    },
+    /// The server is at its connection limit.
+    Busy {
+        /// Connections it is serving.
+        active: u32,
+        /// Its limit.
+        limit: u32,
+    },
+    /// The server closed the stream or answered with the wrong frame.
+    UnexpectedReply(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server refused ({code:?}): {message}")
+            }
+            ClientError::Busy { active, limit } => {
+                write!(f, "server busy ({active}/{limit} connections)")
+            }
+            ClientError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A TIPW client for one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    /// Connect attempts before giving up.
+    connect_attempts: u32,
+    /// Delay before the second connect attempt; doubles each retry.
+    backoff: Duration,
+    /// Socket read/write timeout. `watch` reads wait up to this long per
+    /// frame, so it bounds how stale a silent stream can get.
+    io_timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with default retry policy:
+    /// 5 connect attempts, 100 ms initial backoff doubling per retry.
+    #[must_use]
+    pub fn new(addr: &str) -> Self {
+        Client {
+            addr: addr.to_owned(),
+            connect_attempts: 5,
+            backoff: Duration::from_millis(100),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the retry policy (tests use tiny backoffs).
+    #[must_use]
+    pub fn with_retry(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.connect_attempts = attempts.max(1);
+        self.backoff = backoff;
+        self
+    }
+
+    /// Connects with exponential backoff: attempt `k` (0-based) sleeps
+    /// `backoff * 2^(k-1)` first.
+    fn dial(&self) -> Result<TcpStream, ClientError> {
+        let mut delay = self.backoff;
+        let mut last = None;
+        for attempt in 0..self.connect_attempts {
+            if attempt > 0 {
+                thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(self.io_timeout));
+                    let _ = stream.set_write_timeout(Some(self.io_timeout));
+                    let _ = stream.set_nodelay(true);
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::other("no connect attempt ran")
+        })))
+    }
+
+    /// One request, one reply.
+    fn call(&self, req: &Request) -> Result<Response, ClientError> {
+        let mut stream = self.dial()?;
+        write_request(&mut stream, req).map_err(ClientError::Io)?;
+        self.read_reply(&mut stream)
+    }
+
+    fn read_reply(&self, stream: &mut TcpStream) -> Result<Response, ClientError> {
+        match read_response(stream) {
+            Ok(Some(Response::Busy { active, limit })) => Err(ClientError::Busy { active, limit }),
+            Ok(Some(Response::Error { code, message })) => {
+                Err(ClientError::Server { code, message })
+            }
+            Ok(Some(resp)) => Ok(resp),
+            Ok(None) => Err(ClientError::UnexpectedReply(
+                "server closed the stream".to_owned(),
+            )),
+            Err(e) => Err(ClientError::Proto(e)),
+        }
+    }
+
+    /// Submits a job; returns its server-assigned id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn submit(&self, spec: &JobSpec) -> Result<u64, ClientError> {
+        match self.call(&Request::Submit(spec.clone()))? {
+            Response::Submitted { job } => Ok(job),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One-shot job state query.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn status(&self, job: u64) -> Result<JobState, ClientError> {
+        match self.call(&Request::Status { job })? {
+            Response::Status { state, .. } => Ok(state),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams the job's progress, invoking `on_progress` per state change,
+    /// until a terminal state (returned). A server shutdown mid-stream
+    /// surfaces as [`ClientError::UnexpectedReply`] — retry after the
+    /// daemon restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn watch(
+        &self,
+        job: u64,
+        mut on_progress: impl FnMut(JobState),
+    ) -> Result<JobState, ClientError> {
+        let mut stream = self.dial()?;
+        write_request(&mut stream, &Request::Watch { job }).map_err(ClientError::Io)?;
+        loop {
+            match self.read_reply(&mut stream)? {
+                Response::Progress { state, .. } => {
+                    on_progress(state);
+                    if state.is_terminal() {
+                        return Ok(state);
+                    }
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Fetches a finished job's result-file bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; notably [`ErrorCode::NotReady`] while the job is
+    /// still queued or running.
+    pub fn result(&self, job: u64) -> Result<String, ClientError> {
+        match self.call(&Request::Result { job })? {
+            Response::ResultBody { body, .. } => Ok(body),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cancels a still-queued job; `Ok(false)` means it was too late.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn cancel(&self, job: u64) -> Result<bool, ClientError> {
+        match self.call(&Request::Cancel { job })? {
+            Response::Cancelled { ok, .. } => Ok(ok),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn stats(&self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down (draining in-flight jobs when `drain`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn shutdown(&self, drain: bool) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown { drain })? {
+            Response::ShuttingDown { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ClientError {
+    ClientError::UnexpectedReply(format!("{resp:?}"))
+}

@@ -1,0 +1,555 @@
+//! The daemon's job engine: a dynamic queue bridged into `tip-bench`'s
+//! executor machinery with the deterministic committer preserved.
+//!
+//! The local executor ([`tip_bench::execute`]) fans a *fixed slice* of jobs
+//! over workers; a server's queue grows while jobs run. This engine keeps
+//! the parts that make local runs reproducible and swaps only the queue:
+//!
+//! * Workers claim jobs **FIFO** — the claimed set is always a contiguous
+//!   prefix of submission order — and run each through the exact retry
+//!   ladder of [`tip_bench::run_job`] (bounded reseeded attempts,
+//!   per-attempt panic isolation).
+//! * A single committer thread applies settled jobs in submission order
+//!   through the shared campaign [`Ledger`], so `journal.txt`, every
+//!   `<bench>.result`, and `failures.txt` are byte-identical to a local
+//!   [`tip_bench::campaign`] run over the same job sequence — at any
+//!   worker count, submitted locally or over the wire.
+//! * **Drain** stops claiming, finishes in-flight jobs, and commits them;
+//!   FIFO claiming means the journal then covers a clean prefix, so a
+//!   restarted daemon with `resume` skips exactly the settled prefix and
+//!   re-runs the rest — the kill-and-resume story of
+//!   [`tip_bench::campaign`], lifted to a long-lived process.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::proto::{JobSpec, JobState, ServerStats};
+use tip_bench::campaign::{CompletedBench, FailedBench};
+use tip_bench::executor::{run_job, ExecSummary, Job, JobOutcome, Runner, SpecRunner};
+use tip_bench::experiments::SuiteRun;
+use tip_bench::ledger::{result_path, Ledger};
+use tip_bench::run::MAX_CYCLES;
+use tip_ooo::CoreConfig;
+use tip_workloads::{benchmark, BENCHMARK_NAMES};
+
+/// How the engine runs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Campaign directory: journal, result files, failure report, metrics.
+    pub out_dir: PathBuf,
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Skip benchmarks the directory's journal already records as done.
+    pub resume: bool,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The benchmark name is not in [`BENCHMARK_NAMES`].
+    UnknownBench(String),
+    /// The core preset name is not known.
+    UnknownCore(String),
+    /// The engine is draining and accepts no new work.
+    Draining,
+}
+
+/// Internal lifecycle of one queue entry.
+#[derive(Debug)]
+enum Phase {
+    /// Waiting for a worker (or, if the resume journal already covers it,
+    /// waiting for the committer to acknowledge the skip).
+    Queued {
+        skip: bool,
+    },
+    Running {
+        worker: usize,
+    },
+    /// Finished running; outcome parked for the committer.
+    Settled,
+    /// Committed to the ledger; result file on disk.
+    Done {
+        ok: bool,
+        attempts: u32,
+    },
+    Cancelled,
+}
+
+struct Entry {
+    job: Job,
+    profilers: Vec<tip_core::ProfilerId>,
+    phase: Phase,
+    enqueued: Instant,
+    outcome: Option<JobOutcome>,
+}
+
+struct State {
+    entries: Vec<Entry>,
+    next_claim: usize,
+    next_commit: usize,
+    draining: bool,
+    shutdown: bool,
+    /// Bench names the resume journal covers (skips) plus names settled in
+    /// this run — consulted at submit time so a resubmitted suite skips
+    /// exactly what a resumed local campaign would.
+    done_names: HashSet<String>,
+    busy: Duration,
+    wait_sum: Duration,
+    settled: u32,
+    done: u32,
+    failed: u32,
+    cancelled: u32,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Workers sleep here for new claimable work.
+    work: Condvar,
+    /// Committer and watchers sleep here for any state change.
+    changed: Condvar,
+    workers: usize,
+    started: Instant,
+    out_dir: PathBuf,
+}
+
+/// The shared job engine. Cheap to clone; all clones drive one queue.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Inner>,
+    threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Engine {
+    /// Starts the engine with the production [`SpecRunner`].
+    #[must_use]
+    pub fn start(config: &EngineConfig) -> Engine {
+        Engine::start_with_runner(config, SpecRunner)
+    }
+
+    /// Starts worker threads and the committer with a caller-chosen runner
+    /// (tests inject faults the same way the chaos campaign does).
+    #[must_use]
+    pub fn start_with_runner<R>(config: &EngineConfig, runner: R) -> Engine
+    where
+        R: Runner + Send + Clone + 'static,
+    {
+        let ledger = Ledger::open(Some(&config.out_dir), config.resume);
+        let done_names: HashSet<String> = ledger.done_names().into_iter().collect();
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                entries: Vec::new(),
+                next_claim: 0,
+                next_commit: 0,
+                draining: false,
+                shutdown: false,
+                done_names,
+                busy: Duration::ZERO,
+                wait_sum: Duration::ZERO,
+                settled: 0,
+                done: 0,
+                failed: 0,
+                cancelled: 0,
+            }),
+            work: Condvar::new(),
+            changed: Condvar::new(),
+            workers,
+            started: Instant::now(),
+            out_dir: config.out_dir.clone(),
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        for worker in 0..workers {
+            let inner = Arc::clone(&inner);
+            let runner = runner.clone();
+            threads.push(thread::spawn(move || worker_loop(&inner, worker, &runner)));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(thread::spawn(move || committer_loop(&inner, ledger)));
+        }
+        Engine {
+            inner,
+            threads: Arc::new(Mutex::new(threads)),
+        }
+    }
+
+    /// Enqueues a job, returning its 1-based id. A benchmark the resume
+    /// journal (or this run) already settled is acknowledged as done
+    /// without re-running — its artifacts are already on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] for an unknown benchmark or core preset, or when
+    /// the engine is draining.
+    pub fn submit(&self, spec: &JobSpec) -> Result<u64, SubmitError> {
+        // Resolve outside the lock: program generation is pure CPU.
+        let Some(&name) = BENCHMARK_NAMES.iter().find(|&&n| n == spec.bench) else {
+            return Err(SubmitError::UnknownBench(spec.bench.clone()));
+        };
+        let core = resolve_core(&spec.core)?;
+        let bench = benchmark(name, spec.scale);
+        let job = Job {
+            bench,
+            seed: spec.seed,
+            core,
+            sampler: spec.sampler,
+            profilers: spec.profilers.clone(),
+            checkpoint: None,
+            max_attempts: spec.max_attempts.max(1),
+            max_cycles: MAX_CYCLES,
+        };
+        let mut state = self.inner.state.lock().expect("engine lock");
+        if state.draining || state.shutdown {
+            return Err(SubmitError::Draining);
+        }
+        let skip = state.done_names.contains(name);
+        state.entries.push(Entry {
+            job,
+            profilers: spec.profilers.clone(),
+            phase: Phase::Queued { skip },
+            enqueued: Instant::now(),
+            outcome: None,
+        });
+        let id = state.entries.len() as u64;
+        drop(state);
+        self.inner.work.notify_all();
+        self.inner.changed.notify_all();
+        Ok(id)
+    }
+
+    /// The job's current externally visible state, or `None` for an
+    /// unknown id.
+    #[must_use]
+    pub fn status(&self, job: u64) -> Option<JobState> {
+        let state = self.inner.state.lock().expect("engine lock");
+        state.job_state(job)
+    }
+
+    /// Blocks until the job's state differs from `last` (or the timeout
+    /// elapses, returning the unchanged state). `None` for an unknown id.
+    #[must_use]
+    pub fn wait_change(&self, job: u64, last: JobState, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("engine lock");
+        loop {
+            let now = state.job_state(job)?;
+            if now != last {
+                return Some(now);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Some(now);
+            }
+            state = self
+                .inner
+                .changed
+                .wait_timeout(state, left)
+                .expect("engine lock")
+                .0;
+        }
+    }
+
+    /// Cancels a still-queued job. Returns `false` if the job is unknown,
+    /// already claimed, or already settled.
+    #[must_use]
+    pub fn cancel(&self, job: u64) -> bool {
+        let mut state = self.inner.state.lock().expect("engine lock");
+        let Some(index) = job_index(&state, job) else {
+            return false;
+        };
+        // A resume-skip is already settled work — its artifacts exist —
+        // so only a genuinely queued entry can be cancelled.
+        if index < state.next_claim
+            || !matches!(state.entries[index].phase, Phase::Queued { skip: false })
+        {
+            return false;
+        }
+        state.entries[index].phase = Phase::Cancelled;
+        state.cancelled += 1;
+        drop(state);
+        // The committer may be parked waiting for exactly this index.
+        self.inner.work.notify_all();
+        self.inner.changed.notify_all();
+        true
+    }
+
+    /// Reads a finished job's result file back.
+    ///
+    /// # Errors
+    ///
+    /// A one-line reason when the job is unknown, not finished, cancelled,
+    /// or its file cannot be read.
+    pub fn result(&self, job: u64) -> Result<String, String> {
+        let bench = {
+            let state = self.inner.state.lock().expect("engine lock");
+            let Some(index) = job_index(&state, job) else {
+                return Err(format!("unknown job {job}"));
+            };
+            match state.entries[index].phase {
+                Phase::Done { .. } => state.entries[index].job.bench.name.to_owned(),
+                Phase::Cancelled => return Err(format!("job {job} was cancelled")),
+                _ => return Err(format!("job {job} has not finished")),
+            }
+        };
+        std::fs::read_to_string(result_path(&self.inner.out_dir, &bench))
+            .map_err(|e| format!("result file unreadable: {e}"))
+    }
+
+    /// A snapshot of the engine's counters (`connections` is left 0 for
+    /// the server layer to fill in).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let state = self.inner.state.lock().expect("engine lock");
+        let queued = state
+            .entries
+            .iter()
+            .filter(|e| matches!(e.phase, Phase::Queued { .. }))
+            .count() as u32;
+        let running = state
+            .entries
+            .iter()
+            .filter(|e| matches!(e.phase, Phase::Running { .. }))
+            .count() as u32;
+        let uptime = self.inner.started.elapsed();
+        let worker_seconds = uptime.as_secs_f64() * self.inner.workers as f64;
+        ServerStats {
+            queued,
+            running,
+            done: state.done,
+            failed: state.failed,
+            cancelled: state.cancelled,
+            workers: self.inner.workers as u32,
+            connections: 0,
+            mean_queue_wait_ms: if state.settled > 0 {
+                state.wait_sum.as_secs_f64() * 1e3 / f64::from(state.settled)
+            } else {
+                0.0
+            },
+            worker_utilization: if worker_seconds > 0.0 {
+                (state.busy.as_secs_f64() / worker_seconds).min(1.0)
+            } else {
+                0.0
+            },
+            uptime_ms: uptime.as_millis() as u64,
+        }
+    }
+
+    /// Stops claiming new jobs; in-flight jobs keep running. Queued jobs
+    /// stay queued (and unjournaled) — a restarted daemon re-runs them.
+    pub fn drain(&self) {
+        let mut state = self.inner.state.lock().expect("engine lock");
+        state.draining = true;
+        drop(state);
+        self.inner.work.notify_all();
+        self.inner.changed.notify_all();
+    }
+
+    /// Drains, waits for in-flight jobs to settle and commit, joins every
+    /// thread, and writes the final `metrics.txt`. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("engine lock");
+            state.draining = true;
+            state.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        self.inner.changed.notify_all();
+        let threads = std::mem::take(&mut *self.threads.lock().expect("engine threads"));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl State {
+    fn job_state(&self, job: u64) -> Option<JobState> {
+        let index = job_index(self, job)?;
+        Some(match self.entries[index].phase {
+            Phase::Queued { .. } => JobState::Queued {
+                ahead: self.entries[self.next_claim.min(index)..index]
+                    .iter()
+                    .filter(|e| matches!(e.phase, Phase::Queued { .. }))
+                    .count() as u32,
+            },
+            // Settled-but-uncommitted reports as still running: `Done` must
+            // imply the result file is on disk.
+            Phase::Running { worker } => JobState::Running {
+                worker: worker as u32,
+            },
+            Phase::Settled => JobState::Running { worker: 0 },
+            Phase::Done { ok, attempts } => JobState::Done { ok, attempts },
+            Phase::Cancelled => JobState::Cancelled,
+        })
+    }
+}
+
+fn job_index(state: &State, job: u64) -> Option<usize> {
+    let index = usize::try_from(job.checked_sub(1)?).ok()?;
+    (index < state.entries.len()).then_some(index)
+}
+
+fn resolve_core(preset: &str) -> Result<CoreConfig, SubmitError> {
+    match preset {
+        "" | "default" | "boom-4w" => Ok(CoreConfig::default()),
+        other => Err(SubmitError::UnknownCore(other.to_owned())),
+    }
+}
+
+fn worker_loop<R: Runner>(inner: &Inner, worker: usize, runner: &R) {
+    loop {
+        let (index, job, wait) = {
+            let mut state = inner.state.lock().expect("engine lock");
+            loop {
+                // Skip entries that will never need a worker: cancelled,
+                // resume-skips (the committer acknowledges those — by the
+                // time we look, it may already have marked them `Done`).
+                while state.next_claim < state.entries.len()
+                    && !matches!(
+                        state.entries[state.next_claim].phase,
+                        Phase::Queued { skip: false }
+                    )
+                {
+                    state.next_claim += 1;
+                    inner.changed.notify_all();
+                }
+                if state.next_claim < state.entries.len() && !state.draining {
+                    break;
+                }
+                if state.draining || state.shutdown {
+                    return;
+                }
+                state = inner.work.wait(state).expect("engine lock");
+            }
+            let index = state.next_claim;
+            state.next_claim += 1;
+            let wait = state.entries[index].enqueued.elapsed();
+            state.entries[index].phase = Phase::Running { worker };
+            let job = state.entries[index].job.clone();
+            inner.changed.notify_all();
+            (index, job, wait)
+        };
+        let outcome = run_job(index, &job, runner, wait, worker);
+        let mut state = inner.state.lock().expect("engine lock");
+        state.busy += outcome.metrics.wall;
+        state.wait_sum += outcome.metrics.queue_wait;
+        state.settled += 1;
+        state.entries[index].outcome = Some(outcome);
+        state.entries[index].phase = Phase::Settled;
+        drop(state);
+        inner.changed.notify_all();
+    }
+}
+
+/// Work the committer performs outside the lock.
+enum CommitStep {
+    Skip,
+    Cancelled,
+    Outcome(Box<JobOutcome>),
+    Exit,
+}
+
+fn committer_loop(inner: &Inner, mut ledger: Ledger) {
+    loop {
+        let (step, index) = {
+            let mut state = inner.state.lock().expect("engine lock");
+            loop {
+                let i = state.next_commit;
+                if i < state.entries.len() {
+                    match state.entries[i].phase {
+                        Phase::Settled => {
+                            let outcome = state.entries[i].outcome.take().expect("settled outcome");
+                            break (CommitStep::Outcome(Box::new(outcome)), i);
+                        }
+                        Phase::Cancelled => break (CommitStep::Cancelled, i),
+                        Phase::Queued { skip: true } => break (CommitStep::Skip, i),
+                        _ => {}
+                    }
+                }
+                // Exit once nothing ahead can ever settle: shutdown was
+                // requested, no worker holds a claim that is still
+                // uncommitted, and nothing queued will be claimed
+                // (draining implies workers have stopped).
+                if state.shutdown && state.next_commit >= state.next_claim {
+                    break (CommitStep::Exit, i);
+                }
+                state = inner.changed.wait(state).expect("engine lock");
+            }
+        };
+        match step {
+            CommitStep::Exit => break,
+            CommitStep::Skip => {
+                // The resume journal already records this benchmark: count
+                // it like campaign's skip path so a converging failures.txt
+                // reports the same completed total.
+                ledger.note_skipped();
+                let mut state = inner.state.lock().expect("engine lock");
+                state.entries[index].phase = Phase::Done {
+                    ok: true,
+                    attempts: 0,
+                };
+                state.done += 1;
+                state.next_commit += 1;
+                drop(state);
+                inner.changed.notify_all();
+            }
+            CommitStep::Cancelled => {
+                let mut state = inner.state.lock().expect("engine lock");
+                state.next_commit += 1;
+                drop(state);
+                inner.changed.notify_all();
+            }
+            CommitStep::Outcome(outcome) => {
+                let (name, profilers, job_bench, attempts) = {
+                    let state = inner.state.lock().expect("engine lock");
+                    let e = &state.entries[index];
+                    (
+                        e.job.bench.name,
+                        e.profilers.clone(),
+                        e.job.bench.clone(),
+                        outcome.attempts,
+                    )
+                };
+                let ok = outcome.result.is_ok();
+                match outcome.result {
+                    Ok(run) => {
+                        let completed = CompletedBench {
+                            run: SuiteRun {
+                                bench: job_bench,
+                                run,
+                            },
+                            attempts,
+                        };
+                        ledger.commit_completed(&completed, outcome.metrics, &profilers);
+                    }
+                    Err(error) => {
+                        let failed = FailedBench {
+                            name,
+                            attempts,
+                            error,
+                        };
+                        ledger.commit_failed(&failed, outcome.metrics);
+                    }
+                }
+                let mut state = inner.state.lock().expect("engine lock");
+                state.entries[index].phase = Phase::Done { ok, attempts };
+                state.done_names.insert(name.to_owned());
+                if ok {
+                    state.done += 1;
+                } else {
+                    state.failed += 1;
+                }
+                state.next_commit += 1;
+                drop(state);
+                inner.changed.notify_all();
+            }
+        }
+    }
+    // Final act: metrics.txt, the one host-timing artifact.
+    ledger.finish(ExecSummary {
+        workers: inner.workers,
+        wall: inner.started.elapsed(),
+    });
+}

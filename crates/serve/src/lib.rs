@@ -1,0 +1,41 @@
+//! Networked profiling service for the TIP reproduction.
+//!
+//! TIP's overhead argument (§3.2: ~1% runtime, hundreds of KB/s of
+//! samples) is an argument for profiling *as a service* — and related
+//! systems like CAPSim frame fast simulation as a shared backend serving
+//! many clients. This crate is that layer for the reproduction: a
+//! long-lived `tipd` daemon that accepts profiling jobs over TCP, fans
+//! them out through `tip-bench`'s executor machinery, and streams results
+//! back to the `tipctl` client.
+//!
+//! Three modules, strictly layered:
+//!
+//! * [`proto`] — the `TIPW` wire protocol: versioned, length-prefixed,
+//!   CRC-32-framed messages sharing `tip-trace`'s framing primitives and
+//!   error vocabulary ([`tip_trace::TraceError`] classifies socket damage
+//!   exactly like trace-file damage).
+//! * [`engine`] — the job queue bridged into
+//!   [`tip_bench::run_job`]/[`tip_bench::ledger::Ledger`]: FIFO claiming,
+//!   a single ordered committer, graceful drain, journal-driven resume.
+//!   Same job sequence ⇒ byte-identical artifacts, local or remote,
+//!   including across a daemon kill-and-resume.
+//! * [`server`]/[`client`] — `std::net` TCP + `std::thread` only: bounded
+//!   acceptor, thread-per-connection, per-connection timeouts, typed
+//!   `Busy` backpressure; the client retries connects with exponential
+//!   backoff.
+//!
+//! Everything is offline-friendly: no async runtime, no external
+//! dependencies, just the standard library over the existing crates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use engine::{Engine, EngineConfig, SubmitError};
+pub use proto::{ErrorCode, JobSpec, JobState, Request, Response, ServerStats};
+pub use server::{serve, ServerConfig, ServerHandle};

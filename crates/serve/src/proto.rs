@@ -1,0 +1,825 @@
+//! The `TIPW` wire protocol: versioned, length-prefixed, CRC-32-framed
+//! request/response messages over any byte stream.
+//!
+//! The framing deliberately mirrors the on-disk trace container from
+//! [`tip_trace::framing`] — same CRC-32 (slice-by-8, via
+//! [`tip_trace::framing::crc32_pair`]), same classification discipline —
+//! so a damaged socket stream fails with the *same* typed errors as a
+//! damaged trace file: [`TraceError::BadMagic`],
+//! [`TraceError::UnsupportedVersion`], [`TraceError::Corrupt`],
+//! [`TraceError::Truncated`], and [`TraceError::BadLength`]. One error
+//! vocabulary for every byte stream in the system.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   "TIPW"
+//! 4       2     version (little-endian, currently 1)
+//! 6       2     kind    (request/response discriminant)
+//! 8       4     payload length in bytes (1 ..= MAX_PAYLOAD)
+//! 12      4     CRC-32 over bytes 0..12 ++ payload
+//! 16      n     payload (tip_isa::snap encoding)
+//! ```
+//!
+//! Zero-length payloads are structurally invalid (every message encodes at
+//! least one byte); a peer sending one gets [`TraceError::BadLength`],
+//! which — unlike a CRC failure — leaves the stream aligned on the next
+//! frame boundary, so a server can answer with a typed error *without*
+//! desyncing the connection.
+
+use std::io::{self, Read, Write};
+
+use tip_bench::run::DEFAULT_INTERVAL;
+use tip_core::{ProfilerId, SamplerConfig, SamplingMode};
+use tip_isa::snap::{self, SnapError, SnapReader};
+use tip_trace::framing::{crc32_pair, read_exact_or_eof, ReadOutcome};
+use tip_trace::TraceError;
+use tip_workloads::SuiteScale;
+
+/// Stream magic: a framed TIPW protocol exchange.
+pub const MAGIC: [u8; 4] = *b"TIPW";
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+/// Frame header length: magic + version + kind + payload length + CRC.
+pub const FRAME_HEADER_LEN: usize = 16;
+/// Request-size cap: the largest payload a peer may declare. Far above any
+/// legitimate message (the biggest is a result body), far below anything
+/// that would let a hostile peer balloon the receiver's allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Everything needed to run one benchmark on the server, mirroring
+/// [`tip_bench::executor::Job`] minus the resolved program (the server
+/// regenerates it from the name, which is what keeps the message small and
+/// the artifacts byte-identical to a local run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark name; must be one of [`tip_workloads::BENCHMARK_NAMES`].
+    pub bench: String,
+    /// Dynamic-instruction scale of the generated program.
+    pub scale: SuiteScale,
+    /// Base seed; attempt `k` (1-based) runs with `seed + k - 1`.
+    pub seed: u64,
+    /// Core preset name; empty selects the default core.
+    pub core: String,
+    /// Sampling schedule.
+    pub sampler: SamplerConfig,
+    /// Profilers attached to the run (also the result file's error lines).
+    pub profilers: Vec<ProfilerId>,
+    /// Attempts before the job is written off as failed (≥ 1).
+    pub max_attempts: u32,
+}
+
+impl JobSpec {
+    /// A spec with the campaign defaults ([`tip_bench::CampaignConfig`]):
+    /// seed 42, two attempts, periodic sampling at the standard interval,
+    /// all paper profilers, default core. Submitting the whole suite with
+    /// these defaults reproduces a default local campaign byte-for-byte.
+    #[must_use]
+    pub fn new(bench: &str, scale: SuiteScale) -> Self {
+        JobSpec {
+            bench: bench.to_owned(),
+            scale,
+            seed: 42,
+            core: String::new(),
+            sampler: SamplerConfig::periodic(DEFAULT_INTERVAL),
+            profilers: ProfilerId::ALL.to_vec(),
+            max_attempts: 2,
+        }
+    }
+}
+
+/// The observable lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue with `ahead` jobs in front of it.
+    Queued {
+        /// Jobs queued ahead of this one.
+        ahead: u32,
+    },
+    /// Claimed by worker `worker` and simulating.
+    Running {
+        /// Index of the worker running the job.
+        worker: u32,
+    },
+    /// Settled and committed to the ledger; the result file is on disk.
+    Done {
+        /// Whether the job completed (vs. failed every attempt).
+        ok: bool,
+        /// Attempts made (0 = completed by an earlier daemon invocation).
+        attempts: u32,
+    },
+    /// Cancelled while still queued; it never ran and left no artifacts.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job will never change state again.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done { .. } | JobState::Cancelled)
+    }
+}
+
+/// A snapshot of the server's counters for the stats endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Jobs waiting in the queue.
+    pub queued: u32,
+    /// Jobs currently simulating.
+    pub running: u32,
+    /// Jobs completed OK (including ones resumed from a previous run).
+    pub done: u32,
+    /// Jobs that failed every attempt.
+    pub failed: u32,
+    /// Jobs cancelled while queued.
+    pub cancelled: u32,
+    /// Worker threads in the pool.
+    pub workers: u32,
+    /// Live client connections (filled in by the server layer).
+    pub connections: u32,
+    /// Mean queue wait across settled jobs, milliseconds.
+    pub mean_queue_wait_ms: f64,
+    /// Fraction of worker-seconds spent simulating since startup.
+    pub worker_utilization: f64,
+    /// Daemon uptime, milliseconds.
+    pub uptime_ms: u64,
+}
+
+impl ServerStats {
+    /// Renders the stats as the text metrics block (`key=value` lines) the
+    /// ISSUE's metrics endpoint serves and `tipctl stats` prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "queued={}\nrunning={}\ndone={}\nfailed={}\ncancelled={}\nworkers={}\n\
+             connections={}\nmean_queue_wait_ms={:.1}\nworker_utilization={:.3}\nuptime_ms={}\n",
+            self.queued,
+            self.running,
+            self.done,
+            self.failed,
+            self.cancelled,
+            self.workers,
+            self.connections,
+            self.mean_queue_wait_ms,
+            self.worker_utilization,
+            self.uptime_ms,
+        )
+    }
+}
+
+/// Why the server rejected a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request decoded but made no sense (bad field, wrong state).
+    BadRequest,
+    /// The submitted benchmark name is not in the suite.
+    UnknownBench,
+    /// The submitted core preset name is not known.
+    UnknownCore,
+    /// No job with that id.
+    UnknownJob,
+    /// The job exists but has not finished; its result is not fetchable.
+    NotReady,
+    /// The server is draining and accepts no new work.
+    Draining,
+    /// The server hit an internal error serving the request.
+    Internal,
+}
+
+impl ErrorCode {
+    fn code(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 0,
+            ErrorCode::UnknownBench => 1,
+            ErrorCode::UnknownCore => 2,
+            ErrorCode::UnknownJob => 3,
+            ErrorCode::NotReady => 4,
+            ErrorCode::Draining => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, TraceError> {
+        Ok(match c {
+            0 => ErrorCode::BadRequest,
+            1 => ErrorCode::UnknownBench,
+            2 => ErrorCode::UnknownCore,
+            3 => ErrorCode::UnknownJob,
+            4 => ErrorCode::NotReady,
+            5 => ErrorCode::Draining,
+            6 => ErrorCode::Internal,
+            _ => return Err(TraceError::Malformed("unknown error code")),
+        })
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a job; answered with `Submitted` carrying the job id.
+    Submit(JobSpec),
+    /// One-shot state query for a job.
+    Status {
+        /// The job id from `Submitted`.
+        job: u64,
+    },
+    /// Stream `Progress` frames until the job reaches a terminal state.
+    Watch {
+        /// The job id from `Submitted`.
+        job: u64,
+    },
+    /// Fetch the finished job's result-file bytes.
+    Result {
+        /// The job id from `Submitted`.
+        job: u64,
+    },
+    /// Cancel a still-queued job.
+    Cancel {
+        /// The job id from `Submitted`.
+        job: u64,
+    },
+    /// Fetch the server's counters.
+    Stats,
+    /// Stop accepting work; with `drain`, finish and commit in-flight jobs
+    /// before exiting so a restarted daemon can `--resume` the rest.
+    Shutdown {
+        /// Finish in-flight jobs before exiting.
+        drain: bool,
+    },
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job was enqueued under this id.
+    Submitted {
+        /// Server-assigned job id (1-based, monotonic).
+        job: u64,
+    },
+    /// Answer to `Status`.
+    Status {
+        /// The queried job.
+        job: u64,
+        /// Its current state.
+        state: JobState,
+    },
+    /// One frame of a `Watch` stream; the last one carries a terminal state.
+    Progress {
+        /// The watched job.
+        job: u64,
+        /// Its state at this point in the stream.
+        state: JobState,
+    },
+    /// Answer to `Result`: the bytes of the job's `<bench>.result` file.
+    ResultBody {
+        /// The queried job.
+        job: u64,
+        /// The result file contents.
+        body: String,
+    },
+    /// Answer to `Cancel`.
+    Cancelled {
+        /// The job the cancel targeted.
+        job: u64,
+        /// Whether it was still queued and is now cancelled.
+        ok: bool,
+    },
+    /// Answer to `Stats`.
+    Stats(ServerStats),
+    /// Acknowledges `Shutdown`; the server exits after this frame.
+    ShuttingDown {
+        /// Whether in-flight jobs are being drained first.
+        drain: bool,
+    },
+    /// The server is at its connection limit; sent once, then the
+    /// connection is closed. Typed so clients can back off instead of
+    /// misreading a refusal as a protocol error.
+    Busy {
+        /// Connections currently being served.
+        active: u32,
+        /// The server's connection limit.
+        limit: u32,
+    },
+    /// The request was understood but refused.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail (one line).
+        message: String,
+    },
+}
+
+// Frame kinds. Requests are low, responses have the high bit set, so a
+// misdirected frame fails decode instead of aliasing.
+const KIND_SUBMIT: u16 = 1;
+const KIND_STATUS: u16 = 2;
+const KIND_WATCH: u16 = 3;
+const KIND_RESULT: u16 = 4;
+const KIND_CANCEL: u16 = 5;
+const KIND_STATS: u16 = 6;
+const KIND_SHUTDOWN: u16 = 7;
+const KIND_R_SUBMITTED: u16 = 0x81;
+const KIND_R_STATUS: u16 = 0x82;
+const KIND_R_PROGRESS: u16 = 0x83;
+const KIND_R_RESULT: u16 = 0x84;
+const KIND_R_CANCELLED: u16 = 0x85;
+const KIND_R_STATS: u16 = 0x86;
+const KIND_R_SHUTDOWN: u16 = 0x87;
+const KIND_R_BUSY: u16 = 0x88;
+const KIND_R_ERROR: u16 = 0x89;
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    snap::put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(r: &mut SnapReader<'_>) -> Result<String, SnapError> {
+    let len = r.len()?;
+    let bytes = r.bytes(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Malformed("string is not UTF-8"))
+}
+
+fn put_scale(out: &mut Vec<u8>, scale: SuiteScale) {
+    snap::put_u8(
+        out,
+        match scale {
+            SuiteScale::Test => 0,
+            SuiteScale::Small => 1,
+            SuiteScale::Full => 2,
+        },
+    );
+}
+
+fn get_scale(r: &mut SnapReader<'_>) -> Result<SuiteScale, SnapError> {
+    Ok(match r.u8()? {
+        0 => SuiteScale::Test,
+        1 => SuiteScale::Small,
+        2 => SuiteScale::Full,
+        _ => return Err(SnapError::Malformed("unknown suite scale")),
+    })
+}
+
+fn put_sampler(out: &mut Vec<u8>, s: SamplerConfig) {
+    snap::put_u64(out, s.interval);
+    snap::put_u8(
+        out,
+        match s.mode {
+            SamplingMode::Periodic => 0,
+            SamplingMode::Random => 1,
+        },
+    );
+    snap::put_u64(out, s.seed);
+}
+
+fn get_sampler(r: &mut SnapReader<'_>) -> Result<SamplerConfig, SnapError> {
+    let interval = r.u64()?;
+    let mode = match r.u8()? {
+        0 => SamplingMode::Periodic,
+        1 => SamplingMode::Random,
+        _ => return Err(SnapError::Malformed("unknown sampling mode")),
+    };
+    let seed = r.u64()?;
+    Ok(SamplerConfig {
+        interval,
+        mode,
+        seed,
+    })
+}
+
+fn profiler_code(p: ProfilerId) -> u8 {
+    match p {
+        ProfilerId::Software => 0,
+        ProfilerId::Dispatch => 1,
+        ProfilerId::Lci => 2,
+        ProfilerId::Nci => 3,
+        ProfilerId::NciIlp => 4,
+        ProfilerId::TipIlp => 5,
+        ProfilerId::Tip => 6,
+        ProfilerId::TipLastCommitDrain => 7,
+    }
+}
+
+fn profiler_from_code(c: u8) -> Result<ProfilerId, SnapError> {
+    Ok(match c {
+        0 => ProfilerId::Software,
+        1 => ProfilerId::Dispatch,
+        2 => ProfilerId::Lci,
+        3 => ProfilerId::Nci,
+        4 => ProfilerId::NciIlp,
+        5 => ProfilerId::TipIlp,
+        6 => ProfilerId::Tip,
+        7 => ProfilerId::TipLastCommitDrain,
+        _ => return Err(SnapError::Malformed("unknown profiler code")),
+    })
+}
+
+fn put_job_state(out: &mut Vec<u8>, state: JobState) {
+    match state {
+        JobState::Queued { ahead } => {
+            snap::put_u8(out, 0);
+            snap::put_u32(out, ahead);
+        }
+        JobState::Running { worker } => {
+            snap::put_u8(out, 1);
+            snap::put_u32(out, worker);
+        }
+        JobState::Done { ok, attempts } => {
+            snap::put_u8(out, 2);
+            snap::put_bool(out, ok);
+            snap::put_u32(out, attempts);
+        }
+        JobState::Cancelled => snap::put_u8(out, 3),
+    }
+}
+
+fn get_job_state(r: &mut SnapReader<'_>) -> Result<JobState, SnapError> {
+    Ok(match r.u8()? {
+        0 => JobState::Queued { ahead: r.u32()? },
+        1 => JobState::Running { worker: r.u32()? },
+        2 => JobState::Done {
+            ok: r.bool()?,
+            attempts: r.u32()?,
+        },
+        3 => JobState::Cancelled,
+        _ => return Err(SnapError::Malformed("unknown job state tag")),
+    })
+}
+
+fn encode_spec(out: &mut Vec<u8>, spec: &JobSpec) {
+    put_string(out, &spec.bench);
+    put_scale(out, spec.scale);
+    snap::put_u64(out, spec.seed);
+    put_string(out, &spec.core);
+    put_sampler(out, spec.sampler);
+    snap::put_len(out, spec.profilers.len());
+    for &p in &spec.profilers {
+        snap::put_u8(out, profiler_code(p));
+    }
+    snap::put_u32(out, spec.max_attempts);
+}
+
+fn decode_spec(r: &mut SnapReader<'_>) -> Result<JobSpec, SnapError> {
+    let bench = get_string(r)?;
+    let scale = get_scale(r)?;
+    let seed = r.u64()?;
+    let core = get_string(r)?;
+    let sampler = get_sampler(r)?;
+    let n = r.len()?;
+    let mut profilers = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        profilers.push(profiler_from_code(r.u8()?)?);
+    }
+    let max_attempts = r.u32()?;
+    Ok(JobSpec {
+        bench,
+        scale,
+        seed,
+        core,
+        sampler,
+        profilers,
+        max_attempts,
+    })
+}
+
+impl Request {
+    /// Encodes the request as `(frame kind, payload)`.
+    #[must_use]
+    pub fn encode(&self) -> (u16, Vec<u8>) {
+        let mut out = Vec::new();
+        let kind = match self {
+            Request::Submit(spec) => {
+                encode_spec(&mut out, spec);
+                KIND_SUBMIT
+            }
+            Request::Status { job } => {
+                snap::put_u64(&mut out, *job);
+                KIND_STATUS
+            }
+            Request::Watch { job } => {
+                snap::put_u64(&mut out, *job);
+                KIND_WATCH
+            }
+            Request::Result { job } => {
+                snap::put_u64(&mut out, *job);
+                KIND_RESULT
+            }
+            Request::Cancel { job } => {
+                snap::put_u64(&mut out, *job);
+                KIND_CANCEL
+            }
+            Request::Stats => {
+                snap::put_u8(&mut out, 0);
+                KIND_STATS
+            }
+            Request::Shutdown { drain } => {
+                snap::put_bool(&mut out, *drain);
+                KIND_SHUTDOWN
+            }
+        };
+        (kind, out)
+    }
+
+    /// Decodes a request from a frame's kind and payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Malformed`] for an unknown kind, a truncated or
+    /// overlong payload, or any field outside its domain. Never panics, on
+    /// any input.
+    pub fn decode(kind: u16, payload: &[u8]) -> Result<Self, TraceError> {
+        let mut r = SnapReader::new(payload);
+        let req = match kind {
+            KIND_SUBMIT => Request::Submit(decode_spec(&mut r).map_err(snap_err)?),
+            KIND_STATUS => Request::Status {
+                job: r.u64().map_err(snap_err)?,
+            },
+            KIND_WATCH => Request::Watch {
+                job: r.u64().map_err(snap_err)?,
+            },
+            KIND_RESULT => Request::Result {
+                job: r.u64().map_err(snap_err)?,
+            },
+            KIND_CANCEL => Request::Cancel {
+                job: r.u64().map_err(snap_err)?,
+            },
+            KIND_STATS => {
+                let _ = r.u8().map_err(snap_err)?;
+                Request::Stats
+            }
+            KIND_SHUTDOWN => Request::Shutdown {
+                drain: r.bool().map_err(snap_err)?,
+            },
+            _ => return Err(TraceError::Malformed("unknown request kind")),
+        };
+        finish(&r)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as `(frame kind, payload)`.
+    #[must_use]
+    pub fn encode(&self) -> (u16, Vec<u8>) {
+        let mut out = Vec::new();
+        let kind = match self {
+            Response::Submitted { job } => {
+                snap::put_u64(&mut out, *job);
+                KIND_R_SUBMITTED
+            }
+            Response::Status { job, state } => {
+                snap::put_u64(&mut out, *job);
+                put_job_state(&mut out, *state);
+                KIND_R_STATUS
+            }
+            Response::Progress { job, state } => {
+                snap::put_u64(&mut out, *job);
+                put_job_state(&mut out, *state);
+                KIND_R_PROGRESS
+            }
+            Response::ResultBody { job, body } => {
+                snap::put_u64(&mut out, *job);
+                put_string(&mut out, body);
+                KIND_R_RESULT
+            }
+            Response::Cancelled { job, ok } => {
+                snap::put_u64(&mut out, *job);
+                snap::put_bool(&mut out, *ok);
+                KIND_R_CANCELLED
+            }
+            Response::Stats(s) => {
+                snap::put_u32(&mut out, s.queued);
+                snap::put_u32(&mut out, s.running);
+                snap::put_u32(&mut out, s.done);
+                snap::put_u32(&mut out, s.failed);
+                snap::put_u32(&mut out, s.cancelled);
+                snap::put_u32(&mut out, s.workers);
+                snap::put_u32(&mut out, s.connections);
+                snap::put_f64(&mut out, s.mean_queue_wait_ms);
+                snap::put_f64(&mut out, s.worker_utilization);
+                snap::put_u64(&mut out, s.uptime_ms);
+                KIND_R_STATS
+            }
+            Response::ShuttingDown { drain } => {
+                snap::put_bool(&mut out, *drain);
+                KIND_R_SHUTDOWN
+            }
+            Response::Busy { active, limit } => {
+                snap::put_u32(&mut out, *active);
+                snap::put_u32(&mut out, *limit);
+                KIND_R_BUSY
+            }
+            Response::Error { code, message } => {
+                snap::put_u8(&mut out, code.code());
+                put_string(&mut out, message);
+                KIND_R_ERROR
+            }
+        };
+        (kind, out)
+    }
+
+    /// Decodes a response from a frame's kind and payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Malformed`] for an unknown kind, a truncated or
+    /// overlong payload, or any field outside its domain. Never panics, on
+    /// any input.
+    pub fn decode(kind: u16, payload: &[u8]) -> Result<Self, TraceError> {
+        let mut r = SnapReader::new(payload);
+        let resp = match kind {
+            KIND_R_SUBMITTED => Response::Submitted {
+                job: r.u64().map_err(snap_err)?,
+            },
+            KIND_R_STATUS => Response::Status {
+                job: r.u64().map_err(snap_err)?,
+                state: get_job_state(&mut r).map_err(snap_err)?,
+            },
+            KIND_R_PROGRESS => Response::Progress {
+                job: r.u64().map_err(snap_err)?,
+                state: get_job_state(&mut r).map_err(snap_err)?,
+            },
+            KIND_R_RESULT => Response::ResultBody {
+                job: r.u64().map_err(snap_err)?,
+                body: get_string(&mut r).map_err(snap_err)?,
+            },
+            KIND_R_CANCELLED => Response::Cancelled {
+                job: r.u64().map_err(snap_err)?,
+                ok: r.bool().map_err(snap_err)?,
+            },
+            KIND_R_STATS => Response::Stats(ServerStats {
+                queued: r.u32().map_err(snap_err)?,
+                running: r.u32().map_err(snap_err)?,
+                done: r.u32().map_err(snap_err)?,
+                failed: r.u32().map_err(snap_err)?,
+                cancelled: r.u32().map_err(snap_err)?,
+                workers: r.u32().map_err(snap_err)?,
+                connections: r.u32().map_err(snap_err)?,
+                mean_queue_wait_ms: r.f64().map_err(snap_err)?,
+                worker_utilization: r.f64().map_err(snap_err)?,
+                uptime_ms: r.u64().map_err(snap_err)?,
+            }),
+            KIND_R_SHUTDOWN => Response::ShuttingDown {
+                drain: r.bool().map_err(snap_err)?,
+            },
+            KIND_R_BUSY => Response::Busy {
+                active: r.u32().map_err(snap_err)?,
+                limit: r.u32().map_err(snap_err)?,
+            },
+            KIND_R_ERROR => Response::Error {
+                code: ErrorCode::from_code(r.u8().map_err(snap_err)?)?,
+                message: get_string(&mut r).map_err(snap_err)?,
+            },
+            _ => return Err(TraceError::Malformed("unknown response kind")),
+        };
+        finish(&r)?;
+        Ok(resp)
+    }
+}
+
+fn snap_err(e: SnapError) -> TraceError {
+    match e {
+        SnapError::UnexpectedEof => TraceError::Malformed("payload ends mid-field"),
+        SnapError::Malformed(what) => TraceError::Malformed(what),
+    }
+}
+
+fn finish(r: &SnapReader<'_>) -> Result<(), TraceError> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(TraceError::Malformed("trailing bytes after message"))
+    }
+}
+
+/// Writes one frame: header (magic, version, kind, length, CRC) + payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Panics
+///
+/// If `payload` is empty or longer than [`MAX_PAYLOAD`] — protocol
+/// encoders never produce either, so this is a caller bug, not wire input.
+pub fn write_frame(w: &mut impl Write, kind: u16, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        !payload.is_empty() && payload.len() <= MAX_PAYLOAD as usize,
+        "frame payload must be 1..={MAX_PAYLOAD} bytes, got {}",
+        payload.len()
+    );
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6..8].copy_from_slice(&kind.to_le_bytes());
+    #[allow(clippy::cast_possible_truncation)]
+    let len = payload.len() as u32;
+    header[8..12].copy_from_slice(&len.to_le_bytes());
+    let crc = crc32_pair(&header[..12], payload);
+    header[12..16].copy_from_slice(&crc.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); everything else is either a frame or a classified
+/// protocol error.
+///
+/// # Errors
+///
+/// * [`TraceError::BadMagic`] — the stream is not TIPW.
+/// * [`TraceError::UnsupportedVersion`] — TIPW from a future build.
+/// * [`TraceError::BadLength`] — declared payload length 0 or over
+///   [`MAX_PAYLOAD`]; the stream is still aligned after the header.
+/// * [`TraceError::Corrupt`] — CRC mismatch over header + payload.
+/// * [`TraceError::Truncated`] — the peer died mid-frame.
+/// * [`TraceError::Io`] — transport failure (including read timeouts).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u16, Vec<u8>)>, TraceError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match read_exact_or_eof(r, &mut header).map_err(TraceError::Io)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Truncated => {
+            return Err(TraceError::Truncated {
+                last_good_cycle: None,
+            })
+        }
+    }
+    if header[0..4] != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&header[0..4]);
+        return Err(TraceError::BadMagic(m));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let kind = u16::from_le_bytes([header[6], header[7]]);
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if len == 0 || len > MAX_PAYLOAD {
+        return Err(TraceError::BadLength {
+            len,
+            cap: MAX_PAYLOAD,
+        });
+    }
+    let crc = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut payload).map_err(TraceError::Io)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::CleanEof | ReadOutcome::Truncated => {
+            return Err(TraceError::Truncated {
+                last_good_cycle: None,
+            })
+        }
+    }
+    if crc32_pair(&header[..12], &payload) != crc {
+        return Err(TraceError::Corrupt { offset: 0 });
+    }
+    Ok(Some((kind, payload)))
+}
+
+/// Writes one encoded [`Request`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let (kind, payload) = req.encode();
+    write_frame(w, kind, &payload)
+}
+
+/// Writes one encoded [`Response`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let (kind, payload) = resp.encode();
+    write_frame(w, kind, &payload)
+}
+
+/// Reads and decodes one [`Request`]; `Ok(None)` is clean end-of-stream.
+///
+/// # Errors
+///
+/// Everything [`read_frame`] raises, plus [`TraceError::Malformed`] for an
+/// undecodable payload.
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, TraceError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some((kind, payload)) => Request::decode(kind, &payload).map(Some),
+    }
+}
+
+/// Reads and decodes one [`Response`]; `Ok(None)` is clean end-of-stream.
+///
+/// # Errors
+///
+/// Everything [`read_frame`] raises, plus [`TraceError::Malformed`] for an
+/// undecodable payload.
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, TraceError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some((kind, payload)) => Response::decode(kind, &payload).map(Some),
+    }
+}

@@ -1,0 +1,364 @@
+//! The `tipd` TCP server: bounded acceptor, thread-per-connection pool,
+//! per-connection I/O timeouts, request-size caps, typed backpressure, and
+//! graceful drain.
+//!
+//! Layering: this module owns sockets and nothing else. Every decision
+//! about jobs — queueing, claiming, committing, resume — lives in
+//! [`crate::engine`]; every byte on the wire is framed by
+//! [`crate::proto`]. A connection handler is a loop of
+//! `read_request → dispatch → write_response`, where `Watch` is the one
+//! request that streams multiple frames back.
+//!
+//! Shutdown is wire-driven (a [`Request::Shutdown`] frame) or in-process
+//! ([`ServerHandle::shutdown`]): the acceptor stops, handlers finish their
+//! in-flight request within one I/O timeout, and the engine drains —
+//! in-flight jobs settle and commit, queued jobs stay unjournaled for a
+//! restarted daemon to resume.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::engine::{Engine, EngineConfig, SubmitError};
+use crate::proto::{
+    read_request, write_response, ErrorCode, JobState, Request, Response, ServerStats,
+};
+use tip_trace::TraceError;
+
+/// How the server listens and bounds its resources.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Worker threads for the job engine.
+    pub workers: usize,
+    /// Campaign directory for the engine's ledger.
+    pub out_dir: PathBuf,
+    /// Resume the directory's journal instead of starting fresh.
+    pub resume: bool,
+    /// Maximum concurrently served connections; excess connections get a
+    /// typed [`Response::Busy`] and are closed.
+    pub max_conns: usize,
+    /// Per-connection read/write timeout. Idle connections survive (the
+    /// handler re-arms after a timeout); a wedged peer cannot hold a
+    /// handler thread hostage past this, and shutdown latency is bounded
+    /// by it.
+    pub io_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// A config with production defaults for `out_dir`, listening on an
+    /// ephemeral localhost port.
+    #[must_use]
+    pub fn new(out_dir: PathBuf) -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            out_dir,
+            resume: false,
+            max_conns: 32,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    max_conns: usize,
+    io_timeout: Duration,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] or send a wire `Shutdown`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+/// Binds, starts the engine, and spawns the acceptor.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+    let engine = Engine::start(&EngineConfig {
+        out_dir: config.out_dir.clone(),
+        workers: config.workers,
+        resume: config.resume,
+    });
+    let shared = Arc::new(Shared {
+        engine,
+        shutdown: AtomicBool::new(false),
+        active_conns: AtomicUsize::new(0),
+        max_conns: config.max_conns.max(1),
+        io_timeout: config.io_timeout,
+    });
+    let handlers = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let handlers = Arc::clone(&handlers);
+        thread::spawn(move || acceptor_loop(&listener, &shared, &handlers))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        handlers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine, for in-process inspection (tests, the daemon's exit
+    /// report).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Whether a shutdown (wire or in-process) has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a wire `Shutdown` request stops the server, then
+    /// finishes the drain. This is the daemon's main loop.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.finish();
+    }
+
+    /// In-process equivalent of the wire `Shutdown{drain}` request: stop
+    /// accepting, finish handlers, drain and commit in-flight jobs.
+    pub fn shutdown(mut self) {
+        request_shutdown(&self.shared, self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.finish();
+    }
+
+    fn finish(&self) {
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.shared.engine.shutdown();
+    }
+}
+
+/// Flags shutdown and unblocks the acceptor's blocking `accept` with a
+/// throwaway self-connection.
+fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.engine.drain();
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Backpressure: over the limit, answer with a typed Busy so the
+        // client can back off, then close. The frame write is best-effort
+        // on purpose — the peer may already be gone.
+        let active = shared.active_conns.load(Ordering::SeqCst);
+        if active >= shared.max_conns {
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(shared.io_timeout));
+            let _ = write_response(
+                &mut stream,
+                &Response::Busy {
+                    active: active as u32,
+                    limit: shared.max_conns as u32,
+                },
+            );
+            continue;
+        }
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(shared);
+        let handle = thread::spawn(move || {
+            handle_connection(stream, &shared);
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+        handlers.lock().expect("handler registry").push(handle);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.io_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_request(&mut stream) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                let stop = dispatch(&mut stream, shared, req);
+                if stop {
+                    break;
+                }
+            }
+            Err(TraceError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle between requests: re-arm unless we're going down.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) => {
+                // A zero-length frame leaves the stream aligned on the
+                // next header, so a typed reply and another read are safe.
+                // Everything else (bad magic, CRC, truncation) may have
+                // desynced the framing: reply once and close.
+                let recoverable = matches!(e, TraceError::BadLength { len: 0, .. });
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                );
+                if !recoverable {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one request; returns `true` when the connection must close
+/// (shutdown acknowledged).
+fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
+    let engine = &shared.engine;
+    match req {
+        Request::Submit(spec) => {
+            let resp = match engine.submit(&spec) {
+                Ok(job) => Response::Submitted { job },
+                Err(SubmitError::UnknownBench(b)) => Response::Error {
+                    code: ErrorCode::UnknownBench,
+                    message: format!("unknown benchmark `{b}`"),
+                },
+                Err(SubmitError::UnknownCore(c)) => Response::Error {
+                    code: ErrorCode::UnknownCore,
+                    message: format!("unknown core preset `{c}`"),
+                },
+                Err(SubmitError::Draining) => Response::Error {
+                    code: ErrorCode::Draining,
+                    message: "server is draining".to_owned(),
+                },
+            };
+            write_response(stream, &resp).is_err()
+        }
+        Request::Status { job } => {
+            let resp = match engine.status(job) {
+                Some(state) => Response::Status { job, state },
+                None => unknown_job(job),
+            };
+            write_response(stream, &resp).is_err()
+        }
+        Request::Watch { job } => watch(stream, shared, job),
+        Request::Result { job } => {
+            let resp = match engine.result(job) {
+                Ok(body) => Response::ResultBody { job, body },
+                Err(message) => Response::Error {
+                    code: if message.starts_with("unknown job") {
+                        ErrorCode::UnknownJob
+                    } else {
+                        ErrorCode::NotReady
+                    },
+                    message,
+                },
+            };
+            write_response(stream, &resp).is_err()
+        }
+        Request::Cancel { job } => {
+            let ok = engine.cancel(job);
+            write_response(stream, &Response::Cancelled { job, ok }).is_err()
+        }
+        Request::Stats => {
+            let mut stats: ServerStats = engine.stats();
+            stats.connections = shared.active_conns.load(Ordering::SeqCst) as u32;
+            write_response(stream, &Response::Stats(stats)).is_err()
+        }
+        Request::Shutdown { drain } => {
+            let _ = write_response(stream, &Response::ShuttingDown { drain });
+            let addr = stream
+                .local_addr()
+                .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0)));
+            request_shutdown(shared, addr);
+            true
+        }
+    }
+}
+
+/// Streams `Progress` frames until the job settles, the peer vanishes, or
+/// the server shuts down (a drained-away queued job would otherwise never
+/// terminate the stream).
+fn watch(stream: &mut TcpStream, shared: &Shared, job: u64) -> bool {
+    let engine = &shared.engine;
+    let Some(mut state) = engine.status(job) else {
+        return write_response(stream, &unknown_job(job)).is_err();
+    };
+    if write_response(stream, &Response::Progress { job, state }).is_err() {
+        return true;
+    }
+    loop {
+        if state.is_terminal() {
+            return false;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The stream ends without a terminal state; the client sees a
+            // clean EOF and knows to retry after the daemon restarts.
+            return true;
+        }
+        match engine.wait_change(job, state, Duration::from_millis(200)) {
+            Some(next) if next != state => {
+                state = next;
+                if write_response(stream, &Response::Progress { job, state }).is_err() {
+                    return true;
+                }
+            }
+            Some(_) => {}
+            None => return true,
+        }
+    }
+}
+
+fn unknown_job(job: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownJob,
+        message: format!("unknown job {job}"),
+    }
+}
+
+const _: () = {
+    const fn send<T: Send>() {}
+    const fn sync<T: Sync>() {}
+    send::<JobState>();
+    sync::<Shared>();
+};

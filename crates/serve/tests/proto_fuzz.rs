@@ -1,0 +1,239 @@
+//! TIPW wire-protocol robustness: every request/response variant survives
+//! a frame round-trip, and the decoder never panics — or over-allocates —
+//! on arbitrary bytes.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use tip_core::{ProfilerId, SamplerConfig};
+use tip_serve::proto::{
+    read_frame, read_request, read_response, write_frame, write_request, write_response, ErrorCode,
+    JobSpec, JobState, Request, Response, ServerStats, FRAME_HEADER_LEN, MAGIC, MAX_PAYLOAD,
+    VERSION,
+};
+use tip_trace::TraceError;
+use tip_workloads::SuiteScale;
+
+fn spec() -> JobSpec {
+    JobSpec {
+        bench: "mcf".to_owned(),
+        scale: SuiteScale::Test,
+        seed: 7,
+        core: "boom-4w".to_owned(),
+        sampler: SamplerConfig::random(211, 99),
+        profilers: vec![ProfilerId::Tip, ProfilerId::Software],
+        max_attempts: 3,
+    }
+}
+
+fn every_request() -> Vec<Request> {
+    vec![
+        Request::Submit(spec()),
+        Request::Submit(JobSpec::new("exchange2", SuiteScale::Small)),
+        Request::Status { job: 1 },
+        Request::Watch { job: u64::MAX },
+        Request::Result { job: 42 },
+        Request::Cancel { job: 3 },
+        Request::Stats,
+        Request::Shutdown { drain: true },
+        Request::Shutdown { drain: false },
+    ]
+}
+
+fn every_response() -> Vec<Response> {
+    let states = [
+        JobState::Queued { ahead: 4 },
+        JobState::Running { worker: 2 },
+        JobState::Done {
+            ok: true,
+            attempts: 1,
+        },
+        JobState::Done {
+            ok: false,
+            attempts: 3,
+        },
+        JobState::Cancelled,
+    ];
+    let mut all = vec![
+        Response::Submitted { job: 9 },
+        Response::ResultBody {
+            job: 9,
+            body: "status=ok\nbench=mcf\n".to_owned(),
+        },
+        Response::Cancelled { job: 9, ok: false },
+        Response::Stats(ServerStats {
+            queued: 1,
+            running: 2,
+            done: 3,
+            failed: 4,
+            cancelled: 5,
+            workers: 6,
+            connections: 7,
+            mean_queue_wait_ms: 12.5,
+            worker_utilization: 0.75,
+            uptime_ms: 123_456,
+        }),
+        Response::ShuttingDown { drain: true },
+        Response::Busy {
+            active: 32,
+            limit: 32,
+        },
+    ];
+    for code in [
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownBench,
+        ErrorCode::UnknownCore,
+        ErrorCode::UnknownJob,
+        ErrorCode::NotReady,
+        ErrorCode::Draining,
+        ErrorCode::Internal,
+    ] {
+        all.push(Response::Error {
+            code,
+            message: format!("{code:?} happened"),
+        });
+    }
+    for state in states {
+        all.push(Response::Status { job: 9, state });
+        all.push(Response::Progress { job: 9, state });
+    }
+    all
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    for req in every_request() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).expect("encode");
+        let back = read_request(&mut Cursor::new(&wire))
+            .expect("decode")
+            .expect("one frame");
+        assert_eq!(back, req);
+        // And the stream is exactly one frame long.
+        let mut cursor = Cursor::new(&wire);
+        let _ = read_request(&mut cursor).expect("frame");
+        assert!(read_request(&mut cursor).expect("clean eof").is_none());
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    for resp in every_response() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).expect("encode");
+        let back = read_response(&mut Cursor::new(&wire))
+            .expect("decode")
+            .expect("one frame");
+        assert_eq!(back, resp);
+    }
+}
+
+#[test]
+fn damaged_frames_classify_like_trace_streams() {
+    let mut wire = Vec::new();
+    write_request(&mut wire, &Request::Stats).expect("encode");
+
+    // Bad magic.
+    let mut bad = wire.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        read_request(&mut Cursor::new(&bad)),
+        Err(TraceError::BadMagic(_))
+    ));
+
+    // Future version.
+    let mut bad = wire.clone();
+    bad[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        read_request(&mut Cursor::new(&bad)),
+        Err(TraceError::UnsupportedVersion(v)) if v == VERSION + 1
+    ));
+
+    // Flipped payload byte: CRC catches it.
+    let mut bad = wire.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01;
+    assert!(matches!(
+        read_request(&mut Cursor::new(&bad)),
+        Err(TraceError::Corrupt { .. })
+    ));
+
+    // Cut off mid-frame.
+    let bad = &wire[..wire.len() - 1];
+    assert!(matches!(
+        read_request(&mut Cursor::new(bad)),
+        Err(TraceError::Truncated { .. })
+    ));
+
+    // Zero-length payload: typed BadLength, stream still aligned.
+    let mut bad = wire.clone();
+    bad[8..12].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        read_request(&mut Cursor::new(&bad)),
+        Err(TraceError::BadLength { len: 0, .. })
+    ));
+
+    // Over-cap payload: typed BadLength before any allocation.
+    let mut bad = wire;
+    bad[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    assert!(matches!(
+        read_request(&mut Cursor::new(&bad)),
+        Err(TraceError::BadLength { len, cap }) if len == MAX_PAYLOAD + 1 && cap == MAX_PAYLOAD
+    ));
+}
+
+#[test]
+fn unknown_kinds_are_malformed_not_panics() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, 0x7777, &[1, 2, 3]).expect("encode");
+    assert!(matches!(
+        read_request(&mut Cursor::new(&wire)),
+        Err(TraceError::Malformed(_))
+    ));
+    assert!(matches!(
+        read_response(&mut Cursor::new(&wire)),
+        Err(TraceError::Malformed(_))
+    ));
+}
+
+proptest! {
+    /// The frame reader never panics on arbitrary bytes — it returns a
+    /// classified error, a frame, or clean EOF.
+    #[test]
+    fn frame_reader_never_panics(bytes in proptest::collection::vec(0u32..256, 0usize..2048)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let mut cursor = Cursor::new(bytes.as_slice());
+        let _ = read_frame(&mut cursor);
+    }
+
+    /// Request/response decoding never panics on arbitrary payloads under
+    /// any kind, including the valid ones.
+    #[test]
+    fn message_decoders_never_panic(
+        kind in 0u32..0x100,
+        payload in proptest::collection::vec(0u32..256, 0usize..256),
+    ) {
+        let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
+        let _ = Request::decode(kind as u16, &payload);
+        let _ = Response::decode(kind as u16, &payload);
+    }
+
+    /// A valid frame prefixed by garbage fails fast instead of resyncing
+    /// silently (network streams must not skip hostile bytes).
+    #[test]
+    fn garbage_prefix_is_rejected(prefix in proptest::collection::vec(0u32..256, 1usize..16)) {
+        let prefix: Vec<u8> = prefix.into_iter().map(|b| b as u8).collect();
+        prop_assume!(prefix[..4.min(prefix.len())] != MAGIC[..4.min(prefix.len())]);
+        let mut wire = prefix;
+        write_request(&mut wire, &Request::Stats).expect("encode");
+        prop_assert!(read_request(&mut Cursor::new(&wire)).is_err());
+    }
+}
+
+#[test]
+fn header_constant_matches_layout() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, 1, &[0xAB]).expect("encode");
+    assert_eq!(wire.len(), FRAME_HEADER_LEN + 1);
+    assert_eq!(&wire[0..4], &MAGIC);
+}

@@ -95,6 +95,19 @@ pub enum DecodeError {
         /// `None` if no complete chunk survived.
         last_good_cycle: Option<u64>,
     },
+    /// A frame declared a structurally impossible payload length: zero (a
+    /// frame that carries nothing is never written by any TIP encoder and,
+    /// on a network stream, lets a peer spin the receiver for free) or
+    /// larger than the receiver's cap. Distinct from [`Self::Corrupt`] so a
+    /// server can answer with a typed `Malformed` reply — a zero-length
+    /// frame leaves the stream aligned on the next frame boundary, so the
+    /// receiver can keep going without desyncing.
+    BadLength {
+        /// The declared payload length.
+        len: u32,
+        /// The receiver's accepted maximum.
+        cap: u32,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -116,6 +129,9 @@ impl fmt::Display for DecodeError {
                 Some(c) => write!(f, "trace truncated: last intact chunk ends at cycle {c}"),
                 None => write!(f, "trace truncated before the first complete chunk"),
             },
+            DecodeError::BadLength { len, cap } => {
+                write!(f, "frame length {len} outside the accepted range 1..={cap}")
+            }
         }
     }
 }

@@ -17,9 +17,16 @@ enum ChunkLoad {
     /// The chunk at `offset` failed its CRC; the stream position is past it,
     /// so replay can resume at the next chunk.
     CorruptSkippable(u64),
-    /// The chunk header at `offset` is unusable (e.g. an absurd length), so
-    /// the position of the next chunk is unknown.
-    CorruptFatal(u64),
+    /// The chunk header declared a structurally impossible payload length
+    /// (zero, or over [`MAX_CHUNK_BYTES`]). A zero-length chunk carries no
+    /// payload, so the stream stays aligned and replay can skip it; an
+    /// over-cap length leaves the position of the next chunk unknown.
+    BadLength {
+        /// The declared payload length.
+        len: u32,
+        /// Whether the stream is still aligned on the next chunk boundary.
+        skippable: bool,
+    },
     /// The stream ended mid-chunk.
     TruncatedTail,
 }
@@ -124,46 +131,53 @@ impl<R: Read> TraceReader<R> {
 
     /// Reads and verifies the next chunk into `self.chunk`.
     fn load_chunk(&mut self) -> Result<ChunkLoad, DecodeError> {
-        loop {
-            let mut raw = [0u8; CHUNK_HEADER_LEN];
-            match read_exact_or_eof(&mut self.input, &mut raw)? {
-                ReadOutcome::CleanEof => return Ok(ChunkLoad::CleanEnd),
-                ReadOutcome::Truncated => return Ok(ChunkLoad::TruncatedTail),
-                ReadOutcome::Full => {}
-            }
-            let chunk_offset = self.offset;
-            self.offset += CHUNK_HEADER_LEN as u64;
-            let header = ChunkHeader::decode(&raw);
-            if header.payload_len as usize > MAX_CHUNK_BYTES {
-                return Ok(ChunkLoad::CorruptFatal(chunk_offset));
-            }
-            self.chunk.clear();
-            self.chunk.resize(header.payload_len as usize, 0);
-            match read_exact_or_eof(&mut self.input, &mut self.chunk)? {
-                ReadOutcome::Full | ReadOutcome::CleanEof if header.payload_len == 0 => {}
-                ReadOutcome::Full => {}
-                ReadOutcome::CleanEof | ReadOutcome::Truncated => {
-                    self.chunk.clear();
-                    return Ok(ChunkLoad::TruncatedTail);
-                }
-            }
-            self.offset += u64::from(header.payload_len);
-            if crc32_pair(&header.protected_prefix(), &self.chunk) != header.crc {
-                self.chunk.clear();
-                return Ok(ChunkLoad::CorruptSkippable(chunk_offset));
-            }
-            if header.n_records == 0 && header.payload_len == 0 {
-                continue; // an empty chunk carries nothing
-            }
-            self.chunk_pos = 0;
-            self.chunk_offset = chunk_offset;
-            self.records_left = header.n_records;
-            self.next_cycle = header.first_cycle;
-            if header.n_records > 0 {
-                self.last_good_cycle = Some(header.first_cycle + u64::from(header.n_records) - 1);
-            }
-            return Ok(ChunkLoad::Loaded);
+        let mut raw = [0u8; CHUNK_HEADER_LEN];
+        match read_exact_or_eof(&mut self.input, &mut raw)? {
+            ReadOutcome::CleanEof => return Ok(ChunkLoad::CleanEnd),
+            ReadOutcome::Truncated => return Ok(ChunkLoad::TruncatedTail),
+            ReadOutcome::Full => {}
         }
+        let chunk_offset = self.offset;
+        self.offset += CHUNK_HEADER_LEN as u64;
+        let header = ChunkHeader::decode(&raw);
+        if header.payload_len as usize > MAX_CHUNK_BYTES {
+            return Ok(ChunkLoad::BadLength {
+                len: header.payload_len,
+                skippable: false,
+            });
+        }
+        if header.payload_len == 0 {
+            // The writer never seals an empty chunk, so a zero-length
+            // header is hostile or damaged input. No payload follows,
+            // which means the stream is still aligned: recovery can
+            // resume at the next chunk header.
+            return Ok(ChunkLoad::BadLength {
+                len: 0,
+                skippable: true,
+            });
+        }
+        self.chunk.clear();
+        self.chunk.resize(header.payload_len as usize, 0);
+        match read_exact_or_eof(&mut self.input, &mut self.chunk)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::CleanEof | ReadOutcome::Truncated => {
+                self.chunk.clear();
+                return Ok(ChunkLoad::TruncatedTail);
+            }
+        }
+        self.offset += u64::from(header.payload_len);
+        if crc32_pair(&header.protected_prefix(), &self.chunk) != header.crc {
+            self.chunk.clear();
+            return Ok(ChunkLoad::CorruptSkippable(chunk_offset));
+        }
+        self.chunk_pos = 0;
+        self.chunk_offset = chunk_offset;
+        self.records_left = header.n_records;
+        self.next_cycle = header.first_cycle;
+        if header.n_records > 0 {
+            self.last_good_cycle = Some(header.first_cycle + u64::from(header.n_records) - 1);
+        }
+        Ok(ChunkLoad::Loaded)
     }
 
     /// Decodes the next record of the current chunk, or `Ok(None)` when the
@@ -234,11 +248,16 @@ impl<R: Read> TraceReader<R> {
             match self.load_chunk() {
                 Ok(ChunkLoad::Loaded) => {}
                 Ok(ChunkLoad::CleanEnd) => break,
-                Ok(ChunkLoad::CorruptSkippable(_)) => {
+                Ok(ChunkLoad::CorruptSkippable(_))
+                | Ok(ChunkLoad::BadLength {
+                    skippable: true, ..
+                }) => {
                     report.skipped_chunks += 1;
                     continue;
                 }
-                Ok(ChunkLoad::CorruptFatal(_)) => {
+                Ok(ChunkLoad::BadLength {
+                    skippable: false, ..
+                }) => {
                     report.skipped_chunks += 1;
                     report.unrecoverable = true;
                     break;
@@ -296,9 +315,16 @@ impl<R: Read> Iterator for TraceReader<R> {
                     self.done = true;
                     return None;
                 }
-                Ok(ChunkLoad::CorruptSkippable(offset) | ChunkLoad::CorruptFatal(offset)) => {
+                Ok(ChunkLoad::CorruptSkippable(offset)) => {
                     self.done = true;
                     return Some(Err(DecodeError::Corrupt { offset }));
+                }
+                Ok(ChunkLoad::BadLength { len, .. }) => {
+                    self.done = true;
+                    return Some(Err(DecodeError::BadLength {
+                        len,
+                        cap: MAX_CHUNK_BYTES as u32,
+                    }));
                 }
                 Ok(ChunkLoad::TruncatedTail) => {
                     self.done = true;
@@ -452,6 +478,77 @@ mod tests {
         assert!(report.truncated);
         assert!(report.records < 200);
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn zero_length_chunk_is_bad_length_and_skippable() {
+        // Splice a zero-length chunk (CRC even made valid, so only the
+        // length rule can reject it) right after the stream header.
+        let buf = stream_of(40, 128);
+        let mut zero = ChunkHeader {
+            payload_len: 0,
+            n_records: 0,
+            first_cycle: 0,
+            crc: 0,
+        };
+        zero.crc = crc32_pair(&zero.protected_prefix(), &[]);
+        let mut spliced = buf[..HEADER_LEN].to_vec();
+        spliced.extend_from_slice(&zero.encode());
+        spliced.extend_from_slice(&buf[HEADER_LEN..]);
+
+        // Strict iteration: the distinct typed error, not Corrupt.
+        let err = TraceReader::new(spliced.as_slice())
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("zero-length frame");
+        match err {
+            DecodeError::BadLength { len: 0, cap } => {
+                assert_eq!(cap as usize, MAX_CHUNK_BYTES);
+            }
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+
+        // Recovery: no payload follows, so the stream is still aligned —
+        // the frame is skipped and every record still replays.
+        struct Count(u64);
+        impl TraceSink for Count {
+            fn on_cycle(&mut self, _r: &CycleRecord) {
+                self.0 += 1;
+            }
+        }
+        let mut sink = Count(0);
+        let report = TraceReader::new(spliced.as_slice())
+            .replay_recovering(&mut sink)
+            .expect("header fine");
+        assert_eq!(report.skipped_chunks, 1);
+        assert!(!report.unrecoverable && !report.truncated);
+        assert_eq!(sink.0, 40, "no record lost to the zero-length frame");
+    }
+
+    #[test]
+    fn over_cap_chunk_is_bad_length_and_unrecoverable() {
+        let buf = stream_of(40, 128);
+        let mut bad = buf.clone();
+        let absurd = (MAX_CHUNK_BYTES as u32 + 1).to_le_bytes();
+        bad[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&absurd);
+
+        let err = TraceReader::new(bad.as_slice())
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("over-cap frame");
+        match err {
+            DecodeError::BadLength { len, cap } => {
+                assert_eq!(len as usize, MAX_CHUNK_BYTES + 1);
+                assert_eq!(cap as usize, MAX_CHUNK_BYTES);
+            }
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+
+        // The next chunk boundary is unknowable, so recovery must stop and
+        // say so rather than guess.
+        let report = TraceReader::new(bad.as_slice())
+            .replay_recovering(&mut ())
+            .expect("header fine");
+        assert!(report.unrecoverable);
+        assert_eq!(report.records, 0);
     }
 
     #[test]

@@ -184,8 +184,9 @@ pub fn write_snapshot(cycle: u64, sections: &[(u8, &[u8])]) -> Vec<u8> {
 ///   format version (e.g. a stale file after an upgrade);
 /// - [`DecodeError::Truncated`] — the file is shorter than its frame
 ///   declares (tail cut off mid-write);
-/// - [`DecodeError::Corrupt`] — bytes damaged in place (CRC mismatch, or an
-///   absurd declared length);
+/// - [`DecodeError::Corrupt`] — bytes damaged in place (CRC mismatch);
+/// - [`DecodeError::BadLength`] — the frame declares a payload over the
+///   chunk cap;
 /// - [`DecodeError::Malformed`] — the frame verified but its section
 ///   structure is inconsistent (writer bug or crafted file).
 pub fn read_snapshot(bytes: &[u8]) -> Result<Snapshot, DecodeError> {
@@ -211,8 +212,12 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<Snapshot, DecodeError> {
     let raw: [u8; CHUNK_HEADER_LEN] = rest[..CHUNK_HEADER_LEN].try_into().expect("20 bytes");
     let header = ChunkHeader::decode(&raw);
     if header.payload_len as usize > MAX_CHUNK_BYTES {
-        return Err(DecodeError::Corrupt {
-            offset: HEADER_LEN as u64,
+        // Same typed rejection as the trace and wire framing. Zero-length
+        // stays legal here: a snapshot with no sections is a valid (if
+        // degenerate) container, unlike a record chunk or a wire frame.
+        return Err(DecodeError::BadLength {
+            len: header.payload_len,
+            cap: MAX_CHUNK_BYTES as u32,
         });
     }
     let payload = &rest[CHUNK_HEADER_LEN..];

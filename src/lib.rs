@@ -13,7 +13,9 @@
 //! - [`workloads`] — the 27 synthetic benchmarks plus the Imagick pair,
 //! - [`trace`] — commit-stage trace serialization for out-of-band
 //!   profiler evaluation,
-//! - [`bench`](mod@bench) — the experiment harness behind each paper figure/table.
+//! - [`bench`](mod@bench) — the experiment harness behind each paper figure/table,
+//! - [`serve`] — the networked profiling service (`tipd` daemon, TIPW wire
+//!   protocol, `tipctl` client).
 
 #![forbid(unsafe_code)]
 
@@ -22,5 +24,6 @@ pub use tip_core as core;
 pub use tip_isa as isa;
 pub use tip_mem as mem;
 pub use tip_ooo as ooo;
+pub use tip_serve as serve;
 pub use tip_trace as trace;
 pub use tip_workloads as workloads;
