@@ -25,8 +25,9 @@
 //! campaign's `metrics.txt`).
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -82,6 +83,50 @@ impl Job {
     }
 }
 
+/// A liveness beacon a worker shares with whatever supervises it.
+///
+/// The lease machinery in `tip-serve` grants each claimed job a deadline;
+/// a reaper that sees the beacon still ticking extends the lease instead of
+/// declaring the worker dead. [`run_job`] ticks once per attempt, so even a
+/// non-cooperating runner beats at attempt granularity; a cooperating
+/// runner (a chunked, checkpointing simulation) can tick mid-attempt via
+/// [`RunCtx::heartbeat`]. The default ([`Heartbeat::noop`]) beacon is
+/// disconnected — ticks go nowhere and [`Heartbeat::beats`] stays 0 —
+/// so the serial campaign path pays nothing for the plumbing.
+#[derive(Clone, Debug, Default)]
+pub struct Heartbeat {
+    beats: Option<Arc<AtomicU64>>,
+}
+
+impl Heartbeat {
+    /// A disconnected beacon: ticks are dropped.
+    #[must_use]
+    pub fn noop() -> Self {
+        Heartbeat::default()
+    }
+
+    /// A live beacon; clones share the same counter.
+    #[must_use]
+    pub fn live() -> Self {
+        Heartbeat {
+            beats: Some(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Signals liveness. Cheap and lock-free; safe from any thread.
+    pub fn tick(&self) {
+        if let Some(beats) = &self.beats {
+            beats.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Ticks observed so far (0 for a disconnected beacon).
+    #[must_use]
+    pub fn beats(&self) -> u64 {
+        self.beats.as_ref().map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+}
+
 /// Everything the executor hands a runner for one attempt.
 #[derive(Debug, Clone)]
 pub struct RunCtx {
@@ -91,6 +136,9 @@ pub struct RunCtx {
     pub attempt: u32,
     /// Checkpointing paths and period, when enabled.
     pub checkpoint: Option<CheckpointSpec>,
+    /// The worker's liveness beacon; long-running cooperative runners tick
+    /// it to keep their lease alive (see `tip-serve`'s reaper).
+    pub heartbeat: Heartbeat,
 }
 
 /// Executes one attempt of a job.
@@ -165,6 +213,13 @@ pub struct JobMetrics {
     /// Scheduling-dependent, so it lands only in `metrics.txt`, never in
     /// the deterministic result files.
     pub worker: usize,
+    /// Times the job was assigned to a worker (1 = never reassigned).
+    /// Values above 1 mean an earlier assignment's lease expired and the
+    /// job was handed to a fresh worker; like `worker`, this is host-side
+    /// accounting that lands only in `metrics.txt` — the committed result
+    /// always comes from exactly one assignment, so the deterministic
+    /// artifacts never see it.
+    pub assignments: u32,
     /// Simulated cycles of the successful attempt (0 if the job failed).
     pub cycles: u64,
     /// Committed instructions of the successful attempt (0 if failed).
@@ -294,6 +349,21 @@ pub fn run_job<R: Runner>(
     queue_wait: Duration,
     worker: usize,
 ) -> JobOutcome {
+    run_job_beating(index, job, runner, queue_wait, worker, &Heartbeat::noop())
+}
+
+/// [`run_job`] with a live [`Heartbeat`]: the beacon ticks at every attempt
+/// boundary (and cooperative runners may tick it mid-attempt through
+/// [`RunCtx::heartbeat`]), so a lease supervisor can tell a slow worker
+/// from a dead one.
+pub fn run_job_beating<R: Runner>(
+    index: usize,
+    job: &Job,
+    runner: &R,
+    queue_wait: Duration,
+    worker: usize,
+    heartbeat: &Heartbeat,
+) -> JobOutcome {
     let started = Instant::now();
     let attempts_cap = job.max_attempts.max(1);
     let mut last_err: Option<RunError> = None;
@@ -301,10 +371,12 @@ pub fn run_job<R: Runner>(
     let mut done: Option<ProfiledRun> = None;
     for attempt in 0..attempts_cap {
         attempts = attempt + 1;
+        heartbeat.tick();
         let ctx = RunCtx {
             seed: job.seed.wrapping_add(u64::from(attempt)),
             attempt: attempts,
             checkpoint: job.checkpoint.clone(),
+            heartbeat: heartbeat.clone(),
         };
         match panic::catch_unwind(AssertUnwindSafe(|| runner.run(job, &ctx))) {
             Ok(Ok(run)) => {
@@ -327,6 +399,7 @@ pub fn run_job<R: Runner>(
                 wall,
                 queue_wait,
                 worker,
+                assignments: 1,
                 cycles: run.summary.cycles,
                 instructions: run.summary.instructions,
                 ipc: run.ipc(),
@@ -342,6 +415,7 @@ pub fn run_job<R: Runner>(
                 wall,
                 queue_wait,
                 worker,
+                assignments: 1,
                 cycles: 0,
                 instructions: 0,
                 ipc: 0.0,
@@ -415,6 +489,32 @@ mod tests {
             assert_eq!(seen, vec![0, 1, 2, 3], "workers={workers}");
             assert_eq!(summary.workers, workers.min(jobs.len()));
         }
+    }
+
+    #[test]
+    fn heartbeat_ticks_per_attempt_and_noop_stays_silent() {
+        let noop = Heartbeat::noop();
+        noop.tick();
+        assert_eq!(noop.beats(), 0);
+
+        let live = Heartbeat::live();
+        let clone = live.clone();
+        clone.tick();
+        assert_eq!(live.beats(), 1, "clones share one counter");
+
+        // run_job_beating ticks once per attempt, even when the runner
+        // itself never cooperates.
+        let beacon = Heartbeat::live();
+        let runner = |j: &Job, ctx: &RunCtx| {
+            if ctx.attempt < 3 {
+                panic!("transient");
+            }
+            SpecRunner.run(j, ctx)
+        };
+        let out = run_job_beating(0, &job("exchange2", 3), &runner, Duration::ZERO, 0, &beacon);
+        assert!(out.result.is_ok());
+        assert_eq!(out.metrics.assignments, 1);
+        assert_eq!(beacon.beats(), 3, "one beat per attempt");
     }
 
     #[test]

@@ -235,7 +235,7 @@ impl Ledger {
             let _ = writeln!(
                 body,
                 "bench={} status={} attempts={} wall_ms={:.1} cycles={} instructions={} \
-                 ipc={:.6} queue_wait_ms={:.1} worker={}",
+                 ipc={:.6} queue_wait_ms={:.1} worker={} assignments={}",
                 r.name,
                 if r.ok { "ok" } else { "failed" },
                 r.attempts,
@@ -245,6 +245,7 @@ impl Ledger {
                 r.metrics.ipc,
                 r.metrics.queue_wait.as_secs_f64() * 1e3,
                 r.metrics.worker,
+                r.metrics.assignments,
             );
         }
         report_io(atomic_write(&dir.join(METRICS_FILE), body.as_bytes()));

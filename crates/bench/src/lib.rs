@@ -32,8 +32,8 @@ pub use checkpoint::{
     load_checkpoint, run_profiled_checkpointed, save_checkpoint, CheckpointSpec, LoadedCheckpoint,
 };
 pub use executor::{
-    default_workers, execute, run_job, ExecSummary, Job, JobMetrics, JobOutcome, RunCtx, Runner,
-    SpecRunner,
+    default_workers, execute, run_job, run_job_beating, ExecSummary, Heartbeat, Job, JobMetrics,
+    JobOutcome, RunCtx, Runner, SpecRunner,
 };
 pub use hostbench::{run_hostbench, HostBenchOptions, HostBenchReport, ScalingReport};
 pub use ledger::Ledger;

@@ -1,0 +1,132 @@
+//! `chaosnet` — a seeded fault-injecting TCP proxy between `tipctl` and
+//! `tipd`.
+//!
+//! ```text
+//! chaosnet --listen 127.0.0.1:7422 --upstream 127.0.0.1:7421 --seed 42
+//!          [--drop-one-in N] [--delay-one-in N --delay-ms MS]
+//!          [--corrupt-one-in N] [--split-max BYTES]
+//!          [--disconnect-after BYTES] [--half-close-after BYTES]
+//!          [--direction up|down|both]
+//! ```
+//!
+//! Forwards TIPW traffic while injecting reproducible wire faults; point
+//! `tipctl --addr` at the proxy instead of the daemon. Runs until killed
+//! (Ctrl-C); fault and forwarding counters are printed every 10 s to
+//! stderr.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tip_serve::chaosnet::{chaos_proxy, ChaosConfig};
+use tip_trace::fault::{Fault, FaultPlan};
+
+fn usage() -> String {
+    "usage: chaosnet --listen HOST:PORT --upstream HOST:PORT [--seed N] \
+     [--drop-one-in N] [--delay-one-in N --delay-ms MS] [--corrupt-one-in N] \
+     [--split-max BYTES] [--disconnect-after BYTES] [--half-close-after BYTES] \
+     [--direction up|down|both]"
+        .to_owned()
+}
+
+fn num<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let v = args.next().ok_or(format!("{flag} needs a value"))?;
+    v.parse::<T>()
+        .map_err(|_| format!("{flag}: bad value `{v}`"))
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<ChaosConfig, String> {
+    let mut listen: Option<String> = None;
+    let mut upstream: Option<String> = None;
+    let mut seed = 42u64;
+    let mut faults = Vec::new();
+    let mut delay_one_in: Option<u32> = None;
+    let mut delay_ms = 50u32;
+    let mut direction = "both".to_owned();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(args.next().ok_or("--listen needs HOST:PORT")?),
+            "--upstream" => upstream = Some(args.next().ok_or("--upstream needs HOST:PORT")?),
+            "--seed" => seed = num(&mut args, "--seed")?,
+            "--drop-one-in" => faults.push(Fault::DropChunks {
+                one_in: num(&mut args, "--drop-one-in")?,
+            }),
+            "--delay-one-in" => delay_one_in = Some(num(&mut args, "--delay-one-in")?),
+            "--delay-ms" => delay_ms = num(&mut args, "--delay-ms")?,
+            "--corrupt-one-in" => faults.push(Fault::CorruptChunks {
+                one_in: num(&mut args, "--corrupt-one-in")?,
+            }),
+            "--split-max" => faults.push(Fault::SplitChunks {
+                max: num(&mut args, "--split-max")?,
+            }),
+            "--disconnect-after" => faults.push(Fault::Disconnect {
+                after_bytes: num(&mut args, "--disconnect-after")?,
+            }),
+            "--half-close-after" => faults.push(Fault::HalfClose {
+                after_bytes: num(&mut args, "--half-close-after")?,
+            }),
+            "--direction" => {
+                direction = args.next().ok_or("--direction needs up|down|both")?;
+                if !matches!(direction.as_str(), "up" | "down" | "both") {
+                    return Err(format!("--direction: bad value `{direction}`"));
+                }
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    if let Some(one_in) = delay_one_in {
+        faults.push(Fault::DelayChunks {
+            one_in,
+            ms: delay_ms,
+        });
+    }
+    let mut config = ChaosConfig::new(
+        &upstream.ok_or_else(|| format!("--upstream is required\n{}", usage()))?,
+        FaultPlan::new(seed, faults),
+    );
+    config.listen = listen.ok_or_else(|| format!("--listen is required\n{}", usage()))?;
+    config.fault_upstream = direction != "down";
+    config.fault_downstream = direction != "up";
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chaosnet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match chaos_proxy(&config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("chaosnet: bind {} failed: {e}", config.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "chaosnet: {} -> {} (seed {}, {} faults)",
+        handle.addr(),
+        config.upstream,
+        config.plan.seed,
+        config.plan.faults.len()
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(10));
+        let s = handle.stats();
+        eprintln!(
+            "chaosnet: conns={} fwd={}B dropped={} delayed={} corrupted={} cut={} half-closed={}",
+            s.connections,
+            s.forwarded_bytes,
+            s.dropped_chunks,
+            s.delayed_chunks,
+            s.corrupted_chunks,
+            s.disconnects,
+            s.half_closes
+        );
+    }
+}

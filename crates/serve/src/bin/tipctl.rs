@@ -1,33 +1,166 @@
 //! `tipctl` — client for the `tipd` profiling daemon.
 //!
 //! ```text
-//! tipctl [--addr HOST:PORT] submit <bench|fig08> [test|small|full] [--seed N]
-//! tipctl [--addr HOST:PORT] status <job>
-//! tipctl [--addr HOST:PORT] watch <job>
-//! tipctl [--addr HOST:PORT] result <job>
-//! tipctl [--addr HOST:PORT] cancel <job>
-//! tipctl [--addr HOST:PORT] stats
-//! tipctl [--addr HOST:PORT] shutdown [--no-drain]
+//! tipctl [--addr HOST:PORT] [--connect-timeout MS] [--max-retries N]
+//!        [--retry-seed N] <command>
+//!
+//! commands:
+//!   submit <bench|fig08> [test|small|full] [--seed N]
+//!   status <job> | watch <job> | result <job> | cancel <job>
+//!   stats | shutdown [--no-drain]
 //! ```
 //!
 //! `submit fig08` enqueues the whole suite with the fig08 campaign's
 //! six-profiler set — the service-side equivalent of running the fig08
 //! campaign locally, with byte-identical artifacts in the daemon's
 //! `--out` directory.
+//!
+//! # Exit codes
+//!
+//! Every refusal kind maps to a distinct nonzero exit code (printed to
+//! stderr), so shell harnesses can branch on *why* a call failed:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 1 | usage error, or the watched job failed |
+//! | 2 | typed server refusal (`Error{code}`) |
+//! | 3 | server at its connection limit (`Busy`) |
+//! | 4 | server shedding load (`Overloaded`) |
+//! | 5 | transport failure (connect/read/write) |
+//! | 6 | protocol damage (bad frame on the wire) |
+//! | 7 | unexpected reply (wrong frame, closed stream) |
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use tip_bench::hostbench::FIG08_PROFILERS;
-use tip_serve::client::Client;
+use tip_serve::client::{Client, ClientError};
 use tip_serve::proto::{JobSpec, JobState};
 use tip_workloads::{SuiteScale, BENCHMARK_NAMES};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7421";
 
 fn usage() -> &'static str {
-    "usage: tipctl [--addr HOST:PORT] \
+    "usage: tipctl [--addr HOST:PORT] [--connect-timeout MS] [--max-retries N] \
+     [--retry-seed N] \
      <submit <bench|fig08> [test|small|full] [--seed N] | status N | watch N | \
      result N | cancel N | stats | shutdown [--no-drain]>"
+}
+
+/// Why tipctl is exiting nonzero.
+enum CliError {
+    /// Bad arguments or a failed job: the caller's problem.
+    Usage(String),
+    /// The server (or the wire) refused or failed the call.
+    Client(ClientError),
+}
+
+/// The process exit code for a failure — one distinct code per refusal
+/// kind, so scripts can tell "retry later" (3, 4, 5) from "fix the
+/// request" (1, 2).
+fn exit_code(e: &CliError) -> u8 {
+    match e {
+        CliError::Usage(_) => 1,
+        CliError::Client(c) => match c {
+            ClientError::Server { .. } => 2,
+            ClientError::Busy { .. } => 3,
+            ClientError::Overloaded { .. } => 4,
+            ClientError::Io(_) => 5,
+            ClientError::Proto(_) => 6,
+            ClientError::UnexpectedReply(_) => 7,
+        },
+    }
+}
+
+fn message(e: &CliError) -> String {
+    match e {
+        CliError::Usage(m) => m.clone(),
+        CliError::Client(c) => c.to_string(),
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Usage(m.to_owned())
+    }
+}
+
+impl From<ClientError> for CliError {
+    fn from(e: ClientError) -> Self {
+        CliError::Client(e)
+    }
+}
+
+/// Global (pre-command) options: where to dial and how persistently.
+struct Opts {
+    addr: String,
+    connect_timeout: Option<Duration>,
+    max_retries: Option<u32>,
+    retry_seed: Option<u64>,
+}
+
+impl Opts {
+    fn client(&self) -> Client {
+        let mut client = Client::new(&self.addr);
+        if let Some(t) = self.connect_timeout {
+            client = client.with_connect_timeout(t);
+        }
+        if let Some(n) = self.max_retries {
+            client = client
+                .with_retry(n, Duration::from_millis(100))
+                .with_request_retries(n);
+        }
+        if let Some(s) = self.retry_seed {
+            client = client.with_seed(s);
+        }
+        client
+    }
+}
+
+/// Parses the global flags, returning them plus the command word.
+fn parse_globals(args: &mut impl Iterator<Item = String>) -> Result<(Opts, String), String> {
+    let mut opts = Opts {
+        addr: DEFAULT_ADDR.to_owned(),
+        connect_timeout: None,
+        max_retries: None,
+        retry_seed: None,
+    };
+    loop {
+        let arg = args.next().ok_or_else(|| usage().to_owned())?;
+        match arg.as_str() {
+            "--addr" => opts.addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--connect-timeout" => {
+                let v = args.next().ok_or("--connect-timeout needs milliseconds")?;
+                let ms: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--connect-timeout: bad value `{v}`"))?;
+                opts.connect_timeout = Some(Duration::from_millis(ms));
+            }
+            "--max-retries" => {
+                let v = args.next().ok_or("--max-retries needs a count")?;
+                opts.max_retries = Some(
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--max-retries: bad count `{v}`"))?,
+                );
+            }
+            "--retry-seed" => {
+                let v = args.next().ok_or("--retry-seed needs a value")?;
+                opts.retry_seed = Some(v.parse().map_err(|_| format!("bad retry seed `{v}`"))?);
+            }
+            _ => return Ok((opts, arg)),
+        }
+    }
 }
 
 fn state_line(state: JobState) -> String {
@@ -47,14 +180,9 @@ fn parse_job(arg: Option<String>) -> Result<u64, String> {
     v.parse().map_err(|_| format!("bad job id `{v}`"))
 }
 
-fn run(mut args: impl Iterator<Item = String>) -> Result<(), String> {
-    let mut addr = DEFAULT_ADDR.to_owned();
-    let mut cmd = args.next().ok_or(usage())?;
-    if cmd == "--addr" {
-        addr = args.next().ok_or("--addr needs HOST:PORT")?;
-        cmd = args.next().ok_or(usage())?;
-    }
-    let client = Client::new(&addr);
+fn run(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
+    let (opts, cmd) = parse_globals(&mut args)?;
+    let client = opts.client();
     match cmd.as_str() {
         "submit" => {
             let target = args
@@ -72,7 +200,7 @@ fn run(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                         let v = rest.next().ok_or("--seed needs a value")?;
                         seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
                     }
-                    other => return Err(format!("unexpected argument `{other}`")),
+                    other => return Err(format!("unexpected argument `{other}`").into()),
                 }
             }
             let benches: Vec<&str> = if target == "fig08" {
@@ -90,37 +218,35 @@ fn run(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                 if let Some(seed) = seed {
                     spec.seed = seed;
                 }
-                let job = client.submit(&spec).map_err(|e| e.to_string())?;
+                let job = client.submit(&spec)?;
                 println!("submitted job={job} bench={bench}");
             }
             Ok(())
         }
         "status" => {
             let job = parse_job(args.next())?;
-            let state = client.status(job).map_err(|e| e.to_string())?;
+            let state = client.status(job)?;
             println!("job={job} {}", state_line(state));
             Ok(())
         }
         "watch" => {
             let job = parse_job(args.next())?;
-            let last = client
-                .watch(job, |state| println!("job={job} {}", state_line(state)))
-                .map_err(|e| e.to_string())?;
+            let last = client.watch(job, |state| println!("job={job} {}", state_line(state)))?;
             match last {
                 JobState::Done { ok: true, .. } => Ok(()),
-                JobState::Done { ok: false, .. } => Err(format!("job {job} failed")),
-                other => Err(format!("job {job} ended {}", state_line(other))),
+                JobState::Done { ok: false, .. } => Err(format!("job {job} failed").into()),
+                other => Err(format!("job {job} ended {}", state_line(other)).into()),
             }
         }
         "result" => {
             let job = parse_job(args.next())?;
-            let body = client.result(job).map_err(|e| e.to_string())?;
+            let body = client.result(job)?;
             print!("{body}");
             Ok(())
         }
         "cancel" => {
             let job = parse_job(args.next())?;
-            let ok = client.cancel(job).map_err(|e| e.to_string())?;
+            let ok = client.cancel(job)?;
             println!(
                 "job={job} {}",
                 if ok { "cancelled" } else { "not cancellable" }
@@ -128,7 +254,7 @@ fn run(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             Ok(())
         }
         "stats" => {
-            let stats = client.stats().map_err(|e| e.to_string())?;
+            let stats = client.stats()?;
             print!("{}", stats.render());
             Ok(())
         }
@@ -136,13 +262,13 @@ fn run(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             let drain = match args.next().as_deref() {
                 None => true,
                 Some("--no-drain") => false,
-                Some(other) => return Err(format!("unexpected argument `{other}`")),
+                Some(other) => return Err(format!("unexpected argument `{other}`").into()),
             };
-            client.shutdown(drain).map_err(|e| e.to_string())?;
+            client.shutdown(drain)?;
             println!("shutting down (drain={drain})");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
 }
 
@@ -150,8 +276,99 @@ fn main() -> ExitCode {
     match run(std::env::args().skip(1)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("tipctl: {e}");
-            ExitCode::FAILURE
+            eprintln!("tipctl: {}", message(&e));
+            ExitCode::from(exit_code(&e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+    use tip_serve::proto::ErrorCode;
+    use tip_trace::TraceError;
+
+    #[test]
+    fn every_refusal_kind_maps_to_a_distinct_nonzero_exit_code() {
+        let cases: Vec<(CliError, u8)> = vec![
+            (CliError::Usage("bad".to_owned()), 1),
+            (
+                CliError::Client(ClientError::Server {
+                    code: ErrorCode::UnknownBench,
+                    message: "no such bench".to_owned(),
+                }),
+                2,
+            ),
+            (
+                CliError::Client(ClientError::Busy {
+                    active: 32,
+                    limit: 32,
+                }),
+                3,
+            ),
+            (
+                CliError::Client(ClientError::Overloaded {
+                    retry_after_ms: 500,
+                    queued: 300,
+                }),
+                4,
+            ),
+            (
+                CliError::Client(ClientError::Io(io::Error::other("gone"))),
+                5,
+            ),
+            (
+                CliError::Client(ClientError::Proto(TraceError::Corrupt { offset: 0 })),
+                6,
+            ),
+            (
+                CliError::Client(ClientError::UnexpectedReply("eof".to_owned())),
+                7,
+            ),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (err, want) in &cases {
+            assert_eq!(exit_code(err), *want, "{}", message(err));
+            assert_ne!(*want, 0);
+            assert!(seen.insert(*want), "exit code {want} reused");
+            assert!(!message(err).is_empty());
+        }
+    }
+
+    #[test]
+    fn global_flags_parse_before_the_command() {
+        let mut args = [
+            "--addr",
+            "10.0.0.1:7421",
+            "--connect-timeout",
+            "250",
+            "--max-retries",
+            "7",
+            "--retry-seed",
+            "99",
+            "stats",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned());
+        let (opts, cmd) = parse_globals(&mut args).expect("parses");
+        assert_eq!(cmd, "stats");
+        assert_eq!(opts.addr, "10.0.0.1:7421");
+        assert_eq!(opts.connect_timeout, Some(Duration::from_millis(250)));
+        assert_eq!(opts.max_retries, Some(7));
+        assert_eq!(opts.retry_seed, Some(99));
+    }
+
+    #[test]
+    fn bad_global_flag_values_are_usage_errors() {
+        for args in [
+            vec!["--connect-timeout", "0", "stats"],
+            vec!["--connect-timeout", "soon", "stats"],
+            vec!["--max-retries", "0", "stats"],
+            vec!["--retry-seed", "many", "stats"],
+        ] {
+            let mut it = args.iter().map(|s| (*s).to_owned());
+            assert!(parse_globals(&mut it).is_err(), "{args:?}");
         }
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! tipd --listen 127.0.0.1:7421 --out runs/service [--jobs N] [--resume]
-//!      [--max-conns N] [--io-timeout-ms N]
+//!      [--max-conns N] [--io-timeout-ms N] [--write-timeout-ms N]
+//!      [--lease-ms N] [--shed-watermark N] [--retry-after-ms N]
+//!      [--max-frames-per-sec N]
 //! ```
 //!
 //! Listens for TIPW requests, runs submitted jobs on a worker pool, and
@@ -18,8 +20,19 @@ use tip_serve::server::{serve, ServerConfig};
 
 fn usage() -> String {
     "usage: tipd --listen HOST:PORT --out DIR [--jobs N] [--resume] \
-     [--max-conns N] [--io-timeout-ms N]"
+     [--max-conns N] [--io-timeout-ms N] [--write-timeout-ms N] [--lease-ms N] \
+     [--shed-watermark N] [--retry-after-ms N] [--max-frames-per-sec N]"
         .to_owned()
+}
+
+fn ms_flag(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<Duration, String> {
+    let v = args.next().ok_or(format!("{flag} needs milliseconds"))?;
+    Ok(Duration::from_millis(
+        v.parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("{flag}: bad value `{v}`"))?,
+    ))
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
@@ -29,6 +42,11 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
     let mut resume = false;
     let mut max_conns = 32usize;
     let mut io_timeout = Duration::from_secs(5);
+    let mut write_timeout: Option<Duration> = None;
+    let mut lease: Option<Duration> = None;
+    let mut shed_watermark: Option<usize> = None;
+    let mut retry_after_ms: Option<u32> = None;
+    let mut max_frames_per_sec: Option<u32> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,13 +68,36 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
                     .filter(|&n| n >= 1)
                     .ok_or(format!("--max-conns: bad count `{v}`"))?;
             }
-            "--io-timeout-ms" => {
-                let v = args.next().ok_or("--io-timeout-ms needs milliseconds")?;
-                io_timeout = Duration::from_millis(
-                    v.parse::<u64>()
+            "--io-timeout-ms" => io_timeout = ms_flag(&mut args, "--io-timeout-ms")?,
+            "--write-timeout-ms" => {
+                write_timeout = Some(ms_flag(&mut args, "--write-timeout-ms")?);
+            }
+            "--lease-ms" => lease = Some(ms_flag(&mut args, "--lease-ms")?),
+            "--shed-watermark" => {
+                let v = args.next().ok_or("--shed-watermark needs a depth")?;
+                shed_watermark = Some(
+                    v.parse::<usize>()
                         .ok()
                         .filter(|&n| n >= 1)
-                        .ok_or(format!("--io-timeout-ms: bad value `{v}`"))?,
+                        .ok_or(format!("--shed-watermark: bad depth `{v}`"))?,
+                );
+            }
+            "--retry-after-ms" => {
+                let v = args.next().ok_or("--retry-after-ms needs milliseconds")?;
+                retry_after_ms = Some(
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--retry-after-ms: bad value `{v}`"))?,
+                );
+            }
+            "--max-frames-per-sec" => {
+                let v = args.next().ok_or("--max-frames-per-sec needs a rate")?;
+                max_frames_per_sec = Some(
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--max-frames-per-sec: bad rate `{v}`"))?,
                 );
             }
             "--resume" => resume = true,
@@ -70,6 +111,21 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
     config.resume = resume;
     config.max_conns = max_conns;
     config.io_timeout = io_timeout;
+    if let Some(t) = write_timeout {
+        config.write_timeout = t;
+    }
+    if let Some(l) = lease {
+        config.lease = l;
+    }
+    if let Some(w) = shed_watermark {
+        config.shed_watermark = w;
+    }
+    if let Some(r) = retry_after_ms {
+        config.retry_after_ms = r;
+    }
+    if let Some(f) = max_frames_per_sec {
+        config.max_frames_per_sec = f;
+    }
     Ok(config)
 }
 

@@ -1,0 +1,512 @@
+//! `chaosnet` — a seeded fault-injecting TCP proxy for wire-level chaos
+//! testing.
+//!
+//! The proxy sits between `tipctl` and `tipd`, forwarding bytes in both
+//! directions while injecting the wire-level faults of a
+//! [`FaultPlan`] — the same fault vocabulary `tip-trace` uses for damaged
+//! trace files and `tip-bench` uses for campaign chaos, extended to the
+//! live socket:
+//!
+//! * [`Fault::DropChunks`] — silently swallow forwarded chunks,
+//! * [`Fault::DelayChunks`] — stall chunks (latency spikes, reordering
+//!   pressure against timeouts),
+//! * [`Fault::CorruptChunks`] — flip a byte mid-frame (the CRC framing
+//!   must catch it),
+//! * [`Fault::SplitChunks`] — forward in tiny pieces (slow-loris partial
+//!   reads splitting frames across `read` calls),
+//! * [`Fault::Disconnect`] — hard-cut the connection after a byte budget
+//!   (mid-stream truncation),
+//! * [`Fault::HalfClose`] — close one direction only, leaving the other
+//!   flowing.
+//!
+//! Faults are drawn from a [`SmallRng`] seeded per connection and
+//! direction from the plan's seed, so a given proxy configuration injects
+//! a reproducible fault *pattern* (chunk boundaries still depend on host
+//! timing — the proxy makes fault decisions reproducible, not TCP
+//! segmentation). Non-wire faults in the plan are ignored, mirroring how
+//! the byte/record layers ignore wire faults.
+//!
+//! The robustness claim this module exists to check: any single fault the
+//! proxy can inject, the client/server pair must survive with artifacts
+//! byte-identical to a fault-free run — retries and idempotent
+//! resubmission on the client, leases and dedup on the server.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tip_trace::fault::{Fault, FaultPlan};
+
+/// How the proxy listens, connects, and misbehaves.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// The real server to forward to.
+    pub upstream: String,
+    /// The faults to inject (only wire-level faults act here).
+    pub plan: FaultPlan,
+    /// Inject into the client→server direction.
+    pub fault_upstream: bool,
+    /// Inject into the server→client direction.
+    pub fault_downstream: bool,
+}
+
+impl ChaosConfig {
+    /// A proxy on an ephemeral localhost port forwarding to `upstream`,
+    /// faulting both directions.
+    #[must_use]
+    pub fn new(upstream: &str, plan: FaultPlan) -> Self {
+        ChaosConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            upstream: upstream.to_owned(),
+            plan,
+            fault_upstream: true,
+            fault_downstream: true,
+        }
+    }
+}
+
+/// Counters of everything the proxy did to the traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Bytes forwarded (both directions, after faults).
+    pub forwarded_bytes: u64,
+    /// Chunks silently dropped.
+    pub dropped_chunks: u64,
+    /// Chunks delayed.
+    pub delayed_chunks: u64,
+    /// Chunks with a corrupted byte.
+    pub corrupted_chunks: u64,
+    /// Connections hard-cut mid-stream.
+    pub disconnects: u64,
+    /// Directions half-closed.
+    pub half_closes: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    forwarded_bytes: AtomicU64,
+    dropped_chunks: AtomicU64,
+    delayed_chunks: AtomicU64,
+    corrupted_chunks: AtomicU64,
+    disconnects: AtomicU64,
+    half_closes: AtomicU64,
+    connections: AtomicU64,
+}
+
+struct Shared {
+    upstream: String,
+    plan: FaultPlan,
+    fault_upstream: bool,
+    fault_downstream: bool,
+    stop: AtomicBool,
+    counters: Counters,
+}
+
+/// A running chaos proxy; stop it with [`ChaosHandle::shutdown`].
+pub struct ChaosHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+/// Binds the proxy and starts accepting.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn chaos_proxy(config: &ChaosConfig) -> io::Result<ChaosHandle> {
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        upstream: config.upstream.clone(),
+        plan: config.plan.clone(),
+        fault_upstream: config.fault_upstream,
+        fault_downstream: config.fault_downstream,
+        stop: AtomicBool::new(false),
+        counters: Counters::default(),
+    });
+    let pumps = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let pumps = Arc::clone(&pumps);
+        thread::spawn(move || acceptor_loop(&listener, &shared, &pumps))
+    };
+    Ok(ChaosHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        pumps,
+    })
+}
+
+impl ChaosHandle {
+    /// The bound address clients should connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of what the proxy has done so far.
+    #[must_use]
+    pub fn stats(&self) -> ChaosStats {
+        let c = &self.shared.counters;
+        ChaosStats {
+            forwarded_bytes: c.forwarded_bytes.load(Ordering::Relaxed),
+            dropped_chunks: c.dropped_chunks.load(Ordering::Relaxed),
+            delayed_chunks: c.delayed_chunks.load(Ordering::Relaxed),
+            corrupted_chunks: c.corrupted_chunks.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+            half_closes: c.half_closes.load(Ordering::Relaxed),
+            connections: c.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, cuts every live pump, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let pumps = std::mem::take(&mut *self.pumps.lock().expect("pump registry"));
+        for p in pumps {
+            let _ = p.join();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    pumps: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    for (conn_index, stream) in listener.incoming().enumerate() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = stream else { continue };
+        let Ok(server) = TcpStream::connect(&shared.upstream) else {
+            // Upstream down: drop the client, which sees a clean close and
+            // retries — exactly the behaviour a dead daemon produces.
+            continue;
+        };
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let conn = conn_index as u64;
+        let up = spawn_pump(shared, &client, &server, conn, 0, shared.fault_upstream);
+        let down = spawn_pump(shared, &server, &client, conn, 1, shared.fault_downstream);
+        let mut registry = pumps.lock().expect("pump registry");
+        registry.extend([up, down].into_iter().flatten());
+    }
+}
+
+fn spawn_pump(
+    shared: &Arc<Shared>,
+    src: &TcpStream,
+    dst: &TcpStream,
+    conn: u64,
+    direction: u64,
+    faulted: bool,
+) -> Option<thread::JoinHandle<()>> {
+    let (Ok(src), Ok(dst)) = (src.try_clone(), dst.try_clone()) else {
+        return None;
+    };
+    let shared = Arc::clone(shared);
+    Some(thread::spawn(move || {
+        pump(&shared, src, dst, conn, direction, faulted);
+    }))
+}
+
+/// What the injector decided to do with one forwarded chunk.
+enum Verdict {
+    Forward,
+    Drop,
+    /// Forward only the first `n` bytes, then hard-cut both directions.
+    CutAfter(usize),
+    /// Forward only the first `n` bytes, then close this direction only.
+    HalfCloseAfter(usize),
+}
+
+/// Per-direction fault state, seeded from the plan so the decision
+/// sequence is reproducible for a given (connection, direction).
+struct Injector {
+    rng: SmallRng,
+    drop_one_in: Option<u32>,
+    delay: Option<(u32, u32)>,
+    corrupt_one_in: Option<u32>,
+    split_max: Option<usize>,
+    disconnect_after: Option<u64>,
+    half_close_after: Option<u64>,
+    forwarded: u64,
+}
+
+impl Injector {
+    fn new(plan: &FaultPlan, conn: u64, direction: u64) -> Self {
+        let mut inj = Injector {
+            rng: SmallRng::seed_from_u64(
+                plan.seed ^ 0xc4a0_5000 ^ conn.wrapping_mul(0x9E37_79B9) ^ (direction << 63),
+            ),
+            drop_one_in: None,
+            delay: None,
+            corrupt_one_in: None,
+            split_max: None,
+            disconnect_after: None,
+            half_close_after: None,
+            forwarded: 0,
+        };
+        for fault in &plan.faults {
+            match *fault {
+                Fault::DropChunks { one_in } => inj.drop_one_in = Some(one_in.max(1)),
+                Fault::DelayChunks { one_in, ms } => inj.delay = Some((one_in.max(1), ms)),
+                Fault::CorruptChunks { one_in } => inj.corrupt_one_in = Some(one_in.max(1)),
+                Fault::SplitChunks { max } => inj.split_max = Some(max.max(1) as usize),
+                Fault::Disconnect { after_bytes } => inj.disconnect_after = Some(after_bytes),
+                Fault::HalfClose { after_bytes } => inj.half_close_after = Some(after_bytes),
+                _ => {}
+            }
+        }
+        inj
+    }
+
+    /// Decides the chunk's fate and applies in-place damage (corruption).
+    fn judge(&mut self, chunk: &mut [u8], counters: &Counters) -> Verdict {
+        if let Some(after) = self.disconnect_after {
+            if self.forwarded + chunk.len() as u64 > after {
+                counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                return Verdict::CutAfter(after.saturating_sub(self.forwarded) as usize);
+            }
+        }
+        if let Some(after) = self.half_close_after {
+            if self.forwarded + chunk.len() as u64 > after {
+                counters.half_closes.fetch_add(1, Ordering::Relaxed);
+                return Verdict::HalfCloseAfter(after.saturating_sub(self.forwarded) as usize);
+            }
+        }
+        if let Some(n) = self.drop_one_in {
+            if self.rng.random_range(0..n) == 0 {
+                counters.dropped_chunks.fetch_add(1, Ordering::Relaxed);
+                return Verdict::Drop;
+            }
+        }
+        if let Some((n, ms)) = self.delay {
+            if self.rng.random_range(0..n) == 0 {
+                counters.delayed_chunks.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(Duration::from_millis(u64::from(ms)));
+            }
+        }
+        if let Some(n) = self.corrupt_one_in {
+            if !chunk.is_empty() && self.rng.random_range(0..n) == 0 {
+                let at = self.rng.random_range(0..chunk.len());
+                chunk[at] ^= 1 << self.rng.random_range(0u32..8);
+                counters.corrupted_chunks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Verdict::Forward
+    }
+}
+
+/// Writes `bytes` to `dst` in pieces of at most `split_max` (or whole).
+fn write_split(dst: &mut TcpStream, bytes: &[u8], split_max: Option<usize>) -> io::Result<()> {
+    match split_max {
+        None => dst.write_all(bytes),
+        Some(max) => {
+            for piece in bytes.chunks(max.max(1)) {
+                dst.write_all(piece)?;
+                dst.flush()?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn pump(
+    shared: &Shared,
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    conn: u64,
+    direction: u64,
+    faulted: bool,
+) {
+    // Short read timeout so the pump notices the stop flag promptly.
+    let _ = src.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = dst.set_nodelay(true);
+    let mut injector = faulted.then(|| Injector::new(&shared.plan, conn, direction));
+    let counters = &shared.counters;
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            // Clean EOF on this side: propagate it as a half-close so the
+            // opposite direction keeps flowing, like a real TCP FIN.
+            Ok(0) => {
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+        };
+        let chunk = &mut buf[..n];
+        let verdict = match injector.as_mut() {
+            Some(inj) => inj.judge(chunk, counters),
+            None => Verdict::Forward,
+        };
+        let split_max = injector.as_ref().and_then(|i| i.split_max);
+        match verdict {
+            Verdict::Drop => {}
+            Verdict::Forward => {
+                if write_split(&mut dst, chunk, split_max).is_err() {
+                    let _ = src.shutdown(Shutdown::Read);
+                    return;
+                }
+                counters
+                    .forwarded_bytes
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                if let Some(inj) = injector.as_mut() {
+                    inj.forwarded += n as u64;
+                }
+            }
+            Verdict::CutAfter(keep) => {
+                let _ = write_split(&mut dst, &chunk[..keep.min(n)], split_max);
+                counters
+                    .forwarded_bytes
+                    .fetch_add(keep.min(n) as u64, Ordering::Relaxed);
+                // Mid-stream truncation: both directions die at once, like
+                // a yanked cable — whatever frame was in flight is cut.
+                let _ = src.shutdown(Shutdown::Both);
+                let _ = dst.shutdown(Shutdown::Both);
+                return;
+            }
+            Verdict::HalfCloseAfter(keep) => {
+                let _ = write_split(&mut dst, &chunk[..keep.min(n)], split_max);
+                counters
+                    .forwarded_bytes
+                    .fetch_add(keep.min(n) as u64, Ordering::Relaxed);
+                // One direction dies; the opposite pump keeps running.
+                let _ = dst.shutdown(Shutdown::Write);
+                let _ = src.shutdown(Shutdown::Read);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// An echo server for proxy tests: reads chunks, writes them back.
+    fn echo_server() -> (SocketAddr, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        let handle = thread::spawn(move || {
+            // Serve a bounded number of connections, then exit.
+            for stream in listener.incoming().take(4) {
+                let Ok(mut stream) = stream else { continue };
+                let mut buf = [0u8; 1024];
+                while let Ok(n) = stream.read(&mut buf) {
+                    if n == 0 || stream.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn clean_proxy_forwards_bytes_intact() {
+        let (upstream, _echo) = echo_server();
+        let proxy = chaos_proxy(&ChaosConfig::new(&upstream.to_string(), FaultPlan::none()))
+            .expect("proxy up");
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.write_all(b"hello through the proxy").expect("write");
+        let mut back = [0u8; 23];
+        conn.read_exact(&mut back).expect("read");
+        assert_eq!(&back, b"hello through the proxy");
+        drop(conn);
+        let stats = proxy.stats();
+        proxy.shutdown();
+        assert!(stats.forwarded_bytes >= 46, "{stats:?}");
+        assert_eq!(stats.corrupted_chunks, 0);
+        assert_eq!(stats.connections, 1);
+    }
+
+    #[test]
+    fn corrupting_proxy_damages_the_stream() {
+        let (upstream, _echo) = echo_server();
+        let plan = FaultPlan::new(7, vec![Fault::CorruptChunks { one_in: 1 }]);
+        let config = ChaosConfig {
+            fault_downstream: false,
+            ..ChaosConfig::new(&upstream.to_string(), plan)
+        };
+        let proxy = chaos_proxy(&config).expect("proxy up");
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        let sent = [0u8; 64];
+        conn.write_all(&sent).expect("write");
+        let mut back = [0u8; 64];
+        conn.read_exact(&mut back).expect("read");
+        assert_ne!(back, sent, "one byte must differ");
+        drop(conn);
+        let stats = proxy.stats();
+        proxy.shutdown();
+        assert!(stats.corrupted_chunks >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn disconnect_cuts_the_connection_after_the_byte_budget() {
+        let (upstream, _echo) = echo_server();
+        let plan = FaultPlan::new(3, vec![Fault::Disconnect { after_bytes: 8 }]);
+        let config = ChaosConfig {
+            fault_downstream: false,
+            ..ChaosConfig::new(&upstream.to_string(), plan)
+        };
+        let proxy = chaos_proxy(&config).expect("proxy up");
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+        // Push enough to blow the budget; the proxy cuts mid-stream.
+        let _ = conn.write_all(&[7u8; 64]);
+        let mut back = Vec::new();
+        let _ = conn.read_to_end(&mut back);
+        assert!(back.len() <= 8, "only the pre-cut prefix arrives: {back:?}");
+        let stats = proxy.stats();
+        proxy.shutdown();
+        assert_eq!(stats.disconnects, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn split_proxy_delivers_everything_in_pieces() {
+        let (upstream, _echo) = echo_server();
+        let plan = FaultPlan::new(5, vec![Fault::SplitChunks { max: 3 }]);
+        let proxy = chaos_proxy(&ChaosConfig::new(&upstream.to_string(), plan)).expect("proxy up");
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        let sent: Vec<u8> = (0..=255).collect();
+        conn.write_all(&sent).expect("write");
+        let mut back = vec![0u8; sent.len()];
+        conn.read_exact(&mut back).expect("read");
+        assert_eq!(back, sent, "splitting must not lose or reorder bytes");
+        proxy.shutdown();
+    }
+}

@@ -1,14 +1,15 @@
 //! The daemon's job engine: a dynamic queue bridged into `tip-bench`'s
-//! executor machinery with the deterministic committer preserved.
+//! executor machinery with the deterministic committer preserved — now
+//! fault-tolerant on one host, the on-ramp to multi-daemon sharding.
 //!
 //! The local executor ([`tip_bench::execute`]) fans a *fixed slice* of jobs
 //! over workers; a server's queue grows while jobs run. This engine keeps
 //! the parts that make local runs reproducible and swaps only the queue:
 //!
 //! * Workers claim jobs **FIFO** — the claimed set is always a contiguous
-//!   prefix of submission order — and run each through the exact retry
-//!   ladder of [`tip_bench::run_job`] (bounded reseeded attempts,
-//!   per-attempt panic isolation).
+//!   prefix of submission order, plus any reassigned jobs — and run each
+//!   through the exact retry ladder of [`tip_bench::run_job`] (bounded
+//!   reseeded attempts, per-attempt panic isolation).
 //! * A single committer thread applies settled jobs in submission order
 //!   through the shared campaign [`Ledger`], so `journal.txt`, every
 //!   `<bench>.result`, and `failures.txt` are byte-identical to a local
@@ -19,8 +20,42 @@
 //!   restarted daemon with `resume` skips exactly the settled prefix and
 //!   re-runs the rest — the kill-and-resume story of
 //!   [`tip_bench::campaign`], lifted to a long-lived process.
+//!
+//! # Leases, heartbeats, and the reaper
+//!
+//! Every claimed job carries a **lease**: a deadline the worker must beat
+//! by finishing the job or ticking its [`Heartbeat`] beacon
+//! ([`tip_bench::run_job_beating`] ticks at every attempt boundary;
+//! cooperative runners tick mid-attempt through `RunCtx::heartbeat`). A
+//! **reaper** thread scans running jobs: a beating worker gets its lease
+//! extended; a silent one past its deadline is declared dead, the job's
+//! **epoch** is bumped, and the job is requeued for reassignment to a
+//! fresh worker. If the presumed-dead worker later comes back with a
+//! result, the epoch mismatch marks it stale and it is discarded — the
+//! committed result always comes from exactly one assignment, so the
+//! deterministic artifacts are identical to a fault-free run (simulations
+//! are seed-deterministic, and attempt accounting restarts per
+//! assignment). A job the committer has already settled through the ledger
+//! is in a terminal phase and can never be requeued — the same
+//! "resume skips the settled prefix" semantics the journal provides across
+//! daemon restarts, enforced within one daemon lifetime by the phase
+//! machine.
+//!
+//! # Progress history and watch resumption
+//!
+//! Every externally visible state transition of a job is appended to a
+//! per-job **history** with a dense sequence number. `Watch{from_seq}`
+//! replays history from any point and then streams live, so a client whose
+//! watch connection dropped reconnects and resumes exactly where it left
+//! off — no gaps, no duplicates.
+//!
+//! # Idempotent submission
+//!
+//! A submit may carry a nonzero request id; the engine keeps a dedup table
+//! (`req_id → job id`) so a client that timed out waiting for the
+//! `Submitted` reply can resubmit without double-enqueueing.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -28,12 +63,20 @@ use std::time::{Duration, Instant};
 
 use crate::proto::{JobSpec, JobState, ServerStats};
 use tip_bench::campaign::{CompletedBench, FailedBench};
-use tip_bench::executor::{run_job, ExecSummary, Job, JobOutcome, Runner, SpecRunner};
+use tip_bench::executor::{
+    run_job_beating, ExecSummary, Heartbeat, Job, JobOutcome, Runner, SpecRunner,
+};
 use tip_bench::experiments::SuiteRun;
 use tip_bench::ledger::{result_path, Ledger};
 use tip_bench::run::MAX_CYCLES;
 use tip_ooo::CoreConfig;
 use tip_workloads::{benchmark, BENCHMARK_NAMES};
+
+/// Default job lease: generous enough that a full-scale benchmark attempt
+/// (which beats only at attempt boundaries) never trips it on a healthy
+/// host, short enough that a genuinely wedged worker is reaped within
+/// operational patience.
+pub const DEFAULT_LEASE: Duration = Duration::from_secs(300);
 
 /// How the engine runs.
 #[derive(Debug, Clone)]
@@ -44,6 +87,23 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Skip benchmarks the directory's journal already records as done.
     pub resume: bool,
+    /// Job lease: a claimed job whose worker neither finishes nor
+    /// heartbeats within this window is reassigned to a fresh worker.
+    pub lease: Duration,
+}
+
+impl EngineConfig {
+    /// A config with production defaults: 1 worker, fresh (no resume),
+    /// [`DEFAULT_LEASE`].
+    #[must_use]
+    pub fn new(out_dir: PathBuf) -> Self {
+        EngineConfig {
+            out_dir,
+            workers: 1,
+            resume: false,
+            lease: DEFAULT_LEASE,
+        }
+    }
 }
 
 /// Why a submit was refused.
@@ -55,6 +115,18 @@ pub enum SubmitError {
     UnknownCore(String),
     /// The engine is draining and accepts no new work.
     Draining,
+}
+
+/// A running assignment's liveness record.
+#[derive(Debug)]
+struct LeaseState {
+    /// When the assignment is declared dead unless the beacon beats first.
+    deadline: Instant,
+    /// The worker's beacon (shared with `run_job_beating`).
+    beacon: Heartbeat,
+    /// Beats observed at the last reaper scan; advancement extends the
+    /// lease.
+    beats_seen: u64,
 }
 
 /// Internal lifecycle of one queue entry.
@@ -84,33 +156,58 @@ struct Entry {
     phase: Phase,
     enqueued: Instant,
     outcome: Option<JobOutcome>,
+    /// Bumped every time the job is reassigned; a worker returning with a
+    /// stale epoch had its lease expire and its result is discarded.
+    epoch: u32,
+    /// Times a worker claimed this job (lease-aware attempt accounting —
+    /// lands in `metrics.txt` as `assignments=`).
+    assignments: u32,
+    /// The current assignment's lease, while `Running`.
+    lease: Option<LeaseState>,
+    /// Every externally visible state this job has passed through, in
+    /// order; the index is the `Watch` stream's sequence number.
+    history: Vec<JobState>,
 }
 
 struct State {
     entries: Vec<Entry>,
     next_claim: usize,
+    /// Jobs whose lease expired, awaiting reassignment; claimed before the
+    /// FIFO prefix so a reassigned job does not wait behind the queue it
+    /// already waited in once.
+    requeued: VecDeque<usize>,
     next_commit: usize,
     draining: bool,
     shutdown: bool,
+    /// Worker threads still alive; the committer can only give up on an
+    /// uncommittable entry once this reaches zero under shutdown.
+    live_workers: usize,
     /// Bench names the resume journal covers (skips) plus names settled in
     /// this run — consulted at submit time so a resubmitted suite skips
     /// exactly what a resumed local campaign would.
     done_names: HashSet<String>,
+    /// Idempotent-submit dedup: request id → job id.
+    dedup: HashMap<u64, u64>,
     busy: Duration,
     wait_sum: Duration,
     settled: u32,
     done: u32,
     failed: u32,
     cancelled: u32,
+    /// Lease expiries that requeued a job.
+    reassigned: u32,
+    /// Results discarded because their assignment's lease had expired.
+    stale_results: u32,
 }
 
 struct Inner {
     state: Mutex<State>,
     /// Workers sleep here for new claimable work.
     work: Condvar,
-    /// Committer and watchers sleep here for any state change.
+    /// Committer, reaper, and watchers sleep here for any state change.
     changed: Condvar,
     workers: usize,
+    lease: Duration,
     started: Instant,
     out_dir: PathBuf,
 }
@@ -129,8 +226,9 @@ impl Engine {
         Engine::start_with_runner(config, SpecRunner)
     }
 
-    /// Starts worker threads and the committer with a caller-chosen runner
-    /// (tests inject faults the same way the chaos campaign does).
+    /// Starts worker threads, the committer, and the lease reaper with a
+    /// caller-chosen runner (tests inject faults the same way the chaos
+    /// campaign does).
     #[must_use]
     pub fn start_with_runner<R>(config: &EngineConfig, runner: R) -> Engine
     where
@@ -143,32 +241,48 @@ impl Engine {
             state: Mutex::new(State {
                 entries: Vec::new(),
                 next_claim: 0,
+                requeued: VecDeque::new(),
                 next_commit: 0,
                 draining: false,
                 shutdown: false,
+                live_workers: workers,
                 done_names,
+                dedup: HashMap::new(),
                 busy: Duration::ZERO,
                 wait_sum: Duration::ZERO,
                 settled: 0,
                 done: 0,
                 failed: 0,
                 cancelled: 0,
+                reassigned: 0,
+                stale_results: 0,
             }),
             work: Condvar::new(),
             changed: Condvar::new(),
             workers,
+            lease: config.lease.max(Duration::from_millis(1)),
             started: Instant::now(),
             out_dir: config.out_dir.clone(),
         });
-        let mut threads = Vec::with_capacity(workers + 1);
+        let mut threads = Vec::with_capacity(workers + 2);
         for worker in 0..workers {
             let inner = Arc::clone(&inner);
             let runner = runner.clone();
-            threads.push(thread::spawn(move || worker_loop(&inner, worker, &runner)));
+            threads.push(thread::spawn(move || {
+                let watch = WorkerDeathWatch {
+                    inner: Arc::clone(&inner),
+                };
+                worker_loop(&inner, worker, &runner);
+                std::mem::forget(watch);
+            }));
         }
         {
             let inner = Arc::clone(&inner);
             threads.push(thread::spawn(move || committer_loop(&inner, ledger)));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(thread::spawn(move || reaper_loop(&inner)));
         }
         Engine {
             inner,
@@ -185,6 +299,19 @@ impl Engine {
     /// [`SubmitError`] for an unknown benchmark or core preset, or when
     /// the engine is draining.
     pub fn submit(&self, spec: &JobSpec) -> Result<u64, SubmitError> {
+        self.submit_deduped(spec, 0)
+    }
+
+    /// [`Self::submit`] with an idempotency key: a repeated submit carrying
+    /// the same nonzero `req_id` returns the originally assigned job id
+    /// instead of enqueueing a second copy — the server-side half of
+    /// "resubmit on timeout without double-running".
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] for an unknown benchmark or core preset, or when
+    /// the engine is draining.
+    pub fn submit_deduped(&self, spec: &JobSpec, req_id: u64) -> Result<u64, SubmitError> {
         // Resolve outside the lock: program generation is pure CPU.
         let Some(&name) = BENCHMARK_NAMES.iter().find(|&&n| n == spec.bench) else {
             return Err(SubmitError::UnknownBench(spec.bench.clone()));
@@ -202,18 +329,35 @@ impl Engine {
             max_cycles: MAX_CYCLES,
         };
         let mut state = self.inner.state.lock().expect("engine lock");
+        if req_id != 0 {
+            if let Some(&id) = state.dedup.get(&req_id) {
+                return Ok(id);
+            }
+        }
         if state.draining || state.shutdown {
             return Err(SubmitError::Draining);
         }
         let skip = state.done_names.contains(name);
+        let ahead = state
+            .entries
+            .iter()
+            .filter(|e| matches!(e.phase, Phase::Queued { .. }))
+            .count() as u32;
         state.entries.push(Entry {
             job,
             profilers: spec.profilers.clone(),
             phase: Phase::Queued { skip },
             enqueued: Instant::now(),
             outcome: None,
+            epoch: 0,
+            assignments: 0,
+            lease: None,
+            history: vec![JobState::Queued { ahead }],
         });
         let id = state.entries.len() as u64;
+        if req_id != 0 {
+            state.dedup.insert(req_id, id);
+        }
         drop(state);
         self.inner.work.notify_all();
         self.inner.changed.notify_all();
@@ -228,20 +372,36 @@ impl Engine {
         state.job_state(job)
     }
 
-    /// Blocks until the job's state differs from `last` (or the timeout
-    /// elapses, returning the unchanged state). `None` for an unknown id.
+    /// The job's progress history from sequence number `from_seq` on —
+    /// empty if nothing new yet. `None` for an unknown id.
     #[must_use]
-    pub fn wait_change(&self, job: u64, last: JobState, timeout: Duration) -> Option<JobState> {
+    pub fn history_from(&self, job: u64, from_seq: u64) -> Option<Vec<(u64, JobState)>> {
+        let state = self.inner.state.lock().expect("engine lock");
+        let index = job_index(&state, job)?;
+        Some(history_tail(&state.entries[index], from_seq))
+    }
+
+    /// Blocks until the job's history grows past `from_seq` (or the
+    /// timeout elapses, returning whatever is there — possibly empty).
+    /// `None` for an unknown id.
+    #[must_use]
+    pub fn wait_history(
+        &self,
+        job: u64,
+        from_seq: u64,
+        timeout: Duration,
+    ) -> Option<Vec<(u64, JobState)>> {
         let deadline = Instant::now() + timeout;
         let mut state = self.inner.state.lock().expect("engine lock");
+        let index = job_index(&state, job)?;
         loop {
-            let now = state.job_state(job)?;
-            if now != last {
-                return Some(now);
+            let tail = history_tail(&state.entries[index], from_seq);
+            if !tail.is_empty() {
+                return Some(tail);
             }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
-                return Some(now);
+                return Some(tail);
             }
             state = self
                 .inner
@@ -252,8 +412,20 @@ impl Engine {
         }
     }
 
+    /// Jobs waiting in the queue right now — the figure the server's
+    /// load-shedding watermark compares against.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        let state = self.inner.state.lock().expect("engine lock");
+        state
+            .entries
+            .iter()
+            .filter(|e| matches!(e.phase, Phase::Queued { .. }))
+            .count()
+    }
+
     /// Cancels a still-queued job. Returns `false` if the job is unknown,
-    /// already claimed, or already settled.
+    /// already claimed (including a reassigned one), or already settled.
     #[must_use]
     pub fn cancel(&self, job: u64) -> bool {
         let mut state = self.inner.state.lock().expect("engine lock");
@@ -261,13 +433,16 @@ impl Engine {
             return false;
         };
         // A resume-skip is already settled work — its artifacts exist —
-        // so only a genuinely queued entry can be cancelled.
+        // so only a genuinely queued entry can be cancelled. An index below
+        // `next_claim` has been claimed at least once (a requeued job is
+        // considered claimed: a worker may still be finishing it).
         if index < state.next_claim
             || !matches!(state.entries[index].phase, Phase::Queued { skip: false })
         {
             return false;
         }
         state.entries[index].phase = Phase::Cancelled;
+        state.entries[index].history.push(JobState::Cancelled);
         state.cancelled += 1;
         drop(state);
         // The committer may be parked waiting for exactly this index.
@@ -298,8 +473,8 @@ impl Engine {
             .map_err(|e| format!("result file unreadable: {e}"))
     }
 
-    /// A snapshot of the engine's counters (`connections` is left 0 for
-    /// the server layer to fill in).
+    /// A snapshot of the engine's counters (`connections` and `shed` are
+    /// left 0 for the server layer to fill in).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
         let state = self.inner.state.lock().expect("engine lock");
@@ -334,7 +509,16 @@ impl Engine {
                 0.0
             },
             uptime_ms: uptime.as_millis() as u64,
+            reassigned: state.reassigned,
+            shed: 0,
         }
+    }
+
+    /// Results discarded because the worker's lease had already expired
+    /// and the job was reassigned (test observability).
+    #[must_use]
+    pub fn stale_results(&self) -> u32 {
+        self.inner.state.lock().expect("engine lock").stale_results
     }
 
     /// Stops claiming new jobs; in-flight jobs keep running. Queued jobs
@@ -386,6 +570,17 @@ impl State {
     }
 }
 
+fn history_tail(entry: &Entry, from_seq: u64) -> Vec<(u64, JobState)> {
+    let start = usize::try_from(from_seq).unwrap_or(usize::MAX);
+    entry
+        .history
+        .iter()
+        .enumerate()
+        .skip(start)
+        .map(|(i, &s)| (i as u64, s))
+        .collect()
+}
+
 fn job_index(state: &State, job: u64) -> Option<usize> {
     let index = usize::try_from(job.checked_sub(1)?).ok()?;
     (index < state.entries.len()).then_some(index)
@@ -398,11 +593,42 @@ fn resolve_core(preset: &str) -> Result<CoreConfig, SubmitError> {
     }
 }
 
+/// Unwind guard for worker threads: a panic that escapes the per-attempt
+/// isolation (a poisoned payload, a bug in engine code) must cost one
+/// worker, not the campaign. The dying thread's claimed job keeps a silent
+/// beacon, so the reaper requeues it; this guard keeps `live_workers`
+/// honest so drain/shutdown still terminate. Normal worker exit already
+/// decrements the counter, so the loop `forget`s the guard on return.
+struct WorkerDeathWatch {
+    inner: Arc<Inner>,
+}
+
+impl Drop for WorkerDeathWatch {
+    fn drop(&mut self) {
+        // Reachable only by unwinding out of `worker_loop`. The lock may be
+        // poisoned by the same panic; the state itself is still consistent
+        // (every critical section leaves it so), so recover the guard.
+        let mut state = match self.inner.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.live_workers -= 1;
+        drop(state);
+        self.inner.work.notify_all();
+        self.inner.changed.notify_all();
+    }
+}
+
 fn worker_loop<R: Runner>(inner: &Inner, worker: usize, runner: &R) {
     loop {
-        let (index, job, wait) = {
+        let (index, job, wait, epoch, beacon) = {
             let mut state = inner.state.lock().expect("engine lock");
-            loop {
+            let index = loop {
+                // Reassigned jobs first: they already waited in the FIFO
+                // queue once, and their watchers are stalled.
+                if let Some(index) = state.requeued.pop_front() {
+                    break index;
+                }
                 // Skip entries that will never need a worker: cancelled,
                 // resume-skips (the committer acknowledges those — by the
                 // time we look, it may already have marked them `Done`).
@@ -416,30 +642,105 @@ fn worker_loop<R: Runner>(inner: &Inner, worker: usize, runner: &R) {
                     inner.changed.notify_all();
                 }
                 if state.next_claim < state.entries.len() && !state.draining {
-                    break;
+                    let index = state.next_claim;
+                    state.next_claim += 1;
+                    break index;
                 }
                 if state.draining || state.shutdown {
+                    state.live_workers -= 1;
+                    drop(state);
+                    inner.changed.notify_all();
                     return;
                 }
                 state = inner.work.wait(state).expect("engine lock");
-            }
-            let index = state.next_claim;
-            state.next_claim += 1;
+            };
             let wait = state.entries[index].enqueued.elapsed();
-            state.entries[index].phase = Phase::Running { worker };
-            let job = state.entries[index].job.clone();
+            let beacon = Heartbeat::live();
+            let entry = &mut state.entries[index];
+            entry.phase = Phase::Running { worker };
+            entry.assignments += 1;
+            entry.lease = Some(LeaseState {
+                deadline: Instant::now() + inner.lease,
+                beacon: beacon.clone(),
+                beats_seen: 0,
+            });
+            entry.history.push(JobState::Running {
+                worker: worker as u32,
+            });
+            let epoch = entry.epoch;
+            let job = entry.job.clone();
             inner.changed.notify_all();
-            (index, job, wait)
+            (index, job, wait, epoch, beacon)
         };
-        let outcome = run_job(index, &job, runner, wait, worker);
+        let outcome = run_job_beating(index, &job, runner, wait, worker, &beacon);
         let mut state = inner.state.lock().expect("engine lock");
-        state.busy += outcome.metrics.wall;
-        state.wait_sum += outcome.metrics.queue_wait;
-        state.settled += 1;
-        state.entries[index].outcome = Some(outcome);
-        state.entries[index].phase = Phase::Settled;
+        let entry = &mut state.entries[index];
+        if entry.epoch == epoch && matches!(entry.phase, Phase::Running { .. }) {
+            entry.outcome = Some(outcome);
+            entry.phase = Phase::Settled;
+            entry.lease = None;
+        } else {
+            // The reaper declared this assignment dead and requeued (or a
+            // fresh assignment already settled) the job: the result is
+            // stale and must not be committed — exactly one assignment's
+            // result ever reaches the ledger.
+            state.stale_results += 1;
+        }
         drop(state);
         inner.changed.notify_all();
+    }
+}
+
+/// The lease reaper: periodically scans running jobs; beating workers get
+/// their lease extended, silent ones past the deadline are declared dead
+/// and their job is requeued under a bumped epoch.
+fn reaper_loop(inner: &Inner) {
+    let interval = (inner.lease / 4).clamp(Duration::from_millis(5), Duration::from_secs(1));
+    let mut state = inner.state.lock().expect("engine lock");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        let mut requeued_any = false;
+        for index in 0..state.entries.len() {
+            let entry = &mut state.entries[index];
+            if !matches!(entry.phase, Phase::Running { .. }) {
+                continue;
+            }
+            let Some(lease) = entry.lease.as_mut() else {
+                continue;
+            };
+            let beats = lease.beacon.beats();
+            if beats > lease.beats_seen {
+                // The worker is alive: extend the lease.
+                lease.beats_seen = beats;
+                lease.deadline = now + inner.lease;
+                continue;
+            }
+            if now < lease.deadline {
+                continue;
+            }
+            // Lease expired with no heartbeat: declare the assignment dead
+            // and hand the job to a fresh worker. The epoch bump invalidates
+            // whatever the old worker eventually returns.
+            entry.epoch += 1;
+            entry.phase = Phase::Queued { skip: false };
+            entry.lease = None;
+            entry.history.push(JobState::Queued { ahead: 0 });
+            state.requeued.push_back(index);
+            state.reassigned += 1;
+            requeued_any = true;
+        }
+        if requeued_any {
+            inner.work.notify_all();
+            inner.changed.notify_all();
+        }
+        state = inner
+            .changed
+            .wait_timeout(state, interval)
+            .expect("engine lock")
+            .0;
     }
 }
 
@@ -469,10 +770,11 @@ fn committer_loop(inner: &Inner, mut ledger: Ledger) {
                     }
                 }
                 // Exit once nothing ahead can ever settle: shutdown was
-                // requested, no worker holds a claim that is still
-                // uncommitted, and nothing queued will be claimed
-                // (draining implies workers have stopped).
-                if state.shutdown && state.next_commit >= state.next_claim {
+                // requested and every worker has exited, so any entry still
+                // unsettled (queued, requeued, abandoned mid-drain) will
+                // stay that way — a restarted daemon re-runs it from the
+                // journal.
+                if state.shutdown && state.live_workers == 0 {
                     break (CommitStep::Exit, i);
                 }
                 state = inner.changed.wait(state).expect("engine lock");
@@ -490,6 +792,10 @@ fn committer_loop(inner: &Inner, mut ledger: Ledger) {
                     ok: true,
                     attempts: 0,
                 };
+                state.entries[index].history.push(JobState::Done {
+                    ok: true,
+                    attempts: 0,
+                });
                 state.done += 1;
                 state.next_commit += 1;
                 drop(state);
@@ -501,10 +807,19 @@ fn committer_loop(inner: &Inner, mut ledger: Ledger) {
                 drop(state);
                 inner.changed.notify_all();
             }
-            CommitStep::Outcome(outcome) => {
+            CommitStep::Outcome(mut outcome) => {
                 let (name, profilers, job_bench, attempts) = {
-                    let state = inner.state.lock().expect("engine lock");
+                    let mut state = inner.state.lock().expect("engine lock");
+                    let wall = outcome.metrics.wall;
+                    let queue_wait = outcome.metrics.queue_wait;
+                    state.busy += wall;
+                    state.wait_sum += queue_wait;
+                    state.settled += 1;
                     let e = &state.entries[index];
+                    // Lease-aware accounting: how many workers this job
+                    // burned, not just how many attempts the committed
+                    // assignment made.
+                    outcome.metrics.assignments = e.assignments;
                     (
                         e.job.bench.name,
                         e.profilers.clone(),
@@ -513,6 +828,7 @@ fn committer_loop(inner: &Inner, mut ledger: Ledger) {
                     )
                 };
                 let ok = outcome.result.is_ok();
+                let metrics = outcome.metrics;
                 match outcome.result {
                     Ok(run) => {
                         let completed = CompletedBench {
@@ -522,7 +838,7 @@ fn committer_loop(inner: &Inner, mut ledger: Ledger) {
                             },
                             attempts,
                         };
-                        ledger.commit_completed(&completed, outcome.metrics, &profilers);
+                        ledger.commit_completed(&completed, metrics, &profilers);
                     }
                     Err(error) => {
                         let failed = FailedBench {
@@ -530,11 +846,14 @@ fn committer_loop(inner: &Inner, mut ledger: Ledger) {
                             attempts,
                             error,
                         };
-                        ledger.commit_failed(&failed, outcome.metrics);
+                        ledger.commit_failed(&failed, metrics);
                     }
                 }
                 let mut state = inner.state.lock().expect("engine lock");
                 state.entries[index].phase = Phase::Done { ok, attempts };
+                state.entries[index]
+                    .history
+                    .push(JobState::Done { ok, attempts });
                 state.done_names.insert(name.to_owned());
                 if ok {
                     state.done += 1;

@@ -21,8 +21,20 @@
 //!   including across a daemon kill-and-resume.
 //! * [`server`]/[`client`] — `std::net` TCP + `std::thread` only: bounded
 //!   acceptor, thread-per-connection, per-connection timeouts, typed
-//!   `Busy` backpressure; the client retries connects with exponential
-//!   backoff.
+//!   `Busy`/`Overloaded` backpressure; the client retries with capped,
+//!   seeded-jitter backoff, resubmits idempotently, and resumes watch
+//!   streams across connection drops.
+//! * [`chaosnet`] — a seeded fault-injecting TCP proxy speaking
+//!   `tip-trace`'s [`tip_trace::fault::FaultPlan`] vocabulary at the wire:
+//!   drop/delay/corrupt/split chunks, mid-stream disconnect, half-close.
+//!   The harness that proves the other three layers' fault story.
+//!
+//! The fault-tolerance contract across all of it: any *single* fault —
+//! a corrupted frame, a dropped connection, a hung or panicking worker, a
+//! SIGKILLed daemon, a shed submit — leaves the campaign artifacts
+//! byte-identical to an uninterrupted local run, and never runs a settled
+//! job twice (leases + epochs on the server, request-id dedup for
+//! resubmission, journal-driven resume across restarts).
 //!
 //! Everything is offline-friendly: no async runtime, no external
 //! dependencies, just the standard library over the existing crates.
@@ -30,12 +42,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaosnet;
 pub mod client;
 pub mod engine;
 pub mod proto;
 pub mod server;
 
+pub use chaosnet::{chaos_proxy, ChaosConfig, ChaosHandle, ChaosStats};
 pub use client::{Client, ClientError};
-pub use engine::{Engine, EngineConfig, SubmitError};
+pub use engine::{Engine, EngineConfig, SubmitError, DEFAULT_LEASE};
 pub use proto::{ErrorCode, JobSpec, JobState, Request, Response, ServerStats};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_with_runner, ServerConfig, ServerHandle};

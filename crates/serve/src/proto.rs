@@ -27,6 +27,17 @@
 //! which — unlike a CRC failure — leaves the stream aligned on the next
 //! frame boundary, so a server can answer with a typed error *without*
 //! desyncing the connection.
+//!
+//! # Versioning
+//!
+//! Version 2 (fault-tolerance) extends version 1 by *appending* fields to
+//! existing payloads — `Submit` gains a request id for idempotent
+//! resubmission, `Watch` gains `from_seq` for stream resumption, and
+//! `Progress` gains a sequence number, and `Stats` gains reassignment and
+//! load-shed counters — plus the new
+//! [`Response::Overloaded`] frame kind. A v2 decoder accepts v1 frames by
+//! defaulting the absent tail fields to zero ([`read_frame`] accepts any
+//! version in [`MIN_VERSION`]`..=`[`VERSION`]); encoders always emit v2.
 
 use std::io::{self, Read, Write};
 
@@ -39,8 +50,11 @@ use tip_workloads::SuiteScale;
 
 /// Stream magic: a framed TIPW protocol exchange.
 pub const MAGIC: [u8; 4] = *b"TIPW";
-/// Protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// Protocol version this build emits.
+pub const VERSION: u16 = 2;
+/// Oldest protocol version this build still decodes (v2 only appends
+/// fields, so v1 frames decode with the tail fields defaulted).
+pub const MIN_VERSION: u16 = 1;
 /// Frame header length: magic + version + kind + payload length + CRC.
 pub const FRAME_HEADER_LEN: usize = 16;
 /// Request-size cap: the largest payload a peer may declare. Far above any
@@ -144,6 +158,11 @@ pub struct ServerStats {
     pub worker_utilization: f64,
     /// Daemon uptime, milliseconds.
     pub uptime_ms: u64,
+    /// Jobs reassigned after a worker's lease expired without a heartbeat.
+    pub reassigned: u32,
+    /// Submits refused because the queue was past its overload watermark
+    /// (filled in by the server layer).
+    pub shed: u32,
 }
 
 impl ServerStats {
@@ -153,7 +172,8 @@ impl ServerStats {
     pub fn render(&self) -> String {
         format!(
             "queued={}\nrunning={}\ndone={}\nfailed={}\ncancelled={}\nworkers={}\n\
-             connections={}\nmean_queue_wait_ms={:.1}\nworker_utilization={:.3}\nuptime_ms={}\n",
+             connections={}\nmean_queue_wait_ms={:.1}\nworker_utilization={:.3}\nuptime_ms={}\n\
+             reassigned={}\nshed={}\n",
             self.queued,
             self.running,
             self.done,
@@ -164,6 +184,8 @@ impl ServerStats {
             self.mean_queue_wait_ms,
             self.worker_utilization,
             self.uptime_ms,
+            self.reassigned,
+            self.shed,
         )
     }
 }
@@ -185,6 +207,8 @@ pub enum ErrorCode {
     Draining,
     /// The server hit an internal error serving the request.
     Internal,
+    /// The connection exceeded the server's per-connection frame-rate cap.
+    RateLimited,
 }
 
 impl ErrorCode {
@@ -197,6 +221,7 @@ impl ErrorCode {
             ErrorCode::NotReady => 4,
             ErrorCode::Draining => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::RateLimited => 7,
         }
     }
 
@@ -209,6 +234,7 @@ impl ErrorCode {
             4 => ErrorCode::NotReady,
             5 => ErrorCode::Draining,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::RateLimited,
             _ => return Err(TraceError::Malformed("unknown error code")),
         })
     }
@@ -218,7 +244,15 @@ impl ErrorCode {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Enqueue a job; answered with `Submitted` carrying the job id.
-    Submit(JobSpec),
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+        /// Client-chosen idempotency key; `0` means "no dedup". A repeated
+        /// `Submit` with the same nonzero `req_id` returns the original
+        /// job id instead of enqueueing again, so a client that timed out
+        /// waiting for `Submitted` can resubmit without double-running.
+        req_id: u64,
+    },
     /// One-shot state query for a job.
     Status {
         /// The job id from `Submitted`.
@@ -228,6 +262,10 @@ pub enum Request {
     Watch {
         /// The job id from `Submitted`.
         job: u64,
+        /// First progress sequence number wanted: `0` streams the job's
+        /// whole history; a reconnecting client passes its last seen
+        /// `seq + 1` to resume without gaps or duplicates.
+        from_seq: u64,
     },
     /// Fetch the finished job's result-file bytes.
     Result {
@@ -270,6 +308,10 @@ pub enum Response {
         job: u64,
         /// Its state at this point in the stream.
         state: JobState,
+        /// Position of this frame in the job's progress history (0-based,
+        /// dense). A reconnecting watcher resumes with
+        /// `Watch{from_seq: seq + 1}`.
+        seq: u64,
     },
     /// Answer to `Result`: the bytes of the job's `<bench>.result` file.
     ResultBody {
@@ -301,6 +343,16 @@ pub enum Response {
         /// The server's connection limit.
         limit: u32,
     },
+    /// The server is shedding load: the queue is past its watermark, so
+    /// new `Submit`s are refused while Status/Result/Watch still serve.
+    /// Typed (with a suggested pause) so clients back off and resubmit
+    /// idempotently instead of treating overload as failure.
+    Overloaded {
+        /// Suggested client-side pause before resubmitting, milliseconds.
+        retry_after_ms: u32,
+        /// Jobs currently queued (the depth that tripped the watermark).
+        queued: u32,
+    },
     /// The request was understood but refused.
     Error {
         /// Machine-readable reason.
@@ -328,6 +380,7 @@ const KIND_R_STATS: u16 = 0x86;
 const KIND_R_SHUTDOWN: u16 = 0x87;
 const KIND_R_BUSY: u16 = 0x88;
 const KIND_R_ERROR: u16 = 0x89;
+const KIND_R_OVERLOADED: u16 = 0x8A;
 
 fn put_string(out: &mut Vec<u8>, s: &str) {
     snap::put_len(out, s.len());
@@ -488,16 +541,18 @@ impl Request {
     pub fn encode(&self) -> (u16, Vec<u8>) {
         let mut out = Vec::new();
         let kind = match self {
-            Request::Submit(spec) => {
+            Request::Submit { spec, req_id } => {
                 encode_spec(&mut out, spec);
+                snap::put_u64(&mut out, *req_id);
                 KIND_SUBMIT
             }
             Request::Status { job } => {
                 snap::put_u64(&mut out, *job);
                 KIND_STATUS
             }
-            Request::Watch { job } => {
+            Request::Watch { job, from_seq } => {
                 snap::put_u64(&mut out, *job);
+                snap::put_u64(&mut out, *from_seq);
                 KIND_WATCH
             }
             Request::Result { job } => {
@@ -530,12 +585,16 @@ impl Request {
     pub fn decode(kind: u16, payload: &[u8]) -> Result<Self, TraceError> {
         let mut r = SnapReader::new(payload);
         let req = match kind {
-            KIND_SUBMIT => Request::Submit(decode_spec(&mut r).map_err(snap_err)?),
+            KIND_SUBMIT => Request::Submit {
+                spec: decode_spec(&mut r).map_err(snap_err)?,
+                req_id: tail_u64(&mut r).map_err(snap_err)?,
+            },
             KIND_STATUS => Request::Status {
                 job: r.u64().map_err(snap_err)?,
             },
             KIND_WATCH => Request::Watch {
                 job: r.u64().map_err(snap_err)?,
+                from_seq: tail_u64(&mut r).map_err(snap_err)?,
             },
             KIND_RESULT => Request::Result {
                 job: r.u64().map_err(snap_err)?,
@@ -572,9 +631,10 @@ impl Response {
                 put_job_state(&mut out, *state);
                 KIND_R_STATUS
             }
-            Response::Progress { job, state } => {
+            Response::Progress { job, state, seq } => {
                 snap::put_u64(&mut out, *job);
                 put_job_state(&mut out, *state);
+                snap::put_u64(&mut out, *seq);
                 KIND_R_PROGRESS
             }
             Response::ResultBody { job, body } => {
@@ -598,6 +658,8 @@ impl Response {
                 snap::put_f64(&mut out, s.mean_queue_wait_ms);
                 snap::put_f64(&mut out, s.worker_utilization);
                 snap::put_u64(&mut out, s.uptime_ms);
+                snap::put_u32(&mut out, s.reassigned);
+                snap::put_u32(&mut out, s.shed);
                 KIND_R_STATS
             }
             Response::ShuttingDown { drain } => {
@@ -608,6 +670,14 @@ impl Response {
                 snap::put_u32(&mut out, *active);
                 snap::put_u32(&mut out, *limit);
                 KIND_R_BUSY
+            }
+            Response::Overloaded {
+                retry_after_ms,
+                queued,
+            } => {
+                snap::put_u32(&mut out, *retry_after_ms);
+                snap::put_u32(&mut out, *queued);
+                KIND_R_OVERLOADED
             }
             Response::Error { code, message } => {
                 snap::put_u8(&mut out, code.code());
@@ -638,6 +708,7 @@ impl Response {
             KIND_R_PROGRESS => Response::Progress {
                 job: r.u64().map_err(snap_err)?,
                 state: get_job_state(&mut r).map_err(snap_err)?,
+                seq: tail_u64(&mut r).map_err(snap_err)?,
             },
             KIND_R_RESULT => Response::ResultBody {
                 job: r.u64().map_err(snap_err)?,
@@ -658,6 +729,8 @@ impl Response {
                 mean_queue_wait_ms: r.f64().map_err(snap_err)?,
                 worker_utilization: r.f64().map_err(snap_err)?,
                 uptime_ms: r.u64().map_err(snap_err)?,
+                reassigned: tail_u32(&mut r).map_err(snap_err)?,
+                shed: tail_u32(&mut r).map_err(snap_err)?,
             }),
             KIND_R_SHUTDOWN => Response::ShuttingDown {
                 drain: r.bool().map_err(snap_err)?,
@@ -665,6 +738,10 @@ impl Response {
             KIND_R_BUSY => Response::Busy {
                 active: r.u32().map_err(snap_err)?,
                 limit: r.u32().map_err(snap_err)?,
+            },
+            KIND_R_OVERLOADED => Response::Overloaded {
+                retry_after_ms: r.u32().map_err(snap_err)?,
+                queued: r.u32().map_err(snap_err)?,
             },
             KIND_R_ERROR => Response::Error {
                 code: ErrorCode::from_code(r.u8().map_err(snap_err)?)?,
@@ -674,6 +751,26 @@ impl Response {
         };
         finish(&r)?;
         Ok(resp)
+    }
+}
+
+/// Reads a version-2 tail field: absent (a v1 peer's frame ends here)
+/// decodes as 0, present decodes normally. This is the whole back-compat
+/// story — v2 only ever appends fields.
+fn tail_u64(r: &mut SnapReader<'_>) -> Result<u64, SnapError> {
+    if r.is_empty() {
+        Ok(0)
+    } else {
+        r.u64()
+    }
+}
+
+/// [`tail_u64`] for u32 tail fields (the `Stats` payload's v2 counters).
+fn tail_u32(r: &mut SnapReader<'_>) -> Result<u32, SnapError> {
+    if r.is_empty() {
+        Ok(0)
+    } else {
+        r.u32()
     }
 }
 
@@ -751,7 +848,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u16, Vec<u8>)>, TraceErro
         return Err(TraceError::BadMagic(m));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(TraceError::UnsupportedVersion(version));
     }
     let kind = u16::from_le_bytes([header[6], header[7]]);

@@ -18,12 +18,12 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::engine::{Engine, EngineConfig, SubmitError};
+use crate::engine::{Engine, EngineConfig, SubmitError, DEFAULT_LEASE};
 use crate::proto::{
     read_request, write_response, ErrorCode, JobState, Request, Response, ServerStats,
 };
@@ -43,11 +43,28 @@ pub struct ServerConfig {
     /// Maximum concurrently served connections; excess connections get a
     /// typed [`Response::Busy`] and are closed.
     pub max_conns: usize,
-    /// Per-connection read/write timeout. Idle connections survive (the
+    /// Per-connection read timeout. Idle connections survive (the
     /// handler re-arms after a timeout); a wedged peer cannot hold a
     /// handler thread hostage past this, and shutdown latency is bounded
     /// by it.
     pub io_timeout: Duration,
+    /// Per-connection write deadline: a client that stops reading (a
+    /// slow-loris consumer of a `Watch` stream) is disconnected once a
+    /// single frame write blocks this long, freeing the handler thread.
+    pub write_timeout: Duration,
+    /// Job lease for the engine's reaper (see [`EngineConfig::lease`]).
+    pub lease: Duration,
+    /// Load-shedding watermark: while the engine's queue depth is at or
+    /// past this, `Submit` is refused with a typed
+    /// [`Response::Overloaded`] (Status/Result/Watch still serve).
+    pub shed_watermark: usize,
+    /// The pause `Overloaded` suggests to shedded clients, milliseconds.
+    pub retry_after_ms: u32,
+    /// Per-connection request-rate cap: requests beyond this many in one
+    /// second get a typed [`ErrorCode::RateLimited`] refusal and the
+    /// handler sleeps out the window, so one hot client cannot starve the
+    /// rest of the pool.
+    pub max_frames_per_sec: u32,
 }
 
 impl ServerConfig {
@@ -62,6 +79,11 @@ impl ServerConfig {
             resume: false,
             max_conns: 32,
             io_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            lease: DEFAULT_LEASE,
+            shed_watermark: 256,
+            retry_after_ms: 500,
+            max_frames_per_sec: 200,
         }
     }
 }
@@ -72,6 +94,12 @@ struct Shared {
     active_conns: AtomicUsize,
     max_conns: usize,
     io_timeout: Duration,
+    write_timeout: Duration,
+    shed_watermark: usize,
+    retry_after_ms: u32,
+    max_frames_per_sec: u32,
+    /// Submits refused at the overload watermark (for the stats endpoint).
+    shed: AtomicU32,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -89,19 +117,41 @@ pub struct ServerHandle {
 ///
 /// Propagates bind failures.
 pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
+    serve_with_runner(config, tip_bench::executor::SpecRunner)
+}
+
+/// [`serve`] with a caller-chosen runner — the chaos tests inject slow or
+/// faulty runners behind a real socket exactly as the engine tests do.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_with_runner<R>(config: &ServerConfig, runner: R) -> io::Result<ServerHandle>
+where
+    R: tip_bench::executor::Runner + Send + Clone + 'static,
+{
     let listener = TcpListener::bind(&config.listen)?;
     let addr = listener.local_addr()?;
-    let engine = Engine::start(&EngineConfig {
-        out_dir: config.out_dir.clone(),
-        workers: config.workers,
-        resume: config.resume,
-    });
+    let engine = Engine::start_with_runner(
+        &EngineConfig {
+            out_dir: config.out_dir.clone(),
+            workers: config.workers,
+            resume: config.resume,
+            lease: config.lease,
+        },
+        runner,
+    );
     let shared = Arc::new(Shared {
         engine,
         shutdown: AtomicBool::new(false),
         active_conns: AtomicUsize::new(0),
         max_conns: config.max_conns.max(1),
         io_timeout: config.io_timeout,
+        write_timeout: config.write_timeout,
+        shed_watermark: config.shed_watermark.max(1),
+        retry_after_ms: config.retry_after_ms,
+        max_frames_per_sec: config.max_frames_per_sec.max(1),
+        shed: AtomicU32::new(0),
     });
     let handlers = Arc::new(Mutex::new(Vec::new()));
     let acceptor = {
@@ -189,7 +239,7 @@ fn acceptor_loop(
         let active = shared.active_conns.load(Ordering::SeqCst);
         if active >= shared.max_conns {
             let mut stream = stream;
-            let _ = stream.set_write_timeout(Some(shared.io_timeout));
+            let _ = stream.set_write_timeout(Some(shared.write_timeout));
             let _ = write_response(
                 &mut stream,
                 &Response::Busy {
@@ -211,12 +261,42 @@ fn acceptor_loop(
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(shared.io_timeout));
-    let _ = stream.set_write_timeout(Some(shared.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
     let _ = stream.set_nodelay(true);
+    let window = Duration::from_secs(1);
+    let mut window_start = Instant::now();
+    let mut frames_in_window: u32 = 0;
     loop {
         match read_request(&mut stream) {
             Ok(None) => break,
             Ok(Some(req)) => {
+                // Per-connection frame-rate cap: a request beyond the
+                // budget gets a typed refusal (the stream stays aligned)
+                // and the handler sleeps out the window, so one hot client
+                // cannot monopolise the pool.
+                let elapsed = window_start.elapsed();
+                if elapsed >= window {
+                    window_start = Instant::now();
+                    frames_in_window = 0;
+                }
+                frames_in_window += 1;
+                if frames_in_window > shared.max_frames_per_sec {
+                    let refused = write_response(
+                        &mut stream,
+                        &Response::Error {
+                            code: ErrorCode::RateLimited,
+                            message: format!(
+                                "over {} requests/s on this connection; retry shortly",
+                                shared.max_frames_per_sec
+                            ),
+                        },
+                    );
+                    if refused.is_err() {
+                        break;
+                    }
+                    thread::sleep(window.saturating_sub(elapsed));
+                    continue;
+                }
                 let stop = dispatch(&mut stream, shared, req);
                 if stop {
                     break;
@@ -256,8 +336,20 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
     let engine = &shared.engine;
     match req {
-        Request::Submit(spec) => {
-            let resp = match engine.submit(&spec) {
+        Request::Submit { spec, req_id } => {
+            // Load shedding: past the watermark, refuse new work with a
+            // typed pause hint while Status/Result/Watch keep serving —
+            // degradation, not collapse. (An idempotent resubmit of an
+            // already-queued job still dedups below the watermark later.)
+            if engine.queue_depth() >= shared.shed_watermark {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Overloaded {
+                    retry_after_ms: shared.retry_after_ms,
+                    queued: engine.queue_depth() as u32,
+                };
+                return write_response(stream, &resp).is_err();
+            }
+            let resp = match engine.submit_deduped(&spec, req_id) {
                 Ok(job) => Response::Submitted { job },
                 Err(SubmitError::UnknownBench(b)) => Response::Error {
                     code: ErrorCode::UnknownBench,
@@ -281,7 +373,7 @@ fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
             };
             write_response(stream, &resp).is_err()
         }
-        Request::Watch { job } => watch(stream, shared, job),
+        Request::Watch { job, from_seq } => watch(stream, shared, job, from_seq),
         Request::Result { job } => {
             let resp = match engine.result(job) {
                 Ok(body) => Response::ResultBody { job, body },
@@ -303,6 +395,7 @@ fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
         Request::Stats => {
             let mut stats: ServerStats = engine.stats();
             stats.connections = shared.active_conns.load(Ordering::SeqCst) as u32;
+            stats.shed = shared.shed.load(Ordering::Relaxed);
             write_response(stream, &Response::Stats(stats)).is_err()
         }
         Request::Shutdown { drain } => {
@@ -316,35 +409,36 @@ fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
     }
 }
 
-/// Streams `Progress` frames until the job settles, the peer vanishes, or
+/// Streams `Progress` frames — replaying the job's history from
+/// `from_seq`, then live — until the job settles, the peer vanishes, or
 /// the server shuts down (a drained-away queued job would otherwise never
-/// terminate the stream).
-fn watch(stream: &mut TcpStream, shared: &Shared, job: u64) -> bool {
+/// terminate the stream). Every frame carries its history sequence number,
+/// so a client whose connection dropped reconnects with
+/// `Watch{from_seq: last_seen + 1}` and resumes without gaps or
+/// duplicates.
+fn watch(stream: &mut TcpStream, shared: &Shared, job: u64, from_seq: u64) -> bool {
     let engine = &shared.engine;
-    let Some(mut state) = engine.status(job) else {
-        return write_response(stream, &unknown_job(job)).is_err();
-    };
-    if write_response(stream, &Response::Progress { job, state }).is_err() {
-        return true;
-    }
+    let mut next_seq = from_seq;
     loop {
-        if state.is_terminal() {
+        let Some(batch) = engine.wait_history(job, next_seq, Duration::from_millis(200)) else {
+            return write_response(stream, &unknown_job(job)).is_err();
+        };
+        let mut last = None;
+        for (seq, state) in batch {
+            if write_response(stream, &Response::Progress { job, state, seq }).is_err() {
+                return true;
+            }
+            next_seq = seq + 1;
+            last = Some(state);
+        }
+        if last.is_some_and(|s| s.is_terminal()) {
             return false;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             // The stream ends without a terminal state; the client sees a
-            // clean EOF and knows to retry after the daemon restarts.
+            // clean EOF and knows to reconnect (possibly to a restarted
+            // daemon) and resume from its last seen sequence number.
             return true;
-        }
-        match engine.wait_change(job, state, Duration::from_millis(200)) {
-            Some(next) if next != state => {
-                state = next;
-                if write_response(stream, &Response::Progress { job, state }).is_err() {
-                    return true;
-                }
-            }
-            Some(_) => {}
-            None => return true,
         }
     }
 }

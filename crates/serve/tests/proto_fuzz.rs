@@ -2,15 +2,16 @@
 //! a frame round-trip, and the decoder never panics — or over-allocates —
 //! on arbitrary bytes.
 
-use std::io::Cursor;
+use std::io::{Cursor, Read};
 
 use proptest::prelude::*;
 use tip_core::{ProfilerId, SamplerConfig};
 use tip_serve::proto::{
     read_frame, read_request, read_response, write_frame, write_request, write_response, ErrorCode,
     JobSpec, JobState, Request, Response, ServerStats, FRAME_HEADER_LEN, MAGIC, MAX_PAYLOAD,
-    VERSION,
+    MIN_VERSION, VERSION,
 };
+use tip_trace::framing::crc32_pair;
 use tip_trace::TraceError;
 use tip_workloads::SuiteScale;
 
@@ -28,10 +29,23 @@ fn spec() -> JobSpec {
 
 fn every_request() -> Vec<Request> {
     vec![
-        Request::Submit(spec()),
-        Request::Submit(JobSpec::new("exchange2", SuiteScale::Small)),
+        Request::Submit {
+            spec: spec(),
+            req_id: 0xFEED_FACE,
+        },
+        Request::Submit {
+            spec: JobSpec::new("exchange2", SuiteScale::Small),
+            req_id: 0,
+        },
         Request::Status { job: 1 },
-        Request::Watch { job: u64::MAX },
+        Request::Watch {
+            job: u64::MAX,
+            from_seq: 0,
+        },
+        Request::Watch {
+            job: 17,
+            from_seq: u64::MAX,
+        },
         Request::Result { job: 42 },
         Request::Cancel { job: 3 },
         Request::Stats,
@@ -72,11 +86,17 @@ fn every_response() -> Vec<Response> {
             mean_queue_wait_ms: 12.5,
             worker_utilization: 0.75,
             uptime_ms: 123_456,
+            reassigned: 8,
+            shed: 9,
         }),
         Response::ShuttingDown { drain: true },
         Response::Busy {
             active: 32,
             limit: 32,
+        },
+        Response::Overloaded {
+            retry_after_ms: 500,
+            queued: 300,
         },
     ];
     for code in [
@@ -87,15 +107,20 @@ fn every_response() -> Vec<Response> {
         ErrorCode::NotReady,
         ErrorCode::Draining,
         ErrorCode::Internal,
+        ErrorCode::RateLimited,
     ] {
         all.push(Response::Error {
             code,
             message: format!("{code:?} happened"),
         });
     }
-    for state in states {
+    for (i, state) in states.into_iter().enumerate() {
         all.push(Response::Status { job: 9, state });
-        all.push(Response::Progress { job: 9, state });
+        all.push(Response::Progress {
+            job: 9,
+            state,
+            seq: i as u64,
+        });
     }
     all
 }
@@ -228,6 +253,130 @@ proptest! {
         write_request(&mut wire, &Request::Stats).expect("encode");
         prop_assert!(read_request(&mut Cursor::new(&wire)).is_err());
     }
+}
+
+/// A reader that serves bytes in adversarially sized pieces — the wire
+/// as seen through a slow, fragmenting network (or chaosnet's
+/// `SplitChunks`). Sizes cycle through `sizes`.
+struct Chunked<'a> {
+    data: &'a [u8],
+    pos: usize,
+    sizes: Vec<usize>,
+    turn: usize,
+}
+
+impl Read for Chunked<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let want = self.sizes[self.turn % self.sizes.len()].max(1);
+        self.turn += 1;
+        let n = want.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    /// Feeding the decoder adversarially split/merged byte chunks never
+    /// panics, and it classifies damage identically to whole-frame
+    /// decoding: same frames out, same error kind on the same stream.
+    #[test]
+    fn chunked_reads_classify_like_whole_buffer_reads(
+        sizes in proptest::collection::vec(1usize..64, 1usize..16),
+        flip in (proptest::bool::ANY, 0usize..4096, 1u32..256),
+    ) {
+        let mut wire = Vec::new();
+        for req in every_request() {
+            write_request(&mut wire, &req).expect("encode");
+        }
+        let (do_flip, offset, xor) = flip;
+        if do_flip {
+            let off = offset % wire.len();
+            wire[off] ^= xor as u8;
+        }
+        let mut whole = Cursor::new(wire.as_slice());
+        let mut chunked = Chunked { data: &wire, pos: 0, sizes, turn: 0 };
+        loop {
+            let a = read_request(&mut whole);
+            let b = read_request(&mut chunked);
+            match (&a, &b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(x), Err(y)) => prop_assert_eq!(
+                    std::mem::discriminant(x),
+                    std::mem::discriminant(y)
+                ),
+                _ => prop_assert!(false, "classification diverged: {a:?} vs {b:?}"),
+            }
+            if matches!(a, Ok(None) | Err(_)) {
+                break;
+            }
+        }
+    }
+}
+
+/// A version-1 peer's frames still read: the frame layer accepts any
+/// version in `MIN_VERSION..=VERSION`, and v2 payload decoders default
+/// the appended tail fields when the payload ends early.
+#[test]
+fn v1_frames_and_payloads_decode_with_defaulted_tails() {
+    // Frame layer: patch a v2 frame down to version 1 (CRC recomputed).
+    let mut wire = Vec::new();
+    write_request(&mut wire, &Request::Stats).expect("encode");
+    wire[4..6].copy_from_slice(&MIN_VERSION.to_le_bytes());
+    let crc = crc32_pair(&wire[..12], &wire[FRAME_HEADER_LEN..]);
+    wire[12..16].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        read_request(&mut Cursor::new(&wire)),
+        Ok(Some(Request::Stats))
+    ));
+
+    // Below MIN_VERSION is still rejected.
+    let mut wire_v0 = wire.clone();
+    wire_v0[4..6].copy_from_slice(&0u16.to_le_bytes());
+    let crc = crc32_pair(&wire_v0[..12], &wire_v0[FRAME_HEADER_LEN..]);
+    wire_v0[12..16].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        read_request(&mut Cursor::new(&wire_v0)),
+        Err(TraceError::UnsupportedVersion(0))
+    ));
+
+    // Payload layer: a v1 `Watch` payload is just the job id — exactly a
+    // `Status` payload — and must decode with from_seq defaulted to 0.
+    let (watch_kind, _) = Request::Watch {
+        job: 42,
+        from_seq: 7,
+    }
+    .encode();
+    let (_, v1_payload) = Request::Status { job: 42 }.encode();
+    assert_eq!(
+        Request::decode(watch_kind, &v1_payload).expect("v1 watch decodes"),
+        Request::Watch {
+            job: 42,
+            from_seq: 0
+        }
+    );
+
+    // Same trick for `Progress` (a v1 payload has no seq): its prefix is
+    // exactly a `Status` response payload.
+    let state = JobState::Running { worker: 3 };
+    let (progress_kind, _) = Response::Progress {
+        job: 5,
+        state,
+        seq: 9,
+    }
+    .encode();
+    let (_, v1_payload) = Response::Status { job: 5, state }.encode();
+    assert_eq!(
+        Response::decode(progress_kind, &v1_payload).expect("v1 progress decodes"),
+        Response::Progress {
+            job: 5,
+            state,
+            seq: 0
+        }
+    );
 }
 
 #[test]

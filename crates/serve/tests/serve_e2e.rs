@@ -312,6 +312,7 @@ fn cancel_reaches_queued_jobs_only() {
             out_dir: dir.clone(),
             workers: 1,
             resume: false,
+            lease: Duration::from_secs(300),
         },
         slow,
     );

@@ -65,6 +65,65 @@ pub enum Fault {
     /// older (or newer) build. Applied by [`FaultPlan::apply_snapshot`];
     /// [`FaultPlan::apply_bytes`] ignores it.
     StaleSnapshotHeader,
+    /// Wire-level: silently drop roughly one in `one_in` forwarded chunks.
+    /// Interpreted by `tip-serve`'s chaosnet proxy; ignored here.
+    DropChunks {
+        /// Mean dropping period (`0` and `1` drop every chunk).
+        one_in: u32,
+    },
+    /// Wire-level: delay roughly one in `one_in` forwarded chunks by `ms`
+    /// milliseconds. Interpreted by the chaosnet proxy; ignored here.
+    DelayChunks {
+        /// Mean delay period (`0` and `1` delay every chunk).
+        one_in: u32,
+        /// Delay per hit, milliseconds.
+        ms: u32,
+    },
+    /// Wire-level: corrupt one byte in roughly one in `one_in` forwarded
+    /// chunks (a wire bit-flip the CRC framing must catch). Interpreted by
+    /// the chaosnet proxy; ignored here.
+    CorruptChunks {
+        /// Mean corruption period (`0` and `1` hit every chunk).
+        one_in: u32,
+    },
+    /// Wire-level: forward in pieces of at most `max` bytes (slow-loris
+    /// style partial writes splitting frames across reads). Interpreted by
+    /// the chaosnet proxy; ignored here.
+    SplitChunks {
+        /// Largest forwarded piece (`0` behaves as `1`).
+        max: u32,
+    },
+    /// Wire-level: hard-drop the connection after roughly `after_bytes`
+    /// forwarded bytes — a mid-stream disconnect, truncating whatever frame
+    /// is in flight. Interpreted by the chaosnet proxy; ignored here.
+    Disconnect {
+        /// Bytes forwarded before the cut.
+        after_bytes: u64,
+    },
+    /// Wire-level: half-close the faulted direction after roughly
+    /// `after_bytes` forwarded bytes, leaving the opposite direction open.
+    /// Interpreted by the chaosnet proxy; ignored here.
+    HalfClose {
+        /// Bytes forwarded before the half-close.
+        after_bytes: u64,
+    },
+}
+
+impl Fault {
+    /// Whether this fault acts on a live wire (chaosnet proxy) rather than
+    /// on buffered bytes, records, or snapshots.
+    #[must_use]
+    pub fn is_wire(&self) -> bool {
+        matches!(
+            self,
+            Fault::DropChunks { .. }
+                | Fault::DelayChunks { .. }
+                | Fault::CorruptChunks { .. }
+                | Fault::SplitChunks { .. }
+                | Fault::Disconnect { .. }
+                | Fault::HalfClose { .. }
+        )
+    }
 }
 
 /// A reproducible set of faults.
@@ -132,7 +191,13 @@ impl FaultPlan {
                 Fault::DropCycles { .. }
                 | Fault::FlipCommitFlags { .. }
                 | Fault::ForcePanic
-                | Fault::StaleSnapshotHeader => {}
+                | Fault::StaleSnapshotHeader
+                | Fault::DropChunks { .. }
+                | Fault::DelayChunks { .. }
+                | Fault::CorruptChunks { .. }
+                | Fault::SplitChunks { .. }
+                | Fault::Disconnect { .. }
+                | Fault::HalfClose { .. } => {}
             }
         }
     }
@@ -357,6 +422,30 @@ mod tests {
             sink.on_cycle(&r);
         }
         assert!(sink.flipped() > 0);
+    }
+
+    #[test]
+    fn wire_faults_are_wire_level_only() {
+        let plan = FaultPlan::new(
+            9,
+            vec![
+                Fault::DropChunks { one_in: 2 },
+                Fault::DelayChunks { one_in: 2, ms: 5 },
+                Fault::CorruptChunks { one_in: 2 },
+                Fault::SplitChunks { max: 3 },
+                Fault::Disconnect { after_bytes: 10 },
+                Fault::HalfClose { after_bytes: 10 },
+            ],
+        );
+        assert!(plan.faults.iter().all(Fault::is_wire));
+        assert!(!Fault::ForcePanic.is_wire());
+        assert!(!Fault::FlipBits { bits: 1 }.is_wire());
+        let mut data = vec![1u8; 32];
+        plan.apply_bytes(&mut data);
+        assert_eq!(data, vec![1u8; 32], "byte layer ignores wire faults");
+        let mut snap = vec![1u8; 32];
+        plan.apply_snapshot(&mut snap);
+        assert_eq!(snap, vec![1u8; 32], "snapshot layer ignores wire faults");
     }
 
     #[test]
