@@ -220,6 +220,10 @@ pub struct JobMetrics {
     /// always comes from exactly one assignment, so the deterministic
     /// artifacts never see it.
     pub assignments: u32,
+    /// Fleet daemon that ran the job (0 = this process ran it locally).
+    /// Like `worker`, host-side attribution that lands only in
+    /// `metrics.txt`.
+    pub daemon: u32,
     /// Simulated cycles of the successful attempt (0 if the job failed).
     pub cycles: u64,
     /// Committed instructions of the successful attempt (0 if failed).
@@ -400,6 +404,7 @@ pub fn run_job_beating<R: Runner>(
                 queue_wait,
                 worker,
                 assignments: 1,
+                daemon: 0,
                 cycles: run.summary.cycles,
                 instructions: run.summary.instructions,
                 ipc: run.ipc(),
@@ -416,6 +421,7 @@ pub fn run_job_beating<R: Runner>(
                 queue_wait,
                 worker,
                 assignments: 1,
+                daemon: 0,
                 cycles: 0,
                 instructions: 0,
                 ipc: 0.0,

@@ -57,6 +57,42 @@ pub fn one_line(s: &str) -> String {
         .join(" | ")
 }
 
+/// Renders a completed benchmark's result-file body — exactly the bytes
+/// [`Ledger::commit_completed`] persists. Public so a fleet daemon can
+/// render the artifact next to the simulation and ship the finished text to
+/// the coordinator, whose ledger writes stay byte-identical to a local run.
+#[must_use]
+pub fn render_completed(c: &CompletedBench, profilers: &[ProfilerId]) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "status=ok");
+    let _ = writeln!(body, "bench={}", c.run.bench.name);
+    let _ = writeln!(body, "attempts={}", c.attempts);
+    let _ = writeln!(body, "cycles={}", c.run.run.summary.cycles);
+    let _ = writeln!(body, "instructions={}", c.run.run.summary.instructions);
+    let _ = writeln!(body, "ipc={:.6}", c.run.run.ipc());
+    for &p in profilers {
+        let err = c
+            .run
+            .run
+            .bank
+            .error_of(&c.run.bench.program, p, Granularity::Instruction);
+        let _ = writeln!(body, "error.instr.{p:?}={err:.6}");
+    }
+    body
+}
+
+/// Renders a failed benchmark's result-file body — exactly the bytes
+/// [`Ledger::commit_failed`] persists. See [`render_completed`].
+#[must_use]
+pub fn render_failed(f: &FailedBench) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "status=failed");
+    let _ = writeln!(body, "bench={}", f.name);
+    let _ = writeln!(body, "attempts={}", f.attempts);
+    let _ = writeln!(body, "error={}", one_line(&f.error.to_string()));
+    body
+}
+
 /// One settled benchmark's host-timing entry in `metrics.txt`.
 #[derive(Debug, Clone)]
 struct BenchRow {
@@ -186,6 +222,42 @@ impl Ledger {
         self.persist_failure_report();
     }
 
+    /// Commits a benchmark settled on a *remote* daemon: the result-file
+    /// body arrives pre-rendered (by [`render_completed`] /
+    /// [`render_failed`] on the daemon), so this writes it verbatim and the
+    /// artifacts stay byte-identical to a local run. `error_line` is the
+    /// one-line failure message for `failures.txt` (empty when `ok`).
+    pub fn commit_remote(
+        &mut self,
+        name: &str,
+        ok: bool,
+        attempts: u32,
+        body: &str,
+        error_line: &str,
+        metrics: JobMetrics,
+    ) {
+        if let Some(dir) = &self.out_dir {
+            report_io(atomic_write(&result_path(dir, name), body.as_bytes()));
+        }
+        if ok {
+            self.settled_ok += 1;
+        } else {
+            self.failures.push(FailureLine {
+                name: name.to_owned(),
+                attempts,
+                error: error_line.to_owned(),
+            });
+        }
+        self.rows.push(BenchRow {
+            name: name.to_owned(),
+            ok,
+            attempts,
+            metrics,
+        });
+        self.record_journal(name, ok);
+        self.persist_failure_report();
+    }
+
     /// Writes `metrics.txt` from everything committed so far: per-job
     /// wall/queue-wait/worker/cycles/IPC rows plus the fan-out's aggregate
     /// speedup and [`ScalingReport`] figures.
@@ -235,7 +307,7 @@ impl Ledger {
             let _ = writeln!(
                 body,
                 "bench={} status={} attempts={} wall_ms={:.1} cycles={} instructions={} \
-                 ipc={:.6} queue_wait_ms={:.1} worker={} assignments={}",
+                 ipc={:.6} queue_wait_ms={:.1} worker={} assignments={} daemon={}",
                 r.name,
                 if r.ok { "ok" } else { "failed" },
                 r.attempts,
@@ -246,6 +318,7 @@ impl Ledger {
                 r.metrics.queue_wait.as_secs_f64() * 1e3,
                 r.metrics.worker,
                 r.metrics.assignments,
+                r.metrics.daemon,
             );
         }
         report_io(atomic_write(&dir.join(METRICS_FILE), body.as_bytes()));
@@ -253,21 +326,7 @@ impl Ledger {
 
     fn persist_completed(&self, c: &CompletedBench, profilers: &[ProfilerId]) {
         let Some(dir) = &self.out_dir else { return };
-        let mut body = String::new();
-        let _ = writeln!(body, "status=ok");
-        let _ = writeln!(body, "bench={}", c.run.bench.name);
-        let _ = writeln!(body, "attempts={}", c.attempts);
-        let _ = writeln!(body, "cycles={}", c.run.run.summary.cycles);
-        let _ = writeln!(body, "instructions={}", c.run.run.summary.instructions);
-        let _ = writeln!(body, "ipc={:.6}", c.run.run.ipc());
-        for &p in profilers {
-            let err = c
-                .run
-                .run
-                .bank
-                .error_of(&c.run.bench.program, p, Granularity::Instruction);
-            let _ = writeln!(body, "error.instr.{p:?}={err:.6}");
-        }
+        let body = render_completed(c, profilers);
         report_io(atomic_write(
             &result_path(dir, c.run.bench.name),
             body.as_bytes(),
@@ -276,11 +335,7 @@ impl Ledger {
 
     fn persist_failed(&self, f: &FailedBench) {
         let Some(dir) = &self.out_dir else { return };
-        let mut body = String::new();
-        let _ = writeln!(body, "status=failed");
-        let _ = writeln!(body, "bench={}", f.name);
-        let _ = writeln!(body, "attempts={}", f.attempts);
-        let _ = writeln!(body, "error={}", one_line(&f.error.to_string()));
+        let body = render_failed(f);
         report_io(atomic_write(&result_path(dir, f.name), body.as_bytes()));
     }
 

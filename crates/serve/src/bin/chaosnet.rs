@@ -6,13 +6,14 @@
 //!          [--drop-one-in N] [--delay-one-in N --delay-ms MS]
 //!          [--corrupt-one-in N] [--split-max BYTES]
 //!          [--disconnect-after BYTES] [--half-close-after BYTES]
-//!          [--direction up|down|both]
+//!          [--direction up|down|both] [--run-for-ms N]
 //! ```
 //!
 //! Forwards TIPW traffic while injecting reproducible wire faults; point
 //! `tipctl --addr` at the proxy instead of the daemon. Runs until killed
-//! (Ctrl-C); fault and forwarding counters are printed every 10 s to
-//! stderr.
+//! (Ctrl-C) — or, with `--run-for-ms`, shuts down after the given window
+//! and prints an end-of-run summary of per-direction fault counters.
+//! While running, aggregate counters are printed every 10 s to stderr.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,7 +25,7 @@ fn usage() -> String {
     "usage: chaosnet --listen HOST:PORT --upstream HOST:PORT [--seed N] \
      [--drop-one-in N] [--delay-one-in N --delay-ms MS] [--corrupt-one-in N] \
      [--split-max BYTES] [--disconnect-after BYTES] [--half-close-after BYTES] \
-     [--direction up|down|both]"
+     [--direction up|down|both] [--run-for-ms N]"
         .to_owned()
 }
 
@@ -37,7 +38,7 @@ fn num<T: std::str::FromStr>(
         .map_err(|_| format!("{flag}: bad value `{v}`"))
 }
 
-fn parse(args: impl Iterator<Item = String>) -> Result<ChaosConfig, String> {
+fn parse(args: impl Iterator<Item = String>) -> Result<(ChaosConfig, Option<Duration>), String> {
     let mut listen: Option<String> = None;
     let mut upstream: Option<String> = None;
     let mut seed = 42u64;
@@ -45,12 +46,16 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ChaosConfig, String> {
     let mut delay_one_in: Option<u32> = None;
     let mut delay_ms = 50u32;
     let mut direction = "both".to_owned();
+    let mut run_for: Option<Duration> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => listen = Some(args.next().ok_or("--listen needs HOST:PORT")?),
             "--upstream" => upstream = Some(args.next().ok_or("--upstream needs HOST:PORT")?),
             "--seed" => seed = num(&mut args, "--seed")?,
+            "--run-for-ms" => {
+                run_for = Some(Duration::from_millis(num(&mut args, "--run-for-ms")?));
+            }
             "--drop-one-in" => faults.push(Fault::DropChunks {
                 one_in: num(&mut args, "--drop-one-in")?,
             }),
@@ -90,11 +95,11 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ChaosConfig, String> {
     config.listen = listen.ok_or_else(|| format!("--listen is required\n{}", usage()))?;
     config.fault_upstream = direction != "down";
     config.fault_downstream = direction != "up";
-    Ok(config)
+    Ok((config, run_for))
 }
 
 fn main() -> ExitCode {
-    let config = match parse(std::env::args().skip(1)) {
+    let (config, run_for) = match parse(std::env::args().skip(1)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("chaosnet: {e}");
@@ -115,18 +120,34 @@ fn main() -> ExitCode {
         config.plan.seed,
         config.plan.faults.len()
     );
+    let started = std::time::Instant::now();
     loop {
-        std::thread::sleep(Duration::from_secs(10));
+        let tick = run_for.map_or(Duration::from_secs(10), |left| {
+            left.saturating_sub(started.elapsed())
+                .min(Duration::from_secs(10))
+        });
+        std::thread::sleep(tick);
+        if run_for.is_some_and(|d| started.elapsed() >= d) {
+            break;
+        }
         let s = handle.stats();
+        let t = s.total();
         eprintln!(
             "chaosnet: conns={} fwd={}B dropped={} delayed={} corrupted={} cut={} half-closed={}",
             s.connections,
-            s.forwarded_bytes,
-            s.dropped_chunks,
-            s.delayed_chunks,
-            s.corrupted_chunks,
-            s.disconnects,
-            s.half_closes
+            t.forwarded_bytes,
+            t.dropped_chunks,
+            t.delayed_chunks,
+            t.corrupted_chunks,
+            t.disconnects,
+            t.half_closes
         );
     }
+    let stats = handle.stats();
+    handle.shutdown();
+    eprintln!("chaosnet: shut down after {:?}", started.elapsed());
+    for line in stats.summary().lines() {
+        eprintln!("chaosnet: {line}");
+    }
+    ExitCode::SUCCESS
 }

@@ -72,10 +72,11 @@ impl ChaosConfig {
     }
 }
 
-/// Counters of everything the proxy did to the traffic.
+/// One direction's fault counters — what the proxy did to the bytes
+/// flowing client→server (`upstream`) or server→client (`downstream`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ChaosStats {
-    /// Bytes forwarded (both directions, after faults).
+pub struct DirStats {
+    /// Bytes forwarded (after faults).
     pub forwarded_bytes: u64,
     /// Chunks silently dropped.
     pub dropped_chunks: u64,
@@ -87,8 +88,64 @@ pub struct ChaosStats {
     pub disconnects: u64,
     /// Directions half-closed.
     pub half_closes: u64,
+}
+
+impl DirStats {
+    fn add(self, other: DirStats) -> DirStats {
+        DirStats {
+            forwarded_bytes: self.forwarded_bytes + other.forwarded_bytes,
+            dropped_chunks: self.dropped_chunks + other.dropped_chunks,
+            delayed_chunks: self.delayed_chunks + other.delayed_chunks,
+            corrupted_chunks: self.corrupted_chunks + other.corrupted_chunks,
+            disconnects: self.disconnects + other.disconnects,
+            half_closes: self.half_closes + other.half_closes,
+        }
+    }
+
+    fn render(&self, label: &str) -> String {
+        format!(
+            "{label}: forwarded={}B dropped={} delayed={} corrupted={} \
+             disconnects={} half_closes={}",
+            self.forwarded_bytes,
+            self.dropped_chunks,
+            self.delayed_chunks,
+            self.corrupted_chunks,
+            self.disconnects,
+            self.half_closes
+        )
+    }
+}
+
+/// Counters of everything the proxy did to the traffic, split by
+/// direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
     /// Connections accepted.
     pub connections: u64,
+    /// The client→server direction.
+    pub upstream: DirStats,
+    /// The server→client direction.
+    pub downstream: DirStats,
+}
+
+impl ChaosStats {
+    /// Both directions summed — for "did any fault fire" checks.
+    #[must_use]
+    pub fn total(&self) -> DirStats {
+        self.upstream.add(self.downstream)
+    }
+
+    /// A multi-line end-of-run summary: connection count, then one line
+    /// of fault counters per direction.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "connections={}\n{}\n{}",
+            self.connections,
+            self.upstream.render("client->server"),
+            self.downstream.render("server->client"),
+        )
+    }
 }
 
 #[derive(Debug, Default)]
@@ -99,16 +156,34 @@ struct Counters {
     corrupted_chunks: AtomicU64,
     disconnects: AtomicU64,
     half_closes: AtomicU64,
-    connections: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> DirStats {
+        DirStats {
+            forwarded_bytes: self.forwarded_bytes.load(Ordering::Relaxed),
+            dropped_chunks: self.dropped_chunks.load(Ordering::Relaxed),
+            delayed_chunks: self.delayed_chunks.load(Ordering::Relaxed),
+            corrupted_chunks: self.corrupted_chunks.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            half_closes: self.half_closes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct Shared {
-    upstream: String,
+    /// Behind a mutex so a restarted upstream (a coordinator coming back
+    /// on a fresh port after `kill -9`) can be retargeted without
+    /// restarting the proxy — live connections keep their old pipes, new
+    /// connections dial the new address.
+    upstream: Mutex<String>,
     plan: FaultPlan,
     fault_upstream: bool,
     fault_downstream: bool,
     stop: AtomicBool,
-    counters: Counters,
+    connections: AtomicU64,
+    /// Indexed by direction: `[client→server, server→client]`.
+    counters: [Counters; 2],
 }
 
 /// A running chaos proxy; stop it with [`ChaosHandle::shutdown`].
@@ -128,12 +203,13 @@ pub fn chaos_proxy(config: &ChaosConfig) -> io::Result<ChaosHandle> {
     let listener = TcpListener::bind(&config.listen)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        upstream: config.upstream.clone(),
+        upstream: Mutex::new(config.upstream.clone()),
         plan: config.plan.clone(),
         fault_upstream: config.fault_upstream,
         fault_downstream: config.fault_downstream,
         stop: AtomicBool::new(false),
-        counters: Counters::default(),
+        connections: AtomicU64::new(0),
+        counters: [Counters::default(), Counters::default()],
     });
     let pumps = Arc::new(Mutex::new(Vec::new()));
     let acceptor = {
@@ -159,16 +235,19 @@ impl ChaosHandle {
     /// A snapshot of what the proxy has done so far.
     #[must_use]
     pub fn stats(&self) -> ChaosStats {
-        let c = &self.shared.counters;
         ChaosStats {
-            forwarded_bytes: c.forwarded_bytes.load(Ordering::Relaxed),
-            dropped_chunks: c.dropped_chunks.load(Ordering::Relaxed),
-            delayed_chunks: c.delayed_chunks.load(Ordering::Relaxed),
-            corrupted_chunks: c.corrupted_chunks.load(Ordering::Relaxed),
-            disconnects: c.disconnects.load(Ordering::Relaxed),
-            half_closes: c.half_closes.load(Ordering::Relaxed),
-            connections: c.connections.load(Ordering::Relaxed),
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            upstream: self.shared.counters[0].snapshot(),
+            downstream: self.shared.counters[1].snapshot(),
         }
+    }
+
+    /// Retargets the proxy at a new upstream address. Existing pumped
+    /// connections keep flowing to the old upstream (or die with it); new
+    /// connections dial `addr`. This is how a fleet test survives a
+    /// coordinator restarting on a fresh port.
+    pub fn set_upstream(&self, addr: &str) {
+        *self.shared.upstream.lock().expect("upstream addr") = addr.to_owned();
     }
 
     /// Stops accepting, cuts every live pump, and joins all threads.
@@ -196,12 +275,13 @@ fn acceptor_loop(
             break;
         }
         let Ok(client) = stream else { continue };
-        let Ok(server) = TcpStream::connect(&shared.upstream) else {
+        let upstream = shared.upstream.lock().expect("upstream addr").clone();
+        let Ok(server) = TcpStream::connect(&upstream) else {
             // Upstream down: drop the client, which sees a clean close and
             // retries — exactly the behaviour a dead daemon produces.
             continue;
         };
-        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        shared.connections.fetch_add(1, Ordering::Relaxed);
         let conn = conn_index as u64;
         let up = spawn_pump(shared, &client, &server, conn, 0, shared.fault_upstream);
         let down = spawn_pump(shared, &server, &client, conn, 1, shared.fault_downstream);
@@ -341,7 +421,7 @@ fn pump(
     let _ = src.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = dst.set_nodelay(true);
     let mut injector = faulted.then(|| Injector::new(&shared.plan, conn, direction));
-    let counters = &shared.counters;
+    let counters = &shared.counters[(direction & 1) as usize];
     let mut buf = [0u8; 4096];
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -376,22 +456,25 @@ fn pump(
         match verdict {
             Verdict::Drop => {}
             Verdict::Forward => {
-                if write_split(&mut dst, chunk, split_max).is_err() {
-                    let _ = src.shutdown(Shutdown::Read);
-                    return;
-                }
+                // Count before the write: once the kernel has the bytes
+                // the peer may observe them (and a stats reader may look)
+                // before this thread runs again.
                 counters
                     .forwarded_bytes
                     .fetch_add(n as u64, Ordering::Relaxed);
                 if let Some(inj) = injector.as_mut() {
                     inj.forwarded += n as u64;
                 }
+                if write_split(&mut dst, chunk, split_max).is_err() {
+                    let _ = src.shutdown(Shutdown::Read);
+                    return;
+                }
             }
             Verdict::CutAfter(keep) => {
-                let _ = write_split(&mut dst, &chunk[..keep.min(n)], split_max);
                 counters
                     .forwarded_bytes
                     .fetch_add(keep.min(n) as u64, Ordering::Relaxed);
+                let _ = write_split(&mut dst, &chunk[..keep.min(n)], split_max);
                 // Mid-stream truncation: both directions die at once, like
                 // a yanked cable — whatever frame was in flight is cut.
                 let _ = src.shutdown(Shutdown::Both);
@@ -399,10 +482,10 @@ fn pump(
                 return;
             }
             Verdict::HalfCloseAfter(keep) => {
-                let _ = write_split(&mut dst, &chunk[..keep.min(n)], split_max);
                 counters
                     .forwarded_bytes
                     .fetch_add(keep.min(n) as u64, Ordering::Relaxed);
+                let _ = write_split(&mut dst, &chunk[..keep.min(n)], split_max);
                 // One direction dies; the opposite pump keeps running.
                 let _ = dst.shutdown(Shutdown::Write);
                 let _ = src.shutdown(Shutdown::Read);
@@ -449,9 +532,12 @@ mod tests {
         drop(conn);
         let stats = proxy.stats();
         proxy.shutdown();
-        assert!(stats.forwarded_bytes >= 46, "{stats:?}");
-        assert_eq!(stats.corrupted_chunks, 0);
+        assert!(stats.total().forwarded_bytes >= 46, "{stats:?}");
+        assert_eq!(stats.total().corrupted_chunks, 0);
         assert_eq!(stats.connections, 1);
+        // Both directions carried the echo round-trip.
+        assert!(stats.upstream.forwarded_bytes >= 23, "{stats:?}");
+        assert!(stats.downstream.forwarded_bytes >= 23, "{stats:?}");
     }
 
     #[test]
@@ -472,7 +558,9 @@ mod tests {
         drop(conn);
         let stats = proxy.stats();
         proxy.shutdown();
-        assert!(stats.corrupted_chunks >= 1, "{stats:?}");
+        // Only the faulted (client→server) direction corrupted anything.
+        assert!(stats.upstream.corrupted_chunks >= 1, "{stats:?}");
+        assert_eq!(stats.downstream.corrupted_chunks, 0, "{stats:?}");
     }
 
     #[test]
@@ -493,7 +581,39 @@ mod tests {
         assert!(back.len() <= 8, "only the pre-cut prefix arrives: {back:?}");
         let stats = proxy.stats();
         proxy.shutdown();
-        assert_eq!(stats.disconnects, 1, "{stats:?}");
+        assert_eq!(stats.upstream.disconnects, 1, "{stats:?}");
+        assert_eq!(stats.total().disconnects, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn summary_renders_both_directions() {
+        let stats = ChaosStats {
+            connections: 3,
+            upstream: DirStats {
+                forwarded_bytes: 100,
+                dropped_chunks: 1,
+                delayed_chunks: 2,
+                corrupted_chunks: 3,
+                disconnects: 4,
+                half_closes: 5,
+            },
+            downstream: DirStats {
+                forwarded_bytes: 200,
+                ..DirStats::default()
+            },
+        };
+        let summary = stats.summary();
+        assert_eq!(summary.lines().count(), 3, "{summary}");
+        assert!(summary.starts_with("connections=3\n"), "{summary}");
+        assert!(
+            summary.contains("client->server: forwarded=100B dropped=1 delayed=2 corrupted=3"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("server->client: forwarded=200B dropped=0"),
+            "{summary}"
+        );
+        assert_eq!(stats.total().forwarded_bytes, 300);
     }
 
     #[test]

@@ -35,8 +35,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::{Duration, SystemTime};
 
+use crate::fleet::PollReply;
 use crate::proto::{
-    read_response, write_request, ErrorCode, JobSpec, JobState, Request, Response, ServerStats,
+    read_response, write_request, ErrorCode, JobSpec, JobState, RemoteOutcome, Request, Response,
+    ServerStats,
 };
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -268,11 +270,7 @@ impl Client {
         let mut last = None;
         for attempt in 0..self.request_retries {
             if attempt > 0 {
-                let mut delay = self.backoff_delay(attempt);
-                if let Some(ClientError::Overloaded { retry_after_ms, .. }) = &last {
-                    delay = delay.max(Duration::from_millis(u64::from(*retry_after_ms)));
-                }
-                thread::sleep(delay);
+                thread::sleep(self.retry_delay(attempt, last.as_ref()));
             }
             match self.call_once(req) {
                 Ok(resp) => return Ok(resp),
@@ -281,6 +279,18 @@ impl Client {
             }
         }
         Err(last.unwrap_or(ClientError::UnexpectedReply("no attempt ran".to_owned())))
+    }
+
+    /// The sleep before retry `attempt`, honouring the server's
+    /// `Overloaded` pause hint but never exceeding the backoff cap — a
+    /// hostile or confused `retry_after_ms` must not stall the client past
+    /// its own configured ceiling.
+    fn retry_delay(&self, attempt: u32, last: Option<&ClientError>) -> Duration {
+        let mut delay = self.backoff_delay(attempt);
+        if let Some(ClientError::Overloaded { retry_after_ms, .. }) = last {
+            delay = delay.max(Duration::from_millis(u64::from(*retry_after_ms)));
+        }
+        delay.min(self.backoff_cap)
     }
 
     fn read_reply(&self, stream: &mut TcpStream) -> Result<Response, ClientError> {
@@ -444,6 +454,80 @@ impl Client {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Registers a fleet daemon with a coordinator; returns
+    /// `(daemon_id, lease_ms)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; notably `BadRequest` from a server that is not a
+    /// coordinator.
+    pub fn register(&self, name: &str, workers: u32) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Register {
+            name: name.to_owned(),
+            workers,
+        })? {
+            Response::Registered { daemon, lease_ms } => Ok((daemon, lease_ms)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Heartbeats a registered fleet daemon; returns how many assignments
+    /// the coordinator has leased to it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; notably [`ErrorCode::UnknownDaemon`] after a
+    /// coordinator restart, which means "re-register".
+    pub fn beacon(&self, daemon: u64) -> Result<u32, ClientError> {
+        match self.call(&Request::Beacon { daemon })? {
+            Response::BeaconAck { tasks } => Ok(tasks),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the coordinator for one assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; notably [`ErrorCode::UnknownDaemon`] after a
+    /// coordinator restart.
+    pub fn poll_job(&self, daemon: u64) -> Result<PollReply, ClientError> {
+        match self.call(&Request::PollJob { daemon })? {
+            Response::Assignment { task, epoch, spec } => {
+                Ok(PollReply::Assignment { task, epoch, spec })
+            }
+            Response::NoWork { draining } => Ok(PollReply::NoWork { draining }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Pushes one finished assignment back to the coordinator; `Ok(false)`
+    /// means the epoch was stale and the result was discarded. Safe to
+    /// retry: a duplicate push for an already-committed task is acked
+    /// without committing twice.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; notably [`ErrorCode::UnknownDaemon`] after a
+    /// coordinator restart.
+    pub fn push_result(
+        &self,
+        daemon: u64,
+        task: u64,
+        epoch: u64,
+        outcome: &RemoteOutcome,
+    ) -> Result<bool, ClientError> {
+        match self.call(&Request::PushResult {
+            daemon,
+            task,
+            epoch,
+            outcome: outcome.clone(),
+        })? {
+            Response::ResultAck { accepted } => Ok(accepted),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 /// A process-unique nonzero request id: wall-clock nanos mixed with a
@@ -492,6 +576,31 @@ mod tests {
             (1..8).any(|k| other.backoff_delay(k) != c.backoff_delay(k)),
             "seed must move the jitter"
         );
+    }
+
+    #[test]
+    fn overloaded_pause_hint_cannot_exceed_the_backoff_cap() {
+        let c = Client::new("127.0.0.1:1")
+            .with_retry(4, Duration::from_millis(10))
+            .with_backoff_cap(Duration::from_millis(200));
+        // A server (or a corrupted frame) claiming an hour-long pause is
+        // clamped to the client's own ceiling.
+        let overloaded = ClientError::Overloaded {
+            retry_after_ms: 3_600_000,
+            queued: 10,
+        };
+        for attempt in 1..4 {
+            let d = c.retry_delay(attempt, Some(&overloaded));
+            assert!(d <= Duration::from_millis(200), "attempt={attempt} d={d:?}");
+        }
+        // A modest hint below the cap is honoured as a floor.
+        let modest = ClientError::Overloaded {
+            retry_after_ms: 150,
+            queued: 1,
+        };
+        let d = c.retry_delay(1, Some(&modest));
+        assert!(d >= Duration::from_millis(150), "hint is a floor: {d:?}");
+        assert!(d <= Duration::from_millis(200), "cap still binds: {d:?}");
     }
 
     #[test]

@@ -511,6 +511,8 @@ impl Engine {
             uptime_ms: uptime.as_millis() as u64,
             reassigned: state.reassigned,
             shed: 0,
+            daemons: 0,
+            stale: state.stale_results,
         }
     }
 

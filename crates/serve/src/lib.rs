@@ -27,14 +27,22 @@
 //! * [`chaosnet`] — a seeded fault-injecting TCP proxy speaking
 //!   `tip-trace`'s [`tip_trace::fault::FaultPlan`] vocabulary at the wire:
 //!   drop/delay/corrupt/split chunks, mid-stream disconnect, half-close.
-//!   The harness that proves the other three layers' fault story.
+//!   The harness that proves the other three layers' fault story — on the
+//!   client↔daemon hop and the coordinator↔daemon hop alike.
+//! * [`fleet`] — the coordinator that shards a campaign across N
+//!   registered daemons over TIPW v3 frames (register/beacon/poll/push)
+//!   and merges streamed results through one in-order committer, plus the
+//!   agent half that `tipd --join` runs. The engine's lease/epoch/resume
+//!   semantics, lifted from worker threads to whole daemons.
 //!
 //! The fault-tolerance contract across all of it: any *single* fault —
 //! a corrupted frame, a dropped connection, a hung or panicking worker, a
-//! SIGKILLed daemon, a shed submit — leaves the campaign artifacts
-//! byte-identical to an uninterrupted local run, and never runs a settled
-//! job twice (leases + epochs on the server, request-id dedup for
-//! resubmission, journal-driven resume across restarts).
+//! SIGKILLed daemon or fleet member, a partitioned coordinator↔daemon
+//! link, a shed submit — leaves the campaign artifacts byte-identical to
+//! an uninterrupted local run, and never runs a settled job twice
+//! (per-worker *and* per-daemon leases with epoch fencing, request-id
+//! dedup for resubmission, journal-driven resume across restarts of
+//! daemon and coordinator alike).
 //!
 //! Everything is offline-friendly: no async runtime, no external
 //! dependencies, just the standard library over the existing crates.
@@ -45,11 +53,15 @@
 pub mod chaosnet;
 pub mod client;
 pub mod engine;
+pub mod fleet;
 pub mod proto;
 pub mod server;
 
-pub use chaosnet::{chaos_proxy, ChaosConfig, ChaosHandle, ChaosStats};
+pub use chaosnet::{chaos_proxy, ChaosConfig, ChaosHandle, ChaosStats, DirStats};
 pub use client::{Client, ClientError};
 pub use engine::{Engine, EngineConfig, SubmitError, DEFAULT_LEASE};
-pub use proto::{ErrorCode, JobSpec, JobState, Request, Response, ServerStats};
+pub use fleet::{
+    run_agent, AgentConfig, Coordinator, CoordinatorConfig, PollReply, DEFAULT_FLEET_LEASE,
+};
+pub use proto::{ErrorCode, JobSpec, JobState, RemoteOutcome, Request, Response, ServerStats};
 pub use server::{serve, serve_with_runner, ServerConfig, ServerHandle};

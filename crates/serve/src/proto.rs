@@ -35,9 +35,15 @@
 //! resubmission, `Watch` gains `from_seq` for stream resumption, and
 //! `Progress` gains a sequence number, and `Stats` gains reassignment and
 //! load-shed counters — plus the new
-//! [`Response::Overloaded`] frame kind. A v2 decoder accepts v1 frames by
-//! defaulting the absent tail fields to zero ([`read_frame`] accepts any
-//! version in [`MIN_VERSION`]`..=`[`VERSION`]); encoders always emit v2.
+//! [`Response::Overloaded`] frame kind.
+//!
+//! Version 3 (fleet coordination) follows the same discipline: the fleet
+//! frames ([`Request::Register`], [`Request::Beacon`],
+//! [`Request::PollJob`], [`Request::PushResult`] and their responses) are
+//! *new* kinds, and the only change to an existing payload is appending the
+//! `daemons`/`stale` counters to `Stats`. A v3 decoder accepts v1/v2 frames
+//! by defaulting the absent tail fields to zero ([`read_frame`] accepts any
+//! version in [`MIN_VERSION`]`..=`[`VERSION`]); encoders always emit v3.
 
 use std::io::{self, Read, Write};
 
@@ -51,9 +57,9 @@ use tip_workloads::SuiteScale;
 /// Stream magic: a framed TIPW protocol exchange.
 pub const MAGIC: [u8; 4] = *b"TIPW";
 /// Protocol version this build emits.
-pub const VERSION: u16 = 2;
-/// Oldest protocol version this build still decodes (v2 only appends
-/// fields, so v1 frames decode with the tail fields defaulted).
+pub const VERSION: u16 = 3;
+/// Oldest protocol version this build still decodes (v2/v3 only append
+/// fields, so older frames decode with the tail fields defaulted).
 pub const MIN_VERSION: u16 = 1;
 /// Frame header length: magic + version + kind + payload length + CRC.
 pub const FRAME_HEADER_LEN: usize = 16;
@@ -163,6 +169,13 @@ pub struct ServerStats {
     /// Submits refused because the queue was past its overload watermark
     /// (filled in by the server layer).
     pub shed: u32,
+    /// Daemons currently registered with the fleet coordinator (0 on a
+    /// plain daemon; a v3 tail field).
+    pub daemons: u32,
+    /// Results discarded because they arrived under a stale assignment
+    /// epoch — a resurrected daemon pushing work that was already
+    /// reassigned (a v3 tail field).
+    pub stale: u32,
 }
 
 impl ServerStats {
@@ -173,7 +186,7 @@ impl ServerStats {
         format!(
             "queued={}\nrunning={}\ndone={}\nfailed={}\ncancelled={}\nworkers={}\n\
              connections={}\nmean_queue_wait_ms={:.1}\nworker_utilization={:.3}\nuptime_ms={}\n\
-             reassigned={}\nshed={}\n",
+             reassigned={}\nshed={}\ndaemons={}\nstale={}\n",
             self.queued,
             self.running,
             self.done,
@@ -186,8 +199,36 @@ impl ServerStats {
             self.uptime_ms,
             self.reassigned,
             self.shed,
+            self.daemons,
+            self.stale,
         )
     }
+}
+
+/// What a fleet daemon sends back for one finished assignment: the
+/// already-rendered artifact text (so the coordinator's ledger writes are
+/// byte-identical to a local run without re-simulating) plus the host
+/// metrics the `metrics.txt` row needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteOutcome {
+    /// Whether the job completed (vs. failed every attempt).
+    pub ok: bool,
+    /// Attempts the daemon made before settling.
+    pub attempts: u32,
+    /// The rendered `<bench>.result` file body when `ok`; empty otherwise.
+    pub body: String,
+    /// The one-line failure message when `!ok`; empty otherwise.
+    pub error_line: String,
+    /// Host wall-clock the daemon spent on the job, milliseconds.
+    pub wall_ms: f64,
+    /// Daemon-side worker index that ran the job.
+    pub worker: u32,
+    /// Simulated cycles of the final attempt (0 on failure).
+    pub cycles: u64,
+    /// Committed instructions of the final attempt (0 on failure).
+    pub instructions: u64,
+    /// Instructions per cycle of the final attempt (0 on failure).
+    pub ipc: f64,
 }
 
 /// Why the server rejected a request.
@@ -209,6 +250,10 @@ pub enum ErrorCode {
     Internal,
     /// The connection exceeded the server's per-connection frame-rate cap.
     RateLimited,
+    /// The daemon id is not registered with this coordinator — the daemon
+    /// must re-register (the coordinator restarted, or the daemon was
+    /// declared dead and its registration dropped).
+    UnknownDaemon,
 }
 
 impl ErrorCode {
@@ -222,6 +267,7 @@ impl ErrorCode {
             ErrorCode::Draining => 5,
             ErrorCode::Internal => 6,
             ErrorCode::RateLimited => 7,
+            ErrorCode::UnknownDaemon => 8,
         }
     }
 
@@ -235,6 +281,7 @@ impl ErrorCode {
             5 => ErrorCode::Draining,
             6 => ErrorCode::Internal,
             7 => ErrorCode::RateLimited,
+            8 => ErrorCode::UnknownDaemon,
             _ => return Err(TraceError::Malformed("unknown error code")),
         })
     }
@@ -284,6 +331,44 @@ pub enum Request {
     Shutdown {
         /// Finish in-flight jobs before exiting.
         drain: bool,
+    },
+    /// A fleet daemon announces itself to the coordinator; answered with
+    /// `Registered` carrying its daemon id and lease duration.
+    Register {
+        /// Human-readable daemon name (host, port — for logs and metrics).
+        name: String,
+        /// Worker threads the daemon runs, so the coordinator can size its
+        /// fan-out.
+        workers: u32,
+    },
+    /// A fleet daemon's liveness heartbeat; extends the leases of every
+    /// assignment it holds. An unregistered daemon gets
+    /// `Error{UnknownDaemon}` and must re-register.
+    Beacon {
+        /// The daemon id from `Registered`.
+        daemon: u64,
+    },
+    /// A fleet daemon asks for work; answered with `Assignment` or
+    /// `NoWork`. Polling also counts as a heartbeat.
+    PollJob {
+        /// The daemon id from `Registered`.
+        daemon: u64,
+    },
+    /// A fleet daemon returns one finished assignment; answered with
+    /// `ResultAck`. Pushing also counts as a heartbeat. Idempotent: a
+    /// duplicate push for an already-settled task under the same epoch is
+    /// acked `accepted` without committing twice.
+    PushResult {
+        /// The daemon id from `Registered`.
+        daemon: u64,
+        /// The task id from `Assignment`.
+        task: u64,
+        /// The assignment epoch from `Assignment`; a stale epoch means the
+        /// task was reassigned while this daemon was silent, and the
+        /// result is discarded.
+        epoch: u64,
+        /// The rendered result and host metrics.
+        outcome: RemoteOutcome,
     },
 }
 
@@ -360,6 +445,46 @@ pub enum Response {
         /// Human-readable detail (one line).
         message: String,
     },
+    /// Answer to `Register`: the coordinator accepted the daemon.
+    Registered {
+        /// Coordinator-assigned daemon id (1-based, monotonic — a fresh id
+        /// on every registration, so a re-registered daemon never aliases
+        /// its dead predecessor's leases).
+        daemon: u64,
+        /// Assignment lease duration; a daemon silent longer than this has
+        /// its assignments reassigned. Daemons should beacon well inside
+        /// it (every `lease_ms / 4`).
+        lease_ms: u64,
+    },
+    /// Answer to `Beacon`: the heartbeat landed and the daemon is known.
+    BeaconAck {
+        /// Assignments the coordinator currently has leased to the daemon.
+        tasks: u32,
+    },
+    /// Answer to `PollJob`: one leased assignment.
+    Assignment {
+        /// Coordinator task id; echoed back in `PushResult`.
+        task: u64,
+        /// Lease epoch; echoed back in `PushResult` and used to discard
+        /// stale results after a reassignment.
+        epoch: u64,
+        /// The job to run. The daemon regenerates the program from the
+        /// bench name, exactly like a local run.
+        spec: JobSpec,
+    },
+    /// Answer to `PollJob` when nothing is assignable right now.
+    NoWork {
+        /// The coordinator is draining: no more work will ever come, and
+        /// the daemon's agent may exit once its in-flight pushes are acked.
+        draining: bool,
+    },
+    /// Answer to `PushResult`.
+    ResultAck {
+        /// Whether the result was committed (or had already been committed
+        /// under this epoch). `false` means the epoch was stale and the
+        /// result was discarded.
+        accepted: bool,
+    },
 }
 
 // Frame kinds. Requests are low, responses have the high bit set, so a
@@ -371,6 +496,10 @@ const KIND_RESULT: u16 = 4;
 const KIND_CANCEL: u16 = 5;
 const KIND_STATS: u16 = 6;
 const KIND_SHUTDOWN: u16 = 7;
+const KIND_REGISTER: u16 = 8;
+const KIND_BEACON: u16 = 9;
+const KIND_POLL_JOB: u16 = 10;
+const KIND_PUSH_RESULT: u16 = 11;
 const KIND_R_SUBMITTED: u16 = 0x81;
 const KIND_R_STATUS: u16 = 0x82;
 const KIND_R_PROGRESS: u16 = 0x83;
@@ -381,6 +510,11 @@ const KIND_R_SHUTDOWN: u16 = 0x87;
 const KIND_R_BUSY: u16 = 0x88;
 const KIND_R_ERROR: u16 = 0x89;
 const KIND_R_OVERLOADED: u16 = 0x8A;
+const KIND_R_REGISTERED: u16 = 0x8B;
+const KIND_R_BEACON_ACK: u16 = 0x8C;
+const KIND_R_ASSIGNMENT: u16 = 0x8D;
+const KIND_R_NO_WORK: u16 = 0x8E;
+const KIND_R_RESULT_ACK: u16 = 0x8F;
 
 fn put_string(out: &mut Vec<u8>, s: &str) {
     snap::put_len(out, s.len());
@@ -535,6 +669,32 @@ fn decode_spec(r: &mut SnapReader<'_>) -> Result<JobSpec, SnapError> {
     })
 }
 
+fn encode_outcome(out: &mut Vec<u8>, o: &RemoteOutcome) {
+    snap::put_bool(out, o.ok);
+    snap::put_u32(out, o.attempts);
+    put_string(out, &o.body);
+    put_string(out, &o.error_line);
+    snap::put_f64(out, o.wall_ms);
+    snap::put_u32(out, o.worker);
+    snap::put_u64(out, o.cycles);
+    snap::put_u64(out, o.instructions);
+    snap::put_f64(out, o.ipc);
+}
+
+fn decode_outcome(r: &mut SnapReader<'_>) -> Result<RemoteOutcome, SnapError> {
+    Ok(RemoteOutcome {
+        ok: r.bool()?,
+        attempts: r.u32()?,
+        body: get_string(r)?,
+        error_line: get_string(r)?,
+        wall_ms: r.f64()?,
+        worker: r.u32()?,
+        cycles: r.u64()?,
+        instructions: r.u64()?,
+        ipc: r.f64()?,
+    })
+}
+
 impl Request {
     /// Encodes the request as `(frame kind, payload)`.
     #[must_use]
@@ -570,6 +730,31 @@ impl Request {
             Request::Shutdown { drain } => {
                 snap::put_bool(&mut out, *drain);
                 KIND_SHUTDOWN
+            }
+            Request::Register { name, workers } => {
+                put_string(&mut out, name);
+                snap::put_u32(&mut out, *workers);
+                KIND_REGISTER
+            }
+            Request::Beacon { daemon } => {
+                snap::put_u64(&mut out, *daemon);
+                KIND_BEACON
+            }
+            Request::PollJob { daemon } => {
+                snap::put_u64(&mut out, *daemon);
+                KIND_POLL_JOB
+            }
+            Request::PushResult {
+                daemon,
+                task,
+                epoch,
+                outcome,
+            } => {
+                snap::put_u64(&mut out, *daemon);
+                snap::put_u64(&mut out, *task);
+                snap::put_u64(&mut out, *epoch);
+                encode_outcome(&mut out, outcome);
+                KIND_PUSH_RESULT
             }
         };
         (kind, out)
@@ -608,6 +793,22 @@ impl Request {
             }
             KIND_SHUTDOWN => Request::Shutdown {
                 drain: r.bool().map_err(snap_err)?,
+            },
+            KIND_REGISTER => Request::Register {
+                name: get_string(&mut r).map_err(snap_err)?,
+                workers: r.u32().map_err(snap_err)?,
+            },
+            KIND_BEACON => Request::Beacon {
+                daemon: r.u64().map_err(snap_err)?,
+            },
+            KIND_POLL_JOB => Request::PollJob {
+                daemon: r.u64().map_err(snap_err)?,
+            },
+            KIND_PUSH_RESULT => Request::PushResult {
+                daemon: r.u64().map_err(snap_err)?,
+                task: r.u64().map_err(snap_err)?,
+                epoch: r.u64().map_err(snap_err)?,
+                outcome: decode_outcome(&mut r).map_err(snap_err)?,
             },
             _ => return Err(TraceError::Malformed("unknown request kind")),
         };
@@ -660,6 +861,8 @@ impl Response {
                 snap::put_u64(&mut out, s.uptime_ms);
                 snap::put_u32(&mut out, s.reassigned);
                 snap::put_u32(&mut out, s.shed);
+                snap::put_u32(&mut out, s.daemons);
+                snap::put_u32(&mut out, s.stale);
                 KIND_R_STATS
             }
             Response::ShuttingDown { drain } => {
@@ -683,6 +886,29 @@ impl Response {
                 snap::put_u8(&mut out, code.code());
                 put_string(&mut out, message);
                 KIND_R_ERROR
+            }
+            Response::Registered { daemon, lease_ms } => {
+                snap::put_u64(&mut out, *daemon);
+                snap::put_u64(&mut out, *lease_ms);
+                KIND_R_REGISTERED
+            }
+            Response::BeaconAck { tasks } => {
+                snap::put_u32(&mut out, *tasks);
+                KIND_R_BEACON_ACK
+            }
+            Response::Assignment { task, epoch, spec } => {
+                snap::put_u64(&mut out, *task);
+                snap::put_u64(&mut out, *epoch);
+                encode_spec(&mut out, spec);
+                KIND_R_ASSIGNMENT
+            }
+            Response::NoWork { draining } => {
+                snap::put_bool(&mut out, *draining);
+                KIND_R_NO_WORK
+            }
+            Response::ResultAck { accepted } => {
+                snap::put_bool(&mut out, *accepted);
+                KIND_R_RESULT_ACK
             }
         };
         (kind, out)
@@ -731,6 +957,8 @@ impl Response {
                 uptime_ms: r.u64().map_err(snap_err)?,
                 reassigned: tail_u32(&mut r).map_err(snap_err)?,
                 shed: tail_u32(&mut r).map_err(snap_err)?,
+                daemons: tail_u32(&mut r).map_err(snap_err)?,
+                stale: tail_u32(&mut r).map_err(snap_err)?,
             }),
             KIND_R_SHUTDOWN => Response::ShuttingDown {
                 drain: r.bool().map_err(snap_err)?,
@@ -746,6 +974,24 @@ impl Response {
             KIND_R_ERROR => Response::Error {
                 code: ErrorCode::from_code(r.u8().map_err(snap_err)?)?,
                 message: get_string(&mut r).map_err(snap_err)?,
+            },
+            KIND_R_REGISTERED => Response::Registered {
+                daemon: r.u64().map_err(snap_err)?,
+                lease_ms: r.u64().map_err(snap_err)?,
+            },
+            KIND_R_BEACON_ACK => Response::BeaconAck {
+                tasks: r.u32().map_err(snap_err)?,
+            },
+            KIND_R_ASSIGNMENT => Response::Assignment {
+                task: r.u64().map_err(snap_err)?,
+                epoch: r.u64().map_err(snap_err)?,
+                spec: decode_spec(&mut r).map_err(snap_err)?,
+            },
+            KIND_R_NO_WORK => Response::NoWork {
+                draining: r.bool().map_err(snap_err)?,
+            },
+            KIND_R_RESULT_ACK => Response::ResultAck {
+                accepted: r.bool().map_err(snap_err)?,
             },
             _ => return Err(TraceError::Malformed("unknown response kind")),
         };

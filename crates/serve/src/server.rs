@@ -24,8 +24,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::engine::{Engine, EngineConfig, SubmitError, DEFAULT_LEASE};
+use crate::fleet::{Coordinator, CoordinatorConfig, PollReply};
 use crate::proto::{
-    read_request, write_response, ErrorCode, JobState, Request, Response, ServerStats,
+    read_request, write_response, ErrorCode, JobSpec, JobState, Request, Response, ServerStats,
 };
 use tip_trace::TraceError;
 
@@ -65,6 +66,13 @@ pub struct ServerConfig {
     /// handler sleeps out the window, so one hot client cannot starve the
     /// rest of the pool.
     pub max_frames_per_sec: u32,
+    /// Run as a fleet coordinator instead of a local job engine: no local
+    /// workers; jobs are sharded across daemons that `Register` over the
+    /// wire, and `lease` governs *daemon* liveness (default
+    /// [`crate::fleet::DEFAULT_FLEET_LEASE`] rather than [`DEFAULT_LEASE`] — a
+    /// coordinator's daemons beacon from a dedicated thread, so the lease
+    /// only has to outlive network jitter).
+    pub coordinator: bool,
 }
 
 impl ServerConfig {
@@ -84,13 +92,102 @@ impl ServerConfig {
             shed_watermark: 256,
             retry_after_ms: 500,
             max_frames_per_sec: 200,
+            coordinator: false,
+        }
+    }
+}
+
+/// What the server serves requests from: a local job engine (a plain
+/// `tipd`) or a fleet coordinator (`tipd --coordinator`). Both run the
+/// same queue/commit/resume semantics; only where the simulation happens
+/// differs.
+pub enum Backend {
+    /// Jobs run on this host's worker threads.
+    Local(Engine),
+    /// Jobs are sharded across registered fleet daemons.
+    Fleet(Coordinator),
+}
+
+impl Backend {
+    fn submit_deduped(&self, spec: &JobSpec, req_id: u64) -> Result<u64, SubmitError> {
+        match self {
+            Backend::Local(e) => e.submit_deduped(spec, req_id),
+            Backend::Fleet(c) => c.submit_deduped(spec, req_id),
+        }
+    }
+
+    fn status(&self, job: u64) -> Option<JobState> {
+        match self {
+            Backend::Local(e) => e.status(job),
+            Backend::Fleet(c) => c.status(job),
+        }
+    }
+
+    fn wait_history(
+        &self,
+        job: u64,
+        from_seq: u64,
+        timeout: Duration,
+    ) -> Option<Vec<(u64, JobState)>> {
+        match self {
+            Backend::Local(e) => e.wait_history(job, from_seq, timeout),
+            Backend::Fleet(c) => c.wait_history(job, from_seq, timeout),
+        }
+    }
+
+    fn result(&self, job: u64) -> Result<String, String> {
+        match self {
+            Backend::Local(e) => e.result(job),
+            Backend::Fleet(c) => c.result(job),
+        }
+    }
+
+    fn cancel(&self, job: u64) -> bool {
+        match self {
+            Backend::Local(e) => e.cancel(job),
+            Backend::Fleet(c) => c.cancel(job),
+        }
+    }
+
+    /// Counters for the stats endpoint (`connections`/`shed` filled by the
+    /// server layer).
+    pub fn stats(&self) -> ServerStats {
+        match self {
+            Backend::Local(e) => e.stats(),
+            Backend::Fleet(c) => c.stats(),
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        match self {
+            Backend::Local(e) => e.queue_depth(),
+            Backend::Fleet(c) => c.queue_depth(),
+        }
+    }
+
+    fn drain(&self) {
+        match self {
+            Backend::Local(e) => e.drain(),
+            Backend::Fleet(c) => c.drain(),
+        }
+    }
+
+    fn shutdown(&self, drain: bool) {
+        match self {
+            // The engine always finishes in-flight local jobs (workers are
+            // threads of this process; abandoning them buys nothing).
+            Backend::Local(e) => e.shutdown(),
+            Backend::Fleet(c) => c.shutdown(drain),
         }
     }
 }
 
 struct Shared {
-    engine: Engine,
+    backend: Backend,
     shutdown: AtomicBool,
+    /// Whether the requested shutdown drains in-flight fleet assignments
+    /// (wire `Shutdown{drain:false}` force-expires them instead).
+    drain_on_shutdown: AtomicBool,
     active_conns: AtomicUsize,
     max_conns: usize,
     io_timeout: Duration,
@@ -132,18 +229,27 @@ where
 {
     let listener = TcpListener::bind(&config.listen)?;
     let addr = listener.local_addr()?;
-    let engine = Engine::start_with_runner(
-        &EngineConfig {
+    let backend = if config.coordinator {
+        Backend::Fleet(Coordinator::start(&CoordinatorConfig {
             out_dir: config.out_dir.clone(),
-            workers: config.workers,
             resume: config.resume,
             lease: config.lease,
-        },
-        runner,
-    );
+        }))
+    } else {
+        Backend::Local(Engine::start_with_runner(
+            &EngineConfig {
+                out_dir: config.out_dir.clone(),
+                workers: config.workers,
+                resume: config.resume,
+                lease: config.lease,
+            },
+            runner,
+        ))
+    };
     let shared = Arc::new(Shared {
-        engine,
+        backend,
         shutdown: AtomicBool::new(false),
+        drain_on_shutdown: AtomicBool::new(true),
         active_conns: AtomicUsize::new(0),
         max_conns: config.max_conns.max(1),
         io_timeout: config.io_timeout,
@@ -176,9 +282,23 @@ impl ServerHandle {
 
     /// The engine, for in-process inspection (tests, the daemon's exit
     /// report).
+    ///
+    /// # Panics
+    ///
+    /// On a coordinator server, which has no local engine — use
+    /// [`ServerHandle::backend`].
     #[must_use]
     pub fn engine(&self) -> &Engine {
-        &self.shared.engine
+        match &self.shared.backend {
+            Backend::Local(e) => e,
+            Backend::Fleet(_) => panic!("coordinator server has no local engine"),
+        }
+    }
+
+    /// The backend (engine or coordinator), for in-process inspection.
+    #[must_use]
+    pub fn backend(&self) -> &Backend {
+        &self.shared.backend
     }
 
     /// Whether a shutdown (wire or in-process) has been requested.
@@ -211,7 +331,8 @@ impl ServerHandle {
         for h in handlers {
             let _ = h.join();
         }
-        self.shared.engine.shutdown();
+        let drain = self.shared.drain_on_shutdown.load(Ordering::SeqCst);
+        self.shared.backend.shutdown(drain);
     }
 }
 
@@ -219,7 +340,7 @@ impl ServerHandle {
 /// throwaway self-connection.
 fn request_shutdown(shared: &Shared, addr: SocketAddr) {
     shared.shutdown.store(true, Ordering::SeqCst);
-    shared.engine.drain();
+    shared.backend.drain();
     let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
 }
 
@@ -334,7 +455,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 /// Serves one request; returns `true` when the connection must close
 /// (shutdown acknowledged).
 fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
-    let engine = &shared.engine;
+    let engine = &shared.backend;
     match req {
         Request::Submit { spec, req_id } => {
             // Load shedding: past the watermark, refuse new work with a
@@ -400,12 +521,91 @@ fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
         }
         Request::Shutdown { drain } => {
             let _ = write_response(stream, &Response::ShuttingDown { drain });
+            shared.drain_on_shutdown.store(drain, Ordering::SeqCst);
             let addr = stream
                 .local_addr()
                 .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0)));
+            // A draining coordinator keeps the listener up until every
+            // registered agent has polled a `NoWork{draining}` (or
+            // lapsed): agents dial per request, so closing the listener
+            // first would strand them spinning out their give-up window.
+            // Only this handler thread blocks; polls keep being served.
+            if drain {
+                if let Backend::Fleet(c) = &shared.backend {
+                    c.drain();
+                    c.wait_agents_released();
+                }
+            }
             request_shutdown(shared, addr);
             true
         }
+        Request::Register { name, workers } => {
+            let resp = match fleet(engine) {
+                Err(resp) => *resp,
+                Ok(c) => {
+                    let (daemon, lease_ms) = c.register(&name, workers);
+                    Response::Registered { daemon, lease_ms }
+                }
+            };
+            write_response(stream, &resp).is_err()
+        }
+        Request::Beacon { daemon } => {
+            let resp = match fleet(engine) {
+                Err(resp) => *resp,
+                Ok(c) => match c.beacon(daemon) {
+                    Ok(tasks) => Response::BeaconAck { tasks },
+                    Err(_) => unknown_daemon(daemon),
+                },
+            };
+            write_response(stream, &resp).is_err()
+        }
+        Request::PollJob { daemon } => {
+            let resp = match fleet(engine) {
+                Err(resp) => *resp,
+                Ok(c) => match c.poll_job(daemon) {
+                    Ok(PollReply::Assignment { task, epoch, spec }) => {
+                        Response::Assignment { task, epoch, spec }
+                    }
+                    Ok(PollReply::NoWork { draining }) => Response::NoWork { draining },
+                    Err(_) => unknown_daemon(daemon),
+                },
+            };
+            write_response(stream, &resp).is_err()
+        }
+        Request::PushResult {
+            daemon,
+            task,
+            epoch,
+            outcome,
+        } => {
+            let resp = match fleet(engine) {
+                Err(resp) => *resp,
+                Ok(c) => match c.push_result(daemon, task, epoch, outcome) {
+                    Ok(accepted) => Response::ResultAck { accepted },
+                    Err(_) => unknown_daemon(daemon),
+                },
+            };
+            write_response(stream, &resp).is_err()
+        }
+    }
+}
+
+/// The coordinator behind a fleet request, or the typed refusal a plain
+/// daemon answers with (boxed: the Ok path is the hot one).
+fn fleet(backend: &Backend) -> Result<&Coordinator, Box<Response>> {
+    match backend {
+        Backend::Fleet(c) => Ok(c),
+        Backend::Local(_) => Err(Box::new(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "not a coordinator".to_owned(),
+        })),
+    }
+}
+
+fn unknown_daemon(daemon: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownDaemon,
+        message: format!("unknown daemon {daemon}; re-register"),
     }
 }
 
@@ -417,7 +617,7 @@ fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
 /// `Watch{from_seq: last_seen + 1}` and resumes without gaps or
 /// duplicates.
 fn watch(stream: &mut TcpStream, shared: &Shared, job: u64, from_seq: u64) -> bool {
-    let engine = &shared.engine;
+    let engine = &shared.backend;
     let mut next_seq = from_seq;
     loop {
         let Some(batch) = engine.wait_history(job, next_seq, Duration::from_millis(200)) else {

@@ -1,0 +1,353 @@
+//! Fleet equivalence under compound faults — the acceptance scenario for
+//! the coordinator layer: a campaign sharded across two real `tipd
+//! --join` daemons behind a chaotic proxy, with one daemon SIGKILLed
+//! mid-campaign, then the coordinator itself SIGKILLed and restarted with
+//! `--resume`. The artifacts (`journal.txt`, `<bench>.result`,
+//! `failures.txt`) must come out byte-identical to an uninterrupted
+//! *local* [`run_campaign`] over the same job sequence, and no job
+//! settled in the journal may ever have been dispatched again.
+//!
+//! The no-double-run proof leans on two ledger facts: the committer
+//! settles jobs strictly in submission order (so the journal at any
+//! instant is a prefix of the suite), and a resume skip-ack adds no
+//! `metrics.txt` row (so the final metrics file lists exactly the jobs
+//! the resumed incarnation actually dispatched — a settled job that
+//! re-ran would show up as an extra row).
+//!
+//! `metrics.txt` is host wall-clock timing and excluded from the byte
+//! diff, exactly as in `serve_chaos.rs` — its `assignments`/`daemon`
+//! columns are instead asserted directly.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tip_bench::campaign::{run_campaign, CampaignConfig};
+use tip_bench::executor::SpecRunner;
+use tip_core::ProfilerId;
+use tip_serve::{chaos_proxy, ChaosConfig, Client, JobSpec, JobState};
+use tip_trace::fault::{Fault, FaultPlan};
+use tip_workloads::{benchmark, SuiteScale, BENCHMARK_NAMES};
+
+/// Enough benches that both kills land mid-campaign; small enough to keep
+/// the scenario quick at `Test` scale.
+const SUITE_LEN: usize = 5;
+
+const DEADLINE: Duration = Duration::from_secs(300);
+
+/// Short enough that a killed daemon's assignments reassign quickly;
+/// long enough that chaotic-link retry backoff rarely outlives a lease
+/// (and when it does, the epoch check absorbs it).
+const LEASE_MS: u64 = 1000;
+
+fn names() -> &'static [&'static str] {
+    &BENCHMARK_NAMES[..SUITE_LEN]
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tip-fleet-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn spec_for(name: &str) -> JobSpec {
+    let mut spec = JobSpec::new(name, SuiteScale::Test);
+    spec.profilers = vec![ProfilerId::Tip];
+    spec
+}
+
+/// The fault-free local oracle: same benches, same order, same specs.
+fn reference_dir(tag: &str) -> PathBuf {
+    let dir = tmp_dir(&format!("{tag}-ref"));
+    let config = CampaignConfig {
+        profilers: vec![ProfilerId::Tip],
+        out_dir: Some(dir.clone()),
+        ..CampaignConfig::default()
+    };
+    let benches = names()
+        .iter()
+        .map(|&n| benchmark(n, SuiteScale::Test))
+        .collect();
+    let outcome = run_campaign(benches, &config, SpecRunner);
+    assert_eq!(outcome.completed.len(), SUITE_LEN, "oracle run is clean");
+    dir
+}
+
+/// The deterministic artifacts; `metrics.txt` is host timing and excluded.
+fn artifacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fs::read_dir(dir)
+        .expect("campaign dir exists")
+        .map(|e| e.expect("dir entry"))
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.ends_with(".result") || name == "journal.txt" || name == "failures.txt"
+        })
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).expect("artifact readable"),
+            )
+        })
+        .collect()
+}
+
+fn done_lines(dir: &Path) -> Vec<String> {
+    fs::read_to_string(dir.join("journal.txt"))
+        .unwrap_or_default()
+        .lines()
+        .filter_map(|l| l.strip_prefix("done ").map(str::to_owned))
+        .collect()
+}
+
+/// Per-bench `(assignments, daemon)` from `metrics.txt` — which jobs the
+/// final coordinator incarnation dispatched, how many times, and proof
+/// they ran on a registered daemon rather than a local worker.
+fn metrics_rows(dir: &Path) -> BTreeMap<String, (u32, u64)> {
+    fs::read_to_string(dir.join("metrics.txt"))
+        .expect("metrics.txt exists")
+        .lines()
+        .filter(|l| l.starts_with("bench="))
+        .map(|l| {
+            let mut name = String::new();
+            let mut assignments = 0u32;
+            let mut daemon = 0u64;
+            for tok in l.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("bench=") {
+                    name = v.to_owned();
+                }
+                if let Some(v) = tok.strip_prefix("assignments=") {
+                    assignments = v.parse().expect("assignments count");
+                }
+                if let Some(v) = tok.strip_prefix("daemon=") {
+                    daemon = v.parse().expect("daemon id");
+                }
+            }
+            (name, (assignments, daemon))
+        })
+        .collect()
+}
+
+fn assert_identical(dir: &Path, reference: &Path) {
+    assert_eq!(
+        done_lines(dir).len(),
+        SUITE_LEN,
+        "journal covers the whole suite"
+    );
+    assert_eq!(
+        artifacts(reference),
+        artifacts(dir),
+        "artifacts byte-identical to the fault-free local run"
+    );
+    let _ = fs::remove_dir_all(reference);
+}
+
+/// Status polling that shrugs off wire damage and coordinator downtime:
+/// only the deadline gives up.
+fn wait_wire_done(client: &Client, job: u64) -> JobState {
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        if let Ok(state) = client.status(job) {
+            if state.is_terminal() {
+                return state;
+            }
+        }
+        assert!(Instant::now() < deadline, "job {job} never settled");
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Parses the `tipd: listening on ADDR ...` announcement and keeps
+/// draining the child's stderr so it never blocks on a full pipe.
+fn read_addr_then_drain(child: &mut Child) -> String {
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        assert!(
+            lines.read_line(&mut line).expect("tipd stderr") > 0,
+            "tipd exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("tipd: listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("addr token")
+                .to_owned();
+        }
+    };
+    thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = lines.read_to_end(&mut sink);
+    });
+    addr
+}
+
+fn spawn_coordinator(dir: &Path, resume: bool) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tipd"));
+    cmd.arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--out")
+        .arg(dir)
+        .arg("--coordinator")
+        .arg("--lease-ms")
+        .arg(LEASE_MS.to_string())
+        .stderr(Stdio::piped());
+    if resume {
+        cmd.arg("--resume");
+    }
+    let mut child = cmd.spawn().expect("spawn coordinator");
+    let addr = read_addr_then_drain(&mut child);
+    (child, addr)
+}
+
+fn spawn_agent(coordinator: &str, name: &str) -> Child {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tipd"))
+        .arg("--join")
+        .arg(coordinator)
+        .arg("--jobs")
+        .arg("2")
+        .arg("--name")
+        .arg(name)
+        .arg("--give-up-ms")
+        .arg("120000")
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn agent");
+    let stderr = child.stderr.take().expect("piped stderr");
+    thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = BufReader::new(stderr).read_to_end(&mut sink);
+    });
+    child
+}
+
+fn fleet_client(addr: &str) -> Client {
+    Client::new(addr)
+        .with_retry(8, Duration::from_millis(10))
+        .with_request_retries(12)
+        .with_seed(7)
+}
+
+/// The acceptance scenario: shard across two daemons through a corrupting
+/// proxy, SIGKILL one daemon mid-campaign, SIGKILL the coordinator,
+/// restart it with `--resume`, and require byte-identical artifacts with
+/// no settled job dispatched twice.
+#[test]
+fn fleet_survives_daemon_and_coordinator_kills_to_identical_artifacts() {
+    let reference = reference_dir("kills");
+    let dir = tmp_dir("kills-srv");
+
+    let (mut coord, coord_addr) = spawn_coordinator(&dir, false);
+    // Every coordinator<->daemon frame risks a flipped byte.
+    let proxy = chaos_proxy(&ChaosConfig::new(
+        &coord_addr,
+        FaultPlan::new(0xF1EE7, vec![Fault::CorruptChunks { one_in: 12 }]),
+    ))
+    .expect("proxy bind");
+    let proxy_addr = proxy.addr().to_string();
+    let mut d1 = spawn_agent(&proxy_addr, "d1");
+    let mut d2 = spawn_agent(&proxy_addr, "d2");
+
+    // Submits go straight to the coordinator; only the fleet hop is
+    // chaotic (serve_chaos.rs already covers the client hop).
+    let client = fleet_client(&coord_addr);
+    let mut ids = Vec::new();
+    for &name in names() {
+        ids.push(client.submit(&spec_for(name)).expect("submit"));
+    }
+    assert_eq!(ids, (1..=SUITE_LEN as u64).collect::<Vec<_>>());
+
+    // Let the fleet commit something, then SIGKILL one daemon — no
+    // deregistration, no goodbye; its leases must expire and reassign.
+    let deadline = Instant::now() + DEADLINE;
+    while done_lines(&dir).is_empty() {
+        assert!(Instant::now() < deadline, "no job ever committed");
+        thread::sleep(Duration::from_millis(10));
+    }
+    d1.kill().expect("SIGKILL d1");
+    let _ = d1.wait();
+
+    // Then pull the plug on the coordinator itself.
+    coord.kill().expect("SIGKILL coordinator");
+    let _ = coord.wait();
+    let at_kill = done_lines(&dir);
+    assert!(!at_kill.is_empty());
+
+    // Restart with --resume on a fresh port and swing the proxy over;
+    // the surviving daemon's next beacon/poll under its dead
+    // registration gets UnknownDaemon and re-registers.
+    let (mut coord, coord_addr) = spawn_coordinator(&dir, true);
+    proxy.set_upstream(&coord_addr);
+
+    let client = fleet_client(&coord_addr);
+    let mut ids = Vec::new();
+    for &name in names() {
+        ids.push(client.submit(&spec_for(name)).expect("resubmit"));
+    }
+    for &id in &ids {
+        let state = wait_wire_done(&client, id);
+        assert!(
+            matches!(state, JobState::Done { ok: true, .. }),
+            "job {id} ended {state:?}"
+        );
+    }
+    // The committer settles in submission order, so the journal at kill
+    // time is a prefix of the suite — its first job must have been
+    // acknowledged from the journal, not re-executed.
+    assert_eq!(
+        client.status(ids[0]).expect("status"),
+        JobState::Done {
+            ok: true,
+            attempts: 0
+        }
+    );
+    let stats = client.stats().expect("stats");
+    assert!(stats.daemons >= 1, "the survivor re-registered: {stats:?}");
+
+    // Graceful drain: the coordinator must release the surviving agent
+    // (NoWork{draining}) before closing its listener, so the agent exits
+    // clean instead of spinning out its give-up window.
+    client.shutdown(true).expect("wire shutdown");
+    let status = coord.wait().expect("coordinator exit");
+    assert!(
+        status.success(),
+        "drained coordinator exits clean: {status:?}"
+    );
+    let status = d2.wait().expect("agent exit");
+    assert!(status.success(), "released agent exits clean: {status:?}");
+
+    let chaos = proxy.stats();
+    assert!(
+        chaos.total().corrupted_chunks >= 1,
+        "the fault actually fired: {chaos:?}"
+    );
+    proxy.shutdown();
+
+    assert_identical(&dir, &reference);
+
+    // No settled job ran twice: a resume skip-ack writes no metrics row,
+    // so the final metrics.txt lists exactly what the resumed incarnation
+    // dispatched — the journalled prefix must be absent, and every other
+    // job must have run on a registered daemon.
+    let rows = metrics_rows(&dir);
+    for bench in &at_kill {
+        assert!(
+            !rows.contains_key(bench),
+            "settled job {bench} was dispatched again after resume"
+        );
+    }
+    for &name in names() {
+        if !at_kill.iter().any(|b| b == name) {
+            let (assignments, daemon) = rows[name];
+            assert!(assignments >= 1, "{name} never dispatched");
+            assert!(daemon >= 1, "{name} ran outside the fleet");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use tip_core::{ProfilerId, SamplerConfig};
 use tip_serve::proto::{
     read_frame, read_request, read_response, write_frame, write_request, write_response, ErrorCode,
-    JobSpec, JobState, Request, Response, ServerStats, FRAME_HEADER_LEN, MAGIC, MAX_PAYLOAD,
-    MIN_VERSION, VERSION,
+    JobSpec, JobState, RemoteOutcome, Request, Response, ServerStats, FRAME_HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, MIN_VERSION, VERSION,
 };
 use tip_trace::framing::crc32_pair;
 use tip_trace::TraceError;
@@ -24,6 +24,24 @@ fn spec() -> JobSpec {
         sampler: SamplerConfig::random(211, 99),
         profilers: vec![ProfilerId::Tip, ProfilerId::Software],
         max_attempts: 3,
+    }
+}
+
+fn outcome(ok: bool) -> RemoteOutcome {
+    RemoteOutcome {
+        ok,
+        attempts: 2,
+        body: "status=ok\nbench=mcf\n".to_owned(),
+        error_line: if ok {
+            String::new()
+        } else {
+            "sim diverged".to_owned()
+        },
+        wall_ms: 123.75,
+        worker: 1,
+        cycles: 1_000_000,
+        instructions: 750_000,
+        ipc: 0.75,
     }
 }
 
@@ -51,6 +69,24 @@ fn every_request() -> Vec<Request> {
         Request::Stats,
         Request::Shutdown { drain: true },
         Request::Shutdown { drain: false },
+        Request::Register {
+            name: "agent@10.0.0.7:9000".to_owned(),
+            workers: 4,
+        },
+        Request::Beacon { daemon: 3 },
+        Request::PollJob { daemon: u64::MAX },
+        Request::PushResult {
+            daemon: 3,
+            task: 17,
+            epoch: 2,
+            outcome: outcome(true),
+        },
+        Request::PushResult {
+            daemon: 1,
+            task: 1,
+            epoch: 0,
+            outcome: outcome(false),
+        },
     ]
 }
 
@@ -88,8 +124,24 @@ fn every_response() -> Vec<Response> {
             uptime_ms: 123_456,
             reassigned: 8,
             shed: 9,
+            daemons: 2,
+            stale: 1,
         }),
         Response::ShuttingDown { drain: true },
+        Response::Registered {
+            daemon: 5,
+            lease_ms: 10_000,
+        },
+        Response::BeaconAck { tasks: 3 },
+        Response::Assignment {
+            task: 17,
+            epoch: 4,
+            spec: spec(),
+        },
+        Response::NoWork { draining: true },
+        Response::NoWork { draining: false },
+        Response::ResultAck { accepted: true },
+        Response::ResultAck { accepted: false },
         Response::Busy {
             active: 32,
             limit: 32,
@@ -108,6 +160,7 @@ fn every_response() -> Vec<Response> {
         ErrorCode::Draining,
         ErrorCode::Internal,
         ErrorCode::RateLimited,
+        ErrorCode::UnknownDaemon,
     ] {
         all.push(Response::Error {
             code,
@@ -376,6 +429,54 @@ fn v1_frames_and_payloads_decode_with_defaulted_tails() {
             state,
             seq: 0
         }
+    );
+}
+
+/// A version-2 peer (pre-fleet) still interoperates with a v3 reader: v2
+/// frames pass the frame layer, and a v2 `Stats` payload — which ends
+/// before the appended `daemons`/`stale` counters — decodes with those
+/// tails defaulted to 0.
+#[test]
+fn v2_frames_and_stats_payloads_decode_with_defaulted_tails() {
+    // Frame layer: patch a v3 frame down to version 2 (CRC recomputed).
+    let mut wire = Vec::new();
+    write_request(&mut wire, &Request::Stats).expect("encode");
+    wire[4..6].copy_from_slice(&2u16.to_le_bytes());
+    let crc = crc32_pair(&wire[..12], &wire[FRAME_HEADER_LEN..]);
+    wire[12..16].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        read_request(&mut Cursor::new(&wire)),
+        Ok(Some(Request::Stats))
+    ));
+
+    // Payload layer: a v2 Stats payload is the v3 payload minus the two
+    // appended u32 tails (fixed-width little-endian encoding).
+    let full = ServerStats {
+        queued: 1,
+        running: 2,
+        done: 3,
+        failed: 4,
+        cancelled: 5,
+        workers: 6,
+        connections: 7,
+        mean_queue_wait_ms: 12.5,
+        worker_utilization: 0.75,
+        uptime_ms: 123_456,
+        reassigned: 8,
+        shed: 9,
+        daemons: 11,
+        stale: 13,
+    };
+    let (stats_kind, v3_payload) = Response::Stats(full).encode();
+    let v2_payload = &v3_payload[..v3_payload.len() - 8];
+    let decoded = Response::decode(stats_kind, v2_payload).expect("v2 stats decodes");
+    assert_eq!(
+        decoded,
+        Response::Stats(ServerStats {
+            daemons: 0,
+            stale: 0,
+            ..full
+        })
     );
 }
 

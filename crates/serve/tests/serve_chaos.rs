@@ -214,7 +214,10 @@ fn frame_corruption_retries_to_identical_artifacts() {
     handle.shutdown();
 
     let stats = proxy.stats();
-    assert!(stats.corrupted_chunks >= 1, "the fault actually fired");
+    assert!(
+        stats.total().corrupted_chunks >= 1,
+        "the fault actually fired"
+    );
     proxy.shutdown();
 
     // No fault reached a worker: every bench ran on exactly one.
@@ -269,7 +272,7 @@ fn connection_drop_mid_watch_resumes_the_stream() {
     );
     assert!(!seen.is_empty(), "progress streamed");
     assert!(
-        proxy.stats().disconnects >= 1,
+        proxy.stats().total().disconnects >= 1,
         "the stream was actually cut at least once"
     );
     proxy.shutdown();
