@@ -4,12 +4,14 @@
 //! [--trials N] [--out FILE] [--baseline FILE]`
 //!
 //! Runs the fixed benchmark × mode matrix (raw simulator, fig08 profiler
-//! bank, framed tracing), prints the throughput table, and writes the
-//! `BENCH_PR4.json` perf-trajectory point to `--out` (default
-//! `BENCH_PR4.json` in the current directory). With `--baseline FILE` the
-//! aggregate of a previous report is embedded alongside the new numbers and
-//! per-mode speedups are computed — this is how the PR-4 acceptance
-//! criterion (bank-mode speedup vs the pre-optimization build) is recorded.
+//! bank, bank + streaming delta flushes, framed tracing), prints the
+//! throughput table, and writes the perf-trajectory point to `--out`
+//! (default `BENCH_PR4.json` in the current directory; PR 8 records
+//! `BENCH_PR8.json`). With `--baseline FILE` the aggregate of a previous
+//! report is embedded alongside the new numbers and per-mode speedups are
+//! computed — this is how the PR-4 acceptance criterion (bank-mode speedup
+//! vs the pre-optimization build) is recorded. The `bank`→`stream` gap is
+//! the PR-8 delta-flush overhead (must stay under 3%).
 
 use std::process::exit;
 
@@ -100,6 +102,10 @@ fn main() {
             a.bank_mcycles_per_s
         );
     }
+    println!(
+        "delta-flush overhead (bank -> stream): {:+.2}%",
+        a.stream_overhead() * 100.0
+    );
     let json = report.to_json(baseline.as_ref());
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("hostbench: cannot write {out}: {e}");

@@ -43,11 +43,13 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use crate::checkpoint::CheckpointSpec;
 use crate::executor::{self, default_workers, Job, Runner, SpecRunner};
 use crate::experiments::SuiteRun;
 use crate::ledger::{one_line, Ledger};
+use crate::live::{DeltaSink, LiveAggregate};
 use crate::run::{RunError, DEFAULT_INTERVAL, MAX_CYCLES};
 use tip_core::{ProfilerId, SamplerConfig};
 use tip_ooo::CoreConfig;
@@ -84,6 +86,11 @@ pub struct CampaignConfig {
     /// interrupted benchmark restores from its mid-run checkpoint.
     /// Journalled *failures* are retried, not skipped.
     pub resume: bool,
+    /// Optional live streaming aggregate: with a handle, every run flushes
+    /// mid-run profile deltas into it (see [`crate::live`]) and the
+    /// campaign marks benchmarks settled as they commit. Pure observation —
+    /// all deterministic artifacts are byte-identical with or without it.
+    pub live: Option<Arc<LiveAggregate>>,
 }
 
 impl Default for CampaignConfig {
@@ -97,6 +104,7 @@ impl Default for CampaignConfig {
             out_dir: None,
             checkpoint_cycles: None,
             resume: false,
+            live: None,
         }
     }
 }
@@ -250,9 +258,16 @@ where
             jobs.push(config.job(bench));
         }
     }
-    let summary = executor::execute(&jobs, &runner, config.jobs, |out| {
+    let sink = config
+        .live
+        .as_ref()
+        .map_or_else(DeltaSink::noop, LiveAggregate::sink);
+    let summary = executor::execute_streaming(&jobs, &runner, config.jobs, &sink, |out| {
         let job = &jobs[out.index];
         let name = job.bench.name;
+        if let Some(live) = &config.live {
+            live.mark_settled(name, out.result.is_ok());
+        }
         match out.result {
             Ok(run) => {
                 let completed = CompletedBench {

@@ -23,9 +23,9 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
-use crate::run::{ProfiledRun, RunError, MAX_CYCLES};
+use crate::run::{ProfiledRun, RunError, StreamObserver, MAX_CYCLES};
 use tip_core::{ProfilerBank, ProfilerId, SamplerConfig};
-use tip_isa::Program;
+use tip_isa::{Granularity, Program};
 use tip_ooo::{Core, CoreConfig, CycleRecord, RunExit, SimError, TraceSink};
 use tip_trace::{
     read_snapshot, write_snapshot, TraceError, TracePos, TraceWriter, SECTION_CORE,
@@ -245,7 +245,39 @@ pub fn run_profiled_checkpointed_budgeted(
     spec: &CheckpointSpec,
     max_cycles: u64,
 ) -> Result<ProfiledRun, RunError> {
+    run_profiled_checkpointed_streaming(
+        program, config, sampler, profilers, seed, spec, max_cycles, None,
+    )
+}
+
+/// [`run_profiled_checkpointed_budgeted`] with an optional streaming
+/// observer: profile deltas are flushed at every checkpoint boundary (the
+/// natural slice points a checkpointed run already has — the observer's
+/// [`StreamObserver::every_cycles`] is ignored here) and once at
+/// completion. Flushing happens **before** the bank snapshot is taken, and
+/// the bank's streaming state is deliberately not serialized, so checkpoint
+/// bytes and resume behaviour are identical with streaming on or off; after
+/// a restore the flush sequence restarts at 1 and the first flush
+/// re-reports the full cumulative units (aggregators reset on that signal).
+///
+/// # Errors
+///
+/// As [`run_profiled_checkpointed_budgeted`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_profiled_checkpointed_streaming(
+    program: &Program,
+    config: CoreConfig,
+    sampler: SamplerConfig,
+    profilers: &[ProfilerId],
+    seed: u64,
+    spec: &CheckpointSpec,
+    max_cycles: u64,
+    stream: Option<StreamObserver<'_>>,
+) -> Result<ProfiledRun, RunError> {
     let bench = program.name().to_owned();
+    let map = stream
+        .as_ref()
+        .map(|_| program.symbol_map(Granularity::Function));
     let ckpt_err = |bench: &str, source: TraceError| RunError::Checkpoint {
         bench: bench.to_owned(),
         source,
@@ -269,6 +301,12 @@ pub fn run_profiled_checkpointed_budgeted(
             let mut tee = Tee(&mut writer, &mut bank);
             core.run(&mut tee, next_stop)
         };
+        if let (Some(observer), Some(map)) = (&stream, &map) {
+            // Before the snapshot below: the flush advances only the bank's
+            // unserialized streaming watermarks, so checkpoint bytes stay
+            // identical with streaming on or off.
+            (observer.observe)(bank.flush_deltas(map));
+        }
         match summary.exit {
             RunExit::Halted | RunExit::StreamEnd => {
                 writer

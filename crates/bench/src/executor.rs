@@ -31,9 +31,13 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::checkpoint::{run_profiled_checkpointed_budgeted, CheckpointSpec};
-use crate::run::{run_profiled_budgeted, ProfiledRun, RunError, DEFAULT_INTERVAL, MAX_CYCLES};
-use tip_core::{ProfilerId, SamplerConfig};
+use crate::checkpoint::{run_profiled_checkpointed_streaming, CheckpointSpec};
+use crate::live::{DeltaEvent, DeltaSink};
+use crate::run::{
+    run_profiled_streaming, ProfiledRun, RunError, StreamObserver, DEFAULT_INTERVAL,
+    DEFAULT_STREAM_CYCLES, MAX_CYCLES,
+};
+use tip_core::{BankDeltas, ProfilerId, SamplerConfig};
 use tip_ooo::CoreConfig;
 use tip_workloads::Benchmark;
 
@@ -139,6 +143,10 @@ pub struct RunCtx {
     /// The worker's liveness beacon; long-running cooperative runners tick
     /// it to keep their lease alive (see `tip-serve`'s reaper).
     pub heartbeat: Heartbeat,
+    /// Where streaming profile deltas go. Disconnected by default
+    /// ([`DeltaSink::noop`]) — the runner then skips flushing entirely, so
+    /// non-streaming paths are bit-for-bit the code they always were.
+    pub delta_sink: DeltaSink,
 }
 
 /// Executes one attempt of a job.
@@ -175,8 +183,21 @@ pub struct SpecRunner;
 
 impl Runner for SpecRunner {
     fn run(&self, job: &Job, ctx: &RunCtx) -> Result<ProfiledRun, RunError> {
+        let bench = job.bench.name;
+        let (attempt, sink) = (ctx.attempt, &ctx.delta_sink);
+        let observe = move |deltas: BankDeltas| {
+            sink.emit(DeltaEvent {
+                bench: bench.to_owned(),
+                attempt,
+                deltas,
+            });
+        };
+        let stream = ctx.delta_sink.is_live().then_some(StreamObserver {
+            every_cycles: DEFAULT_STREAM_CYCLES,
+            observe: &observe,
+        });
         match &ctx.checkpoint {
-            Some(spec) => run_profiled_checkpointed_budgeted(
+            Some(spec) => run_profiled_checkpointed_streaming(
                 &job.bench.program,
                 job.core.clone(),
                 job.sampler,
@@ -184,14 +205,16 @@ impl Runner for SpecRunner {
                 ctx.seed,
                 spec,
                 job.max_cycles,
+                stream,
             ),
-            None => run_profiled_budgeted(
+            None => run_profiled_streaming(
                 &job.bench.program,
                 job.core.clone(),
                 job.sampler,
                 &job.profilers,
                 ctx.seed,
                 job.max_cycles,
+                stream,
             ),
         }
     }
@@ -274,19 +297,48 @@ pub fn default_workers() -> usize {
 /// `workers` is clamped to `1..=jobs.len()`; `workers == 1` runs inline on
 /// the calling thread with no queue at all, which is also the path that
 /// *defines* the byte-identical reference behaviour.
-pub fn execute<R, C>(jobs: &[Job], runner: &R, workers: usize, mut commit: C) -> ExecSummary
+pub fn execute<R, C>(jobs: &[Job], runner: &R, workers: usize, commit: C) -> ExecSummary
+where
+    R: Runner,
+    C: FnMut(JobOutcome),
+{
+    execute_streaming(jobs, runner, workers, &DeltaSink::noop(), commit)
+}
+
+/// [`execute`] with a live [`DeltaSink`]: every worker threads the sink
+/// into its jobs' [`RunCtx`], so mid-run profile deltas stream to a shared
+/// aggregate (see [`crate::live::LiveAggregate`]) *while* the committer
+/// still applies settled outcomes in canonical order. Deltas arrive in
+/// completion order — they are commutative increments, so the aggregate is
+/// order-independent — and the deterministic artifacts never see them.
+pub fn execute_streaming<R, C>(
+    jobs: &[Job],
+    runner: &R,
+    workers: usize,
+    delta_sink: &DeltaSink,
+    mut commit: C,
+) -> ExecSummary
 where
     R: Runner,
     C: FnMut(JobOutcome),
 {
     let started = Instant::now();
     let workers = workers.clamp(1, jobs.len().max(1));
+    let beacon = Heartbeat::noop();
     if workers == 1 {
         for (index, job) in jobs.iter().enumerate() {
             // Inline path: the "queue" is the jobs ahead of this one, so the
             // wait is simply how long the call has been running when the job
             // is picked up.
-            commit(run_job(index, job, runner, started.elapsed(), 0));
+            commit(run_job_streaming(
+                index,
+                job,
+                runner,
+                started.elapsed(),
+                0,
+                &beacon,
+                delta_sink,
+            ));
         }
         return ExecSummary {
             workers,
@@ -304,6 +356,7 @@ where
             let tx = tx.clone();
             let next_job = &next_job;
             let queued = started;
+            let beacon = &beacon;
             s.spawn(move || loop {
                 let index = next_job.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
@@ -311,7 +364,9 @@ where
                 // queue wait — the figure the server's stats endpoint and
                 // `ScalingReport` use to separate queueing from compute.
                 let wait = queued.elapsed();
-                if tx.send(run_job(index, job, runner, wait, worker)).is_err() {
+                let outcome =
+                    run_job_streaming(index, job, runner, wait, worker, beacon, delta_sink);
+                if tx.send(outcome).is_err() {
                     break;
                 }
             });
@@ -368,6 +423,31 @@ pub fn run_job_beating<R: Runner>(
     worker: usize,
     heartbeat: &Heartbeat,
 ) -> JobOutcome {
+    run_job_streaming(
+        index,
+        job,
+        runner,
+        queue_wait,
+        worker,
+        heartbeat,
+        &DeltaSink::noop(),
+    )
+}
+
+/// [`run_job_beating`] with a live [`DeltaSink`]: each attempt's context
+/// carries the sink, so a cooperating runner (the production [`SpecRunner`])
+/// streams profile deltas mid-run. The job's settled outcome is unaffected
+/// — streaming observes the run, it never changes it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_streaming<R: Runner>(
+    index: usize,
+    job: &Job,
+    runner: &R,
+    queue_wait: Duration,
+    worker: usize,
+    heartbeat: &Heartbeat,
+    delta_sink: &DeltaSink,
+) -> JobOutcome {
     let started = Instant::now();
     let attempts_cap = job.max_attempts.max(1);
     let mut last_err: Option<RunError> = None;
@@ -381,6 +461,7 @@ pub fn run_job_beating<R: Runner>(
             attempt: attempts,
             checkpoint: job.checkpoint.clone(),
             heartbeat: heartbeat.clone(),
+            delta_sink: delta_sink.clone(),
         };
         match panic::catch_unwind(AssertUnwindSafe(|| runner.run(job, &ctx))) {
             Ok(Ok(run)) => {
@@ -459,6 +540,8 @@ const _: () = {
     send::<JobOutcome>();
     send::<RunError>();
     sync::<SpecRunner>();
+    send::<DeltaSink>();
+    sync::<DeltaSink>();
 };
 
 #[cfg(test)]

@@ -11,9 +11,11 @@
 //! panic isolation, bounded reseeded retries, crash-consistent incremental
 //! persistence, and journal-driven resume), [`ledger`] owns the byte-stable
 //! on-disk artifact formats that campaign and the `tip-serve` daemon share,
-//! and [`hostbench`] measures host throughput (simulated cycles per
-//! host-second) over a fixed matrix so each PR extends a reproducible perf
-//! trajectory (`BENCH_PR4.json`).
+//! [`live`] aggregates streaming profile deltas into an in-memory view a
+//! campaign can be queried through *while it runs*, and [`hostbench`]
+//! measures host throughput (simulated cycles per host-second) over a fixed
+//! matrix so each PR extends a reproducible perf trajectory
+//! (`BENCH_PR4.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,17 +26,23 @@ pub mod executor;
 pub mod experiments;
 pub mod hostbench;
 pub mod ledger;
+pub mod live;
 pub mod run;
 pub mod table;
 
 pub use campaign::{run_suite_campaign, CampaignCli, CampaignConfig, CampaignOutcome};
 pub use checkpoint::{
-    load_checkpoint, run_profiled_checkpointed, save_checkpoint, CheckpointSpec, LoadedCheckpoint,
+    load_checkpoint, run_profiled_checkpointed, run_profiled_checkpointed_streaming,
+    save_checkpoint, CheckpointSpec, LoadedCheckpoint,
 };
 pub use executor::{
-    default_workers, execute, run_job, run_job_beating, ExecSummary, Heartbeat, Job, JobMetrics,
-    JobOutcome, RunCtx, Runner, SpecRunner,
+    default_workers, execute, execute_streaming, run_job, run_job_beating, run_job_streaming,
+    ExecSummary, Heartbeat, Job, JobMetrics, JobOutcome, RunCtx, Runner, SpecRunner,
 };
 pub use hostbench::{run_hostbench, HostBenchOptions, HostBenchReport, ScalingReport};
 pub use ledger::Ledger;
-pub use run::{run_profiled, ProfiledRun, RunError, DEFAULT_INTERVAL};
+pub use live::{BenchView, DeltaEvent, DeltaSink, LiveAggregate, LiveView};
+pub use run::{
+    run_profiled, run_profiled_streaming, ProfiledRun, RunError, StreamObserver, DEFAULT_INTERVAL,
+    DEFAULT_STREAM_CYCLES,
+};

@@ -3,10 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-use tip_core::{BankResult, ProfilerBank, ProfilerId, SamplerConfig};
-use tip_isa::Program;
+use tip_core::{BankDeltas, BankResult, ProfilerBank, ProfilerId, SamplerConfig};
+use tip_isa::{Granularity, Program};
 use tip_mem::MemStats;
-use tip_ooo::{Core, CoreConfig, CoreStats, RunSummary, SimError};
+use tip_ooo::{Core, CoreConfig, CoreStats, RunExit, RunSummary, SimError};
 
 /// The default sampling interval in cycles for our scaled-down runs.
 ///
@@ -17,6 +17,12 @@ use tip_ooo::{Core, CoreConfig, CoreStats, RunSummary, SimError};
 /// value is odd to avoid aliasing with tight loops' commit patterns (see
 /// Figure 11b / the Shannon–Nyquist discussion).
 pub const DEFAULT_INTERVAL: u64 = 149;
+
+/// Default simulated-cycle period between streaming delta flushes — small
+/// enough that a live view updates many times over a benchmark's ~10^7
+/// cycles, large enough that the cumulative-recompute flush stays well
+/// under 3% of host time (see `hostbench`).
+pub const DEFAULT_STREAM_CYCLES: u64 = 250_000;
 
 /// Cycle budget used by the experiment harness (well above any benchmark's
 /// natural length). Synthetic programs always halt, so a run that exhausts
@@ -150,14 +156,84 @@ pub fn run_profiled_budgeted(
     seed: u64,
     max_cycles: u64,
 ) -> Result<ProfiledRun, RunError> {
+    run_profiled_streaming(program, config, sampler, profilers, seed, max_cycles, None)
+}
+
+/// How often a streaming run flushes profile deltas, and where they go.
+///
+/// The observer sees quantized cumulative increments
+/// ([`tip_core::BankDeltas`]); it never touches the samples, so enabling it
+/// cannot change the run's final profile — streaming is pure observation.
+pub struct StreamObserver<'a> {
+    /// Simulated cycles between delta flushes (≥ 1; a final flush always
+    /// happens at completion regardless).
+    pub every_cycles: u64,
+    /// Receives each flush.
+    pub observe: &'a dyn Fn(BankDeltas),
+}
+
+impl fmt::Debug for StreamObserver<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamObserver")
+            .field("every_cycles", &self.every_cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+/// [`run_profiled_budgeted`] with an optional streaming observer: with
+/// `stream` set, the simulation advances in slices of
+/// [`StreamObserver::every_cycles`] and flushes function-granularity
+/// profile deltas at every slice boundary plus once at completion. The
+/// simulation itself is identical — `Core::run` resumes bit-exactly across
+/// slice boundaries — so the returned [`ProfiledRun`] matches the
+/// non-streaming call byte for byte.
+///
+/// # Errors
+///
+/// As [`run_profiled_budgeted`].
+pub fn run_profiled_streaming(
+    program: &Program,
+    config: CoreConfig,
+    sampler: SamplerConfig,
+    profilers: &[ProfilerId],
+    seed: u64,
+    max_cycles: u64,
+    stream: Option<StreamObserver<'_>>,
+) -> Result<ProfiledRun, RunError> {
     let mut bank = ProfilerBank::new(program, sampler, profilers);
     let mut core = Core::new(program, config, seed);
-    let summary = core
-        .run_to_completion(&mut bank, max_cycles)
-        .map_err(|source| RunError::Sim {
-            bench: program.name().to_owned(),
-            source,
-        })?;
+    let sim_err = |source| RunError::Sim {
+        bench: program.name().to_owned(),
+        source,
+    };
+    let summary = match &stream {
+        None => core
+            .run_to_completion(&mut bank, max_cycles)
+            .map_err(sim_err)?,
+        Some(observer) => {
+            let map = program.symbol_map(Granularity::Function);
+            let every = observer.every_cycles.max(1);
+            loop {
+                let stop = core.stats().cycles.saturating_add(every).min(max_cycles);
+                let summary = core.run(&mut bank, stop);
+                (observer.observe)(bank.flush_deltas(&map));
+                match summary.exit {
+                    RunExit::Halted | RunExit::StreamEnd => break summary,
+                    RunExit::Stuck(diag) => {
+                        return Err(sim_err(SimError::Livelock(diag)));
+                    }
+                    RunExit::CycleLimit => {
+                        if stop >= max_cycles {
+                            return Err(sim_err(SimError::CycleLimit {
+                                max_cycles,
+                                committed: summary.instructions,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    };
     let stats = *core.stats();
     let mem_stats = core.mem_stats();
     Ok(ProfiledRun {

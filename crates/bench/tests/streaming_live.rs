@@ -1,0 +1,136 @@
+//! PR-8 gates for the streaming observation path:
+//!
+//! 1. a campaign with a live aggregate attached writes `journal.txt`,
+//!    `failures.txt`, and every `<bench>.result` byte-identical to a
+//!    streaming-disabled campaign, at any worker count and with
+//!    checkpointing on or off — streaming observes, it never changes;
+//! 2. once the campaign completes, the live aggregate's merged units equal
+//!    the quantized finished profiles exactly, for every profiler and the
+//!    Oracle of every benchmark — the mid-campaign view converges to the
+//!    truth, not an approximation of it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tip_bench::campaign::{run_suite_campaign, CampaignConfig};
+use tip_bench::live::LiveAggregate;
+use tip_core::{ProfileDelta, ProfilerId, SamplerConfig};
+use tip_isa::Granularity;
+use tip_workloads::SuiteScale;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tip-stream-live-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn deterministic_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            // metrics.txt carries host timing; traces/checkpoints are
+            // covered by the checkpoint suite.
+            let keep = name == "journal.txt" || name == "failures.txt" || name.ends_with(".result");
+            keep.then(|| (name.clone(), fs::read(dir.join(&name)).expect("read")))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn streaming_never_changes_campaign_artifacts_and_converges_to_truth() {
+    let sampler = SamplerConfig::periodic(211);
+    let profilers = vec![ProfilerId::Tip, ProfilerId::Nci, ProfilerId::Software];
+
+    // The reference: serial, streaming disabled.
+    let ref_dir = tmp_dir("ref");
+    let reference = run_suite_campaign(
+        SuiteScale::Test,
+        &CampaignConfig {
+            sampler,
+            profilers: profilers.clone(),
+            out_dir: Some(ref_dir.clone()),
+            ..CampaignConfig::default()
+        },
+    );
+    assert!(reference.failed.is_empty());
+    let want = deterministic_files(&ref_dir);
+    assert!(want.len() > 2, "journal + several result files");
+
+    // Streaming on, across worker counts and with checkpointing (which
+    // changes the flush boundaries — the telescoping merge must not care).
+    for (tag, jobs, checkpoint) in [
+        ("serial", 1, None),
+        ("par", 4, None),
+        ("ckpt", 2, Some(40_000)),
+    ] {
+        let dir = tmp_dir(tag);
+        let live = Arc::new(LiveAggregate::new());
+        let outcome = run_suite_campaign(
+            SuiteScale::Test,
+            &CampaignConfig {
+                sampler,
+                profilers: profilers.clone(),
+                jobs,
+                out_dir: Some(dir.clone()),
+                checkpoint_cycles: checkpoint,
+                live: Some(Arc::clone(&live)),
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(outcome.failed.is_empty(), "{tag}: campaign must complete");
+        let got = deterministic_files(&dir);
+        assert_eq!(
+            got.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            want.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            "{tag}: same artifact set"
+        );
+        for ((name, a), (_, b)) in got.iter().zip(&want) {
+            assert_eq!(a, b, "{tag}: {name} differs from the non-streaming run");
+        }
+
+        // Convergence: the live units equal the finished profiles exactly.
+        let view = live.view();
+        assert_eq!(view.benches.len(), outcome.completed.len(), "{tag}");
+        for c in &outcome.completed {
+            let name = c.run.bench.name;
+            let b = view
+                .bench(name)
+                .unwrap_or_else(|| panic!("{tag}: {name} streamed"));
+            assert_eq!(b.settled, Some(true), "{tag}: {name} marked settled");
+            assert!(b.flushes > 0, "{tag}: {name} flushed at least once");
+            assert_eq!(b.cycles, c.run.run.summary.cycles, "{tag}: {name} cycles");
+            for &p in &profilers {
+                let finished =
+                    c.run
+                        .run
+                        .bank
+                        .profile_of(&c.run.bench.program, p, Granularity::Function);
+                assert_eq!(
+                    b.units(Some(p))
+                        .unwrap_or_else(|| panic!("{tag}: {name} {p:?} units")),
+                    ProfileDelta::quantize(&finished).as_slice(),
+                    "{tag}: {name} {p:?} live units != finished profile"
+                );
+            }
+            let oracle = c
+                .run
+                .run
+                .bank
+                .oracle
+                .profile(&c.run.bench.program, Granularity::Function);
+            assert_eq!(
+                b.oracle,
+                ProfileDelta::quantize(&oracle),
+                "{tag}: {name} Oracle live units != finished profile"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+    let _ = fs::remove_dir_all(&ref_dir);
+}

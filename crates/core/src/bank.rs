@@ -26,6 +26,10 @@ pub struct ProfilerBank {
     /// vtable calls (see [`ProfilerId::build_static`]).
     profilers: Vec<(ProfilerId, AnyProfiler)>,
     cycles: u64,
+    /// Streaming flushes taken so far. Deliberately not snapshotted: after
+    /// a restore the counter (like the profilers' delta trackers) restarts,
+    /// and the next flush re-reports cumulative totals with `seq == 1`.
+    stream_seq: u64,
 }
 
 // A bank moves to an executor worker thread with the run it instruments;
@@ -47,6 +51,7 @@ impl ProfilerBank {
             oracle: OracleProfiler::new(program.len()),
             profilers: ids.iter().map(|&id| (id, id.build_static())).collect(),
             cycles: 0,
+            stream_seq: 0,
         }
     }
 
@@ -118,6 +123,7 @@ impl ProfilerBank {
             oracle,
             profilers,
             cycles: r.u64()?,
+            stream_seq: 0,
         };
         if !r.is_empty() {
             return Err(SnapError::Malformed("trailing bytes after bank state"));
@@ -134,13 +140,7 @@ impl ProfilerBank {
             let mut s = p.drain_samples();
             // Samples are produced in trigger order; sort defensively, then
             // weight each by the interval since the previous trigger.
-            s.sort_by_key(|x| x.cycle);
-            let mut prev = 0u64;
-            for sample in &mut s {
-                sample.weight_cycles =
-                    (sample.cycle - prev) as f64 + if prev == 0 { 1.0 } else { 0.0 };
-                prev = sample.cycle;
-            }
+            crate::sample::weight_by_intervals(&mut s);
             samples.push((id, s));
         }
         BankResult {
@@ -149,6 +149,54 @@ impl ProfilerBank {
             total_cycles: self.cycles,
         }
     }
+
+    /// Flushes a streaming delta from every attached profiler and the
+    /// Oracle at `map`'s granularity: each profiler's cumulative profile so
+    /// far, quantized to integer units, minus what it last reported.
+    ///
+    /// This is a pure observation path: it never drains samples or touches
+    /// any state that [`Self::finish`], [`Self::snapshot`], or the result
+    /// files see, so enabling streaming cannot change final artifacts. The
+    /// flush sequence number restarts at 1 whenever the bank (and with it
+    /// the un-snapshotted trackers) is rebuilt — aggregators treat that as
+    /// a slot reset, which keeps checkpoint/resume double-count-free.
+    pub fn flush_deltas(&mut self, map: &tip_isa::SymbolMap) -> BankDeltas {
+        self.stream_seq += 1;
+        let per_profiler = self
+            .profilers
+            .iter_mut()
+            .map(|(id, p)| (*id, p.flush_delta(map)))
+            .collect();
+        BankDeltas {
+            seq: self.stream_seq,
+            per_profiler,
+            oracle: self.oracle.flush_delta(map),
+            stack: self.oracle.flush_stack_delta(),
+            cycles: self.cycles,
+        }
+    }
+}
+
+/// One streaming flush: every profiler's [`ProfileDelta`] since the last
+/// flush, plus the Oracle's delta, its cycle-stack delta, and the cycle
+/// count reached. Merging the flushes of a run (in any order) reproduces
+/// the whole-run profiles exactly — see `proptest_core`'s slice-merge
+/// byte-identity property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankDeltas {
+    /// 1-based flush sequence number within this bank instance. A sequence
+    /// restarting at 1 signals "cumulative from zero again" (fresh attempt
+    /// or checkpoint restore); aggregators reset the slot before applying.
+    pub seq: u64,
+    /// Per-profiler deltas, in the bank's profiler order.
+    pub per_profiler: Vec<(ProfilerId, crate::profile::ProfileDelta)>,
+    /// The Oracle's delta over the same symbol space.
+    pub oracle: crate::profile::ProfileDelta,
+    /// Oracle cycle-stack increments per [`crate::CycleCategory`], in units
+    /// of 1/[`crate::profile::UNITS_PER_CYCLE`] cycle.
+    pub stack: Vec<i64>,
+    /// Total cycles simulated when the flush was taken.
+    pub cycles: u64,
 }
 
 impl ProfilerBank {

@@ -67,10 +67,10 @@ mod snapshot;
 
 pub mod overhead;
 
-pub use bank::{BankResult, ProfilerBank};
+pub use bank::{BankDeltas, BankResult, ProfilerBank};
 pub use category::{classify, CommitState, CycleCategory, Oir, OirEntry, NUM_CATEGORIES};
 pub use oracle::{sampled_symbol_stacks, CycleStack, OracleProfiler, OracleResult};
-pub use profile::Profile;
+pub use profile::{DeltaTracker, Profile, ProfileDelta, UNITS_PER_CYCLE};
 pub use profilers::{AnyProfiler, ProfilerId, SampledProfiler};
-pub use sample::Sample;
+pub use sample::{weight_by_intervals, Sample};
 pub use sampler::{SampleSchedule, SamplerConfig, SamplingMode};

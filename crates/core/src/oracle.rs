@@ -17,7 +17,7 @@
 //! category of every cycle.
 
 use crate::category::{classify, CommitState, CycleCategory, Oir, NUM_CATEGORIES};
-use crate::profile::Profile;
+use crate::profile::{DeltaTracker, Profile, ProfileDelta, UNITS_PER_CYCLE};
 use crate::snapshot::{get_oir, put_oir};
 use serde::{Deserialize, Serialize};
 use tip_isa::snap::{self, SnapError, SnapReader};
@@ -146,6 +146,12 @@ pub struct OracleProfiler {
     /// state, plus cold start).
     pending_drained: f64,
     total_cycles: u64,
+    /// Streaming watermark (per-symbol units last reported). Not part of
+    /// any snapshot: restores reset it and the next flush re-reports the
+    /// full cumulative profile.
+    tracker: DeltaTracker,
+    /// Streaming watermark for the cycle stack (per-category units).
+    last_stack_units: Vec<i64>,
 }
 
 impl OracleProfiler {
@@ -158,7 +164,42 @@ impl OracleProfiler {
             oir: Oir::default(),
             pending_drained: 0.0,
             total_cycles: 0,
+            tracker: DeltaTracker::new(),
+            last_stack_units: Vec::new(),
         }
+    }
+
+    /// Emits the streaming increment of the Oracle's profile at `map`'s
+    /// granularity since the last flush (see
+    /// [`SampledProfiler::flush_delta`](crate::SampledProfiler::flush_delta)
+    /// — same contract, but the Oracle accumulates per-instruction cycles
+    /// directly instead of samples).
+    pub fn flush_delta(&mut self, map: &tip_isa::SymbolMap) -> ProfileDelta {
+        let profile = Profile::from_instr_cycles(&self.per_instr, map);
+        self.tracker.flush_profile(&profile)
+    }
+
+    /// Emits the streaming increment of the whole-program cycle stack:
+    /// per-category units (1/[`UNITS_PER_CYCLE`] cycle each) accumulated
+    /// since the last flush.
+    pub fn flush_stack_delta(&mut self) -> Vec<i64> {
+        let mut totals = [0.0f64; NUM_CATEGORIES];
+        for per_cat in &self.per_instr_category {
+            for (i, &cycles) in per_cat.iter().enumerate() {
+                totals[i] += cycles;
+            }
+        }
+        let units: Vec<i64> = totals
+            .iter()
+            .map(|&t| (t * UNITS_PER_CYCLE as f64).round() as i64)
+            .collect();
+        let delta: Vec<i64> = units
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| u - self.last_stack_units.get(i).copied().unwrap_or(0))
+            .collect();
+        self.last_stack_units = units;
+        delta
     }
 
     fn attribute(&mut self, idx: InstrIdx, category: CycleCategory, cycles: f64) {
@@ -221,6 +262,8 @@ impl OracleProfiler {
             oir: get_oir(r, num_instrs)?,
             pending_drained: r.f64()?,
             total_cycles: r.u64()?,
+            tracker: DeltaTracker::new(),
+            last_stack_units: Vec::new(),
         })
     }
 

@@ -99,6 +99,8 @@ impl Profile {
     }
 
     /// Symbols ordered by descending attributed time, with their shares.
+    /// Equal-weight symbols order by ascending symbol id, so the ranking is
+    /// deterministic regardless of how the profile was accumulated.
     #[must_use]
     pub fn ranked(&self) -> Vec<(SymbolId, f64)> {
         let mut v: Vec<(SymbolId, f64)> = self
@@ -108,8 +110,35 @@ impl Profile {
             .filter(|(_, &w)| w > 0.0)
             .map(|(i, _)| (SymbolId(i as u32), self.share(SymbolId(i as u32))))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("shares are finite")
+                .then_with(|| a.0 .0.cmp(&b.0 .0))
+        });
         v
+    }
+
+    /// Merges `other` into `self` element-wise: the profile monoid's binary
+    /// operation ([`Profile::zeroed`] is the identity). With integer-valued
+    /// weights below 2^53, the merge is exact and therefore commutative and
+    /// associative; fractional weights are subject to the usual f64
+    /// rounding, which is why the streaming path composes [`ProfileDelta`]s
+    /// (integer units) instead of merged `Profile`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles have different granularities or symbol counts.
+    pub fn merge(&mut self, other: &Profile) {
+        assert_eq!(self.granularity, other.granularity, "granularity mismatch");
+        assert_eq!(
+            self.weights.len(),
+            other.weights.len(),
+            "symbol-count mismatch"
+        );
+        for (w, &o) in self.weights.iter_mut().zip(&other.weights) {
+            *w += o;
+        }
+        self.total += other.total;
     }
 
     /// The profile error of `self` measured against the golden `oracle`
@@ -182,6 +211,315 @@ impl Profile {
             );
         }
         out
+    }
+}
+
+/// Fixed-point scale for [`ProfileDelta`] entries: units per cycle.
+///
+/// 840 is lcm(1..=8), so every 1/n split a profiler can produce (n bounded
+/// by the commit width, [`tip_ooo::MAX_COMMIT`] = 8) lands on a whole number
+/// of units. Quantizing cumulative weights to integer units makes delta
+/// streams telescope *exactly*: the sum of slice deltas equals the
+/// whole-run delta in i64 arithmetic, independent of flush boundaries and
+/// f64 rounding — which f64 deltas cannot guarantee (float addition is not
+/// associative).
+pub const UNITS_PER_CYCLE: i64 = 840;
+
+/// A mergeable profile increment: per-symbol cycle deltas since the last
+/// flush, in integer units of 1/[`UNITS_PER_CYCLE`] cycle.
+///
+/// Entries are canonical — sorted by symbol id, no duplicates, no zeros —
+/// so equal deltas compare equal and serialize identically. Entries may be
+/// negative: a late-resolving sample (TIP's open Front-end samples) splits
+/// an earlier inter-sample gap and *shrinks* previously reported weights.
+///
+/// `ProfileDelta` forms a commutative monoid under [`merge`](Self::merge)
+/// with [`zero`](Self::zero) as identity, which is what lets slices,
+/// workers, and fleet daemons aggregate in any order and still reproduce
+/// the whole-run profile bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileDelta {
+    granularity: Granularity,
+    num_symbols: u32,
+    entries: Vec<(u32, i64)>,
+}
+
+impl ProfileDelta {
+    /// The identity delta: no increments.
+    #[must_use]
+    pub fn zero(granularity: Granularity, num_symbols: u32) -> Self {
+        ProfileDelta {
+            granularity,
+            num_symbols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a canonical delta from arbitrary `(symbol, units)` pairs:
+    /// duplicates are summed, zeros dropped, entries sorted by symbol id.
+    /// Out-of-range symbols are clamped out (a wire decoder feeds this, and
+    /// hostile input must degrade, not panic).
+    #[must_use]
+    pub fn from_entries(
+        granularity: Granularity,
+        num_symbols: u32,
+        entries: impl IntoIterator<Item = (u32, i64)>,
+    ) -> Self {
+        let mut delta = ProfileDelta::zero(granularity, num_symbols);
+        for (sym, units) in entries {
+            if sym < num_symbols {
+                delta.entries.push((sym, units));
+            }
+        }
+        delta.canonicalize();
+        delta
+    }
+
+    fn canonicalize(&mut self) {
+        self.entries.sort_by_key(|&(sym, _)| sym);
+        let mut out: Vec<(u32, i64)> = Vec::with_capacity(self.entries.len());
+        for &(sym, units) in &self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == sym => last.1 += units,
+                _ => out.push((sym, units)),
+            }
+        }
+        out.retain(|&(_, units)| units != 0);
+        self.entries = out;
+    }
+
+    /// The granularity the delta is expressed at.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Number of symbols in the profile space this delta indexes into.
+    #[must_use]
+    pub fn num_symbols(&self) -> u32 {
+        self.num_symbols
+    }
+
+    /// The canonical `(symbol, units)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(u32, i64)] {
+        &self.entries
+    }
+
+    /// Whether this is the identity delta.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Quantizes a profile's per-symbol weights to integer units.
+    #[must_use]
+    pub fn quantize(profile: &Profile) -> Vec<i64> {
+        profile
+            .weights()
+            .iter()
+            .map(|&w| (w * UNITS_PER_CYCLE as f64).round() as i64)
+            .collect()
+    }
+
+    /// The delta from `last_units` (dense, zero-padded) to `current_units`.
+    #[must_use]
+    pub fn between(
+        granularity: Granularity,
+        last_units: &[i64],
+        current_units: &[i64],
+    ) -> ProfileDelta {
+        let mut delta = ProfileDelta::zero(granularity, current_units.len() as u32);
+        for (i, &cur) in current_units.iter().enumerate() {
+            let prev = last_units.get(i).copied().unwrap_or(0);
+            if cur != prev {
+                delta.entries.push((i as u32, cur - prev));
+            }
+        }
+        delta
+    }
+
+    /// Merges `other` into `self`: exact i64 addition per symbol, so the
+    /// operation is commutative and associative by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deltas have different granularities or symbol counts.
+    pub fn merge(&mut self, other: &ProfileDelta) {
+        assert_eq!(self.granularity, other.granularity, "granularity mismatch");
+        assert_eq!(self.num_symbols, other.num_symbols, "symbol-count mismatch");
+        self.entries.extend_from_slice(&other.entries);
+        self.canonicalize();
+    }
+
+    /// Accumulated units per symbol, dense (one slot per symbol).
+    #[must_use]
+    pub fn to_units(&self) -> Vec<i64> {
+        let mut units = vec![0i64; self.num_symbols as usize];
+        for &(sym, u) in &self.entries {
+            units[sym as usize] += u;
+        }
+        units
+    }
+
+    /// Materializes the delta as a [`Profile`] (units scaled back to
+    /// cycles). Deterministic for a given delta, so two aggregates holding
+    /// equal unit totals render byte-identical profiles.
+    #[must_use]
+    pub fn to_profile(&self) -> Profile {
+        let mut p = Profile::zeroed(self.granularity, self.num_symbols as usize);
+        for &(sym, units) in &self.entries {
+            p.add(SymbolId(sym), units as f64 / UNITS_PER_CYCLE as f64);
+        }
+        p
+    }
+}
+
+/// Per-profiler streaming state: remembers the unit totals last reported so
+/// each flush emits only the increment.
+///
+/// The tracker is deliberately *not* checkpointed: after a restore it
+/// resets and the next flush re-reports the full cumulative profile from
+/// zero. Aggregators treat a flush sequence restarting at 1 as a slot
+/// reset, so crash/resume never double-counts.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaTracker {
+    last_units: Vec<i64>,
+    /// Samples folded in so far, stable-sorted by trigger cycle, with
+    /// `weight_cycles` current for the whole vector.
+    sorted: Vec<Sample>,
+    /// How many entries of the caller's append-only `resolved` slice have
+    /// been merged into `sorted`.
+    seen: usize,
+    /// Per-symbol weight sums over `sorted[..stable]` — the additions
+    /// replayed so far, in sorted order, so resuming from here is
+    /// bit-identical to a from-scratch accumulation.
+    prefix: Vec<f64>,
+    /// Accumulation checkpoint into `sorted`. Everything at or past this
+    /// index may still be perturbed by late out-of-trigger-order
+    /// resolutions, so it is re-summed on every flush; the checkpoint only
+    /// advances to the earliest cycle a future insertion could precede.
+    stable: usize,
+}
+
+impl DeltaTracker {
+    /// A fresh tracker that has reported nothing.
+    #[must_use]
+    pub fn new() -> Self {
+        DeltaTracker::default()
+    }
+
+    /// Emits the delta from the last flush to `current`, then remembers
+    /// `current` as the new watermark.
+    pub fn flush_profile(&mut self, current: &Profile) -> ProfileDelta {
+        let units = ProfileDelta::quantize(current);
+        let delta = ProfileDelta::between(current.granularity(), &self.last_units, &units);
+        self.last_units = units;
+        delta
+    }
+
+    /// [`Self::flush_profile`] over resolved samples: computes the full
+    /// cumulative profile (sorting by cycle and weighting each sample by
+    /// its inter-sample gap, exactly as [`crate::ProfilerBank`] does at the
+    /// end of a run) and diffs it against the watermark.
+    ///
+    /// Late out-of-trigger-order resolutions (TIP's Front-end samples)
+    /// retroactively re-split earlier gaps, so increments cannot simply be
+    /// carried forward. Instead the tracker keeps `resolved` merged into a
+    /// sorted cache and re-derives weights and sums only from the first
+    /// position this flush's insertions could have perturbed. The sequence
+    /// of floating-point additions is identical to a from-scratch
+    /// recomputation — same samples, same sorted order — so the quantized
+    /// units stay bit-identical to the end-of-run profile while the
+    /// per-flush cost drops from O(total) to O(new + out-of-order window).
+    pub fn flush_samples(&mut self, resolved: &[Sample], map: &SymbolMap) -> ProfileDelta {
+        if resolved.len() < self.seen {
+            // The caller's sample vector shrank (drained or rebuilt): the
+            // cache describes samples that no longer exist, so start over.
+            self.sorted.clear();
+            self.seen = 0;
+            self.prefix.clear();
+            self.stable = 0;
+        }
+        if self.prefix.len() != map.num_symbols() {
+            self.prefix = vec![0.0; map.num_symbols()];
+            self.stable = 0;
+        }
+        let mut new: Vec<Sample> = resolved[self.seen..].to_vec();
+        self.seen = resolved.len();
+        new.sort_by_key(|s| s.cycle);
+
+        // First sorted position this flush changes: insertions all land at
+        // or after it (ties go old-first, matching a stable sort of the
+        // concatenation), and every weight before it is untouched because a
+        // sample's weight depends only on its predecessor's cycle.
+        let first = match new.first() {
+            Some(s) => self.sorted.partition_point(|prev| prev.cycle <= s.cycle),
+            None => self.sorted.len(),
+        };
+        if !new.is_empty() {
+            let tail = self.sorted.split_off(first);
+            let mut old = tail.into_iter().peekable();
+            let mut add = new.into_iter().peekable();
+            while let (Some(o), Some(n)) = (old.peek(), add.peek()) {
+                if o.cycle <= n.cycle {
+                    self.sorted.push(old.next().expect("peeked"));
+                } else {
+                    self.sorted.push(add.next().expect("peeked"));
+                }
+            }
+            self.sorted.extend(old);
+            self.sorted.extend(add);
+            let mut prev = if first == 0 {
+                0
+            } else {
+                self.sorted[first - 1].cycle
+            };
+            for s in &mut self.sorted[first..] {
+                s.weight_cycles = (s.cycle - prev) as f64 + if prev == 0 { 1.0 } else { 0.0 };
+                prev = s.cycle;
+            }
+        }
+
+        // Replay additions: advance the durable prefix up to this flush's
+        // first perturbed position (rewinding entirely if an insertion
+        // landed before the checkpoint), then sum the still-volatile tail
+        // onto a scratch copy.
+        if first < self.stable {
+            self.prefix.fill(0.0);
+            self.stable = 0;
+        }
+        for s in &self.sorted[self.stable..first] {
+            for &(idx, frac) in &s.targets {
+                self.prefix[map.symbol(idx).0 as usize] += s.weight_cycles * frac;
+            }
+        }
+        self.stable = first;
+        let mut weights = self.prefix.clone();
+        for s in &self.sorted[first..] {
+            for &(idx, frac) in &s.targets {
+                weights[map.symbol(idx).0 as usize] += s.weight_cycles * frac;
+            }
+        }
+
+        #[allow(clippy::cast_possible_truncation)]
+        let units: Vec<i64> = weights
+            .iter()
+            .map(|&w| (w * UNITS_PER_CYCLE as f64).round() as i64)
+            .collect();
+        let delta = ProfileDelta::between(map.granularity(), &self.last_units, &units);
+        self.last_units = units;
+        delta
+    }
+
+    /// Forgets everything reported so far; the next flush re-reports the
+    /// full cumulative profile.
+    pub fn reset(&mut self) {
+        self.last_units.clear();
+        self.sorted.clear();
+        self.seen = 0;
+        self.prefix.clear();
+        self.stable = 0;
     }
 }
 
@@ -290,5 +628,69 @@ mod tests {
         assert_eq!(r[0].0, SymbolId(1));
         assert_eq!(r[1].0, SymbolId(2));
         assert_eq!(r[2].0, SymbolId(0));
+    }
+
+    #[test]
+    fn ranked_breaks_weight_ties_by_symbol_id() {
+        // Regression: equal-weight symbols used to keep sort_by's
+        // unspecified relative order; they must order by ascending id.
+        let a = p(Granularity::Function, &[2.0, 5.0, 2.0, 5.0, 2.0]);
+        let r = a.ranked();
+        let ids: Vec<u32> = r.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(ids, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn merge_adds_elementwise_and_zero_is_identity() {
+        let mut a = p(Granularity::Function, &[1.0, 0.0, 2.0]);
+        let b = p(Granularity::Function, &[0.5, 3.0, 0.0]);
+        a.merge(&b);
+        assert_eq!(a.weights(), &[1.5, 3.0, 2.0]);
+        assert!((a.total() - 6.5).abs() < 1e-12);
+        let before = a.clone();
+        a.merge(&Profile::zeroed(Granularity::Function, 3));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn delta_entries_are_canonical() {
+        let d = ProfileDelta::from_entries(
+            Granularity::Function,
+            4,
+            vec![(3, 5), (1, -2), (3, -5), (0, 7), (9, 100)],
+        );
+        // Sorted, duplicate 3 summed to zero and dropped, out-of-range 9
+        // dropped.
+        assert_eq!(d.entries(), &[(0, 7), (1, -2)]);
+    }
+
+    #[test]
+    fn delta_merge_telescopes_exactly() {
+        let g = Granularity::Function;
+        let a = ProfileDelta::from_entries(g, 3, vec![(0, 840), (2, 420)]);
+        let b = ProfileDelta::from_entries(g, 3, vec![(0, -840), (1, 7)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.entries(), &[(1, 7), (2, 420)]);
+        let prof = ab.to_profile();
+        assert!((prof.weights()[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_flushes_increments_and_resets_to_full() {
+        let g = Granularity::Function;
+        let mut tracker = DeltaTracker::new();
+        let d1 = tracker.flush_profile(&p(g, &[1.0, 0.0]));
+        assert_eq!(d1.entries(), &[(0, 840)]);
+        let d2 = tracker.flush_profile(&p(g, &[1.0, 2.0]));
+        assert_eq!(d2.entries(), &[(1, 1680)]);
+        tracker.reset();
+        let d3 = tracker.flush_profile(&p(g, &[1.0, 2.0]));
+        let mut sum = d1;
+        sum.merge(&d2);
+        assert_eq!(sum, d3, "post-reset flush re-reports the cumulative total");
     }
 }

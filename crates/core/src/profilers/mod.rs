@@ -59,6 +59,21 @@ pub trait SampledProfiler: Send {
     /// Takes the samples resolved so far (in trigger order).
     fn drain_samples(&mut self) -> Vec<Sample>;
 
+    /// Emits the streaming increment since the last flush: the cumulative
+    /// profile over every sample resolved so far (weighted exactly as the
+    /// end of a run would weight it), quantized to integer units, minus
+    /// what the previous flush reported. See [`crate::ProfileDelta`].
+    ///
+    /// Non-destructive with respect to [`drain_samples`](Self::drain_samples)
+    /// — streaming observes, it never consumes — and excluded from
+    /// [`snapshot_into`](Self::snapshot_into): after a restore the next
+    /// flush re-reports the full cumulative profile. The default
+    /// implementation reports nothing (for profilers without sample
+    /// streams).
+    fn flush_delta(&mut self, map: &tip_isa::SymbolMap) -> crate::profile::ProfileDelta {
+        crate::profile::ProfileDelta::zero(map.granularity(), map.num_symbols() as u32)
+    }
+
     /// Serializes the profiler's complete mid-run state (resolved samples,
     /// in-flight samples, hardware registers) for a checkpoint.
     fn snapshot_into(&self, out: &mut Vec<u8>);
@@ -231,6 +246,16 @@ impl SampledProfiler for AnyProfiler {
             AnyProfiler::Lci(p) => p.drain_samples(),
             AnyProfiler::Nci(p) => p.drain_samples(),
             AnyProfiler::Tip(p) => p.drain_samples(),
+        }
+    }
+
+    fn flush_delta(&mut self, map: &tip_isa::SymbolMap) -> crate::profile::ProfileDelta {
+        match self {
+            AnyProfiler::Software(p) => p.flush_delta(map),
+            AnyProfiler::Dispatch(p) => p.flush_delta(map),
+            AnyProfiler::Lci(p) => p.flush_delta(map),
+            AnyProfiler::Nci(p) => p.flush_delta(map),
+            AnyProfiler::Tip(p) => p.flush_delta(map),
         }
     }
 

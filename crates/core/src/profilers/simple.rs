@@ -3,6 +3,7 @@
 //! (Intel PEBS) with its commit-parallelism-aware variant.
 
 use super::SampledProfiler;
+use crate::profile::{DeltaTracker, ProfileDelta};
 use crate::sample::Sample;
 use crate::snapshot::{get_idx, get_samples, put_samples};
 use std::collections::VecDeque;
@@ -34,6 +35,7 @@ fn get_cycles<C: FromIterator<u64>>(r: &mut SnapReader<'_>) -> Result<C, SnapErr
 pub struct Software {
     resolved: Vec<Sample>,
     pending: VecDeque<u64>,
+    tracker: DeltaTracker,
 }
 
 impl Software {
@@ -76,6 +78,10 @@ impl SampledProfiler for Software {
         std::mem::take(&mut self.resolved)
     }
 
+    fn flush_delta(&mut self, map: &tip_isa::SymbolMap) -> ProfileDelta {
+        self.tracker.flush_samples(&self.resolved, map)
+    }
+
     fn snapshot_into(&self, out: &mut Vec<u8>) {
         put_samples(out, &self.resolved);
         put_cycles(out, self.pending.iter().copied(), self.pending.len());
@@ -100,6 +106,7 @@ impl SampledProfiler for Software {
 #[derive(Debug, Default)]
 pub struct Dispatch {
     resolved: Vec<Sample>,
+    tracker: DeltaTracker,
     /// Samples waiting for something correct-path at the dispatch boundary.
     untagged: VecDeque<u64>,
     /// Tagged samples waiting for their instruction to commit:
@@ -172,6 +179,10 @@ impl SampledProfiler for Dispatch {
         std::mem::take(&mut self.resolved)
     }
 
+    fn flush_delta(&mut self, map: &tip_isa::SymbolMap) -> ProfileDelta {
+        self.tracker.flush_samples(&self.resolved, map)
+    }
+
     fn snapshot_into(&self, out: &mut Vec<u8>) {
         put_samples(out, &self.resolved);
         put_cycles(out, self.untagged.iter().copied(), self.untagged.len());
@@ -207,6 +218,7 @@ pub struct Lci {
     last_committed: Option<InstrIdx>,
     resolved: Vec<Sample>,
     pending: VecDeque<u64>,
+    tracker: DeltaTracker,
 }
 
 impl Lci {
@@ -254,6 +266,10 @@ impl SampledProfiler for Lci {
         std::mem::take(&mut self.resolved)
     }
 
+    fn flush_delta(&mut self, map: &tip_isa::SymbolMap) -> ProfileDelta {
+        self.tracker.flush_samples(&self.resolved, map)
+    }
+
     fn snapshot_into(&self, out: &mut Vec<u8>) {
         match self.last_committed {
             None => snap::put_u8(out, 0),
@@ -289,6 +305,7 @@ pub struct Nci {
     ilp_aware: bool,
     resolved: Vec<Sample>,
     pending: VecDeque<u64>,
+    tracker: DeltaTracker,
 }
 
 impl Nci {
@@ -299,6 +316,7 @@ impl Nci {
             ilp_aware,
             resolved: Vec::new(),
             pending: VecDeque::new(),
+            tracker: DeltaTracker::new(),
         }
     }
 
@@ -343,6 +361,10 @@ impl SampledProfiler for Nci {
 
     fn drain_samples(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.resolved)
+    }
+
+    fn flush_delta(&mut self, map: &tip_isa::SymbolMap) -> ProfileDelta {
+        self.tracker.flush_samples(&self.resolved, map)
     }
 
     fn snapshot_into(&self, out: &mut Vec<u8>) {

@@ -18,6 +18,7 @@
 
 use super::SampledProfiler;
 use crate::category::{CycleCategory, Oir};
+use crate::profile::{DeltaTracker, ProfileDelta};
 use crate::sample::Sample;
 use crate::snapshot::{get_idx, get_oir, get_samples, put_oir, put_samples};
 use std::collections::VecDeque;
@@ -164,6 +165,7 @@ pub struct Tip {
     /// post-processing step would recover these from the binary).
     idx_of: [InstrIdx; MAX_COMMIT],
     kind_of: [tip_isa::InstrKind; MAX_COMMIT],
+    tracker: DeltaTracker,
 }
 
 impl Tip {
@@ -179,6 +181,7 @@ impl Tip {
             open: VecDeque::new(),
             idx_of: [InstrIdx::new(0); MAX_COMMIT],
             kind_of: [tip_isa::InstrKind::Nop; MAX_COMMIT],
+            tracker: DeltaTracker::new(),
         }
     }
 
@@ -336,6 +339,10 @@ impl SampledProfiler for Tip {
 
     fn drain_samples(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.resolved)
+    }
+
+    fn flush_delta(&mut self, map: &tip_isa::SymbolMap) -> ProfileDelta {
+        self.tracker.flush_samples(&self.resolved, map)
     }
 
     fn snapshot_into(&self, out: &mut Vec<u8>) {

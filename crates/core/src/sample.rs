@@ -55,6 +55,20 @@ impl Sample {
     }
 }
 
+/// Sorts samples by trigger cycle and weights each by the interval since
+/// the previous one (the first sample also covers its own cycle 0..=cycle,
+/// hence the `+1`). This is the whole-run weighting [`crate::ProfilerBank`]
+/// applies when a run finishes; the streaming path reuses it verbatim so
+/// mid-run flushes quantize exactly the same cumulative profile.
+pub fn weight_by_intervals(samples: &mut Vec<Sample>) {
+    samples.sort_by_key(|x| x.cycle);
+    let mut prev = 0u64;
+    for sample in samples {
+        sample.weight_cycles = (sample.cycle - prev) as f64 + if prev == 0 { 1.0 } else { 0.0 };
+        prev = sample.cycle;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,8 @@
-//! Property-based tests for profiles, the error metric, and the sampler.
+//! Property-based tests for profiles, the error metric, the sampler, and
+//! the streaming-delta monoid.
 
 use proptest::prelude::*;
-use tip_core::{Profile, SampleSchedule, SamplerConfig};
+use tip_core::{Profile, ProfileDelta, SampleSchedule, SamplerConfig};
 use tip_isa::{Granularity, SymbolId};
 
 fn arb_profile(n: usize) -> impl Strategy<Value = Profile> {
@@ -80,5 +81,99 @@ proptest! {
         prop_assume!(a.total() > 0.0);
         let sum: f64 = a.ranked().iter().map(|(_, share)| share).sum();
         prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranked_orders_ties_by_symbol_id(ws in proptest::collection::vec(0u64..4, 24)) {
+        // Coarse integer weights force plenty of exact ties.
+        let mut p = Profile::zeroed(Granularity::Function, ws.len());
+        for (i, &w) in ws.iter().enumerate() {
+            if w > 0 {
+                p.add(SymbolId(i as u32), w as f64);
+            }
+        }
+        let r = p.ranked();
+        for pair in r.windows(2) {
+            prop_assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 .0 < pair[1].0 .0),
+                "ranking must be strictly (share desc, symbol id asc): {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_merge_is_a_monoid_on_integer_weights(
+        ws_a in proptest::collection::vec(0u64..1_000, 16),
+        ws_b in proptest::collection::vec(0u64..1_000, 16),
+        ws_c in proptest::collection::vec(0u64..1_000, 16),
+    ) {
+        let build = |ws: &[u64]| {
+            let mut p = Profile::zeroed(Granularity::Function, ws.len());
+            for (i, &w) in ws.iter().enumerate() {
+                if w > 0 {
+                    p.add(SymbolId(i as u32), w as f64);
+                }
+            }
+            p
+        };
+        let (a, b, c) = (build(&ws_a), build(&ws_b), build(&ws_c));
+
+        // Zero identity.
+        let mut z = a.clone();
+        z.merge(&Profile::zeroed(Granularity::Function, 16));
+        prop_assert_eq!(&z, &a);
+
+        // Commutativity (exact: integer-valued f64 addition below 2^53).
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+    }
+
+    #[test]
+    fn delta_merge_is_a_monoid(
+        ea in proptest::collection::vec((0u32..24, -5_000i64..5_000), 0..24),
+        eb in proptest::collection::vec((0u32..24, -5_000i64..5_000), 0..24),
+        ec in proptest::collection::vec((0u32..24, -5_000i64..5_000), 0..24),
+    ) {
+        let g = Granularity::Function;
+        let a = ProfileDelta::from_entries(g, 24, ea);
+        let b = ProfileDelta::from_entries(g, 24, eb);
+        let c = ProfileDelta::from_entries(g, 24, ec);
+
+        // Zero identity, both sides.
+        let mut za = a.clone();
+        za.merge(&ProfileDelta::zero(g, 24));
+        prop_assert_eq!(&za, &a);
+        let mut az = ProfileDelta::zero(g, 24);
+        az.merge(&a);
+        prop_assert_eq!(&az, &a);
+
+        // Commutativity — i64 unit addition is exact, so this is equality
+        // of canonical forms, not approximation.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
     }
 }

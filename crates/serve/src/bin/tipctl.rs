@@ -7,6 +7,7 @@
 //! commands:
 //!   submit <bench|fig08> [test|small|full] [--seed N]
 //!   status <job> | watch <job> | result <job> | cancel <job>
+//!   top [--bench B] [--profiler NAME] [-n N] [--live]
 //!   stats | shutdown [--no-drain]
 //! ```
 //!
@@ -14,6 +15,12 @@
 //! six-profiler set — the service-side equivalent of running the fig08
 //! campaign locally, with byte-identical artifacts in the daemon's
 //! `--out` directory.
+//!
+//! `top` asks the daemon's live aggregate for the heaviest symbols of the
+//! campaign *so far* — streamed from running workers, so it answers
+//! mid-campaign. `--live` keeps refreshing until the daemon reports no
+//! queued or running jobs; `watch` likewise renders the streamed
+//! simulated-cycle count next to each state change.
 //!
 //! # Exit codes
 //!
@@ -35,17 +42,22 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use tip_bench::hostbench::FIG08_PROFILERS;
+use tip_core::ProfilerId;
 use tip_serve::client::{Client, ClientError};
-use tip_serve::proto::{JobSpec, JobState};
+use tip_serve::proto::{JobSpec, JobState, QueryKind, QueryRow};
 use tip_workloads::{SuiteScale, BENCHMARK_NAMES};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7421";
+
+/// Refresh cadence of `top --live`.
+const LIVE_REFRESH: Duration = Duration::from_millis(400);
 
 fn usage() -> &'static str {
     "usage: tipctl [--addr HOST:PORT] [--connect-timeout MS] [--max-retries N] \
      [--retry-seed N] \
      <submit <bench|fig08> [test|small|full] [--seed N] | status N | watch N | \
-     result N | cancel N | stats | shutdown [--no-drain]>"
+     result N | cancel N | top [--bench B] [--profiler NAME] [-n N] [--live] | \
+     stats | shutdown [--no-drain]>"
 }
 
 /// Why tipctl is exiting nonzero.
@@ -180,6 +192,40 @@ fn parse_job(arg: Option<String>) -> Result<u64, String> {
     v.parse().map_err(|_| format!("bad job id `{v}`"))
 }
 
+/// Maps a profiler name (the paper's figure labels, case-insensitive) to
+/// its id; `oracle` means the golden reference (`None`).
+fn parse_profiler(name: &str) -> Result<Option<ProfilerId>, String> {
+    if name.eq_ignore_ascii_case("oracle") {
+        return Ok(None);
+    }
+    ProfilerId::ALL
+        .iter()
+        .chain(std::iter::once(&ProfilerId::TipLastCommitDrain))
+        .copied()
+        .find(|p| p.label().eq_ignore_ascii_case(name))
+        .map(Some)
+        .ok_or_else(|| format!("unknown profiler `{name}` (try TIP, NCI, oracle, ...)"))
+}
+
+/// Renders one `top` snapshot: rows grouped by benchmark, share first.
+fn render_top(rows: &[QueryRow]) {
+    if rows.is_empty() {
+        println!("(no streamed data yet)");
+        return;
+    }
+    let mut current: Option<&str> = None;
+    for row in rows {
+        if current != Some(row.bench.as_str()) {
+            current = Some(row.bench.as_str());
+            let source = row.profiler.map_or("Oracle", ProfilerId::label);
+            println!("{} [{source}]:", row.bench);
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let units = row.value as i64;
+        println!("  {:6.2}%  {units:>14}  {}", row.share * 100.0, row.label);
+    }
+}
+
 fn run(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
     let (opts, cmd) = parse_globals(&mut args)?;
     let client = opts.client();
@@ -231,11 +277,61 @@ fn run(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
         }
         "watch" => {
             let job = parse_job(args.next())?;
-            let last = client.watch(job, |state| println!("job={job} {}", state_line(state)))?;
+            let last = client.watch_live(job, |state, cycles| {
+                if cycles > 0 {
+                    println!("job={job} {} cycles={cycles}", state_line(state));
+                } else {
+                    println!("job={job} {}", state_line(state));
+                }
+            })?;
             match last {
                 JobState::Done { ok: true, .. } => Ok(()),
                 JobState::Done { ok: false, .. } => Err(format!("job {job} failed").into()),
                 other => Err(format!("job {job} ended {}", state_line(other)).into()),
+            }
+        }
+        "top" => {
+            let mut bench = String::new();
+            let mut profiler: Option<ProfilerId> = None;
+            let mut n: u32 = 0;
+            let mut live = false;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--bench" => bench = args.next().ok_or("--bench needs a name")?,
+                    "--profiler" => {
+                        let v = args.next().ok_or("--profiler needs a name")?;
+                        profiler = parse_profiler(&v)?;
+                    }
+                    "-n" => {
+                        let v = args.next().ok_or("-n needs a count")?;
+                        n = v
+                            .parse()
+                            .ok()
+                            .filter(|&x| x >= 1)
+                            .ok_or(format!("-n: bad count `{v}`"))?;
+                    }
+                    "--live" => live = true,
+                    other => return Err(format!("unexpected argument `{other}`").into()),
+                }
+            }
+            loop {
+                let rows = client.query(QueryKind::TopN, &bench, profiler, n)?;
+                if !live {
+                    render_top(&rows);
+                    return Ok(());
+                }
+                // Live mode: redraw until the daemon has nothing queued or
+                // running, then print the (now final) view once more.
+                let stats = client.stats()?;
+                println!(
+                    "--- queued={} running={} deltas={}",
+                    stats.queued, stats.running, stats.deltas
+                );
+                render_top(&rows);
+                if stats.queued == 0 && stats.running == 0 {
+                    return Ok(());
+                }
+                std::thread::sleep(LIVE_REFRESH);
             }
         }
         "result" => {
@@ -334,6 +430,27 @@ mod tests {
             assert!(seen.insert(*want), "exit code {want} reused");
             assert!(!message(err).is_empty());
         }
+    }
+
+    #[test]
+    fn profiler_names_parse_case_insensitively_and_oracle_is_none() {
+        assert_eq!(parse_profiler("TIP"), Ok(Some(ProfilerId::Tip)));
+        assert_eq!(parse_profiler("tip"), Ok(Some(ProfilerId::Tip)));
+        assert_eq!(parse_profiler("nci+ilp"), Ok(Some(ProfilerId::NciIlp)));
+        assert_eq!(parse_profiler("Oracle"), Ok(None));
+        assert!(parse_profiler("perf").is_err());
+    }
+
+    #[test]
+    fn stats_render_carries_the_streaming_aggregate_fields() {
+        let stats = tip_serve::proto::ServerStats {
+            deltas: 42,
+            streamed: 3,
+            ..Default::default()
+        };
+        let rendered = stats.render();
+        assert!(rendered.contains("deltas=42\n"), "{rendered}");
+        assert!(rendered.contains("streamed=3\n"), "{rendered}");
     }
 
     #[test]

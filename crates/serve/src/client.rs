@@ -37,11 +37,12 @@ use std::time::{Duration, SystemTime};
 
 use crate::fleet::PollReply;
 use crate::proto::{
-    read_response, write_request, ErrorCode, JobSpec, JobState, RemoteOutcome, Request, Response,
-    ServerStats,
+    read_response, write_request, DeltaFrame, ErrorCode, JobSpec, JobState, QueryKind, QueryRow,
+    RemoteOutcome, Request, Response, ServerStats,
 };
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use tip_core::ProfilerId;
 use tip_trace::TraceError;
 
 /// Why a client call failed.
@@ -370,6 +371,22 @@ impl Client {
         job: u64,
         mut on_progress: impl FnMut(JobState),
     ) -> Result<JobState, ClientError> {
+        self.watch_live(job, |state, _cycles| on_progress(state))
+    }
+
+    /// [`Client::watch`] with the v4 live cycle count: `on_progress` also
+    /// receives the simulated cycles the job's benchmark had streamed when
+    /// the frame was sent (0 from pre-v4 servers, or before the first
+    /// delta flush lands).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn watch_live(
+        &self,
+        job: u64,
+        mut on_progress: impl FnMut(JobState, u64),
+    ) -> Result<JobState, ClientError> {
         let mut from_seq = 0u64;
         let mut reconnects = 0u32;
         'redial: loop {
@@ -384,9 +401,11 @@ impl Client {
             }
             loop {
                 match self.read_reply(&mut stream) {
-                    Ok(Response::Progress { state, seq, .. }) => {
+                    Ok(Response::Progress {
+                        state, seq, cycles, ..
+                    }) => {
                         from_seq = seq + 1;
-                        on_progress(state);
+                        on_progress(state, cycles);
                         if state.is_terminal() {
                             return Ok(state);
                         }
@@ -525,6 +544,51 @@ impl Client {
             outcome: outcome.clone(),
         })? {
             Response::ResultAck { accepted } => Ok(accepted),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams one profile-delta flush into the server's live aggregate;
+    /// `Ok(false)` means the server discarded it (e.g. the pushing daemon
+    /// no longer holds the benchmark's assignment). Best-effort by
+    /// contract: callers may drop errors — deltas carry live visibility,
+    /// never correctness.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn push_delta(&self, daemon: u64, frame: &DeltaFrame) -> Result<bool, ClientError> {
+        match self.call(&Request::PushDelta {
+            daemon,
+            frame: frame.clone(),
+        })? {
+            Response::DeltaAck { accepted } => Ok(accepted),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server's live aggregate a question; rows come back in the
+    /// server's deterministic order. An empty `bench` means "all streamed
+    /// benchmarks"; `n` caps `TopN` rows per benchmark (0 = server
+    /// default).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for connect, protocol, or server refusals.
+    pub fn query(
+        &self,
+        kind: QueryKind,
+        bench: &str,
+        profiler: Option<ProfilerId>,
+        n: u32,
+    ) -> Result<Vec<QueryRow>, ClientError> {
+        match self.call(&Request::Query {
+            kind,
+            bench: bench.to_owned(),
+            profiler,
+            n,
+        })? {
+            Response::QueryReply { rows } => Ok(rows),
             other => Err(unexpected(&other)),
         }
     }

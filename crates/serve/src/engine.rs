@@ -64,11 +64,13 @@ use std::time::{Duration, Instant};
 use crate::proto::{JobSpec, JobState, ServerStats};
 use tip_bench::campaign::{CompletedBench, FailedBench};
 use tip_bench::executor::{
-    run_job_beating, ExecSummary, Heartbeat, Job, JobOutcome, Runner, SpecRunner,
+    run_job_streaming, ExecSummary, Heartbeat, Job, JobOutcome, Runner, SpecRunner,
 };
 use tip_bench::experiments::SuiteRun;
 use tip_bench::ledger::{result_path, Ledger};
+use tip_bench::live::{DeltaSink, LiveAggregate};
 use tip_bench::run::MAX_CYCLES;
+use tip_isa::{Granularity, SymbolId};
 use tip_ooo::CoreConfig;
 use tip_workloads::{benchmark, BENCHMARK_NAMES};
 
@@ -90,6 +92,11 @@ pub struct EngineConfig {
     /// Job lease: a claimed job whose worker neither finishes nor
     /// heartbeats within this window is reassigned to a fresh worker.
     pub lease: Duration,
+    /// Live streaming aggregate the workers flush profile deltas into;
+    /// `None` creates a private one (queries just see an engine-local
+    /// view). Streaming is observational either way — artifacts are
+    /// byte-identical with any choice here.
+    pub live: Option<Arc<LiveAggregate>>,
 }
 
 impl EngineConfig {
@@ -102,6 +109,7 @@ impl EngineConfig {
             workers: 1,
             resume: false,
             lease: DEFAULT_LEASE,
+            live: None,
         }
     }
 }
@@ -210,6 +218,8 @@ struct Inner {
     lease: Duration,
     started: Instant,
     out_dir: PathBuf,
+    /// The streaming aggregate the workers' delta flushes land in.
+    live: Arc<LiveAggregate>,
 }
 
 /// The shared job engine. Cheap to clone; all clones drive one queue.
@@ -263,6 +273,7 @@ impl Engine {
             lease: config.lease.max(Duration::from_millis(1)),
             started: Instant::now(),
             out_dir: config.out_dir.clone(),
+            live: config.live.clone().unwrap_or_default(),
         });
         let mut threads = Vec::with_capacity(workers + 2);
         for worker in 0..workers {
@@ -370,6 +381,15 @@ impl Engine {
     pub fn status(&self, job: u64) -> Option<JobState> {
         let state = self.inner.state.lock().expect("engine lock");
         state.job_state(job)
+    }
+
+    /// The benchmark name a job runs, for live-view lookups. `None` for an
+    /// unknown id.
+    #[must_use]
+    pub fn bench_of(&self, job: u64) -> Option<String> {
+        let state = self.inner.state.lock().expect("engine lock");
+        let index = job_index(&state, job)?;
+        Some(state.entries[index].job.bench.name.to_owned())
     }
 
     /// The job's progress history from sequence number `from_seq` on —
@@ -513,7 +533,37 @@ impl Engine {
             shed: 0,
             daemons: 0,
             stale: state.stale_results,
+            deltas: 0,
+            streamed: 0,
         }
+    }
+
+    /// The engine's live streaming aggregate (the one `config.live` named,
+    /// or the engine's private one).
+    #[must_use]
+    pub fn live(&self) -> Arc<LiveAggregate> {
+        Arc::clone(&self.inner.live)
+    }
+
+    /// Human-readable names for `syms` of `bench` at granularity `g`,
+    /// resolved from the submitted job's generated program. `None` until a
+    /// job for that benchmark has been submitted.
+    #[must_use]
+    pub fn symbol_names(&self, bench: &str, g: Granularity, syms: &[u32]) -> Option<Vec<String>> {
+        let state = self.inner.state.lock().expect("engine lock");
+        let entry = state.entries.iter().find(|e| e.job.bench.name == bench)?;
+        let n = entry.job.bench.program.num_symbols(g) as u32;
+        Some(
+            syms.iter()
+                .map(|&s| {
+                    if s < n {
+                        entry.job.bench.program.symbol_name(g, SymbolId(s))
+                    } else {
+                        format!("sym{s}")
+                    }
+                })
+                .collect(),
+        )
     }
 
     /// Results discarded because the worker's lease had already expired
@@ -621,7 +671,7 @@ impl Drop for WorkerDeathWatch {
     }
 }
 
-fn worker_loop<R: Runner>(inner: &Inner, worker: usize, runner: &R) {
+fn worker_loop<R: Runner>(inner: &Arc<Inner>, worker: usize, runner: &R) {
     loop {
         let (index, job, wait, epoch, beacon) = {
             let mut state = inner.state.lock().expect("engine lock");
@@ -674,7 +724,22 @@ fn worker_loop<R: Runner>(inner: &Inner, worker: usize, runner: &R) {
             inner.changed.notify_all();
             (index, job, wait, epoch, beacon)
         };
-        let outcome = run_job_beating(index, &job, runner, wait, worker, &beacon);
+        // Stream delta flushes into the live aggregate, fenced by the
+        // assignment epoch: a worker the reaper already declared dead must
+        // not pollute the fresh assignment's slot (its committed result is
+        // discarded by the same fence below).
+        let sink = {
+            let inner = Arc::clone(inner);
+            DeltaSink::new(move |event| {
+                let state = inner.state.lock().expect("engine lock");
+                let current = state.entries[index].epoch == epoch;
+                drop(state);
+                if current {
+                    inner.live.ingest(&event);
+                }
+            })
+        };
+        let outcome = run_job_streaming(index, &job, runner, wait, worker, &beacon, &sink);
         let mut state = inner.state.lock().expect("engine lock");
         let entry = &mut state.entries[index];
         if entry.epoch == epoch && matches!(entry.phase, Phase::Running { .. }) {
@@ -851,6 +916,7 @@ fn committer_loop(inner: &Inner, mut ledger: Ledger) {
                         ledger.commit_failed(&failed, metrics);
                     }
                 }
+                inner.live.mark_settled(name, ok);
                 let mut state = inner.state.lock().expect("engine lock");
                 state.entries[index].phase = Phase::Done { ok, attempts };
                 state.entries[index]

@@ -53,14 +53,16 @@ use std::time::{Duration, Instant};
 
 use crate::client::{Client, ClientError};
 use crate::engine::SubmitError;
-use crate::proto::{ErrorCode, JobSpec, JobState, RemoteOutcome, ServerStats};
+use crate::proto::{DeltaFrame, ErrorCode, JobSpec, JobState, RemoteOutcome, ServerStats};
 use tip_bench::campaign::{CompletedBench, FailedBench};
-use tip_bench::executor::{run_job, Job, JobMetrics, SpecRunner};
+use tip_bench::executor::{run_job_streaming, Heartbeat, Job, JobMetrics, SpecRunner};
 use tip_bench::experiments::SuiteRun;
 use tip_bench::ledger::{one_line, render_completed, render_failed, result_path, Ledger};
+use tip_bench::live::{DeltaEvent, DeltaSink, LiveAggregate};
 use tip_bench::run::MAX_CYCLES;
+use tip_isa::{Granularity, SymbolId};
 use tip_ooo::CoreConfig;
-use tip_workloads::{benchmark, BENCHMARK_NAMES};
+use tip_workloads::{benchmark, SuiteScale, BENCHMARK_NAMES};
 
 /// Default assignment lease. Shorter than the engine's worker lease: a
 /// daemon beacons at `lease / 4` from a dedicated thread regardless of how
@@ -83,6 +85,9 @@ pub struct CoordinatorConfig {
     /// Assignment lease: a daemon silent longer than this has its
     /// assignments requeued under a bumped epoch.
     pub lease: Duration,
+    /// Live streaming aggregate daemon-pushed deltas are folded into;
+    /// `None` creates a private one.
+    pub live: Option<Arc<LiveAggregate>>,
 }
 
 impl CoordinatorConfig {
@@ -94,6 +99,7 @@ impl CoordinatorConfig {
             out_dir,
             resume: false,
             lease: DEFAULT_FLEET_LEASE,
+            live: None,
         }
     }
 }
@@ -213,6 +219,8 @@ struct Inner {
     lease: Duration,
     started: Instant,
     out_dir: PathBuf,
+    /// The streaming aggregate daemon-pushed delta flushes land in.
+    live: Arc<LiveAggregate>,
 }
 
 /// The shared fleet coordinator. Cheap to clone; all clones drive one
@@ -256,6 +264,7 @@ impl Coordinator {
             lease: config.lease.max(Duration::from_millis(1)),
             started: Instant::now(),
             out_dir: config.out_dir.clone(),
+            live: config.live.clone().unwrap_or_default(),
         });
         let mut threads = Vec::with_capacity(2);
         {
@@ -418,6 +427,69 @@ impl Coordinator {
         }
     }
 
+    /// Folds one daemon-pushed delta flush into the live aggregate.
+    /// Counts as a heartbeat (streaming *is* liveness). Returns whether
+    /// the flush was accepted: a daemon pushing for a benchmark it does
+    /// not currently hold — its lease expired and the job was reassigned —
+    /// is refused, so a resurrected daemon cannot pollute the fresh
+    /// assignment's slot. Purely observational either way.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownDaemon`] — see [`Coordinator::beacon`].
+    pub fn accept_delta(&self, daemon: u64, event: &DeltaEvent) -> Result<bool, ErrorCode> {
+        let mut state = self.inner.state.lock().expect("fleet lock");
+        touch(&mut state, daemon, self.inner.lease)?;
+        let holds = state.entries.iter().any(|e| {
+            e.name == event.bench && matches!(e.phase, Phase::Assigned { daemon: d } if d == daemon)
+        });
+        drop(state);
+        if holds {
+            self.inner.live.ingest(event);
+        }
+        Ok(holds)
+    }
+
+    /// The coordinator's live streaming aggregate.
+    #[must_use]
+    pub fn live(&self) -> Arc<LiveAggregate> {
+        Arc::clone(&self.inner.live)
+    }
+
+    /// The submitted scale of `bench`, for server-side symbol resolution.
+    /// `None` until a job for that benchmark has been submitted.
+    #[must_use]
+    pub fn scale_of(&self, bench: &str) -> Option<SuiteScale> {
+        let state = self.inner.state.lock().expect("fleet lock");
+        state
+            .entries
+            .iter()
+            .find(|e| e.name == bench)
+            .map(|e| e.spec.scale)
+    }
+
+    /// Human-readable names for `syms` of `bench` at granularity `g`.
+    /// The coordinator never resolves programs itself (daemons do), so
+    /// this regenerates the benchmark — callers should cache.
+    #[must_use]
+    pub fn symbol_names(&self, bench: &str, g: Granularity, syms: &[u32]) -> Option<Vec<String>> {
+        let scale = self.scale_of(bench)?;
+        let name = BENCHMARK_NAMES.iter().find(|&&n| n == bench)?;
+        let program = benchmark(name, scale).program;
+        let n = program.num_symbols(g) as u32;
+        Some(
+            syms.iter()
+                .map(|&s| {
+                    if s < n {
+                        program.symbol_name(g, SymbolId(s))
+                    } else {
+                        format!("sym{s}")
+                    }
+                })
+                .collect(),
+        )
+    }
+
     /// Enqueues a job with an idempotency key — the fleet analogue of
     /// [`crate::engine::Engine::submit_deduped`], with identical
     /// validation and resume-skip semantics. The program itself is *not*
@@ -467,6 +539,15 @@ impl Coordinator {
         drop(state);
         self.inner.changed.notify_all();
         Ok(id)
+    }
+
+    /// The benchmark name a job runs, for live-view lookups. `None` for an
+    /// unknown id.
+    #[must_use]
+    pub fn bench_of(&self, job: u64) -> Option<String> {
+        let state = self.inner.state.lock().expect("fleet lock");
+        let index = job_index(&state, job)?;
+        Some(state.entries[index].name.to_owned())
     }
 
     /// The job's current externally visible state, or `None` for an
@@ -624,6 +705,8 @@ impl Coordinator {
             shed: 0,
             daemons: state.daemons.len() as u32,
             stale: state.stale_results,
+            deltas: 0,
+            streamed: 0,
         }
     }
 
@@ -934,6 +1017,7 @@ fn committer_loop(inner: &Inner, mut ledger: Ledger) {
                     &outcome.error_line,
                     metrics,
                 );
+                inner.live.mark_settled(name, ok);
                 let mut state = inner.state.lock().expect("fleet lock");
                 state.entries[index].phase = Phase::Done { ok, attempts };
                 state.entries[index]
@@ -1147,7 +1231,11 @@ fn beacon_loop(session: &Session, give_up: Duration) {
 /// snappy, long enough not to hammer the coordinator.
 const POLL_PAUSE: Duration = Duration::from_millis(20);
 
-fn worker_loop(session: &Session, worker: usize, give_up: Duration) -> Result<(), ClientError> {
+fn worker_loop(
+    session: &Arc<Session>,
+    worker: usize,
+    give_up: Duration,
+) -> Result<(), ClientError> {
     loop {
         if session.done.load(Ordering::SeqCst) {
             return Ok(());
@@ -1179,7 +1267,21 @@ fn worker_loop(session: &Session, worker: usize, give_up: Duration) -> Result<()
                 continue;
             }
         };
-        let outcome = run_assignment(&spec, worker, task);
+        // Stream delta flushes to the coordinator as the run progresses —
+        // the "piggybacked on pushes" half of fleet liveness: each flush
+        // extends the leases like a beacon. Best-effort by design: a lost
+        // or refused frame costs live visibility, never correctness (the
+        // authoritative result still travels in the final push).
+        let sink = {
+            let session = Arc::clone(session);
+            DeltaSink::new(move |event| {
+                let id = session.daemon.load(Ordering::SeqCst);
+                let frame = DeltaFrame::from_event(&event);
+                let res = session.client.push_delta(id, &frame);
+                note(&session, &res);
+            })
+        };
+        let outcome = run_assignment(&spec, worker, task, &sink);
         // Push until acked; a lost ack retries idempotently, a stale epoch
         // or unknown-task refusal just drops the result (the coordinator
         // reassigned it).
@@ -1209,7 +1311,8 @@ fn worker_loop(session: &Session, worker: usize, give_up: Duration) -> Result<()
 
 /// Runs one assignment exactly like a local campaign worker would and
 /// renders the result-file bytes the coordinator will persist verbatim.
-fn run_assignment(spec: &JobSpec, worker: usize, task: u64) -> RemoteOutcome {
+/// Delta flushes stream through `sink` while the run progresses.
+fn run_assignment(spec: &JobSpec, worker: usize, task: u64, sink: &DeltaSink) -> RemoteOutcome {
     let Some(&name) = BENCHMARK_NAMES.iter().find(|&&n| n == spec.bench) else {
         return refused_outcome(worker, &format!("unknown bench {:?}", spec.bench));
     };
@@ -1228,7 +1331,15 @@ fn run_assignment(spec: &JobSpec, worker: usize, task: u64) -> RemoteOutcome {
         max_cycles: MAX_CYCLES,
     };
     let index = usize::try_from(task.saturating_sub(1)).unwrap_or(0);
-    let outcome = run_job(index, &job, &SpecRunner, Duration::ZERO, worker);
+    let outcome = run_job_streaming(
+        index,
+        &job,
+        &SpecRunner,
+        Duration::ZERO,
+        worker,
+        &Heartbeat::live(),
+        sink,
+    );
     let attempts = outcome.attempts;
     let metrics = outcome.metrics;
     #[allow(clippy::cast_possible_truncation)]
@@ -1309,7 +1420,7 @@ mod tests {
 
     fn outcome_for(c: &Coordinator, spec_: &JobSpec, task: u64) -> RemoteOutcome {
         let _ = c; // Coordinator-independent: the agent renders locally.
-        run_assignment(spec_, 0, task)
+        run_assignment(spec_, 0, task, &DeltaSink::noop())
     }
 
     #[test]
@@ -1321,6 +1432,7 @@ mod tests {
             out_dir: dir.clone(),
             resume: false,
             lease: Duration::from_secs(30),
+            live: None,
         });
         let (daemon, lease_ms) = c.register("unit", 2);
         assert!(daemon >= 1);
@@ -1380,6 +1492,7 @@ mod tests {
             out_dir: dir.clone(),
             resume: false,
             lease: Duration::from_millis(40),
+            live: None,
         });
         let (dead, _) = c.register("dead", 1);
         assert_eq!(c.submit_deduped(&spec("mcf"), 0).expect("submit"), 1);
@@ -1464,6 +1577,7 @@ mod tests {
             out_dir: dir.clone(),
             resume: true,
             lease: Duration::from_secs(30),
+            live: None,
         });
         // A daemon id from a previous coordinator incarnation is unknown.
         assert_eq!(c.beacon(99), Err(ErrorCode::UnknownDaemon));
@@ -1495,6 +1609,60 @@ mod tests {
         c.shutdown(true);
         let journal = std::fs::read_to_string(dir.join("journal.txt")).expect("journal");
         assert_eq!(journal, "done mcf\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn accept_delta_requires_the_daemon_to_hold_the_assignment() {
+        use tip_core::{BankDeltas, ProfileDelta, NUM_CATEGORIES};
+
+        let event = |seq: u64| DeltaEvent {
+            bench: "mcf".to_owned(),
+            attempt: 1,
+            deltas: BankDeltas {
+                seq,
+                per_profiler: vec![(
+                    tip_core::ProfilerId::Tip,
+                    ProfileDelta::from_entries(Granularity::Function, 8, [(0, 840)]),
+                )],
+                oracle: ProfileDelta::from_entries(Granularity::Function, 8, [(1, 840)]),
+                stack: vec![0; NUM_CATEGORIES],
+                cycles: seq * 1_000,
+            },
+        };
+
+        let dir = std::env::temp_dir().join(format!("tip-fleet-delta-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let c = Coordinator::start(&CoordinatorConfig {
+            out_dir: dir.clone(),
+            resume: false,
+            lease: Duration::from_secs(30),
+            live: None,
+        });
+        let (holder, _) = c.register("holder", 1);
+        assert_eq!(c.submit_deduped(&spec("mcf"), 0).expect("submit"), 1);
+
+        // Before the assignment goes out nobody holds the bench: the push is
+        // acked-but-dropped, and nothing reaches the aggregate.
+        assert_eq!(c.accept_delta(holder, &event(1)), Ok(false));
+        assert!(c.live().view().bench("mcf").is_none());
+        // A daemon the coordinator never met is refused outright.
+        assert_eq!(c.accept_delta(99, &event(1)), Err(ErrorCode::UnknownDaemon));
+
+        let Ok(PollReply::Assignment { .. }) = c.poll_job(holder) else {
+            panic!("expected assignment")
+        };
+        assert_eq!(c.accept_delta(holder, &event(1)), Ok(true));
+        let view = c.live().view();
+        assert_eq!(view.bench("mcf").map(|b| b.flushes), Some(1));
+
+        // A registered bystander that does not hold the lease is fenced off:
+        // its (stale-epoch) stream must not corrupt the holder's slot.
+        let (bystander, _) = c.register("bystander", 1);
+        assert_eq!(c.accept_delta(bystander, &event(2)), Ok(false));
+        assert_eq!(c.live().view().bench("mcf").map(|b| b.flushes), Some(1));
+        c.shutdown(false);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

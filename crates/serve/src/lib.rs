@@ -35,6 +35,14 @@
 //!   agent half that `tipd --join` runs. The engine's lease/epoch/resume
 //!   semantics, lifted from worker threads to whole daemons.
 //!
+//! Since TIPW v4 the service also *streams*: engine workers and fleet
+//! agents flush quantized [`tip_bench::live`] profile deltas
+//! (`PushDelta` frames) into a server-side [`tip_bench::LiveAggregate`],
+//! and `Query{TopN, ErrorTrajectory, CycleStack}` frames answer live
+//! questions mid-campaign (`tipctl top --live`, `tipctl watch`).
+//! Streaming is pure observation — final artifacts stay byte-identical
+//! with it on or off, at any worker count or fleet fan-out.
+//!
 //! The fault-tolerance contract across all of it: any *single* fault —
 //! a corrupted frame, a dropped connection, a hung or panicking worker, a
 //! SIGKILLed daemon or fleet member, a partitioned coordinator↔daemon
@@ -63,5 +71,8 @@ pub use engine::{Engine, EngineConfig, SubmitError, DEFAULT_LEASE};
 pub use fleet::{
     run_agent, AgentConfig, Coordinator, CoordinatorConfig, PollReply, DEFAULT_FLEET_LEASE,
 };
-pub use proto::{ErrorCode, JobSpec, JobState, RemoteOutcome, Request, Response, ServerStats};
+pub use proto::{
+    DeltaFrame, ErrorCode, JobSpec, JobState, QueryKind, QueryRow, RemoteOutcome, Request,
+    Response, ServerStats,
+};
 pub use server::{serve, serve_with_runner, ServerConfig, ServerHandle};

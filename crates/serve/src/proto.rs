@@ -44,12 +44,25 @@
 //! `daemons`/`stale` counters to `Stats`. A v3 decoder accepts v1/v2 frames
 //! by defaulting the absent tail fields to zero ([`read_frame`] accepts any
 //! version in [`MIN_VERSION`]`..=`[`VERSION`]); encoders always emit v3.
+//!
+//! Version 4 (streaming aggregation) keeps the same discipline once more:
+//! [`Request::PushDelta`] carries a [`DeltaFrame`] of quantized profile
+//! increments from a running job, [`Request::Query`] asks the live
+//! aggregate a question ([`QueryKind::TopN`], [`QueryKind::ErrorTrajectory`],
+//! [`QueryKind::CycleStack`]), and [`Response::QueryReply`] /
+//! [`Response::DeltaAck`] answer them — all *new* kinds. The only changes
+//! to existing payloads are appended tail fields: `Progress` gains the live
+//! cycle count of the job's benchmark, and `Stats` gains the
+//! `deltas`/`streamed` counters. Deltas are signed; the wire carries `i64`
+//! as its two's-complement `u64` bits, which round-trips exactly.
 
 use std::io::{self, Read, Write};
 
+use tip_bench::live::DeltaEvent;
 use tip_bench::run::DEFAULT_INTERVAL;
-use tip_core::{ProfilerId, SamplerConfig, SamplingMode};
+use tip_core::{BankDeltas, ProfileDelta, ProfilerId, SamplerConfig, SamplingMode};
 use tip_isa::snap::{self, SnapError, SnapReader};
+use tip_isa::Granularity;
 use tip_trace::framing::{crc32_pair, read_exact_or_eof, ReadOutcome};
 use tip_trace::TraceError;
 use tip_workloads::SuiteScale;
@@ -57,7 +70,7 @@ use tip_workloads::SuiteScale;
 /// Stream magic: a framed TIPW protocol exchange.
 pub const MAGIC: [u8; 4] = *b"TIPW";
 /// Protocol version this build emits.
-pub const VERSION: u16 = 3;
+pub const VERSION: u16 = 4;
 /// Oldest protocol version this build still decodes (v2/v3 only append
 /// fields, so older frames decode with the tail fields defaulted).
 pub const MIN_VERSION: u16 = 1;
@@ -142,7 +155,7 @@ impl JobState {
 }
 
 /// A snapshot of the server's counters for the stats endpoint.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServerStats {
     /// Jobs waiting in the queue.
     pub queued: u32,
@@ -176,6 +189,11 @@ pub struct ServerStats {
     /// epoch — a resurrected daemon pushing work that was already
     /// reassigned (a v3 tail field).
     pub stale: u32,
+    /// Profile-delta flushes folded into the live aggregate so far (a v4
+    /// tail field).
+    pub deltas: u64,
+    /// Benchmarks with live streamed state (a v4 tail field).
+    pub streamed: u32,
 }
 
 impl ServerStats {
@@ -186,7 +204,7 @@ impl ServerStats {
         format!(
             "queued={}\nrunning={}\ndone={}\nfailed={}\ncancelled={}\nworkers={}\n\
              connections={}\nmean_queue_wait_ms={:.1}\nworker_utilization={:.3}\nuptime_ms={}\n\
-             reassigned={}\nshed={}\ndaemons={}\nstale={}\n",
+             reassigned={}\nshed={}\ndaemons={}\nstale={}\ndeltas={}\nstreamed={}\n",
             self.queued,
             self.running,
             self.done,
@@ -201,6 +219,8 @@ impl ServerStats {
             self.shed,
             self.daemons,
             self.stale,
+            self.deltas,
+            self.streamed,
         )
     }
 }
@@ -229,6 +249,137 @@ pub struct RemoteOutcome {
     pub instructions: u64,
     /// Instructions per cycle of the final attempt (0 on failure).
     pub ipc: f64,
+}
+
+/// One quantized profile-delta flush on the wire: the
+/// [`tip_core::BankDeltas`] of one run attempt's slice, addressed to a
+/// benchmark, in the sparse `(symbol, units)` form of
+/// [`tip_core::ProfileDelta`]. Signed unit counts travel as their
+/// two's-complement `u64` bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaFrame {
+    /// Benchmark name the deltas belong to.
+    pub bench: String,
+    /// 1-based attempt number (a retry restarts the accumulators).
+    pub attempt: u32,
+    /// 1-based flush sequence within the attempt; a non-increasing value
+    /// signals a restarted run whose first flush re-reports everything.
+    pub seq: u64,
+    /// Symbol granularity of the unit vectors (wire codes 0/1/2 for
+    /// instruction/basic-block/function).
+    pub granularity: Granularity,
+    /// Length of the dense unit vectors the sparse entries index into.
+    pub num_symbols: u32,
+    /// Sparse per-profiler increments since the attempt's last flush.
+    pub per_profiler: Vec<(ProfilerId, Vec<(u32, i64)>)>,
+    /// Sparse Oracle increments.
+    pub oracle: Vec<(u32, i64)>,
+    /// Cycle-stack increments, indexed by [`tip_core::CycleCategory`].
+    pub stack: Vec<i64>,
+    /// Simulated cycles the flush had observed (cumulative, not a delta).
+    pub cycles: u64,
+}
+
+impl DeltaFrame {
+    /// Wraps one harness-side [`DeltaEvent`] for the wire.
+    #[must_use]
+    pub fn from_event(event: &DeltaEvent) -> Self {
+        DeltaFrame {
+            bench: event.bench.clone(),
+            attempt: event.attempt,
+            seq: event.deltas.seq,
+            granularity: event.deltas.oracle.granularity(),
+            num_symbols: event.deltas.oracle.num_symbols(),
+            per_profiler: event
+                .deltas
+                .per_profiler
+                .iter()
+                .map(|(id, d)| (*id, d.entries().to_vec()))
+                .collect(),
+            oracle: event.deltas.oracle.entries().to_vec(),
+            stack: event.deltas.stack.clone(),
+            cycles: event.deltas.cycles,
+        }
+    }
+
+    /// Rebuilds the harness-side [`DeltaEvent`] a receiver can feed into a
+    /// [`tip_bench::live::LiveAggregate`]. Out-of-range symbols from a
+    /// hostile peer are clamped away by
+    /// [`tip_core::ProfileDelta::from_entries`], never a panic.
+    #[must_use]
+    pub fn into_event(self) -> DeltaEvent {
+        let g = self.granularity;
+        let n = self.num_symbols;
+        DeltaEvent {
+            bench: self.bench,
+            attempt: self.attempt,
+            deltas: BankDeltas {
+                seq: self.seq,
+                per_profiler: self
+                    .per_profiler
+                    .into_iter()
+                    .map(|(id, entries)| (id, ProfileDelta::from_entries(g, n, entries)))
+                    .collect(),
+                oracle: ProfileDelta::from_entries(g, n, self.oracle),
+                stack: self.stack,
+                cycles: self.cycles,
+            },
+        }
+    }
+}
+
+/// The questions the live aggregate answers over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// The heaviest symbols by aggregated units, per benchmark.
+    TopN,
+    /// A profiler's error-vs-Oracle trajectory over the flush history.
+    ErrorTrajectory,
+    /// The aggregated CPI-stack category breakdown.
+    CycleStack,
+}
+
+impl QueryKind {
+    fn code(self) -> u8 {
+        match self {
+            QueryKind::TopN => 0,
+            QueryKind::ErrorTrajectory => 1,
+            QueryKind::CycleStack => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, SnapError> {
+        Ok(match c {
+            0 => QueryKind::TopN,
+            1 => QueryKind::ErrorTrajectory,
+            2 => QueryKind::CycleStack,
+            _ => return Err(SnapError::Malformed("unknown query kind")),
+        })
+    }
+}
+
+/// One row of a [`Response::QueryReply`]. The shape is deliberately
+/// query-agnostic — a label plus two numbers — so new query kinds never
+/// need new frame layouts:
+///
+/// * `TopN`: label = symbol name, `value` = aggregated units,
+///   `share` = fraction of the benchmark's attributed units;
+/// * `ErrorTrajectory`: label = profiler name, `value` = simulated cycles
+///   at the flush, `share` = error vs. the Oracle at that point;
+/// * `CycleStack`: label = cycle-category, `value` = aggregated units,
+///   `share` = fraction of all attributed units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// Benchmark the row belongs to.
+    pub bench: String,
+    /// Profiler the row was computed from (`None` = the Oracle).
+    pub profiler: Option<ProfilerId>,
+    /// What the row names (symbol, profiler, or category — per kind).
+    pub label: String,
+    /// The row's magnitude (units or cycles — per kind).
+    pub value: f64,
+    /// The row's relative figure (share or error — per kind).
+    pub share: f64,
 }
 
 /// Why the server rejected a request.
@@ -370,6 +521,29 @@ pub enum Request {
         /// The rendered result and host metrics.
         outcome: RemoteOutcome,
     },
+    /// A running worker streams one profile-delta flush into the server's
+    /// live aggregate; answered with `DeltaAck`. Purely observational:
+    /// dropping these frames loses live visibility, never correctness.
+    PushDelta {
+        /// The daemon id from `Registered` when a fleet agent pushes on
+        /// behalf of its assignment; `0` from the server's own workers or
+        /// other local observers.
+        daemon: u64,
+        /// The flush.
+        frame: DeltaFrame,
+    },
+    /// Ask the live aggregate a question; answered with `QueryReply`.
+    Query {
+        /// What to compute.
+        kind: QueryKind,
+        /// Restrict to one benchmark; empty means all streamed benchmarks.
+        bench: String,
+        /// Profiler to read (`None` = the Oracle for `TopN`/`CycleStack`,
+        /// every profiler for `ErrorTrajectory`).
+        profiler: Option<ProfilerId>,
+        /// Row cap per benchmark (`TopN`); 0 means the server default.
+        n: u32,
+    },
 }
 
 /// A server-to-client message.
@@ -397,6 +571,10 @@ pub enum Response {
         /// dense). A reconnecting watcher resumes with
         /// `Watch{from_seq: seq + 1}`.
         seq: u64,
+        /// Simulated cycles the job's benchmark has streamed so far (0
+        /// until the first delta lands, and from pre-v4 peers — a v4 tail
+        /// field).
+        cycles: u64,
     },
     /// Answer to `Result`: the bytes of the job's `<bench>.result` file.
     ResultBody {
@@ -485,6 +663,19 @@ pub enum Response {
         /// result was discarded.
         accepted: bool,
     },
+    /// Answer to `Query`: the computed rows, in the server's deterministic
+    /// order (benchmarks by name; rows per the query kind's ranking).
+    QueryReply {
+        /// The rows; empty when nothing has streamed yet.
+        rows: Vec<QueryRow>,
+    },
+    /// Answer to `PushDelta`.
+    DeltaAck {
+        /// Whether the flush was folded into the live aggregate. `false`
+        /// means it was discarded (e.g. a fleet daemon pushing for a
+        /// benchmark it no longer holds).
+        accepted: bool,
+    },
 }
 
 // Frame kinds. Requests are low, responses have the high bit set, so a
@@ -500,6 +691,8 @@ const KIND_REGISTER: u16 = 8;
 const KIND_BEACON: u16 = 9;
 const KIND_POLL_JOB: u16 = 10;
 const KIND_PUSH_RESULT: u16 = 11;
+const KIND_PUSH_DELTA: u16 = 12;
+const KIND_QUERY: u16 = 13;
 const KIND_R_SUBMITTED: u16 = 0x81;
 const KIND_R_STATUS: u16 = 0x82;
 const KIND_R_PROGRESS: u16 = 0x83;
@@ -515,6 +708,141 @@ const KIND_R_BEACON_ACK: u16 = 0x8C;
 const KIND_R_ASSIGNMENT: u16 = 0x8D;
 const KIND_R_NO_WORK: u16 = 0x8E;
 const KIND_R_RESULT_ACK: u16 = 0x8F;
+const KIND_R_QUERY_REPLY: u16 = 0x90;
+const KIND_R_DELTA_ACK: u16 = 0x91;
+
+/// Wire code for "no profiler, meaning the Oracle" in v4 frames.
+const PROFILER_NONE: u8 = 255;
+
+fn put_opt_profiler(out: &mut Vec<u8>, p: Option<ProfilerId>) {
+    snap::put_u8(out, p.map_or(PROFILER_NONE, profiler_code));
+}
+
+fn get_opt_profiler(r: &mut SnapReader<'_>) -> Result<Option<ProfilerId>, SnapError> {
+    match r.u8()? {
+        PROFILER_NONE => Ok(None),
+        c => profiler_from_code(c).map(Some),
+    }
+}
+
+/// Signed units travel as their two's-complement bits — exact both ways.
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    #[allow(clippy::cast_sign_loss)]
+    snap::put_u64(out, v as u64);
+}
+
+fn get_i64(r: &mut SnapReader<'_>) -> Result<i64, SnapError> {
+    #[allow(clippy::cast_possible_wrap)]
+    Ok(r.u64()? as i64)
+}
+
+fn put_granularity(out: &mut Vec<u8>, g: Granularity) {
+    snap::put_u8(
+        out,
+        match g {
+            Granularity::Instruction => 0,
+            Granularity::BasicBlock => 1,
+            Granularity::Function => 2,
+        },
+    );
+}
+
+fn get_granularity(r: &mut SnapReader<'_>) -> Result<Granularity, SnapError> {
+    Ok(match r.u8()? {
+        0 => Granularity::Instruction,
+        1 => Granularity::BasicBlock,
+        2 => Granularity::Function,
+        _ => return Err(SnapError::Malformed("unknown granularity code")),
+    })
+}
+
+fn put_entries(out: &mut Vec<u8>, entries: &[(u32, i64)]) {
+    snap::put_len(out, entries.len());
+    for &(sym, units) in entries {
+        snap::put_u32(out, sym);
+        put_i64(out, units);
+    }
+}
+
+fn get_entries(r: &mut SnapReader<'_>) -> Result<Vec<(u32, i64)>, SnapError> {
+    let n = r.len()?;
+    let mut entries = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let sym = r.u32()?;
+        let units = get_i64(r)?;
+        entries.push((sym, units));
+    }
+    Ok(entries)
+}
+
+fn encode_delta_frame(out: &mut Vec<u8>, f: &DeltaFrame) {
+    put_string(out, &f.bench);
+    snap::put_u32(out, f.attempt);
+    snap::put_u64(out, f.seq);
+    put_granularity(out, f.granularity);
+    snap::put_u32(out, f.num_symbols);
+    snap::put_len(out, f.per_profiler.len());
+    for (p, entries) in &f.per_profiler {
+        snap::put_u8(out, profiler_code(*p));
+        put_entries(out, entries);
+    }
+    put_entries(out, &f.oracle);
+    snap::put_len(out, f.stack.len());
+    for &units in &f.stack {
+        put_i64(out, units);
+    }
+    snap::put_u64(out, f.cycles);
+}
+
+fn decode_delta_frame(r: &mut SnapReader<'_>) -> Result<DeltaFrame, SnapError> {
+    let bench = get_string(r)?;
+    let attempt = r.u32()?;
+    let seq = r.u64()?;
+    let granularity = get_granularity(r)?;
+    let num_symbols = r.u32()?;
+    let np = r.len()?;
+    let mut per_profiler = Vec::with_capacity(np.min(64));
+    for _ in 0..np {
+        let p = profiler_from_code(r.u8()?)?;
+        per_profiler.push((p, get_entries(r)?));
+    }
+    let oracle = get_entries(r)?;
+    let ns = r.len()?;
+    let mut stack = Vec::with_capacity(ns.min(64));
+    for _ in 0..ns {
+        stack.push(get_i64(r)?);
+    }
+    let cycles = r.u64()?;
+    Ok(DeltaFrame {
+        bench,
+        attempt,
+        seq,
+        granularity,
+        num_symbols,
+        per_profiler,
+        oracle,
+        stack,
+        cycles,
+    })
+}
+
+fn encode_query_row(out: &mut Vec<u8>, row: &QueryRow) {
+    put_string(out, &row.bench);
+    put_opt_profiler(out, row.profiler);
+    put_string(out, &row.label);
+    snap::put_f64(out, row.value);
+    snap::put_f64(out, row.share);
+}
+
+fn decode_query_row(r: &mut SnapReader<'_>) -> Result<QueryRow, SnapError> {
+    Ok(QueryRow {
+        bench: get_string(r)?,
+        profiler: get_opt_profiler(r)?,
+        label: get_string(r)?,
+        value: r.f64()?,
+        share: r.f64()?,
+    })
+}
 
 fn put_string(out: &mut Vec<u8>, s: &str) {
     snap::put_len(out, s.len());
@@ -756,6 +1084,23 @@ impl Request {
                 encode_outcome(&mut out, outcome);
                 KIND_PUSH_RESULT
             }
+            Request::PushDelta { daemon, frame } => {
+                snap::put_u64(&mut out, *daemon);
+                encode_delta_frame(&mut out, frame);
+                KIND_PUSH_DELTA
+            }
+            Request::Query {
+                kind,
+                bench,
+                profiler,
+                n,
+            } => {
+                snap::put_u8(&mut out, kind.code());
+                put_string(&mut out, bench);
+                put_opt_profiler(&mut out, *profiler);
+                snap::put_u32(&mut out, *n);
+                KIND_QUERY
+            }
         };
         (kind, out)
     }
@@ -810,6 +1155,16 @@ impl Request {
                 epoch: r.u64().map_err(snap_err)?,
                 outcome: decode_outcome(&mut r).map_err(snap_err)?,
             },
+            KIND_PUSH_DELTA => Request::PushDelta {
+                daemon: r.u64().map_err(snap_err)?,
+                frame: decode_delta_frame(&mut r).map_err(snap_err)?,
+            },
+            KIND_QUERY => Request::Query {
+                kind: QueryKind::from_code(r.u8().map_err(snap_err)?).map_err(snap_err)?,
+                bench: get_string(&mut r).map_err(snap_err)?,
+                profiler: get_opt_profiler(&mut r).map_err(snap_err)?,
+                n: r.u32().map_err(snap_err)?,
+            },
             _ => return Err(TraceError::Malformed("unknown request kind")),
         };
         finish(&r)?;
@@ -832,10 +1187,16 @@ impl Response {
                 put_job_state(&mut out, *state);
                 KIND_R_STATUS
             }
-            Response::Progress { job, state, seq } => {
+            Response::Progress {
+                job,
+                state,
+                seq,
+                cycles,
+            } => {
                 snap::put_u64(&mut out, *job);
                 put_job_state(&mut out, *state);
                 snap::put_u64(&mut out, *seq);
+                snap::put_u64(&mut out, *cycles);
                 KIND_R_PROGRESS
             }
             Response::ResultBody { job, body } => {
@@ -863,6 +1224,8 @@ impl Response {
                 snap::put_u32(&mut out, s.shed);
                 snap::put_u32(&mut out, s.daemons);
                 snap::put_u32(&mut out, s.stale);
+                snap::put_u64(&mut out, s.deltas);
+                snap::put_u32(&mut out, s.streamed);
                 KIND_R_STATS
             }
             Response::ShuttingDown { drain } => {
@@ -910,6 +1273,17 @@ impl Response {
                 snap::put_bool(&mut out, *accepted);
                 KIND_R_RESULT_ACK
             }
+            Response::QueryReply { rows } => {
+                snap::put_len(&mut out, rows.len());
+                for row in rows {
+                    encode_query_row(&mut out, row);
+                }
+                KIND_R_QUERY_REPLY
+            }
+            Response::DeltaAck { accepted } => {
+                snap::put_bool(&mut out, *accepted);
+                KIND_R_DELTA_ACK
+            }
         };
         (kind, out)
     }
@@ -935,6 +1309,7 @@ impl Response {
                 job: r.u64().map_err(snap_err)?,
                 state: get_job_state(&mut r).map_err(snap_err)?,
                 seq: tail_u64(&mut r).map_err(snap_err)?,
+                cycles: tail_u64(&mut r).map_err(snap_err)?,
             },
             KIND_R_RESULT => Response::ResultBody {
                 job: r.u64().map_err(snap_err)?,
@@ -959,6 +1334,8 @@ impl Response {
                 shed: tail_u32(&mut r).map_err(snap_err)?,
                 daemons: tail_u32(&mut r).map_err(snap_err)?,
                 stale: tail_u32(&mut r).map_err(snap_err)?,
+                deltas: tail_u64(&mut r).map_err(snap_err)?,
+                streamed: tail_u32(&mut r).map_err(snap_err)?,
             }),
             KIND_R_SHUTDOWN => Response::ShuttingDown {
                 drain: r.bool().map_err(snap_err)?,
@@ -991,6 +1368,17 @@ impl Response {
                 draining: r.bool().map_err(snap_err)?,
             },
             KIND_R_RESULT_ACK => Response::ResultAck {
+                accepted: r.bool().map_err(snap_err)?,
+            },
+            KIND_R_QUERY_REPLY => {
+                let n = r.len().map_err(snap_err)?;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rows.push(decode_query_row(&mut r).map_err(snap_err)?);
+                }
+                Response::QueryReply { rows }
+            }
+            KIND_R_DELTA_ACK => Response::DeltaAck {
                 accepted: r.bool().map_err(snap_err)?,
             },
             _ => return Err(TraceError::Malformed("unknown response kind")),

@@ -15,6 +15,7 @@
 //! in-flight jobs settle and commit, queued jobs stay unjournaled for a
 //! restarted daemon to resume.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -26,9 +27,16 @@ use std::time::{Duration, Instant};
 use crate::engine::{Engine, EngineConfig, SubmitError, DEFAULT_LEASE};
 use crate::fleet::{Coordinator, CoordinatorConfig, PollReply};
 use crate::proto::{
-    read_request, write_response, ErrorCode, JobSpec, JobState, Request, Response, ServerStats,
+    read_request, write_response, ErrorCode, JobSpec, JobState, QueryKind, QueryRow, Request,
+    Response, ServerStats,
 };
+use tip_bench::live::LiveAggregate;
+use tip_core::{CycleCategory, ProfilerId};
+use tip_isa::Granularity;
 use tip_trace::TraceError;
+
+/// Rows per benchmark a `Query{TopN, n: 0}` answers with.
+const DEFAULT_TOP_N: usize = 10;
 
 /// How the server listens and bounds its resources.
 #[derive(Debug, Clone)]
@@ -172,6 +180,20 @@ impl Backend {
         }
     }
 
+    fn bench_of(&self, job: u64) -> Option<String> {
+        match self {
+            Backend::Local(e) => e.bench_of(job),
+            Backend::Fleet(c) => c.bench_of(job),
+        }
+    }
+
+    fn symbol_names(&self, bench: &str, g: Granularity, syms: &[u32]) -> Option<Vec<String>> {
+        match self {
+            Backend::Local(e) => e.symbol_names(bench, g, syms),
+            Backend::Fleet(c) => c.symbol_names(bench, g, syms),
+        }
+    }
+
     fn shutdown(&self, drain: bool) {
         match self {
             // The engine always finishes in-flight local jobs (workers are
@@ -184,6 +206,14 @@ impl Backend {
 
 struct Shared {
     backend: Backend,
+    /// The streaming aggregate every `PushDelta` lands in and every `Query`
+    /// reads from — shared with the backend, which feeds it from its own
+    /// workers (engine) or committer (coordinator).
+    live: Arc<LiveAggregate>,
+    /// Symbol-name cache for `Query{TopN}` labels, keyed by benchmark: the
+    /// coordinator regenerates the workload program per lookup, so labels
+    /// are resolved once and reused.
+    labels: Mutex<HashMap<String, Vec<String>>>,
     shutdown: AtomicBool,
     /// Whether the requested shutdown drains in-flight fleet assignments
     /// (wire `Shutdown{drain:false}` force-expires them instead).
@@ -229,11 +259,13 @@ where
 {
     let listener = TcpListener::bind(&config.listen)?;
     let addr = listener.local_addr()?;
+    let live = Arc::new(LiveAggregate::new());
     let backend = if config.coordinator {
         Backend::Fleet(Coordinator::start(&CoordinatorConfig {
             out_dir: config.out_dir.clone(),
             resume: config.resume,
             lease: config.lease,
+            live: Some(Arc::clone(&live)),
         }))
     } else {
         Backend::Local(Engine::start_with_runner(
@@ -242,12 +274,15 @@ where
                 workers: config.workers,
                 resume: config.resume,
                 lease: config.lease,
+                live: Some(Arc::clone(&live)),
             },
             runner,
         ))
     };
     let shared = Arc::new(Shared {
         backend,
+        live,
+        labels: Mutex::new(HashMap::new()),
         shutdown: AtomicBool::new(false),
         drain_on_shutdown: AtomicBool::new(true),
         active_conns: AtomicUsize::new(0),
@@ -517,6 +552,9 @@ fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
             let mut stats: ServerStats = engine.stats();
             stats.connections = shared.active_conns.load(Ordering::SeqCst) as u32;
             stats.shed = shared.shed.load(Ordering::Relaxed);
+            let view = shared.live.view();
+            stats.deltas = view.total_flushes();
+            stats.streamed = view.benches.len() as u32;
             write_response(stream, &Response::Stats(stats)).is_err()
         }
         Request::Shutdown { drain } => {
@@ -587,7 +625,145 @@ fn dispatch(stream: &mut TcpStream, shared: &Shared, req: Request) -> bool {
             };
             write_response(stream, &resp).is_err()
         }
+        Request::PushDelta { daemon, frame } => {
+            // daemon 0 is a local observer: its flushes go straight into
+            // the aggregate. A fleet daemon's flushes pass through the
+            // coordinator, which validates liveness and that the daemon
+            // still holds the benchmark's assignment — a resurrected
+            // daemon's stale stream must not pollute the fresh slot.
+            let resp = if daemon == 0 {
+                shared.live.ingest(&frame.into_event());
+                Response::DeltaAck { accepted: true }
+            } else {
+                match fleet(engine) {
+                    Err(resp) => *resp,
+                    Ok(c) => match c.accept_delta(daemon, &frame.into_event()) {
+                        Ok(accepted) => Response::DeltaAck { accepted },
+                        Err(_) => unknown_daemon(daemon),
+                    },
+                }
+            };
+            write_response(stream, &resp).is_err()
+        }
+        Request::Query {
+            kind,
+            bench,
+            profiler,
+            n,
+        } => {
+            let rows = answer_query(shared, kind, &bench, profiler, n);
+            write_response(stream, &Response::QueryReply { rows }).is_err()
+        }
     }
+}
+
+/// Answers a live query from the current aggregate snapshot. An empty
+/// `bench` means every streamed benchmark; `n` caps `TopN` rows per
+/// benchmark (0 = [`DEFAULT_TOP_N`]) and, when non-zero, keeps only the
+/// trailing `n` points of each `ErrorTrajectory`.
+fn answer_query(
+    shared: &Shared,
+    kind: QueryKind,
+    bench: &str,
+    profiler: Option<ProfilerId>,
+    n: u32,
+) -> Vec<QueryRow> {
+    let view = shared.live.view();
+    let mut rows = Vec::new();
+    for b in view
+        .benches
+        .iter()
+        .filter(|b| bench.is_empty() || b.bench == bench)
+    {
+        match kind {
+            QueryKind::TopN => {
+                let cap = if n == 0 { DEFAULT_TOP_N } else { n as usize };
+                let top = b.top_n(profiler, cap);
+                let syms: Vec<u32> = top.iter().map(|&(s, _, _)| s).collect();
+                let labels = symbol_labels(shared, &b.bench, b.granularity, b.num_symbols, &syms);
+                for ((_, units, share), label) in top.into_iter().zip(labels) {
+                    rows.push(QueryRow {
+                        bench: b.bench.clone(),
+                        profiler,
+                        label,
+                        value: units as f64,
+                        share,
+                    });
+                }
+            }
+            QueryKind::ErrorTrajectory => {
+                let ids: Vec<ProfilerId> = match profiler {
+                    Some(id) => vec![id],
+                    None => b.per_profiler.iter().map(|(id, _)| *id).collect(),
+                };
+                for id in ids {
+                    let mut points = b.error_trajectory(id);
+                    if n != 0 && points.len() > n as usize {
+                        points.drain(..points.len() - n as usize);
+                    }
+                    for (cycles, error) in points {
+                        rows.push(QueryRow {
+                            bench: b.bench.clone(),
+                            profiler: Some(id),
+                            label: id.label().to_owned(),
+                            value: cycles as f64,
+                            share: error,
+                        });
+                    }
+                }
+            }
+            QueryKind::CycleStack => {
+                let total: i64 = b.stack.iter().filter(|&&u| u > 0).sum();
+                for (cat, &units) in CycleCategory::ALL.iter().zip(&b.stack) {
+                    rows.push(QueryRow {
+                        bench: b.bench.clone(),
+                        profiler: None,
+                        label: cat.label().to_owned(),
+                        value: units as f64,
+                        share: if total > 0 {
+                            units.max(0) as f64 / total as f64
+                        } else {
+                            0.0
+                        },
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Resolves symbol ids to display names via the backend, caching the full
+/// name table per benchmark. Unresolvable symbols (or a benchmark the
+/// backend no longer knows) fall back to `sym<N>` without caching, so a
+/// later resolution can still land.
+fn symbol_labels(
+    shared: &Shared,
+    bench: &str,
+    g: Granularity,
+    num_symbols: u32,
+    syms: &[u32],
+) -> Vec<String> {
+    let fallback = |s: u32| format!("sym{s}");
+    let mut cache = shared.labels.lock().expect("label cache");
+    if !cache.contains_key(bench) {
+        let all: Vec<u32> = (0..num_symbols).collect();
+        match shared.backend.symbol_names(bench, g, &all) {
+            Some(names) => {
+                cache.insert(bench.to_owned(), names);
+            }
+            None => return syms.iter().map(|&s| fallback(s)).collect(),
+        }
+    }
+    let names = &cache[bench];
+    syms.iter()
+        .map(|&s| {
+            names
+                .get(s as usize)
+                .cloned()
+                .unwrap_or_else(|| fallback(s))
+        })
+        .collect()
 }
 
 /// The coordinator behind a fleet request, or the typed refusal a plain
@@ -618,14 +794,27 @@ fn unknown_daemon(daemon: u64) -> Response {
 /// duplicates.
 fn watch(stream: &mut TcpStream, shared: &Shared, job: u64, from_seq: u64) -> bool {
     let engine = &shared.backend;
+    let bench = engine.bench_of(job);
     let mut next_seq = from_seq;
     loop {
         let Some(batch) = engine.wait_history(job, next_seq, Duration::from_millis(200)) else {
             return write_response(stream, &unknown_job(job)).is_err();
         };
+        // Streamed simulated cycles for the job's benchmark, refreshed per
+        // batch: watchers see the live view advance between state changes.
+        let cycles = bench
+            .as_deref()
+            .and_then(|name| shared.live.view().bench(name).map(|b| b.cycles))
+            .unwrap_or(0);
         let mut last = None;
         for (seq, state) in batch {
-            if write_response(stream, &Response::Progress { job, state, seq }).is_err() {
+            let frame = Response::Progress {
+                job,
+                state,
+                seq,
+                cycles,
+            };
+            if write_response(stream, &frame).is_err() {
                 return true;
             }
             next_seq = seq + 1;

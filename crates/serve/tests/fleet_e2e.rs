@@ -26,10 +26,11 @@ use std::process::{Child, Command, Stdio};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use tip_bench::campaign::{run_campaign, CampaignConfig};
+use tip_bench::campaign::{run_campaign, CampaignConfig, CampaignOutcome};
 use tip_bench::executor::SpecRunner;
-use tip_core::ProfilerId;
-use tip_serve::{chaos_proxy, ChaosConfig, Client, JobSpec, JobState};
+use tip_core::{ProfileDelta, ProfilerId};
+use tip_isa::{Granularity, SymbolId};
+use tip_serve::{chaos_proxy, ChaosConfig, Client, JobSpec, JobState, QueryKind};
 use tip_trace::fault::{Fault, FaultPlan};
 use tip_workloads::{benchmark, SuiteScale, BENCHMARK_NAMES};
 
@@ -349,5 +350,136 @@ fn fleet_survives_daemon_and_coordinator_kills_to_identical_artifacts() {
             assert!(daemon >= 1, "{name} ran outside the fleet");
         }
     }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The streaming acceptance scenario at fleet fan-out 2: two `tipd --join`
+/// agents push `PushDelta` frames to the coordinator while the campaign
+/// runs, and once every job settles the coordinator's wire-queryable
+/// aggregate must equal the finished profiles of an uninterrupted *local*
+/// [`run_campaign`] exactly — same quantized units, same shares, same
+/// symbol names — while the artifacts stay byte-identical. Streaming is an
+/// observation path, not a second source of truth.
+#[test]
+fn fleet_streams_deltas_and_live_queries_match_the_local_reference() {
+    let ref_dir = tmp_dir("stream-ref");
+    let config = CampaignConfig {
+        profilers: vec![ProfilerId::Tip],
+        out_dir: Some(ref_dir.clone()),
+        ..CampaignConfig::default()
+    };
+    let benches = names()
+        .iter()
+        .map(|&n| benchmark(n, SuiteScale::Test))
+        .collect();
+    let reference: CampaignOutcome = run_campaign(benches, &config, SpecRunner);
+    assert_eq!(reference.completed.len(), SUITE_LEN, "oracle run is clean");
+
+    let dir = tmp_dir("stream-srv");
+    let (mut coord, coord_addr) = spawn_coordinator(&dir, false);
+    let mut d1 = spawn_agent(&coord_addr, "d1");
+    let mut d2 = spawn_agent(&coord_addr, "d2");
+
+    let client = fleet_client(&coord_addr);
+    let mut ids = Vec::new();
+    for &name in names() {
+        ids.push(client.submit(&spec_for(name)).expect("submit"));
+    }
+
+    // Watch the stream come up while jobs settle. Agent pushes race the
+    // committer, so "a delta arrived mid-campaign" is observed, not
+    // required — the post-completion equality below is the hard check.
+    let deadline = Instant::now() + DEADLINE;
+    let mut saw_mid_campaign_rows = false;
+    loop {
+        let all_done = ids
+            .iter()
+            .all(|&id| matches!(client.status(id), Ok(state) if state.is_terminal()));
+        if all_done {
+            break;
+        }
+        if !saw_mid_campaign_rows {
+            if let Ok(rows) = client.query(QueryKind::TopN, "", Some(ProfilerId::Tip), 3) {
+                saw_mid_campaign_rows = !rows.is_empty();
+            }
+        }
+        assert!(Instant::now() < deadline, "campaign never settled");
+        thread::sleep(Duration::from_millis(10));
+    }
+    for &id in &ids {
+        assert!(
+            matches!(client.status(id), Ok(JobState::Done { ok: true, .. })),
+            "job {id} did not finish clean"
+        );
+    }
+
+    // Every bench streamed at least its final flush, and the stats frame
+    // carries the aggregate counters for `tipctl stats`.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.streamed, SUITE_LEN as u32, "every bench streamed");
+    assert!(
+        stats.deltas >= SUITE_LEN as u64,
+        "at least one flush per bench: {stats:?}"
+    );
+
+    // The coordinator's aggregate, read purely over the wire, equals the
+    // local finished profiles exactly: the integer-unit deltas telescope,
+    // so any split across agents and flushes sums to the same vector.
+    for c in &reference.completed {
+        let name = c.run.bench.name;
+        let profile =
+            c.run
+                .run
+                .bank
+                .profile_of(&c.run.bench.program, ProfilerId::Tip, Granularity::Function);
+        let units = ProfileDelta::quantize(&profile);
+        let total: i64 = units.iter().filter(|&&u| u > 0).sum();
+        let mut expected: Vec<(u32, i64)> = units
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u > 0)
+            .map(|(i, &u)| (i as u32, u))
+            .collect();
+        expected.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        expected.truncate(10);
+
+        let rows = client
+            .query(QueryKind::TopN, name, Some(ProfilerId::Tip), 0)
+            .expect("TopN query");
+        assert_eq!(rows.len(), expected.len(), "{name}: row count");
+        for (row, &(sym, u)) in rows.iter().zip(&expected) {
+            assert_eq!(row.bench, name);
+            assert_eq!(row.profiler, Some(ProfilerId::Tip));
+            assert_eq!(
+                row.label,
+                c.run
+                    .bench
+                    .program
+                    .symbol_name(Granularity::Function, SymbolId(sym)),
+                "{name}: symbol label"
+            );
+            assert!(
+                (row.value - u as f64).abs() < f64::EPSILON,
+                "{name}: units for {sym} — wire {} vs local {u}",
+                row.value
+            );
+            let share = u as f64 / total as f64;
+            assert!(
+                (row.share - share).abs() < 1e-12,
+                "{name}: share for {sym} — wire {} vs local {share}",
+                row.share
+            );
+        }
+    }
+    if saw_mid_campaign_rows {
+        eprintln!("fleet_e2e: live TopN answered mid-campaign");
+    }
+
+    client.shutdown(true).expect("wire shutdown");
+    assert!(coord.wait().expect("coordinator exit").success());
+    assert!(d1.wait().expect("agent d1 exit").success());
+    assert!(d2.wait().expect("agent d2 exit").success());
+
+    assert_identical(&dir, &ref_dir);
     let _ = fs::remove_dir_all(&dir);
 }

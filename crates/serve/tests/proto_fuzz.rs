@@ -5,11 +5,12 @@
 use std::io::{Cursor, Read};
 
 use proptest::prelude::*;
-use tip_core::{ProfilerId, SamplerConfig};
+use tip_core::{ProfilerId, SamplerConfig, NUM_CATEGORIES};
+use tip_isa::Granularity;
 use tip_serve::proto::{
-    read_frame, read_request, read_response, write_frame, write_request, write_response, ErrorCode,
-    JobSpec, JobState, RemoteOutcome, Request, Response, ServerStats, FRAME_HEADER_LEN, MAGIC,
-    MAX_PAYLOAD, MIN_VERSION, VERSION,
+    read_frame, read_request, read_response, write_frame, write_request, write_response,
+    DeltaFrame, ErrorCode, JobSpec, JobState, QueryKind, QueryRow, RemoteOutcome, Request,
+    Response, ServerStats, FRAME_HEADER_LEN, MAGIC, MAX_PAYLOAD, MIN_VERSION, VERSION,
 };
 use tip_trace::framing::crc32_pair;
 use tip_trace::TraceError;
@@ -42,6 +43,25 @@ fn outcome(ok: bool) -> RemoteOutcome {
         cycles: 1_000_000,
         instructions: 750_000,
         ipc: 0.75,
+    }
+}
+
+/// A delta flush with negative increments and an empty profiler list —
+/// the signed-unit and empty-collection edges of the v4 encoding.
+fn delta_frame(seq: u64) -> DeltaFrame {
+    DeltaFrame {
+        bench: "mcf".to_owned(),
+        attempt: 2,
+        seq,
+        granularity: Granularity::Function,
+        num_symbols: 32,
+        per_profiler: vec![
+            (ProfilerId::Tip, vec![(0, 840), (7, -1_680), (31, 1)]),
+            (ProfilerId::Software, Vec::new()),
+        ],
+        oracle: vec![(3, i64::MIN), (4, i64::MAX)],
+        stack: vec![-5; NUM_CATEGORIES],
+        cycles: seq.saturating_mul(250_000),
     }
 }
 
@@ -87,6 +107,32 @@ fn every_request() -> Vec<Request> {
             epoch: 0,
             outcome: outcome(false),
         },
+        Request::PushDelta {
+            daemon: 0,
+            frame: delta_frame(1),
+        },
+        Request::PushDelta {
+            daemon: u64::MAX,
+            frame: delta_frame(u64::MAX),
+        },
+        Request::Query {
+            kind: QueryKind::TopN,
+            bench: String::new(),
+            profiler: None,
+            n: 0,
+        },
+        Request::Query {
+            kind: QueryKind::ErrorTrajectory,
+            bench: "mcf".to_owned(),
+            profiler: Some(ProfilerId::Tip),
+            n: u32::MAX,
+        },
+        Request::Query {
+            kind: QueryKind::CycleStack,
+            bench: "lbm".to_owned(),
+            profiler: Some(ProfilerId::TipLastCommitDrain),
+            n: 7,
+        },
     ]
 }
 
@@ -126,6 +172,8 @@ fn every_response() -> Vec<Response> {
             shed: 9,
             daemons: 2,
             stale: 1,
+            deltas: 1_234,
+            streamed: 5,
         }),
         Response::ShuttingDown { drain: true },
         Response::Registered {
@@ -150,6 +198,27 @@ fn every_response() -> Vec<Response> {
             retry_after_ms: 500,
             queued: 300,
         },
+        Response::QueryReply { rows: Vec::new() },
+        Response::QueryReply {
+            rows: vec![
+                QueryRow {
+                    bench: "mcf".to_owned(),
+                    profiler: Some(ProfilerId::Tip),
+                    label: "primal_bea_mpp".to_owned(),
+                    value: 123_456.0,
+                    share: 0.42,
+                },
+                QueryRow {
+                    bench: "lbm".to_owned(),
+                    profiler: None,
+                    label: "Load stall".to_owned(),
+                    value: -1.5,
+                    share: 0.0,
+                },
+            ],
+        },
+        Response::DeltaAck { accepted: true },
+        Response::DeltaAck { accepted: false },
     ];
     for code in [
         ErrorCode::BadRequest,
@@ -173,6 +242,7 @@ fn every_response() -> Vec<Response> {
             job: 9,
             state,
             seq: i as u64,
+            cycles: (i as u64) * 250_000,
         });
     }
     all
@@ -412,13 +482,14 @@ fn v1_frames_and_payloads_decode_with_defaulted_tails() {
         }
     );
 
-    // Same trick for `Progress` (a v1 payload has no seq): its prefix is
-    // exactly a `Status` response payload.
+    // Same trick for `Progress` (a v1 payload has no seq, and pre-v4 none
+    // has cycles): its prefix is exactly a `Status` response payload.
     let state = JobState::Running { worker: 3 };
     let (progress_kind, _) = Response::Progress {
         job: 5,
         state,
         seq: 9,
+        cycles: 77,
     }
     .encode();
     let (_, v1_payload) = Response::Status { job: 5, state }.encode();
@@ -427,18 +498,19 @@ fn v1_frames_and_payloads_decode_with_defaulted_tails() {
         Response::Progress {
             job: 5,
             state,
-            seq: 0
+            seq: 0,
+            cycles: 0
         }
     );
 }
 
-/// A version-2 peer (pre-fleet) still interoperates with a v3 reader: v2
+/// A version-2 peer (pre-fleet) still interoperates with a v4 reader: v2
 /// frames pass the frame layer, and a v2 `Stats` payload — which ends
-/// before the appended `daemons`/`stale` counters — decodes with those
-/// tails defaulted to 0.
+/// before the appended `daemons`/`stale` (v3) and `deltas`/`streamed`
+/// (v4) counters — decodes with those tails defaulted to 0.
 #[test]
 fn v2_frames_and_stats_payloads_decode_with_defaulted_tails() {
-    // Frame layer: patch a v3 frame down to version 2 (CRC recomputed).
+    // Frame layer: patch a v4 frame down to version 2 (CRC recomputed).
     let mut wire = Vec::new();
     write_request(&mut wire, &Request::Stats).expect("encode");
     wire[4..6].copy_from_slice(&2u16.to_le_bytes());
@@ -449,8 +521,9 @@ fn v2_frames_and_stats_payloads_decode_with_defaulted_tails() {
         Ok(Some(Request::Stats))
     ));
 
-    // Payload layer: a v2 Stats payload is the v3 payload minus the two
-    // appended u32 tails (fixed-width little-endian encoding).
+    // Payload layer: a v2 Stats payload is the v4 payload minus the v3
+    // tails (two u32s) and v4 tails (one u64, one u32) — all fixed-width
+    // little-endian encoding.
     let full = ServerStats {
         queued: 1,
         running: 2,
@@ -466,18 +539,112 @@ fn v2_frames_and_stats_payloads_decode_with_defaulted_tails() {
         shed: 9,
         daemons: 11,
         stale: 13,
+        deltas: 17,
+        streamed: 19,
     };
-    let (stats_kind, v3_payload) = Response::Stats(full).encode();
-    let v2_payload = &v3_payload[..v3_payload.len() - 8];
+    let (stats_kind, v4_payload) = Response::Stats(full).encode();
+    let v2_payload = &v4_payload[..v4_payload.len() - 20];
     let decoded = Response::decode(stats_kind, v2_payload).expect("v2 stats decodes");
     assert_eq!(
         decoded,
         Response::Stats(ServerStats {
             daemons: 0,
             stale: 0,
+            deltas: 0,
+            streamed: 0,
             ..full
         })
     );
+}
+
+/// A version-3 peer (fleet, pre-streaming) interoperates with a v4
+/// reader: its `Stats` payload keeps the v3 `daemons`/`stale` tails but
+/// ends before `deltas`/`streamed`, and its `Progress` payload ends
+/// before `cycles` — all default to 0, nothing shifts.
+#[test]
+fn v3_payloads_decode_with_defaulted_v4_tails() {
+    let full = ServerStats {
+        queued: 1,
+        running: 2,
+        done: 3,
+        failed: 4,
+        cancelled: 5,
+        workers: 6,
+        connections: 7,
+        mean_queue_wait_ms: 12.5,
+        worker_utilization: 0.75,
+        uptime_ms: 123_456,
+        reassigned: 8,
+        shed: 9,
+        daemons: 11,
+        stale: 13,
+        deltas: 17,
+        streamed: 19,
+    };
+    let (stats_kind, v4_payload) = Response::Stats(full).encode();
+    let v3_payload = &v4_payload[..v4_payload.len() - 12];
+    assert_eq!(
+        Response::decode(stats_kind, v3_payload).expect("v3 stats decodes"),
+        Response::Stats(ServerStats {
+            deltas: 0,
+            streamed: 0,
+            ..full
+        })
+    );
+
+    let state = JobState::Running { worker: 3 };
+    let (progress_kind, v4_payload) = Response::Progress {
+        job: 5,
+        state,
+        seq: 9,
+        cycles: 1_000_000,
+    }
+    .encode();
+    let v3_payload = &v4_payload[..v4_payload.len() - 8];
+    assert_eq!(
+        Response::decode(progress_kind, v3_payload).expect("v3 progress decodes"),
+        Response::Progress {
+            job: 5,
+            state,
+            seq: 9,
+            cycles: 0
+        }
+    );
+}
+
+/// The v4 delta/query frames round-trip their edge values exactly —
+/// `i64::MIN`/`i64::MAX` units survive the two's-complement wire encoding
+/// — and a hostile `PushDelta` with out-of-range symbols decodes to an
+/// event whose deltas are clamped, never a panic.
+#[test]
+fn v4_delta_frames_round_trip_signed_units_and_clamp_hostile_symbols() {
+    let frame = delta_frame(3);
+    let mut wire = Vec::new();
+    write_request(
+        &mut wire,
+        &Request::PushDelta {
+            daemon: 0,
+            frame: frame.clone(),
+        },
+    )
+    .expect("encode");
+    let back = read_request(&mut Cursor::new(&wire))
+        .expect("decode")
+        .expect("one frame");
+    let Request::PushDelta { frame: decoded, .. } = back else {
+        panic!("wrong variant: {back:?}");
+    };
+    assert_eq!(decoded, frame);
+
+    // A symbol at or past num_symbols is hostile input: into_event clamps it
+    // out instead of letting it index past the dense vectors.
+    let hostile = DeltaFrame {
+        num_symbols: 4,
+        oracle: vec![(2, 840), (4, 840), (u32::MAX, 840)],
+        ..frame
+    };
+    let event = hostile.into_event();
+    assert_eq!(event.deltas.oracle.entries(), &[(2, 840)]);
 }
 
 #[test]

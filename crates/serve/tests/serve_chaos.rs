@@ -226,9 +226,11 @@ fn frame_corruption_retries_to_identical_artifacts() {
     let _ = fs::remove_dir_all(&srv_dir);
 }
 
-/// Fault 2: the watch connection is cut every 40 response bytes. The
-/// client must reconnect with `Watch{from_seq}` and resume the stream
-/// without replaying or losing states.
+/// Fault 2: the watch connection is cut every 56 response bytes — just
+/// over one v4 `Progress` frame (45 bytes with the streamed-cycles
+/// tail), so at most one frame survives per connection. The client must
+/// reconnect with `Watch{from_seq}` and resume the stream without
+/// replaying or losing states.
 #[test]
 fn connection_drop_mid_watch_resumes_the_stream() {
     let reference = reference_dir("drop");
@@ -250,7 +252,7 @@ fn connection_drop_mid_watch_resumes_the_stream() {
 
     let mut chaos = ChaosConfig::new(
         &handle.addr().to_string(),
-        FaultPlan::new(7, vec![Fault::Disconnect { after_bytes: 40 }]),
+        FaultPlan::new(7, vec![Fault::Disconnect { after_bytes: 56 }]),
     );
     chaos.fault_upstream = false; // requests arrive; replies get cut
     let proxy = chaos_proxy(&chaos).expect("proxy bind");
@@ -331,6 +333,7 @@ fn worker_panic_mid_job_is_reassigned() {
             workers: 2,
             resume: false,
             lease: Duration::from_millis(100),
+            live: None,
         },
         grenade,
     );
@@ -395,6 +398,7 @@ fn lease_expiry_after_hang_discards_the_stale_result() {
             workers: 2,
             resume: false,
             lease: Duration::from_millis(100),
+            live: None,
         },
         hang,
     );

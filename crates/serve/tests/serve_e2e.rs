@@ -18,9 +18,11 @@ use std::time::{Duration, Instant};
 
 use tip_bench::campaign::{run_campaign, CampaignConfig};
 use tip_bench::executor::{Job, RunCtx, Runner, SpecRunner};
-use tip_core::ProfilerId;
+use tip_core::{ProfileDelta, ProfilerId};
+use tip_isa::Granularity;
 use tip_serve::{
-    serve, Client, ClientError, Engine, EngineConfig, ErrorCode, JobSpec, JobState, ServerConfig,
+    serve, serve_with_runner, Client, ClientError, Engine, EngineConfig, ErrorCode, JobSpec,
+    JobState, QueryKind, ServerConfig,
 };
 use tip_workloads::{benchmark, SuiteScale, BENCHMARK_NAMES};
 
@@ -191,6 +193,145 @@ fn drained_daemon_resumes_to_byte_identical_artifacts() {
     let _ = fs::remove_dir_all(&srv_dir);
 }
 
+/// The v4 streaming path end-to-end: wire `Query` frames answer from the
+/// live aggregate *mid-campaign*, `watch` carries streamed simulated
+/// cycles, and once every job settles the aggregate's merged units equal
+/// the finished profiles of an uninterrupted local run exactly — the live
+/// view converges to the truth, not an approximation of it.
+#[test]
+fn live_queries_answer_mid_campaign_and_converge_exactly() {
+    const LIVE_LEN: usize = 3;
+    let names = &BENCHMARK_NAMES[..LIVE_LEN];
+
+    // Local reference for the finished profiles (same specs, same order).
+    let local_dir = tmp_dir("live-local");
+    let config = CampaignConfig {
+        profilers: vec![ProfilerId::Tip],
+        out_dir: Some(local_dir.clone()),
+        ..CampaignConfig::default()
+    };
+    let benches = names
+        .iter()
+        .map(|&n| benchmark(n, SuiteScale::Test))
+        .collect();
+    let reference = run_campaign(benches, &config, SpecRunner);
+    assert_eq!(reference.completed.len(), LIVE_LEN);
+
+    // One worker plus a slowed runner: when job 1 finishes, jobs 2..N are
+    // provably still queued — the queries below land mid-campaign.
+    let srv_dir = tmp_dir("live-srv");
+    let slow = |job: &Job, ctx: &RunCtx| {
+        thread::sleep(Duration::from_millis(200));
+        SpecRunner.run(job, ctx)
+    };
+    let mut cfg = ServerConfig::new(srv_dir.clone());
+    cfg.workers = 1;
+    let handle = serve_with_runner(&cfg, slow).expect("bind");
+    let client = Client::new(&handle.addr().to_string());
+    let mut ids = Vec::new();
+    for &name in names {
+        ids.push(client.submit(&spec_for(name)).expect("submit"));
+    }
+
+    // Watch job 1 to completion; the v4 stream reports the benchmark's
+    // streamed simulated cycles (a final delta flush always lands before
+    // the outcome commits, so the terminal frame carries them).
+    let mut max_cycles = 0u64;
+    let last = client
+        .watch_live(ids[0], |_state, cycles| max_cycles = max_cycles.max(cycles))
+        .expect("watch");
+    assert!(matches!(last, JobState::Done { ok: true, .. }));
+    assert!(max_cycles > 0, "watch carried streamed cycles");
+
+    // Mid-campaign: the daemon still has queued work, yet the aggregate
+    // already answers for the finished benchmark.
+    let stats = client.stats().expect("stats");
+    assert!(stats.done < LIVE_LEN as u32, "work still in flight");
+    assert!(stats.deltas > 0, "stats counts delta flushes");
+    assert!(stats.streamed > 0, "stats counts streamed benches");
+    let rows = client
+        .query(QueryKind::TopN, names[0], Some(ProfilerId::Tip), 5)
+        .expect("mid-campaign query");
+    assert!(!rows.is_empty(), "TopN answers mid-campaign");
+    assert!(rows
+        .iter()
+        .all(|r| r.bench == names[0] && !r.label.is_empty()));
+    assert!(rows[0].share > 0.0 && rows[0].share <= 1.0);
+
+    for &id in &ids {
+        let state = wait_terminal(&client, id);
+        assert!(matches!(state, JobState::Done { ok: true, .. }));
+    }
+
+    // Settled: merged streamed units equal the local finished profiles
+    // exactly, per profiler and Oracle.
+    let view = handle.engine().live().view();
+    assert_eq!(view.benches.len(), LIVE_LEN);
+    for c in &reference.completed {
+        let name = c.run.bench.name;
+        let b = view.bench(name).expect("bench streamed");
+        assert_eq!(b.settled, Some(true), "{name} settled");
+        assert_eq!(b.cycles, c.run.run.summary.cycles, "{name} cycles");
+        let finished =
+            c.run
+                .run
+                .bank
+                .profile_of(&c.run.bench.program, ProfilerId::Tip, Granularity::Function);
+        assert_eq!(
+            b.units(Some(ProfilerId::Tip)).expect("tip units"),
+            ProfileDelta::quantize(&finished).as_slice(),
+            "{name}: live units != finished profile"
+        );
+        let oracle = c
+            .run
+            .run
+            .bank
+            .oracle
+            .profile(&c.run.bench.program, Granularity::Function);
+        assert_eq!(
+            b.oracle,
+            ProfileDelta::quantize(&oracle),
+            "{name}: Oracle live units != finished profile"
+        );
+    }
+
+    // The other two query kinds answer over the wire too: cycle-stack
+    // shares sum to 1, and the TIP error trajectory's last point equals
+    // the settled error against the Oracle.
+    let stack = client
+        .query(QueryKind::CycleStack, names[0], None, 0)
+        .expect("stack query");
+    assert!(!stack.is_empty());
+    let share_sum: f64 = stack.iter().map(|r| r.share).sum();
+    assert!(
+        (share_sum - 1.0).abs() < 1e-9,
+        "stack shares sum to 1, got {share_sum}"
+    );
+    let traj = client
+        .query(
+            QueryKind::ErrorTrajectory,
+            names[0],
+            Some(ProfilerId::Tip),
+            0,
+        )
+        .expect("trajectory query");
+    assert!(!traj.is_empty(), "trajectory recorded");
+    let want = view
+        .bench(names[0])
+        .expect("bench")
+        .error_vs_oracle(ProfilerId::Tip)
+        .expect("error defined");
+    let got = traj.last().expect("last point").share;
+    assert!(
+        (got - want).abs() < 1e-12,
+        "trajectory converges: {got} vs {want}"
+    );
+
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&local_dir);
+    let _ = fs::remove_dir_all(&srv_dir);
+}
+
 #[test]
 fn wire_errors_are_typed() {
     let dir = tmp_dir("errors");
@@ -313,6 +454,7 @@ fn cancel_reaches_queued_jobs_only() {
             workers: 1,
             resume: false,
             lease: Duration::from_secs(300),
+            live: None,
         },
         slow,
     );
