@@ -1,0 +1,155 @@
+//! The closed profile → transform → measure loop, per profiler (Section 6
+//! generalized): profile a workload under the full bank, apply the `tip-pgo`
+//! rewrite pass guided by each profiler's profile, prove every rewrite
+//! equivalent, re-simulate, and report the speedup each guide bought.
+//!
+//! Usage:
+//!   `tip-pgo [BENCH] [test|small|full] [--seed N] [--out FILE]`
+//!       run the loop for one suite workload (default: imagick, test scale)
+//!   `tip-pgo smoke [--out FILE]`
+//!       CI gate: imagick + the perlbench flush-heavy synthetic at test
+//!       scale; exits non-zero unless the TIP-guided rewrite of imagick is
+//!       a real speedup (> 1.0x). Writes `BENCH_PR10.json`.
+
+use tip_bench::pgo::{closed_loop, PgoReport};
+use tip_pgo::PgoConfig;
+use tip_workloads::SuiteScale;
+
+fn write_reports(out: &str, reports: &[PgoReport]) {
+    let mut s = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str(&r.to_json());
+        if i + 1 < reports.len() {
+            // to_json ends with "}\n"; splice the separator in.
+            s.truncate(s.trim_end().len());
+            s.push_str(",\n");
+        }
+    }
+    s.push_str("]\n");
+    if let Err(e) = std::fs::write(out, s) {
+        eprintln!("tip-pgo: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+fn print_report(r: &PgoReport) {
+    println!("== {} ({:?} scale, seed {}) ==\n", r.bench, r.scale, r.seed);
+    print!("{}", r.table());
+    for row in &r.rows {
+        if !row.actions.is_empty() {
+            println!("\n{} rewrites:", row.profiler.label());
+            for a in &row.actions {
+                println!("  {a}");
+            }
+        }
+    }
+    println!();
+}
+
+fn run_loop(bench: &'static str, scale: SuiteScale, seed: u64) -> PgoReport {
+    closed_loop(bench, scale, &PgoConfig::default(), seed).unwrap_or_else(|e| {
+        eprintln!("tip-pgo: {bench}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn smoke(out: &str) {
+    let imagick = run_loop("imagick", SuiteScale::Test, 42);
+    let synth = run_loop("perlbench", SuiteScale::Test, 42);
+    print_report(&imagick);
+    print_report(&synth);
+    write_reports(out, &[imagick, synth]);
+
+    let tip = tip_speedup_from(&imagick_ref(out));
+    if tip <= 1.0 {
+        eprintln!("tip-pgo smoke: TIP-guided imagick speedup {tip:.3}x is not > 1.0x");
+        std::process::exit(1);
+    }
+    println!("smoke ok: TIP-guided imagick speedup {tip:.3}x");
+}
+
+// The smoke gate re-reads the just-written artifact so CI verifies the file,
+// not just the in-memory numbers.
+fn imagick_ref(out: &str) -> String {
+    std::fs::read_to_string(out).unwrap_or_else(|e| {
+        eprintln!("tip-pgo smoke: cannot re-read {out}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn tip_speedup_from(json: &str) -> f64 {
+    // Find the first TIP row's speedup in the artifact (rows are in bank
+    // order; TIP is last, imagick is the first report).
+    let key = "\"guide\": \"TIP\", \"cycles\": ";
+    let Some(at) = json.find(key) else {
+        eprintln!("tip-pgo smoke: no TIP row in artifact");
+        std::process::exit(1);
+    };
+    let rest = &json[at..];
+    let Some(sp) = rest
+        .find("\"speedup\": ")
+        .map(|i| &rest[i + "\"speedup\": ".len()..])
+    else {
+        eprintln!("tip-pgo smoke: malformed TIP row");
+        std::process::exit(1);
+    };
+    let num: String = sp
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().unwrap_or(0.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_PR10.json");
+    let mut seed = 42u64;
+    let mut scale = SuiteScale::Test;
+    let mut bench: &'static str = "imagick";
+    let mut smoke_mode = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "smoke" => smoke_mode = true,
+            "test" => scale = SuiteScale::Test,
+            "small" => scale = SuiteScale::Small,
+            "full" => scale = SuiteScale::Full,
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("tip-pgo: --seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("tip-pgo: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            name => {
+                // The suite takes &'static str names; accept only known ones.
+                match tip_workloads::BENCHMARK_NAMES.iter().find(|n| **n == name) {
+                    Some(n) => bench = n,
+                    None => {
+                        eprintln!("tip-pgo: unknown benchmark `{name}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    if smoke_mode {
+        smoke(&out);
+        return;
+    }
+
+    let report = run_loop(bench, scale, seed);
+    print_report(&report);
+    write_reports(&out, &[report]);
+}

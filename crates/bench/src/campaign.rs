@@ -137,6 +137,7 @@ impl CampaignConfig {
             checkpoint,
             max_attempts: self.max_attempts,
             max_cycles: MAX_CYCLES,
+            pgo: false,
         }
     }
 }

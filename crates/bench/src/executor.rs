@@ -67,6 +67,11 @@ pub struct Job {
     /// Cycle budget; exhausting it fails the attempt with the dedicated
     /// [`tip_ooo::SimError::CycleLimit`] variant.
     pub max_cycles: u64,
+    /// Run the profile-guided-optimization loop instead of a plain
+    /// profiled run: profile, apply the TIP-guided [`crate::pgo`] pass,
+    /// prove the rewrite equivalent, and report the *optimized* program's
+    /// run through the same ledger formats (see [`crate::pgo::pgo_run`]).
+    pub pgo: bool,
 }
 
 impl Job {
@@ -83,6 +88,7 @@ impl Job {
             checkpoint: None,
             max_attempts: 1,
             max_cycles: MAX_CYCLES,
+            pgo: false,
         }
     }
 }
@@ -184,6 +190,20 @@ pub struct SpecRunner;
 impl Runner for SpecRunner {
     fn run(&self, job: &Job, ctx: &RunCtx) -> Result<ProfiledRun, RunError> {
         let bench = job.bench.name;
+        if job.pgo {
+            // The pgo loop simulates twice (baseline + optimized) and its
+            // rewrite invalidates any mid-run snapshot, so pgo jobs neither
+            // checkpoint nor stream deltas.
+            return crate::pgo::pgo_run(
+                bench,
+                &job.bench.program,
+                job.core.clone(),
+                job.sampler,
+                &job.profilers,
+                ctx.seed,
+                job.max_cycles,
+            );
+        }
         let (attempt, sink) = (ctx.attempt, &ctx.delta_sink);
         let observe = move |deltas: BankDeltas| {
             sink.emit(DeltaEvent {

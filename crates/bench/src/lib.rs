@@ -15,7 +15,10 @@
 //! campaign can be queried through *while it runs*, and [`hostbench`]
 //! measures host throughput (simulated cycles per host-second) over a fixed
 //! matrix so each PR extends a reproducible perf trajectory
-//! (`BENCH_PR4.json`).
+//! (`BENCH_PR4.json`). [`pgo`] closes the paper's Section 6 loop: it runs
+//! the `tip-pgo` rewrite pass guided by every profiler's profile of the same
+//! run and reports the speedup each guide's view of the program bought
+//! (`tip-pgo` binary, `BENCH_PR10.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +30,7 @@ pub mod experiments;
 pub mod hostbench;
 pub mod ledger;
 pub mod live;
+pub mod pgo;
 pub mod run;
 pub mod table;
 
@@ -42,6 +46,7 @@ pub use executor::{
 pub use hostbench::{run_hostbench, HostBenchOptions, HostBenchReport, ScalingReport};
 pub use ledger::Ledger;
 pub use live::{BenchView, DeltaEvent, DeltaSink, LiveAggregate, LiveView};
+pub use pgo::{closed_loop, closed_loop_program, PgoLoopError, PgoReport, PgoRow};
 pub use run::{
     run_profiled, run_profiled_streaming, ProfiledRun, RunError, StreamObserver, DEFAULT_INTERVAL,
     DEFAULT_STREAM_CYCLES,

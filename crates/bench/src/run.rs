@@ -80,6 +80,16 @@ pub enum RunError {
         /// The classified trace/snapshot error.
         source: tip_trace::TraceError,
     },
+    /// A profile-guided-optimization job's rewrite pass failed, or the
+    /// rewritten program did not survive the semantic-equivalence check
+    /// (see [`crate::pgo`]). The baseline run itself was fine — this is a
+    /// transform-layer refusal, never a simulator fault.
+    Pgo {
+        /// Name of the benchmark that failed.
+        bench: String,
+        /// The pass or equivalence failure, rendered.
+        message: String,
+    },
 }
 
 impl RunError {
@@ -89,7 +99,8 @@ impl RunError {
         match self {
             RunError::Sim { bench, .. }
             | RunError::Panicked { bench, .. }
-            | RunError::Checkpoint { bench, .. } => bench,
+            | RunError::Checkpoint { bench, .. }
+            | RunError::Pgo { bench, .. } => bench,
         }
     }
 }
@@ -106,6 +117,9 @@ impl fmt::Display for RunError {
             RunError::Checkpoint { bench, source } => {
                 write!(f, "benchmark `{bench}` checkpoint failed: {source}")
             }
+            RunError::Pgo { bench, message } => {
+                write!(f, "benchmark `{bench}` pgo pass failed: {message}")
+            }
         }
     }
 }
@@ -114,7 +128,7 @@ impl Error for RunError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             RunError::Sim { source, .. } => Some(source),
-            RunError::Panicked { .. } => None,
+            RunError::Panicked { .. } | RunError::Pgo { .. } => None,
             RunError::Checkpoint { source, .. } => Some(source),
         }
     }

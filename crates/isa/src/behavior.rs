@@ -36,6 +36,36 @@ pub enum BranchBehavior {
     NeverTaken,
 }
 
+impl BranchBehavior {
+    /// The behaviour whose outcome sequence is the element-wise negation of
+    /// this one, if it is expressible: swapping a branch's taken target with
+    /// its fall-through plus inverting its behaviour preserves the exact
+    /// dynamic control flow (the basis of hot-path relayout).
+    ///
+    /// `Bernoulli` is not invertible — its outcomes come from an RNG whose
+    /// stream cannot be negated by re-parameterizing — and `Loop` bodies
+    /// longer than 64 iterations are declined to avoid materializing huge
+    /// patterns; callers fall back to a trampoline jump in both cases.
+    #[must_use]
+    pub fn inverted(&self) -> Option<BranchBehavior> {
+        match self {
+            BranchBehavior::Loop { taken_iters } if *taken_iters <= 64 => {
+                // taken^n, not-taken, cyclic — negated: not-taken^n, taken.
+                let n = *taken_iters as usize;
+                let mut pattern = vec![false; n + 1];
+                pattern[n] = true;
+                Some(BranchBehavior::Pattern { pattern })
+            }
+            BranchBehavior::Loop { .. } | BranchBehavior::Bernoulli { .. } => None,
+            BranchBehavior::Pattern { pattern } => Some(BranchBehavior::Pattern {
+                pattern: pattern.iter().map(|b| !b).collect(),
+            }),
+            BranchBehavior::AlwaysTaken => Some(BranchBehavior::NeverTaken),
+            BranchBehavior::NeverTaken => Some(BranchBehavior::AlwaysTaken),
+        }
+    }
+}
+
 /// Per-dynamic-execution state for one branch instruction.
 #[derive(Debug, Clone)]
 pub(crate) struct BranchState {
@@ -264,6 +294,36 @@ mod tests {
             assert!((0x2000..0x3000).contains(&a));
             assert_eq!(a % 8, 0);
         }
+    }
+
+    #[test]
+    fn inverted_negates_outcomes() {
+        let cases = vec![
+            BranchBehavior::Loop { taken_iters: 0 },
+            BranchBehavior::Loop { taken_iters: 3 },
+            BranchBehavior::Pattern {
+                pattern: vec![true, false, false, true],
+            },
+            BranchBehavior::AlwaysTaken,
+            BranchBehavior::NeverTaken,
+        ];
+        for b in cases {
+            let inv = b.inverted().expect("invertible");
+            let mut st = BranchState::new(5);
+            let mut st_inv = BranchState::new(5);
+            for _ in 0..32 {
+                assert_eq!(st.next_outcome(&b), !st_inv.next_outcome(&inv), "{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_and_huge_loops_not_invertible() {
+        assert_eq!(
+            BranchBehavior::Bernoulli { taken_prob: 0.5 }.inverted(),
+            None
+        );
+        assert_eq!(BranchBehavior::Loop { taken_iters: 65 }.inverted(), None);
     }
 
     #[test]

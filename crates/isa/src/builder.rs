@@ -324,6 +324,7 @@ impl ProgramBuilder {
             self.fault_handler
         };
 
+        let behavior_keys = (0..instrs.len() as u32).collect();
         Ok(Program {
             name: self.name,
             functions,
@@ -332,6 +333,7 @@ impl ProgramBuilder {
             instr_block,
             instr_func,
             fault_handler,
+            behavior_keys,
         })
     }
 }

@@ -1,0 +1,868 @@
+//! CFG editing: semantics-preserving rewrites of built [`Program`]s.
+//!
+//! A [`ProgramEditor`] decomposes a program into editable per-function block
+//! lists with *stable block keys*, applies edits (instruction
+//! insert/remove/fuse, block reordering, branch inversion), and re-assembles
+//! a validated program with [`ProgramEditor::finish`]. Re-assembly fixes
+//! fall-throughs automatically: a block whose layout successor changed gets
+//! an explicit jump appended (plain blocks) or a one-jump *trampoline* block
+//! inserted after it (branch- and call-ended blocks, whose fall-through is
+//! positional by ISA definition).
+//!
+//! Two mechanisms make rewrites observationally equivalent:
+//!
+//! - every moved instruction keeps its **behaviour key**
+//!   ([`Program::behavior_key`]), so its seeded branch directions and memory
+//!   addresses replay identically at its new index;
+//! - [`Provenance`] maps each output instruction back to the original
+//!   instruction(s) it descends from (1:1 for moved code, 2:1 for fused
+//!   pairs, 0 for inserted trampolines), which is what lets an equivalence
+//!   checker align the two dynamic streams and a profile be re-attributed
+//!   onto the rewritten program.
+
+use crate::kind::InstrKind;
+use crate::program::{BasicBlock, BlockId, Function, FunctionId, Instr, InstrIdx, Program};
+use crate::validate::ValidateError;
+use std::error::Error;
+use std::fmt;
+
+/// Stable identifier of a block under edit: survives reordering and
+/// insertion, unlike layout-order [`BlockId`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey(u32);
+
+/// Errors from [`ProgramEditor`] operations and re-assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// A block key does not name a block of this editor.
+    UnknownBlock,
+    /// A function id does not name a function of this editor.
+    UnknownFunction,
+    /// An instruction position is out of range for its block.
+    BadPosition,
+    /// A block order is not a permutation of the function's blocks.
+    NotAPermutation,
+    /// A block order does not keep the function's entry block first.
+    EntryMoved,
+    /// A block lost all instructions and has no fall-through to become a
+    /// jump to.
+    EmptyBlock,
+    /// The re-assembled program failed invariant validation.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownBlock => write!(f, "unknown block key"),
+            EditError::UnknownFunction => write!(f, "unknown function"),
+            EditError::BadPosition => write!(f, "instruction position out of range"),
+            EditError::NotAPermutation => {
+                write!(f, "block order is not a permutation of the function")
+            }
+            EditError::EntryMoved => write!(f, "block order moves the function entry"),
+            EditError::EmptyBlock => {
+                write!(f, "block became empty with no fall-through to preserve")
+            }
+            EditError::Invalid(e) => write!(f, "rewritten program is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for EditError {}
+
+impl From<ValidateError> for EditError {
+    fn from(e: ValidateError) -> Self {
+        EditError::Invalid(e)
+    }
+}
+
+/// Maps each instruction of a rewritten program back to the original
+/// instruction(s) it descends from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Output index -> original indices (empty for inserted instructions).
+    map: Vec<Vec<InstrIdx>>,
+}
+
+impl Provenance {
+    /// The identity provenance for an untouched `n`-instruction program.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Provenance {
+            map: (0..n as u32).map(|i| vec![InstrIdx(i)]).collect(),
+        }
+    }
+
+    /// Number of output instructions covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map covers no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The original instructions output instruction `idx` descends from:
+    /// one for moved code, two for a fused pair, none for an inserted
+    /// trampoline or hoisted copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn origins(&self, idx: InstrIdx) -> &[InstrIdx] {
+        &self.map[idx.index()]
+    }
+
+    /// Chains provenances: `second` describes a rewrite applied to the
+    /// output of `first`; the result maps `second`'s output all the way back
+    /// to `first`'s input.
+    #[must_use]
+    pub fn compose(first: &Provenance, second: &Provenance) -> Provenance {
+        Provenance {
+            map: second
+                .map
+                .iter()
+                .map(|mids| {
+                    mids.iter()
+                        .flat_map(|m| first.map[m.index()].iter().copied())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Re-attributes per-instruction weights of the *original* program onto
+    /// the rewritten one: output instruction `i` receives the sum of its
+    /// origins' weights. Weight of deleted instructions is dropped; inserted
+    /// instructions receive zero.
+    #[must_use]
+    pub fn fold_weights(&self, original: &[f64]) -> Vec<f64> {
+        self.map
+            .iter()
+            .map(|origs| {
+                origs
+                    .iter()
+                    .map(|o| original.get(o.index()).copied().unwrap_or(0.0))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EditInstr {
+    instr: Instr,
+    /// Behaviour key carried to the output program.
+    key: u32,
+    /// Original instructions this one descends from.
+    prov: Vec<InstrIdx>,
+}
+
+#[derive(Debug, Clone)]
+struct EditBlock {
+    key: u32,
+    /// The block control flow falls through to (branch not-taken, call
+    /// return, or plain fall-through), independent of layout position.
+    fall_through: Option<u32>,
+    instrs: Vec<EditInstr>,
+}
+
+#[derive(Debug, Clone)]
+struct EditFunc {
+    name: String,
+    blocks: Vec<EditBlock>,
+}
+
+/// An editable decomposition of a [`Program`]; see the module docs.
+///
+/// Branch/jump targets held by instructions inside the editor are expressed
+/// in *block-key* space and remapped to layout [`BlockId`]s at
+/// [`finish`](ProgramEditor::finish).
+#[derive(Debug, Clone)]
+pub struct ProgramEditor {
+    name: String,
+    funcs: Vec<EditFunc>,
+    fault_handler: Option<FunctionId>,
+    next_block_key: u32,
+    next_behavior_key: u32,
+}
+
+impl ProgramEditor {
+    /// Decomposes `program` for editing. Original blocks keep their
+    /// [`BlockId`] as their [`BlockKey`].
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let mut funcs = Vec::with_capacity(program.functions().len());
+        for func in program.functions() {
+            let mut blocks = Vec::new();
+            for bi in func.block_range() {
+                let block = &program.blocks()[bi];
+                let instrs = block
+                    .instr_range()
+                    .map(|gi| EditInstr {
+                        instr: program.instrs()[gi].clone(),
+                        key: program.behavior_keys[gi],
+                        prov: vec![InstrIdx(gi as u32)],
+                    })
+                    .collect::<Vec<_>>();
+                let last_kind = instrs.last().map(|e| e.instr.kind);
+                let falls = !matches!(
+                    last_kind,
+                    Some(InstrKind::Jump | InstrKind::Ret | InstrKind::Halt)
+                );
+                let fall_through = (falls && bi + 1 < func.block_range().end)
+                    .then(|| program.blocks()[bi + 1].id.0);
+                blocks.push(EditBlock {
+                    key: block.id.0,
+                    fall_through,
+                    instrs,
+                });
+            }
+            funcs.push(EditFunc {
+                name: func.name.clone(),
+                blocks,
+            });
+        }
+        ProgramEditor {
+            name: program.name().to_owned(),
+            funcs,
+            fault_handler: program.fault_handler(),
+            next_block_key: program.blocks().len() as u32,
+            next_behavior_key: program.len() as u32,
+        }
+    }
+
+    /// The [`BlockKey`] of an original block of the source program.
+    #[must_use]
+    pub fn key_of(id: BlockId) -> BlockKey {
+        BlockKey(id.0)
+    }
+
+    fn locate(&self, key: BlockKey) -> Result<(usize, usize), EditError> {
+        for (fi, func) in self.funcs.iter().enumerate() {
+            if let Some(bi) = func.blocks.iter().position(|b| b.key == key.0) {
+                return Ok((fi, bi));
+            }
+        }
+        Err(EditError::UnknownBlock)
+    }
+
+    fn block(&self, key: BlockKey) -> Result<&EditBlock, EditError> {
+        let (fi, bi) = self.locate(key)?;
+        Ok(&self.funcs[fi].blocks[bi])
+    }
+
+    fn block_mut(&mut self, key: BlockKey) -> Result<&mut EditBlock, EditError> {
+        let (fi, bi) = self.locate(key)?;
+        Ok(&mut self.funcs[fi].blocks[bi])
+    }
+
+    /// Current block keys of `func`, in layout order.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownFunction`] if `func` is out of range.
+    pub fn block_keys(&self, func: FunctionId) -> Result<Vec<BlockKey>, EditError> {
+        let f = self
+            .funcs
+            .get(func.index())
+            .ok_or(EditError::UnknownFunction)?;
+        Ok(f.blocks.iter().map(|b| BlockKey(b.key)).collect())
+    }
+
+    /// Number of instructions currently in block `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownBlock`] if `key` is unknown.
+    pub fn block_len(&self, key: BlockKey) -> Result<usize, EditError> {
+        Ok(self.block(key)?.instrs.len())
+    }
+
+    /// The instruction at `pos` in block `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownBlock`] / [`EditError::BadPosition`].
+    pub fn instr(&self, key: BlockKey, pos: usize) -> Result<&Instr, EditError> {
+        self.block(key)?
+            .instrs
+            .get(pos)
+            .map(|e| &e.instr)
+            .ok_or(EditError::BadPosition)
+    }
+
+    /// The block that control falls through to from `key` (branch not-taken,
+    /// call return, or plain fall-through), if any.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownBlock`] if `key` is unknown.
+    pub fn fall_through(&self, key: BlockKey) -> Result<Option<BlockKey>, EditError> {
+        Ok(self.block(key)?.fall_through.map(BlockKey))
+    }
+
+    /// The taken-target block of the branch ending block `key`, if the block
+    /// ends in a conditional branch.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownBlock`] if `key` is unknown.
+    pub fn taken_target(&self, key: BlockKey) -> Result<Option<BlockKey>, EditError> {
+        Ok(self
+            .block(key)?
+            .instrs
+            .last()
+            .and_then(|e| e.instr.taken_target)
+            .map(|t| BlockKey(t.0)))
+    }
+
+    /// Removes the instruction at `pos` from block `key`. Its profile weight
+    /// and provenance disappear with it.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownBlock`] / [`EditError::BadPosition`].
+    pub fn remove_instr(&mut self, key: BlockKey, pos: usize) -> Result<(), EditError> {
+        let block = self.block_mut(key)?;
+        if pos >= block.instrs.len() {
+            return Err(EditError::BadPosition);
+        }
+        block.instrs.remove(pos);
+        Ok(())
+    }
+
+    /// Inserts `instr` at `pos` in block `key` (shifting later instructions
+    /// right). The new instruction gets a fresh behaviour key and empty
+    /// provenance.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownBlock`] / [`EditError::BadPosition`].
+    pub fn insert_instr(
+        &mut self,
+        key: BlockKey,
+        pos: usize,
+        instr: Instr,
+    ) -> Result<(), EditError> {
+        let fresh = self.next_behavior_key;
+        let block = self.block_mut(key)?;
+        if pos > block.instrs.len() {
+            return Err(EditError::BadPosition);
+        }
+        block.instrs.insert(
+            pos,
+            EditInstr {
+                instr,
+                key: fresh,
+                prov: Vec::new(),
+            },
+        );
+        self.next_behavior_key += 1;
+        Ok(())
+    }
+
+    /// Replaces the adjacent pair at `pos`, `pos + 1` in block `key` with
+    /// the single `fused` instruction, which inherits the first
+    /// instruction's behaviour key and the *combined* provenance of both —
+    /// the superinstruction primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownBlock`] / [`EditError::BadPosition`] (the pair
+    /// must be fully inside the block).
+    pub fn fuse_adjacent(
+        &mut self,
+        key: BlockKey,
+        pos: usize,
+        fused: Instr,
+    ) -> Result<(), EditError> {
+        let block = self.block_mut(key)?;
+        if pos + 1 >= block.instrs.len() {
+            return Err(EditError::BadPosition);
+        }
+        let second = block.instrs.remove(pos + 1);
+        let first = &mut block.instrs[pos];
+        first.prov.extend(second.prov);
+        first.instr = fused;
+        Ok(())
+    }
+
+    /// Inserts a fresh, empty block at the front of `func`, making it the
+    /// function's new entry, and returns its key. The previous entry keeps
+    /// its own key — branch, jump, and call targets referencing it are
+    /// untouched — so loop back-edges into the old entry still bypass the
+    /// new block: it executes once per activation of the function, the
+    /// classic loop-preheader position. The new block falls through to the
+    /// old entry; populate it with
+    /// [`insert_instr`](ProgramEditor::insert_instr) (left empty it degrades
+    /// to a jump at [`finish`](ProgramEditor::finish)).
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownFunction`] if `func` is out of range.
+    pub fn prepend_block(&mut self, func: FunctionId) -> Result<BlockKey, EditError> {
+        let key = self.next_block_key;
+        let f = self
+            .funcs
+            .get_mut(func.index())
+            .ok_or(EditError::UnknownFunction)?;
+        let old_entry = f.blocks.first().map(|b| b.key);
+        self.next_block_key += 1;
+        f.blocks.insert(
+            0,
+            EditBlock {
+                key,
+                fall_through: old_entry,
+                instrs: Vec::new(),
+            },
+        );
+        Ok(BlockKey(key))
+    }
+
+    /// Reorders the blocks of `func` to `order` (a permutation of its
+    /// current keys that keeps the entry block first). Fall-through edges
+    /// are positional in the ISA, so [`finish`](ProgramEditor::finish)
+    /// repairs any broken by the new layout with jumps or trampolines.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownFunction`], [`EditError::NotAPermutation`], or
+    /// [`EditError::EntryMoved`].
+    pub fn set_block_order(
+        &mut self,
+        func: FunctionId,
+        order: &[BlockKey],
+    ) -> Result<(), EditError> {
+        let f = self
+            .funcs
+            .get_mut(func.index())
+            .ok_or(EditError::UnknownFunction)?;
+        let mut have: Vec<u32> = f.blocks.iter().map(|b| b.key).collect();
+        let mut want: Vec<u32> = order.iter().map(|k| k.0).collect();
+        have.sort_unstable();
+        want.sort_unstable();
+        if have != want {
+            return Err(EditError::NotAPermutation);
+        }
+        if order.first().map(|k| k.0) != f.blocks.first().map(|b| b.key) {
+            return Err(EditError::EntryMoved);
+        }
+        let mut by_key: std::collections::HashMap<u32, EditBlock> =
+            f.blocks.drain(..).map(|b| (b.key, b)).collect();
+        f.blocks = order
+            .iter()
+            .map(|k| by_key.remove(&k.0).expect("checked permutation"))
+            .collect();
+        Ok(())
+    }
+
+    /// Inverts the conditional branch ending block `key`: its taken target
+    /// and fall-through swap, and its direction behaviour is replaced by the
+    /// analytic negation ([`crate::BranchBehavior::inverted`]). Returns
+    /// `false` (no change) when the block does not end in a branch, the
+    /// behaviour is not invertible, or the branch has no fall-through edge
+    /// recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::UnknownBlock`] if `key` is unknown.
+    pub fn invert_branch(&mut self, key: BlockKey) -> Result<bool, EditError> {
+        let block = self.block_mut(key)?;
+        let Some(ft) = block.fall_through else {
+            return Ok(false);
+        };
+        let Some(last) = block.instrs.last_mut() else {
+            return Ok(false);
+        };
+        if last.instr.kind != InstrKind::Branch {
+            return Ok(false);
+        }
+        let (Some(target), Some(behavior)) =
+            (last.instr.taken_target, last.instr.branch_behavior.as_ref())
+        else {
+            return Ok(false);
+        };
+        let Some(inverted) = behavior.inverted() else {
+            return Ok(false);
+        };
+        last.instr.taken_target = Some(BlockId(ft));
+        last.instr.branch_behavior = Some(inverted);
+        block.fall_through = Some(target.0);
+        Ok(true)
+    }
+
+    /// Re-assembles a validated [`Program`] plus the [`Provenance`] of the
+    /// rewrite. Fall-throughs broken by relayout are repaired: plain blocks
+    /// get an explicit jump appended; branch- and call-ended blocks get a
+    /// one-jump trampoline block inserted after them; emptied blocks become
+    /// a jump to their fall-through.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::EmptyBlock`] if a block lost all instructions and has no
+    /// fall-through, or [`EditError::Invalid`] if the result violates a
+    /// program invariant.
+    pub fn finish(mut self) -> Result<(Program, Provenance), EditError> {
+        // Repair fall-throughs block by block. Trampolines are inserted
+        // in-place, so iterate with an explicit index.
+        for func in &mut self.funcs {
+            let mut bi = 0;
+            while bi < func.blocks.len() {
+                let next_key = func.blocks.get(bi + 1).map(|b| b.key);
+                let block = &mut func.blocks[bi];
+                let Some(ft) = block.fall_through else {
+                    if block.instrs.is_empty() {
+                        return Err(EditError::EmptyBlock);
+                    }
+                    bi += 1;
+                    continue;
+                };
+                match block.instrs.last().map(|e| e.instr.kind) {
+                    None => {
+                        // Emptied block: degrade to a jump to its successor.
+                        block.instrs.push(EditInstr {
+                            instr: Instr::jump(BlockId(ft)),
+                            key: self.next_behavior_key,
+                            prov: Vec::new(),
+                        });
+                        self.next_behavior_key += 1;
+                        block.fall_through = None;
+                        bi += 1;
+                    }
+                    Some(InstrKind::Branch | InstrKind::Call) => {
+                        if next_key == Some(ft) {
+                            bi += 1;
+                        } else {
+                            // Positional fall-through: reroute through a
+                            // trampoline placed right after this block.
+                            let tramp_key = self.next_block_key;
+                            self.next_block_key += 1;
+                            block.fall_through = Some(tramp_key);
+                            let tramp = EditBlock {
+                                key: tramp_key,
+                                fall_through: None,
+                                instrs: vec![EditInstr {
+                                    instr: Instr::jump(BlockId(ft)),
+                                    key: self.next_behavior_key,
+                                    prov: Vec::new(),
+                                }],
+                            };
+                            self.next_behavior_key += 1;
+                            func.blocks.insert(bi + 1, tramp);
+                            bi += 2;
+                        }
+                    }
+                    Some(InstrKind::Jump | InstrKind::Ret | InstrKind::Halt) => {
+                        // Terminated by an absolute transfer: the recorded
+                        // fall-through is vestigial (e.g. a removed branch).
+                        block.fall_through = None;
+                        bi += 1;
+                    }
+                    Some(_) => {
+                        if next_key == Some(ft) {
+                            bi += 1;
+                        } else {
+                            block.instrs.push(EditInstr {
+                                instr: Instr::jump(BlockId(ft)),
+                                key: self.next_behavior_key,
+                                prov: Vec::new(),
+                            });
+                            self.next_behavior_key += 1;
+                            block.fall_through = None;
+                            bi += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Lay out and remap key-space targets to layout BlockIds.
+        let mut key_to_id = std::collections::HashMap::new();
+        let mut id = 0u32;
+        for func in &self.funcs {
+            for block in &func.blocks {
+                key_to_id.insert(block.key, BlockId(id));
+                id += 1;
+            }
+        }
+
+        let mut functions = Vec::with_capacity(self.funcs.len());
+        let mut blocks = Vec::new();
+        let mut instrs = Vec::new();
+        let mut instr_block = Vec::new();
+        let mut instr_func = Vec::new();
+        let mut behavior_keys = Vec::new();
+        let mut prov_map = Vec::new();
+
+        for (fi, func) in self.funcs.iter().enumerate() {
+            let block_start = blocks.len() as u32;
+            for block in &func.blocks {
+                let new_id = BlockId(blocks.len() as u32);
+                let start = instrs.len() as u32;
+                for e in &block.instrs {
+                    let mut instr = e.instr.clone();
+                    for t in [&mut instr.taken_target, &mut instr.jump_target]
+                        .into_iter()
+                        .flatten()
+                    {
+                        *t = *key_to_id.get(&t.0).ok_or(EditError::UnknownBlock)?;
+                    }
+                    instr_block.push(new_id.0);
+                    instr_func.push(fi as u32);
+                    behavior_keys.push(e.key);
+                    prov_map.push(e.prov.clone());
+                    instrs.push(instr);
+                }
+                blocks.push(BasicBlock {
+                    id: new_id,
+                    function: FunctionId(fi as u32),
+                    start,
+                    end: instrs.len() as u32,
+                });
+            }
+            functions.push(Function {
+                id: FunctionId(fi as u32),
+                name: func.name.clone(),
+                block_start,
+                block_end: blocks.len() as u32,
+            });
+        }
+
+        let program = Program {
+            name: self.name,
+            functions,
+            blocks,
+            instrs,
+            instr_block,
+            instr_func,
+            fault_handler: self.fault_handler,
+            behavior_keys,
+        };
+        program.validate()?;
+        Ok((program, Provenance { map: prov_map }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BranchBehavior;
+    use crate::builder::ProgramBuilder;
+    use crate::exec::{DynInstr, Executor};
+    use crate::reg::Reg;
+
+    fn diamond() -> Program {
+        // main: entry -> (branch) -> left | right -> join -> halt
+        let mut b = ProgramBuilder::named("diamond");
+        let main = b.function("main");
+        let entry = b.block(main);
+        let left = b.block(main);
+        let right = b.block(main);
+        let join = b.block(main);
+        b.push(entry, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(
+            entry,
+            Instr::branch(
+                right,
+                BranchBehavior::Pattern {
+                    pattern: vec![true, false, false],
+                },
+            ),
+        );
+        b.push(left, Instr::int_alu(Some(Reg::int(2)), [None, None]));
+        b.push(left, Instr::jump(join));
+        b.push(right, Instr::int_alu(Some(Reg::int(3)), [None, None]));
+        b.push(right, Instr::jump(join));
+        b.push(
+            join,
+            Instr::branch(entry, BranchBehavior::Loop { taken_iters: 5 }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        b.build().expect("valid")
+    }
+
+    fn arch_stream(
+        p: &Program,
+        prov: Option<&Provenance>,
+        seed: u64,
+    ) -> Vec<(InstrKind, Vec<u32>, Option<u64>)> {
+        Executor::new(p, seed)
+            .filter(|d: &DynInstr| {
+                !matches!(
+                    d.kind,
+                    InstrKind::Jump | InstrKind::Nop | InstrKind::CsrFlush | InstrKind::Fence
+                )
+            })
+            .map(|d| {
+                let origins = match prov {
+                    Some(pr) => pr.origins(d.idx).iter().map(|o| o.raw()).collect(),
+                    None => vec![d.idx.raw()],
+                };
+                (d.kind, origins, d.mem_addr)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_edit_round_trips_identically() {
+        let p = diamond();
+        let (q, prov) = ProgramEditor::new(&p).finish().expect("round trip");
+        assert_eq!(p, q);
+        assert_eq!(prov, Provenance::identity(p.len()));
+    }
+
+    #[test]
+    fn reorder_preserves_dynamic_behavior() {
+        let p = diamond();
+        let mut ed = ProgramEditor::new(&p);
+        let main = p.entry();
+        let keys = ed.block_keys(main).expect("keys");
+        // Move `left` (index 1) to the end: entry, right, join, exit, left.
+        let order = vec![keys[0], keys[2], keys[3], keys[4], keys[1]];
+        ed.set_block_order(main, &order).expect("reorder");
+        let (q, prov) = ed.finish().expect("assemble");
+        assert_eq!(q.validate(), Ok(()));
+        // entry ends in a branch whose fall-through (left) moved: trampoline.
+        assert!(q.blocks().len() > p.blocks().len());
+        for seed in [0u64, 7, 42] {
+            assert_eq!(
+                arch_stream(&p, None, seed),
+                arch_stream(&q, Some(&prov), seed),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn invert_branch_preserves_dynamic_behavior() {
+        let p = diamond();
+        let mut ed = ProgramEditor::new(&p);
+        let main = p.entry();
+        let keys = ed.block_keys(main).expect("keys");
+        // Lay the taken target (right) as the entry's layout successor and
+        // inert the branch so the hot edge becomes a fall-through.
+        assert_eq!(ed.taken_target(keys[0]).unwrap(), Some(keys[2]));
+        let order = vec![keys[0], keys[2], keys[1], keys[3], keys[4]];
+        ed.set_block_order(main, &order).expect("reorder");
+        assert!(ed.invert_branch(keys[0]).expect("known block"));
+        let (q, prov) = ed.finish().expect("assemble");
+        // Inversion avoided the trampoline: same block count.
+        assert_eq!(q.blocks().len(), p.blocks().len());
+        for seed in [0u64, 9] {
+            assert_eq!(
+                arch_stream(&p, None, seed),
+                arch_stream(&q, Some(&prov), seed)
+            );
+        }
+    }
+
+    #[test]
+    fn remove_and_fuse_update_provenance() {
+        let mut b = ProgramBuilder::named("pair");
+        let main = b.function("main");
+        let blk = b.block(main);
+        b.push(blk, Instr::csr_flush());
+        b.push(blk, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(
+            blk,
+            Instr::int_alu(Some(Reg::int(2)), [Some(Reg::int(1)), None]),
+        );
+        b.push(blk, Instr::halt());
+        let p = b.build().expect("valid");
+
+        let mut ed = ProgramEditor::new(&p);
+        let key = ProgramEditor::key_of(p.blocks()[0].id());
+        ed.remove_instr(key, 0).expect("remove flush");
+        let fused = Instr::int_alu(Some(Reg::int(2)), [None, None]);
+        ed.fuse_adjacent(key, 0, fused).expect("fuse pair");
+        let (q, prov) = ed.finish().expect("assemble");
+        assert_eq!(q.len(), 2); // fused alu + halt
+        assert_eq!(prov.origins(InstrIdx(0)), &[InstrIdx(1), InstrIdx(2)]);
+        assert_eq!(prov.origins(InstrIdx(1)), &[InstrIdx(3)]);
+        // Weight re-attribution: the pair's weight merges, the flush's drops.
+        let w = prov.fold_weights(&[0.4, 0.1, 0.2, 0.3]);
+        assert_eq!(w, vec![0.1 + 0.2, 0.3]);
+    }
+
+    #[test]
+    fn moved_instructions_keep_behavior_keys() {
+        let p = diamond();
+        let mut ed = ProgramEditor::new(&p);
+        let main = p.entry();
+        let keys = ed.block_keys(main).expect("keys");
+        let order = vec![keys[0], keys[2], keys[3], keys[4], keys[1]];
+        ed.set_block_order(main, &order).expect("reorder");
+        let (q, prov) = ed.finish().expect("assemble");
+        for i in 0..q.len() {
+            let idx = InstrIdx(i as u32);
+            if let [orig] = prov.origins(idx) {
+                assert_eq!(q.behavior_key(idx), p.behavior_key(*orig));
+            }
+        }
+    }
+
+    #[test]
+    fn entry_move_rejected() {
+        let p = diamond();
+        let mut ed = ProgramEditor::new(&p);
+        let main = p.entry();
+        let keys = ed.block_keys(main).expect("keys");
+        let order = vec![keys[1], keys[0], keys[2], keys[3], keys[4]];
+        assert_eq!(ed.set_block_order(main, &order), Err(EditError::EntryMoved));
+        let bad = vec![keys[0], keys[0], keys[2], keys[3], keys[4]];
+        assert_eq!(
+            ed.set_block_order(main, &bad),
+            Err(EditError::NotAPermutation)
+        );
+    }
+
+    #[test]
+    fn prepended_block_runs_once_outside_the_loop() {
+        let p = diamond();
+        let mut ed = ProgramEditor::new(&p);
+        let pre = ed.prepend_block(p.entry()).expect("prepend");
+        ed.insert_instr(pre, 0, Instr::csr_flush()).expect("insert");
+        let (q, prov) = ed.finish().expect("assemble");
+        assert_eq!(q.validate(), Ok(()));
+        assert_eq!(q.blocks().len(), p.blocks().len() + 1);
+        // The preheader's flush executes exactly once even though the old
+        // entry block is a loop target (join branches back to it 5 times).
+        let flushes = Executor::new(&q, 3)
+            .filter(|d| d.kind == InstrKind::CsrFlush)
+            .count();
+        assert_eq!(flushes, 1);
+        assert!(prov.origins(InstrIdx::new(0)).is_empty(), "inserted instr");
+        for seed in [0u64, 9] {
+            assert_eq!(
+                arch_stream(&p, None, seed),
+                arch_stream(&q, Some(&prov), seed),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn emptied_block_becomes_jump() {
+        let mut b = ProgramBuilder::named("empties");
+        let main = b.function("main");
+        let b0 = b.block(main);
+        b.push(b0, Instr::nop());
+        let b1 = b.block(main);
+        b.push(b1, Instr::halt());
+        let p = b.build().expect("valid");
+
+        let mut ed = ProgramEditor::new(&p);
+        let key = ProgramEditor::key_of(p.blocks()[0].id());
+        ed.remove_instr(key, 0).expect("remove nop");
+        let (q, _) = ed.finish().expect("assemble");
+        assert_eq!(q.instrs()[0].kind(), InstrKind::Jump);
+        assert_eq!(Executor::new(&q, 0).count(), 2);
+    }
+}

@@ -140,8 +140,19 @@ pub struct Executor<'p> {
 
 impl<'p> Executor<'p> {
     /// Creates an executor for `program` with the given behaviour seed.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics with the typed [`crate::ValidateError`] if
+    /// `program` violates a structural invariant ([`Program::validate`]) —
+    /// malformed CFGs (hand-assembled or rewritten) fail fast here instead
+    /// of mis-simulating.
     #[must_use]
     pub fn new(program: &'p Program, seed: u64) -> Self {
+        #[cfg(debug_assertions)]
+        if let Err(e) = program.validate() {
+            panic!("malformed program `{}`: {e}", program.name());
+        }
         let n = program.len();
         let entry = program.function(program.entry()).entry_block();
         let pc = program.block(entry).first_instr().index() as u32;
@@ -290,16 +301,23 @@ impl<'p> Executor<'p> {
         })
     }
 
+    // Behaviour states are seeded from the instruction's *behaviour key*,
+    // not its index: keys survive CFG relayout (`ProgramEditor`), so a moved
+    // branch or load replays the same directions/addresses it had before the
+    // rewrite. Builder-built programs have key == index, making this
+    // bit-identical to seeding by index.
     fn branch_state(&mut self, idx: u32) -> &mut BranchState {
         let seed = self.seed;
+        let key = self.program.behavior_key(InstrIdx(idx));
         self.branch_states[idx as usize]
-            .get_or_insert_with(|| BranchState::new(seed ^ (u64::from(idx) << 1 | 1)))
+            .get_or_insert_with(|| BranchState::new(seed ^ (u64::from(key) << 1 | 1)))
     }
 
     fn mem_state(&mut self, idx: u32) -> &mut MemState {
         let seed = self.seed;
+        let key = self.program.behavior_key(InstrIdx(idx));
         self.mem_states[idx as usize]
-            .get_or_insert_with(|| MemState::new(seed ^ (u64::from(idx) << 17 | 3)))
+            .get_or_insert_with(|| MemState::new(seed ^ (u64::from(key) << 17 | 3)))
     }
 
     /// Advances architectural state by one instruction and returns its raw

@@ -43,14 +43,17 @@
 
 mod behavior;
 mod builder;
+mod edit;
 mod exec;
 mod kind;
 mod program;
 mod reg;
 pub mod snap;
+mod validate;
 
 pub use behavior::{BranchBehavior, FaultSpec, MemBehavior};
 pub use builder::{BuildError, ProgramBuilder};
+pub use edit::{BlockKey, EditError, ProgramEditor, Provenance};
 pub use exec::{DynInstr, Executor, WrongPath, WrongPathInstr};
 pub use kind::{FuClass, InstrKind};
 pub use program::{
@@ -58,3 +61,4 @@ pub use program::{
     SymbolId, SymbolMap, INSTR_BYTES, TEXT_BASE,
 };
 pub use reg::{Reg, RegClass};
+pub use validate::ValidateError;

@@ -422,6 +422,11 @@ pub struct Program {
     pub(crate) instr_func: Vec<u32>,
     /// Designated page-fault handler, if any load carries a [`FaultSpec`].
     pub(crate) fault_handler: Option<FunctionId>,
+    /// Per-instruction behaviour-seed key. Builder-built programs use the
+    /// identity mapping (key = index); CFG rewrites preserve each moved
+    /// instruction's original key so its seeded branch directions and memory
+    /// addresses are unchanged by relayout.
+    pub(crate) behavior_keys: Vec<u32>,
 }
 
 // Programs are shared immutably across executor worker threads (every
@@ -544,6 +549,16 @@ impl Program {
     #[must_use]
     pub fn function_of(&self, idx: InstrIdx) -> FunctionId {
         FunctionId(self.instr_func[idx.index()])
+    }
+
+    /// The behaviour-seed key of instruction `idx`: what the executor mixes
+    /// into the seed of this instruction's branch/memory state. Equal to the
+    /// raw index for builder-built programs; preserved across
+    /// [`crate::ProgramEditor`] rewrites so moved instructions keep their
+    /// dynamic behaviour.
+    #[must_use]
+    pub fn behavior_key(&self, idx: InstrIdx) -> u32 {
+        self.behavior_keys[idx.index()]
     }
 
     /// The symbol of instruction `idx` at granularity `g`.

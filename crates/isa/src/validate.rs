@@ -1,0 +1,364 @@
+//! Post-construction invariant checking for [`Program`].
+//!
+//! [`ProgramBuilder`](crate::ProgramBuilder) validates structure once at
+//! build time, but CFG rewrites ([`crate::ProgramEditor`]) re-assemble
+//! programs from edited pieces. [`Program::validate`] re-checks every
+//! invariant the simulator relies on, so a malformed rewrite fails fast with
+//! a typed error instead of mis-simulating. The executor asserts it (debug
+//! builds) at construction.
+
+use crate::kind::InstrKind;
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// Invariant violations detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The program declares no functions.
+    NoFunctions,
+    /// A function's block range is empty or not contiguous with its
+    /// neighbours.
+    BadFunctionLayout(u32),
+    /// A block's instruction range is empty or not contiguous with its
+    /// neighbours, or its recorded id/function disagrees with the layout.
+    BadBlockLayout(u32),
+    /// `instr_block`/`instr_func`/`behavior_keys` disagree with the layout
+    /// (wrong length or wrong owner recorded for an instruction).
+    BadInstrIndex(u32),
+    /// A control-flow instruction appears before the end of its block.
+    TerminatorNotLast(u32),
+    /// A branch is missing its direction behaviour or taken target.
+    IncompleteBranch(u32),
+    /// A branch or jump targets a block outside the program or in another
+    /// function.
+    BadTarget(u32),
+    /// A call targets an unknown function.
+    BadCallee(u32),
+    /// A block falls through (or a call returns) past the end of its
+    /// function.
+    MissingFallThrough(u32),
+    /// A memory instruction is missing its address behaviour.
+    MissingMemBehavior(u32),
+    /// A fault spec is attached to a non-load instruction.
+    FaultOnNonLoad(u32),
+    /// A load carries a fault spec but no fault handler is designated.
+    MissingFaultHandler,
+    /// The designated fault handler does not end with `ret`.
+    HandlerMustReturn,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NoFunctions => write!(f, "program declares no functions"),
+            ValidateError::BadFunctionLayout(i) => {
+                write!(f, "function {i} has an empty or non-contiguous block range")
+            }
+            ValidateError::BadBlockLayout(b) => {
+                write!(
+                    f,
+                    "block {b} has an empty or non-contiguous instruction range"
+                )
+            }
+            ValidateError::BadInstrIndex(i) => {
+                write!(f, "instruction {i} has an inconsistent owner or key table")
+            }
+            ValidateError::TerminatorNotLast(i) => {
+                write!(
+                    f,
+                    "control-flow instruction {i} is not the last in its block"
+                )
+            }
+            ValidateError::IncompleteBranch(i) => {
+                write!(f, "branch {i} lacks a target or direction behaviour")
+            }
+            ValidateError::BadTarget(i) => {
+                write!(f, "instruction {i} targets an unknown or foreign block")
+            }
+            ValidateError::BadCallee(i) => write!(f, "call {i} targets an unknown function"),
+            ValidateError::MissingFallThrough(i) => {
+                write!(
+                    f,
+                    "instruction {i} falls through past the end of its function"
+                )
+            }
+            ValidateError::MissingMemBehavior(i) => {
+                write!(f, "memory instruction {i} lacks an address behaviour")
+            }
+            ValidateError::FaultOnNonLoad(i) => {
+                write!(f, "fault spec attached to non-load instruction {i}")
+            }
+            ValidateError::MissingFaultHandler => {
+                write!(
+                    f,
+                    "a load carries a fault spec but no fault handler is designated"
+                )
+            }
+            ValidateError::HandlerMustReturn => {
+                write!(f, "the fault handler's last block must end with `ret`")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+impl Program {
+    /// Re-checks every structural invariant the simulator relies on: layout
+    /// contiguity (functions over blocks, blocks over instructions),
+    /// consistent owner tables, terminator placement, intra-function
+    /// control-flow targets, fall-through existence, memory/fault
+    /// annotations, and fault-handler shape.
+    ///
+    /// Builder-built programs always pass; this exists so CFG rewrites (and
+    /// hand-assembled test programs) fail fast with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.functions.is_empty() {
+            return Err(ValidateError::NoFunctions);
+        }
+
+        // Functions are contiguous over blocks and non-empty.
+        let mut next_block = 0u32;
+        for (fi, func) in self.functions.iter().enumerate() {
+            if func.id.0 != fi as u32
+                || func.block_start != next_block
+                || func.block_end <= func.block_start
+                || func.block_end as usize > self.blocks.len()
+            {
+                return Err(ValidateError::BadFunctionLayout(fi as u32));
+            }
+            next_block = func.block_end;
+        }
+        if next_block as usize != self.blocks.len() {
+            return Err(ValidateError::BadFunctionLayout(
+                self.functions.len() as u32 - 1,
+            ));
+        }
+
+        // Blocks are contiguous over instructions, non-empty, and owned by
+        // the function whose range contains them.
+        let mut next_instr = 0u32;
+        for (bi, block) in self.blocks.iter().enumerate() {
+            if block.id.0 != bi as u32
+                || block.start != next_instr
+                || block.end <= block.start
+                || block.end as usize > self.instrs.len()
+            {
+                return Err(ValidateError::BadBlockLayout(bi as u32));
+            }
+            let func = self
+                .functions
+                .get(block.function.index())
+                .ok_or(ValidateError::BadBlockLayout(bi as u32))?;
+            if !(func.block_start..func.block_end).contains(&(bi as u32)) {
+                return Err(ValidateError::BadBlockLayout(bi as u32));
+            }
+            next_instr = block.end;
+        }
+        if next_instr as usize != self.instrs.len() {
+            return Err(ValidateError::BadBlockLayout(self.blocks.len() as u32 - 1));
+        }
+
+        // Owner and key tables track the layout exactly.
+        if self.instr_block.len() != self.instrs.len()
+            || self.instr_func.len() != self.instrs.len()
+            || self.behavior_keys.len() != self.instrs.len()
+        {
+            return Err(ValidateError::BadInstrIndex(0));
+        }
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for gi in block.instr_range() {
+                if self.instr_block[gi] != bi as u32 || self.instr_func[gi] != block.function.0 {
+                    return Err(ValidateError::BadInstrIndex(gi as u32));
+                }
+            }
+        }
+
+        // Per-instruction structural checks (mirrors the builder).
+        let mut needs_handler = false;
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let func = &self.functions[block.function.index()];
+            let last_block_of_func = bi as u32 + 1 == func.block_end;
+            for gi in block.instr_range() {
+                let instr = &self.instrs[gi];
+                let is_last = gi + 1 == block.instr_range().end;
+                if instr.kind.is_terminator() && !is_last {
+                    return Err(ValidateError::TerminatorNotLast(gi as u32));
+                }
+                match instr.kind {
+                    InstrKind::Branch => {
+                        let (Some(target), Some(_)) =
+                            (instr.taken_target, instr.branch_behavior.as_ref())
+                        else {
+                            return Err(ValidateError::IncompleteBranch(gi as u32));
+                        };
+                        let ok = self
+                            .blocks
+                            .get(target.index())
+                            .is_some_and(|t| t.function == block.function);
+                        if !ok {
+                            return Err(ValidateError::BadTarget(gi as u32));
+                        }
+                        if last_block_of_func {
+                            return Err(ValidateError::MissingFallThrough(gi as u32));
+                        }
+                    }
+                    InstrKind::Jump => {
+                        let ok = instr.jump_target.is_some_and(|t| {
+                            self.blocks
+                                .get(t.index())
+                                .is_some_and(|b| b.function == block.function)
+                        });
+                        if !ok {
+                            return Err(ValidateError::BadTarget(gi as u32));
+                        }
+                    }
+                    InstrKind::Call => {
+                        let ok = instr
+                            .callee
+                            .is_some_and(|c| c.index() < self.functions.len());
+                        if !ok {
+                            return Err(ValidateError::BadCallee(gi as u32));
+                        }
+                        if last_block_of_func {
+                            return Err(ValidateError::MissingFallThrough(gi as u32));
+                        }
+                    }
+                    InstrKind::Load | InstrKind::Store => {
+                        if instr.mem.is_none() {
+                            return Err(ValidateError::MissingMemBehavior(gi as u32));
+                        }
+                        if instr.fault.is_some() {
+                            if instr.kind != InstrKind::Load {
+                                return Err(ValidateError::FaultOnNonLoad(gi as u32));
+                            }
+                            needs_handler = true;
+                        }
+                    }
+                    _ => {
+                        if instr.fault.is_some() {
+                            return Err(ValidateError::FaultOnNonLoad(gi as u32));
+                        }
+                    }
+                }
+                if is_last && !instr.kind.is_terminator() && last_block_of_func {
+                    return Err(ValidateError::MissingFallThrough(gi as u32));
+                }
+            }
+        }
+
+        if needs_handler {
+            let handler = self
+                .fault_handler
+                .ok_or(ValidateError::MissingFaultHandler)?;
+            let func = &self.functions[handler.index()];
+            let last_block = &self.blocks[func.block_end as usize - 1];
+            let last_instr = &self.instrs[last_block.instr_range().end - 1];
+            if last_instr.kind != InstrKind::Ret {
+                return Err(ValidateError::HandlerMustReturn);
+            }
+        }
+
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BranchBehavior;
+    use crate::builder::ProgramBuilder;
+    use crate::program::Instr;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::named("sample");
+        let main = b.function("main");
+        let helper = b.function("helper");
+        let m0 = b.block(main);
+        b.push(m0, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(m0, Instr::call(helper));
+        let m1 = b.block(main);
+        b.push(
+            m1,
+            Instr::branch(m1, BranchBehavior::Loop { taken_iters: 2 }),
+        );
+        let m2 = b.block(main);
+        b.push(m2, Instr::halt());
+        let h0 = b.block(helper);
+        b.push(h0, Instr::ret());
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn builder_output_validates() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn corrupted_owner_table_detected() {
+        let mut p = sample();
+        p.instr_func[0] = 1;
+        assert_eq!(p.validate(), Err(ValidateError::BadInstrIndex(0)));
+    }
+
+    #[test]
+    fn truncated_behavior_keys_detected() {
+        let mut p = sample();
+        p.behavior_keys.pop();
+        assert_eq!(p.validate(), Err(ValidateError::BadInstrIndex(0)));
+    }
+
+    #[test]
+    fn dangling_branch_target_detected() {
+        let mut p = sample();
+        // Retarget the branch at a block of the other function.
+        let n = p.blocks.len() as u32;
+        for instr in &mut p.instrs {
+            if instr.kind == InstrKind::Branch {
+                instr.taken_target = Some(crate::program::BlockId(n));
+            }
+        }
+        assert!(matches!(p.validate(), Err(ValidateError::BadTarget(_))));
+    }
+
+    #[test]
+    fn misplaced_terminator_detected() {
+        let mut p = sample();
+        // Swap the alu and the call in block 0: call is no longer last.
+        p.instrs.swap(0, 1);
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::TerminatorNotLast(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty_lowercase() {
+        let errs: Vec<ValidateError> = vec![
+            ValidateError::NoFunctions,
+            ValidateError::BadFunctionLayout(0),
+            ValidateError::BadBlockLayout(0),
+            ValidateError::BadInstrIndex(0),
+            ValidateError::TerminatorNotLast(0),
+            ValidateError::IncompleteBranch(0),
+            ValidateError::BadTarget(0),
+            ValidateError::BadCallee(0),
+            ValidateError::MissingFallThrough(0),
+            ValidateError::MissingMemBehavior(0),
+            ValidateError::FaultOnNonLoad(0),
+            ValidateError::MissingFaultHandler,
+            ValidateError::HandlerMustReturn,
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Offender ranking: from a per-instruction profile to attributed rewrite
+//! opportunities.
+
+use tip_isa::{BlockId, FunctionId, InstrIdx, InstrKind, Program, SymbolId};
+
+/// Per-instruction time shares aggregated up the symbol hierarchy, plus the
+/// offender queries the transform passes are guided by.
+///
+/// Built from whatever profiler's profile is guiding the pass — the whole
+/// point of the closed loop is that a skid-prone profile (Software, NCI)
+/// attributes flush time to innocent neighbours, so its `Analysis` ranks the
+/// wrong offenders and the pass under-fires.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-instruction share of total time, in `[0, 1]`.
+    shares: Vec<f64>,
+    /// Per-block share (sum of member instructions).
+    block_shares: Vec<f64>,
+    /// Per-function share.
+    func_shares: Vec<f64>,
+}
+
+/// One ranked rewrite opportunity, attributed back to the program symbols it
+/// concerns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Offender {
+    /// A pipeline-flushing instruction (CSR access or fence) carrying a
+    /// significant time share — the hoisting candidate.
+    FlushSite {
+        /// The flush/fence instruction.
+        idx: InstrIdx,
+        /// Its containing block.
+        block: BlockId,
+        /// Its containing function.
+        func: FunctionId,
+        /// Share of total time attributed to it.
+        share: f64,
+    },
+    /// A block absorbing a significant time share — the stall/compute hot
+    /// spot fusion and splitting key off.
+    HotBlock {
+        /// The block.
+        block: BlockId,
+        /// Its containing function.
+        func: FunctionId,
+        /// Share of total time attributed to its instructions.
+        share: f64,
+    },
+    /// A hot branch whose taken target out-weighs its fall-through — the
+    /// relayout candidate (make the hot successor the fall-through).
+    HotTakenEdge {
+        /// Block ending in the branch.
+        from: BlockId,
+        /// The branch's taken target.
+        to: BlockId,
+        /// The containing function.
+        func: FunctionId,
+        /// Share of total time attributed to the target block.
+        share: f64,
+    },
+}
+
+impl Offender {
+    /// The share of total time this offender accounts for.
+    #[must_use]
+    pub fn share(&self) -> f64 {
+        match self {
+            Offender::FlushSite { share, .. }
+            | Offender::HotBlock { share, .. }
+            | Offender::HotTakenEdge { share, .. } => *share,
+        }
+    }
+
+    /// Human-readable attribution, e.g.
+    /// `flush 0x10038@ceil<csr> 23.1%`.
+    #[must_use]
+    pub fn describe(&self, program: &Program) -> String {
+        match self {
+            Offender::FlushSite {
+                idx, func, share, ..
+            } => {
+                format!(
+                    "flush {}@{}<{}> {:.1}%",
+                    program.addr_of(*idx),
+                    program.function(*func).name(),
+                    program.instr(*idx).kind(),
+                    share * 100.0
+                )
+            }
+            Offender::HotBlock { block, func, share } => format!(
+                "hot-block {}.bb{} {:.1}%",
+                program.function(*func).name(),
+                block.index(),
+                share * 100.0
+            ),
+            Offender::HotTakenEdge {
+                from,
+                to,
+                func,
+                share,
+            } => format!(
+                "hot-edge {}.bb{}->bb{} {:.1}%",
+                program.function(*func).name(),
+                from.index(),
+                to.index(),
+                share * 100.0
+            ),
+        }
+    }
+}
+
+impl Analysis {
+    /// Builds the analysis from per-instruction time shares (`shares[i]` is
+    /// instruction `i`'s fraction of total time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shares` does not have one entry per instruction.
+    #[must_use]
+    pub fn new(program: &Program, shares: Vec<f64>) -> Self {
+        assert_eq!(
+            shares.len(),
+            program.len(),
+            "one share per static instruction"
+        );
+        let mut block_shares = vec![0.0; program.blocks().len()];
+        let mut func_shares = vec![0.0; program.functions().len()];
+        for (i, &s) in shares.iter().enumerate() {
+            let idx = InstrIdx::new(i as u32);
+            block_shares[program.block_of(idx).index()] += s;
+            func_shares[program.function_of(idx).index()] += s;
+        }
+        Analysis {
+            shares,
+            block_shares,
+            func_shares,
+        }
+    }
+
+    /// Builds the analysis from an instruction-granularity [`Profile`]
+    /// (symbol `i` is instruction `i`).
+    ///
+    /// [`Profile`]: tip_core::Profile
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is not at instruction granularity for this
+    /// program.
+    #[must_use]
+    pub fn from_profile(program: &Program, profile: &tip_core::Profile) -> Self {
+        assert_eq!(
+            profile.granularity(),
+            tip_isa::Granularity::Instruction,
+            "pgo analysis needs an instruction-granularity profile"
+        );
+        let shares = (0..program.len())
+            .map(|i| profile.share(SymbolId(i as u32)))
+            .collect();
+        Analysis::new(program, shares)
+    }
+
+    /// Instruction `idx`'s share of total time.
+    #[must_use]
+    pub fn instr_share(&self, idx: InstrIdx) -> f64 {
+        self.shares[idx.index()]
+    }
+
+    /// Block `id`'s share of total time.
+    #[must_use]
+    pub fn block_share(&self, id: BlockId) -> f64 {
+        self.block_shares[id.index()]
+    }
+
+    /// Function `id`'s share of total time.
+    #[must_use]
+    pub fn func_share(&self, id: FunctionId) -> f64 {
+        self.func_shares[id.index()]
+    }
+
+    /// Flush/fence instructions with share at least `threshold`, hottest
+    /// first.
+    #[must_use]
+    pub fn hot_flushes(&self, program: &Program, threshold: f64) -> Vec<(InstrIdx, f64)> {
+        let mut out: Vec<(InstrIdx, f64)> = program
+            .instrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, instr)| matches!(instr.kind(), InstrKind::CsrFlush | InstrKind::Fence))
+            .map(|(i, _)| (InstrIdx::new(i as u32), self.shares[i]))
+            .filter(|&(_, s)| s >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Blocks with share at least `threshold`, hottest first.
+    #[must_use]
+    pub fn hot_blocks(&self, program: &Program, threshold: f64) -> Vec<(BlockId, f64)> {
+        let mut out: Vec<(BlockId, f64)> = program
+            .blocks()
+            .iter()
+            .map(|b| (b.id(), self.block_shares[b.id().index()]))
+            .filter(|&(_, s)| s >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Branches whose taken-target block out-weighs their fall-through
+    /// successor by at least `margin` (and is not already the fall-through),
+    /// hottest target first. These are the edges hot-path reordering turns
+    /// into fall-throughs.
+    #[must_use]
+    pub fn hot_taken_edges(&self, program: &Program, margin: f64) -> Vec<Offender> {
+        let mut out = Vec::new();
+        for block in program.blocks() {
+            let last = &program.instrs()[block.instr_range().end - 1];
+            if last.kind() != InstrKind::Branch {
+                continue;
+            }
+            let Some(target) = last.taken_target() else {
+                continue;
+            };
+            // The fall-through successor is positional: the next block
+            // (validation guarantees one exists for branch-ended blocks).
+            let Some(ft_block) = program.blocks().get(block.id().index() + 1) else {
+                continue;
+            };
+            let ft = ft_block.id();
+            if target == ft {
+                continue;
+            }
+            let target_share = self.block_shares[target.index()];
+            let ft_share = self.block_shares[ft.index()];
+            if target_share >= ft_share + margin {
+                out.push(Offender::HotTakenEdge {
+                    from: block.id(),
+                    to: target,
+                    func: block.function(),
+                    share: target_share,
+                });
+            }
+        }
+        out.sort_by(|a, b| b.share().total_cmp(&a.share()));
+        out
+    }
+
+    /// The top `limit` offenders across all classes, hottest first — the
+    /// report the closed-loop driver prints before transforming.
+    #[must_use]
+    pub fn ranked_offenders(&self, program: &Program, limit: usize) -> Vec<Offender> {
+        let mut out: Vec<Offender> = Vec::new();
+        for (idx, share) in self.hot_flushes(program, 1e-6) {
+            out.push(Offender::FlushSite {
+                idx,
+                block: program.block_of(idx),
+                func: program.function_of(idx),
+                share,
+            });
+        }
+        for (block, share) in self.hot_blocks(program, 1e-6) {
+            out.push(Offender::HotBlock {
+                block,
+                func: program.block(block).function(),
+                share,
+            });
+        }
+        out.extend(self.hot_taken_edges(program, 1e-6));
+        out.sort_by(|a, b| b.share().total_cmp(&a.share()));
+        out.truncate(limit);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_isa::{BranchBehavior, Instr, ProgramBuilder, Reg};
+
+    fn flushy_loop() -> Program {
+        let mut b = ProgramBuilder::named("flushy");
+        let main = b.function("main");
+        let body = b.block(main);
+        b.push(body, Instr::csr_flush());
+        b.push(body, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(
+            body,
+            Instr::branch(body, BranchBehavior::Loop { taken_iters: 100 }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn flush_ranking_and_aggregation() {
+        let p = flushy_loop();
+        // The flush owns 70% of time, the alu 20%, the branch 10%.
+        let a = Analysis::new(&p, vec![0.7, 0.2, 0.1, 0.0]);
+        let flushes = a.hot_flushes(&p, 0.01);
+        assert_eq!(flushes.len(), 1);
+        assert_eq!(flushes[0].0, InstrIdx::new(0));
+        assert!(a.block_share(p.block_of(InstrIdx::new(0))) > 0.99);
+        assert!(a.func_share(p.entry()) > 0.99);
+
+        let top = a.ranked_offenders(&p, 3);
+        assert!(matches!(top[0], Offender::HotBlock { .. }));
+        // The loop back-edge (share 1.0) outranks the flush site (0.7).
+        assert!(matches!(top[1], Offender::HotTakenEdge { .. }));
+        assert!(matches!(top[2], Offender::FlushSite { .. }));
+        assert!(!top[2].describe(&p).is_empty());
+    }
+
+    #[test]
+    fn skid_hides_the_flush() {
+        let p = flushy_loop();
+        // An NCI-like profile attributes the flush's time to the *next*
+        // committing instruction: the alu absorbs it all.
+        let a = Analysis::new(&p, vec![0.01, 0.89, 0.1, 0.0]);
+        assert!(a.hot_flushes(&p, 0.05).is_empty());
+    }
+}

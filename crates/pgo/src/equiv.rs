@@ -1,0 +1,240 @@
+//! Observational equivalence: does a rewritten program retire the same
+//! architectural work as the original?
+//!
+//! The two programs are executed in lockstep (same seed — behaviour keys
+//! make branch directions and effective addresses replay identically for
+//! moved code) and reduced to a stream of *observable records*:
+//!
+//! - layout-only kinds (`Jump`, `Nop`, `CsrFlush`, `Fence`) are dropped —
+//!   rewrites are allowed to add, remove, and move them;
+//! - `Branch` is dropped too: hot-path reordering legitimately inverts a
+//!   branch's polarity, so its taken bit is not an architectural observable
+//!   (the *consequences* — which instructions execute next — still are);
+//! - everything else (`IntAlu`, muls/divs, FP, `Load`, `Store`, `Call`,
+//!   `Ret`, `Halt`) becomes one record of `(original InstrIdx, effective
+//!   address)`, with the rewritten side mapped back through its
+//!   [`Provenance`]: a moved instruction yields its single origin plus its
+//!   own effective address, a fused pair expands to its origins in order,
+//!   and inserted instructions (zero origins) are skipped.
+//!
+//! Equivalence holds when the two record streams are identical up to the
+//! record cap (streams may be unbounded: loops with `Bernoulli` exits run
+//! until the cap).
+
+use tip_isa::{Executor, InstrIdx, InstrKind, Program, Provenance};
+
+/// Why two programs were found inequivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivError {
+    /// The streams disagree at observable record `at` (0-based).
+    Mismatch {
+        /// Index of the first differing record.
+        at: u64,
+        /// What differed, e.g. `original i12 @0x40, rewritten i12 @0x48`.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EquivError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivError::Mismatch { at, detail } => {
+                write!(f, "streams diverge at observable record {at}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EquivError {}
+
+/// One architectural observable: an execution of original instruction
+/// `origin`, touching `mem` if it is a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Obs {
+    origin: InstrIdx,
+    mem: Option<u64>,
+}
+
+fn observable(kind: InstrKind) -> bool {
+    !matches!(
+        kind,
+        InstrKind::Jump
+            | InstrKind::Nop
+            | InstrKind::CsrFlush
+            | InstrKind::Fence
+            | InstrKind::Branch
+    )
+}
+
+/// Observable-record stream of the original program: identity origins.
+struct OrigStream<'p> {
+    exec: Executor<'p>,
+}
+
+impl Iterator for OrigStream<'_> {
+    type Item = Obs;
+
+    fn next(&mut self) -> Option<Obs> {
+        self.exec.by_ref().find_map(|d| {
+            observable(d.kind).then_some(Obs {
+                origin: d.idx,
+                mem: d.mem_addr,
+            })
+        })
+    }
+}
+
+/// Observable-record stream of the rewritten program: origins through the
+/// provenance map, fused instructions expanded in origin order.
+struct RewrittenStream<'p> {
+    exec: Executor<'p>,
+    provenance: &'p Provenance,
+    pending: std::collections::VecDeque<Obs>,
+}
+
+impl Iterator for RewrittenStream<'_> {
+    type Item = Obs;
+
+    fn next(&mut self) -> Option<Obs> {
+        loop {
+            if let Some(obs) = self.pending.pop_front() {
+                return Some(obs);
+            }
+            let d = self.exec.next()?;
+            if !observable(d.kind) {
+                continue;
+            }
+            let origins = self.provenance.origins(d.idx);
+            match origins {
+                [] => continue, // inserted instruction: no architectural claim
+                [one] => {
+                    return Some(Obs {
+                        origin: *one,
+                        mem: d.mem_addr,
+                    })
+                }
+                many => {
+                    // A fused instruction stands for several originals; none
+                    // of the fusable kinds touch memory.
+                    self.pending
+                        .extend(many.iter().map(|&origin| Obs { origin, mem: None }));
+                }
+            }
+        }
+    }
+}
+
+/// Checks that `rewritten` (with `provenance` mapping it back to `original`)
+/// retires the identical architectural record stream as `original` under
+/// `seed`, comparing up to `max_records` observables per side.
+///
+/// Both streams ending together — or both still running at the cap — is
+/// equivalence; any record mismatch or one-sided termination is not.
+///
+/// # Errors
+///
+/// [`EquivError::Mismatch`] describing the first divergence.
+pub fn check_equivalence(
+    original: &Program,
+    rewritten: &Program,
+    provenance: &Provenance,
+    seed: u64,
+    max_records: u64,
+) -> Result<(), EquivError> {
+    let mut orig = OrigStream {
+        exec: Executor::new(original, seed),
+    };
+    let mut rew = RewrittenStream {
+        exec: Executor::new(rewritten, seed),
+        provenance,
+        pending: std::collections::VecDeque::new(),
+    };
+    for at in 0..max_records {
+        match (orig.next(), rew.next()) {
+            (None, None) => return Ok(()),
+            (Some(a), Some(b)) if a == b => {}
+            (Some(a), Some(b)) => {
+                return Err(EquivError::Mismatch {
+                    at,
+                    detail: format!(
+                        "original i{}@{:?}, rewritten claims i{}@{:?}",
+                        a.origin.index(),
+                        a.mem,
+                        b.origin.index(),
+                        b.mem
+                    ),
+                })
+            }
+            (Some(a), None) => {
+                return Err(EquivError::Mismatch {
+                    at,
+                    detail: format!(
+                        "rewritten halted early; original still at i{}",
+                        a.origin.index()
+                    ),
+                })
+            }
+            (None, Some(b)) => {
+                return Err(EquivError::Mismatch {
+                    at,
+                    detail: format!(
+                        "original halted early; rewritten still claims i{}",
+                        b.origin.index()
+                    ),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_isa::{BranchBehavior, Instr, ProgramBuilder, ProgramEditor, Reg};
+
+    fn two_block_loop() -> Program {
+        let mut b = ProgramBuilder::named("loopy");
+        let main = b.function("main");
+        let body = b.block(main);
+        b.push(body, Instr::csr_flush());
+        b.push(body, Instr::int_alu(Some(Reg::int(1)), [None, None]));
+        b.push(
+            body,
+            Instr::branch(body, BranchBehavior::Loop { taken_iters: 10 }),
+        );
+        let exit = b.block(main);
+        b.push(exit, Instr::halt());
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn identity_is_equivalent() {
+        let p = two_block_loop();
+        let prov = Provenance::identity(p.len());
+        check_equivalence(&p, &p, &prov, 7, 10_000).expect("identical programs");
+    }
+
+    #[test]
+    fn hoisted_flush_is_equivalent() {
+        let p = two_block_loop();
+        let mut e = ProgramEditor::new(&p);
+        let body = ProgramEditor::key_of(p.block_of(InstrIdx::new(0)));
+        e.remove_instr(body, 0).expect("remove flush");
+        e.insert_instr(body, 0, Instr::csr_flush()).expect("insert");
+        let (rewritten, prov) = e.finish().expect("finish");
+        check_equivalence(&p, &rewritten, &prov, 7, 10_000).expect("flush moves are invisible");
+    }
+
+    #[test]
+    fn dropping_real_work_is_caught() {
+        let p = two_block_loop();
+        let mut e = ProgramEditor::new(&p);
+        let body = ProgramEditor::key_of(p.block_of(InstrIdx::new(0)));
+        // Deleting the ALU changes the architectural stream.
+        e.remove_instr(body, 1).expect("remove alu");
+        let (rewritten, prov) = e.finish().expect("finish");
+        let err = check_equivalence(&p, &rewritten, &prov, 7, 10_000);
+        assert!(matches!(err, Err(EquivError::Mismatch { .. })), "{err:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Profile-guided optimization: closing the paper's profile → transform →
+//! measure loop.
+//!
+//! The imagick case study of *TIP: Time-Proportional Instruction Profiling*
+//! (§6) uses a TIP profile to find a CSR-flush hot spot, fixes it by hand,
+//! and measures the speedup. This crate generalizes that workflow into an
+//! automated pass, so the claim "time-proportional profiles guide
+//! optimization better than skid-prone ones" can be measured instead of
+//! argued:
+//!
+//! - [`Analysis`] consumes a finished instruction-granularity [`Profile`]
+//!   (from *any* profiler in the bank) plus the workload [`Program`] CFG and
+//!   ranks offenders — hottest flush/fence instructions, stall-dominated
+//!   blocks, hot taken edges that are not fall-throughs — attributing each
+//!   back to its `FunctionId`/`BlockId`/`InstrIdx`;
+//! - [`transform`] holds mechanical, semantics-preserving `Program →
+//!   Program` rewrites built on [`tip_isa::ProgramEditor`]: flush hoisting,
+//!   hot-path block reordering, superinstruction-style fusion of dependent
+//!   ALU pairs, and hot/cold block splitting;
+//! - [`PgoPass`] sequences the rewrites, re-attributing the guiding profile
+//!   onto each intermediate program through the accumulated
+//!   [`tip_isa::Provenance`];
+//! - [`check_equivalence`] proves a rewrite observationally equivalent: the
+//!   transformed program retires the identical architectural
+//!   instruction/result stream (aligned through provenance) and halts the
+//!   same way.
+//!
+//! The closed-loop driver that profiles a workload under every profiler,
+//! applies this pass per profile, and re-simulates lives in `tip-bench`
+//! (`tip-pgo` binary).
+//!
+//! [`Profile`]: tip_core::Profile
+//! [`Program`]: tip_isa::Program
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod equiv;
+mod pass;
+pub mod transform;
+
+pub use analysis::{Analysis, Offender};
+pub use equiv::{check_equivalence, EquivError};
+pub use pass::{PgoConfig, PgoError, PgoPass, PgoResult};
+pub use transform::Rewrite;

@@ -1,0 +1,206 @@
+//! Property: every rewrite the PGO subsystem can produce — the full staged
+//! pass under random thresholds, and raw editor relayouts with branch
+//! inversions — preserves the architectural instruction stream of random
+//! multi-block, multi-function programs.
+
+use proptest::prelude::*;
+use tip_isa::{
+    BranchBehavior, Instr, InstrKind, MemBehavior, Program, ProgramBuilder, ProgramEditor, Reg,
+};
+use tip_pgo::{check_equivalence, PgoConfig, PgoPass};
+
+/// Deterministic helper RNG for deriving permutations from one proptest u64.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// A random program with several blocks per function, a callee function,
+/// forward and backward branches across all behaviour classes, flushes and
+/// fences in loop bodies, and dependent ALU pairs. Every block carries at
+/// least one architecturally observable instruction so equivalence streams
+/// make progress even through infinite loops.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        2usize..6,                                // blocks in main
+        proptest::collection::vec(0u8..8, 8..32), // instruction codes
+        proptest::collection::vec(0u8..5, 1..6),  // branch behaviour codes
+        0u32..12,                                 // loop iterations
+        1u64..100_000,                            // working set
+        proptest::bool::ANY,                      // include a callee?
+    )
+        .prop_map(|(nblocks, codes, bcodes, iters, ws, with_callee)| {
+            let mut b = ProgramBuilder::named("prop-pgo");
+            let main = b.function("main");
+            let blocks: Vec<_> = (0..nblocks).map(|_| b.block(main)).collect();
+            let exit = b.block(main);
+
+            let callee = with_callee.then(|| {
+                let f = b.function("aux");
+                let body = b.block(f);
+                b.push(body, Instr::int_alu(Some(Reg::int(30)), [None, None]));
+                let tail = b.block(f);
+                b.push(tail, Instr::ret());
+                f
+            });
+
+            let mut code_at = 0usize;
+            let mut next_code = || {
+                let c = codes[code_at % codes.len()];
+                code_at += 1;
+                c
+            };
+            for (bi, &block) in blocks.iter().enumerate() {
+                // Anchor observable, plus a dependent pair fusion can try.
+                let r = Reg::int(1 + (bi % 10) as u8);
+                b.push(block, Instr::int_alu(Some(r), [None, None]));
+                b.push(
+                    block,
+                    Instr::int_alu(Some(Reg::int(11 + (bi % 10) as u8)), [Some(r), None]),
+                );
+                for _ in 0..(next_code() % 4) {
+                    let instr = match next_code() {
+                        0 => Instr::int_alu(Some(Reg::int(25)), [None, None]),
+                        1 => Instr::csr_flush(),
+                        2 => Instr::fence(),
+                        3 => Instr::load(
+                            Some(Reg::int(26)),
+                            None,
+                            MemBehavior::Stride {
+                                base: 0x1000,
+                                stride: 8,
+                                footprint: ws,
+                            },
+                        ),
+                        4 => Instr::store(
+                            None,
+                            Some(Reg::int(26)),
+                            MemBehavior::RandomIn {
+                                base: 0x8000,
+                                footprint: ws.max(8),
+                            },
+                        ),
+                        _ => Instr::nop(),
+                    };
+                    b.push(block, instr);
+                }
+                // Calls are terminators: a call-ended block falls through to
+                // the next block on return.
+                if let (Some(f), 0) = (callee, bi) {
+                    b.push(block, Instr::call(f));
+                    continue;
+                }
+                // Branch somewhere: forward to a later block, backward to
+                // self (loop), or fall through by ending plainly.
+                let bc = bcodes[bi % bcodes.len()];
+                let behavior = match bc {
+                    0 => BranchBehavior::Loop { taken_iters: iters },
+                    1 => BranchBehavior::Bernoulli {
+                        taken_prob: 0.5 + (f64::from(iters) / 64.0),
+                    },
+                    2 => BranchBehavior::Pattern {
+                        pattern: vec![true, false, iters % 2 == 0],
+                    },
+                    3 => BranchBehavior::AlwaysTaken,
+                    _ => BranchBehavior::NeverTaken,
+                };
+                let backward = matches!(behavior, BranchBehavior::Loop { .. });
+                let target = if backward {
+                    block
+                } else {
+                    *blocks.get(bi + 2).unwrap_or(&exit)
+                };
+                if bc != 4 || backward {
+                    b.push(block, Instr::branch(target, behavior));
+                }
+            }
+            b.push(exit, Instr::int_alu(Some(Reg::int(29)), [None, None]));
+            b.push(exit, Instr::halt());
+            b.build().expect("structurally valid by construction")
+        })
+}
+
+const CAP: u64 = 20_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The staged pass, under arbitrary thresholds and an arbitrary share
+    /// attribution, never changes what the program computes.
+    #[test]
+    fn pgo_pass_preserves_semantics(
+        program in arb_program(),
+        raw_shares in proptest::collection::vec(0.0f64..1.0, 64),
+        flush_t in 0.0f64..0.2,
+        fuse_t in 0.0f64..0.1,
+        margin in 0.0f64..0.2,
+        cold_t in 0.0f64..0.01,
+        stages in 1u8..32,
+        seed in 0u64..50,
+    ) {
+        let total: f64 = (0..program.len()).map(|i| raw_shares[i % 64]).sum();
+        let shares: Vec<f64> = (0..program.len())
+            .map(|i| raw_shares[i % 64] / total.max(1e-12))
+            .collect();
+        let config = PgoConfig {
+            flush_share_threshold: flush_t,
+            fuse_block_share_threshold: fuse_t,
+            reorder_margin: margin,
+            cold_share_threshold: cold_t,
+            hoist_dominating_copy: stages & 16 != 0,
+            hoist: stages & 1 != 0,
+            fuse: stages & 2 != 0,
+            reorder: stages & 4 != 0,
+            split: stages & 8 != 0,
+        };
+        let result = PgoPass::new(config).apply_with_shares(&program, &shares).unwrap();
+        let check = check_equivalence(&program, &result.program, &result.provenance, seed, CAP);
+        prop_assert!(
+            check.is_ok(),
+            "pass broke semantics: {:?}\nactions: {:?}",
+            check,
+            result.actions
+        );
+    }
+
+    /// Raw editor rewrites — a random block permutation (entry fixed) plus
+    /// inversion of every analytically invertible branch — are equivalent,
+    /// including all trampoline-repair paths.
+    #[test]
+    fn random_relayout_preserves_semantics(
+        program in arb_program(),
+        perm_seed in 1u64..10_000,
+        seed in 0u64..50,
+    ) {
+        let mut editor = ProgramEditor::new(&program);
+        let mut rng = XorShift(perm_seed);
+        for func in program.functions() {
+            let mut keys = editor.block_keys(func.id()).unwrap();
+            // Fisher–Yates over keys[1..]: the entry block must stay first.
+            for i in (2..keys.len()).rev() {
+                let j = 1 + (rng.next() as usize) % i;
+                keys.swap(i, j);
+            }
+            editor.set_block_order(func.id(), &keys).unwrap();
+        }
+        for block in program.blocks() {
+            let last = &program.instrs()[block.instr_range().end - 1];
+            let invertible = last.kind() == InstrKind::Branch
+                && last.branch_behavior().is_some_and(|bb| bb.inverted().is_some());
+            if invertible && rng.next().is_multiple_of(2) {
+                editor.invert_branch(ProgramEditor::key_of(block.id())).unwrap();
+            }
+        }
+        let (rewritten, provenance) = editor.finish().unwrap();
+        let check = check_equivalence(&program, &rewritten, &provenance, seed, CAP);
+        prop_assert!(check.is_ok(), "relayout broke semantics: {:?}", check);
+    }
+}

@@ -5,7 +5,7 @@
 //!        [--retry-seed N] <command>
 //!
 //! commands:
-//!   submit <bench|fig08> [test|small|full] [--seed N]
+//!   submit <bench|fig08|pgo <bench>> [test|small|full] [--seed N]
 //!   status <job> | watch <job> | result <job> | cancel <job>
 //!   top [--bench B] [--profiler NAME] [-n N] [--live]
 //!   stats | shutdown [--no-drain]
@@ -15,6 +15,13 @@
 //! six-profiler set — the service-side equivalent of running the fig08
 //! campaign locally, with byte-identical artifacts in the daemon's
 //! `--out` directory.
+//!
+//! `submit pgo <bench>` enqueues the profile-guided-optimization loop for
+//! one benchmark: the daemon profiles it, applies the TIP-guided `tip-pgo`
+//! pass, proves the rewrite semantics-preserving, and re-simulates — the
+//! job's result file is the *optimized* program's run in the ordinary
+//! ledger format, so `tipctl result` diffs cleanly against a plain run of
+//! the same benchmark.
 //!
 //! `top` asks the daemon's live aggregate for the heaviest symbols of the
 //! campaign *so far* — streamed from running workers, so it answers
@@ -55,7 +62,7 @@ const LIVE_REFRESH: Duration = Duration::from_millis(400);
 fn usage() -> &'static str {
     "usage: tipctl [--addr HOST:PORT] [--connect-timeout MS] [--max-retries N] \
      [--retry-seed N] \
-     <submit <bench|fig08> [test|small|full] [--seed N] | status N | watch N | \
+     <submit <bench|fig08|pgo <bench>> [test|small|full] [--seed N] | status N | watch N | \
      result N | cancel N | top [--bench B] [--profiler NAME] [-n N] [--live] | \
      stats | shutdown [--no-drain]>"
 }
@@ -231,9 +238,13 @@ fn run(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
     let client = opts.client();
     match cmd.as_str() {
         "submit" => {
-            let target = args
+            let mut target = args
                 .next()
-                .ok_or("submit needs a benchmark name or `fig08`")?;
+                .ok_or("submit needs a benchmark name, `fig08`, or `pgo <bench>`")?;
+            let pgo = target == "pgo";
+            if pgo {
+                target = args.next().ok_or("submit pgo needs a benchmark name")?;
+            }
             let mut scale = SuiteScale::Small;
             let mut seed: Option<u64> = None;
             let mut rest = args.peekable();
@@ -256,6 +267,7 @@ fn run(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
             };
             for bench in benches {
                 let mut spec = JobSpec::new(bench, scale);
+                spec.pgo = pgo;
                 if target == "fig08" {
                     // Match the fig08 binary's profiler set exactly, so the
                     // daemon's out dir is byte-identical to a local run.
@@ -265,7 +277,10 @@ fn run(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
                     spec.seed = seed;
                 }
                 let job = client.submit(&spec)?;
-                println!("submitted job={job} bench={bench}");
+                println!(
+                    "submitted job={job} bench={bench}{}",
+                    if pgo { " (pgo)" } else { "" }
+                );
             }
             Ok(())
         }

@@ -338,6 +338,7 @@ impl Engine {
             checkpoint: None,
             max_attempts: spec.max_attempts.max(1),
             max_cycles: MAX_CYCLES,
+            pgo: spec.pgo,
         };
         let mut state = self.inner.state.lock().expect("engine lock");
         if req_id != 0 {

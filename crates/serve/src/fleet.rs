@@ -1329,6 +1329,7 @@ fn run_assignment(spec: &JobSpec, worker: usize, task: u64, sink: &DeltaSink) ->
         checkpoint: None,
         max_attempts: spec.max_attempts.max(1),
         max_cycles: MAX_CYCLES,
+        pgo: spec.pgo,
     };
     let index = usize::try_from(task.saturating_sub(1)).unwrap_or(0);
     let outcome = run_job_streaming(

@@ -55,6 +55,14 @@
 //! cycle count of the job's benchmark, and `Stats` gains the
 //! `deltas`/`streamed` counters. Deltas are signed; the wire carries `i64`
 //! as its two's-complement `u64` bits, which round-trips exactly.
+//!
+//! Version 5 (profile-guided optimization) appends exactly one tail byte
+//! to two existing payloads and nothing else: `Submit` and `Assignment`
+//! gain the spec's [`JobSpec::pgo`] flag *after* their existing fields
+//! (after `req_id`, and after the spec, respectively — the flag cannot
+//! live inside the spec encoding itself, because the spec is followed by
+//! tail-defaulted fields whose decode would consume it). Absent means
+//! `false`, so pre-v5 frames decode as plain profiled runs.
 
 use std::io::{self, Read, Write};
 
@@ -70,7 +78,7 @@ use tip_workloads::SuiteScale;
 /// Stream magic: a framed TIPW protocol exchange.
 pub const MAGIC: [u8; 4] = *b"TIPW";
 /// Protocol version this build emits.
-pub const VERSION: u16 = 4;
+pub const VERSION: u16 = 5;
 /// Oldest protocol version this build still decodes (v2/v3 only append
 /// fields, so older frames decode with the tail fields defaulted).
 pub const MIN_VERSION: u16 = 1;
@@ -101,6 +109,12 @@ pub struct JobSpec {
     pub profilers: Vec<ProfilerId>,
     /// Attempts before the job is written off as failed (≥ 1).
     pub max_attempts: u32,
+    /// Run the profile-guided-optimization loop instead of a plain
+    /// profiled run (see [`tip_bench::pgo`]); the result file then reports
+    /// the TIP-optimized program's run in the ordinary ledger format. A v5
+    /// tail field carried by the containing `Submit`/`Assignment` frames,
+    /// not the spec encoding itself.
+    pub pgo: bool,
 }
 
 impl JobSpec {
@@ -118,6 +132,7 @@ impl JobSpec {
             sampler: SamplerConfig::periodic(DEFAULT_INTERVAL),
             profilers: ProfilerId::ALL.to_vec(),
             max_attempts: 2,
+            pgo: false,
         }
     }
 }
@@ -986,6 +1001,9 @@ fn decode_spec(r: &mut SnapReader<'_>) -> Result<JobSpec, SnapError> {
         profilers.push(profiler_from_code(r.u8()?)?);
     }
     let max_attempts = r.u32()?;
+    // `pgo` is a v5 tail field of the *containing* frame (Submit,
+    // Assignment), decoded there; the spec encoding itself is frozen so the
+    // tail-defaulted fields that follow it keep their positions.
     Ok(JobSpec {
         bench,
         scale,
@@ -994,6 +1012,7 @@ fn decode_spec(r: &mut SnapReader<'_>) -> Result<JobSpec, SnapError> {
         sampler,
         profilers,
         max_attempts,
+        pgo: false,
     })
 }
 
@@ -1032,6 +1051,7 @@ impl Request {
             Request::Submit { spec, req_id } => {
                 encode_spec(&mut out, spec);
                 snap::put_u64(&mut out, *req_id);
+                snap::put_bool(&mut out, spec.pgo);
                 KIND_SUBMIT
             }
             Request::Status { job } => {
@@ -1115,10 +1135,12 @@ impl Request {
     pub fn decode(kind: u16, payload: &[u8]) -> Result<Self, TraceError> {
         let mut r = SnapReader::new(payload);
         let req = match kind {
-            KIND_SUBMIT => Request::Submit {
-                spec: decode_spec(&mut r).map_err(snap_err)?,
-                req_id: tail_u64(&mut r).map_err(snap_err)?,
-            },
+            KIND_SUBMIT => {
+                let mut spec = decode_spec(&mut r).map_err(snap_err)?;
+                let req_id = tail_u64(&mut r).map_err(snap_err)?;
+                spec.pgo = tail_bool(&mut r).map_err(snap_err)?;
+                Request::Submit { spec, req_id }
+            }
             KIND_STATUS => Request::Status {
                 job: r.u64().map_err(snap_err)?,
             },
@@ -1263,6 +1285,7 @@ impl Response {
                 snap::put_u64(&mut out, *task);
                 snap::put_u64(&mut out, *epoch);
                 encode_spec(&mut out, spec);
+                snap::put_bool(&mut out, spec.pgo);
                 KIND_R_ASSIGNMENT
             }
             Response::NoWork { draining } => {
@@ -1359,11 +1382,13 @@ impl Response {
             KIND_R_BEACON_ACK => Response::BeaconAck {
                 tasks: r.u32().map_err(snap_err)?,
             },
-            KIND_R_ASSIGNMENT => Response::Assignment {
-                task: r.u64().map_err(snap_err)?,
-                epoch: r.u64().map_err(snap_err)?,
-                spec: decode_spec(&mut r).map_err(snap_err)?,
-            },
+            KIND_R_ASSIGNMENT => {
+                let task = r.u64().map_err(snap_err)?;
+                let epoch = r.u64().map_err(snap_err)?;
+                let mut spec = decode_spec(&mut r).map_err(snap_err)?;
+                spec.pgo = tail_bool(&mut r).map_err(snap_err)?;
+                Response::Assignment { task, epoch, spec }
+            }
             KIND_R_NO_WORK => Response::NoWork {
                 draining: r.bool().map_err(snap_err)?,
             },
@@ -1405,6 +1430,15 @@ fn tail_u32(r: &mut SnapReader<'_>) -> Result<u32, SnapError> {
         Ok(0)
     } else {
         r.u32()
+    }
+}
+
+/// [`tail_u64`] for bool tail fields (the v5 `pgo` flag): absent is false.
+fn tail_bool(r: &mut SnapReader<'_>) -> Result<bool, SnapError> {
+    if r.is_empty() {
+        Ok(false)
+    } else {
+        r.bool()
     }
 }
 

@@ -25,6 +25,7 @@ fn spec() -> JobSpec {
         sampler: SamplerConfig::random(211, 99),
         profilers: vec![ProfilerId::Tip, ProfilerId::Software],
         max_attempts: 3,
+        pgo: true,
     }
 }
 
@@ -608,6 +609,50 @@ fn v3_payloads_decode_with_defaulted_v4_tails() {
             state,
             seq: 9,
             cycles: 0
+        }
+    );
+}
+
+/// A version-4 peer (streaming, pre-pgo) interoperates with a v5 reader:
+/// its `Submit` payload ends after `req_id` and its `Assignment` payload
+/// ends after the spec — both decode with the appended `pgo` flag
+/// defaulted to `false`, and a v5 frame carrying `pgo: true` round-trips.
+#[test]
+fn v4_submit_and_assignment_payloads_decode_with_pgo_defaulted() {
+    // spec() sets pgo: true; chopping the one-byte tail must yield the
+    // same spec with pgo back to false.
+    let plain = JobSpec {
+        pgo: false,
+        ..spec()
+    };
+
+    let (submit_kind, v5_payload) = Request::Submit {
+        spec: spec(),
+        req_id: 7,
+    }
+    .encode();
+    let v4_payload = &v5_payload[..v5_payload.len() - 1];
+    assert_eq!(
+        Request::decode(submit_kind, v4_payload).expect("v4 submit decodes"),
+        Request::Submit {
+            spec: plain.clone(),
+            req_id: 7,
+        }
+    );
+
+    let (assign_kind, v5_payload) = Response::Assignment {
+        task: 17,
+        epoch: 4,
+        spec: spec(),
+    }
+    .encode();
+    let v4_payload = &v5_payload[..v5_payload.len() - 1];
+    assert_eq!(
+        Response::decode(assign_kind, v4_payload).expect("v4 assignment decodes"),
+        Response::Assignment {
+            task: 17,
+            epoch: 4,
+            spec: plain,
         }
     );
 }

@@ -498,3 +498,58 @@ fn cancel_reaches_queued_jobs_only() {
     assert!(!dir.join(format!("{}.result", BENCHMARK_NAMES[1])).exists());
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// The pgo submission path end to end: a `pgo: true` spec runs the
+/// profile→transform→measure loop server-side and commits the *optimized*
+/// program's run through the ordinary ledger formats — same file name,
+/// same schema, measurably fewer cycles than the plain run of the same
+/// benchmark committed by an identical daemon.
+#[test]
+fn pgo_jobs_commit_optimized_runs_through_the_ledger() {
+    fn settle(engine: &Engine, job: u64) {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            let state = engine.status(job).expect("known job");
+            if state.is_terminal() {
+                assert!(
+                    matches!(state, JobState::Done { ok: true, .. }),
+                    "{state:?}"
+                );
+                return;
+            }
+            assert!(Instant::now() < deadline, "job {job} never settled");
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+    fn cycles_of(dir: &Path) -> u64 {
+        let body = fs::read_to_string(dir.join("imagick.result")).expect("result file");
+        body.lines()
+            .find_map(|l| l.strip_prefix("cycles="))
+            .expect("cycles row")
+            .parse()
+            .expect("cycles parse")
+    }
+
+    let plain_dir = tmp_dir("pgo-plain");
+    let engine = Engine::start(&EngineConfig::new(plain_dir.clone()));
+    let job = engine.submit(&spec_for("imagick")).expect("submit plain");
+    settle(&engine, job);
+    engine.shutdown();
+    let plain_cycles = cycles_of(&plain_dir);
+
+    let opt_dir = tmp_dir("pgo-opt");
+    let engine = Engine::start(&EngineConfig::new(opt_dir.clone()));
+    let mut spec = spec_for("imagick");
+    spec.pgo = true;
+    let job = engine.submit(&spec).expect("submit pgo");
+    settle(&engine, job);
+    engine.shutdown();
+    let pgo_cycles = cycles_of(&opt_dir);
+
+    assert!(
+        pgo_cycles < plain_cycles,
+        "pgo job must commit the optimized run: {pgo_cycles} vs plain {plain_cycles}"
+    );
+    let _ = fs::remove_dir_all(&plain_dir);
+    let _ = fs::remove_dir_all(&opt_dir);
+}
